@@ -1,0 +1,329 @@
+// Package byzshield is a Go implementation of ByzShield (Konstantinidis
+// & Ramamoorthy, MLSys 2021): a redundancy-based defense for distributed
+// synchronous SGD against an omniscient Byzantine adversary. Tasks
+// (batch files) are assigned to workers along bipartite expander graphs
+// built from mutually orthogonal Latin squares or Ramanujan bigraphs;
+// the parameter server majority-votes each file's replicas and robustly
+// aggregates the winners, bounding the worst-case fraction of corrupted
+// gradients by the graphs' spectral expansion.
+//
+// This package is the public façade over the implementation packages:
+//
+//	assignment construction  →  NewMOLS, NewRamanujan1, NewRamanujan2, NewFRC, NewBaseline
+//	robustness analysis      →  AnalyzeDistortion, SpectralGap, GammaBound
+//	attacks                  →  ALIE, ConstantAttack, ReversedGradient, NoAttack
+//	aggregation              →  Median, MedianOfMeans, MultiKrum, Bulyan, SignSGD, ...
+//	training                 →  Train (in-process cluster), internal/transport (TCP)
+//
+// See the examples/ directory for runnable programs and DESIGN.md for
+// the full system inventory.
+package byzshield
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"byzshield/internal/aggregate"
+	"byzshield/internal/assign"
+	"byzshield/internal/attack"
+	"byzshield/internal/cluster"
+	"byzshield/internal/data"
+	"byzshield/internal/distort"
+	"byzshield/internal/graph"
+	"byzshield/internal/model"
+	"byzshield/internal/trainer"
+)
+
+// Assignment is a worker–file placement produced by one of the scheme
+// constructors. See internal/assign for the scheme implementations.
+type Assignment = assign.Assignment
+
+// Aggregator combines gradient vectors; see the aggregate constructors
+// below.
+type Aggregator = aggregate.Aggregator
+
+// Attack generates Byzantine payloads.
+type Attack = attack.Attack
+
+// History is the recorded metric series of a training run.
+type History = trainer.History
+
+// Schedule is the (x, y, z) step-decay learning-rate schedule of the
+// paper's Table 7: rate x, multiplied by y every z iterations.
+type Schedule = trainer.Schedule
+
+// Dataset is a dense classification dataset.
+type Dataset = data.Dataset
+
+// Model is a differentiable classifier over flat parameter vectors.
+type Model = model.Model
+
+// NewMOLS builds the Latin-square assignment of Algorithm 2 with
+// computational load l (prime power) and replication r (2 ≤ r ≤ l−1):
+// K = r·l workers, f = l² files.
+func NewMOLS(l, r int) (*Assignment, error) { return assign.MOLS(l, r) }
+
+// NewRamanujan1 builds the Ramanujan bigraph assignment, Case 1
+// (m < s, prime s): K = m·s workers, f = s² files, (l, r) = (s, m).
+func NewRamanujan1(s, m int) (*Assignment, error) { return assign.Ramanujan1(s, m) }
+
+// NewRamanujan2 builds Case 2 (m ≥ s, s | m, prime s): K = s² workers,
+// f = m·s files, (l, r) = (m, s). The paper's K = 25 cluster is
+// NewRamanujan2(5, 5).
+func NewRamanujan2(s, m int) (*Assignment, error) { return assign.Ramanujan2(s, m) }
+
+// NewFRC builds the Fractional Repetition Code grouping used by DRACO
+// and DETOX: K/r groups of r clones.
+func NewFRC(k, r int) (*Assignment, error) { return assign.FRC(k, r) }
+
+// NewBaseline builds the redundancy-free assignment (f = K, r = 1).
+func NewBaseline(k int) (*Assignment, error) { return assign.Baseline(k) }
+
+// NewRandom builds an unstructured r-replicated assignment (ablation
+// contrast for the expander constructions).
+func NewRandom(k, f, r int, seed int64) (*Assignment, error) {
+	return assign.Random(k, f, r, rand.New(rand.NewSource(seed)))
+}
+
+// Median is ByzShield's default post-vote aggregation rule
+// (coordinate-wise median).
+func Median() Aggregator { return aggregate.Median{} }
+
+// Mean is plain averaging (non-robust; for controls).
+func Mean() Aggregator { return aggregate.Mean{} }
+
+// TrimmedMean trims the t smallest and largest values per coordinate.
+func TrimmedMean(t int) Aggregator { return aggregate.TrimmedMean{Trim: t} }
+
+// MedianOfMeans groups inputs and takes the median of group means.
+func MedianOfMeans(groups int) Aggregator { return aggregate.MedianOfMeans{Groups: groups} }
+
+// MultiKrum averages the m best-scored inputs assuming at most c
+// corruptions (m = 0 selects n − c − 2).
+func MultiKrum(c, m int) Aggregator { return aggregate.MultiKrum{C: c, M: m} }
+
+// Krum selects the single best-scored input assuming c corruptions.
+func Krum(c int) Aggregator { return aggregate.Krum{C: c} }
+
+// Bulyan runs iterated Krum selection plus trimmed aggregation,
+// assuming at most c corruptions (requires n ≥ 4c + 3 inputs).
+func Bulyan(c int) Aggregator { return aggregate.Bulyan{C: c} }
+
+// SignSGD outputs the coordinate-wise majority sign.
+func SignSGD() Aggregator { return aggregate.SignSGD{} }
+
+// GeometricMedian computes the Weiszfeld geometric median.
+func GeometricMedian() Aggregator { return aggregate.GeometricMedian{} }
+
+// MeanAroundMedian averages the near values closest to the coordinate
+// median (Xie et al. 2018); near = 0 selects ⌈n/2⌉.
+func MeanAroundMedian(near int) Aggregator { return aggregate.MeanAroundMedian{Near: near} }
+
+// Auror clusters each coordinate with 1-D 2-means and drops the
+// minority cluster when centers are farther apart than threshold
+// (Shen et al. 2016).
+func Auror(threshold float64) Aggregator { return aggregate.Auror{Threshold: threshold} }
+
+// NoAttack is the attack-free control.
+func NoAttack() Attack { return attack.Benign{} }
+
+// ALIE is the "A Little Is Enough" attack (Baruch et al. 2019).
+func ALIE() Attack { return attack.ALIE{} }
+
+// ConstantAttack sends a constant matrix scaled to gradient-sum
+// magnitude.
+func ConstantAttack(value float64) Attack {
+	return attack.Constant{Value: value, ScaleByFileSize: true}
+}
+
+// ReversedGradient sends −c·g instead of the true gradient g.
+func ReversedGradient(c float64) Attack { return attack.Reversed{C: c} }
+
+// DistortionReport summarizes the omniscient adversary's best attack on
+// an assignment.
+type DistortionReport struct {
+	Q          int
+	CMax       int     // maximum distortable files
+	Epsilon    float64 // CMax / f
+	Gamma      float64 // Claim 1 spectral upper bound
+	Byzantines []int   // a maximizing Byzantine worker set
+	Exact      bool    // search proved optimality within the budget
+}
+
+// AnalyzeDistortion computes the worst-case distortion of q Byzantine
+// workers on the assignment: the exact c_max(q) (branch-and-bound within
+// budget; greedy lower bound on timeout) and the spectral γ bound.
+func AnalyzeDistortion(a *Assignment, q int, budget time.Duration) (DistortionReport, error) {
+	if a == nil {
+		return DistortionReport{}, fmt.Errorf("byzshield: nil assignment")
+	}
+	if q < 0 || q > a.K {
+		return DistortionReport{}, fmt.Errorf("byzshield: q=%d out of range [0,%d]", q, a.K)
+	}
+	if budget <= 0 {
+		budget = 30 * time.Second
+	}
+	an := distort.NewAnalyzer(a)
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	res := an.MaxDistorted(ctx, q)
+	mu1, err := SpectralGap(a)
+	if err != nil {
+		return DistortionReport{}, err
+	}
+	return DistortionReport{
+		Q:          q,
+		CMax:       res.CMax,
+		Epsilon:    res.Epsilon,
+		Gamma:      distort.Gamma(q, a.L, a.R, a.K, mu1),
+		Byzantines: res.Byzantines,
+		Exact:      res.Exact,
+	}, nil
+}
+
+// SpectralGap returns µ1, the second-largest eigenvalue of the
+// normalized co-assignment matrix A·Aᵀ — the expansion quality measure
+// of Lemma 1 (1/r for the ByzShield constructions, 1 for FRC).
+func SpectralGap(a *Assignment) (float64, error) {
+	spec, err := graph.ComputeSpectrum(a.Graph, 1e-6)
+	if err != nil {
+		return 0, err
+	}
+	return spec.Mu1(), nil
+}
+
+// GammaBound returns the Claim 1 upper bound γ on c_max(q) for the
+// assignment, using its actual spectral gap.
+func GammaBound(a *Assignment, q int) (float64, error) {
+	mu1, err := SpectralGap(a)
+	if err != nil {
+		return 0, err
+	}
+	return distort.Gamma(q, a.L, a.R, a.K, mu1), nil
+}
+
+// TrainConfig assembles an in-process training run. Zero-valued fields
+// take the documented defaults.
+type TrainConfig struct {
+	Assignment *Assignment // required
+	Model      Model       // required
+	Train      *Dataset    // required
+	Test       *Dataset    // required
+	BatchSize  int         // required, ≥ number of files
+	// Q selects the worst-case Byzantine set of that size
+	// automatically; leave 0 and set Byzantines for explicit control.
+	Q          int
+	Byzantines []int
+	Attack     Attack     // default NoAttack()
+	Aggregator Aggregator // default Median()
+	Schedule   Schedule   // default (0.05, 0.96, 25)
+	Momentum   float64    // default 0.9 (set NoMomentum for 0)
+	NoMomentum bool
+	Seed       int64
+	Iterations int // default 300
+	EvalEvery  int // default 25
+	// SearchBudget bounds the worst-case Byzantine search (default 10s).
+	SearchBudget time.Duration
+}
+
+// Train runs the full protocol (Algorithm 1) in process and returns the
+// recorded history.
+func Train(cfg TrainConfig) (*History, error) {
+	if cfg.Assignment == nil {
+		return nil, fmt.Errorf("byzshield: Assignment is required")
+	}
+	byz := cfg.Byzantines
+	if len(byz) == 0 && cfg.Q > 0 {
+		budget := cfg.SearchBudget
+		if budget <= 0 {
+			budget = 10 * time.Second
+		}
+		an := distort.NewAnalyzer(cfg.Assignment)
+		ctx, cancel := context.WithTimeout(context.Background(), budget)
+		byz = an.MaxDistorted(ctx, cfg.Q).Byzantines
+		cancel()
+	}
+	agg := cfg.Aggregator
+	if agg == nil {
+		agg = Median()
+	}
+	atk := cfg.Attack
+	if atk == nil {
+		atk = NoAttack()
+	}
+	schedule := cfg.Schedule
+	if schedule.Base == 0 {
+		schedule = Schedule{Base: 0.05, Decay: 0.96, Every: 25}
+	}
+	momentum := cfg.Momentum
+	if momentum == 0 && !cfg.NoMomentum {
+		momentum = 0.9
+	}
+	iterations := cfg.Iterations
+	if iterations == 0 {
+		iterations = 300
+	}
+	evalEvery := cfg.EvalEvery
+	if evalEvery == 0 {
+		evalEvery = 25
+	}
+	eng, err := cluster.New(cluster.Config{
+		Assignment: cfg.Assignment,
+		Model:      cfg.Model,
+		Train:      cfg.Train,
+		Test:       cfg.Test,
+		BatchSize:  cfg.BatchSize,
+		Attack:     atk,
+		Byzantines: byz,
+		Aggregator: agg,
+		Schedule:   schedule,
+		Momentum:   momentum,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.CheckFeasible(); err != nil {
+		return nil, fmt.Errorf("byzshield: %w", err)
+	}
+	return eng.Run(iterations, evalEvery)
+}
+
+// SyntheticDataset generates the deterministic 10-class synthetic
+// classification dataset used throughout the experiments (the CIFAR-10
+// stand-in; see DESIGN.md) with the default class separation.
+func SyntheticDataset(train, test, dim, classes int, seed int64) (*Dataset, *Dataset, error) {
+	return data.Synthetic(data.SyntheticConfig{
+		Train: train, Test: test, Dim: dim, Classes: classes, Seed: seed,
+	})
+}
+
+// DatasetConfig gives full control over the synthetic dataset
+// (separation, noise, imbalance); see NewSyntheticDataset.
+type DatasetConfig = data.SyntheticConfig
+
+// NewSyntheticDataset generates train/test splits from a full config.
+func NewSyntheticDataset(cfg DatasetConfig) (*Dataset, *Dataset, error) {
+	return data.Synthetic(cfg)
+}
+
+// NewSoftmaxModel constructs multinomial logistic regression.
+func NewSoftmaxModel(dim, classes int) (Model, error) { return model.NewSoftmax(dim, classes) }
+
+// NewMLPModel constructs a ReLU MLP with the given layer widths
+// (input, hidden..., classes).
+func NewMLPModel(dims ...int) (Model, error) { return model.NewMLP(dims...) }
+
+// NewConvNetModel constructs a small 1-D convolutional classifier
+// (kernel-width convolution, numFilters filters, ReLU, dense softmax) —
+// the convolutional analogue of the paper's ResNet-18 workload.
+func NewConvNetModel(dim, kernel, numFilters, classes int) (Model, error) {
+	return model.NewConvNet(dim, kernel, numFilters, classes)
+}
+
+// EvaluateAccuracy returns the top-1 accuracy of a model/parameter pair.
+func EvaluateAccuracy(m Model, params []float64, ds *Dataset) float64 {
+	return model.Accuracy(m, params, ds)
+}

@@ -1,0 +1,25 @@
+package byzshield_test
+
+import (
+	"byzshield/internal/checkpoint"
+)
+
+// checkpointSave persists a training snapshot through the checkpoint
+// package (helper shared by the integration tests).
+func checkpointSave(path string, params, velocity []float64, iter int) error {
+	return checkpoint.Save(path, &checkpoint.State{
+		Params:    params,
+		Velocity:  velocity,
+		Iteration: iter,
+		Meta:      map[string]string{"suite": "integration"},
+	})
+}
+
+// checkpointLoad restores a training snapshot.
+func checkpointLoad(path string) (params, velocity []float64, iter int, err error) {
+	st, err := checkpoint.Load(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return st.Params, st.Velocity, st.Iteration, nil
+}

@@ -1,0 +1,47 @@
+// Command byzbench measures the per-iteration wall-clock split of the
+// training pipeline into computation, communication (real gob
+// serialization), and aggregation, regenerating Figure 12 of the paper
+// for baseline median, ByzShield, and DETOX-MoM under the ALIE attack.
+//
+// Usage:
+//
+//	byzbench                 # default 20 rounds per scheme
+//	byzbench -rounds 100 -dim 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"byzshield/internal/experiments"
+)
+
+func main() {
+	var (
+		rounds = flag.Int("rounds", 20, "protocol rounds to time per scheme")
+		trainN = flag.Int("train", 3000, "training-set size")
+		dim    = flag.Int("dim", 64, "feature dimension")
+		batch  = flag.Int("batch", 500, "batch size")
+		seed   = flag.Int64("seed", 42, "experiment seed")
+		budget = flag.Duration("budget", 10*time.Second, "Byzantine-set search budget")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultTrainOpts()
+	opts.TrainN = *trainN
+	opts.TestN = 200
+	opts.Dim = *dim
+	opts.BatchSize = *batch
+	opts.Seed = *seed
+	opts.SearchBudget = *budget
+
+	rows, err := experiments.Figure12(opts, *rounds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "byzbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Per-iteration time split, ALIE attack, q=3, K=25, %d rounds (Figure 12)\n\n", *rounds)
+	experiments.RenderTiming(os.Stdout, rows)
+}

@@ -1,0 +1,85 @@
+// Command byzps runs the TCP parameter server for real multi-process
+// distributed training (the repository's stand-in for the paper's
+// MPICH deployment). Start byzps first, then K byzworker processes.
+//
+// Usage:
+//
+//	byzps -listen 127.0.0.1:7077 -scheme mols -l 5 -r 3 -rounds 200
+//	byzworker -connect 127.0.0.1:7077 -id 0 &
+//	... (one byzworker per worker id 0..K-1; some may be -behavior reversed)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"byzshield/internal/aggregate"
+	"byzshield/internal/trainer"
+	"byzshield/internal/transport"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7077", "listen address")
+		scheme  = flag.String("scheme", "mols", "assignment scheme: mols, ramanujan1, ramanujan2, frc, baseline")
+		l       = flag.Int("l", 5, "computational load parameter")
+		r       = flag.Int("r", 3, "replication factor")
+		k       = flag.Int("k", 15, "cluster size (frc/baseline)")
+		rounds  = flag.Int("rounds", 100, "training rounds")
+		batch   = flag.Int("batch", 250, "batch size")
+		trainN  = flag.Int("train", 2000, "training-set size")
+		testN   = flag.Int("test", 500, "test-set size")
+		dim     = flag.Int("dim", 16, "feature dimension")
+		classes = flag.Int("classes", 10, "number of classes")
+		hidden  = flag.Int("hidden", 0, "MLP hidden width (0 = softmax)")
+		agg     = flag.String("aggregator", "median", "aggregation rule: median, mean, mom, signsgd")
+		lr      = flag.Float64("lr", 0.05, "base learning rate")
+		decay   = flag.Float64("decay", 0.96, "learning-rate decay factor")
+		every   = flag.Int("every", 25, "iterations between decays")
+		seed    = flag.Int64("seed", 42, "experiment seed")
+	)
+	flag.Parse()
+
+	var aggregator aggregate.Aggregator
+	switch *agg {
+	case "median":
+		aggregator = aggregate.Median{}
+	case "mean":
+		aggregator = aggregate.Mean{}
+	case "mom":
+		aggregator = aggregate.MedianOfMeans{Groups: 3}
+	case "signsgd":
+		aggregator = aggregate.SignSGD{}
+	default:
+		fmt.Fprintf(os.Stderr, "byzps: unknown aggregator %q\n", *agg)
+		os.Exit(2)
+	}
+
+	spec := transport.Spec{
+		Scheme: *scheme, L: *l, R: *r, K: *k,
+		TrainN: *trainN, TestN: *testN, Dim: *dim, Classes: *classes,
+		DataSeed: *seed, ClassSep: 2.0, Hidden: *hidden,
+		BatchSize: *batch,
+		Schedule:  trainer.Schedule{Base: *lr, Decay: *decay, Every: *every},
+		Momentum:  0.9, Seed: *seed, Rounds: *rounds,
+	}
+	srv, err := transport.NewServer(*listen, transport.ServerConfig{
+		Spec:       spec,
+		Aggregator: aggregator,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "byzps:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	log.Printf("parameter server listening on %s (scheme=%s, waiting for workers)", srv.Addr(), *scheme)
+	final, err := srv.Serve()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "byzps:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("final top-1 test accuracy: %.4f\n", final)
+}

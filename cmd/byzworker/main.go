@@ -1,0 +1,48 @@
+// Command byzworker is the worker-process counterpart of byzps: it
+// connects to the parameter server, computes file gradient sums for its
+// assigned files every round, and optionally behaves Byzantine.
+//
+// Usage:
+//
+//	byzworker -connect 127.0.0.1:7077 -id 0
+//	byzworker -connect 127.0.0.1:7077 -id 3 -behavior reversed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"byzshield/internal/transport"
+)
+
+func main() {
+	var (
+		connect  = flag.String("connect", "127.0.0.1:7077", "parameter server address")
+		id       = flag.Int("id", -1, "worker id (0..K-1)")
+		behavior = flag.String("behavior", "honest", "honest, reversed, constant, zero")
+		value    = flag.Float64("value", -1, "payload value for -behavior constant")
+		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+	if *id < 0 {
+		fmt.Fprintln(os.Stderr, "byzworker: -id is required")
+		os.Exit(2)
+	}
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	final, err := transport.RunWorker(*connect, transport.WorkerConfig{
+		ID:            *id,
+		Behavior:      transport.WorkerBehavior(*behavior),
+		ConstantValue: *value,
+		Logf:          logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "byzworker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("worker %d done; final accuracy %.4f\n", *id, final)
+}

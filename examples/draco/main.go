@@ -1,0 +1,79 @@
+// DRACO vs ByzShield: demonstrates the Sec. 5.3.1 contrast between the
+// exact-recovery baseline (DRACO, Chen et al. 2018) and ByzShield's
+// graceful degradation. DRACO guarantees perfect gradients only while
+// r ≥ 2q+1; past that boundary its decoder is corrupted silently, while
+// ByzShield's expander assignment caps the damage at a small ε̂ that the
+// median absorbs.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"byzshield/internal/assign"
+	"byzshield/internal/distort"
+	"byzshield/internal/draco"
+)
+
+func main() {
+	// Both systems: K = 15 workers, replication r = 3.
+	dr, err := draco.NewCyclic(15, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("DRACO cyclic code, K=15, r=3:")
+	for q := 1; q <= 4; q++ {
+		if err := dr.Feasible(q); err != nil {
+			fmt.Printf("  q=%d: NOT APPLICABLE (%v)\n", q, err)
+		} else {
+			fmt.Printf("  q=%d: exact recovery guaranteed\n", q)
+		}
+	}
+
+	// What actually happens past the boundary: the worst-case adversary
+	// corrupts decoded files.
+	fmt.Println("\nWorst-case distorted files (exhaustive search):")
+	drAn := distort.NewAnalyzer(dr.Assignment)
+	fmt.Printf("%4s %18s %18s\n", "q", "DRACO-cyclic", "ByzShield-MOLS")
+
+	molsAsn, err := assign.MOLS(5, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byzAn := distort.NewAnalyzer(molsAsn)
+	for q := 1; q <= 6; q++ {
+		drRes := drAn.MaxDistorted(context.Background(), q)
+		byzRes := byzAn.MaxDistorted(context.Background(), q)
+		fmt.Printf("%4d %10d/%2d (%.2f) %10d/%2d (%.2f)\n",
+			q,
+			drRes.CMax, dr.Assignment.F, drRes.Epsilon,
+			byzRes.CMax, molsAsn.F, byzRes.Epsilon)
+	}
+
+	// A concrete decode at q = 2 (outside DRACO's guarantee): two
+	// adjacent cyclic workers corrupt their shared files.
+	truth := make([][]float64, dr.Assignment.F)
+	for v := range truth {
+		truth[v] = []float64{float64(v), float64(2 * v)}
+	}
+	returned := make([]map[int][]float64, dr.Assignment.K)
+	byz := map[int]bool{0: true, 1: true}
+	for u := 0; u < dr.Assignment.K; u++ {
+		m := make(map[int][]float64)
+		for _, v := range dr.Assignment.WorkerFiles(u) {
+			if byz[u] {
+				m[v] = []float64{-1e9, -1e9}
+			} else {
+				m[v] = truth[v]
+			}
+		}
+		returned[u] = m
+	}
+	_, exact, err := dr.Decode(returned, truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDRACO decode with adjacent Byzantines {0,1} at q=2: exact=%v\n", exact)
+	fmt.Println("(ByzShield at q=2 distorts 1/25 files and keeps training — see examples/quickstart)")
+}

@@ -1,0 +1,74 @@
+// Training comparison: the paper's K = 25 cluster under the ALIE attack
+// with three defenses — ByzShield (Ramanujan Case 2 + median), the
+// un-replicated coordinate-wise median baseline, and DETOX (FRC + vote +
+// median-of-means) — reproducing the shape of Figure 2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"byzshield"
+)
+
+func main() {
+	const q = 5 // Byzantine workers (of K = 25)
+
+	// A task hard enough that defenses separate: clean training reaches
+	// ≈0.75; ALIE's bias costs the weaker defenses 10–20 points. The
+	// model is a ReLU MLP — for pure softmax, ALIE's uniform
+	// per-coordinate shift is argmax-invariant and nearly harmless.
+	train, test, err := byzshield.NewSyntheticDataset(byzshield.DatasetConfig{
+		Train: 3000, Test: 1000, Dim: 24, Classes: 10, ClassSep: 0.5, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type runDef struct {
+		name string
+		asn  func() (*byzshield.Assignment, error)
+		agg  byzshield.Aggregator
+	}
+	runs := []runDef{
+		{"ByzShield (Ram2 + median)", func() (*byzshield.Assignment, error) { return byzshield.NewRamanujan2(5, 5) }, byzshield.Median()},
+		{"Baseline median", func() (*byzshield.Assignment, error) { return byzshield.NewBaseline(25) }, byzshield.Median()},
+		{"DETOX (FRC + MoM)", func() (*byzshield.Assignment, error) { return byzshield.NewFRC(25, 5) }, byzshield.MedianOfMeans(5)},
+	}
+
+	for _, r := range runs {
+		asn, err := r.asn()
+		if err != nil {
+			log.Fatal(err)
+		}
+		mdl, err := byzshield.NewMLPModel(24, 24, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		history, err := byzshield.Train(byzshield.TrainConfig{
+			Assignment: asn,
+			Model:      mdl,
+			Train:      train,
+			Test:       test,
+			BatchSize:  500,
+			Q:          q,
+			Attack:     byzshield.ALIE(),
+			Aggregator: r.agg,
+			Iterations: 250,
+			EvalEvery:  50,
+			Seed:       11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s", r.name)
+		for _, p := range history.Points {
+			fmt.Printf("  %d:%.3f", p.Iteration, p.Accuracy)
+		}
+		fmt.Printf("  (final %.3f)\n", history.FinalAccuracy())
+	}
+	fmt.Println("\nExpected shape (paper Fig. 2): ByzShield's small ε̂ (0.08) keeps it near")
+	fmt.Println("attack-free accuracy while the baseline median (ε̂=0.20) decays under ALIE.")
+	fmt.Println("DETOX's larger ε̂ penalty becomes catastrophic at q=9 — run")
+	fmt.Println("`go run ./cmd/byztrain -figure 6` for its collapse to chance accuracy.")
+}

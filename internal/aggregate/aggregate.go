@@ -1,0 +1,365 @@
+// Package aggregate implements the gradient aggregation rules evaluated
+// in the paper: ByzShield's coordinate-wise median, plus the baselines —
+// mean, trimmed mean, median-of-means (Minsker 2015), Krum and
+// Multi-Krum (Blanchard et al. 2017 / Damaskinos et al. 2019), Bulyan
+// (El Mhamdi et al. 2018), signSGD with majority vote (Bernstein et al.
+// 2019), geometric median (Weiszfeld), and Auror (Shen et al. 2016).
+//
+// Every rule implements Aggregator. Rules that are only valid when the
+// number of adversarial inputs is small enough (Multi-Krum needs
+// n ≥ 2c+3, Bulyan n ≥ 4c+3) expose the precondition through Feasible,
+// mirroring the applicability limits the paper runs into in Sec. 6
+// ("Bulyan cannot be paired with DETOX for q ≥ 1 ...").
+package aggregate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"byzshield/internal/linalg"
+)
+
+// Aggregator combines a set of gradient vectors into one update vector.
+type Aggregator interface {
+	// Aggregate reduces the vectors to a single vector. All inputs have
+	// equal dimension; implementations must not modify them.
+	Aggregate(grads [][]float64) ([]float64, error)
+	// Name returns a stable identifier used in experiment reports.
+	Name() string
+}
+
+// ByzAware is implemented by aggregators whose validity depends on the
+// assumed number of corrupted inputs.
+type ByzAware interface {
+	// Feasible reports whether the rule is applicable with n total
+	// inputs of which c may be corrupted.
+	Feasible(n, c int) error
+}
+
+// Mean is plain averaging — provably non-robust (a single Byzantine
+// worker controls the output; Blanchard et al. 2017).
+type Mean struct{}
+
+// Name implements Aggregator.
+func (Mean) Name() string { return "mean" }
+
+// Aggregate implements Aggregator.
+func (Mean) Aggregate(grads [][]float64) ([]float64, error) {
+	if len(grads) == 0 {
+		return nil, fmt.Errorf("aggregate: mean of zero gradients")
+	}
+	return linalg.MeanVec(grads), nil
+}
+
+// Median is the coordinate-wise median — ByzShield's default second
+// stage (applied to the f majority-vote winners).
+type Median struct{}
+
+// Name implements Aggregator.
+func (Median) Name() string { return "median" }
+
+// Aggregate implements Aggregator.
+func (Median) Aggregate(grads [][]float64) ([]float64, error) {
+	if len(grads) == 0 {
+		return nil, fmt.Errorf("aggregate: median of zero gradients")
+	}
+	return linalg.MedianVec(grads), nil
+}
+
+// TrimmedMean removes the Trim largest and Trim smallest values per
+// coordinate and averages the rest (mean-around-median family; Yin et
+// al. 2018, Xie et al. 2018).
+type TrimmedMean struct {
+	Trim int
+}
+
+// Name implements Aggregator.
+func (t TrimmedMean) Name() string { return fmt.Sprintf("trimmed-mean(%d)", t.Trim) }
+
+// Feasible implements ByzAware: need n > 2·Trim and Trim ≥ c.
+func (t TrimmedMean) Feasible(n, c int) error {
+	if t.Trim < c {
+		return fmt.Errorf("aggregate: trimmed mean trims %d < %d possible corruptions", t.Trim, c)
+	}
+	if n <= 2*t.Trim {
+		return fmt.Errorf("aggregate: trimmed mean needs n > 2·trim, got n=%d trim=%d", n, t.Trim)
+	}
+	return nil
+}
+
+// Aggregate implements Aggregator.
+func (t TrimmedMean) Aggregate(grads [][]float64) ([]float64, error) {
+	n := len(grads)
+	if n == 0 {
+		return nil, fmt.Errorf("aggregate: trimmed mean of zero gradients")
+	}
+	if n <= 2*t.Trim {
+		return nil, fmt.Errorf("aggregate: trimmed mean needs n > 2·trim, got n=%d trim=%d", n, t.Trim)
+	}
+	d := len(grads[0])
+	out := make([]float64, d)
+	col := make([]float64, n)
+	for i := 0; i < d; i++ {
+		for j, g := range grads {
+			col[j] = g[i]
+		}
+		out[i] = linalg.TrimmedMeanOf(col, t.Trim)
+	}
+	return out, nil
+}
+
+// MedianOfMeans splits the inputs into Groups contiguous groups,
+// averages within each group and takes the coordinate-wise median of
+// the group means (Minsker 2015; DETOX's default second stage).
+type MedianOfMeans struct {
+	Groups int
+}
+
+// Name implements Aggregator.
+func (m MedianOfMeans) Name() string { return fmt.Sprintf("median-of-means(%d)", m.Groups) }
+
+// Aggregate implements Aggregator.
+func (m MedianOfMeans) Aggregate(grads [][]float64) ([]float64, error) {
+	n := len(grads)
+	if n == 0 {
+		return nil, fmt.Errorf("aggregate: median-of-means of zero gradients")
+	}
+	g := m.Groups
+	if g <= 0 || g > n {
+		return nil, fmt.Errorf("aggregate: median-of-means needs 1 <= groups <= n, got groups=%d n=%d", g, n)
+	}
+	means := make([][]float64, 0, g)
+	for start := 0; start < n; {
+		// Distribute remainders evenly: ceil-sized prefix groups.
+		size := (n - start + (g - len(means) - 1)) / (g - len(means))
+		means = append(means, linalg.MeanVec(grads[start:start+size]))
+		start += size
+	}
+	return linalg.MedianVec(means), nil
+}
+
+// SignSGD reduces each input to its coordinate-wise sign and outputs the
+// majority sign per coordinate (±1, or 0 on ties), as in signSGD with
+// majority vote. The trainer applies the learning rate to the sign
+// vector directly.
+type SignSGD struct{}
+
+// Name implements Aggregator.
+func (SignSGD) Name() string { return "signsgd" }
+
+// Aggregate implements Aggregator.
+func (SignSGD) Aggregate(grads [][]float64) ([]float64, error) {
+	n := len(grads)
+	if n == 0 {
+		return nil, fmt.Errorf("aggregate: signSGD of zero gradients")
+	}
+	d := len(grads[0])
+	out := make([]float64, d)
+	for i := 0; i < d; i++ {
+		pos, neg := 0, 0
+		for _, g := range grads {
+			switch {
+			case g[i] > 0:
+				pos++
+			case g[i] < 0:
+				neg++
+			}
+		}
+		switch {
+		case pos > neg:
+			out[i] = 1
+		case neg > pos:
+			out[i] = -1
+		}
+	}
+	return out, nil
+}
+
+// GeometricMedian computes the vector minimizing the sum of Euclidean
+// distances to the inputs using Weiszfeld's algorithm (Chen et al. 2017
+// use the geometric median of means; this is the core primitive).
+type GeometricMedian struct {
+	// MaxIter bounds the Weiszfeld iterations (default 100).
+	MaxIter int
+	// Tol is the convergence threshold on the iterate movement
+	// (default 1e-10).
+	Tol float64
+}
+
+// Name implements Aggregator.
+func (GeometricMedian) Name() string { return "geometric-median" }
+
+// Aggregate implements Aggregator.
+func (g GeometricMedian) Aggregate(grads [][]float64) ([]float64, error) {
+	n := len(grads)
+	if n == 0 {
+		return nil, fmt.Errorf("aggregate: geometric median of zero gradients")
+	}
+	maxIter := g.MaxIter
+	if maxIter == 0 {
+		maxIter = 100
+	}
+	tol := g.Tol
+	if tol == 0 {
+		tol = 1e-10
+	}
+	cur := linalg.MeanVec(grads)
+	for iter := 0; iter < maxIter; iter++ {
+		var wsum float64
+		next := make([]float64, len(cur))
+		coincident := false
+		for _, p := range grads {
+			dist := linalg.Dist2(cur, p)
+			if dist < 1e-15 {
+				// Iterate sits on a data point; Weiszfeld's update is
+				// undefined — accept the point (it is a valid medianoid).
+				coincident = true
+				break
+			}
+			w := 1 / dist
+			wsum += w
+			linalg.AxpyInPlace(next, w, p)
+		}
+		if coincident {
+			break
+		}
+		linalg.ScaleInPlace(next, 1/wsum)
+		if linalg.Dist2(next, cur) < tol {
+			cur = next
+			break
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// MeanAroundMedian averages, per coordinate, the Near values closest to
+// the coordinate median (the "mean-around-median" rule of Xie et al.
+// 2018 — distinct from TrimmedMean, which trims by rank from both ends
+// rather than by distance to the median).
+type MeanAroundMedian struct {
+	// Near is the number of closest-to-median values averaged; 0 means
+	// ⌈n/2⌉.
+	Near int
+}
+
+// Name implements Aggregator.
+func (m MeanAroundMedian) Name() string { return fmt.Sprintf("mean-around-median(%d)", m.Near) }
+
+// Aggregate implements Aggregator.
+func (m MeanAroundMedian) Aggregate(grads [][]float64) ([]float64, error) {
+	n := len(grads)
+	if n == 0 {
+		return nil, fmt.Errorf("aggregate: mean-around-median of zero gradients")
+	}
+	near := m.Near
+	if near <= 0 {
+		near = (n + 1) / 2
+	}
+	if near > n {
+		near = n
+	}
+	d := len(grads[0])
+	out := make([]float64, d)
+	col := make([]float64, n)
+	type valDist struct{ v, dist float64 }
+	vd := make([]valDist, n)
+	for i := 0; i < d; i++ {
+		for j, g := range grads {
+			col[j] = g[i]
+		}
+		med := linalg.MedianOf(col)
+		for j, v := range col {
+			diff := v - med
+			if diff < 0 {
+				diff = -diff
+			}
+			vd[j] = valDist{v: v, dist: diff}
+		}
+		sort.Slice(vd, func(a, b int) bool { return vd[a].dist < vd[b].dist })
+		var s float64
+		for _, e := range vd[:near] {
+			s += e.v
+		}
+		out[i] = s / float64(near)
+	}
+	return out, nil
+}
+
+// Auror partitions each coordinate's values into two clusters with 1-D
+// 2-means; when the cluster centers are farther apart than Threshold,
+// the smaller cluster is discarded and the larger one is averaged
+// (Shen et al. 2016).
+type Auror struct {
+	// Threshold is the minimum center separation that triggers
+	// discarding the minority cluster. Zero means always discard.
+	Threshold float64
+}
+
+// Name implements Aggregator.
+func (Auror) Name() string { return "auror" }
+
+// Aggregate implements Aggregator.
+func (a Auror) Aggregate(grads [][]float64) ([]float64, error) {
+	n := len(grads)
+	if n == 0 {
+		return nil, fmt.Errorf("aggregate: auror of zero gradients")
+	}
+	d := len(grads[0])
+	out := make([]float64, d)
+	col := make([]float64, n)
+	for i := 0; i < d; i++ {
+		for j, g := range grads {
+			col[j] = g[i]
+		}
+		out[i] = aurorCoordinate(col, a.Threshold)
+	}
+	return out, nil
+}
+
+// aurorCoordinate runs 1-D 2-means on xs and returns the average of the
+// majority cluster when centers are separated by more than threshold,
+// else the average of everything.
+func aurorCoordinate(xs []float64, threshold float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	// Optimal 1-D 2-means is a split point in sorted order: choose the
+	// split minimizing within-cluster sum of squares via prefix sums.
+	prefix := make([]float64, n+1)
+	prefixSq := make([]float64, n+1)
+	for i, v := range sorted {
+		prefix[i+1] = prefix[i] + v
+		prefixSq[i+1] = prefixSq[i] + v*v
+	}
+	sse := func(lo, hi int) float64 { // [lo, hi)
+		cnt := float64(hi - lo)
+		if cnt == 0 {
+			return 0
+		}
+		sum := prefix[hi] - prefix[lo]
+		sq := prefixSq[hi] - prefixSq[lo]
+		return sq - sum*sum/cnt
+	}
+	bestSplit, bestCost := 1, math.Inf(1)
+	for s := 1; s < n; s++ {
+		if c := sse(0, s) + sse(s, n); c < bestCost {
+			bestCost = c
+			bestSplit = s
+		}
+	}
+	loMean := (prefix[bestSplit] - prefix[0]) / float64(bestSplit)
+	hiMean := (prefix[n] - prefix[bestSplit]) / float64(n-bestSplit)
+	if math.Abs(hiMean-loMean) > threshold {
+		// Discard the smaller cluster.
+		if bestSplit >= n-bestSplit {
+			return loMean
+		}
+		return hiMean
+	}
+	return prefix[n] / float64(n)
+}

@@ -1,0 +1,213 @@
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+
+	"byzshield/internal/linalg"
+)
+
+// Krum selects the single input vector whose sum of squared distances to
+// its n−c−2 nearest neighbors is smallest (Blanchard et al. 2017). C is
+// the assumed number of corrupted inputs.
+type Krum struct {
+	C int
+}
+
+// Name implements Aggregator.
+func (k Krum) Name() string { return fmt.Sprintf("krum(c=%d)", k.C) }
+
+// Feasible implements ByzAware: Krum requires n ≥ 2c + 3.
+func (k Krum) Feasible(n, c int) error {
+	if k.C < c {
+		return fmt.Errorf("aggregate: krum configured for c=%d < %d possible corruptions", k.C, c)
+	}
+	if n < 2*k.C+3 {
+		return fmt.Errorf("aggregate: krum needs n >= 2c+3 = %d, got n=%d", 2*k.C+3, n)
+	}
+	return nil
+}
+
+// Aggregate implements Aggregator.
+func (k Krum) Aggregate(grads [][]float64) ([]float64, error) {
+	scores, err := krumScores(grads, k.C)
+	if err != nil {
+		return nil, err
+	}
+	return linalg.CloneVec(grads[linalg.ArgMin(scores)]), nil
+}
+
+// MultiKrum averages the M inputs with the best Krum scores
+// (Damaskinos et al. 2019). C is the assumed number of corruptions.
+type MultiKrum struct {
+	C int
+	M int // number of selected gradients; 0 means n − C − 2
+}
+
+// Name implements Aggregator.
+func (k MultiKrum) Name() string { return fmt.Sprintf("multi-krum(c=%d,m=%d)", k.C, k.M) }
+
+// Feasible implements ByzAware.
+func (k MultiKrum) Feasible(n, c int) error {
+	return Krum{C: k.C}.Feasible(n, c)
+}
+
+// Aggregate implements Aggregator.
+func (k MultiKrum) Aggregate(grads [][]float64) ([]float64, error) {
+	scores, err := krumScores(grads, k.C)
+	if err != nil {
+		return nil, err
+	}
+	n := len(grads)
+	m := k.M
+	if m == 0 {
+		m = n - k.C - 2
+	}
+	if m < 1 {
+		m = 1
+	}
+	if m > n {
+		m = n
+	}
+	order := argsort(scores)
+	selected := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		selected[i] = grads[order[i]]
+	}
+	return linalg.MeanVec(selected), nil
+}
+
+// krumScores returns, for each input, the sum of squared distances to
+// its n−c−2 nearest neighbors (excluding itself).
+func krumScores(grads [][]float64, c int) ([]float64, error) {
+	n := len(grads)
+	if n == 0 {
+		return nil, fmt.Errorf("aggregate: krum of zero gradients")
+	}
+	if n < 2*c+3 {
+		return nil, fmt.Errorf("aggregate: krum needs n >= 2c+3 = %d, got n=%d", 2*c+3, n)
+	}
+	// Pairwise squared distances.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := linalg.SqDist2(grads[i], grads[j])
+			dist[i][j] = d
+			dist[j][i] = d
+		}
+	}
+	nn := n - c - 2 // neighbors counted per candidate
+	if nn < 1 {
+		nn = 1
+	}
+	scores := make([]float64, n)
+	row := make([]float64, 0, n-1)
+	for i := 0; i < n; i++ {
+		row = row[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				row = append(row, dist[i][j])
+			}
+		}
+		sort.Float64s(row)
+		var s float64
+		for _, d := range row[:nn] {
+			s += d
+		}
+		scores[i] = s
+	}
+	return scores, nil
+}
+
+// Bulyan runs iterated Krum selection to build a set of θ = n − 2c
+// candidates, then applies a per-coordinate trimmed aggregation: the
+// β = θ − 2c values closest to the coordinate median are averaged
+// (El Mhamdi et al. 2018).
+type Bulyan struct {
+	C int
+}
+
+// Name implements Aggregator.
+func (b Bulyan) Name() string { return fmt.Sprintf("bulyan(c=%d)", b.C) }
+
+// Feasible implements ByzAware: Bulyan requires n ≥ 4c + 3.
+func (b Bulyan) Feasible(n, c int) error {
+	if b.C < c {
+		return fmt.Errorf("aggregate: bulyan configured for c=%d < %d possible corruptions", b.C, c)
+	}
+	if n < 4*b.C+3 {
+		return fmt.Errorf("aggregate: bulyan needs n >= 4c+3 = %d, got n=%d", 4*b.C+3, n)
+	}
+	return nil
+}
+
+// Aggregate implements Aggregator.
+func (b Bulyan) Aggregate(grads [][]float64) ([]float64, error) {
+	n := len(grads)
+	if n < 4*b.C+3 {
+		return nil, fmt.Errorf("aggregate: bulyan needs n >= 4c+3 = %d, got n=%d", 4*b.C+3, n)
+	}
+	theta := n - 2*b.C
+	remaining := make([][]float64, n)
+	copy(remaining, grads)
+	selected := make([][]float64, 0, theta)
+	for len(selected) < theta {
+		scores, err := krumScores(remaining, b.C)
+		if err != nil {
+			// Fewer vectors than Krum's requirement remain: take the rest.
+			selected = append(selected, remaining...)
+			break
+		}
+		best := linalg.ArgMin(scores)
+		selected = append(selected, remaining[best])
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	if len(selected) > theta {
+		selected = selected[:theta]
+	}
+	// Trimmed aggregation around the median.
+	beta := theta - 2*b.C
+	if beta < 1 {
+		beta = 1
+	}
+	d := len(selected[0])
+	out := make([]float64, d)
+	col := make([]float64, len(selected))
+	type valDist struct {
+		v, dist float64
+	}
+	for i := 0; i < d; i++ {
+		for j, g := range selected {
+			col[j] = g[i]
+		}
+		med := linalg.MedianOf(col)
+		vd := make([]valDist, len(col))
+		for j, v := range col {
+			diff := v - med
+			if diff < 0 {
+				diff = -diff
+			}
+			vd[j] = valDist{v: v, dist: diff}
+		}
+		sort.Slice(vd, func(a, c int) bool { return vd[a].dist < vd[c].dist })
+		var s float64
+		for _, e := range vd[:beta] {
+			s += e.v
+		}
+		out[i] = s / float64(beta)
+	}
+	return out, nil
+}
+
+// argsort returns indices ordering xs ascending (stable).
+func argsort(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	return idx
+}

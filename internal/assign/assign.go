@@ -1,0 +1,246 @@
+// Package assign implements ByzShield's redundant task-assignment
+// schemes (Sec. 4 of the paper) plus the baselines it is compared
+// against. Every scheme produces an Assignment: a biregular bipartite
+// graph between K workers and f files where each worker holds l files
+// and each file is replicated on r workers.
+//
+// Schemes:
+//
+//   - MOLS (Sec. 4.1, Algorithm 2): K = r·l workers, f = l² files, built
+//     from r mutually orthogonal Latin squares of prime-power degree l.
+//   - Ramanujan Case 1 (Sec. 4.2, m < s): K = m·s workers, f = s² files,
+//     H = Bᵀ of the array-code block matrix; (l, r) = (s, m).
+//   - Ramanujan Case 2 (Sec. 4.2, m ≥ s): K = s² workers, f = m·s files,
+//     H = B; (l, r) = (m, s).
+//   - FRC (DETOX/DRACO grouping, Sec. 5.3.1): K/r groups of r clones.
+//   - Baseline: f = K, r = 1, no redundancy.
+//   - Random: r distinct workers drawn per file (used for ablations).
+package assign
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"byzshield/internal/graph"
+)
+
+// Scheme identifies an assignment construction.
+type Scheme string
+
+// Scheme names.
+const (
+	SchemeMOLS       Scheme = "mols"
+	SchemeRamanujan1 Scheme = "ramanujan1"
+	SchemeRamanujan2 Scheme = "ramanujan2"
+	SchemeFRC        Scheme = "frc"
+	SchemeBaseline   Scheme = "baseline"
+	SchemeRandom     Scheme = "random"
+)
+
+// Assignment is a concrete worker–file placement: the bipartite graph G
+// of the paper together with its parameters.
+type Assignment struct {
+	Scheme Scheme
+	K      int // number of workers
+	F      int // number of files
+	L      int // computational load: files per worker
+	R      int // replication factor: workers per file
+	Graph  *graph.Bipartite
+}
+
+// WorkerFiles returns the files assigned to worker u (N(U_u)).
+func (a *Assignment) WorkerFiles(u int) []int { return a.Graph.NeighborsOfLeft(u) }
+
+// FileWorkers returns the workers holding file v (N(B_v)).
+func (a *Assignment) FileWorkers(v int) []int { return a.Graph.NeighborsOfRight(v) }
+
+// Validate checks the structural invariants shared by all schemes:
+// consistent K/F with the graph, biregularity with degrees (l, r), and
+// the edge-count identity K·l == f·r.
+func (a *Assignment) Validate() error {
+	if a.Graph.Left() != a.K {
+		return fmt.Errorf("assign: graph has %d left nodes, want K=%d", a.Graph.Left(), a.K)
+	}
+	if a.Graph.Right() != a.F {
+		return fmt.Errorf("assign: graph has %d right nodes, want f=%d", a.Graph.Right(), a.F)
+	}
+	dL, dR, ok := a.Graph.Biregular()
+	if !ok {
+		return fmt.Errorf("assign: graph is not biregular")
+	}
+	if dL != a.L {
+		return fmt.Errorf("assign: left degree %d, want l=%d", dL, a.L)
+	}
+	if dR != a.R {
+		return fmt.Errorf("assign: right degree %d, want r=%d", dR, a.R)
+	}
+	if a.K*a.L != a.F*a.R {
+		return fmt.Errorf("assign: K·l=%d != f·r=%d", a.K*a.L, a.F*a.R)
+	}
+	return nil
+}
+
+// ReplicaGroups partitions workers into the r parallel classes used by
+// the MOLS and Ramanujan constructions: class k contains workers
+// k·l .. k·l+l−1 and holds exactly one replica of every file. For FRC it
+// returns the K/r groups of clones instead. For schemes without that
+// structure it returns nil.
+func (a *Assignment) ReplicaGroups() [][]int {
+	switch a.Scheme {
+	case SchemeMOLS, SchemeRamanujan1:
+		groups := make([][]int, a.R)
+		for k := 0; k < a.R; k++ {
+			cls := make([]int, a.L)
+			for s := 0; s < a.L; s++ {
+				cls[s] = k*a.L + s
+			}
+			groups[k] = cls
+		}
+		return groups
+	case SchemeFRC:
+		n := a.K / a.R
+		groups := make([][]int, n)
+		for gi := 0; gi < n; gi++ {
+			grp := make([]int, a.R)
+			for j := 0; j < a.R; j++ {
+				grp[j] = gi*a.R + j
+			}
+			groups[gi] = grp
+		}
+		return groups
+	default:
+		return nil
+	}
+}
+
+// SharedFiles returns the files assigned to both workers u and w.
+func (a *Assignment) SharedFiles(u, w int) []int {
+	fu := a.Graph.NeighborsOfLeft(u)
+	fw := a.Graph.NeighborsOfLeft(w)
+	set := make(map[int]bool, len(fu))
+	for _, v := range fu {
+		set[v] = true
+	}
+	var out []int
+	for _, v := range fw {
+		if set[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String summarizes the assignment parameters.
+func (a *Assignment) String() string {
+	return fmt.Sprintf("%s(K=%d, f=%d, l=%d, r=%d)", a.Scheme, a.K, a.F, a.L, a.R)
+}
+
+// Baseline builds the no-redundancy assignment: K workers, f = K files,
+// worker i holds exactly file i. This models the conventional setup
+// whose distortion fraction is ε̂ = q/K (Sec. 5.3).
+func Baseline(k int) (*Assignment, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("assign: baseline needs K >= 1, got %d", k)
+	}
+	g := graph.NewBipartite(k, k)
+	for i := 0; i < k; i++ {
+		g.MustAddEdge(i, i)
+	}
+	a := &Assignment{Scheme: SchemeBaseline, K: k, F: k, L: 1, R: 1, Graph: g}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// FRC builds the Fractional Repetition Code grouping used by DRACO and
+// DETOX: K workers split into K/r groups; all r workers of group i are
+// clones responsible for the single file i. Requires r | K and odd r for
+// untied majority votes (the vote layer enforces oddness; here we only
+// require divisibility).
+func FRC(k, r int) (*Assignment, error) {
+	if r < 1 || k < 1 {
+		return nil, fmt.Errorf("assign: FRC needs K,r >= 1, got K=%d r=%d", k, r)
+	}
+	if k%r != 0 {
+		return nil, fmt.Errorf("assign: FRC needs r | K, got K=%d r=%d", k, r)
+	}
+	f := k / r
+	g := graph.NewBipartite(k, f)
+	for i := 0; i < f; i++ {
+		for j := 0; j < r; j++ {
+			g.MustAddEdge(i*r+j, i)
+		}
+	}
+	a := &Assignment{Scheme: SchemeFRC, K: k, F: f, L: 1, R: r, Graph: g}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Random builds an r-replicated assignment by placing each file on r
+// distinct workers chosen uniformly (without the expander structure).
+// It retries until the realized graph is biregular with left degree
+// f*r/K, which requires K | f·r; used as an ablation contrast for the
+// structured schemes. The rng must be non-nil.
+func Random(k, f, r int, rng *rand.Rand) (*Assignment, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("assign: Random requires a rand source")
+	}
+	if r < 1 || r > k {
+		return nil, fmt.Errorf("assign: Random needs 1 <= r <= K, got r=%d K=%d", r, k)
+	}
+	if (f*r)%k != 0 {
+		return nil, fmt.Errorf("assign: Random needs K | f·r for biregularity, got K=%d f=%d r=%d", k, f, r)
+	}
+	l := f * r / k
+	const maxAttempts = 10000
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		g, ok := tryRandomBiregular(k, f, r, l, rng)
+		if !ok {
+			continue
+		}
+		a := &Assignment{Scheme: SchemeRandom, K: k, F: f, L: l, R: r, Graph: g}
+		if err := a.Validate(); err != nil {
+			continue
+		}
+		return a, nil
+	}
+	return nil, fmt.Errorf("assign: Random failed to build biregular graph for K=%d f=%d r=%d", k, f, r)
+}
+
+// tryRandomBiregular attempts one randomized construction: files are
+// processed in order, each drawing r distinct workers with remaining
+// capacity, preferring the least-loaded to keep the left side balanced.
+func tryRandomBiregular(k, f, r, l int, rng *rand.Rand) (*graph.Bipartite, bool) {
+	g := graph.NewBipartite(k, f)
+	load := make([]int, k)
+	for v := 0; v < f; v++ {
+		// Candidates sorted by load with random tiebreak.
+		cand := make([]int, k)
+		for i := range cand {
+			cand[i] = i
+		}
+		rng.Shuffle(k, func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+		sort.SliceStable(cand, func(i, j int) bool { return load[cand[i]] < load[cand[j]] })
+		placed := 0
+		for _, u := range cand {
+			if load[u] >= l {
+				continue
+			}
+			g.MustAddEdge(u, v)
+			load[u]++
+			placed++
+			if placed == r {
+				break
+			}
+		}
+		if placed < r {
+			return nil, false
+		}
+	}
+	return g, true
+}

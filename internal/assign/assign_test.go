@@ -1,0 +1,366 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBaseline(t *testing.T) {
+	a, err := Baseline(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != 10 || a.F != 10 || a.L != 1 || a.R != 1 {
+		t.Errorf("Baseline params: %v", a)
+	}
+	for i := 0; i < 10; i++ {
+		fs := a.WorkerFiles(i)
+		if len(fs) != 1 || fs[0] != i {
+			t.Errorf("worker %d files = %v, want [%d]", i, fs, i)
+		}
+	}
+	if _, err := Baseline(0); err == nil {
+		t.Error("Baseline(0) accepted")
+	}
+}
+
+func TestFRC(t *testing.T) {
+	a, err := FRC(15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != 15 || a.F != 5 || a.L != 1 || a.R != 3 {
+		t.Errorf("FRC params: %v", a)
+	}
+	// Group i = workers {3i, 3i+1, 3i+2}, all clones of file i.
+	for i := 0; i < 5; i++ {
+		ws := a.FileWorkers(i)
+		if len(ws) != 3 {
+			t.Fatalf("file %d workers = %v", i, ws)
+		}
+		for j, w := range ws {
+			if w != i*3+j {
+				t.Errorf("file %d workers = %v", i, ws)
+			}
+		}
+	}
+	groups := a.ReplicaGroups()
+	if len(groups) != 5 || len(groups[0]) != 3 || groups[4][2] != 14 {
+		t.Errorf("ReplicaGroups = %v", groups)
+	}
+	if _, err := FRC(10, 3); err == nil {
+		t.Error("FRC with r∤K accepted")
+	}
+}
+
+func TestMOLSExample1Table2(t *testing.T) {
+	// Paper Example 1 / Table 2: l=5, r=3 → K=15 workers, 25 files.
+	a, err := MOLS(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != 15 || a.F != 25 || a.L != 5 || a.R != 3 {
+		t.Fatalf("MOLS(5,3) params: %v", a)
+	}
+	want := [][]int{
+		{0, 9, 13, 17, 21}, // U0
+		{1, 5, 14, 18, 22}, // U1
+		{2, 6, 10, 19, 23}, // U2
+		{3, 7, 11, 15, 24}, // U3
+		{4, 8, 12, 16, 20}, // U4
+		{0, 8, 11, 19, 22}, // U5
+		{1, 9, 12, 15, 23}, // U6
+		{2, 5, 13, 16, 24}, // U7
+		{3, 6, 14, 17, 20}, // U8
+		{4, 7, 10, 18, 21}, // U9
+		{0, 7, 14, 16, 23}, // U10
+		{1, 8, 10, 17, 24}, // U11
+		{2, 9, 11, 18, 20}, // U12
+		{3, 5, 12, 19, 21}, // U13
+		{4, 6, 13, 15, 22}, // U14
+	}
+	for u, wantFiles := range want {
+		got := a.WorkerFiles(u)
+		if len(got) != len(wantFiles) {
+			t.Fatalf("U%d files = %v, want %v", u, got, wantFiles)
+		}
+		for i := range wantFiles {
+			if got[i] != wantFiles[i] {
+				t.Fatalf("U%d files = %v, want %v", u, got, wantFiles)
+			}
+		}
+	}
+}
+
+// TestMOLSIntersections verifies the structural law from Sec. 4.1.2:
+// workers from the same Latin square share no files; workers from
+// different squares share exactly one.
+func TestMOLSIntersections(t *testing.T) {
+	for _, params := range [][2]int{{5, 3}, {7, 3}, {7, 5}, {8, 3}, {9, 4}, {11, 3}} {
+		l, r := params[0], params[1]
+		a, err := MOLS(l, r)
+		if err != nil {
+			t.Fatalf("MOLS(%d,%d): %v", l, r, err)
+		}
+		for u := 0; u < a.K; u++ {
+			for w := u + 1; w < a.K; w++ {
+				shared := len(a.SharedFiles(u, w))
+				sameSquare := u/l == w/l
+				if sameSquare && shared != 0 {
+					t.Errorf("MOLS(%d,%d): same-square workers %d,%d share %d files", l, r, u, w, shared)
+				}
+				if !sameSquare && shared != 1 {
+					t.Errorf("MOLS(%d,%d): cross-square workers %d,%d share %d files, want 1", l, r, u, w, shared)
+				}
+			}
+		}
+	}
+}
+
+func TestMOLSReplicaGroupsCoverAllFiles(t *testing.T) {
+	a, err := MOLS(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := a.ReplicaGroups()
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(groups))
+	}
+	for gi, grp := range groups {
+		seen := make(map[int]bool)
+		for _, u := range grp {
+			for _, v := range a.WorkerFiles(u) {
+				if seen[v] {
+					t.Errorf("group %d holds file %d twice", gi, v)
+				}
+				seen[v] = true
+			}
+		}
+		if len(seen) != a.F {
+			t.Errorf("group %d covers %d files, want %d", gi, len(seen), a.F)
+		}
+	}
+}
+
+func TestMOLSRejectsBadParams(t *testing.T) {
+	cases := [][2]int{{6, 3}, {5, 1}, {5, 5}, {5, 6}, {10, 2}}
+	for _, c := range cases {
+		if _, err := MOLS(c[0], c[1]); err == nil {
+			t.Errorf("MOLS(%d,%d) accepted", c[0], c[1])
+		}
+	}
+}
+
+func TestMOLSPrimePowerDegree(t *testing.T) {
+	// l = 9 = 3² exercises the extension-field path end to end.
+	a, err := MOLS(9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != 36 || a.F != 81 || a.L != 9 || a.R != 4 {
+		t.Errorf("MOLS(9,4) params: %v", a)
+	}
+	if err := a.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRamanujan1Params(t *testing.T) {
+	a, err := Ramanujan1(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != 15 || a.F != 25 || a.L != 5 || a.R != 3 {
+		t.Errorf("Ramanujan1(5,3) params: %v", a)
+	}
+	if err := a.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRamanujan2Params(t *testing.T) {
+	// The paper's K=25 cluster: (m, s) = (5, 5).
+	a, err := Ramanujan2(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != 25 || a.F != 25 || a.L != 5 || a.R != 5 {
+		t.Errorf("Ramanujan2(5,5) params: %v", a)
+	}
+	// m = 10, s = 5: K = 25 workers, f = 50 files, l = 10, r = 5.
+	a2, err := Ramanujan2(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.K != 25 || a2.F != 50 || a2.L != 10 || a2.R != 5 {
+		t.Errorf("Ramanujan2(5,10) params: %v", a2)
+	}
+}
+
+func TestRamanujanRejectsBadParams(t *testing.T) {
+	if _, err := Ramanujan1(6, 3); err == nil {
+		t.Error("composite s accepted")
+	}
+	if _, err := Ramanujan1(5, 5); err == nil {
+		t.Error("m >= s accepted for Case 1")
+	}
+	if _, err := Ramanujan1(5, 1); err == nil {
+		t.Error("m < 2 accepted for Case 1")
+	}
+	if _, err := Ramanujan2(5, 3); err == nil {
+		t.Error("m < s accepted for Case 2")
+	}
+	if _, err := Ramanujan2(5, 7); err == nil {
+		t.Error("s∤m accepted for Case 2")
+	}
+}
+
+func TestRamanujanBlockStructure(t *testing.T) {
+	// Block (a,b) of B must be the permutation P^{ab}: row i has its one
+	// at column (i − a·b) mod s.
+	s := 5
+	for a := 0; a < s; a++ {
+		for b := 0; b < 3; b++ {
+			for i := 0; i < s; i++ {
+				count := 0
+				for j := 0; j < s; j++ {
+					if ramanujanBlockEdge(s, a*s+i, b*s+j) {
+						count++
+						want := ((i-a*b)%s + s) % s
+						if j != want {
+							t.Fatalf("block (%d,%d) row %d: one at %d, want %d", a, b, i, j, want)
+						}
+					}
+				}
+				if count != 1 {
+					t.Fatalf("block (%d,%d) row %d has %d ones", a, b, i, count)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a, err := Random(15, 25, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != 15 || a.F != 25 || a.L != 5 || a.R != 3 {
+		t.Errorf("Random params: %v", a)
+	}
+	if err := a.Validate(); err != nil {
+		t.Error(err)
+	}
+	if _, err := Random(15, 25, 3, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := Random(10, 25, 3, rng); err == nil {
+		t.Error("non-divisible parameters accepted")
+	}
+}
+
+func TestValidateCatchesCorruptassignment(t *testing.T) {
+	a, err := MOLS(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.L = 4
+	if err := a.Validate(); err == nil {
+		t.Error("Validate accepted wrong l")
+	}
+	a.L = 5
+	a.K = 14
+	if err := a.Validate(); err == nil {
+		t.Error("Validate accepted wrong K")
+	}
+}
+
+func TestSharedFilesSymmetric(t *testing.T) {
+	a, err := MOLS(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < a.K; u += 3 {
+		for w := u + 1; w < a.K; w += 4 {
+			ab := a.SharedFiles(u, w)
+			ba := a.SharedFiles(w, u)
+			if len(ab) != len(ba) {
+				t.Fatalf("SharedFiles not symmetric for (%d,%d)", u, w)
+			}
+			for i := range ab {
+				if ab[i] != ba[i] {
+					t.Fatalf("SharedFiles not symmetric for (%d,%d)", u, w)
+				}
+			}
+		}
+	}
+}
+
+// Property: every valid MOLS assignment satisfies the edge identity and
+// per-file replication invariants for random (l, r) choices.
+func TestQuickMOLSInvariants(t *testing.T) {
+	degrees := []int{5, 7, 8, 9, 11}
+	prop := func(dIdx, rRaw uint8) bool {
+		l := degrees[int(dIdx)%len(degrees)]
+		r := 2 + int(rRaw)%(l-2) // r in [2, l-1]
+		a, err := MOLS(l, r)
+		if err != nil {
+			return false
+		}
+		if a.Validate() != nil {
+			return false
+		}
+		for v := 0; v < a.F; v++ {
+			if len(a.FileWorkers(v)) != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Ramanujan Case 1 workers in the same parallel class share no
+// files; different classes share exactly one (same law as MOLS, since
+// the constructions have identical spectra).
+func TestQuickRamanujan1Intersections(t *testing.T) {
+	a, err := Ramanujan1(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(x, y uint8) bool {
+		u := int(x) % a.K
+		w := int(y) % a.K
+		if u == w {
+			return true
+		}
+		shared := len(a.SharedFiles(u, w))
+		if u/a.L == w/a.L {
+			return shared == 0
+		}
+		return shared == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMOLSBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := MOLS(7, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRamanujan2Build(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Ramanujan2(5, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package assign
+
+import (
+	"fmt"
+
+	"byzshield/internal/gf"
+	"byzshield/internal/graph"
+	"byzshield/internal/latin"
+)
+
+// MOLS builds the Latin-square assignment of Algorithm 2: the batch is
+// split into f = l² files laid out on an l×l grid (file index i·l+j at
+// cell (i, j)); r MOLS L_1..L_r of degree l are constructed; worker
+// U_{k·l+s} receives the l files at the cells where L_{k+1} holds
+// symbol s. Requires prime-power l and 2 <= r <= l−1 (the paper uses
+// odd r for untied votes; oddness is enforced by the vote layer).
+func MOLS(l, r int) (*Assignment, error) {
+	if _, _, ok := gf.IsPrimePower(l); !ok {
+		return nil, fmt.Errorf("assign: MOLS degree l=%d is not a prime power", l)
+	}
+	if r < 2 || r > l-1 {
+		return nil, fmt.Errorf("assign: MOLS needs 2 <= r <= l-1, got r=%d l=%d", r, l)
+	}
+	squares, err := latin.MOLS(l, r)
+	if err != nil {
+		return nil, err
+	}
+	k := r * l
+	f := l * l
+	g := graph.NewBipartite(k, f)
+	for sq := 0; sq < r; sq++ {
+		for sym := 0; sym < l; sym++ {
+			worker := sq*l + sym
+			for _, cell := range squares[sq].SymbolCells(sym) {
+				file := cell[0]*l + cell[1]
+				g.MustAddEdge(worker, file)
+			}
+		}
+	}
+	a := &Assignment{Scheme: SchemeMOLS, K: k, F: f, L: l, R: r, Graph: g}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

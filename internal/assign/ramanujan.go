@@ -1,0 +1,81 @@
+package assign
+
+import (
+	"fmt"
+
+	"byzshield/internal/gf"
+	"byzshield/internal/graph"
+)
+
+// ramanujanBlockEdge reports whether block-matrix entry (row, col) of the
+// array-code matrix B is one. B is the s² × m·s block matrix whose (a,b)
+// block (a = 0..s−1 row blocks, b = 0..m−1 column blocks) is P^{a·b},
+// where P is the s×s cyclic shift with P[i][j] = 1 iff j ≡ i−1 (mod s).
+// So B[(a,i),(b,j)] = P^{ab}[i][j] = 1 iff j ≡ i − a·b (mod s).
+func ramanujanBlockEdge(s, row, col int) bool {
+	a, i := row/s, row%s
+	b, j := col/s, col%s
+	return j == ((i-a*b)%s+s)%s
+}
+
+// Ramanujan1 builds the Case 1 (m < s) assignment of Sec. 4.2: the
+// bi-adjacency is H = Bᵀ, giving K = m·s workers, f = s² files,
+// computational load l = s, replication r = m. Requires prime s and
+// 2 <= m < s. The resulting graph is a Ramanujan bigraph whose
+// normalized spectrum matches the MOLS scheme (Lemma 2).
+func Ramanujan1(s, m int) (*Assignment, error) {
+	if !gf.IsPrime(s) {
+		return nil, fmt.Errorf("assign: Ramanujan needs prime s, got %d", s)
+	}
+	if m < 2 || m >= s {
+		return nil, fmt.Errorf("assign: Ramanujan Case 1 needs 2 <= m < s, got m=%d s=%d", m, s)
+	}
+	k := m * s
+	f := s * s
+	g := graph.NewBipartite(k, f)
+	// H = Bᵀ: worker u is B's column u; file v is B's row v.
+	for u := 0; u < k; u++ {
+		for v := 0; v < f; v++ {
+			if ramanujanBlockEdge(s, v, u) {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	a := &Assignment{Scheme: SchemeRamanujan1, K: k, F: f, L: s, R: m, Graph: g}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Ramanujan2 builds the Case 2 (m >= s) assignment: H = B, giving
+// K = s² workers, f = m·s files, load l = m, replication r = s.
+// Lemma 2 additionally requires s | m for the stated spectrum; we
+// enforce it (the paper's K = 25 cluster uses m = s = 5).
+func Ramanujan2(s, m int) (*Assignment, error) {
+	if !gf.IsPrime(s) {
+		return nil, fmt.Errorf("assign: Ramanujan needs prime s, got %d", s)
+	}
+	if m < s {
+		return nil, fmt.Errorf("assign: Ramanujan Case 2 needs m >= s, got m=%d s=%d", m, s)
+	}
+	if m%s != 0 {
+		return nil, fmt.Errorf("assign: Ramanujan Case 2 needs s | m for the Lemma 2 spectrum, got m=%d s=%d", m, s)
+	}
+	k := s * s
+	f := m * s
+	g := graph.NewBipartite(k, f)
+	// H = B: worker u is B's row u; file v is B's column v.
+	for u := 0; u < k; u++ {
+		for v := 0; v < f; v++ {
+			if ramanujanBlockEdge(s, u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	a := &Assignment{Scheme: SchemeRamanujan2, K: k, F: f, L: m, R: s, Graph: g}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

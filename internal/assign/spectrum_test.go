@@ -1,0 +1,177 @@
+package assign
+
+import (
+	"math"
+	"testing"
+
+	"byzshield/internal/graph"
+	"byzshield/internal/linalg"
+)
+
+// lemma2Spectrum returns the exact Lemma 2 spectrum for the MOLS /
+// Ramanujan Case 1 constructions: {(1,1), (1/r, r(l−1)), (0, r−1)}.
+func lemma2Spectrum(l, r int) []linalg.EigenvalueMultiplicity {
+	return []linalg.EigenvalueMultiplicity{
+		{Value: 1, Multiplicity: 1},
+		{Value: 1 / float64(r), Multiplicity: r * (l - 1)},
+		{Value: 0, Multiplicity: r - 1},
+	}
+}
+
+// lemma2SpectrumRam2 returns the Case 2 spectrum:
+// {(1,1), (1/r, r(r−1)), (0, r−1)}.
+func lemma2SpectrumRam2(r int) []linalg.EigenvalueMultiplicity {
+	return []linalg.EigenvalueMultiplicity{
+		{Value: 1, Multiplicity: 1},
+		{Value: 1 / float64(r), Multiplicity: r * (r - 1)},
+		{Value: 0, Multiplicity: r - 1},
+	}
+}
+
+func spectrumOf(t *testing.T, a *Assignment) *graph.Spectrum {
+	t.Helper()
+	spec, err := graph.ComputeSpectrum(a.Graph, 1e-6)
+	if err != nil {
+		t.Fatalf("spectrum of %v: %v", a, err)
+	}
+	return spec
+}
+
+// TestLemma2MOLS verifies the paper's Lemma 2 for the MOLS scheme across
+// several (l, r) parameterizations, including the prime-power case.
+func TestLemma2MOLS(t *testing.T) {
+	for _, p := range [][2]int{{5, 3}, {7, 3}, {7, 5}, {9, 4}, {11, 3}} {
+		l, r := p[0], p[1]
+		a, err := MOLS(l, r)
+		if err != nil {
+			t.Fatalf("MOLS(%d,%d): %v", l, r, err)
+		}
+		spec := spectrumOf(t, a)
+		if err := spec.MatchesExpected(lemma2Spectrum(l, r), 1e-6); err != nil {
+			t.Errorf("MOLS(%d,%d): %v", l, r, err)
+		}
+		if math.Abs(spec.Mu1()-1/float64(r)) > 1e-6 {
+			t.Errorf("MOLS(%d,%d): µ1 = %v, want 1/%d", l, r, spec.Mu1(), r)
+		}
+	}
+}
+
+// TestLemma2Ramanujan1 verifies that Case 1 has exactly the same
+// spectrum as MOLS with (l, r) = (s, m) — the paper's "interestingly,
+// (AAᵀ)_Ram.1 has exactly the same spectrum" observation.
+func TestLemma2Ramanujan1(t *testing.T) {
+	for _, p := range [][2]int{{5, 3}, {7, 3}, {7, 5}, {11, 4}} {
+		s, m := p[0], p[1]
+		a, err := Ramanujan1(s, m)
+		if err != nil {
+			t.Fatalf("Ramanujan1(%d,%d): %v", s, m, err)
+		}
+		spec := spectrumOf(t, a)
+		if err := spec.MatchesExpected(lemma2Spectrum(s, m), 1e-6); err != nil {
+			t.Errorf("Ramanujan1(%d,%d): %v", s, m, err)
+		}
+	}
+}
+
+// TestLemma2Ramanujan2 verifies the Case 2 spectrum for the paper's
+// K = 25 cluster (m = s = 5) and one strict multiple.
+func TestLemma2Ramanujan2(t *testing.T) {
+	for _, p := range [][2]int{{5, 5}, {3, 6}, {5, 10}} {
+		s, m := p[0], p[1]
+		a, err := Ramanujan2(s, m)
+		if err != nil {
+			t.Fatalf("Ramanujan2(%d,%d): %v", s, m, err)
+		}
+		spec := spectrumOf(t, a)
+		if err := spec.MatchesExpected(lemma2SpectrumRam2(s), 1e-6); err != nil {
+			t.Errorf("Ramanujan2(%d,%d): %v", s, m, err)
+		}
+	}
+}
+
+// TestFRCSpectrumWorse shows why FRC is fragile: its µ1 equals 1 (the
+// graph is disconnected into K/r clone groups), i.e. no expansion, while
+// the ByzShield constructions achieve µ1 = 1/r.
+func TestFRCSpectrumWorse(t *testing.T) {
+	a, err := FRC(15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := spectrumOf(t, a)
+	if math.Abs(spec.Mu1()-1) > 1e-9 {
+		t.Errorf("FRC µ1 = %v, want 1 (disconnected clone groups)", spec.Mu1())
+	}
+	mols, err := MOLS(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	molsSpec := spectrumOf(t, mols)
+	if molsSpec.Mu1() >= spec.Mu1() {
+		t.Errorf("MOLS µ1 %v should beat FRC µ1 %v", molsSpec.Mu1(), spec.Mu1())
+	}
+}
+
+// TestExpansionBoundHoldsOnActualSets verifies Lemma 1/Eq. 5 empirically:
+// for every q-subset sampled deterministically, |N(S)| >= β.
+func TestExpansionBoundHoldsOnActualSets(t *testing.T) {
+	a, err := MOLS(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := spectrumOf(t, a)
+	mu1 := spec.Mu1()
+	for q := 1; q <= 7; q++ {
+		// deterministic stride sampling of q-subsets
+		for start := 0; start < a.K; start += 3 {
+			S := make([]int, 0, q)
+			for i := 0; i < q; i++ {
+				S = append(S, (start+i*2)%a.K)
+			}
+			S = dedupe(S)
+			if len(S) != q {
+				continue
+			}
+			observed := len(a.Graph.NeighborhoodOfLeftSet(S))
+			bound := graph.ExpansionLowerBound(q, a.L, a.R, a.K, mu1)
+			if float64(observed) < bound-1e-9 {
+				t.Errorf("q=%d S=%v: |N(S)|=%d < β=%v", q, S, observed, bound)
+			}
+		}
+	}
+}
+
+func dedupe(xs []int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// TestMu1FastOnConstructions cross-checks the deflated power-iteration
+// µ1 against the exact 1/r for all three ByzShield constructions.
+func TestMu1FastOnConstructions(t *testing.T) {
+	builds := []func() (*Assignment, error){
+		func() (*Assignment, error) { return MOLS(7, 5) },
+		func() (*Assignment, error) { return Ramanujan1(7, 3) },
+		func() (*Assignment, error) { return Ramanujan2(5, 5) },
+	}
+	for _, build := range builds {
+		a, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu1, err := graph.Mu1Fast(a.Graph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 / float64(a.R)
+		if math.Abs(mu1-want) > 1e-6 {
+			t.Errorf("%v: Mu1Fast = %v, want %v", a, mu1, want)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package attack implements the Byzantine attack models evaluated in
+// Sec. 6.1 of the paper — ALIE (Baruch et al. 2019), Constant, and
+// Reversed gradient — plus auxiliary attacks (random Gaussian, sign
+// flip) used for ablations. The omniscient worst-case *placement* of the
+// Byzantines (which q workers to corrupt) is computed by
+// internal/distort; this package decides what the corrupted workers
+// send.
+//
+// All colluding Byzantines return bit-identical crafted vectors for a
+// given file, which is optimal under majority voting: on files where
+// they hold at least r' replicas the crafted value wins the vote; on all
+// other files their value is discarded regardless.
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"byzshield/internal/linalg"
+)
+
+// Context carries the omniscient view of a training round that attacks
+// may exploit.
+type Context struct {
+	// Round is the iteration number.
+	Round int
+	// Dim is the gradient dimension.
+	Dim int
+	// FileGradients holds the true (honest) gradient sum of every file,
+	// indexed by file id. Attacks must not modify these.
+	FileGradients [][]float64
+	// CorruptibleFiles lists the files whose majority vote the
+	// Byzantine set controls this round.
+	CorruptibleFiles []int
+	// Participants is the number of operands the post-vote aggregator
+	// will see (f for redundancy schemes, K for the baseline).
+	Participants int
+	// ExpectedCorrupted is how many of those operands the adversary
+	// controls (c_max for redundancy schemes, q for the baseline).
+	ExpectedCorrupted int
+	// FileSize is the average number of samples per file, used to scale
+	// constant payloads to gradient-sum magnitude.
+	FileSize float64
+	// Rng provides per-round deterministic randomness.
+	Rng *rand.Rand
+}
+
+// Crafter maps a file id and its honest gradient to the adversarial
+// vector the Byzantines return for that file.
+type Crafter func(file int, honest []float64) []float64
+
+// Attack is a Byzantine payload generator.
+type Attack interface {
+	// Name identifies the attack in reports.
+	Name() string
+	// BeginRound inspects the round context and returns the crafter
+	// used for every Byzantine-held file this round.
+	BeginRound(ctx *Context) Crafter
+}
+
+// Benign is the no-attack control: Byzantine workers behave honestly.
+type Benign struct{}
+
+// Name implements Attack.
+func (Benign) Name() string { return "benign" }
+
+// BeginRound implements Attack.
+func (Benign) BeginRound(*Context) Crafter {
+	return func(_ int, honest []float64) []float64 {
+		return linalg.CloneVec(honest)
+	}
+}
+
+// Reversed is the reversed-gradient attack: Byzantines return −C·g
+// instead of the true gradient g. The paper calls it the weakest of the
+// three evaluated attacks.
+type Reversed struct {
+	// C is the (positive) magnitude multiplier; 0 means 1.
+	C float64
+}
+
+// Name implements Attack.
+func (r Reversed) Name() string { return "reversed-gradient" }
+
+// BeginRound implements Attack.
+func (r Reversed) BeginRound(*Context) Crafter {
+	c := r.C
+	if c == 0 {
+		c = 1
+	}
+	return func(_ int, honest []float64) []float64 {
+		return linalg.ScaleVec(honest, -c)
+	}
+}
+
+// Constant sends a constant matrix with all elements equal to Value
+// (scaled by the file size so the payload has gradient-sum magnitude).
+type Constant struct {
+	// Value is the per-element constant; 0 means −1 (a fixed wrong
+	// direction, following the DETOX evaluation).
+	Value float64
+	// ScaleByFileSize multiplies the payload by the average samples per
+	// file so its norm matches gradient sums rather than means.
+	ScaleByFileSize bool
+}
+
+// Name implements Attack.
+func (c Constant) Name() string { return "constant" }
+
+// BeginRound implements Attack.
+func (c Constant) BeginRound(ctx *Context) Crafter {
+	v := c.Value
+	if v == 0 {
+		v = -1
+	}
+	if c.ScaleByFileSize && ctx.FileSize > 0 {
+		v *= ctx.FileSize
+	}
+	payload := make([]float64, ctx.Dim)
+	for i := range payload {
+		payload[i] = v
+	}
+	return func(int, []float64) []float64 {
+		return linalg.CloneVec(payload)
+	}
+}
+
+// ALIE is "A Little Is Enough" (Baruch et al. 2019): the Byzantines
+// estimate the per-coordinate mean µ and standard deviation σ of the
+// honest operand population and send µ − z·σ, with z chosen as large as
+// possible while remaining inside the range that defenders consider
+// plausible. This shifts medians and defeats distance-based defenses
+// without large norms — the paper calls it the most sophisticated
+// centralized attack in the literature.
+type ALIE struct {
+	// ZOverride fixes z; when 0, z is derived from the population sizes
+	// via the normal quantile as in the original attack.
+	ZOverride float64
+}
+
+// Name implements Attack.
+func (ALIE) Name() string { return "alie" }
+
+// ZMax computes the original attack's z for n total operands of which m
+// are Byzantine: s = ⌊n/2+1⌋ − m supporters needed from the honest side,
+// z = Φ⁻¹((n−m−s)/(n−m)). The result is clamped to [0.3, 3.5] to keep
+// the payload stealthy in degenerate regimes (m ≥ half, tiny n).
+func ZMax(n, m int) float64 {
+	if n <= m || n <= 0 {
+		return 1
+	}
+	s := n/2 + 1 - m
+	num := float64(n - m - s)
+	den := float64(n - m)
+	p := num / den
+	z := 1.0
+	if p > 0 && p < 1 {
+		z = linalg.NormalQuantile(p)
+	} else if p >= 1 {
+		z = 3.5
+	}
+	if z < 0.3 {
+		z = 0.3
+	}
+	if z > 3.5 {
+		z = 3.5
+	}
+	return z
+}
+
+// BeginRound implements Attack.
+func (a ALIE) BeginRound(ctx *Context) Crafter {
+	mu := linalg.MeanVec(ctx.FileGradients)
+	sigma := linalg.StdVec(ctx.FileGradients)
+	z := a.ZOverride
+	if z == 0 {
+		z = ZMax(ctx.Participants, ctx.ExpectedCorrupted)
+	}
+	payload := make([]float64, len(mu))
+	for i := range payload {
+		payload[i] = mu[i] - z*sigma[i]
+	}
+	return func(int, []float64) []float64 {
+		return linalg.CloneVec(payload)
+	}
+}
+
+// RandomGaussian sends N(0, Scale²) noise, refreshed per round but
+// deterministic given the context rng. Used in ablations.
+type RandomGaussian struct {
+	// Scale is the per-coordinate standard deviation; 0 means 1.
+	Scale float64
+}
+
+// Name implements Attack.
+func (RandomGaussian) Name() string { return "random-gaussian" }
+
+// BeginRound implements Attack.
+func (g RandomGaussian) BeginRound(ctx *Context) Crafter {
+	scale := g.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	if ctx.Rng == nil {
+		panic("attack: RandomGaussian requires Context.Rng")
+	}
+	payload := make([]float64, ctx.Dim)
+	for i := range payload {
+		payload[i] = ctx.Rng.NormFloat64() * scale
+	}
+	return func(int, []float64) []float64 {
+		return linalg.CloneVec(payload)
+	}
+}
+
+// SignFlip negates each coordinate's sign while preserving magnitude
+// ordering: crafted = −|g| per coordinate... i.e. it returns −g like
+// Reversed but clamps magnitude to the honest vector's norm; kept as a
+// distinct named attack for the signSGD experiments.
+type SignFlip struct{}
+
+// Name implements Attack.
+func (SignFlip) Name() string { return "sign-flip" }
+
+// BeginRound implements Attack.
+func (SignFlip) BeginRound(*Context) Crafter {
+	return func(_ int, honest []float64) []float64 {
+		out := make([]float64, len(honest))
+		for i, v := range honest {
+			out[i] = -v
+		}
+		return out
+	}
+}
+
+// ByName constructs a registered attack from its report name; used by
+// the CLI tools.
+func ByName(name string) (Attack, error) {
+	switch name {
+	case "benign":
+		return Benign{}, nil
+	case "alie":
+		return ALIE{}, nil
+	case "constant":
+		return Constant{ScaleByFileSize: true}, nil
+	case "reversed-gradient", "revgrad":
+		return Reversed{}, nil
+	case "random-gaussian":
+		return RandomGaussian{}, nil
+	case "sign-flip":
+		return SignFlip{}, nil
+	default:
+		return nil, fmt.Errorf("attack: unknown attack %q", name)
+	}
+}

@@ -1,0 +1,189 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"byzshield/internal/linalg"
+)
+
+func testContext() *Context {
+	grads := [][]float64{
+		{1, 2}, {1.2, 1.8}, {0.8, 2.2}, {1.1, 2.1}, {0.9, 1.9},
+	}
+	return &Context{
+		Round:             3,
+		Dim:               2,
+		FileGradients:     grads,
+		CorruptibleFiles:  []int{1, 3},
+		Participants:      5,
+		ExpectedCorrupted: 1,
+		FileSize:          30,
+		Rng:               rand.New(rand.NewSource(1)),
+	}
+}
+
+func TestBenignReturnsHonest(t *testing.T) {
+	ctx := testContext()
+	craft := Benign{}.BeginRound(ctx)
+	honest := []float64{3, 4}
+	out := craft(0, honest)
+	if out[0] != 3 || out[1] != 4 {
+		t.Errorf("benign altered gradient: %v", out)
+	}
+	out[0] = 99
+	if honest[0] == 99 {
+		t.Error("benign aliased the honest slice")
+	}
+}
+
+func TestReversed(t *testing.T) {
+	ctx := testContext()
+	craft := Reversed{C: 2}.BeginRound(ctx)
+	out := craft(0, []float64{1, -3})
+	if out[0] != -2 || out[1] != 6 {
+		t.Errorf("reversed = %v, want [-2 6]", out)
+	}
+	craftDefault := Reversed{}.BeginRound(ctx)
+	out = craftDefault(0, []float64{1, -3})
+	if out[0] != -1 || out[1] != 3 {
+		t.Errorf("reversed default = %v, want [-1 3]", out)
+	}
+}
+
+func TestConstant(t *testing.T) {
+	ctx := testContext()
+	craft := Constant{Value: 5}.BeginRound(ctx)
+	out := craft(7, []float64{9, 9})
+	if out[0] != 5 || out[1] != 5 {
+		t.Errorf("constant = %v", out)
+	}
+	scaled := Constant{Value: 2, ScaleByFileSize: true}.BeginRound(ctx)
+	out = scaled(7, nil)
+	if out[0] != 60 {
+		t.Errorf("scaled constant = %v, want 60", out)
+	}
+	def := Constant{}.BeginRound(ctx)
+	if def(0, nil)[0] != -1 {
+		t.Error("default constant should be -1")
+	}
+}
+
+func TestALIEPayloadWithinPlausibleRange(t *testing.T) {
+	ctx := testContext()
+	craft := ALIE{}.BeginRound(ctx)
+	out := craft(1, nil)
+	mu := linalg.MeanVec(ctx.FileGradients)
+	sigma := linalg.StdVec(ctx.FileGradients)
+	for i := range out {
+		dev := math.Abs(out[i] - mu[i])
+		if dev > 3.5*sigma[i]+1e-12 {
+			t.Errorf("coord %d deviates %v > 3.5σ=%v", i, dev, 3.5*sigma[i])
+		}
+		if dev < 0.29*sigma[i] {
+			t.Errorf("coord %d deviates %v — attack is a no-op", i, dev)
+		}
+	}
+	// Crafted payload is identical across files (collusion).
+	out2 := craft(3, nil)
+	for i := range out {
+		if out[i] != out2[i] {
+			t.Error("ALIE payload differs across files")
+		}
+	}
+}
+
+func TestALIEZOverride(t *testing.T) {
+	ctx := testContext()
+	craft := ALIE{ZOverride: 2}.BeginRound(ctx)
+	out := craft(0, nil)
+	mu := linalg.MeanVec(ctx.FileGradients)
+	sigma := linalg.StdVec(ctx.FileGradients)
+	for i := range out {
+		want := mu[i] - 2*sigma[i]
+		if math.Abs(out[i]-want) > 1e-12 {
+			t.Errorf("coord %d = %v, want %v", i, out[i], want)
+		}
+	}
+}
+
+func TestZMaxProperties(t *testing.T) {
+	// Larger Byzantine fraction (still sub-majority) → bigger z.
+	z1 := ZMax(25, 3)
+	z2 := ZMax(25, 9)
+	if z2 < z1 {
+		t.Errorf("z should grow with m: z(3)=%v z(9)=%v", z1, z2)
+	}
+	for _, m := range []int{0, 1, 5, 12, 13, 25, 30} {
+		z := ZMax(25, m)
+		if z < 0.3 || z > 3.5 {
+			t.Errorf("ZMax(25,%d) = %v outside clamp", m, z)
+		}
+	}
+	if z := ZMax(0, 0); z != 1 {
+		t.Errorf("degenerate ZMax = %v", z)
+	}
+}
+
+func TestRandomGaussianDeterministicPerSeed(t *testing.T) {
+	ctx1 := testContext()
+	out1 := RandomGaussian{Scale: 2}.BeginRound(ctx1)(0, nil)
+	ctx2 := testContext()
+	out2 := RandomGaussian{Scale: 2}.BeginRound(ctx2)(0, nil)
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Error("same seed produced different payloads")
+		}
+	}
+	var norm float64
+	for _, v := range out1 {
+		norm += v * v
+	}
+	if norm == 0 {
+		t.Error("payload is zero")
+	}
+}
+
+func TestRandomGaussianRequiresRng(t *testing.T) {
+	ctx := testContext()
+	ctx.Rng = nil
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil rng did not panic")
+		}
+	}()
+	RandomGaussian{}.BeginRound(ctx)
+}
+
+func TestSignFlip(t *testing.T) {
+	craft := SignFlip{}.BeginRound(testContext())
+	out := craft(0, []float64{2, -3, 0})
+	if out[0] != -2 || out[1] != 3 || out[2] != 0 {
+		t.Errorf("sign flip = %v", out)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"benign", "alie", "constant", "reversed-gradient", "revgrad", "random-gaussian", "sign-flip"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestAttackNamesStable(t *testing.T) {
+	names := map[string]Attack{
+		"benign": Benign{}, "alie": ALIE{}, "constant": Constant{},
+		"reversed-gradient": Reversed{}, "random-gaussian": RandomGaussian{},
+		"sign-flip": SignFlip{},
+	}
+	for want, a := range names {
+		if a.Name() != want {
+			t.Errorf("%T.Name() = %q, want %q", a, a.Name(), want)
+		}
+	}
+}

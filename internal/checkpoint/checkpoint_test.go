@@ -1,0 +1,111 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"byzshield/internal/trainer"
+)
+
+func sampleState() *State {
+	var h trainer.History
+	h.Add(10, 1.5, 0.4)
+	h.Add(20, 1.1, 0.6)
+	return &State{
+		Params:    []float64{1, 2, 3},
+		Velocity:  []float64{0.1, 0.2, 0.3},
+		Iteration: 20,
+		History:   h,
+		Meta:      map[string]string{"scheme": "mols", "q": "3"},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iteration != 20 || got.Params[2] != 3 || got.Velocity[0] != 0.1 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	if got.History.FinalAccuracy() != 0.6 {
+		t.Errorf("history lost: %+v", got.History)
+	}
+	if got.Meta["scheme"] != "mols" {
+		t.Errorf("meta lost: %v", got.Meta)
+	}
+}
+
+func TestSaveLoadAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.gob")
+	if err := Save(path, sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temp file left behind")
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iteration != 20 {
+		t.Errorf("loaded iteration %d", got.Iteration)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&State{}).Validate(); err == nil {
+		t.Error("empty params accepted")
+	}
+	if err := (&State{Params: []float64{1}, Velocity: []float64{1, 2}}).Validate(); err == nil {
+		t.Error("velocity mismatch accepted")
+	}
+	if err := (&State{Params: []float64{1}, Iteration: -1}).Validate(); err == nil {
+		t.Error("negative iteration accepted")
+	}
+	if err := (&State{Params: []float64{1}}).Validate(); err != nil {
+		t.Errorf("valid state rejected: %v", err)
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(header{Magic: "not-a-checkpoint", Version: Version}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(header{Magic: Magic, Version: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.gob")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

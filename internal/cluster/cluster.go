@@ -1,0 +1,526 @@
+// Package cluster implements the synchronous parameter-server training
+// protocol of Algorithm 1: per round, the PS samples a batch, partitions
+// it into files according to the assignment graph, workers compute file
+// gradient sums in parallel (Byzantine workers substitute crafted
+// vectors), the PS majority-votes each file's replicas (Eq. 3), applies
+// a robust aggregation rule to the vote winners, and updates the model
+// with momentum SGD.
+//
+// The engine runs in-process with one goroutine per worker for the
+// compute phase (the redundant computation cost of replication is real,
+// not simulated) and optionally measures the communication phase by
+// actually gob-encoding and decoding every worker→PS message, so the
+// Figure 12 computation/communication/aggregation split is observed, not
+// modelled.
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"byzshield/internal/aggregate"
+	"byzshield/internal/assign"
+	"byzshield/internal/attack"
+	"byzshield/internal/data"
+	"byzshield/internal/model"
+	"byzshield/internal/trainer"
+	"byzshield/internal/vote"
+)
+
+// Config assembles one training experiment.
+type Config struct {
+	Assignment *assign.Assignment
+	Model      model.Model
+	Train      *data.Dataset
+	Test       *data.Dataset
+	BatchSize  int
+	// Attack crafts Byzantine payloads; Benign{} for attack-free runs.
+	Attack attack.Attack
+	// Byzantines lists the corrupted worker ids (chosen worst-case by
+	// the caller, typically via distort.WorstCaseByzantines).
+	Byzantines []int
+	// Aggregator is applied to the vote winners (or directly to worker
+	// gradients when the assignment has r = 1).
+	Aggregator aggregate.Aggregator
+	Schedule   trainer.Schedule
+	Momentum   float64
+	Seed       int64
+	// SignMessages makes workers transmit coordinate signs instead of
+	// gradient values (the signSGD pipeline). The aggregated sign vector
+	// is applied directly (scaled only by the learning rate).
+	SignMessages bool
+	// VoteTolerance > 0 switches the vote to L∞ clustering mode.
+	VoteTolerance float64
+	// MeasureComm enables real gob serialization of worker messages so
+	// the communication phase is physically measured.
+	MeasureComm bool
+}
+
+// PhaseTimes accumulates wall-clock time per protocol phase, plus the
+// exact number of serialized worker→PS bytes (deterministic, unlike the
+// wall-clock figures).
+type PhaseTimes struct {
+	Compute       time.Duration
+	Communication time.Duration
+	Aggregation   time.Duration
+	CommBytes     int64
+}
+
+// Add accumulates other into t.
+func (t *PhaseTimes) Add(other PhaseTimes) {
+	t.Compute += other.Compute
+	t.Communication += other.Communication
+	t.Aggregation += other.Aggregation
+	t.CommBytes += other.CommBytes
+}
+
+// RoundStats reports one protocol round.
+type RoundStats struct {
+	Iteration      int
+	LR             float64
+	DistortedFiles int // files whose vote the Byzantines won this round
+	Times          PhaseTimes
+}
+
+// Engine executes the protocol.
+type Engine struct {
+	cfg         Config
+	params      []float64
+	opt         *trainer.SGD
+	sampler     *data.BatchSampler
+	byzSet      map[int]bool
+	corruptible []int // files with ≥ r' Byzantine replicas (static per run)
+	rng         *rand.Rand
+	iter        int
+	times       PhaseTimes
+}
+
+// New validates the configuration and initializes the engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Assignment == nil || cfg.Model == nil || cfg.Train == nil || cfg.Test == nil {
+		return nil, fmt.Errorf("cluster: assignment, model, train and test are required")
+	}
+	if err := cfg.Assignment.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Aggregator == nil {
+		return nil, fmt.Errorf("cluster: aggregator is required")
+	}
+	if cfg.Attack == nil {
+		cfg.Attack = attack.Benign{}
+	}
+	if cfg.BatchSize < cfg.Assignment.F {
+		return nil, fmt.Errorf("cluster: batch size %d smaller than file count %d", cfg.BatchSize, cfg.Assignment.F)
+	}
+	if err := cfg.Train.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: train set: %w", err)
+	}
+	if err := cfg.Test.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: test set: %w", err)
+	}
+	byzSet := make(map[int]bool, len(cfg.Byzantines))
+	for _, u := range cfg.Byzantines {
+		if u < 0 || u >= cfg.Assignment.K {
+			return nil, fmt.Errorf("cluster: byzantine worker %d out of range [0,%d)", u, cfg.Assignment.K)
+		}
+		if byzSet[u] {
+			return nil, fmt.Errorf("cluster: byzantine worker %d listed twice", u)
+		}
+		byzSet[u] = true
+	}
+	sampler, err := data.NewBatchSampler(cfg.Train.Len(), cfg.BatchSize, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := trainer.NewSGD(cfg.Schedule, cfg.Momentum, cfg.Model.NumParams())
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		params:  model.InitParams(cfg.Model, cfg.Seed),
+		opt:     opt,
+		sampler: sampler,
+		byzSet:  byzSet,
+		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	e.corruptible = e.computeCorruptible()
+	return e, nil
+}
+
+// computeCorruptible returns the files with at least r' Byzantine
+// replicas under the configured Byzantine set.
+func (e *Engine) computeCorruptible() []int {
+	a := e.cfg.Assignment
+	rp := a.R/2 + 1
+	var out []int
+	for v := 0; v < a.F; v++ {
+		c := 0
+		for _, u := range a.FileWorkers(v) {
+			if e.byzSet[u] {
+				c++
+			}
+		}
+		if c >= rp {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CorruptibleFiles returns the files whose votes the Byzantines control.
+func (e *Engine) CorruptibleFiles() []int {
+	return append([]int(nil), e.corruptible...)
+}
+
+// DistortionFraction returns ε̂ = |corruptible| / f for this run.
+func (e *Engine) DistortionFraction() float64 {
+	return float64(len(e.corruptible)) / float64(e.cfg.Assignment.F)
+}
+
+// Params returns the current model parameters (a copy).
+func (e *Engine) Params() []float64 {
+	out := make([]float64, len(e.params))
+	copy(out, e.params)
+	return out
+}
+
+// Times returns accumulated per-phase wall-clock times.
+func (e *Engine) Times() PhaseTimes { return e.times }
+
+// Iteration returns the next iteration index to execute.
+func (e *Engine) Iteration() int { return e.iter }
+
+// Snapshot captures the restartable training state (parameters,
+// momentum, iteration) for checkpointing.
+func (e *Engine) Snapshot() (params, velocity []float64, iteration int) {
+	return e.Params(), e.opt.Velocity(), e.iter
+}
+
+// Restore resumes from a snapshot taken by Snapshot. Dimensions must
+// match the engine's model.
+func (e *Engine) Restore(params, velocity []float64, iteration int) error {
+	if len(params) != len(e.params) {
+		return fmt.Errorf("cluster: restore params length %d, want %d", len(params), len(e.params))
+	}
+	if iteration < 0 {
+		return fmt.Errorf("cluster: restore iteration %d < 0", iteration)
+	}
+	if len(velocity) > 0 {
+		if err := e.opt.SetVelocity(velocity); err != nil {
+			return err
+		}
+	}
+	copy(e.params, params)
+	e.iter = iteration
+	return nil
+}
+
+// CheckFeasible verifies that the configured aggregator's Byzantine
+// preconditions hold for this run's operand count and worst-case
+// corruption — the applicability constraints the paper runs into
+// ("Bulyan cannot be paired with DETOX for q ≥ 1 ...").
+func (e *Engine) CheckFeasible() error {
+	ba, ok := e.cfg.Aggregator.(aggregate.ByzAware)
+	if !ok {
+		return nil
+	}
+	n := e.cfg.Assignment.F // operands after voting
+	c := len(e.corruptible)
+	return ba.Feasible(n, c)
+}
+
+// RunRound executes one protocol round and returns its statistics.
+func (e *Engine) RunRound() (RoundStats, error) {
+	a := e.cfg.Assignment
+	m := e.cfg.Model
+	dim := m.NumParams()
+
+	batch := e.sampler.Next()
+	files, err := data.PartitionFiles(batch, a.F)
+	if err != nil {
+		return RoundStats{}, err
+	}
+
+	// --- Compute phase: workers compute file gradient sums in parallel.
+	// Redundancy is physically executed: every honest worker computes
+	// every file it is assigned.
+	computeStart := time.Now()
+	workerGrads := make([]map[int][]float64, a.K)
+	var wg sync.WaitGroup
+	for u := 0; u < a.K; u++ {
+		if e.byzSet[u] {
+			continue // Byzantine workers substitute payloads below
+		}
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			out := make(map[int][]float64, a.L)
+			for _, v := range a.WorkerFiles(u) {
+				g := make([]float64, dim)
+				m.SumGradient(e.params, e.cfg.Train, files[v], g)
+				out[v] = g
+			}
+			workerGrads[u] = out
+		}(u)
+	}
+	wg.Wait()
+	computeTime := time.Since(computeStart)
+
+	// --- Attack oracle: true gradients for every file (reusing honest
+	// workers' results; computing any file held only by Byzantines).
+	trueGrads := make([][]float64, a.F)
+	for v := 0; v < a.F; v++ {
+		for _, u := range a.FileWorkers(v) {
+			if !e.byzSet[u] {
+				trueGrads[v] = workerGrads[u][v]
+				break
+			}
+		}
+		if trueGrads[v] == nil {
+			g := make([]float64, dim)
+			m.SumGradient(e.params, e.cfg.Train, files[v], g)
+			trueGrads[v] = g
+		}
+	}
+
+	// Byzantine payloads. ALIE-style attacks are crafted from the
+	// worker-level view (n = K workers, m = q Byzantines), matching the
+	// paper's attack model: the adversary estimates moments across the
+	// worker population, not the post-vote operand population.
+	ctx := &attack.Context{
+		Round:             e.iter,
+		Dim:               dim,
+		FileGradients:     trueGrads,
+		CorruptibleFiles:  e.corruptible,
+		Participants:      a.K,
+		ExpectedCorrupted: len(e.byzSet),
+		FileSize:          float64(e.cfg.BatchSize) / float64(a.F),
+		Rng:               rand.New(rand.NewSource(e.cfg.Seed + int64(e.iter)*7919)),
+	}
+	craft := e.cfg.Attack.BeginRound(ctx)
+	crafted := make(map[int][]float64)
+	for u := range e.byzSet {
+		grads := make(map[int][]float64, a.L)
+		for _, v := range a.WorkerFiles(u) {
+			payload, ok := crafted[v]
+			if !ok {
+				payload = craft(v, trueGrads[v])
+				crafted[v] = payload
+			}
+			grads[v] = payload
+		}
+		workerGrads[u] = grads
+	}
+
+	// Optional sign compression (signSGD pipeline).
+	if e.cfg.SignMessages {
+		for u := range workerGrads {
+			for v, g := range workerGrads[u] {
+				workerGrads[u][v] = signVec(g)
+			}
+		}
+	}
+
+	// --- Communication phase: move every worker's message to the PS.
+	commStart := time.Now()
+	var commBytes int64
+	if e.cfg.MeasureComm {
+		for u := 0; u < a.K; u++ {
+			decoded, n, err := roundTripMessage(u, workerGrads[u])
+			if err != nil {
+				return RoundStats{}, fmt.Errorf("cluster: worker %d message: %w", u, err)
+			}
+			workerGrads[u] = decoded
+			commBytes += n
+		}
+	}
+	commTime := time.Since(commStart)
+
+	// --- Aggregation phase: per-file majority votes, then the robust
+	// aggregation rule over the winners.
+	aggStart := time.Now()
+	winners := make([][]float64, a.F)
+	distorted := 0
+	for v := 0; v < a.F; v++ {
+		replicas := make([][]float64, 0, a.R)
+		for _, u := range a.FileWorkers(v) {
+			replicas = append(replicas, workerGrads[u][v])
+		}
+		var res vote.Result
+		var vErr error
+		if a.R == 1 {
+			res = vote.Result{Winner: replicas[0], Count: 1, Unanimous: true}
+		} else if e.cfg.VoteTolerance > 0 {
+			res, vErr = vote.MajorityWithTolerance(replicas, e.cfg.VoteTolerance)
+		} else {
+			res, vErr = vote.Majority(replicas)
+		}
+		if vErr != nil {
+			return RoundStats{}, fmt.Errorf("cluster: vote on file %d: %w", v, vErr)
+		}
+		winners[v] = res.Winner
+		if !e.cfg.SignMessages && !equalBits(res.Winner, trueGrads[v]) {
+			distorted++
+		}
+	}
+	update, err := e.cfg.Aggregator.Aggregate(winners)
+	if err != nil {
+		return RoundStats{}, fmt.Errorf("cluster: aggregation: %w", err)
+	}
+	if !e.cfg.SignMessages {
+		// Winners are gradient sums over ~batch/f samples; normalize to
+		// per-sample scale for the update (Algorithm 1, line 17).
+		scale := float64(a.F) / float64(e.cfg.BatchSize)
+		for i := range update {
+			update[i] *= scale
+		}
+	}
+	aggTime := time.Since(aggStart)
+
+	lr := e.cfg.Schedule.At(e.iter)
+	e.opt.Step(e.params, update, e.iter)
+
+	stats := RoundStats{
+		Iteration:      e.iter,
+		LR:             lr,
+		DistortedFiles: distorted,
+		Times: PhaseTimes{
+			Compute:       computeTime,
+			Communication: commTime,
+			Aggregation:   aggTime,
+			CommBytes:     commBytes,
+		},
+	}
+	e.times.Add(stats.Times)
+	e.iter++
+	return stats, nil
+}
+
+// Run executes iterations rounds, evaluating test accuracy (and batch
+// loss on a held-out probe) every evalEvery rounds plus at the end.
+// The returned history contains one point per evaluation.
+func (e *Engine) Run(iterations, evalEvery int) (*trainer.History, error) {
+	if iterations < 1 {
+		return nil, fmt.Errorf("cluster: iterations %d < 1", iterations)
+	}
+	if evalEvery < 1 {
+		evalEvery = 1
+	}
+	var h trainer.History
+	probe := e.probeIndices()
+	for t := 0; t < iterations; t++ {
+		if _, err := e.RunRound(); err != nil {
+			return &h, err
+		}
+		if (t+1)%evalEvery == 0 || t == iterations-1 {
+			loss := e.cfg.Model.Loss(e.params, e.cfg.Train, probe)
+			acc := model.Accuracy(e.cfg.Model, e.params, e.cfg.Test)
+			h.Add(t+1, loss, acc)
+		}
+	}
+	return &h, nil
+}
+
+// Evaluate returns the current test accuracy.
+func (e *Engine) Evaluate() float64 {
+	return model.Accuracy(e.cfg.Model, e.params, e.cfg.Test)
+}
+
+// probeIndices returns a fixed subset of the training set used for loss
+// reporting (cheap and deterministic).
+func (e *Engine) probeIndices() []int {
+	n := e.cfg.Train.Len()
+	size := 256
+	if size > n {
+		size = n
+	}
+	idx := make([]int, size)
+	stride := n / size
+	if stride < 1 {
+		stride = 1
+	}
+	for i := range idx {
+		idx[i] = (i * stride) % n
+	}
+	return idx
+}
+
+// workerMessage is the wire format of one worker's per-round report.
+type workerMessage struct {
+	Worker    int
+	Files     []int
+	Gradients [][]float64
+}
+
+// roundTripMessage gob-encodes and decodes a worker's gradients,
+// physically exercising the serialization cost of the communication
+// phase, and returns the message size in bytes.
+func roundTripMessage(u int, grads map[int][]float64) (map[int][]float64, int64, error) {
+	msg := workerMessage{Worker: u}
+	for v := range grads {
+		msg.Files = append(msg.Files, v)
+	}
+	// Deterministic order.
+	sortInts(msg.Files)
+	for _, v := range msg.Files {
+		msg.Gradients = append(msg.Gradients, grads[v])
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(msg); err != nil {
+		return nil, 0, err
+	}
+	size := int64(buf.Len())
+	var decoded workerMessage
+	if err := gob.NewDecoder(&buf).Decode(&decoded); err != nil {
+		return nil, 0, err
+	}
+	out := make(map[int][]float64, len(decoded.Files))
+	for i, v := range decoded.Files {
+		out[v] = decoded.Gradients[i]
+	}
+	return out, size, nil
+}
+
+// signVec maps a vector to coordinate signs in {−1, 0, 1}.
+func signVec(g []float64) []float64 {
+	out := make([]float64, len(g))
+	for i, v := range g {
+		switch {
+		case v > 0:
+			out[i] = 1
+		case v < 0:
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// equalBits compares vectors by IEEE-754 bit patterns, matching the
+// exact-vote equality semantics.
+func equalBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortInts is a tiny insertion sort to avoid importing sort for hot
+// small slices.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"byzshield/internal/aggregate"
+	"byzshield/internal/assign"
+	"byzshield/internal/attack"
+	"byzshield/internal/data"
+	"byzshield/internal/distort"
+	"byzshield/internal/model"
+	"byzshield/internal/trainer"
+)
+
+// testSetup builds a small but realistic experiment: MOLS(5,3) → K=15
+// workers, 25 files; softmax model on a separable synthetic dataset.
+func testSetup(t testing.TB, byz []int, atk attack.Attack, agg aggregate.Aggregator) Config {
+	t.Helper()
+	a, err := assign.MOLS(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := data.Synthetic(data.SyntheticConfig{
+		Train: 600, Test: 200, Dim: 12, Classes: 10, Seed: 17, ClassSep: 2.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.NewSoftmax(12, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Assignment: a,
+		Model:      m,
+		Train:      train,
+		Test:       test,
+		BatchSize:  100,
+		Attack:     atk,
+		Byzantines: byz,
+		Aggregator: agg,
+		Schedule:   trainer.Schedule{Base: 0.05, Decay: 0.96, Every: 25},
+		Momentum:   0.9,
+		Seed:       5,
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	cfg := testSetup(t, nil, attack.Benign{}, aggregate.Median{})
+	bad := cfg
+	bad.Aggregator = nil
+	if _, err := New(bad); err == nil {
+		t.Error("nil aggregator accepted")
+	}
+	bad = cfg
+	bad.BatchSize = 10 // < 25 files
+	if _, err := New(bad); err == nil {
+		t.Error("batch < files accepted")
+	}
+	bad = cfg
+	bad.Byzantines = []int{99}
+	if _, err := New(bad); err == nil {
+		t.Error("out-of-range byzantine accepted")
+	}
+	bad = cfg
+	bad.Byzantines = []int{1, 1}
+	if _, err := New(bad); err == nil {
+		t.Error("duplicate byzantine accepted")
+	}
+	bad = cfg
+	bad.Model = nil
+	if _, err := New(bad); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func TestCorruptibleFilesMatchDistortAnalysis(t *testing.T) {
+	cfg := testSetup(t, nil, attack.Benign{}, aggregate.Median{})
+	an := distort.NewAnalyzer(cfg.Assignment)
+	byz := an.WorstCaseByzantines(context.Background(), 5)
+	cfg.Byzantines = byz
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := an.DistortedFiles(byz)
+	got := e.CorruptibleFiles()
+	if len(got) != len(want) {
+		t.Fatalf("corruptible = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("corruptible = %v, want %v", got, want)
+		}
+	}
+	// Table 3: q=5 → c_max=8, ε̂=0.32.
+	if len(got) != 8 {
+		t.Errorf("c_max(5) = %d, want 8", len(got))
+	}
+	if e.DistortionFraction() != 8.0/25 {
+		t.Errorf("ε̂ = %v", e.DistortionFraction())
+	}
+}
+
+func TestBenignTrainingConverges(t *testing.T) {
+	cfg := testSetup(t, nil, attack.Benign{}, aggregate.Median{})
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := e.Run(60, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := h.FinalAccuracy(); acc < 0.6 {
+		t.Errorf("benign training reached only %.2f accuracy", acc)
+	}
+}
+
+func TestRoundStatsDistortionMatchesStaticAnalysis(t *testing.T) {
+	an := distort.NewAnalyzer(mustMOLS(t))
+	byz := an.WorstCaseByzantines(context.Background(), 3)
+	cfg := testSetup(t, byz, attack.Constant{Value: 7, ScaleByFileSize: true}, aggregate.Median{})
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 3: q=3 → c_max=3 distorted votes per round.
+	if stats.DistortedFiles != 3 {
+		t.Errorf("distorted = %d, want 3", stats.DistortedFiles)
+	}
+}
+
+func mustMOLS(t testing.TB) *assign.Assignment {
+	t.Helper()
+	a, err := assign.MOLS(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestMajorityVoteFiltersSubThresholdByzantines(t *testing.T) {
+	// One Byzantine per file replica group (q=2 < r'=2 on any shared
+	// file... actually q=2 can corrupt exactly 1 file per Table 3).
+	an := distort.NewAnalyzer(mustMOLS(t))
+	byz := an.WorstCaseByzantines(context.Background(), 2)
+	cfg := testSetup(t, byz, attack.Constant{Value: 1e6}, aggregate.Median{})
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DistortedFiles != 1 {
+		t.Errorf("distorted = %d, want 1 (Table 3, q=2)", stats.DistortedFiles)
+	}
+	// Training still converges: 1/25 corrupted winners, median absorbs it.
+	h, err := e.Run(50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.FinalAccuracy() < 0.55 {
+		t.Errorf("accuracy %.2f under q=2 constant attack", h.FinalAccuracy())
+	}
+}
+
+func TestByzShieldBeatsUndefendedMeanUnderAttack(t *testing.T) {
+	an := distort.NewAnalyzer(mustMOLS(t))
+	byz := an.WorstCaseByzantines(context.Background(), 5)
+
+	// Reversed gradient with C = 10: the 8 corrupted winners flip the
+	// sign of the mean update entirely, while the median still sits
+	// among the 17 honest winners.
+	run := func(agg aggregate.Aggregator) float64 {
+		cfg := testSetup(t, byz, attack.Reversed{C: 10}, agg)
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := e.Run(50, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h.FinalAccuracy()
+	}
+	median := run(aggregate.Median{})
+	mean := run(aggregate.Mean{})
+	if median < mean+0.2 {
+		t.Errorf("median accuracy %.3f should clearly beat mean %.3f under reversed-gradient attack", median, mean)
+	}
+	if median < 0.6 {
+		t.Errorf("median accuracy %.3f too low", median)
+	}
+}
+
+func TestSignMessagesPipeline(t *testing.T) {
+	cfg := testSetup(t, []int{0, 5}, attack.SignFlip{}, aggregate.SignSGD{})
+	cfg.SignMessages = true
+	cfg.Schedule = trainer.Schedule{Base: 0.005, Decay: 0.9, Every: 20}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := e.Run(40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.FinalAccuracy() < 0.3 {
+		t.Errorf("signSGD accuracy %.2f too low", h.FinalAccuracy())
+	}
+}
+
+func TestMeasureCommRoundTrip(t *testing.T) {
+	cfg := testSetup(t, []int{0}, attack.Reversed{}, aggregate.Median{})
+	cfg.MeasureComm = true
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Times.Communication <= 0 {
+		t.Error("communication phase not measured")
+	}
+	if stats.Times.Compute <= 0 || stats.Times.Aggregation <= 0 {
+		t.Error("phase times missing")
+	}
+	total := e.Times()
+	if total.Communication < stats.Times.Communication {
+		t.Error("accumulated times inconsistent")
+	}
+}
+
+func TestVoteToleranceMode(t *testing.T) {
+	cfg := testSetup(t, []int{0, 1}, attack.Constant{Value: 3}, aggregate.Median{})
+	cfg.VoteTolerance = 1e-9
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFeasible(t *testing.T) {
+	an := distort.NewAnalyzer(mustMOLS(t))
+	byz := an.WorstCaseByzantines(context.Background(), 5) // c_max = 8 of 25
+
+	cfg := testSetup(t, byz, attack.ALIE{}, aggregate.MultiKrum{C: 8})
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multi-Krum needs 25 >= 2*8+3 = 19: feasible.
+	if err := e.CheckFeasible(); err != nil {
+		t.Errorf("MultiKrum(8) on 25 operands should be feasible: %v", err)
+	}
+	// Bulyan needs 25 >= 4*8+3 = 35: infeasible — mirrors the paper's
+	// "Bulyan cannot be paired" constraint.
+	cfg.Aggregator = aggregate.Bulyan{C: 8}
+	e2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.CheckFeasible(); err == nil {
+		t.Error("Bulyan(8) on 25 operands should be infeasible")
+	}
+}
+
+func TestBaselineAssignmentNoVote(t *testing.T) {
+	// Baseline: K = f = 15, r = 1: aggregator sees raw worker gradients.
+	a, err := assign.Baseline(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := data.Synthetic(data.SyntheticConfig{
+		Train: 300, Test: 100, Dim: 8, Classes: 4, Seed: 23, ClassSep: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.NewSoftmax(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Assignment: a, Model: m, Train: train, Test: test,
+		BatchSize: 60, Attack: attack.Reversed{}, Byzantines: []int{0, 1, 2},
+		Aggregator: aggregate.Median{},
+		Schedule:   trainer.Schedule{Base: 0.05, Decay: 0.96, Every: 25},
+		Momentum:   0.9, Seed: 3,
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With r = 1 every Byzantine file is distorted: q = 3 = ε̂·K.
+	if stats.DistortedFiles != 3 {
+		t.Errorf("baseline distorted = %d, want 3", stats.DistortedFiles)
+	}
+	h, err := e.Run(50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.FinalAccuracy() < 0.5 {
+		t.Errorf("baseline median under weak revgrad: %.2f", h.FinalAccuracy())
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() []float64 {
+		cfg := testSetup(t, []int{2, 7}, attack.ALIE{}, aggregate.Median{})
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := e.RunRound(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e.Params()
+	}
+	p1 := run()
+	p2 := run()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("runs diverged at param %d", i)
+		}
+	}
+}
+
+func TestRunRejectsBadIterations(t *testing.T) {
+	cfg := testSetup(t, nil, attack.Benign{}, aggregate.Median{})
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(0, 1); err == nil {
+		t.Error("0 iterations accepted")
+	}
+}
+
+func BenchmarkRoundByzShield(b *testing.B) {
+	cfg := testSetup(b, []int{0, 5, 10}, attack.ALIE{}, aggregate.Median{})
+	e, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunRound(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package data provides the datasets and batch/file plumbing for the
+// training experiments. The paper trains ResNet-18 on CIFAR-10; with no
+// Go deep-learning substrate available, we substitute a deterministic
+// synthetic 10-class image-like dataset (Gaussian class clusters over
+// d-dimensional feature vectors — see DESIGN.md for why this preserves
+// the experiments' shape). The batching and file-partition logic
+// implements the B_t → {B_t,i} split of the protocol (Sec. 2).
+package data
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dataset is a supervised classification dataset with dense features.
+type Dataset struct {
+	X       [][]float64 // n × d features
+	Y       []int       // n labels in [0, Classes)
+	Classes int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Dim returns the feature dimension (0 for an empty dataset).
+func (d *Dataset) Dim() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Validate checks structural consistency.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("data: %d feature rows but %d labels", len(d.X), len(d.Y))
+	}
+	if d.Classes < 2 {
+		return fmt.Errorf("data: %d classes < 2", d.Classes)
+	}
+	dim := d.Dim()
+	for i, x := range d.X {
+		if len(x) != dim {
+			return fmt.Errorf("data: sample %d has dim %d, want %d", i, len(x), dim)
+		}
+	}
+	for i, y := range d.Y {
+		if y < 0 || y >= d.Classes {
+			return fmt.Errorf("data: label %d of sample %d out of range [0,%d)", y, i, d.Classes)
+		}
+	}
+	return nil
+}
+
+// SyntheticConfig parameterizes the synthetic classification dataset.
+type SyntheticConfig struct {
+	Train      int     // number of training samples
+	Test       int     // number of test samples
+	Dim        int     // feature dimension
+	Classes    int     // number of classes (CIFAR-10 uses 10)
+	ClassSep   float64 // scale of class-mean separation (default 2.0)
+	Noise      float64 // within-class standard deviation (default 1.0)
+	Seed       int64   // PRNG seed; identical seeds give identical data
+	Imbalanced bool    // when true, class sizes follow a 2:1 ramp
+}
+
+// Synthetic generates a deterministic Gaussian-mixture dataset: each
+// class c has a mean vector drawn from N(0, ClassSep²·I); samples are
+// mean + N(0, Noise²·I). Labels cycle through classes (or ramp when
+// Imbalanced) so every class is populated for any Train/Test size.
+func Synthetic(cfg SyntheticConfig) (train, test *Dataset, err error) {
+	if cfg.Train < 1 || cfg.Test < 0 {
+		return nil, nil, fmt.Errorf("data: need Train >= 1, Test >= 0, got %d/%d", cfg.Train, cfg.Test)
+	}
+	if cfg.Dim < 1 {
+		return nil, nil, fmt.Errorf("data: Dim %d < 1", cfg.Dim)
+	}
+	if cfg.Classes < 2 {
+		return nil, nil, fmt.Errorf("data: Classes %d < 2", cfg.Classes)
+	}
+	sep := cfg.ClassSep
+	if sep == 0 {
+		sep = 2.0
+	}
+	noise := cfg.Noise
+	if noise == 0 {
+		noise = 1.0
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	means := make([][]float64, cfg.Classes)
+	for c := range means {
+		m := make([]float64, cfg.Dim)
+		for i := range m {
+			m[i] = rng.NormFloat64() * sep
+		}
+		means[c] = m
+	}
+	gen := func(n int) *Dataset {
+		ds := &Dataset{
+			X:       make([][]float64, n),
+			Y:       make([]int, n),
+			Classes: cfg.Classes,
+		}
+		for i := 0; i < n; i++ {
+			c := i % cfg.Classes
+			if cfg.Imbalanced {
+				// Ramp: class c gets weight (c+1); invert the cumulative
+				// distribution over a cycling counter.
+				c = rampClass(i, cfg.Classes)
+			}
+			x := make([]float64, cfg.Dim)
+			for j := range x {
+				x[j] = means[c][j] + rng.NormFloat64()*noise
+			}
+			ds.X[i] = x
+			ds.Y[i] = c
+		}
+		return ds
+	}
+	train = gen(cfg.Train)
+	test = gen(cfg.Test)
+	return train, test, nil
+}
+
+// rampClass maps a running index to a class with probability weight
+// proportional to class+1, deterministically.
+func rampClass(i, classes int) int {
+	total := classes * (classes + 1) / 2
+	pos := i % total
+	for c := 0; c < classes; c++ {
+		pos -= c + 1
+		if pos < 0 {
+			return c
+		}
+	}
+	return classes - 1
+}
+
+// BatchSampler draws random mini-batches of indices without replacement
+// within a batch (samples may repeat across batches, as in standard
+// mini-batch SGD with reshuffling).
+type BatchSampler struct {
+	n     int
+	batch int
+	rng   *rand.Rand
+	perm  []int
+	pos   int
+}
+
+// NewBatchSampler creates a sampler over n samples with the given batch
+// size and seed.
+func NewBatchSampler(n, batch int, seed int64) (*BatchSampler, error) {
+	if batch < 1 || batch > n {
+		return nil, fmt.Errorf("data: batch size %d out of range [1,%d]", batch, n)
+	}
+	return &BatchSampler{
+		n:     n,
+		batch: batch,
+		rng:   rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Next returns the indices of the next batch B_t. A fresh shuffled
+// permutation is generated whenever the previous epoch is exhausted.
+func (s *BatchSampler) Next() []int {
+	out := make([]int, 0, s.batch)
+	for len(out) < s.batch {
+		if s.pos == 0 || s.pos >= s.n {
+			s.perm = s.rng.Perm(s.n)
+			s.pos = 0
+		}
+		take := s.batch - len(out)
+		if rem := s.n - s.pos; take > rem {
+			take = rem
+		}
+		out = append(out, s.perm[s.pos:s.pos+take]...)
+		s.pos += take
+	}
+	return out
+}
+
+// PartitionFiles splits batch indices into f disjoint files of
+// near-equal size in order, implementing B_t = {B_t,0 ... B_t,f−1}.
+// When f does not divide |batch|, leading files get one extra sample.
+func PartitionFiles(batch []int, f int) ([][]int, error) {
+	if f < 1 {
+		return nil, fmt.Errorf("data: partition into %d files", f)
+	}
+	if f > len(batch) {
+		return nil, fmt.Errorf("data: %d files for %d samples", f, len(batch))
+	}
+	files := make([][]int, f)
+	base := len(batch) / f
+	extra := len(batch) % f
+	pos := 0
+	for i := 0; i < f; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		files[i] = batch[pos : pos+size]
+		pos += size
+	}
+	return files, nil
+}

@@ -1,0 +1,129 @@
+// Package distort performs the worst-case distortion-fraction analysis
+// of Sec. 5 of the paper: exact maximum numbers of corruptible files
+// c_max(q) found by exhaustive (branch-and-bound) search over Byzantine
+// worker sets, the spectral upper bound γ of Claim 1, the closed-form
+// ε̂ expressions for the MOLS/Ramanujan/FRC/baseline schemes, and the
+// exact small-q values of Claim 2. These quantities generate Tables 3–6
+// and drive the omniscient adversary used in the training experiments.
+package distort
+
+import (
+	"math"
+)
+
+// MajorityThreshold returns r' = ⌊r/2⌋ + 1, the minimum number of
+// Byzantine copies needed to flip a majority vote over r replicas. For
+// odd r this is the paper's r' = (r+1)/2.
+func MajorityThreshold(r int) int { return r/2 + 1 }
+
+// Gamma returns the Claim 1 upper bound on c_max(q):
+//
+//	γ = (q·l − β) / (r' − 1),
+//
+// where β is the expansion lower bound of Eq. (5). The paper states it
+// for odd r as (q·l − β)/((r−1)/2); we use the r' form which coincides
+// for odd r. Returns +Inf when r' == 1 (no redundancy: any Byzantine
+// copy distorts its file).
+func Gamma(q, l, r, k int, mu1 float64) float64 {
+	rp := MajorityThreshold(r)
+	if rp <= 1 {
+		return math.Inf(1)
+	}
+	beta := expansionLowerBound(q, l, r, k, mu1)
+	return (float64(q*l) - beta) / float64(rp-1)
+}
+
+// expansionLowerBound mirrors graph.ExpansionLowerBound; duplicated here
+// in scalar form to keep this package free of the graph dependency for
+// closed-form-only callers.
+func expansionLowerBound(q, l, r, k int, mu1 float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	num := float64(q*l) / float64(r)
+	den := mu1 + (1-mu1)*float64(q)/float64(k)
+	return num / den
+}
+
+// EpsilonMOLSBound returns the Sec. 5.1.1 closed-form upper bound on the
+// distortion fraction of the MOLS scheme (also valid for Ramanujan Case 1,
+// which has the same spectrum):
+//
+//	ε̂ ≤ (2q²/(r·l²)) / (1 + (r−1)·q/(r·l)).
+//
+// Derived from γ/f with µ1 = 1/r, K = r·l, f = l².
+func EpsilonMOLSBound(q, l, r int) float64 {
+	num := 2 * float64(q*q) / float64(r*l*l)
+	den := 1 + float64(r-1)*float64(q)/float64(r*l)
+	return num / den
+}
+
+// EpsilonRam2Bound returns the Sec. 5.1.2 closed-form bound for the
+// Ramanujan Case 2 scheme (K = r², f = r·l, µ1 = 1/r):
+//
+//	ε̂ ≤ (2q²/r²) / (r + (r−1)·q/r).
+func EpsilonRam2Bound(q, l, r int) float64 {
+	num := 2 * float64(q*q) / float64(r*r)
+	den := float64(r) + float64(r-1)*float64(q)/float64(r)
+	return num / den
+}
+
+// EpsilonFRC returns the worst-case distortion fraction of the
+// FRC/DETOX grouping under an omniscient adversary (Sec. 5.3.1):
+//
+//	ε̂ = ⌊q/r'⌋ · r / K.
+//
+// The adversary packs r' Byzantines per clone group, distorting the
+// whole group's vote; ⌊q/r'⌋ groups are lost.
+func EpsilonFRC(q, r, k int) float64 {
+	rp := MajorityThreshold(r)
+	groupsLost := q / rp
+	if max := k / r; groupsLost > max {
+		groupsLost = max
+	}
+	return float64(groupsLost) * float64(r) / float64(k)
+}
+
+// EpsilonBaseline returns the baseline (no redundancy) distortion
+// fraction ε̂ = q/K: every Byzantine worker distorts its own gradient.
+func EpsilonBaseline(q, k int) float64 {
+	return float64(q) / float64(k)
+}
+
+// Claim2Exact returns the exact maximum distortion fraction for the
+// ByzShield constructions in the small-q regime q ≤ r (Claim 2), as a
+// count of distorted files out of f. ok is false outside the regime.
+//
+//	r = 3:  q<2 → 0,  q=2 → 1,  q=3 → 3.
+//	r > 3:  q<r' → 0, r'≤q<r → 1, q=r → 2.
+func Claim2Exact(q, r int) (cmax int, ok bool) {
+	if q < 0 || q > r {
+		return 0, false
+	}
+	rp := MajorityThreshold(r)
+	if r == 3 {
+		switch {
+		case q < 2:
+			return 0, true
+		case q == 2:
+			return 1, true
+		default: // q == 3
+			return 3, true
+		}
+	}
+	if r > 3 {
+		switch {
+		case q < rp:
+			return 0, true
+		case q < r:
+			return 1, true
+		default: // q == r
+			return 2, true
+		}
+	}
+	// r <= 2 has no meaningful majority redundancy; only q < r' → 0.
+	if q < rp {
+		return 0, true
+	}
+	return 0, false
+}

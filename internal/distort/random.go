@@ -1,0 +1,97 @@
+package distort
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file quantifies the gap the paper's Sec. 1.2 / 5.3.1 argument
+// rests on: DETOX/DRACO's resilience guarantees assume the q Byzantines
+// are chosen *at random*, in which case few clone groups are stolen in
+// expectation — but an omniscient adversary packs groups deliberately.
+// ExpectedDistortion estimates E[ε̂] under a uniformly random Byzantine
+// set (Monte Carlo over the actual assignment); FRCExpectedDistortion
+// computes the same quantity for the FRC grouping in closed form via the
+// hypergeometric distribution. Comparing either against the worst-case
+// search output (MaxDistorted) reproduces the paper's point: the
+// expected fraction is small, the adversarial one is not.
+
+// ExpectedDistortion estimates the mean, min, and max distortion
+// fraction over `samples` uniformly random Byzantine sets of size q.
+// The rng must be non-nil for determinism control.
+func (an *Analyzer) ExpectedDistortion(q, samples int, rng *rand.Rand) (mean, minFrac, maxFrac float64, err error) {
+	k := an.asn.K
+	if q < 0 || q > k {
+		return 0, 0, 0, fmt.Errorf("distort: q=%d out of range [0,%d]", q, k)
+	}
+	if samples < 1 {
+		return 0, 0, 0, fmt.Errorf("distort: samples=%d < 1", samples)
+	}
+	if rng == nil {
+		return 0, 0, 0, fmt.Errorf("distort: nil rng")
+	}
+	f := float64(an.asn.F)
+	minFrac = math.Inf(1)
+	var sum float64
+	perm := make([]int, k)
+	for i := range perm {
+		perm[i] = i
+	}
+	for s := 0; s < samples; s++ {
+		rng.Shuffle(k, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		frac := float64(an.DistortedCount(perm[:q])) / f
+		sum += frac
+		if frac < minFrac {
+			minFrac = frac
+		}
+		if frac > maxFrac {
+			maxFrac = frac
+		}
+	}
+	return sum / float64(samples), minFrac, maxFrac, nil
+}
+
+// FRCExpectedDistortion returns the exact expected distortion fraction
+// of the FRC grouping (K/r groups of r clones) under a uniformly random
+// Byzantine set of size q: each group is stolen when at least
+// r' = ⌊r/2⌋+1 of its r members are Byzantine, which follows the
+// hypergeometric distribution H(K, q, r). By symmetry and linearity,
+//
+//	E[ε̂] = P(group stolen) = Σ_{i=r'}^{r} C(q,i)·C(K−q, r−i) / C(K,r).
+func FRCExpectedDistortion(k, r, q int) (float64, error) {
+	if r < 1 || k < 1 || k%r != 0 {
+		return 0, fmt.Errorf("distort: FRC needs r | K with r,K >= 1, got K=%d r=%d", k, r)
+	}
+	if q < 0 || q > k {
+		return 0, fmt.Errorf("distort: q=%d out of range [0,%d]", q, k)
+	}
+	rp := MajorityThreshold(r)
+	var p float64
+	for i := rp; i <= r && i <= q; i++ {
+		if r-i > k-q {
+			continue
+		}
+		p += hypergeomPMF(k, q, r, i)
+	}
+	return p, nil
+}
+
+// hypergeomPMF returns P(X = i) for X ~ Hypergeometric(K, q, r):
+// drawing r group members from K workers of which q are Byzantine.
+func hypergeomPMF(k, q, r, i int) float64 {
+	return math.Exp(logChoose(q, i) + logChoose(k-q, r-i) - logChoose(k, r))
+}
+
+// logChoose returns log C(n, k) via log-gamma, with -Inf for invalid
+// combinations.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}

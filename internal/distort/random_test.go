@@ -1,0 +1,150 @@
+package distort
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"byzshield/internal/assign"
+)
+
+func frcAnalyzer(t testing.TB, k, r int) *Analyzer {
+	t.Helper()
+	a, err := assign.FRC(k, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewAnalyzer(a)
+}
+
+func TestFRCExpectedDistortionMatchesMonteCarlo(t *testing.T) {
+	// K = 25, r = 5, q = 9 — the regime where the omniscient attack
+	// breaks DETOX (ε̂ = 0.6) but random placement rarely does.
+	an := frcAnalyzer(t, 25, 5)
+	exact, err := FRCExpectedDistortion(25, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, minF, maxF, err := an.ExpectedDistortion(9, 20000, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-exact) > 0.01 {
+		t.Errorf("Monte Carlo mean %.4f vs exact %.4f", mean, exact)
+	}
+	if minF > mean || maxF < mean {
+		t.Errorf("min %.3f / mean %.3f / max %.3f inconsistent", minF, mean, maxF)
+	}
+}
+
+// TestRandomVsWorstCaseGap reproduces the paper's central argument
+// (Sec. 1.2): DETOX's expected distortion under a random adversary is
+// small, but the omniscient worst case is catastrophic.
+func TestRandomVsWorstCaseGap(t *testing.T) {
+	const k, r, q = 25, 5, 9
+	expected, err := FRCExpectedDistortion(k, r, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := frcAnalyzer(t, k, r)
+	worst := an.MaxDistorted(context.Background(), q)
+	if !worst.Exact {
+		t.Fatal("worst-case search did not complete")
+	}
+	// Worst case: 3 groups stolen = 0.6 (Table 4's ε̂_FRC column).
+	if math.Abs(worst.Epsilon-0.6) > 1e-9 {
+		t.Errorf("worst-case ε̂ = %v, want 0.6", worst.Epsilon)
+	}
+	// Random adversary: well under half the worst case.
+	if expected > worst.Epsilon/2 {
+		t.Errorf("expected ε̂ %.4f not far below worst case %.4f — the paper's gap argument fails",
+			expected, worst.Epsilon)
+	}
+}
+
+// TestByzShieldWorstCloseToRandom shows the flip side: ByzShield's
+// expander placement leaves the omniscient adversary little advantage
+// over a random one at small q.
+func TestByzShieldWorstCloseToRandom(t *testing.T) {
+	an := molsAnalyzer(t, 5, 3)
+	mean, _, maxSampled, err := an.ExpectedDistortion(3, 20000, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := an.MaxDistorted(context.Background(), 3)
+	// Worst case 3/25 = 0.12; sampled max must find it (small space),
+	// and the mean should be within ~4x of the worst case — no
+	// catastrophic packing exists to find.
+	if math.Abs(maxSampled-worst.Epsilon) > 1e-9 {
+		t.Errorf("sampled max %.4f should reach worst case %.4f on this small space", maxSampled, worst.Epsilon)
+	}
+	if worst.Epsilon > 4*mean+1e-9 {
+		t.Errorf("MOLS worst case %.4f far above mean %.4f — unexpected fragility", worst.Epsilon, mean)
+	}
+}
+
+func TestFRCExpectedDistortionClosedFormValues(t *testing.T) {
+	// r = 3, K = 15, q = 2: a group is stolen iff both byzantines share
+	// a group: P = (K/r)·C(3,2)·C(12,1)/C(15,3)... via symmetry:
+	// P(group stolen) = [C(2,2)·C(13,1) + 0] terms — compute directly:
+	// P(X>=2), X ~ Hyper(15, 2, 3): P(X=2) = C(2,2)C(13,1)/C(15,3) = 13/455.
+	got, err := FRCExpectedDistortion(15, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 13.0 / 455
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("E[ε̂] = %v, want %v", got, want)
+	}
+	// q = 0: zero.
+	z, err := FRCExpectedDistortion(15, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z != 0 {
+		t.Errorf("E[ε̂] at q=0 = %v", z)
+	}
+	// q = K: every group fully byzantine → 1.
+	full, err := FRCExpectedDistortion(15, 3, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full-1) > 1e-12 {
+		t.Errorf("E[ε̂] at q=K = %v, want 1", full)
+	}
+}
+
+func TestFRCExpectedDistortionErrors(t *testing.T) {
+	if _, err := FRCExpectedDistortion(10, 3, 2); err == nil {
+		t.Error("r∤K accepted")
+	}
+	if _, err := FRCExpectedDistortion(15, 3, -1); err == nil {
+		t.Error("negative q accepted")
+	}
+	if _, err := FRCExpectedDistortion(15, 3, 16); err == nil {
+		t.Error("q > K accepted")
+	}
+}
+
+func TestExpectedDistortionErrors(t *testing.T) {
+	an := molsAnalyzer(t, 5, 3)
+	if _, _, _, err := an.ExpectedDistortion(-1, 10, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("negative q accepted")
+	}
+	if _, _, _, err := an.ExpectedDistortion(2, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, _, _, err := an.ExpectedDistortion(2, 10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	if v := math.Exp(logChoose(5, 2)); math.Abs(v-10) > 1e-9 {
+		t.Errorf("C(5,2) = %v", v)
+	}
+	if !math.IsInf(logChoose(3, 5), -1) || !math.IsInf(logChoose(3, -1), -1) {
+		t.Error("invalid combinations should be -Inf")
+	}
+}

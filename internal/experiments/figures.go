@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"fmt"
+
+	"byzshield/internal/aggregate"
+	"byzshield/internal/assign"
+	"byzshield/internal/attack"
+)
+
+// The paper's K = 25 cluster uses the Ramanujan Case 2 construction with
+// r = l = 5 (f = 25 files); the K = 15 cluster uses MOLS with l = 5,
+// r = 3 (f = 25 files). DETOX runs FRC with the same K and r.
+
+// alieAttack returns the ALIE configuration used by the figures:
+// z = 1.0, matching the grid-searched z ≈ 1.035 that Baruch et al. use
+// in their experiments (the closed-form z_max is far more conservative
+// and under-reports the attack's strength on small clusters).
+func alieAttack() attack.Attack { return attack.ALIE{ZOverride: 1.0} }
+
+func byzShield25() (*assign.Assignment, error) { return assign.Ramanujan2(5, 5) }
+func byzShield15() (*assign.Assignment, error) { return assign.MOLS(5, 3) }
+
+// detoxMoMFor returns DETOX's median-of-means over the K/r vote
+// winners: three groups (sizes ⌈w/3⌉...) so that group means are true
+// means — one corrupted winner pollutes its whole group, the weakness
+// ALIE exploits.
+func detoxMoMFor(winners int) aggregate.Aggregator {
+	g := 3
+	if g > winners {
+		g = winners
+	}
+	return aggregate.MedianOfMeans{Groups: g}
+}
+
+// byzShieldSpec builds the standard ByzShield curve at cluster size k.
+func byzShieldSpec(k, q int, atk attack.Attack) RunSpec {
+	scheme := byzShield25
+	if k == 15 {
+		scheme = byzShield15
+	}
+	return RunSpec{
+		Label:      fmt.Sprintf("ByzShield, q = %d", q),
+		Pipeline:   PipelineByzShield,
+		Scheme:     scheme,
+		K:          k,
+		Q:          q,
+		Attack:     atk,
+		Aggregator: aggregate.Median{},
+	}
+}
+
+// baselineMedianSpec is the un-replicated coordinate-wise median.
+func baselineMedianSpec(k, q int, atk attack.Attack) RunSpec {
+	return RunSpec{
+		Label:      fmt.Sprintf("Median, q = %d", q),
+		Pipeline:   PipelineBaseline,
+		K:          k,
+		Q:          q,
+		Attack:     atk,
+		Aggregator: aggregate.Median{},
+	}
+}
+
+// detoxMoMSpec is DETOX (FRC grouping, r = 5 at K = 25; r = 3 at K = 15)
+// with median-of-means on the vote winners.
+func detoxMoMSpec(k, r, q int, atk attack.Attack) RunSpec {
+	return RunSpec{
+		Label:      fmt.Sprintf("DETOX-MoM, q = %d", q),
+		Pipeline:   PipelineDETOX,
+		K:          k,
+		R:          r,
+		Q:          q,
+		Attack:     atk,
+		Aggregator: detoxMoMFor(k / r),
+	}
+}
+
+// bulyanSpec is the baseline Bulyan defense with c = q.
+func bulyanSpec(k, q int, atk attack.Attack) RunSpec {
+	return RunSpec{
+		Label:      fmt.Sprintf("Bulyan, q = %d", q),
+		Pipeline:   PipelineBaseline,
+		K:          k,
+		Q:          q,
+		Attack:     atk,
+		Aggregator: aggregate.Bulyan{C: q},
+	}
+}
+
+// multiKrumSpec is the baseline Multi-Krum defense with c = q.
+func multiKrumSpec(k, q int, atk attack.Attack) RunSpec {
+	return RunSpec{
+		Label:      fmt.Sprintf("Multi-Krum, q = %d", q),
+		Pipeline:   PipelineBaseline,
+		K:          k,
+		Q:          q,
+		Attack:     atk,
+		Aggregator: aggregate.MultiKrum{C: q},
+	}
+}
+
+// detoxMultiKrumSpec pairs DETOX's vote with Multi-Krum over the K/r
+// winners; the corruption parameter is the number of stolen groups
+// ⌊q/r'⌋, and feasibility (winners ≥ 2c+3) mirrors the paper's limits.
+func detoxMultiKrumSpec(k, r, q int, atk attack.Attack) RunSpec {
+	return RunSpec{
+		Label:    fmt.Sprintf("DETOX-Multi-Krum, q = %d", q),
+		Pipeline: PipelineDETOX,
+		K:        k,
+		R:        r,
+		Q:        q,
+		Attack:   atk,
+		AggregatorFor: func(c int) aggregate.Aggregator {
+			return aggregate.MultiKrum{C: c}
+		},
+	}
+}
+
+// signSGDSpec is the baseline signSGD majority-vote defense.
+func signSGDSpec(k, q int, atk attack.Attack) RunSpec {
+	return RunSpec{
+		Label:        fmt.Sprintf("signSGD, q = %d", q),
+		Pipeline:     PipelineBaseline,
+		K:            k,
+		Q:            q,
+		Attack:       atk,
+		Aggregator:   aggregate.SignSGD{},
+		SignMessages: true,
+	}
+}
+
+// detoxSignSGDSpec pairs DETOX's vote with coordinate-sign majority.
+func detoxSignSGDSpec(k, r, q int, atk attack.Attack) RunSpec {
+	return RunSpec{
+		Label:        fmt.Sprintf("DETOX-signSGD, q = %d", q),
+		Pipeline:     PipelineDETOX,
+		K:            k,
+		R:            r,
+		Q:            q,
+		Attack:       atk,
+		Aggregator:   aggregate.SignSGD{},
+		SignMessages: true,
+	}
+}
+
+// Figure2 — ALIE attack, median-based defenses, K = 25 (paper Fig. 2):
+// baseline median, ByzShield, DETOX-MoM at q = 3 and 5.
+func Figure2(opts TrainOpts) Figure {
+	atk := alieAttack()
+	return RunFigure("fig2", "ALIE attack and median-based defenses (K=25)", []RunSpec{
+		baselineMedianSpec(25, 3, atk),
+		baselineMedianSpec(25, 5, atk),
+		byzShieldSpec(25, 3, atk),
+		byzShieldSpec(25, 5, atk),
+		detoxMoMSpec(25, 5, 3, atk),
+		detoxMoMSpec(25, 5, 5, atk),
+	}, opts)
+}
+
+// Figure3 — ALIE attack, Bulyan defenses, K = 25 (paper Fig. 3).
+func Figure3(opts TrainOpts) Figure {
+	atk := alieAttack()
+	return RunFigure("fig3", "ALIE attack and Bulyan-based defenses (K=25)", []RunSpec{
+		bulyanSpec(25, 3, atk),
+		bulyanSpec(25, 5, atk),
+		byzShieldSpec(25, 3, atk),
+		byzShieldSpec(25, 5, atk),
+	}, opts)
+}
+
+// Figure4 — ALIE attack, Multi-Krum defenses, K = 25 (paper Fig. 4).
+func Figure4(opts TrainOpts) Figure {
+	atk := alieAttack()
+	return RunFigure("fig4", "ALIE attack and Multi-Krum-based defenses (K=25)", []RunSpec{
+		multiKrumSpec(25, 3, atk),
+		multiKrumSpec(25, 5, atk),
+		byzShieldSpec(25, 3, atk),
+		byzShieldSpec(25, 5, atk),
+		detoxMultiKrumSpec(25, 5, 3, atk),
+		detoxMultiKrumSpec(25, 5, 5, atk),
+	}, opts)
+}
+
+// Figure5 — Constant attack, signSGD defenses, K = 25 (paper Fig. 5).
+// ByzShield keeps its median pipeline, as in the paper.
+func Figure5(opts TrainOpts) Figure {
+	atk := attack.Constant{ScaleByFileSize: true}
+	return RunFigure("fig5", "Constant attack and signSGD-based defenses (K=25)", []RunSpec{
+		signSGDSpec(25, 3, atk),
+		signSGDSpec(25, 5, atk),
+		byzShieldSpec(25, 3, atk),
+		byzShieldSpec(25, 5, atk),
+		detoxSignSGDSpec(25, 5, 3, atk),
+		detoxSignSGDSpec(25, 5, 5, atk),
+	}, opts)
+}
+
+// Figure6 — Reversed-gradient attack, median defenses, K = 25
+// (paper Fig. 6): includes the q = 9 regime where DETOX's ε̂ = 0.6
+// breaks the defense.
+func Figure6(opts TrainOpts) Figure {
+	atk := attack.Reversed{C: 1}
+	return RunFigure("fig6", "Reversed gradient attack and median-based defenses (K=25)", []RunSpec{
+		baselineMedianSpec(25, 3, atk),
+		baselineMedianSpec(25, 9, atk),
+		byzShieldSpec(25, 3, atk),
+		byzShieldSpec(25, 9, atk),
+		detoxMoMSpec(25, 5, 3, atk),
+		detoxMoMSpec(25, 5, 9, atk),
+	}, opts)
+}
+
+// Figure7 — Reversed-gradient attack, Bulyan defenses, K = 25
+// (paper Fig. 7): Bulyan is infeasible at q = 9 while ByzShield still
+// converges (ε̂ = 0.36).
+func Figure7(opts TrainOpts) Figure {
+	atk := attack.Reversed{C: 1}
+	return RunFigure("fig7", "Reversed gradient attack and Bulyan-based defenses (K=25)", []RunSpec{
+		bulyanSpec(25, 3, atk),
+		bulyanSpec(25, 5, atk),
+		byzShieldSpec(25, 3, atk),
+		byzShieldSpec(25, 5, atk),
+		byzShieldSpec(25, 9, atk),
+		bulyanSpec(25, 9, atk), // expected infeasible: 25 < 4·9+3
+	}, opts)
+}
+
+// Figure8 — Reversed-gradient attack, Multi-Krum defenses, K = 25
+// (paper Fig. 8): DETOX-Multi-Krum is infeasible at q = 9 (needs
+// 2c+3 = 9 > 5 groups).
+func Figure8(opts TrainOpts) Figure {
+	atk := attack.Reversed{C: 1}
+	return RunFigure("fig8", "Reversed gradient attack and Multi-Krum-based defenses (K=25)", []RunSpec{
+		multiKrumSpec(25, 3, atk),
+		multiKrumSpec(25, 5, atk),
+		multiKrumSpec(25, 9, atk),
+		byzShieldSpec(25, 3, atk),
+		byzShieldSpec(25, 5, atk),
+		byzShieldSpec(25, 9, atk),
+		detoxMultiKrumSpec(25, 5, 3, atk),
+		detoxMultiKrumSpec(25, 5, 5, atk),
+		detoxMultiKrumSpec(25, 5, 9, atk), // expected infeasible
+	}, opts)
+}
+
+// Figure9 — ALIE attack, median defenses, K = 15 (paper Fig. 9).
+func Figure9(opts TrainOpts) Figure {
+	atk := alieAttack()
+	return RunFigure("fig9", "ALIE attack and median-based defenses (K=15)", []RunSpec{
+		baselineMedianSpec(15, 2, atk),
+		byzShieldSpec(15, 2, atk),
+		detoxMoMSpec(15, 3, 2, atk),
+	}, opts)
+}
+
+// Figure10 — ALIE attack, Bulyan defenses, K = 15 (paper Fig. 10).
+func Figure10(opts TrainOpts) Figure {
+	atk := alieAttack()
+	return RunFigure("fig10", "ALIE attack and Bulyan-based defenses (K=15)", []RunSpec{
+		bulyanSpec(15, 2, atk),
+		byzShieldSpec(15, 2, atk),
+	}, opts)
+}
+
+// Figure11 — ALIE attack, Multi-Krum defenses, K = 15 (paper Fig. 11).
+func Figure11(opts TrainOpts) Figure {
+	atk := alieAttack()
+	return RunFigure("fig11", "ALIE attack and Multi-Krum-based defenses (K=15)", []RunSpec{
+		multiKrumSpec(15, 2, atk),
+		byzShieldSpec(15, 2, atk),
+		detoxMultiKrumSpec(15, 3, 2, atk),
+	}, opts)
+}
+
+// FigureByID dispatches a figure id ("2".."11" or "fig2".."fig11").
+func FigureByID(id string, opts TrainOpts) (Figure, error) {
+	switch id {
+	case "2", "fig2":
+		return Figure2(opts), nil
+	case "3", "fig3":
+		return Figure3(opts), nil
+	case "4", "fig4":
+		return Figure4(opts), nil
+	case "5", "fig5":
+		return Figure5(opts), nil
+	case "6", "fig6":
+		return Figure6(opts), nil
+	case "7", "fig7":
+		return Figure7(opts), nil
+	case "8", "fig8":
+		return Figure8(opts), nil
+	case "9", "fig9":
+		return Figure9(opts), nil
+	case "10", "fig10":
+		return Figure10(opts), nil
+	case "11", "fig11":
+		return Figure11(opts), nil
+	default:
+		return Figure{}, fmt.Errorf("experiments: unknown figure %q", id)
+	}
+}

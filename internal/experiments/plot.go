@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderFigurePlot draws the figure's accuracy curves as an ASCII line
+// chart (iterations on x, top-1 accuracy on y), the terminal equivalent
+// of the paper's matplotlib figures. Infeasible curves are listed below
+// the chart.
+func RenderFigurePlot(w io.Writer, fig Figure, width, height int) {
+	if width < 20 {
+		width = 72
+	}
+	if height < 5 {
+		height = 20
+	}
+	var live []Curve
+	var dead []Curve
+	for _, c := range fig.Curves {
+		if c.Err == "" && len(c.Points) > 0 {
+			live = append(live, c)
+		} else {
+			dead = append(dead, c)
+		}
+	}
+	fmt.Fprintf(w, "%s: %s\n", fig.ID, fig.Title)
+	if len(live) == 0 {
+		fmt.Fprintln(w, "(no feasible curves)")
+		return
+	}
+	maxIter := 0
+	for _, c := range live {
+		if n := len(c.Points); n > 0 && c.Points[n-1].Iteration > maxIter {
+			maxIter = c.Points[n-1].Iteration
+		}
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "1234567890"
+	for ci, c := range live {
+		mark := marks[ci%len(marks)]
+		for _, p := range c.Points {
+			x := 0
+			if maxIter > 0 {
+				x = (p.Iteration - 1) * (width - 1) / maxIter
+			}
+			y := int(p.Accuracy * float64(height-1))
+			if y < 0 {
+				y = 0
+			}
+			if y > height-1 {
+				y = height - 1
+			}
+			row := height - 1 - y
+			grid[row][x] = mark
+		}
+	}
+	for i, row := range grid {
+		yVal := float64(height-1-i) / float64(height-1)
+		fmt.Fprintf(w, "%5.2f |%s\n", yVal, string(row))
+	}
+	fmt.Fprintf(w, "      +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "       0%siters=%d\n", strings.Repeat(" ", width-8-len(fmt.Sprint(maxIter))), maxIter)
+	for ci, c := range live {
+		final := c.Points[len(c.Points)-1].Accuracy
+		fmt.Fprintf(w, "  [%c] %-28s ε̂=%.2f final=%.3f\n", marks[ci%len(marks)], c.Label, c.Epsilon, final)
+	}
+	for _, c := range dead {
+		fmt.Fprintf(w, "  [-] %-28s ε̂=%.2f %s\n", c.Label, c.Epsilon, c.Err)
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"byzshield/internal/assign"
+	"byzshield/internal/distort"
+)
+
+// TableRow is one row of a distortion-fraction table (the format shared
+// by Tables 3–6 of the paper).
+type TableRow struct {
+	Q           int
+	CMax        int
+	Exact       bool // false when the search hit its budget (lower bound)
+	EpsByz      float64
+	EpsBaseline float64
+	EpsFRC      float64
+	Gamma       float64
+}
+
+// TableSpec describes one distortion table.
+type TableSpec struct {
+	ID      string
+	Title   string
+	Scheme  func() (*assign.Assignment, error)
+	QMin    int
+	QMax    int
+	BaseK   int // cluster size used for the baseline/FRC columns
+	BaseR   int // replication used for the FRC column
+	GammaMu float64
+}
+
+// Table3Spec: MOLS (K, f, l, r) = (15, 25, 5, 3), q = 2..7.
+func Table3Spec() TableSpec {
+	return TableSpec{
+		ID:    "table3",
+		Title: "Distortion fraction, MOLS (K,f,l,r)=(15,25,5,3)",
+		Scheme: func() (*assign.Assignment, error) {
+			return assign.MOLS(5, 3)
+		},
+		QMin: 2, QMax: 7, BaseK: 15, BaseR: 3, GammaMu: 1.0 / 3,
+	}
+}
+
+// Table4Spec: Ramanujan Case 2 (m, s) = (5, 5), (K,f,l,r) = (25,25,5,5),
+// q = 3..12.
+func Table4Spec() TableSpec {
+	return TableSpec{
+		ID:    "table4",
+		Title: "Distortion fraction, Ramanujan Case 2 (K,f,l,r)=(25,25,5,5)",
+		Scheme: func() (*assign.Assignment, error) {
+			return assign.Ramanujan2(5, 5)
+		},
+		QMin: 3, QMax: 12, BaseK: 25, BaseR: 5, GammaMu: 1.0 / 5,
+	}
+}
+
+// Table5Spec: MOLS (K,f,l,r) = (35,49,7,5), q = 3..13.
+func Table5Spec() TableSpec {
+	return TableSpec{
+		ID:    "table5",
+		Title: "Distortion fraction, MOLS (K,f,l,r)=(35,49,7,5)",
+		Scheme: func() (*assign.Assignment, error) {
+			return assign.MOLS(7, 5)
+		},
+		QMin: 3, QMax: 13, BaseK: 35, BaseR: 5, GammaMu: 1.0 / 5,
+	}
+}
+
+// Table6Spec: MOLS (K,f,l,r) = (21,49,7,3), q = 2..10.
+func Table6Spec() TableSpec {
+	return TableSpec{
+		ID:    "table6",
+		Title: "Distortion fraction, MOLS (K,f,l,r)=(21,49,7,3)",
+		Scheme: func() (*assign.Assignment, error) {
+			return assign.MOLS(7, 3)
+		},
+		QMin: 2, QMax: 10, BaseK: 21, BaseR: 3, GammaMu: 1.0 / 3,
+	}
+}
+
+// TableByID dispatches a table id ("3".."6" or "table3".."table6").
+func TableByID(id string) (TableSpec, error) {
+	switch id {
+	case "3", "table3":
+		return Table3Spec(), nil
+	case "4", "table4":
+		return Table4Spec(), nil
+	case "5", "table5":
+		return Table5Spec(), nil
+	case "6", "table6":
+		return Table6Spec(), nil
+	default:
+		return TableSpec{}, fmt.Errorf("experiments: unknown table %q", id)
+	}
+}
+
+// RunTable computes the table rows: exact c_max by branch-and-bound
+// within budget per q (falling back to the greedy lower bound on
+// timeout), plus the closed-form comparison columns.
+func RunTable(spec TableSpec, budget time.Duration) ([]TableRow, error) {
+	a, err := spec.Scheme()
+	if err != nil {
+		return nil, err
+	}
+	an := distort.NewAnalyzer(a)
+	var rows []TableRow
+	for q := spec.QMin; q <= spec.QMax; q++ {
+		ctx, cancel := context.WithTimeout(context.Background(), budget)
+		res := an.MaxDistorted(ctx, q)
+		cancel()
+		rows = append(rows, TableRow{
+			Q:           q,
+			CMax:        res.CMax,
+			Exact:       res.Exact,
+			EpsByz:      res.Epsilon,
+			EpsBaseline: distort.EpsilonBaseline(q, spec.BaseK),
+			EpsFRC:      distort.EpsilonFRC(q, spec.BaseR, spec.BaseK),
+			Gamma:       distort.Gamma(q, a.L, a.R, a.K, spec.GammaMu),
+		})
+	}
+	return rows, nil
+}

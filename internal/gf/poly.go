@@ -1,0 +1,173 @@
+package gf
+
+import "fmt"
+
+// Polynomial helpers over GF(p). Polynomials are coefficient slices with
+// the constant term first; trailing zeros are permitted (callers trim
+// with polyTrim when a canonical degree is needed).
+
+// polyTrim removes trailing zero coefficients. The zero polynomial is
+// returned as an empty slice.
+func polyTrim(a []int) []int {
+	n := len(a)
+	for n > 0 && a[n-1] == 0 {
+		n--
+	}
+	return a[:n]
+}
+
+// polyDeg returns the degree of a, with -1 for the zero polynomial.
+func polyDeg(a []int) int {
+	return len(polyTrim(a)) - 1
+}
+
+// polyAdd returns a + b coefficient-wise modulo p.
+func polyAdd(a, b []int, p int) []int {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		var av, bv int
+		if i < len(a) {
+			av = a[i]
+		}
+		if i < len(b) {
+			bv = b[i]
+		}
+		out[i] = (av + bv) % p
+	}
+	return out
+}
+
+// polyNeg returns -a coefficient-wise modulo p.
+func polyNeg(a []int, p int) []int {
+	out := make([]int, len(a))
+	for i, c := range a {
+		out[i] = (p - c) % p
+	}
+	return out
+}
+
+// polyMul returns a * b over GF(p) without reduction.
+func polyMul(a, b []int, p int) []int {
+	a, b = polyTrim(a), polyTrim(b)
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]int, len(a)+len(b)-1)
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range b {
+			out[i+j] = (out[i+j] + av*bv) % p
+		}
+	}
+	return out
+}
+
+// polyMod reduces a modulo the monic polynomial m over GF(p).
+func polyMod(a, m []int, p int) []int {
+	m = polyTrim(m)
+	if len(m) == 0 {
+		panic("gf: polynomial modulus is zero")
+	}
+	if m[len(m)-1] != 1 {
+		panic("gf: polynomial modulus must be monic")
+	}
+	rem := append([]int(nil), a...)
+	rem = polyTrim(rem)
+	dm := len(m) - 1
+	for len(rem)-1 >= dm && len(rem) > 0 {
+		lead := rem[len(rem)-1]
+		shift := len(rem) - 1 - dm
+		// rem -= lead * x^shift * m
+		for i, mc := range m {
+			idx := shift + i
+			rem[idx] = ((rem[idx]-lead*mc)%p + p*p) % p
+		}
+		rem = polyTrim(rem)
+	}
+	return rem
+}
+
+// polyMulMod returns a*b mod m over GF(p).
+func polyMulMod(a, b, m []int, p int) []int {
+	return polyMod(polyMul(a, b, p), m, p)
+}
+
+// polyEval evaluates polynomial a at point x over GF(p) (Horner).
+func polyEval(a []int, x, p int) int {
+	v := 0
+	for i := len(a) - 1; i >= 0; i-- {
+		v = (v*x + a[i]) % p
+	}
+	return v
+}
+
+// findIrreducible searches for a monic irreducible polynomial of degree k
+// over GF(p) by enumeration. For the small fields used in assignment
+// construction (order at most a few hundred) brute force is instant.
+func findIrreducible(p, k int) ([]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("gf: extension degree %d < 2", k)
+	}
+	// Enumerate the p^k monic candidates x^k + c_{k-1} x^{k-1} + ... + c_0.
+	total := 1
+	for i := 0; i < k; i++ {
+		total *= p
+	}
+	for n := 0; n < total; n++ {
+		cand := make([]int, k+1)
+		v := n
+		for i := 0; i < k; i++ {
+			cand[i] = v % p
+			v /= p
+		}
+		cand[k] = 1
+		if isIrreducible(cand, p) {
+			return cand, nil
+		}
+	}
+	return nil, fmt.Errorf("gf: no irreducible polynomial of degree %d over GF(%d)", k, p)
+}
+
+// isIrreducible tests irreducibility of monic polynomial a over GF(p) by
+// trial division with all monic polynomials of degree 1..deg(a)/2.
+func isIrreducible(a []int, p int) bool {
+	da := polyDeg(a)
+	if da < 1 {
+		return false
+	}
+	if da == 1 {
+		return true
+	}
+	// No roots (degree-1 factors).
+	for x := 0; x < p; x++ {
+		if polyEval(a, x, p) == 0 {
+			return false
+		}
+	}
+	// Trial division by higher-degree monic polynomials.
+	for d := 2; d <= da/2; d++ {
+		count := 1
+		for i := 0; i < d; i++ {
+			count *= p
+		}
+		for n := 0; n < count; n++ {
+			div := make([]int, d+1)
+			v := n
+			for i := 0; i < d; i++ {
+				div[i] = v % p
+				v /= p
+			}
+			div[d] = 1
+			if len(polyMod(a, div, p)) == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,176 @@
+// Package graph implements the bipartite worker–file graphs at the heart
+// of ByzShield's analysis (Sec. 3 of the paper): bi-adjacency matrices,
+// neighborhoods N(S), biregularity checks, the normalized product A·Aᵀ
+// with A = H/√(dL·dR), its spectrum, the second eigenvalue µ1, and the
+// expansion lower bound β of Eq. (5) derived from Lemma 1 (Tanner-graph
+// expansion, Zhu & Chugg 2007).
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"byzshield/internal/linalg"
+)
+
+// Bipartite is a bipartite graph G = (U ∪ F, E) between Left nodes
+// (workers) and Right nodes (files). Adjacency is stored both ways for
+// O(degree) neighborhood queries.
+type Bipartite struct {
+	left, right int
+	adjL        [][]int // adjL[u] = sorted files assigned to worker u
+	adjR        [][]int // adjR[v] = sorted workers holding file v
+	edges       int
+}
+
+// NewBipartite creates an empty bipartite graph with the given part sizes.
+func NewBipartite(left, right int) *Bipartite {
+	if left < 0 || right < 0 {
+		panic(fmt.Sprintf("graph: negative part sizes %d,%d", left, right))
+	}
+	return &Bipartite{
+		left:  left,
+		right: right,
+		adjL:  make([][]int, left),
+		adjR:  make([][]int, right),
+	}
+}
+
+// Left returns the number of left (worker) nodes.
+func (g *Bipartite) Left() int { return g.left }
+
+// Right returns the number of right (file) nodes.
+func (g *Bipartite) Right() int { return g.right }
+
+// Edges returns the number of edges.
+func (g *Bipartite) Edges() int { return g.edges }
+
+// AddEdge connects left node u to right node v. Duplicate edges are
+// rejected with an error (assignments are simple graphs).
+func (g *Bipartite) AddEdge(u, v int) error {
+	if u < 0 || u >= g.left {
+		return fmt.Errorf("graph: left node %d out of range [0,%d)", u, g.left)
+	}
+	if v < 0 || v >= g.right {
+		return fmt.Errorf("graph: right node %d out of range [0,%d)", v, g.right)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	g.adjL[u] = insertSorted(g.adjL[u], v)
+	g.adjR[v] = insertSorted(g.adjR[v], u)
+	g.edges++
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error, for construction code
+// whose indices are correct by construction.
+func (g *Bipartite) MustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether (u, v) is an edge.
+func (g *Bipartite) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.left || v < 0 || v >= g.right {
+		return false
+	}
+	adj := g.adjL[u]
+	i := sort.SearchInts(adj, v)
+	return i < len(adj) && adj[i] == v
+}
+
+// NeighborsOfLeft returns a copy of the files assigned to worker u,
+// sorted ascending. This is N(U_u) in the paper's notation.
+func (g *Bipartite) NeighborsOfLeft(u int) []int {
+	out := make([]int, len(g.adjL[u]))
+	copy(out, g.adjL[u])
+	return out
+}
+
+// NeighborsOfRight returns a copy of the workers holding file v, sorted
+// ascending. This is N(B_v) in the paper's notation.
+func (g *Bipartite) NeighborsOfRight(v int) []int {
+	out := make([]int, len(g.adjR[v]))
+	copy(out, g.adjR[v])
+	return out
+}
+
+// LeftDegree returns the degree of left node u.
+func (g *Bipartite) LeftDegree(u int) int { return len(g.adjL[u]) }
+
+// RightDegree returns the degree of right node v.
+func (g *Bipartite) RightDegree(v int) int { return len(g.adjR[v]) }
+
+// NeighborhoodOfLeftSet returns N(S) for a set S of left nodes: the set
+// of right nodes adjacent to at least one member, sorted ascending.
+func (g *Bipartite) NeighborhoodOfLeftSet(S []int) []int {
+	seen := make(map[int]bool)
+	for _, u := range S {
+		for _, v := range g.adjL[u] {
+			seen[v] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Biregular reports whether all left degrees equal dL ≥ 1 and all right
+// degrees equal dR ≥ 1, returning those common degrees. Graphs with an
+// empty side or isolated vertices are not considered biregular.
+func (g *Bipartite) Biregular() (dL, dR int, ok bool) {
+	if g.left == 0 || g.right == 0 || g.edges == 0 {
+		return 0, 0, false
+	}
+	dL = len(g.adjL[0])
+	for _, adj := range g.adjL {
+		if len(adj) != dL {
+			return 0, 0, false
+		}
+	}
+	dR = len(g.adjR[0])
+	for _, adj := range g.adjR {
+		if len(adj) != dR {
+			return 0, 0, false
+		}
+	}
+	return dL, dR, true
+}
+
+// BiAdjacency returns the 0/1 bi-adjacency matrix H (Eq. 4): rows are
+// left nodes, columns right nodes.
+func (g *Bipartite) BiAdjacency() *linalg.Matrix {
+	h := linalg.NewMatrix(g.left, g.right)
+	for u, adj := range g.adjL {
+		for _, v := range adj {
+			h.Set(u, v, 1)
+		}
+	}
+	return h
+}
+
+// NormalizedBiAdjacency returns A = H / √(dL·dR) for a biregular graph.
+func (g *Bipartite) NormalizedBiAdjacency() (*linalg.Matrix, error) {
+	dL, dR, ok := g.Biregular()
+	if !ok {
+		return nil, fmt.Errorf("graph: not biregular")
+	}
+	h := g.BiAdjacency()
+	h.Scale(1 / math.Sqrt(float64(dL*dR)))
+	return h, nil
+}
+
+// insertSorted inserts v into sorted slice xs keeping order.
+func insertSorted(xs []int, v int) []int {
+	i := sort.SearchInts(xs, v)
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}

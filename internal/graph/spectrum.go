@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"byzshield/internal/linalg"
+)
+
+// Spectrum holds the eigenvalues of the normalized co-assignment matrix
+// A·Aᵀ of a biregular bipartite graph, sorted decreasing, together with
+// the grouped (value, multiplicity) view used to compare against the
+// exact spectra of Lemma 2.
+type Spectrum struct {
+	Eigenvalues []float64
+	Groups      []linalg.EigenvalueMultiplicity
+}
+
+// Mu1 returns the second-largest eigenvalue µ1 of A·Aᵀ, the quantity
+// that controls the expansion bound of Lemma 1. It panics if the
+// spectrum has fewer than two eigenvalues.
+func (s *Spectrum) Mu1() float64 {
+	if len(s.Eigenvalues) < 2 {
+		panic("graph: spectrum has fewer than two eigenvalues")
+	}
+	return s.Eigenvalues[1]
+}
+
+// ComputeSpectrum computes the eigenvalues of A·Aᵀ where A is the
+// normalized bi-adjacency matrix of g. Groups are formed with the given
+// tolerance (1e-6 is appropriate for the exact rational spectra of the
+// paper's constructions).
+func ComputeSpectrum(g *Bipartite, tol float64) (*Spectrum, error) {
+	a, err := g.NormalizedBiAdjacency()
+	if err != nil {
+		return nil, err
+	}
+	vals, err := linalg.SymmetricEigen(a.Gram())
+	if err != nil {
+		return nil, err
+	}
+	return &Spectrum{
+		Eigenvalues: vals,
+		Groups:      linalg.GroupEigenvalues(vals, tol),
+	}, nil
+}
+
+// MatchesExpected reports whether the grouped spectrum equals the
+// expected (value, multiplicity) list up to tol on values. The expected
+// list must be sorted by decreasing value, as GroupEigenvalues produces.
+func (s *Spectrum) MatchesExpected(expected []linalg.EigenvalueMultiplicity, tol float64) error {
+	if len(s.Groups) != len(expected) {
+		return fmt.Errorf("graph: %d eigenvalue groups, want %d (groups: %+v)", len(s.Groups), len(expected), s.Groups)
+	}
+	for i, e := range expected {
+		g := s.Groups[i]
+		if math.Abs(g.Value-e.Value) > tol {
+			return fmt.Errorf("graph: group %d value %.8f, want %.8f", i, g.Value, e.Value)
+		}
+		if g.Multiplicity != e.Multiplicity {
+			return fmt.Errorf("graph: group %d multiplicity %d, want %d", i, g.Multiplicity, e.Multiplicity)
+		}
+	}
+	return nil
+}
+
+// Mu1Fast estimates µ1 without the full O(K³) Jacobi solve: for a
+// biregular graph the dominant eigenpair of A·Aᵀ is exactly (1, uniform
+// vector), so the second eigenvalue is obtained by deflated power
+// iteration in O(K²·iters). Suitable for cluster sizes where computing
+// the complete spectrum is wasteful.
+func Mu1Fast(g *Bipartite) (float64, error) {
+	a, err := g.NormalizedBiAdjacency()
+	if err != nil {
+		return 0, err
+	}
+	gram := a.Gram()
+	uniform := make([]float64, gram.Rows)
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	return linalg.SecondEigenvaluePSD(gram, 1, uniform, 0, 0)
+}
+
+// ExpansionLowerBound returns β from Eq. (5) of the paper: given a set
+// of q left nodes each of degree l in a graph with K left nodes, r-regular
+// right side and second eigenvalue µ1, the number of distinct right
+// neighbors is at least
+//
+//	β = (q·l/r) / (µ1 + (1−µ1)·q/K).
+//
+// It follows from Lemma 1 with vol(S) = q·l and |E| = K·l.
+func ExpansionLowerBound(q, l, r, K int, mu1 float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	num := float64(q*l) / float64(r)
+	den := mu1 + (1-mu1)*float64(q)/float64(K)
+	return num / den
+}
+
+// VolumeOfLeftSet returns vol(S) = sum of degrees of the left nodes in S.
+func (g *Bipartite) VolumeOfLeftSet(S []int) int {
+	vol := 0
+	for _, u := range S {
+		vol += len(g.adjL[u])
+	}
+	return vol
+}
+
+// CheckExpansionBound verifies Lemma 1 empirically for a specific left
+// set S: |N(S)| must be at least the β bound computed from the graph's
+// actual spectrum. Returns the observed |N(S)| and the bound.
+func CheckExpansionBound(g *Bipartite, S []int) (observed int, bound float64, err error) {
+	dL, dR, ok := g.Biregular()
+	if !ok {
+		return 0, 0, fmt.Errorf("graph: expansion bound requires biregular graph")
+	}
+	spec, err := ComputeSpectrum(g, 1e-6)
+	if err != nil {
+		return 0, 0, err
+	}
+	observed = len(g.NeighborhoodOfLeftSet(S))
+	bound = ExpansionLowerBound(len(S), dL, dR, g.Left(), spec.Mu1())
+	return observed, bound, nil
+}

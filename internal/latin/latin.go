@@ -1,0 +1,189 @@
+// Package latin implements Latin squares and families of Mutually
+// Orthogonal Latin Squares (MOLS), the combinatorial structure behind
+// ByzShield's primary task-assignment scheme (Sec. 4.1 of the paper).
+//
+// A Latin square of degree l is an l×l array over l symbols in which
+// every symbol appears exactly once in each row and each column
+// (Definition 1). Two squares are orthogonal when superimposing them
+// yields every ordered symbol pair exactly once (Definition 2). The
+// standard construction L_α(i,j) = α·i + j over the finite field F_l
+// yields the maximal family of l−1 MOLS for any prime power l; ByzShield
+// uses the first r members of this family to place each of the l² files
+// on r workers.
+package latin
+
+import (
+	"fmt"
+
+	"byzshield/internal/gf"
+)
+
+// Square is a Latin square candidate of degree l; Cell[i][j] holds the
+// symbol at row i, column j. Symbols are integers in [0, l).
+type Square struct {
+	L     int
+	Cells [][]int
+}
+
+// NewSquare allocates a degree-l square with all cells zero (not yet a
+// valid Latin square; fill it and check with Validate).
+func NewSquare(l int) *Square {
+	if l < 1 {
+		panic(fmt.Sprintf("latin: degree %d < 1", l))
+	}
+	cells := make([][]int, l)
+	backing := make([]int, l*l)
+	for i := range cells {
+		cells[i], backing = backing[:l], backing[l:]
+	}
+	return &Square{L: l, Cells: cells}
+}
+
+// At returns the symbol at (i, j).
+func (s *Square) At(i, j int) int { return s.Cells[i][j] }
+
+// Validate returns nil when s is a valid Latin square: every cell in
+// range and every symbol exactly once per row and per column.
+func (s *Square) Validate() error {
+	l := s.L
+	if len(s.Cells) != l {
+		return fmt.Errorf("latin: %d rows, want %d", len(s.Cells), l)
+	}
+	for i, row := range s.Cells {
+		if len(row) != l {
+			return fmt.Errorf("latin: row %d has %d cols, want %d", i, len(row), l)
+		}
+		seen := make([]bool, l)
+		for j, v := range row {
+			if v < 0 || v >= l {
+				return fmt.Errorf("latin: cell (%d,%d) = %d out of range [0,%d)", i, j, v, l)
+			}
+			if seen[v] {
+				return fmt.Errorf("latin: symbol %d repeated in row %d", v, i)
+			}
+			seen[v] = true
+		}
+	}
+	for j := 0; j < l; j++ {
+		seen := make([]bool, l)
+		for i := 0; i < l; i++ {
+			v := s.Cells[i][j]
+			if seen[v] {
+				return fmt.Errorf("latin: symbol %d repeated in column %d", v, j)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}
+
+// SymbolCells returns the l cells (i, j) holding symbol sym, in row
+// order. For a valid Latin square there is exactly one per row.
+func (s *Square) SymbolCells(sym int) [][2]int {
+	if sym < 0 || sym >= s.L {
+		panic(fmt.Sprintf("latin: symbol %d out of range [0,%d)", sym, s.L))
+	}
+	out := make([][2]int, 0, s.L)
+	for i := 0; i < s.L; i++ {
+		for j := 0; j < s.L; j++ {
+			if s.Cells[i][j] == sym {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// Orthogonal reports whether squares a and b of equal degree are
+// orthogonal: each ordered pair (a[i][j], b[i][j]) occurs exactly once.
+func Orthogonal(a, b *Square) bool {
+	if a.L != b.L {
+		return false
+	}
+	l := a.L
+	seen := make([]bool, l*l)
+	for i := 0; i < l; i++ {
+		for j := 0; j < l; j++ {
+			key := a.Cells[i][j]*l + b.Cells[i][j]
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+		}
+	}
+	return true
+}
+
+// MOLS constructs a family of count mutually orthogonal Latin squares of
+// degree l using L_α(i,j) = α·i + j over GF(l). It requires l to be a
+// prime power and 1 <= count <= l-1 (the maximal family size).
+func MOLS(l, count int) ([]*Square, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("latin: MOLS count %d < 1", count)
+	}
+	if count > l-1 {
+		return nil, fmt.Errorf("latin: MOLS count %d exceeds maximum %d for degree %d", count, l-1, l)
+	}
+	field, err := gf.New(l)
+	if err != nil {
+		return nil, fmt.Errorf("latin: degree %d: %w", l, err)
+	}
+	squares := make([]*Square, count)
+	// α runs over the first `count` nonzero field elements in encoding
+	// order. For prime l this reproduces the paper's α = 1, 2, ..., r
+	// family exactly (Table 1 uses α = 1, 2, 3 with l = 5).
+	for a := 0; a < count; a++ {
+		alpha := a + 1
+		sq := NewSquare(l)
+		for i := 0; i < l; i++ {
+			for j := 0; j < l; j++ {
+				sq.Cells[i][j] = field.Add(field.Mul(alpha, i), j)
+			}
+		}
+		squares[a] = sq
+	}
+	return squares, nil
+}
+
+// MustMOLS is MOLS that panics on error, for parameters already
+// validated by the caller.
+func MustMOLS(l, count int) []*Square {
+	s, err := MOLS(l, count)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ValidateFamily checks that every square is Latin and every pair is
+// orthogonal.
+func ValidateFamily(squares []*Square) error {
+	for i, s := range squares {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("latin: square %d: %w", i, err)
+		}
+	}
+	for i := 0; i < len(squares); i++ {
+		for j := i + 1; j < len(squares); j++ {
+			if !Orthogonal(squares[i], squares[j]) {
+				return fmt.Errorf("latin: squares %d and %d are not orthogonal", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the square as rows of symbols.
+func (s *Square) String() string {
+	out := ""
+	for i := 0; i < s.L; i++ {
+		for j := 0; j < s.L; j++ {
+			if j > 0 {
+				out += " "
+			}
+			out += fmt.Sprintf("%d", s.Cells[i][j])
+		}
+		out += "\n"
+	}
+	return out
+}

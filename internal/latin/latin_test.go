@@ -1,0 +1,195 @@
+package latin
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMOLSValidLatin(t *testing.T) {
+	for _, l := range []int{2, 3, 4, 5, 7, 8, 9, 11} {
+		squares, err := MOLS(l, l-1)
+		if err != nil {
+			t.Fatalf("MOLS(%d,%d): %v", l, l-1, err)
+		}
+		if len(squares) != l-1 {
+			t.Fatalf("MOLS(%d) returned %d squares", l, len(squares))
+		}
+		for i, s := range squares {
+			if err := s.Validate(); err != nil {
+				t.Errorf("l=%d square %d invalid: %v", l, i, err)
+			}
+		}
+	}
+}
+
+func TestMOLSPairwiseOrthogonal(t *testing.T) {
+	for _, l := range []int{3, 4, 5, 7, 9} {
+		squares := MustMOLS(l, l-1)
+		if err := ValidateFamily(squares); err != nil {
+			t.Errorf("l=%d: %v", l, err)
+		}
+	}
+}
+
+// TestPaperTable1 reproduces Table 1 of the paper: the first three MOLS
+// of degree 5 from L_alpha(i,j) = alpha*i + j (mod 5).
+func TestPaperTable1(t *testing.T) {
+	squares := MustMOLS(5, 3)
+	wantL1 := [][]int{
+		{0, 1, 2, 3, 4},
+		{1, 2, 3, 4, 0},
+		{2, 3, 4, 0, 1},
+		{3, 4, 0, 1, 2},
+		{4, 0, 1, 2, 3},
+	}
+	wantL2 := [][]int{
+		{0, 1, 2, 3, 4},
+		{2, 3, 4, 0, 1},
+		{4, 0, 1, 2, 3},
+		{1, 2, 3, 4, 0},
+		{3, 4, 0, 1, 2},
+	}
+	wantL3 := [][]int{
+		{0, 1, 2, 3, 4},
+		{3, 4, 0, 1, 2},
+		{1, 2, 3, 4, 0},
+		{4, 0, 1, 2, 3},
+		{2, 3, 4, 0, 1},
+	}
+	for idx, want := range [][][]int{wantL1, wantL2, wantL3} {
+		got := squares[idx]
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				if got.Cells[i][j] != want[i][j] {
+					t.Fatalf("L%d[%d][%d] = %d, want %d", idx+1, i, j, got.Cells[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestMOLSRejectsBadParams(t *testing.T) {
+	if _, err := MOLS(6, 1); err == nil {
+		t.Error("MOLS(6) accepted non-prime-power degree")
+	}
+	if _, err := MOLS(5, 5); err == nil {
+		t.Error("MOLS(5,5) accepted count > l-1")
+	}
+	if _, err := MOLS(5, 0); err == nil {
+		t.Error("MOLS(5,0) accepted count 0")
+	}
+}
+
+func TestMustMOLSPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustMOLS(6,1) did not panic")
+		}
+	}()
+	MustMOLS(6, 1)
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	squares := MustMOLS(5, 1)
+	s := squares[0]
+	orig := s.Cells[2][3]
+	s.Cells[2][3] = s.Cells[2][2] // duplicate in row 2
+	if err := s.Validate(); err == nil {
+		t.Error("Validate accepted row duplicate")
+	}
+	s.Cells[2][3] = orig
+	s.Cells[1][0] = 99 // out of range
+	if err := s.Validate(); err == nil {
+		t.Error("Validate accepted out-of-range symbol")
+	}
+}
+
+func TestValidateCatchesColumnDuplicate(t *testing.T) {
+	// Rows are Latin but column 0 repeats symbol 0.
+	s := NewSquare(2)
+	s.Cells[0] = []int{0, 1}
+	s.Cells[1] = []int{0, 1}
+	if err := s.Validate(); err == nil {
+		t.Error("Validate accepted column duplicate")
+	}
+}
+
+func TestSymbolCells(t *testing.T) {
+	squares := MustMOLS(5, 3)
+	// Paper Example 1: symbol 0 of L1 sits at (0,0),(1,4),(2,3),(3,2),(4,1).
+	cells := squares[0].SymbolCells(0)
+	want := [][2]int{{0, 0}, {1, 4}, {2, 3}, {3, 2}, {4, 1}}
+	if len(cells) != 5 {
+		t.Fatalf("SymbolCells returned %d cells", len(cells))
+	}
+	for i, c := range cells {
+		if c != want[i] {
+			t.Errorf("cell %d = %v, want %v", i, c, want[i])
+		}
+	}
+}
+
+func TestSymbolCellsOnePerRow(t *testing.T) {
+	for _, sq := range MustMOLS(7, 6) {
+		for sym := 0; sym < 7; sym++ {
+			cells := sq.SymbolCells(sym)
+			if len(cells) != 7 {
+				t.Fatalf("symbol %d appears %d times", sym, len(cells))
+			}
+			rows := make(map[int]bool)
+			cols := make(map[int]bool)
+			for _, c := range cells {
+				if rows[c[0]] || cols[c[1]] {
+					t.Fatalf("symbol %d repeats a row or column", sym)
+				}
+				rows[c[0]] = true
+				cols[c[1]] = true
+			}
+		}
+	}
+}
+
+func TestOrthogonalRejectsSelfAndMismatched(t *testing.T) {
+	squares := MustMOLS(5, 2)
+	if Orthogonal(squares[0], squares[0]) {
+		t.Error("a square cannot be orthogonal to itself (degree > 1)")
+	}
+	other := MustMOLS(7, 1)
+	if Orthogonal(squares[0], other[0]) {
+		t.Error("squares of different degree cannot be orthogonal")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := MustMOLS(3, 1)[0]
+	got := s.String()
+	want := "0 1 2\n1 2 0\n2 0 1\n"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// Property: for random prime-power degrees and any two distinct family
+// members, superimposition covers all l² ordered pairs.
+func TestQuickOrthogonalCoverage(t *testing.T) {
+	degrees := []int{3, 4, 5, 7, 8, 9}
+	prop := func(dIdx, aIdx, bIdx uint8) bool {
+		l := degrees[int(dIdx)%len(degrees)]
+		squares := MustMOLS(l, l-1)
+		a := int(aIdx) % (l - 1)
+		b := int(bIdx) % (l - 1)
+		if a == b {
+			return true // skip identical pair
+		}
+		return Orthogonal(squares[a], squares[b])
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMOLSConstruct7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = MustMOLS(7, 6)
+	}
+}

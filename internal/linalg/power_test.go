@@ -1,0 +1,105 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPowerIterationDiagonal(t *testing.T) {
+	m := NewMatrixFromRows([][]float64{{5, 0, 0}, {0, 2, 0}, {0, 0, 1}})
+	val, vec, err := PowerIteration(m, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(val-5) > 1e-9 {
+		t.Errorf("dominant eigenvalue = %v, want 5", val)
+	}
+	if math.Abs(math.Abs(vec[0])-1) > 1e-6 {
+		t.Errorf("dominant eigenvector = %v, want ±e0", vec)
+	}
+}
+
+func TestPowerIterationMatchesJacobi(t *testing.T) {
+	m := NewMatrixFromRows([][]float64{
+		{4, 1, 0.5},
+		{1, 3, 2},
+		{0.5, 2, 5},
+	})
+	val, _, err := PowerIteration(m, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eig, err := SymmetricEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(val-eig[0]) > 1e-8 {
+		t.Errorf("power %v vs jacobi %v", val, eig[0])
+	}
+}
+
+func TestPowerIterationErrors(t *testing.T) {
+	if _, _, err := PowerIteration(NewMatrix(2, 3), 0, 0); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, _, err := PowerIteration(NewMatrix(0, 0), 0, 0); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestSecondEigenvaluePSDKnown(t *testing.T) {
+	// J_4/4 has eigenvalues 1 (uniform vector) and 0 (×3).
+	n := 4
+	m := NewMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = 0.25
+	}
+	uniform := make([]float64, n)
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	mu1, err := SecondEigenvaluePSD(m, 1, uniform, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mu1) > 1e-9 {
+		t.Errorf("µ1 = %v, want 0", mu1)
+	}
+}
+
+func TestSecondEigenvaluePSDMatchesJacobi(t *testing.T) {
+	// Build a PSD matrix with a known dominant pair: A = Gram of a
+	// structured matrix, dominant pair from power iteration.
+	base := NewMatrixFromRows([][]float64{
+		{1, 2, 0, 1},
+		{0, 1, 3, 1},
+		{2, 0, 1, 1},
+		{1, 1, 1, 0},
+	})
+	m := base.Gram()
+	top, topVec, err := PowerIteration(m, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu1, err := SecondEigenvaluePSD(m, top, topVec, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eig, err := SymmetricEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mu1-eig[1]) > 1e-6 {
+		t.Errorf("deflated power µ1 = %v vs jacobi %v", mu1, eig[1])
+	}
+}
+
+func TestSecondEigenvaluePSDErrors(t *testing.T) {
+	m := NewMatrix(2, 2)
+	if _, err := SecondEigenvaluePSD(NewMatrix(2, 3), 1, []float64{1, 1}, 0, 0); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, err := SecondEigenvaluePSD(m, 1, []float64{1}, 0, 0); err == nil {
+		t.Error("wrong vector dim accepted")
+	}
+}

@@ -1,0 +1,250 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Vector helpers. Vectors are plain []float64; functions that combine a
+// set of vectors require equal lengths and panic otherwise, mirroring the
+// hard precondition that all gradient vectors in a round share the model
+// dimension.
+
+// checkSameLen panics unless all vectors share one length, returning it.
+func checkSameLen(vs [][]float64) int {
+	if len(vs) == 0 {
+		panic("linalg: empty vector set")
+	}
+	d := len(vs[0])
+	for i, v := range vs {
+		if len(v) != d {
+			panic(fmt.Sprintf("linalg: vector %d has dim %d, want %d", i, len(v), d))
+		}
+	}
+	return d
+}
+
+// Zeros returns a zero vector of dimension d.
+func Zeros(d int) []float64 { return make([]float64, d) }
+
+// CloneVec returns a copy of v.
+func CloneVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// AddInPlace adds b into a (a += b).
+func AddInPlace(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: add dim mismatch %d vs %d", len(a), len(b)))
+	}
+	for i := range a {
+		a[i] += b[i]
+	}
+}
+
+// Sub returns a - b as a new vector.
+func Sub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: sub dim mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// ScaleVec returns s*v as a new vector.
+func ScaleVec(v []float64, s float64) []float64 {
+	out := make([]float64, len(v))
+	for i := range v {
+		out[i] = s * v[i]
+	}
+	return out
+}
+
+// ScaleInPlace multiplies v by s in place.
+func ScaleInPlace(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// AxpyInPlace performs a += s*b.
+func AxpyInPlace(a []float64, s float64, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: axpy dim mismatch %d vs %d", len(a), len(b)))
+	}
+	for i := range a {
+		a[i] += s * b[i]
+	}
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: dot dim mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// Dist2 returns the Euclidean distance between a and b.
+func Dist2(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: dist dim mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// SqDist2 returns the squared Euclidean distance between a and b.
+// Krum-style scores use squared distances, so expose it directly.
+func SqDist2(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: dist dim mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// MeanVec returns the coordinate-wise mean of the vectors.
+func MeanVec(vs [][]float64) []float64 {
+	d := checkSameLen(vs)
+	out := make([]float64, d)
+	for _, v := range vs {
+		for i := range v {
+			out[i] += v[i]
+		}
+	}
+	inv := 1 / float64(len(vs))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// StdVec returns the coordinate-wise (population) standard deviation.
+func StdVec(vs [][]float64) []float64 {
+	d := checkSameLen(vs)
+	mean := MeanVec(vs)
+	out := make([]float64, d)
+	for _, v := range vs {
+		for i := range v {
+			diff := v[i] - mean[i]
+			out[i] += diff * diff
+		}
+	}
+	inv := 1 / float64(len(vs))
+	for i := range out {
+		out[i] = math.Sqrt(out[i] * inv)
+	}
+	return out
+}
+
+// MedianVec returns the coordinate-wise median. For even counts the
+// average of the two central order statistics is used.
+func MedianVec(vs [][]float64) []float64 {
+	d := checkSameLen(vs)
+	out := make([]float64, d)
+	col := make([]float64, len(vs))
+	for i := 0; i < d; i++ {
+		for j, v := range vs {
+			col[j] = v[i]
+		}
+		out[i] = MedianOf(col)
+	}
+	return out
+}
+
+// MedianOf returns the median of xs. xs is not modified.
+func MedianOf(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		panic("linalg: median of empty slice")
+	}
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// TrimmedMeanOf returns the mean of xs after removing the trim smallest
+// and trim largest values. It panics if 2*trim >= len(xs).
+func TrimmedMeanOf(xs []float64, trim int) float64 {
+	n := len(xs)
+	if trim < 0 || 2*trim >= n {
+		panic(fmt.Sprintf("linalg: trimmed mean with trim=%d of %d values", trim, n))
+	}
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	var s float64
+	for _, v := range tmp[trim : n-trim] {
+		s += v
+	}
+	return s / float64(n-2*trim)
+}
+
+// NormalQuantile returns the standard normal inverse CDF at probability
+// p in (0, 1). Used by the ALIE attack to pick the perturbation scale z
+// that stays inside the defenders' plausibility region.
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("linalg: normal quantile of p=%v outside (0,1)", p))
+	}
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}
+
+// NormalCDF returns the standard normal CDF at x.
+func NormalCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// ArgMin returns the index of the smallest element (first on ties).
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		panic("linalg: argmin of empty slice")
+	}
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMax returns the index of the largest element (first on ties).
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		panic("linalg: argmax of empty slice")
+	}
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

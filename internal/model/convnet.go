@@ -1,0 +1,196 @@
+package model
+
+import (
+	"fmt"
+
+	"byzshield/internal/data"
+)
+
+// ConvNet is a small 1-D convolutional network: a valid-padding
+// convolution over the feature vector (treated as a length-d signal),
+// ReLU, then a dense softmax classifier. It is the closest pure-Go
+// analogue of the paper's convolutional workload (ResNet-18) and
+// exercises a deeper, non-linear gradient path than the MLP.
+//
+// Flat parameter layout:
+//
+//	[filters (numFilters × kernel) | filter biases (numFilters) |
+//	 dense W (classes × numFilters·outLen) | dense b (classes)]
+//
+// with outLen = dim − kernel + 1.
+type ConvNet struct {
+	dim        int
+	kernel     int
+	numFilters int
+	classes    int
+}
+
+// NewConvNet builds the network. Requires kernel ≤ dim, numFilters ≥ 1
+// and classes ≥ 2.
+func NewConvNet(dim, kernel, numFilters, classes int) (*ConvNet, error) {
+	if dim < 1 || kernel < 1 || kernel > dim {
+		return nil, fmt.Errorf("model: convnet needs 1 <= kernel <= dim, got kernel=%d dim=%d", kernel, dim)
+	}
+	if numFilters < 1 {
+		return nil, fmt.Errorf("model: convnet needs numFilters >= 1, got %d", numFilters)
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("model: convnet needs classes >= 2, got %d", classes)
+	}
+	return &ConvNet{dim: dim, kernel: kernel, numFilters: numFilters, classes: classes}, nil
+}
+
+// Name implements Model.
+func (c *ConvNet) Name() string {
+	return fmt.Sprintf("convnet(d=%d,k=%d,f=%d,c=%d)", c.dim, c.kernel, c.numFilters, c.classes)
+}
+
+// outLen is the convolution output length per filter.
+func (c *ConvNet) outLen() int { return c.dim - c.kernel + 1 }
+
+// NumParams implements Model.
+func (c *ConvNet) NumParams() int {
+	conv := c.numFilters*c.kernel + c.numFilters
+	dense := c.classes*c.numFilters*c.outLen() + c.classes
+	return conv + dense
+}
+
+// InputDim implements Model.
+func (c *ConvNet) InputDim() int { return c.dim }
+
+// Classes implements Model.
+func (c *ConvNet) Classes() int { return c.classes }
+
+// paramViews slices the flat vector into the four blocks.
+func (c *ConvNet) paramViews(params []float64) (filters, fBias, denseW, denseB []float64) {
+	ol := c.outLen()
+	p := 0
+	filters = params[p : p+c.numFilters*c.kernel]
+	p += c.numFilters * c.kernel
+	fBias = params[p : p+c.numFilters]
+	p += c.numFilters
+	denseW = params[p : p+c.classes*c.numFilters*ol]
+	p += c.classes * c.numFilters * ol
+	denseB = params[p : p+c.classes]
+	return
+}
+
+// forward computes conv pre-activations, post-ReLU activations and the
+// softmax probabilities for a single sample.
+func (c *ConvNet) forward(params, x []float64) (pre, act, probs []float64) {
+	filters, fBias, denseW, denseB := c.paramViews(params)
+	ol := c.outLen()
+	pre = make([]float64, c.numFilters*ol)
+	act = make([]float64, c.numFilters*ol)
+	for f := 0; f < c.numFilters; f++ {
+		w := filters[f*c.kernel : (f+1)*c.kernel]
+		for o := 0; o < ol; o++ {
+			var v float64
+			for k := 0; k < c.kernel; k++ {
+				v += w[k] * x[o+k]
+			}
+			v += fBias[f]
+			pre[f*ol+o] = v
+			if v > 0 {
+				act[f*ol+o] = v
+			}
+		}
+	}
+	probs = make([]float64, c.classes)
+	for cls := 0; cls < c.classes; cls++ {
+		row := denseW[cls*len(act) : (cls+1)*len(act)]
+		var v float64
+		for i, a := range act {
+			v += row[i] * a
+		}
+		probs[cls] = v + denseB[cls]
+	}
+	softmaxInPlace(probs)
+	return pre, act, probs
+}
+
+// Loss implements Model.
+func (c *ConvNet) Loss(params []float64, ds *data.Dataset, idx []int) float64 {
+	checkShapes(c, params, ds)
+	if len(idx) == 0 {
+		return 0
+	}
+	var total float64
+	for _, i := range idx {
+		_, _, probs := c.forward(params, ds.X[i])
+		p := probs[ds.Y[i]]
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		total += -ln(p)
+	}
+	return total / float64(len(idx))
+}
+
+// SumGradient implements Model via backprop through the dense layer,
+// ReLU mask, and convolution.
+func (c *ConvNet) SumGradient(params []float64, ds *data.Dataset, idx []int, out []float64) {
+	checkShapes(c, params, ds)
+	if len(out) != c.NumParams() {
+		panic(fmt.Sprintf("model: gradient buffer %d, want %d", len(out), c.NumParams()))
+	}
+	_, _, denseW, _ := c.paramViews(params)
+	gFilters, gFBias, gDenseW, gDenseB := c.paramViews(out)
+	ol := c.outLen()
+	actLen := c.numFilters * ol
+	for _, i := range idx {
+		x := ds.X[i]
+		pre, act, probs := c.forward(params, x)
+		// Output delta: p − onehot(y).
+		delta := make([]float64, c.classes)
+		copy(delta, probs)
+		delta[ds.Y[i]] -= 1
+		// Dense layer gradients + backprop into activations.
+		dAct := make([]float64, actLen)
+		for cls := 0; cls < c.classes; cls++ {
+			dv := delta[cls]
+			if dv == 0 {
+				continue
+			}
+			row := denseW[cls*actLen : (cls+1)*actLen]
+			gRow := gDenseW[cls*actLen : (cls+1)*actLen]
+			for j, a := range act {
+				gRow[j] += dv * a
+				dAct[j] += dv * row[j]
+			}
+			gDenseB[cls] += dv
+		}
+		// ReLU mask.
+		for j := range dAct {
+			if pre[j] <= 0 {
+				dAct[j] = 0
+			}
+		}
+		// Convolution gradients.
+		for f := 0; f < c.numFilters; f++ {
+			gW := gFilters[f*c.kernel : (f+1)*c.kernel]
+			for o := 0; o < ol; o++ {
+				dv := dAct[f*ol+o]
+				if dv == 0 {
+					continue
+				}
+				for k := 0; k < c.kernel; k++ {
+					gW[k] += dv * x[o+k]
+				}
+				gFBias[f] += dv
+			}
+		}
+	}
+}
+
+// Predict implements Model.
+func (c *ConvNet) Predict(params []float64, x []float64) int {
+	_, _, probs := c.forward(params, x)
+	best := 0
+	for cls := 1; cls < c.classes; cls++ {
+		if probs[cls] > probs[best] {
+			best = cls
+		}
+	}
+	return best
+}

@@ -1,0 +1,133 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConvNetShapes(t *testing.T) {
+	c, err := NewConvNet(16, 3, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// conv: 4*3 + 4 = 16; dense: 10*4*14 + 10 = 570; total 586.
+	if c.NumParams() != 586 {
+		t.Errorf("NumParams = %d, want 586", c.NumParams())
+	}
+	if c.InputDim() != 16 || c.Classes() != 10 {
+		t.Error("dims wrong")
+	}
+}
+
+func TestConvNetRejectsBadParams(t *testing.T) {
+	cases := [][4]int{
+		{0, 1, 1, 2}, // dim 0
+		{8, 9, 1, 2}, // kernel > dim
+		{8, 0, 1, 2}, // kernel 0
+		{8, 3, 0, 2}, // no filters
+		{8, 3, 2, 1}, // one class
+	}
+	for _, cse := range cases {
+		if _, err := NewConvNet(cse[0], cse[1], cse[2], cse[3]); err == nil {
+			t.Errorf("NewConvNet(%v) accepted", cse)
+		}
+	}
+}
+
+func TestConvNetGradientMatchesNumeric(t *testing.T) {
+	ds := smallDataset(t, 8, 10, 3)
+	c, err := NewConvNet(10, 3, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGradient(t, c, ds, []int{0, 1, 2, 3}, 13, 1e-4)
+	checkGradient(t, c, ds, []int{5}, 14, 1e-4)
+}
+
+func TestConvNetGradientDeterministic(t *testing.T) {
+	ds := smallDataset(t, 10, 12, 4)
+	c, err := NewConvNet(12, 4, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := InitParams(c, 3)
+	idx := []int{2, 7, 1}
+	g1 := make([]float64, c.NumParams())
+	g2 := make([]float64, c.NumParams())
+	c.SumGradient(params, ds, idx, g1)
+	c.SumGradient(params, ds, idx, g2)
+	for i := range g1 {
+		if math.Float64bits(g1[i]) != math.Float64bits(g2[i]) {
+			t.Fatalf("gradient not bit-deterministic at %d", i)
+		}
+	}
+}
+
+func TestConvNetTrains(t *testing.T) {
+	ds := smallDataset(t, 200, 12, 3)
+	c, err := NewConvNet(12, 3, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := InitParams(c, 21)
+	idx := make([]int, ds.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	initial := c.Loss(params, ds, idx)
+	grad := make([]float64, c.NumParams())
+	for step := 0; step < 120; step++ {
+		for i := range grad {
+			grad[i] = 0
+		}
+		c.SumGradient(params, ds, idx, grad)
+		lr := 0.05 / float64(len(idx))
+		for i := range params {
+			params[i] -= lr * grad[i]
+		}
+	}
+	final := c.Loss(params, ds, idx)
+	if final >= initial*0.8 {
+		t.Errorf("convnet loss did not decrease enough: %v -> %v", initial, final)
+	}
+	if acc := Accuracy(c, params, ds); acc < 0.7 {
+		t.Errorf("convnet training accuracy %.3f < 0.7", acc)
+	}
+}
+
+func TestConvNetSumGradientAdditive(t *testing.T) {
+	ds := smallDataset(t, 8, 10, 3)
+	c, _ := NewConvNet(10, 3, 2, 3)
+	params := InitParams(c, 6)
+	gAll := make([]float64, c.NumParams())
+	c.SumGradient(params, ds, []int{0, 1, 2}, gAll)
+	gParts := make([]float64, c.NumParams())
+	c.SumGradient(params, ds, []int{0}, gParts)
+	c.SumGradient(params, ds, []int{1, 2}, gParts)
+	for i := range gAll {
+		if math.Abs(gAll[i]-gParts[i]) > 1e-12 {
+			t.Fatalf("not additive at %d", i)
+		}
+	}
+}
+
+func BenchmarkConvNetGradient(b *testing.B) {
+	ds := smallDataset(b, 64, 32, 10)
+	c, err := NewConvNet(32, 5, 8, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := InitParams(c, 1)
+	idx := make([]int, 64)
+	for i := range idx {
+		idx[i] = i
+	}
+	grad := make([]float64, c.NumParams())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		c.SumGradient(params, ds, idx, grad)
+	}
+}

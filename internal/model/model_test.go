@@ -1,0 +1,318 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"byzshield/internal/data"
+)
+
+func smallDataset(t testing.TB, n, dim, classes int) *data.Dataset {
+	t.Helper()
+	tr, _, err := data.Synthetic(data.SyntheticConfig{
+		Train: n, Test: 1, Dim: dim, Classes: classes, Seed: 11, ClassSep: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// numericGradient computes a central-difference gradient of the MEAN
+// loss and scales to the SUM convention.
+func numericGradient(m Model, params []float64, ds *data.Dataset, idx []int) []float64 {
+	const h = 1e-6
+	grad := make([]float64, len(params))
+	p := append([]float64(nil), params...)
+	for i := range p {
+		orig := p[i]
+		p[i] = orig + h
+		lp := m.Loss(p, ds, idx)
+		p[i] = orig - h
+		lm := m.Loss(p, ds, idx)
+		p[i] = orig
+		grad[i] = (lp - lm) / (2 * h) * float64(len(idx))
+	}
+	return grad
+}
+
+func checkGradient(t *testing.T, m Model, ds *data.Dataset, idx []int, seed int64, tol float64) {
+	t.Helper()
+	params := InitParams(m, seed)
+	analytic := make([]float64, m.NumParams())
+	m.SumGradient(params, ds, idx, analytic)
+	numeric := numericGradient(m, params, ds, idx)
+	var maxErr, scale float64
+	for i := range analytic {
+		err := math.Abs(analytic[i] - numeric[i])
+		if err > maxErr {
+			maxErr = err
+		}
+		if a := math.Abs(numeric[i]); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	if maxErr/scale > tol {
+		t.Errorf("%s: max gradient error %v (relative %v)", m.Name(), maxErr, maxErr/scale)
+	}
+}
+
+func TestSoftmaxGradientMatchesNumeric(t *testing.T) {
+	ds := smallDataset(t, 12, 5, 3)
+	m, err := NewSoftmax(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGradient(t, m, ds, []int{0, 1, 2, 3, 4, 5}, 1, 1e-5)
+	checkGradient(t, m, ds, []int{7}, 2, 1e-5)
+}
+
+func TestMLPGradientMatchesNumeric(t *testing.T) {
+	ds := smallDataset(t, 10, 4, 3)
+	m, err := NewMLP(4, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGradient(t, m, ds, []int{0, 1, 2, 3}, 3, 1e-4)
+}
+
+func TestMLPTwoHiddenGradient(t *testing.T) {
+	ds := smallDataset(t, 8, 4, 2)
+	m, err := NewMLP(4, 6, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGradient(t, m, ds, []int{0, 1, 2}, 4, 1e-4)
+}
+
+func TestSoftmaxShapes(t *testing.T) {
+	m, err := NewSoftmax(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumParams() != 8*10+10 {
+		t.Errorf("NumParams = %d", m.NumParams())
+	}
+	if m.InputDim() != 8 || m.Classes() != 10 {
+		t.Error("dims wrong")
+	}
+	if _, err := NewSoftmax(0, 2); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := NewSoftmax(4, 1); err == nil {
+		t.Error("1 class accepted")
+	}
+}
+
+func TestMLPShapes(t *testing.T) {
+	m, err := NewMLP(4, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4*16 + 16 + 16*3 + 3
+	if m.NumParams() != want {
+		t.Errorf("NumParams = %d, want %d", m.NumParams(), want)
+	}
+	if _, err := NewMLP(4, 3); err == nil {
+		t.Error("no hidden layer accepted")
+	}
+	if _, err := NewMLP(4, 0, 3); err == nil {
+		t.Error("zero-width layer accepted")
+	}
+	if _, err := NewMLP(4, 8, 1); err == nil {
+		t.Error("single output class accepted")
+	}
+}
+
+func TestGradientDeterministic(t *testing.T) {
+	// The majority-vote layer requires bit-identical gradients from
+	// honest replicas: same params, same indices, same result bytes.
+	ds := smallDataset(t, 20, 6, 4)
+	m, err := NewMLP(6, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := InitParams(m, 5)
+	idx := []int{3, 1, 4, 1, 5} // duplicates allowed; order fixed
+	g1 := make([]float64, m.NumParams())
+	g2 := make([]float64, m.NumParams())
+	m.SumGradient(params, ds, idx, g1)
+	m.SumGradient(params, ds, idx, g2)
+	for i := range g1 {
+		if math.Float64bits(g1[i]) != math.Float64bits(g2[i]) {
+			t.Fatalf("gradient not bit-deterministic at %d", i)
+		}
+	}
+}
+
+func TestSumGradientIsAdditive(t *testing.T) {
+	ds := smallDataset(t, 10, 4, 3)
+	m, _ := NewSoftmax(4, 3)
+	params := InitParams(m, 6)
+	gAll := make([]float64, m.NumParams())
+	m.SumGradient(params, ds, []int{0, 1, 2, 3}, gAll)
+	gParts := make([]float64, m.NumParams())
+	m.SumGradient(params, ds, []int{0, 1}, gParts)
+	m.SumGradient(params, ds, []int{2, 3}, gParts)
+	for i := range gAll {
+		if math.Abs(gAll[i]-gParts[i]) > 1e-12 {
+			t.Fatalf("sum gradient not additive at %d: %v vs %v", i, gAll[i], gParts[i])
+		}
+	}
+}
+
+func TestTrainingReducesLossSoftmax(t *testing.T) {
+	ds := smallDataset(t, 200, 6, 3)
+	m, _ := NewSoftmax(6, 3)
+	params := InitParams(m, 7)
+	idx := make([]int, ds.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	initial := m.Loss(params, ds, idx)
+	grad := make([]float64, m.NumParams())
+	for step := 0; step < 100; step++ {
+		for i := range grad {
+			grad[i] = 0
+		}
+		m.SumGradient(params, ds, idx, grad)
+		lr := 0.1 / float64(len(idx))
+		for i := range params {
+			params[i] -= lr * grad[i]
+		}
+	}
+	final := m.Loss(params, ds, idx)
+	if final >= initial {
+		t.Errorf("loss did not decrease: %v -> %v", initial, final)
+	}
+	acc := Accuracy(m, params, ds)
+	if acc < 0.8 {
+		t.Errorf("training accuracy %v < 0.8 on separable data", acc)
+	}
+}
+
+func TestTrainingReducesLossMLP(t *testing.T) {
+	ds := smallDataset(t, 150, 5, 3)
+	m, _ := NewMLP(5, 12, 3)
+	params := InitParams(m, 8)
+	idx := make([]int, ds.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	initial := m.Loss(params, ds, idx)
+	grad := make([]float64, m.NumParams())
+	for step := 0; step < 150; step++ {
+		for i := range grad {
+			grad[i] = 0
+		}
+		m.SumGradient(params, ds, idx, grad)
+		lr := 0.05 / float64(len(idx))
+		for i := range params {
+			params[i] -= lr * grad[i]
+		}
+	}
+	final := m.Loss(params, ds, idx)
+	if final >= initial*0.7 {
+		t.Errorf("MLP loss did not decrease enough: %v -> %v", initial, final)
+	}
+}
+
+func TestAccuracyBounds(t *testing.T) {
+	ds := smallDataset(t, 30, 4, 3)
+	m, _ := NewSoftmax(4, 3)
+	params := InitParams(m, 9)
+	acc := Accuracy(m, params, ds)
+	if acc < 0 || acc > 1 {
+		t.Errorf("accuracy %v outside [0,1]", acc)
+	}
+	empty := &data.Dataset{Classes: 3}
+	if Accuracy(m, params, empty) != 0 {
+		t.Error("empty dataset accuracy != 0")
+	}
+}
+
+func TestInitParamsDeterministic(t *testing.T) {
+	m, _ := NewSoftmax(4, 3)
+	a := InitParams(m, 42)
+	b := InitParams(m, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("InitParams not deterministic")
+		}
+	}
+	c := InitParams(m, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical init")
+	}
+}
+
+func TestLossEmptyIndices(t *testing.T) {
+	ds := smallDataset(t, 5, 4, 3)
+	m, _ := NewSoftmax(4, 3)
+	params := InitParams(m, 1)
+	if m.Loss(params, ds, nil) != 0 {
+		t.Error("empty-index loss != 0")
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	ds := smallDataset(t, 5, 4, 3)
+	m, _ := NewSoftmax(5, 3) // wrong dim vs dataset
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	m.Loss(make([]float64, m.NumParams()), ds, []int{0})
+}
+
+func BenchmarkSoftmaxGradient(b *testing.B) {
+	tr, _, err := data.Synthetic(data.SyntheticConfig{Train: 64, Test: 1, Dim: 32, Classes: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, _ := NewSoftmax(32, 10)
+	params := InitParams(m, 1)
+	idx := make([]int, 64)
+	for i := range idx {
+		idx[i] = i
+	}
+	grad := make([]float64, m.NumParams())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		m.SumGradient(params, tr, idx, grad)
+	}
+}
+
+func BenchmarkMLPGradient(b *testing.B) {
+	tr, _, err := data.Synthetic(data.SyntheticConfig{Train: 64, Test: 1, Dim: 32, Classes: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, _ := NewMLP(32, 64, 10)
+	params := InitParams(m, 1)
+	idx := make([]int, 64)
+	for i := range idx {
+		idx[i] = i
+	}
+	grad := make([]float64, m.NumParams())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		m.SumGradient(params, tr, idx, grad)
+	}
+}

@@ -1,0 +1,106 @@
+package model
+
+import (
+	"fmt"
+
+	"byzshield/internal/data"
+)
+
+// Softmax is multinomial logistic regression: logits = W·x + b with
+// cross-entropy loss. The flat parameter layout is
+// [W row-major (classes × dim) | b (classes)].
+type Softmax struct {
+	dim     int
+	classes int
+}
+
+// NewSoftmax constructs a softmax regression model.
+func NewSoftmax(dim, classes int) (*Softmax, error) {
+	if dim < 1 || classes < 2 {
+		return nil, fmt.Errorf("model: softmax needs dim >= 1 and classes >= 2, got %d/%d", dim, classes)
+	}
+	return &Softmax{dim: dim, classes: classes}, nil
+}
+
+// Name implements Model.
+func (s *Softmax) Name() string { return fmt.Sprintf("softmax(%dx%d)", s.classes, s.dim) }
+
+// NumParams implements Model.
+func (s *Softmax) NumParams() int { return s.classes*s.dim + s.classes }
+
+// InputDim implements Model.
+func (s *Softmax) InputDim() int { return s.dim }
+
+// Classes implements Model.
+func (s *Softmax) Classes() int { return s.classes }
+
+// logits computes W·x + b into out (length classes).
+func (s *Softmax) logits(params, x, out []float64) {
+	for c := 0; c < s.classes; c++ {
+		row := params[c*s.dim : (c+1)*s.dim]
+		var v float64
+		for j, xv := range x {
+			v += row[j] * xv
+		}
+		out[c] = v + params[s.classes*s.dim+c]
+	}
+}
+
+// Loss implements Model.
+func (s *Softmax) Loss(params []float64, ds *data.Dataset, idx []int) float64 {
+	checkShapes(s, params, ds)
+	if len(idx) == 0 {
+		return 0
+	}
+	probs := make([]float64, s.classes)
+	var total float64
+	for _, i := range idx {
+		s.logits(params, ds.X[i], probs)
+		softmaxInPlace(probs)
+		p := probs[ds.Y[i]]
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		total += -ln(p)
+	}
+	return total / float64(len(idx))
+}
+
+// SumGradient implements Model: ∂L/∂W[c] = (p_c − 1{c=y})·x,
+// ∂L/∂b[c] = p_c − 1{c=y}, summed over samples.
+func (s *Softmax) SumGradient(params []float64, ds *data.Dataset, idx []int, out []float64) {
+	checkShapes(s, params, ds)
+	if len(out) != s.NumParams() {
+		panic(fmt.Sprintf("model: gradient buffer %d, want %d", len(out), s.NumParams()))
+	}
+	probs := make([]float64, s.classes)
+	for _, i := range idx {
+		x := ds.X[i]
+		s.logits(params, x, probs)
+		softmaxInPlace(probs)
+		for c := 0; c < s.classes; c++ {
+			diff := probs[c]
+			if c == ds.Y[i] {
+				diff -= 1
+			}
+			row := out[c*s.dim : (c+1)*s.dim]
+			for j, xv := range x {
+				row[j] += diff * xv
+			}
+			out[s.classes*s.dim+c] += diff
+		}
+	}
+}
+
+// Predict implements Model.
+func (s *Softmax) Predict(params []float64, x []float64) int {
+	logits := make([]float64, s.classes)
+	s.logits(params, x, logits)
+	best := 0
+	for c := 1; c < s.classes; c++ {
+		if logits[c] > logits[best] {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,150 @@
+// Package transport implements a real network transport for the
+// training protocol: a TCP parameter server and worker clients speaking
+// a gob-encoded message protocol over net.Conn. This is the repository's
+// substitute for the paper's MPICH deployment — cmd/byzps and
+// cmd/byzworker run the same synchronous rounds as the in-process engine
+// across OS processes (or machines).
+//
+// Wire protocol (all messages gob-encoded on a persistent connection):
+//
+//	worker → PS:  Hello{WorkerID}
+//	PS → worker:  Welcome{Spec}            (experiment description)
+//	PS → worker:  RoundStart{Iteration, Params, Files}
+//	worker → PS:  GradientReport{WorkerID, Iteration, Files, Gradients}
+//	PS → worker:  Shutdown{FinalAccuracy}
+//
+// Workers reconstruct the dataset and model deterministically from the
+// Spec (seeded synthetic data stands in for the shared dataset storage
+// of a real cluster), so only indices — not samples — cross the wire,
+// exactly as in the paper's setup where every node holds the dataset.
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+
+	"byzshield/internal/data"
+	"byzshield/internal/model"
+	"byzshield/internal/trainer"
+)
+
+// Spec describes the experiment so every process builds identical
+// datasets, models, and assignments.
+type Spec struct {
+	// Scheme is the assignment scheme name: "mols", "ramanujan2", "frc",
+	// or "baseline".
+	Scheme string
+	// L and R parameterize the scheme (load and replication; for
+	// ramanujan2 these are m and s; for frc/baseline only R/K matter).
+	L, R int
+	// K is the worker count (derived for mols/ramanujan2; explicit for
+	// frc/baseline).
+	K int
+	// Dataset parameters.
+	TrainN, TestN, Dim, Classes int
+	DataSeed                    int64
+	ClassSep                    float64
+	// Hidden is the MLP hidden width; 0 selects softmax regression.
+	Hidden int
+	// Training parameters.
+	BatchSize int
+	Schedule  trainer.Schedule
+	Momentum  float64
+	Seed      int64
+	Rounds    int
+}
+
+// BuildModel constructs the model described by the spec.
+func (s *Spec) BuildModel() (model.Model, error) {
+	if s.Hidden > 0 {
+		return model.NewMLP(s.Dim, s.Hidden, s.Classes)
+	}
+	return model.NewSoftmax(s.Dim, s.Classes)
+}
+
+// BuildData constructs the train/test datasets described by the spec.
+func (s *Spec) BuildData() (train, test *data.Dataset, err error) {
+	return data.Synthetic(data.SyntheticConfig{
+		Train: s.TrainN, Test: s.TestN, Dim: s.Dim, Classes: s.Classes,
+		Seed: s.DataSeed, ClassSep: s.ClassSep,
+	})
+}
+
+// Hello is the worker's first message.
+type Hello struct {
+	WorkerID int
+}
+
+// Welcome is the PS's reply to Hello.
+type Welcome struct {
+	Spec Spec
+}
+
+// RoundStart carries the model and this worker's file assignments for
+// one iteration. Files maps file id → training-sample indices.
+type RoundStart struct {
+	Iteration int
+	Params    []float64
+	Files     map[int][]int
+}
+
+// GradientReport returns the worker's per-file gradient sums.
+type GradientReport struct {
+	WorkerID  int
+	Iteration int
+	Files     []int
+	Gradients [][]float64
+}
+
+// Shutdown terminates a worker at the end of training.
+type Shutdown struct {
+	FinalAccuracy float64
+}
+
+// Envelope wraps every message with a type tag; gob needs concrete types
+// registered on both sides.
+type Envelope struct {
+	Kind string
+	Msg  any
+}
+
+func init() {
+	gob.Register(Hello{})
+	gob.Register(Welcome{})
+	gob.Register(RoundStart{})
+	gob.Register(GradientReport{})
+	gob.Register(Shutdown{})
+}
+
+// Conn is a gob message stream over a network connection.
+type Conn struct {
+	raw net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// NewConn wraps a net.Conn.
+func NewConn(raw net.Conn) *Conn {
+	return &Conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+}
+
+// Send transmits one message.
+func (c *Conn) Send(msg any) error {
+	return c.enc.Encode(Envelope{Kind: fmt.Sprintf("%T", msg), Msg: msg})
+}
+
+// Recv receives the next message.
+func (c *Conn) Recv() (any, error) {
+	var env Envelope
+	if err := c.dec.Decode(&env); err != nil {
+		return nil, err
+	}
+	return env.Msg, nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// RemoteAddr exposes the peer address for logging.
+func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }

@@ -1,0 +1,320 @@
+package transport
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"byzshield/internal/aggregate"
+	"byzshield/internal/assign"
+	"byzshield/internal/data"
+	"byzshield/internal/model"
+	"byzshield/internal/trainer"
+	"byzshield/internal/vote"
+)
+
+// BuildAssignment constructs the assignment described by a spec.
+func BuildAssignment(s *Spec) (*assign.Assignment, error) {
+	switch s.Scheme {
+	case "mols":
+		return assign.MOLS(s.L, s.R)
+	case "ramanujan1":
+		return assign.Ramanujan1(s.L, s.R)
+	case "ramanujan2":
+		return assign.Ramanujan2(s.R, s.L) // (s, m) = (R, L)
+	case "frc":
+		return assign.FRC(s.K, s.R)
+	case "baseline":
+		return assign.Baseline(s.K)
+	default:
+		return nil, fmt.Errorf("transport: unknown scheme %q", s.Scheme)
+	}
+}
+
+// ServerConfig configures the TCP parameter server.
+type ServerConfig struct {
+	Spec       Spec
+	Aggregator aggregate.Aggregator
+	// Logf receives progress lines; nil disables logging.
+	Logf func(format string, args ...any)
+	// EvalEvery controls accuracy evaluation cadence (default: every
+	// 10 rounds).
+	EvalEvery int
+}
+
+// Server is the TCP parameter server: it accepts K workers, drives the
+// synchronous rounds of Algorithm 1 over the network, and maintains the
+// global model.
+type Server struct {
+	cfg        ServerConfig
+	listener   net.Listener
+	assignment *assign.Assignment
+	mdl        model.Model
+	train      *data.Dataset
+	test       *data.Dataset
+	params     []float64
+	opt        *trainer.SGD
+	sampler    *data.BatchSampler
+	history    trainer.History
+}
+
+// NewServer validates the config and binds the listener on addr
+// (e.g. "127.0.0.1:0" to pick a free port).
+func NewServer(addr string, cfg ServerConfig) (*Server, error) {
+	if cfg.Aggregator == nil {
+		return nil, fmt.Errorf("transport: aggregator required")
+	}
+	if cfg.Spec.Rounds < 1 {
+		return nil, fmt.Errorf("transport: rounds %d < 1", cfg.Spec.Rounds)
+	}
+	asn, err := BuildAssignment(&cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Spec.K = asn.K
+	mdl, err := cfg.Spec.BuildModel()
+	if err != nil {
+		return nil, err
+	}
+	train, test, err := cfg.Spec.BuildData()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Spec.BatchSize < asn.F {
+		return nil, fmt.Errorf("transport: batch %d < files %d", cfg.Spec.BatchSize, asn.F)
+	}
+	sampler, err := data.NewBatchSampler(train.Len(), cfg.Spec.BatchSize, cfg.Spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := trainer.NewSGD(cfg.Spec.Schedule, cfg.Spec.Momentum, mdl.NumParams())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.EvalEvery < 1 {
+		cfg.EvalEvery = 10
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:        cfg,
+		listener:   ln,
+		assignment: asn,
+		mdl:        mdl,
+		train:      train,
+		test:       test,
+		params:     model.InitParams(mdl, cfg.Spec.Seed),
+		opt:        opt,
+		sampler:    sampler,
+	}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close releases the listener.
+func (s *Server) Close() error { return s.listener.Close() }
+
+// History returns the recorded evaluation series.
+func (s *Server) History() *trainer.History { return &s.history }
+
+// Serve accepts the K workers, runs the configured number of rounds, and
+// shuts the workers down. It returns the final test accuracy.
+func (s *Server) Serve() (float64, error) {
+	k := s.assignment.K
+	conns := make([]*Conn, k)
+	for accepted := 0; accepted < k; accepted++ {
+		raw, err := s.listener.Accept()
+		if err != nil {
+			return 0, fmt.Errorf("transport: accept: %w", err)
+		}
+		conn := NewConn(raw)
+		msg, err := conn.Recv()
+		if err != nil {
+			return 0, fmt.Errorf("transport: hello: %w", err)
+		}
+		hello, ok := msg.(Hello)
+		if !ok {
+			return 0, fmt.Errorf("transport: expected Hello, got %T", msg)
+		}
+		if hello.WorkerID < 0 || hello.WorkerID >= k {
+			return 0, fmt.Errorf("transport: worker id %d out of range [0,%d)", hello.WorkerID, k)
+		}
+		if conns[hello.WorkerID] != nil {
+			return 0, fmt.Errorf("transport: worker %d connected twice", hello.WorkerID)
+		}
+		if err := conn.Send(Welcome{Spec: s.cfg.Spec}); err != nil {
+			return 0, fmt.Errorf("transport: welcome: %w", err)
+		}
+		conns[hello.WorkerID] = conn
+		s.cfg.Logf("worker %d joined from %s (%d/%d)", hello.WorkerID, conn.RemoteAddr(), accepted+1, k)
+	}
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+
+	for t := 0; t < s.cfg.Spec.Rounds; t++ {
+		if err := s.runRound(t, conns); err != nil {
+			return 0, fmt.Errorf("transport: round %d: %w", t, err)
+		}
+		if (t+1)%s.cfg.EvalEvery == 0 || t == s.cfg.Spec.Rounds-1 {
+			acc := model.Accuracy(s.mdl, s.params, s.test)
+			loss := s.mdl.Loss(s.params, s.train, probe(s.train.Len()))
+			s.history.Add(t+1, loss, acc)
+			s.cfg.Logf("round %d: loss=%.4f acc=%.4f", t+1, loss, acc)
+		}
+	}
+	final := model.Accuracy(s.mdl, s.params, s.test)
+	for _, c := range conns {
+		if err := c.Send(Shutdown{FinalAccuracy: final}); err != nil {
+			log.Printf("transport: shutdown send: %v", err)
+		}
+	}
+	return final, nil
+}
+
+// runRound drives one synchronous protocol round over the network.
+func (s *Server) runRound(t int, conns []*Conn) error {
+	asn := s.assignment
+	batch := s.sampler.Next()
+	files, err := data.PartitionFiles(batch, asn.F)
+	if err != nil {
+		return err
+	}
+
+	// Broadcast RoundStart with each worker's file contents.
+	var sendErr error
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for u := 0; u < asn.K; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			assigned := make(map[int][]int, asn.L)
+			for _, v := range asn.WorkerFiles(u) {
+				assigned[v] = files[v]
+			}
+			err := conns[u].Send(RoundStart{
+				Iteration: t,
+				Params:    s.params,
+				Files:     assigned,
+			})
+			if err != nil {
+				mu.Lock()
+				if sendErr == nil {
+					sendErr = err
+				}
+				mu.Unlock()
+			}
+		}(u)
+	}
+	wg.Wait()
+	if sendErr != nil {
+		return sendErr
+	}
+
+	// Collect reports.
+	reports := make([]*GradientReport, asn.K)
+	var recvErr error
+	for u := 0; u < asn.K; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			msg, err := conns[u].Recv()
+			if err != nil {
+				mu.Lock()
+				if recvErr == nil {
+					recvErr = fmt.Errorf("worker %d: %w", u, err)
+				}
+				mu.Unlock()
+				return
+			}
+			rep, ok := msg.(GradientReport)
+			if !ok {
+				mu.Lock()
+				if recvErr == nil {
+					recvErr = fmt.Errorf("worker %d: expected GradientReport, got %T", u, msg)
+				}
+				mu.Unlock()
+				return
+			}
+			reports[u] = &rep
+		}(u)
+	}
+	wg.Wait()
+	if recvErr != nil {
+		return recvErr
+	}
+
+	// Index gradients by (worker, file).
+	grads := make([]map[int][]float64, asn.K)
+	for u, rep := range reports {
+		if rep.Iteration != t {
+			return fmt.Errorf("worker %d reported iteration %d, want %d", u, rep.Iteration, t)
+		}
+		m := make(map[int][]float64, len(rep.Files))
+		for i, v := range rep.Files {
+			m[v] = rep.Gradients[i]
+		}
+		grads[u] = m
+	}
+
+	// Vote and aggregate exactly as the in-process engine does.
+	winners := make([][]float64, asn.F)
+	for v := 0; v < asn.F; v++ {
+		replicas := make([][]float64, 0, asn.R)
+		for _, u := range asn.FileWorkers(v) {
+			g, ok := grads[u][v]
+			if !ok {
+				return fmt.Errorf("worker %d omitted file %d", u, v)
+			}
+			replicas = append(replicas, g)
+		}
+		if asn.R == 1 {
+			winners[v] = replicas[0]
+			continue
+		}
+		res, err := vote.Majority(replicas)
+		if err != nil {
+			return err
+		}
+		winners[v] = res.Winner
+	}
+	update, err := s.cfg.Aggregator.Aggregate(winners)
+	if err != nil {
+		return err
+	}
+	scale := float64(asn.F) / float64(s.cfg.Spec.BatchSize)
+	for i := range update {
+		update[i] *= scale
+	}
+	s.opt.Step(s.params, update, t)
+	return nil
+}
+
+// probe returns deterministic sample indices for loss evaluation.
+func probe(n int) []int {
+	size := 256
+	if size > n {
+		size = n
+	}
+	idx := make([]int, size)
+	stride := n / size
+	if stride < 1 {
+		stride = 1
+	}
+	for i := range idx {
+		idx[i] = (i * stride) % n
+	}
+	return idx
+}

@@ -1,0 +1,208 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"byzshield/internal/aggregate"
+	"byzshield/internal/trainer"
+)
+
+func testSpec(rounds int) Spec {
+	return Spec{
+		Scheme: "mols", L: 5, R: 3,
+		TrainN: 400, TestN: 100, Dim: 8, Classes: 4, DataSeed: 21, ClassSep: 3,
+		BatchSize: 50,
+		Schedule:  trainer.Schedule{Base: 0.05, Decay: 0.96, Every: 20},
+		Momentum:  0.9, Seed: 2, Rounds: rounds,
+	}
+}
+
+// runCluster starts a PS and K worker goroutines over loopback TCP and
+// returns the final accuracy.
+func runCluster(t *testing.T, spec Spec, byz map[int]WorkerBehavior, agg aggregate.Aggregator) float64 {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{Spec: spec, Aggregator: agg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	asn, err := BuildAssignment(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, asn.K)
+	for u := 0; u < asn.K; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			behavior := BehaviorHonest
+			if b, ok := byz[u]; ok {
+				behavior = b
+			}
+			_, errs[u] = RunWorker(srv.Addr(), WorkerConfig{ID: u, Behavior: behavior})
+		}(u)
+	}
+	final, err := srv.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for u, e := range errs {
+		if e != nil {
+			t.Fatalf("worker %d: %v", u, e)
+		}
+	}
+	return final
+}
+
+func TestTCPClusterHonestTraining(t *testing.T) {
+	final := runCluster(t, testSpec(30), nil, aggregate.Median{})
+	if final < 0.6 {
+		t.Errorf("honest TCP training accuracy %.3f < 0.6", final)
+	}
+}
+
+func TestTCPClusterToleratesByzantines(t *testing.T) {
+	// Two Byzantines sending reversed gradients: below r' on every
+	// shared file except one (MOLS q=2 → c_max=1 of 25), median absorbs.
+	byz := map[int]WorkerBehavior{0: BehaviorReversed, 5: BehaviorReversed}
+	final := runCluster(t, testSpec(30), byz, aggregate.Median{})
+	if final < 0.6 {
+		t.Errorf("TCP training with 2 Byzantines reached %.3f", final)
+	}
+}
+
+func TestTCPClusterConstantAttack(t *testing.T) {
+	byz := map[int]WorkerBehavior{3: BehaviorConstant, 9: BehaviorZero}
+	final := runCluster(t, testSpec(20), byz, aggregate.Median{})
+	if final < 0.5 {
+		t.Errorf("TCP training with constant/zero Byzantines reached %.3f", final)
+	}
+}
+
+func TestBuildAssignmentSchemes(t *testing.T) {
+	cases := []Spec{
+		{Scheme: "mols", L: 5, R: 3},
+		{Scheme: "ramanujan1", L: 5, R: 3},
+		{Scheme: "ramanujan2", L: 5, R: 5},
+		{Scheme: "frc", K: 15, R: 3},
+		{Scheme: "baseline", K: 10},
+	}
+	for _, spec := range cases {
+		a, err := BuildAssignment(&spec)
+		if err != nil {
+			t.Errorf("%s: %v", spec.Scheme, err)
+			continue
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Scheme, err)
+		}
+	}
+	bad := Spec{Scheme: "nope"}
+	if _, err := BuildAssignment(&bad); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestServerRejectsBadConfig(t *testing.T) {
+	spec := testSpec(10)
+	if _, err := NewServer("127.0.0.1:0", ServerConfig{Spec: spec}); err == nil {
+		t.Error("nil aggregator accepted")
+	}
+	spec.Rounds = 0
+	if _, err := NewServer("127.0.0.1:0", ServerConfig{Spec: spec, Aggregator: aggregate.Median{}}); err == nil {
+		t.Error("0 rounds accepted")
+	}
+	spec = testSpec(5)
+	spec.BatchSize = 10 // < f = 25
+	if _, err := NewServer("127.0.0.1:0", ServerConfig{Spec: spec, Aggregator: aggregate.Median{}}); err == nil {
+		t.Error("batch < files accepted")
+	}
+}
+
+func TestConnSendRecvRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+	done := make(chan error, 1)
+	go func() {
+		done <- ca.Send(Hello{WorkerID: 7})
+	}()
+	msg, err := cb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	hello, ok := msg.(Hello)
+	if !ok || hello.WorkerID != 7 {
+		t.Fatalf("got %#v", msg)
+	}
+}
+
+func TestServerRejectsDuplicateWorkerID(t *testing.T) {
+	spec := testSpec(5)
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{Spec: spec, Aggregator: aggregate.Median{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	serveErr := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve()
+		serveErr <- err
+	}()
+	dial := func(id int) *Conn {
+		raw, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewConn(raw)
+		if err := c.Send(Hello{WorkerID: id}); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c1 := dial(0)
+	defer c1.Close()
+	if _, err := c1.Recv(); err != nil { // Welcome
+		t.Fatal(err)
+	}
+	c2 := dial(0) // duplicate
+	defer c2.Close()
+	if err := <-serveErr; err == nil {
+		t.Error("duplicate worker id accepted")
+	}
+}
+
+func TestSpecBuilders(t *testing.T) {
+	spec := testSpec(1)
+	m, err := spec.BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.InputDim() != 8 || m.Classes() != 4 {
+		t.Error("softmax spec wrong")
+	}
+	spec.Hidden = 16
+	m2, err := spec.BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumParams() <= m.NumParams() {
+		t.Error("MLP should have more params")
+	}
+	tr, te, err := spec.BuildData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 400 || te.Len() != 100 {
+		t.Error("data sizes wrong")
+	}
+}

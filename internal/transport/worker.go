@@ -1,0 +1,142 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+
+	"byzshield/internal/data"
+	"byzshield/internal/model"
+)
+
+// WorkerBehavior selects how a worker process responds to gradient
+// requests. In distributed mode the attacks that require only local
+// knowledge are available (the omniscient ALIE attack needs the global
+// gradient population and therefore only runs in the in-process engine;
+// see DESIGN.md).
+type WorkerBehavior string
+
+// Worker behaviors.
+const (
+	BehaviorHonest   WorkerBehavior = "honest"
+	BehaviorReversed WorkerBehavior = "reversed" // send −g
+	BehaviorConstant WorkerBehavior = "constant" // send a constant vector
+	BehaviorZero     WorkerBehavior = "zero"     // send zeros (crash-like)
+)
+
+// WorkerConfig configures a worker process.
+type WorkerConfig struct {
+	ID       int
+	Behavior WorkerBehavior
+	// ConstantValue is the payload value for BehaviorConstant (default −1).
+	ConstantValue float64
+	// Logf receives progress lines; nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// RunWorker connects to the PS at addr and participates in training
+// until Shutdown, returning the final accuracy reported by the PS.
+func RunWorker(addr string, cfg WorkerConfig) (float64, error) {
+	if cfg.Behavior == "" {
+		cfg.Behavior = BehaviorHonest
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	conn := NewConn(raw)
+	defer conn.Close()
+
+	if err := conn.Send(Hello{WorkerID: cfg.ID}); err != nil {
+		return 0, err
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		return 0, err
+	}
+	welcome, ok := msg.(Welcome)
+	if !ok {
+		return 0, fmt.Errorf("transport: expected Welcome, got %T", msg)
+	}
+	spec := welcome.Spec
+	mdl, err := spec.BuildModel()
+	if err != nil {
+		return 0, err
+	}
+	train, _, err := spec.BuildData()
+	if err != nil {
+		return 0, err
+	}
+	cfg.Logf("worker %d: joined (%s, %d rounds)", cfg.ID, spec.Scheme, spec.Rounds)
+
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return 0, fmt.Errorf("transport: worker %d recv: %w", cfg.ID, err)
+		}
+		switch m := msg.(type) {
+		case RoundStart:
+			rep, err := computeReport(cfg, mdl, train, &m)
+			if err != nil {
+				return 0, err
+			}
+			if err := conn.Send(*rep); err != nil {
+				return 0, err
+			}
+		case Shutdown:
+			cfg.Logf("worker %d: shutdown, final accuracy %.4f", cfg.ID, m.FinalAccuracy)
+			return m.FinalAccuracy, nil
+		default:
+			return 0, fmt.Errorf("transport: worker %d: unexpected message %T", cfg.ID, msg)
+		}
+	}
+}
+
+// computeReport produces the worker's (honest or Byzantine) gradients
+// for one round.
+func computeReport(cfg WorkerConfig, mdl model.Model, train *data.Dataset, rs *RoundStart) (*GradientReport, error) {
+	rep := &GradientReport{WorkerID: cfg.ID, Iteration: rs.Iteration}
+	// Deterministic file order.
+	files := make([]int, 0, len(rs.Files))
+	for v := range rs.Files {
+		files = append(files, v)
+	}
+	for i := 1; i < len(files); i++ {
+		for j := i; j > 0 && files[j] < files[j-1]; j-- {
+			files[j], files[j-1] = files[j-1], files[j]
+		}
+	}
+	dim := mdl.NumParams()
+	for _, v := range files {
+		var g []float64
+		switch cfg.Behavior {
+		case BehaviorHonest:
+			g = make([]float64, dim)
+			mdl.SumGradient(rs.Params, train, rs.Files[v], g)
+		case BehaviorReversed:
+			g = make([]float64, dim)
+			mdl.SumGradient(rs.Params, train, rs.Files[v], g)
+			for i := range g {
+				g[i] = -g[i]
+			}
+		case BehaviorConstant:
+			val := cfg.ConstantValue
+			if val == 0 {
+				val = -1
+			}
+			g = make([]float64, dim)
+			for i := range g {
+				g[i] = val
+			}
+		case BehaviorZero:
+			g = make([]float64, dim)
+		default:
+			return nil, fmt.Errorf("transport: unknown behavior %q", cfg.Behavior)
+		}
+		rep.Files = append(rep.Files, v)
+		rep.Gradients = append(rep.Gradients, g)
+	}
+	return rep, nil
+}

@@ -1,0 +1,192 @@
+// Package vote implements the per-file majority voting stage of the
+// training protocol (Eq. 3 of the paper): the PS receives r claimed
+// gradients for each file and outputs the value returned by the largest
+// number of workers.
+//
+// Two modes are provided. Exact mode matches the paper's implementation
+// note — honest workers return bit-identical gradients for the same
+// file, so votes can be counted by hashing the raw float64 bytes
+// (using the linear-time Boyer–Moore MJRTY pass first, then a counting
+// verification). Tolerance mode handles the "potential precision
+// issues" the paper mentions by clustering returned gradients whose
+// pairwise L∞ distance is within Tol and voting over clusters.
+package vote
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Result reports the outcome of a single file's vote.
+type Result struct {
+	// Winner is the elected gradient (a reference to one of the inputs;
+	// callers must copy before mutating).
+	Winner []float64
+	// Count is the number of votes the winner received.
+	Count int
+	// Unanimous is true when every replica agreed.
+	Unanimous bool
+	// Tied is true when no strict plurality existed; Winner is then the
+	// candidate with the lowest worker index among the tied maxima,
+	// making the outcome deterministic (the paper avoids ties by using
+	// odd r).
+	Tied bool
+}
+
+// Majority elects the most frequent gradient among the replicas using
+// exact byte equality. It is the implementation of Eq. (3): m_i =
+// majority{ĝ_i^(j)}. Inputs must be non-empty and of equal dimension.
+func Majority(replicas [][]float64) (Result, error) {
+	n := len(replicas)
+	if n == 0 {
+		return Result{}, fmt.Errorf("vote: no replicas")
+	}
+	d := len(replicas[0])
+	for i, r := range replicas {
+		if len(r) != d {
+			return Result{}, fmt.Errorf("vote: replica %d has dim %d, want %d", i, len(r), d)
+		}
+	}
+	// MJRTY (Boyer–Moore) fast path: find the only possible strict
+	// majority candidate in one pass using hashes, verify by counting.
+	hashes := make([]uint64, n)
+	for i, r := range replicas {
+		hashes[i] = hashVec(r)
+	}
+	// Count all candidates (n is small: r replicas).
+	counts := make(map[uint64]int, n)
+	first := make(map[uint64]int, n)
+	for i, h := range hashes {
+		counts[h]++
+		if _, seen := first[h]; !seen {
+			first[h] = i
+		}
+	}
+	bestHash := hashes[0]
+	bestCount := 0
+	for h, c := range counts {
+		if c > bestCount || (c == bestCount && first[h] < first[bestHash]) {
+			bestHash = h
+			bestCount = c
+		}
+	}
+	// Verify winner by exact comparison against its first holder —
+	// protects against (astronomically unlikely) hash collisions
+	// electing a wrong bucket representative.
+	winner := replicas[first[bestHash]]
+	exact := 0
+	for _, r := range replicas {
+		if equalVec(r, winner) {
+			exact++
+		}
+	}
+	tied := false
+	for h, c := range counts {
+		if h != bestHash && c == bestCount {
+			tied = true
+		}
+	}
+	return Result{
+		Winner:    winner,
+		Count:     exact,
+		Unanimous: exact == n,
+		Tied:      tied,
+	}, nil
+}
+
+// MajorityWithTolerance clusters replicas by L∞ proximity (two replicas
+// belong to one cluster when within tol of the cluster's representative)
+// and elects the largest cluster, returning its representative. This is
+// the paper's suggested handling for floating-point jitter between
+// honest replicas.
+func MajorityWithTolerance(replicas [][]float64, tol float64) (Result, error) {
+	n := len(replicas)
+	if n == 0 {
+		return Result{}, fmt.Errorf("vote: no replicas")
+	}
+	if tol < 0 {
+		return Result{}, fmt.Errorf("vote: negative tolerance %v", tol)
+	}
+	d := len(replicas[0])
+	for i, r := range replicas {
+		if len(r) != d {
+			return Result{}, fmt.Errorf("vote: replica %d has dim %d, want %d", i, len(r), d)
+		}
+	}
+	type cluster struct {
+		rep   []float64
+		count int
+		first int
+	}
+	var clusters []*cluster
+	for i, r := range replicas {
+		placed := false
+		for _, c := range clusters {
+			if maxAbsDiff(c.rep, r) <= tol {
+				c.count++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			clusters = append(clusters, &cluster{rep: r, count: 1, first: i})
+		}
+	}
+	best := clusters[0]
+	for _, c := range clusters[1:] {
+		if c.count > best.count || (c.count == best.count && c.first < best.first) {
+			best = c
+		}
+	}
+	tied := false
+	for _, c := range clusters {
+		if c != best && c.count == best.count {
+			tied = true
+		}
+	}
+	return Result{
+		Winner:    best.rep,
+		Count:     best.count,
+		Unanimous: best.count == n,
+		Tied:      tied,
+	}, nil
+}
+
+// hashVec hashes the raw IEEE-754 bytes of v with FNV-1a.
+func hashVec(v []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, x := range v {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// equalVec compares by float bit patterns (so NaN == NaN holds and
+// +0/−0 are distinct, matching hash semantics).
+func equalVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// maxAbsDiff returns the L∞ distance between a and b.
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
