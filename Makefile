@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test bench lint fmt clean
+
+all: lint test
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+lint:
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean ./...

@@ -45,7 +45,7 @@ func benchOpts() experiments.TrainOpts {
 func benchTable(b *testing.B, spec experiments.TableSpec, budget time.Duration) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.RunTable(spec, budget)
+		rows, err := experiments.RunTable(context.Background(), spec, budget)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -71,11 +71,11 @@ func BenchmarkTable5(b *testing.B) {
 func BenchmarkTable6(b *testing.B) { benchTable(b, experiments.Table6Spec(), 30*time.Second) }
 
 // benchFigure runs one figure's full curve set at bench scale.
-func benchFigure(b *testing.B, run func(experiments.TrainOpts) experiments.Figure) {
+func benchFigure(b *testing.B, run func(context.Context, experiments.TrainOpts) experiments.Figure) {
 	b.Helper()
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
-		fig := run(opts)
+		fig := run(context.Background(), opts)
 		if len(fig.Curves) == 0 {
 			b.Fatal("no curves")
 		}
@@ -96,7 +96,7 @@ func BenchmarkFigure11(b *testing.B) { benchFigure(b, experiments.Figure11) }
 func BenchmarkFigure12(b *testing.B) {
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure12(opts, 3)
+		rows, err := experiments.Figure12(context.Background(), opts, 3)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -13,7 +13,15 @@
 //	robustness analysis      →  AnalyzeDistortion, SpectralGap, GammaBound
 //	attacks                  →  ALIE, ConstantAttack, ReversedGradient, NoAttack
 //	aggregation              →  Median, MedianOfMeans, MultiKrum, Bulyan, SignSGD, ...
-//	training                 →  Train (in-process cluster), internal/transport (TCP)
+//	named components         →  Registry (string name → scheme/aggregator/attack)
+//	training                 →  Open/Session (incremental), Train (fire-and-forget),
+//	                            internal/transport (TCP)
+//
+// The Session API is the production entry point: Open(ctx, cfg) returns
+// a Session whose Step/Run methods advance the protocol under a
+// context, stream per-round metrics through OnRound/Events, and
+// checkpoint/restore via Checkpoint/Restore — Train is a convenience
+// wrapper over it.
 //
 // See the examples/ directory for runnable programs and DESIGN.md for
 // the full system inventory.
@@ -28,7 +36,6 @@ import (
 	"byzshield/internal/aggregate"
 	"byzshield/internal/assign"
 	"byzshield/internal/attack"
-	"byzshield/internal/cluster"
 	"byzshield/internal/data"
 	"byzshield/internal/distort"
 	"byzshield/internal/graph"
@@ -204,8 +211,34 @@ func GammaBound(a *Assignment, q int) (float64, error) {
 	return distort.Gamma(q, a.L, a.R, a.K, mu1), nil
 }
 
-// TrainConfig assembles an in-process training run. Zero-valued fields
-// take the documented defaults.
+// Defaults applied by Open (and therefore Train) to zero-valued
+// TrainConfig fields. This block is the single source of truth for the
+// config defaults; Open validates everything else explicitly and
+// rejects ambiguous partial values rather than silently substituting.
+const (
+	// DefaultMomentum is applied when Momentum == 0 and NoMomentum is
+	// unset.
+	DefaultMomentum = 0.9
+	// DefaultIterations is the training horizon when Iterations == 0.
+	DefaultIterations = 300
+	// DefaultEvalEvery is the evaluation cadence when EvalEvery == 0.
+	DefaultEvalEvery = 25
+	// DefaultSearchBudget bounds the worst-case Byzantine search when
+	// SearchBudget == 0.
+	DefaultSearchBudget = 10 * time.Second
+)
+
+// DefaultSchedule is the learning-rate schedule applied when Schedule
+// is entirely zero: the (0.05, 0.96, 25) step decay used by the
+// scaled-down reproduction (paper notation (x, y, z)).
+func DefaultSchedule() Schedule { return Schedule{Base: 0.05, Decay: 0.96, Every: 25} }
+
+// TrainConfig assembles a training run for Open (session-based) or
+// Train (fire-and-forget). Zero-valued optional fields take the
+// defaults documented in the Default* block above; ambiguous partial
+// values (a Schedule with decay but no base rate, Momentum combined
+// with NoMomentum, Q combined with Byzantines) are rejected by Open
+// rather than silently patched.
 type TrainConfig struct {
 	Assignment *Assignment // required
 	Model      Model       // required
@@ -213,82 +246,102 @@ type TrainConfig struct {
 	Test       *Dataset    // required
 	BatchSize  int         // required, ≥ number of files
 	// Q selects the worst-case Byzantine set of that size
-	// automatically; leave 0 and set Byzantines for explicit control.
+	// automatically; alternatively set Byzantines for explicit control.
+	// Setting both is rejected.
 	Q          int
 	Byzantines []int
 	Attack     Attack     // default NoAttack()
 	Aggregator Aggregator // default Median()
-	Schedule   Schedule   // default (0.05, 0.96, 25)
-	Momentum   float64    // default 0.9 (set NoMomentum for 0)
+	// Schedule defaults to DefaultSchedule() when entirely zero. A
+	// partially set schedule (Base == 0 with Decay/Every set) is an
+	// error.
+	Schedule Schedule
+	// Momentum defaults to DefaultMomentum when 0; set NoMomentum for
+	// momentum-free SGD. Momentum outside [0, 1) is an error.
+	Momentum   float64
 	NoMomentum bool
 	Seed       int64
-	Iterations int // default 300
-	EvalEvery  int // default 25
-	// SearchBudget bounds the worst-case Byzantine search (default 10s).
+	Iterations int // default DefaultIterations
+	EvalEvery  int // default DefaultEvalEvery
+	// SearchBudget bounds the worst-case Byzantine search (default
+	// DefaultSearchBudget).
 	SearchBudget time.Duration
 }
 
-// Train runs the full protocol (Algorithm 1) in process and returns the
-// recorded history.
-func Train(cfg TrainConfig) (*History, error) {
+// normalized validates the config and returns a copy with every
+// documented default applied.
+func (cfg TrainConfig) normalized() (TrainConfig, error) {
 	if cfg.Assignment == nil {
-		return nil, fmt.Errorf("byzshield: Assignment is required")
+		return cfg, fmt.Errorf("byzshield: Assignment is required")
 	}
-	byz := cfg.Byzantines
-	if len(byz) == 0 && cfg.Q > 0 {
-		budget := cfg.SearchBudget
-		if budget <= 0 {
-			budget = 10 * time.Second
-		}
-		an := distort.NewAnalyzer(cfg.Assignment)
-		ctx, cancel := context.WithTimeout(context.Background(), budget)
-		byz = an.MaxDistorted(ctx, cfg.Q).Byzantines
-		cancel()
+	if cfg.Model == nil {
+		return cfg, fmt.Errorf("byzshield: Model is required")
 	}
-	agg := cfg.Aggregator
-	if agg == nil {
-		agg = Median()
+	if cfg.Train == nil || cfg.Test == nil {
+		return cfg, fmt.Errorf("byzshield: Train and Test datasets are required")
 	}
-	atk := cfg.Attack
-	if atk == nil {
-		atk = NoAttack()
+	if cfg.BatchSize < cfg.Assignment.F {
+		return cfg, fmt.Errorf("byzshield: BatchSize %d < file count %d", cfg.BatchSize, cfg.Assignment.F)
 	}
-	schedule := cfg.Schedule
-	if schedule.Base == 0 {
-		schedule = Schedule{Base: 0.05, Decay: 0.96, Every: 25}
+	if cfg.Q < 0 || cfg.Q > cfg.Assignment.K {
+		return cfg, fmt.Errorf("byzshield: Q=%d out of range [0,%d]", cfg.Q, cfg.Assignment.K)
 	}
-	momentum := cfg.Momentum
-	if momentum == 0 && !cfg.NoMomentum {
-		momentum = 0.9
+	if cfg.Q > 0 && len(cfg.Byzantines) > 0 {
+		return cfg, fmt.Errorf("byzshield: set Q (worst-case search) or Byzantines (explicit set), not both")
 	}
-	iterations := cfg.Iterations
-	if iterations == 0 {
-		iterations = 300
+	if cfg.Schedule == (Schedule{}) {
+		cfg.Schedule = DefaultSchedule()
+	} else if cfg.Schedule.Base == 0 {
+		return cfg, fmt.Errorf("byzshield: Schedule.Base must be set when Decay/Every are (got %v)", cfg.Schedule)
+	} else if err := cfg.Schedule.Validate(); err != nil {
+		return cfg, fmt.Errorf("byzshield: %w", err)
 	}
-	evalEvery := cfg.EvalEvery
-	if evalEvery == 0 {
-		evalEvery = 25
+	switch {
+	case cfg.NoMomentum && cfg.Momentum != 0:
+		return cfg, fmt.Errorf("byzshield: NoMomentum contradicts Momentum=%v", cfg.Momentum)
+	case cfg.Momentum < 0 || cfg.Momentum >= 1:
+		return cfg, fmt.Errorf("byzshield: Momentum %v outside [0,1)", cfg.Momentum)
+	case cfg.Momentum == 0 && !cfg.NoMomentum:
+		cfg.Momentum = DefaultMomentum
 	}
-	eng, err := cluster.New(cluster.Config{
-		Assignment: cfg.Assignment,
-		Model:      cfg.Model,
-		Train:      cfg.Train,
-		Test:       cfg.Test,
-		BatchSize:  cfg.BatchSize,
-		Attack:     atk,
-		Byzantines: byz,
-		Aggregator: agg,
-		Schedule:   schedule,
-		Momentum:   momentum,
-		Seed:       cfg.Seed,
-	})
+	if cfg.Iterations < 0 {
+		return cfg, fmt.Errorf("byzshield: Iterations %d < 0", cfg.Iterations)
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = DefaultIterations
+	}
+	if cfg.EvalEvery < 0 {
+		return cfg, fmt.Errorf("byzshield: EvalEvery %d < 0", cfg.EvalEvery)
+	}
+	if cfg.EvalEvery == 0 {
+		cfg.EvalEvery = DefaultEvalEvery
+	}
+	if cfg.SearchBudget < 0 {
+		return cfg, fmt.Errorf("byzshield: SearchBudget %v < 0", cfg.SearchBudget)
+	}
+	if cfg.SearchBudget == 0 {
+		cfg.SearchBudget = DefaultSearchBudget
+	}
+	if cfg.Attack == nil {
+		cfg.Attack = NoAttack()
+	}
+	if cfg.Aggregator == nil {
+		cfg.Aggregator = Median()
+	}
+	return cfg, nil
+}
+
+// Train runs the full protocol (Algorithm 1) in process and returns the
+// recorded history. It is a thin wrapper over Open followed by Run to
+// the Iterations horizon; use Open directly for incremental stepping,
+// cancellation, streaming metrics, or checkpointing.
+func Train(cfg TrainConfig) (*History, error) {
+	s, err := Open(context.Background(), cfg)
 	if err != nil {
 		return nil, err
 	}
-	if err := eng.CheckFeasible(); err != nil {
-		return nil, fmt.Errorf("byzshield: %w", err)
-	}
-	return eng.Run(iterations, evalEvery)
+	defer s.Close()
+	return s.Run(context.Background(), 0)
 }
 
 // SyntheticDataset generates the deterministic 10-class synthetic

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"byzshield/internal/experiments"
@@ -37,7 +40,10 @@ func main() {
 	opts.Seed = *seed
 	opts.SearchBudget = *budget
 
-	rows, err := experiments.Figure12(opts, *rounds)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rows, err := experiments.Figure12(ctx, opts, *rounds)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "byzbench:", err)
 		os.Exit(1)

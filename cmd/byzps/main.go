@@ -1,6 +1,8 @@
 // Command byzps runs the TCP parameter server for real multi-process
 // distributed training (the repository's stand-in for the paper's
 // MPICH deployment). Start byzps first, then K byzworker processes.
+// Scheme and aggregator are resolved by name through the component
+// registry; SIGINT/SIGTERM cancel the run cleanly.
 //
 // Usage:
 //
@@ -10,12 +12,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
-	"byzshield/internal/aggregate"
+	"byzshield"
 	"byzshield/internal/trainer"
 	"byzshield/internal/transport"
 )
@@ -23,10 +30,11 @@ import (
 func main() {
 	var (
 		listen  = flag.String("listen", "127.0.0.1:7077", "listen address")
-		scheme  = flag.String("scheme", "mols", "assignment scheme: mols, ramanujan1, ramanujan2, frc, baseline")
+		scheme  = flag.String("scheme", "mols", "assignment scheme: "+strings.Join(byzshield.Registry.Schemes(), ", "))
 		l       = flag.Int("l", 5, "computational load parameter")
 		r       = flag.Int("r", 3, "replication factor")
-		k       = flag.Int("k", 15, "cluster size (frc/baseline)")
+		k       = flag.Int("k", 15, "cluster size (frc/baseline/random)")
+		f       = flag.Int("f", 0, "file count (random scheme only)")
 		rounds  = flag.Int("rounds", 100, "training rounds")
 		batch   = flag.Int("batch", 250, "batch size")
 		trainN  = flag.Int("train", 2000, "training-set size")
@@ -34,7 +42,9 @@ func main() {
 		dim     = flag.Int("dim", 16, "feature dimension")
 		classes = flag.Int("classes", 10, "number of classes")
 		hidden  = flag.Int("hidden", 0, "MLP hidden width (0 = softmax)")
-		agg     = flag.String("aggregator", "median", "aggregation rule: median, mean, mom, signsgd")
+		agg     = flag.String("aggregator", "median", "aggregation rule: "+strings.Join(byzshield.Registry.Aggregators(), ", "))
+		aggC    = flag.Int("agg-c", 0, "aggregator corruption parameter (krum/multikrum/bulyan)")
+		aggG    = flag.Int("agg-groups", 0, "median-of-means group count (default 3)")
 		lr      = flag.Float64("lr", 0.05, "base learning rate")
 		decay   = flag.Float64("decay", 0.96, "learning-rate decay factor")
 		every   = flag.Int("every", 25, "iterations between decays")
@@ -42,42 +52,37 @@ func main() {
 	)
 	flag.Parse()
 
-	var aggregator aggregate.Aggregator
-	switch *agg {
-	case "median":
-		aggregator = aggregate.Median{}
-	case "mean":
-		aggregator = aggregate.Mean{}
-	case "mom":
-		aggregator = aggregate.MedianOfMeans{Groups: 3}
-	case "signsgd":
-		aggregator = aggregate.SignSGD{}
-	default:
-		fmt.Fprintf(os.Stderr, "byzps: unknown aggregator %q\n", *agg)
-		os.Exit(2)
-	}
-
 	spec := transport.Spec{
-		Scheme: *scheme, L: *l, R: *r, K: *k,
-		TrainN: *trainN, TestN: *testN, Dim: *dim, Classes: *classes,
+		Scheme: *scheme, L: *l, R: *r, K: *k, F: *f,
+		Aggregator: *agg,
+		AggParams:  byzshield.AggregatorParams{C: *aggC, Groups: *aggG},
+		TrainN:     *trainN, TestN: *testN, Dim: *dim, Classes: *classes,
 		DataSeed: *seed, ClassSep: 2.0, Hidden: *hidden,
 		BatchSize: *batch,
 		Schedule:  trainer.Schedule{Base: *lr, Decay: *decay, Every: *every},
 		Momentum:  0.9, Seed: *seed, Rounds: *rounds,
 	}
 	srv, err := transport.NewServer(*listen, transport.ServerConfig{
-		Spec:       spec,
-		Aggregator: aggregator,
-		Logf:       log.Printf,
+		Spec: spec,
+		Logf: log.Printf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "byzps:", err)
 		os.Exit(1)
 	}
 	defer srv.Close()
-	log.Printf("parameter server listening on %s (scheme=%s, waiting for workers)", srv.Addr(), *scheme)
-	final, err := srv.Serve()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("parameter server listening on %s (scheme=%s, aggregator=%s, waiting for workers)",
+		srv.Addr(), *scheme, *agg)
+	final, err := srv.Serve(ctx)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Printf("interrupted; %d evaluations recorded", len(srv.History().Points))
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "byzps:", err)
 		os.Exit(1)
 	}

@@ -1,21 +1,27 @@
 // Command byzsim runs the worst-case distortion-fraction simulations of
 // Sec. 5.3 of the paper, regenerating Tables 3–6 (or analyzing a custom
-// scheme).
+// scheme resolved by name through the component registry).
 //
 // Usage:
 //
 //	byzsim -table 3                              # reproduce a paper table
 //	byzsim -table 5 -budget 10m                  # longer exhaustive search
 //	byzsim -scheme mols -l 7 -r 3 -qmin 2 -qmax 8
+//	byzsim -scheme random -k 15 -f 25 -r 3       # any registry scheme works
 //	byzsim -table 4 -csv                         # machine-readable output
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
+	"byzshield"
 	"byzshield/internal/assign"
 	"byzshield/internal/experiments"
 	"byzshield/internal/latin"
@@ -24,12 +30,14 @@ import (
 func main() {
 	var (
 		table    = flag.String("table", "", "paper table to reproduce: 3, 4, 5 or 6")
-		scheme   = flag.String("scheme", "", "custom scheme: mols, ramanujan1, ramanujan2, frc")
+		scheme   = flag.String("scheme", "", "custom scheme: "+strings.Join(byzshield.Registry.Schemes(), ", "))
 		ablation = flag.Bool("ablation", false, "run the assignment-scheme ablation (MOLS vs Ramanujan vs FRC vs random)")
 		show     = flag.Bool("show", false, "print the MOLS family and file allocation for -l/-r (paper Tables 1 & 2)")
 		l        = flag.Int("l", 5, "computational load (MOLS degree / Ramanujan parameter)")
 		r        = flag.Int("r", 3, "replication factor")
-		k        = flag.Int("k", 15, "cluster size (frc only)")
+		k        = flag.Int("k", 15, "cluster size (frc/baseline/random)")
+		f        = flag.Int("f", 0, "file count (random scheme)")
+		seed     = flag.Int64("seed", 7, "placement seed (random scheme)")
 		qmin     = flag.Int("qmin", 1, "minimum number of Byzantines")
 		qmax     = flag.Int("qmax", 5, "maximum number of Byzantines")
 		budget   = flag.Duration("budget", 60*time.Second, "exhaustive-search budget per q")
@@ -37,8 +45,11 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *ablation {
-		rows, err := experiments.AblationSchemes(*qmin, *qmax, *budget)
+		rows, err := experiments.AblationSchemes(ctx, *qmin, *qmax, *budget)
 		if err != nil {
 			fatal(err)
 		}
@@ -61,7 +72,9 @@ func main() {
 		}
 		spec = s
 	case *scheme != "":
-		s, err := customSpec(*scheme, *l, *r, *k, *qmin, *qmax)
+		s, err := customSpec(*scheme, byzshield.SchemeParams{
+			L: *l, R: *r, K: *k, F: *f, Seed: *seed,
+		}, *qmin, *qmax)
 		if err != nil {
 			fatal(err)
 		}
@@ -71,7 +84,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	rows, err := experiments.RunTable(spec, *budget)
+	rows, err := experiments.RunTable(ctx, spec, *budget)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,39 +95,31 @@ func main() {
 	}
 }
 
-// customSpec builds a TableSpec for a user-specified scheme.
-func customSpec(scheme string, l, r, k, qmin, qmax int) (experiments.TableSpec, error) {
-	var build func() (*assign.Assignment, error)
-	baseK, baseR := k, r
-	switch scheme {
-	case "mols":
-		build = func() (*assign.Assignment, error) { return assign.MOLS(l, r) }
-		baseK = r * l
-	case "ramanujan1":
-		build = func() (*assign.Assignment, error) { return assign.Ramanujan1(l, r) }
-		baseK = r * l
-	case "ramanujan2":
-		build = func() (*assign.Assignment, error) { return assign.Ramanujan2(r, l) }
-		baseK = r * r
-	case "frc":
-		build = func() (*assign.Assignment, error) { return assign.FRC(k, r) }
-	default:
-		return experiments.TableSpec{}, fmt.Errorf("byzsim: unknown scheme %q", scheme)
+// customSpec builds a TableSpec for any registry scheme. The
+// construction is probed once so parameter errors surface early; the γ
+// column uses the scheme's actual spectral gap (1/r for the ByzShield
+// constructions, 1 for FRC, measured for random placements).
+func customSpec(scheme string, params byzshield.SchemeParams, qmin, qmax int) (experiments.TableSpec, error) {
+	build := func() (*assign.Assignment, error) {
+		return byzshield.Registry.Scheme(scheme, params)
 	}
-	// Probe the construction once so parameter errors surface early and
-	// the γ column can use the scheme's exact spectral gap 1/r.
-	if _, err := build(); err != nil {
+	a, err := build()
+	if err != nil {
+		return experiments.TableSpec{}, err
+	}
+	mu1, err := byzshield.SpectralGap(a)
+	if err != nil {
 		return experiments.TableSpec{}, err
 	}
 	return experiments.TableSpec{
 		ID:      "custom",
-		Title:   fmt.Sprintf("Distortion fraction, %s (l=%d, r=%d)", scheme, l, r),
+		Title:   fmt.Sprintf("Distortion fraction, %s (K=%d, f=%d, l=%d, r=%d)", scheme, a.K, a.F, a.L, a.R),
 		Scheme:  build,
 		QMin:    qmin,
 		QMax:    qmax,
-		BaseK:   baseK,
-		BaseR:   baseR,
-		GammaMu: 1 / float64(r),
+		BaseK:   a.K,
+		BaseR:   a.R,
+		GammaMu: mu1,
 	}, nil
 }
 
@@ -129,7 +134,7 @@ func showConstruction(l, r int) error {
 	for i, sq := range squares {
 		fmt.Printf("L%d:\n%s\n", i+1, sq)
 	}
-	a, err := assign.MOLS(l, r)
+	a, err := byzshield.Registry.Scheme("mols", byzshield.SchemeParams{L: l, R: r})
 	if err != nil {
 		return err
 	}

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"byzshield/internal/experiments"
@@ -54,12 +57,15 @@ func main() {
 	opts.Seed = *seed
 	opts.SearchBudget = *budget
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	ids := []string{*figure}
 	if *figure == "all" {
 		ids = []string{"2", "3", "4", "5", "6", "7", "8", "9", "10", "11"}
 	}
 	for _, id := range ids {
-		fig, err := experiments.FigureByID(id, opts)
+		fig, err := experiments.FigureByID(ctx, id, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "byztrain:", err)
 			os.Exit(1)

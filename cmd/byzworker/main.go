@@ -1,6 +1,7 @@
 // Command byzworker is the worker-process counterpart of byzps: it
 // connects to the parameter server, computes file gradient sums for its
 // assigned files every round, and optionally behaves Byzantine.
+// SIGINT/SIGTERM cancel the run cleanly.
 //
 // Usage:
 //
@@ -9,10 +10,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"byzshield/internal/transport"
 )
@@ -34,13 +39,21 @@ func main() {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
-	final, err := transport.RunWorker(*connect, transport.WorkerConfig{
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	final, err := transport.RunWorker(ctx, *connect, transport.WorkerConfig{
 		ID:            *id,
 		Behavior:      transport.WorkerBehavior(*behavior),
 		ConstantValue: *value,
 		Logf:          logf,
 	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Printf("worker %d interrupted", *id)
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "byzworker:", err)
 		os.Exit(1)
 	}

@@ -1,6 +1,7 @@
 package byzshield_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -114,4 +115,51 @@ func ExampleTrain() {
 	fmt.Println(hist.FinalAccuracy() > 0.6)
 	// Output:
 	// true
+}
+
+// ExampleOpen steps a session round by round under a context, with the
+// components resolved by name from the registry — the incremental
+// counterpart of ExampleTrain.
+func ExampleOpen() {
+	ctx := context.Background()
+	asn, err := byzshield.Registry.Scheme("mols", byzshield.SchemeParams{L: 5, R: 3})
+	if err != nil {
+		panic(err)
+	}
+	train, test, err := byzshield.SyntheticDataset(600, 200, 10, 5, 3)
+	if err != nil {
+		panic(err)
+	}
+	mdl, err := byzshield.NewSoftmaxModel(10, 5)
+	if err != nil {
+		panic(err)
+	}
+	attack, err := byzshield.Registry.Attack("reversed", byzshield.AttackParams{C: 10})
+	if err != nil {
+		panic(err)
+	}
+	s, err := byzshield.Open(ctx, byzshield.TrainConfig{
+		Assignment: asn,
+		Model:      mdl,
+		Train:      train,
+		Test:       test,
+		BatchSize:  100,
+		Q:          3,
+		Attack:     attack,
+		Iterations: 50,
+		EvalEvery:  50,
+		Seed:       3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+	for s.Round() < 50 {
+		if _, err := s.Step(ctx); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println(s.Round(), s.History().FinalAccuracy() > 0.6)
+	// Output:
+	// 50 true
 }

@@ -14,20 +14,20 @@ import (
 
 func main() {
 	// All three placements use K = 15 workers; the replicated ones use
-	// r = 3 copies of each task.
-	mols, err := byzshield.NewMOLS(5, 3)
+	// r = 3 copies of each task. Schemes are resolved by registry name.
+	mols, err := byzshield.Registry.Scheme("mols", byzshield.SchemeParams{L: 5, R: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ram, err := byzshield.NewRamanujan1(5, 3)
+	ram, err := byzshield.Registry.Scheme("ramanujan1", byzshield.SchemeParams{L: 5, R: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
-	frc, err := byzshield.NewFRC(15, 3)
+	frc, err := byzshield.Registry.Scheme("frc", byzshield.SchemeParams{K: 15, R: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
-	random, err := byzshield.NewRandom(15, 25, 3, 99)
+	random, err := byzshield.Registry.Scheme("random", byzshield.SchemeParams{K: 15, F: 25, R: 3, Seed: 99})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"log"
 
-	"byzshield/internal/assign"
+	"byzshield"
 	"byzshield/internal/distort"
 	"byzshield/internal/draco"
 )
@@ -37,7 +37,7 @@ func main() {
 	drAn := distort.NewAnalyzer(dr.Assignment)
 	fmt.Printf("%4s %18s %18s\n", "q", "DRACO-cyclic", "ByzShield-MOLS")
 
-	molsAsn, err := assign.MOLS(5, 3)
+	molsAsn, err := byzshield.Registry.Scheme("mols", byzshield.SchemeParams{L: 5, R: 3})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,9 +1,12 @@
 // Quickstart: build a ByzShield assignment, inspect its robustness, and
 // train a model under the ALIE attack with a worst-case omniscient
-// adversary — all through the public byzshield API.
+// adversary — all through the public byzshield API. Components are
+// resolved by name from the registry; training runs through a Session
+// so every round streams its metrics.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -12,9 +15,11 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Task assignment: MOLS with load l = 5, replication r = 3
 	//    → K = 15 workers, f = 25 files (the paper's Example 1).
-	asn, err := byzshield.NewMOLS(5, 3)
+	asn, err := byzshield.Registry.Scheme("mols", byzshield.SchemeParams{L: 5, R: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,7 +34,8 @@ func main() {
 	fmt.Printf("q=%d: c_max=%d (ε̂=%.2f), spectral bound γ=%.2f, worst-case set %v\n",
 		rep.Q, rep.CMax, rep.Epsilon, rep.Gamma, rep.Byzantines)
 
-	// 3. Train a 10-class classifier under ALIE with that adversary.
+	// 3. Train a 10-class classifier under ALIE with that adversary,
+	//    one observable round at a time.
 	train, test, err := byzshield.SyntheticDataset(3000, 1000, 32, 10, 7)
 	if err != nil {
 		log.Fatal(err)
@@ -38,15 +44,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	history, err := byzshield.Train(byzshield.TrainConfig{
+	attack, err := byzshield.Registry.Attack("alie")
+	if err != nil {
+		log.Fatal(err)
+	}
+	aggregator, err := byzshield.Registry.Aggregator("median")
+	if err != nil {
+		log.Fatal(err)
+	}
+	session, err := byzshield.Open(ctx, byzshield.TrainConfig{
 		Assignment: asn,
 		Model:      mdl,
 		Train:      train,
 		Test:       test,
 		BatchSize:  500,
 		Q:          3,
-		Attack:     byzshield.ALIE(),
-		Aggregator: byzshield.Median(),
+		Attack:     attack,
+		Aggregator: aggregator,
 		Iterations: 200,
 		EvalEvery:  25,
 		Seed:       7,
@@ -54,8 +68,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, p := range history.Points {
-		fmt.Printf("iter %4d  loss %.4f  top-1 accuracy %.4f\n", p.Iteration, p.Loss, p.Accuracy)
+	defer session.Close()
+
+	session.OnRound(func(r byzshield.RoundResult) {
+		if r.Evaluated {
+			fmt.Printf("iter %4d  loss %.4f  top-1 accuracy %.4f  (distorted votes: %d)\n",
+				r.Round, r.Loss, r.Accuracy, r.DistortedFiles)
+		}
+	})
+	history, err := session.Run(ctx, 0)
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("final accuracy under ALIE (q=3): %.4f\n", history.FinalAccuracy())
 }

@@ -1,0 +1,126 @@
+// Session lifecycle: the production-style training loop. A Session is
+// opened from a registry-assembled config, stepped under a cancelable
+// context while per-round metrics stream over an Events channel, then
+// checkpointed mid-run, restored into a brand-new Session, and driven
+// to completion — the continued run is bit-identical to an
+// uninterrupted one.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"byzshield"
+)
+
+func config(byzantines []int) byzshield.TrainConfig {
+	asn, err := byzshield.Registry.Scheme("mols", byzshield.SchemeParams{L: 5, R: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test, err := byzshield.SyntheticDataset(2000, 500, 16, 10, 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mdl, err := byzshield.NewMLPModel(16, 16, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attack, err := byzshield.Registry.Attack("reversed", byzshield.AttackParams{C: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := byzshield.TrainConfig{
+		Assignment: asn,
+		Model:      mdl,
+		Train:      train,
+		Test:       test,
+		BatchSize:  250,
+		Attack:     attack,
+		Iterations: 120,
+		EvalEvery:  20,
+		Seed:       23,
+	}
+	if byzantines == nil {
+		cfg.Q = 3 // worst-case omniscient placement, found by Open
+	} else {
+		cfg.Byzantines = byzantines // exact resume of a recorded adversary
+	}
+	return cfg
+}
+
+func main() {
+	ctx := context.Background()
+
+	// Phase 1: open a session and stream metrics while stepping.
+	session, err := byzshield.Open(ctx, config(nil))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session open: worst-case Byzantines %v, ε̂=%.2f\n",
+		session.Byzantines(), session.Epsilon())
+
+	events, unsubscribe := session.Events(64)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range events {
+			if r.Evaluated {
+				fmt.Printf("  round %3d  lr=%.4f  loss=%.4f  acc=%.4f  distorted=%d\n",
+					r.Round, r.LR, r.Loss, r.Accuracy, r.DistortedFiles)
+			}
+		}
+	}()
+
+	// Run half the horizon, then checkpoint and abandon this session.
+	if _, err := session.Run(ctx, 60); err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "byzshield-session")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ckptPath := filepath.Join(dir, "round60.ckpt")
+	if err := session.SaveCheckpoint(ckptPath); err != nil {
+		log.Fatal(err)
+	}
+	unsubscribe()
+	<-done
+	session.Close()
+	fmt.Printf("checkpointed at round %d → %s\n", 60, ckptPath)
+
+	// Phase 2: a fresh process would do exactly this — rebuild the
+	// session from the same config (with the checkpoint's recorded
+	// Byzantine set, skipping the re-search), restore, continue. No
+	// round replay: the sampler stream is fast-forwarded
+	// deterministically.
+	ckpt, err := byzshield.LoadCheckpoint(ckptPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint meta: %v (byzantines %v)\n", ckpt.Meta, ckpt.Byzantines)
+	resumed, err := byzshield.Open(ctx, config(ckpt.Byzantines))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resumed.Close()
+	if err := resumed.Restore(ckpt); err != nil {
+		log.Fatal(err)
+	}
+	resumed.OnRound(func(r byzshield.RoundResult) {
+		if r.Evaluated {
+			fmt.Printf("  round %3d  lr=%.4f  loss=%.4f  acc=%.4f  (resumed)\n",
+				r.Round, r.LR, r.Loss, r.Accuracy)
+		}
+	})
+	history, err := resumed.Run(ctx, 0) // to the 120-round horizon
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final accuracy after resume: %.4f (%d evaluations recorded)\n",
+		history.FinalAccuracy(), len(history.Points))
+}

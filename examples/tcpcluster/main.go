@@ -1,34 +1,37 @@
 // TCP cluster: runs the distributed training protocol over real TCP
 // sockets — one parameter-server and K = 15 worker clients on loopback,
-// two of them Byzantine (reversed gradients). The same binaries-level
-// protocol is exposed by cmd/byzps and cmd/byzworker for multi-process
-// or multi-machine runs.
+// two of them Byzantine (reversed gradients). The scheme and aggregator
+// travel as registry names inside the wire Spec, and the whole cluster
+// is cancelable through a context. The same binaries-level protocol is
+// exposed by cmd/byzps and cmd/byzworker for multi-process or
+// multi-machine runs.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
 
-	"byzshield/internal/aggregate"
 	"byzshield/internal/trainer"
 	"byzshield/internal/transport"
 )
 
 func main() {
+	ctx := context.Background()
 	spec := transport.Spec{
 		Scheme: "mols", L: 5, R: 3,
-		TrainN: 2000, TestN: 500, Dim: 16, Classes: 10,
+		Aggregator: "median",
+		TrainN:     2000, TestN: 500, Dim: 16, Classes: 10,
 		DataSeed: 31, ClassSep: 2.0,
 		BatchSize: 250,
 		Schedule:  trainer.Schedule{Base: 0.05, Decay: 0.96, Every: 25},
 		Momentum:  0.9, Seed: 31, Rounds: 80,
 	}
 	srv, err := transport.NewServer("127.0.0.1:0", transport.ServerConfig{
-		Spec:       spec,
-		Aggregator: aggregate.Median{},
-		Logf:       log.Printf,
-		EvalEvery:  20,
+		Spec:      spec,
+		Logf:      log.Printf,
+		EvalEvery: 20,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -53,7 +56,7 @@ func main() {
 			if b, ok := byzantine[id]; ok {
 				behavior = b
 			}
-			if _, err := transport.RunWorker(srv.Addr(), transport.WorkerConfig{
+			if _, err := transport.RunWorker(ctx, srv.Addr(), transport.WorkerConfig{
 				ID:       id,
 				Behavior: behavior,
 			}); err != nil {
@@ -62,7 +65,7 @@ func main() {
 		}(id)
 	}
 
-	final, err := srv.Serve()
+	final, err := srv.Serve(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,7 +1,9 @@
 // Training comparison: the paper's K = 25 cluster under the ALIE attack
 // with three defenses — ByzShield (Ramanujan Case 2 + median), the
 // un-replicated coordinate-wise median baseline, and DETOX (FRC + vote +
-// median-of-means) — reproducing the shape of Figure 2.
+// median-of-means) — reproducing the shape of Figure 2. Every pipeline
+// is assembled purely from registry names, so the run definitions are
+// data, not code.
 package main
 
 import (
@@ -26,18 +28,28 @@ func main() {
 	}
 
 	type runDef struct {
-		name string
-		asn  func() (*byzshield.Assignment, error)
-		agg  byzshield.Aggregator
+		name         string
+		scheme       string
+		schemeParams byzshield.SchemeParams
+		agg          string
+		aggParams    byzshield.AggregatorParams
 	}
 	runs := []runDef{
-		{"ByzShield (Ram2 + median)", func() (*byzshield.Assignment, error) { return byzshield.NewRamanujan2(5, 5) }, byzshield.Median()},
-		{"Baseline median", func() (*byzshield.Assignment, error) { return byzshield.NewBaseline(25) }, byzshield.Median()},
-		{"DETOX (FRC + MoM)", func() (*byzshield.Assignment, error) { return byzshield.NewFRC(25, 5) }, byzshield.MedianOfMeans(5)},
+		{"ByzShield (Ram2 + median)", "ramanujan2", byzshield.SchemeParams{L: 5, R: 5}, "median", byzshield.AggregatorParams{}},
+		{"Baseline median", "baseline", byzshield.SchemeParams{K: 25}, "median", byzshield.AggregatorParams{}},
+		{"DETOX (FRC + MoM)", "frc", byzshield.SchemeParams{K: 25, R: 5}, "median-of-means", byzshield.AggregatorParams{Groups: 5}},
 	}
 
 	for _, r := range runs {
-		asn, err := r.asn()
+		asn, err := byzshield.Registry.Scheme(r.scheme, r.schemeParams)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agg, err := byzshield.Registry.Aggregator(r.agg, r.aggParams)
+		if err != nil {
+			log.Fatal(err)
+		}
+		attack, err := byzshield.Registry.Attack("alie")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -52,8 +64,8 @@ func main() {
 			Test:       test,
 			BatchSize:  500,
 			Q:          q,
-			Attack:     byzshield.ALIE(),
-			Aggregator: r.agg,
+			Attack:     attack,
+			Aggregator: agg,
 			Iterations: 250,
 			EvalEvery:  50,
 			Seed:       11,

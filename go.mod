@@ -1,0 +1,3 @@
+module byzshield
+
+go 1.22

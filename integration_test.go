@@ -75,7 +75,7 @@ func TestAttackDefenseGrid(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				h, err := eng.Run(40, 40)
+				h, err := eng.Run(context.Background(), 40, 40)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -126,7 +126,7 @@ func TestAllModelsTrainUnderAttack(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			h, err := eng.Run(60, 60)
+			h, err := eng.Run(context.Background(), 60, 60)
 			if err != nil {
 				t.Fatal(err)
 			}

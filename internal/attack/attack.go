@@ -13,7 +13,6 @@
 package attack
 
 import (
-	"fmt"
 	"math/rand"
 
 	"byzshield/internal/linalg"
@@ -230,26 +229,5 @@ func (SignFlip) BeginRound(*Context) Crafter {
 			out[i] = -v
 		}
 		return out
-	}
-}
-
-// ByName constructs a registered attack from its report name; used by
-// the CLI tools.
-func ByName(name string) (Attack, error) {
-	switch name {
-	case "benign":
-		return Benign{}, nil
-	case "alie":
-		return ALIE{}, nil
-	case "constant":
-		return Constant{ScaleByFileSize: true}, nil
-	case "reversed-gradient", "revgrad":
-		return Reversed{}, nil
-	case "random-gaussian":
-		return RandomGaussian{}, nil
-	case "sign-flip":
-		return SignFlip{}, nil
-	default:
-		return nil, fmt.Errorf("attack: unknown attack %q", name)
 	}
 }

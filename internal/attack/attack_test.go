@@ -164,17 +164,6 @@ func TestSignFlip(t *testing.T) {
 	}
 }
 
-func TestByName(t *testing.T) {
-	for _, name := range []string{"benign", "alie", "constant", "reversed-gradient", "revgrad", "random-gaussian", "sign-flip"} {
-		if _, err := ByName(name); err != nil {
-			t.Errorf("ByName(%q): %v", name, err)
-		}
-	}
-	if _, err := ByName("nope"); err == nil {
-		t.Error("unknown name accepted")
-	}
-}
-
 func TestAttackNamesStable(t *testing.T) {
 	names := map[string]Attack{
 		"benign": Benign{}, "alie": ALIE{}, "constant": Constant{},

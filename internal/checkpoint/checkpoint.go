@@ -33,6 +33,12 @@ type State struct {
 	Iteration int
 	// History holds the evaluations recorded so far.
 	History trainer.History
+	// Byzantines records the corrupted worker set of the run, so a
+	// resume can verify (or reproduce) the adversary placement instead
+	// of re-searching it — worst-case search is budget-bounded and may
+	// select a different set on different hardware. Nil in files
+	// written before this field existed.
+	Byzantines []int
 	// Meta carries free-form experiment identification (scheme, attack,
 	// q, seed, ...) so a restored run can verify it matches its config.
 	Meta map[string]string

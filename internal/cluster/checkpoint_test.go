@@ -11,14 +11,9 @@ import (
 // TestSnapshotRestoreResumesIdentically: running 10 rounds straight must
 // produce bit-identical parameters to running 5, snapshotting, restoring
 // into a fresh engine, and running 5 more — the invariant that makes
-// checkpointed experiments trustworthy.
-//
-// The restored engine must also replay the batch sampler to the same
-// position, which Restore achieves because the sampler is reconstructed
-// from the same seed and the engine re-executes rounds 0..4 only in the
-// uninterrupted run; here we emulate restart by re-running the first 5
-// rounds on the second engine before restoring parameters (the sampler
-// state is part of the deterministic seed stream).
+// checkpointed experiments trustworthy. Restore rebuilds the batch
+// sampler from the seed and fast-forwards it to the snapshot iteration,
+// so the fresh engine needs no round replay before restoring.
 func TestSnapshotRestoreResumesIdentically(t *testing.T) {
 	build := func() *Engine {
 		cfg := testSetup(t, []int{1, 6}, attack.ALIE{}, aggregate.Median{})
@@ -51,13 +46,7 @@ func TestSnapshotRestoreResumesIdentically(t *testing.T) {
 	}
 
 	second := build()
-	// Advance the sampler/attack RNG streams to the snapshot point by
-	// replaying the first 5 rounds, then overwrite the training state.
-	for i := 0; i < 5; i++ {
-		if _, err := second.RunRound(); err != nil {
-			t.Fatal(err)
-		}
-	}
+	// No replay: Restore fast-forwards the sampler stream internally.
 	if err := second.Restore(params, velocity, iter); err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"math"
@@ -203,7 +204,10 @@ func (e *Engine) Snapshot() (params, velocity []float64, iteration int) {
 }
 
 // Restore resumes from a snapshot taken by Snapshot. Dimensions must
-// match the engine's model.
+// match the engine's model. The batch sampler is rebuilt from the
+// engine's seed and fast-forwarded to the snapshot iteration, so a
+// restore into a freshly constructed engine continues the exact sample
+// stream of the interrupted run — no round replay is needed.
 func (e *Engine) Restore(params, velocity []float64, iteration int) error {
 	if len(params) != len(e.params) {
 		return fmt.Errorf("cluster: restore params length %d, want %d", len(params), len(e.params))
@@ -216,6 +220,14 @@ func (e *Engine) Restore(params, velocity []float64, iteration int) error {
 			return err
 		}
 	}
+	sampler, err := data.NewBatchSampler(e.cfg.Train.Len(), e.cfg.BatchSize, e.cfg.Seed)
+	if err != nil {
+		return err
+	}
+	for t := 0; t < iteration; t++ {
+		sampler.Next()
+	}
+	e.sampler = sampler
 	copy(e.params, params)
 	e.iter = iteration
 	return nil
@@ -237,6 +249,18 @@ func (e *Engine) CheckFeasible() error {
 
 // RunRound executes one protocol round and returns its statistics.
 func (e *Engine) RunRound() (RoundStats, error) {
+	return e.StepOnce(context.Background())
+}
+
+// StepOnce executes one protocol round under the given context.
+// Cancellation is checked at the round boundary — a canceled context
+// returns before any state (sampler, optimizer, iteration counter)
+// mutates, so the engine always sits exactly between rounds and can be
+// resumed or checkpointed after a cancellation.
+func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
+	if err := ctx.Err(); err != nil {
+		return RoundStats{}, err
+	}
 	a := e.cfg.Assignment
 	m := e.cfg.Model
 	dim := m.NumParams()
@@ -293,7 +317,7 @@ func (e *Engine) RunRound() (RoundStats, error) {
 	// worker-level view (n = K workers, m = q Byzantines), matching the
 	// paper's attack model: the adversary estimates moments across the
 	// worker population, not the post-vote operand population.
-	ctx := &attack.Context{
+	atkCtx := &attack.Context{
 		Round:             e.iter,
 		Dim:               dim,
 		FileGradients:     trueGrads,
@@ -303,7 +327,7 @@ func (e *Engine) RunRound() (RoundStats, error) {
 		FileSize:          float64(e.cfg.BatchSize) / float64(a.F),
 		Rng:               rand.New(rand.NewSource(e.cfg.Seed + int64(e.iter)*7919)),
 	}
-	craft := e.cfg.Attack.BeginRound(ctx)
+	craft := e.cfg.Attack.BeginRound(atkCtx)
 	crafted := make(map[int][]float64)
 	for u := range e.byzSet {
 		grads := make(map[int][]float64, a.L)
@@ -402,26 +426,25 @@ func (e *Engine) RunRound() (RoundStats, error) {
 	return stats, nil
 }
 
-// Run executes iterations rounds, evaluating test accuracy (and batch
-// loss on a held-out probe) every evalEvery rounds plus at the end.
-// The returned history contains one point per evaluation.
-func (e *Engine) Run(iterations, evalEvery int) (*trainer.History, error) {
+// Run executes iterations rounds under ctx, evaluating test accuracy
+// (and batch loss on a held-out probe) every evalEvery rounds plus at
+// the end. The returned history contains one point per evaluation; on
+// cancellation the partial history recorded so far is returned together
+// with the context error.
+func (e *Engine) Run(ctx context.Context, iterations, evalEvery int) (*trainer.History, error) {
+	var h trainer.History
 	if iterations < 1 {
-		return nil, fmt.Errorf("cluster: iterations %d < 1", iterations)
+		return &h, fmt.Errorf("cluster: iterations %d < 1", iterations)
 	}
 	if evalEvery < 1 {
 		evalEvery = 1
 	}
-	var h trainer.History
-	probe := e.probeIndices()
 	for t := 0; t < iterations; t++ {
-		if _, err := e.RunRound(); err != nil {
+		if _, err := e.StepOnce(ctx); err != nil {
 			return &h, err
 		}
 		if (t+1)%evalEvery == 0 || t == iterations-1 {
-			loss := e.cfg.Model.Loss(e.params, e.cfg.Train, probe)
-			acc := model.Accuracy(e.cfg.Model, e.params, e.cfg.Test)
-			h.Add(t+1, loss, acc)
+			h.Add(t+1, e.EvalLoss(), e.Evaluate())
 		}
 	}
 	return &h, nil
@@ -430,6 +453,12 @@ func (e *Engine) Run(iterations, evalEvery int) (*trainer.History, error) {
 // Evaluate returns the current test accuracy.
 func (e *Engine) Evaluate() float64 {
 	return model.Accuracy(e.cfg.Model, e.params, e.cfg.Test)
+}
+
+// EvalLoss returns the current training loss on the deterministic probe
+// subset used for history reporting.
+func (e *Engine) EvalLoss() float64 {
+	return e.cfg.Model.Loss(e.params, e.cfg.Train, e.probeIndices())
 }
 
 // probeIndices returns a fixed subset of the training set used for loss

@@ -109,7 +109,7 @@ func TestBenignTrainingConverges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, err := e.Run(60, 20)
+	h, err := e.Run(context.Background(), 60, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestMajorityVoteFiltersSubThresholdByzantines(t *testing.T) {
 		t.Errorf("distorted = %d, want 1 (Table 3, q=2)", stats.DistortedFiles)
 	}
 	// Training still converges: 1/25 corrupted winners, median absorbs it.
-	h, err := e.Run(50, 50)
+	h, err := e.Run(context.Background(), 50, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestByzShieldBeatsUndefendedMeanUnderAttack(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		h, err := e.Run(50, 50)
+		h, err := e.Run(context.Background(), 50, 50)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -209,7 +209,7 @@ func TestSignMessagesPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, err := e.Run(40, 40)
+	h, err := e.Run(context.Background(), 40, 40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +313,7 @@ func TestBaselineAssignmentNoVote(t *testing.T) {
 	if stats.DistortedFiles != 3 {
 		t.Errorf("baseline distorted = %d, want 3", stats.DistortedFiles)
 	}
-	h, err := e.Run(50, 50)
+	h, err := e.Run(context.Background(), 50, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +351,7 @@ func TestRunRejectsBadIterations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Run(0, 1); err == nil {
+	if _, err := e.Run(context.Background(), 0, 1); err == nil {
 		t.Error("0 iterations accepted")
 	}
 }

@@ -4,12 +4,11 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"math/rand"
 	"time"
 
-	"byzshield/internal/assign"
 	"byzshield/internal/distort"
 	"byzshield/internal/graph"
+	"byzshield/internal/registry"
 )
 
 // AblationRow compares assignment schemes at one q: spectral gap,
@@ -27,22 +26,22 @@ type AblationRow struct {
 }
 
 // AblationSchemes runs the scheme ablation at K = 15, r = 3 (MOLS vs
-// Ramanujan Case 1 vs FRC vs random placement) for q in [qmin, qmax].
-func AblationSchemes(qmin, qmax int, budget time.Duration) ([]AblationRow, error) {
+// Ramanujan Case 1 vs FRC vs random placement) for q in [qmin, qmax]
+// under ctx.
+func AblationSchemes(ctx context.Context, qmin, qmax int, budget time.Duration) ([]AblationRow, error) {
 	builders := []struct {
-		name  string
-		build func() (*assign.Assignment, error)
+		name   string
+		scheme string
+		params registry.SchemeParams
 	}{
-		{"mols(5,3)", func() (*assign.Assignment, error) { return assign.MOLS(5, 3) }},
-		{"ramanujan1(5,3)", func() (*assign.Assignment, error) { return assign.Ramanujan1(5, 3) }},
-		{"frc(15,3)", func() (*assign.Assignment, error) { return assign.FRC(15, 3) }},
-		{"random(15,25,3)", func() (*assign.Assignment, error) {
-			return assign.Random(15, 25, 3, rand.New(rand.NewSource(7)))
-		}},
+		{"mols(5,3)", "mols", registry.SchemeParams{L: 5, R: 3}},
+		{"ramanujan1(5,3)", "ramanujan1", registry.SchemeParams{L: 5, R: 3}},
+		{"frc(15,3)", "frc", registry.SchemeParams{K: 15, R: 3}},
+		{"random(15,25,3)", "random", registry.SchemeParams{K: 15, F: 25, R: 3, Seed: 7}},
 	}
 	var rows []AblationRow
 	for _, b := range builders {
-		a, err := b.build()
+		a, err := components.Scheme(b.scheme, b.params)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: ablation %s: %w", b.name, err)
 		}
@@ -53,8 +52,11 @@ func AblationSchemes(qmin, qmax int, budget time.Duration) ([]AblationRow, error
 		mu1 := spec.Mu1()
 		an := distort.NewAnalyzer(a)
 		for q := qmin; q <= qmax; q++ {
-			ctx, cancel := context.WithTimeout(context.Background(), budget)
-			res := an.MaxDistorted(ctx, q)
+			if err := ctx.Err(); err != nil {
+				return rows, err
+			}
+			qctx, cancel := context.WithTimeout(ctx, budget)
+			res := an.MaxDistorted(qctx, q)
 			cancel()
 			rows = append(rows, AblationRow{
 				Scheme:  b.name,

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -10,7 +11,7 @@ import (
 )
 
 func TestAblationSchemes(t *testing.T) {
-	rows, err := AblationSchemes(2, 4, 20*time.Second)
+	rows, err := AblationSchemes(context.Background(), 2, 4, 20*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

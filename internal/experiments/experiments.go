@@ -21,8 +21,13 @@ import (
 	"byzshield/internal/data"
 	"byzshield/internal/distort"
 	"byzshield/internal/model"
+	"byzshield/internal/registry"
 	"byzshield/internal/trainer"
 )
+
+// components is the shared process-wide catalog all experiment
+// definitions resolve scheme names through.
+var components = registry.Default
 
 // TrainOpts are the knobs shared by all training experiments. The zero
 // value is not usable; start from DefaultTrainOpts.
@@ -121,31 +126,34 @@ type Figure struct {
 	Curves []Curve
 }
 
-// buildAssignment realizes the RunSpec's assignment.
+// buildAssignment realizes the RunSpec's assignment: an explicit Scheme
+// closure wins, otherwise the pipeline default is resolved through the
+// component registry.
 func buildAssignment(spec *RunSpec) (*assign.Assignment, error) {
 	if spec.Scheme != nil {
 		return spec.Scheme()
 	}
 	switch spec.Pipeline {
 	case PipelineBaseline:
-		return assign.Baseline(spec.K)
+		return components.Scheme("baseline", registry.SchemeParams{K: spec.K})
 	case PipelineDETOX:
-		return assign.FRC(spec.K, spec.R)
+		return components.Scheme("frc", registry.SchemeParams{K: spec.K, R: spec.R})
 	default:
 		return nil, fmt.Errorf("experiments: pipeline %q needs an explicit Scheme", spec.Pipeline)
 	}
 }
 
 // selectByzantines picks the worst-case Byzantine set for the
-// assignment, the paper's omniscient adversary placement.
-func selectByzantines(a *assign.Assignment, q int, budget time.Duration) ([]int, int) {
+// assignment, the paper's omniscient adversary placement. The search
+// runs under ctx bounded by budget.
+func selectByzantines(ctx context.Context, a *assign.Assignment, q int, budget time.Duration) ([]int, int) {
 	if q == 0 {
 		return nil, 0
 	}
 	an := distort.NewAnalyzer(a)
-	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	sctx, cancel := context.WithTimeout(ctx, budget)
 	defer cancel()
-	res := an.MaxDistorted(ctx, q)
+	res := an.MaxDistorted(sctx, q)
 	return res.Byzantines, res.CMax
 }
 
@@ -157,15 +165,16 @@ var defaultSchedule = trainer.Schedule{Base: 0.05, Decay: 0.96, Every: 25}
 // signSGDSchedule is the smaller rate used by the sign pipelines.
 var signSGDSchedule = trainer.Schedule{Base: 0.005, Decay: 0.9, Every: 50}
 
-// RunOne executes a single RunSpec and returns its curve.
-func RunOne(spec RunSpec, opts TrainOpts) Curve {
+// RunOne executes a single RunSpec under ctx and returns its curve.
+// Cancellation surfaces as a curve error with the partial point series.
+func RunOne(ctx context.Context, spec RunSpec, opts TrainOpts) Curve {
 	curve := Curve{Label: spec.Label}
 	asn, err := buildAssignment(&spec)
 	if err != nil {
 		curve.Err = err.Error()
 		return curve
 	}
-	byz, cmax := selectByzantines(asn, spec.Q, opts.SearchBudget)
+	byz, cmax := selectByzantines(ctx, asn, spec.Q, opts.SearchBudget)
 	curve.Epsilon = float64(cmax) / float64(asn.F)
 
 	train, test, err := data.Synthetic(data.SyntheticConfig{
@@ -236,22 +245,21 @@ func RunOne(spec RunSpec, opts TrainOpts) Curve {
 		curve.Err = "infeasible: " + err.Error()
 		return curve
 	}
-	h, err := eng.Run(opts.Iterations, opts.EvalEvery)
-	if err != nil {
-		curve.Err = err.Error()
-		return curve
-	}
+	h, err := eng.Run(ctx, opts.Iterations, opts.EvalEvery)
 	curve.Points = h.Points
 	curve.Times = eng.Times()
 	curve.Rounds = opts.Iterations
+	if err != nil {
+		curve.Err = err.Error()
+	}
 	return curve
 }
 
-// RunFigure executes all curves of a figure definition.
-func RunFigure(id, title string, specs []RunSpec, opts TrainOpts) Figure {
+// RunFigure executes all curves of a figure definition under ctx.
+func RunFigure(ctx context.Context, id, title string, specs []RunSpec, opts TrainOpts) Figure {
 	fig := Figure{ID: id, Title: title}
 	for _, spec := range specs {
-		fig.Curves = append(fig.Curves, RunOne(spec, opts))
+		fig.Curves = append(fig.Curves, RunOne(ctx, spec, opts))
 	}
 	return fig
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -53,7 +54,7 @@ func labels(fig Figure) []string {
 // TestTableRunsMatchPaper re-validates the Table 3 values through the
 // experiments-layer plumbing.
 func TestTableRunsMatchPaper(t *testing.T) {
-	rows, err := RunTable(Table3Spec(), 30*time.Second)
+	rows, err := RunTable(context.Background(), Table3Spec(), 30*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestTableByID(t *testing.T) {
 // figure: ByzShield's ε̂ is far below DETOX's and baseline's, and its
 // final accuracy is at least as good.
 func TestFigure2Shape(t *testing.T) {
-	fig := Figure2(quickOpts())
+	fig := Figure2(context.Background(), quickOpts())
 	byz3 := curveByLabel(t, fig, "ByzShield, q = 3")
 	det3 := curveByLabel(t, fig, "DETOX-MoM, q = 3")
 	med3 := curveByLabel(t, fig, "Median, q = 3")
@@ -124,7 +125,7 @@ func TestFigure2Shape(t *testing.T) {
 // it does not have — the run must be reported infeasible, as in the
 // paper, while ByzShield q = 9 still trains.
 func TestFigure7Infeasible(t *testing.T) {
-	fig := Figure7(quickOpts())
+	fig := Figure7(context.Background(), quickOpts())
 	bul9 := curveByLabel(t, fig, "Bulyan, q = 9")
 	if bul9.Err == "" || !strings.Contains(bul9.Err, "infeasible") {
 		t.Errorf("Bulyan q=9 should be infeasible, got %q", bul9.Err)
@@ -145,7 +146,7 @@ func TestFigure7Infeasible(t *testing.T) {
 // paired with Multi-Krum in this case as it needs at least 2c+3 = 7
 // groups".
 func TestFigure8DETOXMultiKrumInfeasibleAtQ9(t *testing.T) {
-	fig := Figure8(quickOpts())
+	fig := Figure8(context.Background(), quickOpts())
 	dmk9 := curveByLabel(t, fig, "DETOX-Multi-Krum, q = 9")
 	if dmk9.Err == "" || !strings.Contains(dmk9.Err, "infeasible") {
 		t.Errorf("DETOX-Multi-Krum q=9 should be infeasible, got %q", dmk9.Err)
@@ -161,7 +162,7 @@ func TestFigure8DETOXMultiKrumInfeasibleAtQ9(t *testing.T) {
 // while ByzShield (ε̂ = 0.36) still converges — the paper's headline
 // fragility result.
 func TestFigure6DETOXBreaksAtQ9(t *testing.T) {
-	fig := Figure6(quickOpts())
+	fig := Figure6(context.Background(), quickOpts())
 	det9 := curveByLabel(t, fig, "DETOX-MoM, q = 9")
 	byz9 := curveByLabel(t, fig, "ByzShield, q = 9")
 	if det9.Err != "" || byz9.Err != "" {
@@ -184,7 +185,7 @@ func TestFigureByID(t *testing.T) {
 	opts.Iterations = 5
 	opts.EvalEvery = 5
 	for _, id := range []string{"9", "10", "11"} {
-		fig, err := FigureByID(id, opts)
+		fig, err := FigureByID(context.Background(), id, opts)
 		if err != nil {
 			t.Fatalf("FigureByID(%q): %v", id, err)
 		}
@@ -192,14 +193,14 @@ func TestFigureByID(t *testing.T) {
 			t.Errorf("figure %s has no curves", id)
 		}
 	}
-	if _, err := FigureByID("99", opts); err == nil {
+	if _, err := FigureByID(context.Background(), "99", opts); err == nil {
 		t.Error("unknown figure accepted")
 	}
 }
 
 func TestFigure12Timing(t *testing.T) {
 	opts := quickOpts()
-	rows, err := Figure12(opts, 3)
+	rows, err := Figure12(context.Background(), opts, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestFigure12Timing(t *testing.T) {
 }
 
 func TestRenderers(t *testing.T) {
-	rows, err := RunTable(Table3Spec(), 10*time.Second)
+	rows, err := RunTable(context.Background(), Table3Spec(), 10*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestRenderers(t *testing.T) {
 	opts := quickOpts()
 	opts.Iterations = 5
 	opts.EvalEvery = 5
-	fig := Figure10(opts)
+	fig := Figure10(context.Background(), opts)
 	buf.Reset()
 	RenderFigure(&buf, fig)
 	if !strings.Contains(buf.String(), "ByzShield") {
@@ -281,7 +282,7 @@ func TestRunOneBenignDefault(t *testing.T) {
 	opts := quickOpts()
 	opts.Iterations = 30
 	opts.EvalEvery = 30
-	c := RunOne(RunSpec{
+	c := RunOne(context.Background(), RunSpec{
 		Label: "attack-free", Pipeline: PipelineBaseline, K: 10, Q: 0,
 	}, opts)
 	if c.Err != "" {
@@ -295,12 +296,28 @@ func TestRunOneBenignDefault(t *testing.T) {
 	}
 }
 
+// TestRunOneZeroIterations: invalid iteration counts surface as a
+// curve error, not a panic on the empty history.
+func TestRunOneZeroIterations(t *testing.T) {
+	opts := quickOpts()
+	opts.Iterations = 0
+	c := RunOne(context.Background(), RunSpec{
+		Label: "zero-iters", Pipeline: PipelineBaseline, K: 10,
+	}, opts)
+	if c.Err == "" {
+		t.Error("zero iterations accepted")
+	}
+	if len(c.Points) != 0 {
+		t.Errorf("points = %v", c.Points)
+	}
+}
+
 func TestRunOneReportsBuildErrors(t *testing.T) {
-	c := RunOne(RunSpec{Label: "bad", Pipeline: PipelineByzShield}, quickOpts())
+	c := RunOne(context.Background(), RunSpec{Label: "bad", Pipeline: PipelineByzShield}, quickOpts())
 	if c.Err == "" {
 		t.Error("missing scheme accepted")
 	}
-	c = RunOne(RunSpec{Label: "bad-frc", Pipeline: PipelineDETOX, K: 10, R: 3}, quickOpts())
+	c = RunOne(context.Background(), RunSpec{Label: "bad-frc", Pipeline: PipelineDETOX, K: 10, R: 3}, quickOpts())
 	if c.Err == "" {
 		t.Error("invalid FRC parameters accepted")
 	}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"byzshield/internal/aggregate"
 	"byzshield/internal/assign"
 	"byzshield/internal/attack"
+	"byzshield/internal/registry"
 )
 
 // The paper's K = 25 cluster uses the Ramanujan Case 2 construction with
@@ -18,8 +20,13 @@ import (
 // and under-reports the attack's strength on small clusters).
 func alieAttack() attack.Attack { return attack.ALIE{ZOverride: 1.0} }
 
-func byzShield25() (*assign.Assignment, error) { return assign.Ramanujan2(5, 5) }
-func byzShield15() (*assign.Assignment, error) { return assign.MOLS(5, 3) }
+func byzShield25() (*assign.Assignment, error) {
+	return components.Scheme("ramanujan2", registry.SchemeParams{L: 5, R: 5})
+}
+
+func byzShield15() (*assign.Assignment, error) {
+	return components.Scheme("mols", registry.SchemeParams{L: 5, R: 3})
+}
 
 // detoxMoMFor returns DETOX's median-of-means over the K/r vote
 // winners: three groups (sizes ⌈w/3⌉...) so that group means are true
@@ -146,9 +153,9 @@ func detoxSignSGDSpec(k, r, q int, atk attack.Attack) RunSpec {
 
 // Figure2 — ALIE attack, median-based defenses, K = 25 (paper Fig. 2):
 // baseline median, ByzShield, DETOX-MoM at q = 3 and 5.
-func Figure2(opts TrainOpts) Figure {
+func Figure2(ctx context.Context, opts TrainOpts) Figure {
 	atk := alieAttack()
-	return RunFigure("fig2", "ALIE attack and median-based defenses (K=25)", []RunSpec{
+	return RunFigure(ctx, "fig2", "ALIE attack and median-based defenses (K=25)", []RunSpec{
 		baselineMedianSpec(25, 3, atk),
 		baselineMedianSpec(25, 5, atk),
 		byzShieldSpec(25, 3, atk),
@@ -159,9 +166,9 @@ func Figure2(opts TrainOpts) Figure {
 }
 
 // Figure3 — ALIE attack, Bulyan defenses, K = 25 (paper Fig. 3).
-func Figure3(opts TrainOpts) Figure {
+func Figure3(ctx context.Context, opts TrainOpts) Figure {
 	atk := alieAttack()
-	return RunFigure("fig3", "ALIE attack and Bulyan-based defenses (K=25)", []RunSpec{
+	return RunFigure(ctx, "fig3", "ALIE attack and Bulyan-based defenses (K=25)", []RunSpec{
 		bulyanSpec(25, 3, atk),
 		bulyanSpec(25, 5, atk),
 		byzShieldSpec(25, 3, atk),
@@ -170,9 +177,9 @@ func Figure3(opts TrainOpts) Figure {
 }
 
 // Figure4 — ALIE attack, Multi-Krum defenses, K = 25 (paper Fig. 4).
-func Figure4(opts TrainOpts) Figure {
+func Figure4(ctx context.Context, opts TrainOpts) Figure {
 	atk := alieAttack()
-	return RunFigure("fig4", "ALIE attack and Multi-Krum-based defenses (K=25)", []RunSpec{
+	return RunFigure(ctx, "fig4", "ALIE attack and Multi-Krum-based defenses (K=25)", []RunSpec{
 		multiKrumSpec(25, 3, atk),
 		multiKrumSpec(25, 5, atk),
 		byzShieldSpec(25, 3, atk),
@@ -184,9 +191,9 @@ func Figure4(opts TrainOpts) Figure {
 
 // Figure5 — Constant attack, signSGD defenses, K = 25 (paper Fig. 5).
 // ByzShield keeps its median pipeline, as in the paper.
-func Figure5(opts TrainOpts) Figure {
+func Figure5(ctx context.Context, opts TrainOpts) Figure {
 	atk := attack.Constant{ScaleByFileSize: true}
-	return RunFigure("fig5", "Constant attack and signSGD-based defenses (K=25)", []RunSpec{
+	return RunFigure(ctx, "fig5", "Constant attack and signSGD-based defenses (K=25)", []RunSpec{
 		signSGDSpec(25, 3, atk),
 		signSGDSpec(25, 5, atk),
 		byzShieldSpec(25, 3, atk),
@@ -199,9 +206,9 @@ func Figure5(opts TrainOpts) Figure {
 // Figure6 — Reversed-gradient attack, median defenses, K = 25
 // (paper Fig. 6): includes the q = 9 regime where DETOX's ε̂ = 0.6
 // breaks the defense.
-func Figure6(opts TrainOpts) Figure {
+func Figure6(ctx context.Context, opts TrainOpts) Figure {
 	atk := attack.Reversed{C: 1}
-	return RunFigure("fig6", "Reversed gradient attack and median-based defenses (K=25)", []RunSpec{
+	return RunFigure(ctx, "fig6", "Reversed gradient attack and median-based defenses (K=25)", []RunSpec{
 		baselineMedianSpec(25, 3, atk),
 		baselineMedianSpec(25, 9, atk),
 		byzShieldSpec(25, 3, atk),
@@ -214,9 +221,9 @@ func Figure6(opts TrainOpts) Figure {
 // Figure7 — Reversed-gradient attack, Bulyan defenses, K = 25
 // (paper Fig. 7): Bulyan is infeasible at q = 9 while ByzShield still
 // converges (ε̂ = 0.36).
-func Figure7(opts TrainOpts) Figure {
+func Figure7(ctx context.Context, opts TrainOpts) Figure {
 	atk := attack.Reversed{C: 1}
-	return RunFigure("fig7", "Reversed gradient attack and Bulyan-based defenses (K=25)", []RunSpec{
+	return RunFigure(ctx, "fig7", "Reversed gradient attack and Bulyan-based defenses (K=25)", []RunSpec{
 		bulyanSpec(25, 3, atk),
 		bulyanSpec(25, 5, atk),
 		byzShieldSpec(25, 3, atk),
@@ -229,9 +236,9 @@ func Figure7(opts TrainOpts) Figure {
 // Figure8 — Reversed-gradient attack, Multi-Krum defenses, K = 25
 // (paper Fig. 8): DETOX-Multi-Krum is infeasible at q = 9 (needs
 // 2c+3 = 9 > 5 groups).
-func Figure8(opts TrainOpts) Figure {
+func Figure8(ctx context.Context, opts TrainOpts) Figure {
 	atk := attack.Reversed{C: 1}
-	return RunFigure("fig8", "Reversed gradient attack and Multi-Krum-based defenses (K=25)", []RunSpec{
+	return RunFigure(ctx, "fig8", "Reversed gradient attack and Multi-Krum-based defenses (K=25)", []RunSpec{
 		multiKrumSpec(25, 3, atk),
 		multiKrumSpec(25, 5, atk),
 		multiKrumSpec(25, 9, atk),
@@ -245,9 +252,9 @@ func Figure8(opts TrainOpts) Figure {
 }
 
 // Figure9 — ALIE attack, median defenses, K = 15 (paper Fig. 9).
-func Figure9(opts TrainOpts) Figure {
+func Figure9(ctx context.Context, opts TrainOpts) Figure {
 	atk := alieAttack()
-	return RunFigure("fig9", "ALIE attack and median-based defenses (K=15)", []RunSpec{
+	return RunFigure(ctx, "fig9", "ALIE attack and median-based defenses (K=15)", []RunSpec{
 		baselineMedianSpec(15, 2, atk),
 		byzShieldSpec(15, 2, atk),
 		detoxMoMSpec(15, 3, 2, atk),
@@ -255,18 +262,18 @@ func Figure9(opts TrainOpts) Figure {
 }
 
 // Figure10 — ALIE attack, Bulyan defenses, K = 15 (paper Fig. 10).
-func Figure10(opts TrainOpts) Figure {
+func Figure10(ctx context.Context, opts TrainOpts) Figure {
 	atk := alieAttack()
-	return RunFigure("fig10", "ALIE attack and Bulyan-based defenses (K=15)", []RunSpec{
+	return RunFigure(ctx, "fig10", "ALIE attack and Bulyan-based defenses (K=15)", []RunSpec{
 		bulyanSpec(15, 2, atk),
 		byzShieldSpec(15, 2, atk),
 	}, opts)
 }
 
 // Figure11 — ALIE attack, Multi-Krum defenses, K = 15 (paper Fig. 11).
-func Figure11(opts TrainOpts) Figure {
+func Figure11(ctx context.Context, opts TrainOpts) Figure {
 	atk := alieAttack()
-	return RunFigure("fig11", "ALIE attack and Multi-Krum-based defenses (K=15)", []RunSpec{
+	return RunFigure(ctx, "fig11", "ALIE attack and Multi-Krum-based defenses (K=15)", []RunSpec{
 		multiKrumSpec(15, 2, atk),
 		byzShieldSpec(15, 2, atk),
 		detoxMultiKrumSpec(15, 3, 2, atk),
@@ -274,28 +281,28 @@ func Figure11(opts TrainOpts) Figure {
 }
 
 // FigureByID dispatches a figure id ("2".."11" or "fig2".."fig11").
-func FigureByID(id string, opts TrainOpts) (Figure, error) {
+func FigureByID(ctx context.Context, id string, opts TrainOpts) (Figure, error) {
 	switch id {
 	case "2", "fig2":
-		return Figure2(opts), nil
+		return Figure2(ctx, opts), nil
 	case "3", "fig3":
-		return Figure3(opts), nil
+		return Figure3(ctx, opts), nil
 	case "4", "fig4":
-		return Figure4(opts), nil
+		return Figure4(ctx, opts), nil
 	case "5", "fig5":
-		return Figure5(opts), nil
+		return Figure5(ctx, opts), nil
 	case "6", "fig6":
-		return Figure6(opts), nil
+		return Figure6(ctx, opts), nil
 	case "7", "fig7":
-		return Figure7(opts), nil
+		return Figure7(ctx, opts), nil
 	case "8", "fig8":
-		return Figure8(opts), nil
+		return Figure8(ctx, opts), nil
 	case "9", "fig9":
-		return Figure9(opts), nil
+		return Figure9(ctx, opts), nil
 	case "10", "fig10":
-		return Figure10(opts), nil
+		return Figure10(ctx, opts), nil
 	case "11", "fig11":
-		return Figure11(opts), nil
+		return Figure11(ctx, opts), nil
 	default:
 		return Figure{}, fmt.Errorf("experiments: unknown figure %q", id)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"byzshield/internal/assign"
 	"byzshield/internal/distort"
+	"byzshield/internal/registry"
 )
 
 // TableRow is one row of a distortion-fraction table (the format shared
@@ -39,7 +40,7 @@ func Table3Spec() TableSpec {
 		ID:    "table3",
 		Title: "Distortion fraction, MOLS (K,f,l,r)=(15,25,5,3)",
 		Scheme: func() (*assign.Assignment, error) {
-			return assign.MOLS(5, 3)
+			return components.Scheme("mols", registry.SchemeParams{L: 5, R: 3})
 		},
 		QMin: 2, QMax: 7, BaseK: 15, BaseR: 3, GammaMu: 1.0 / 3,
 	}
@@ -52,7 +53,7 @@ func Table4Spec() TableSpec {
 		ID:    "table4",
 		Title: "Distortion fraction, Ramanujan Case 2 (K,f,l,r)=(25,25,5,5)",
 		Scheme: func() (*assign.Assignment, error) {
-			return assign.Ramanujan2(5, 5)
+			return components.Scheme("ramanujan2", registry.SchemeParams{L: 5, R: 5})
 		},
 		QMin: 3, QMax: 12, BaseK: 25, BaseR: 5, GammaMu: 1.0 / 5,
 	}
@@ -64,7 +65,7 @@ func Table5Spec() TableSpec {
 		ID:    "table5",
 		Title: "Distortion fraction, MOLS (K,f,l,r)=(35,49,7,5)",
 		Scheme: func() (*assign.Assignment, error) {
-			return assign.MOLS(7, 5)
+			return components.Scheme("mols", registry.SchemeParams{L: 7, R: 5})
 		},
 		QMin: 3, QMax: 13, BaseK: 35, BaseR: 5, GammaMu: 1.0 / 5,
 	}
@@ -76,7 +77,7 @@ func Table6Spec() TableSpec {
 		ID:    "table6",
 		Title: "Distortion fraction, MOLS (K,f,l,r)=(21,49,7,3)",
 		Scheme: func() (*assign.Assignment, error) {
-			return assign.MOLS(7, 3)
+			return components.Scheme("mols", registry.SchemeParams{L: 7, R: 3})
 		},
 		QMin: 2, QMax: 10, BaseK: 21, BaseR: 3, GammaMu: 1.0 / 3,
 	}
@@ -100,8 +101,10 @@ func TableByID(id string) (TableSpec, error) {
 
 // RunTable computes the table rows: exact c_max by branch-and-bound
 // within budget per q (falling back to the greedy lower bound on
-// timeout), plus the closed-form comparison columns.
-func RunTable(spec TableSpec, budget time.Duration) ([]TableRow, error) {
+// timeout), plus the closed-form comparison columns. Canceling ctx
+// stops the remaining searches early (finished rows degrade to the
+// greedy bound).
+func RunTable(ctx context.Context, spec TableSpec, budget time.Duration) ([]TableRow, error) {
 	a, err := spec.Scheme()
 	if err != nil {
 		return nil, err
@@ -109,8 +112,11 @@ func RunTable(spec TableSpec, budget time.Duration) ([]TableRow, error) {
 	an := distort.NewAnalyzer(a)
 	var rows []TableRow
 	for q := spec.QMin; q <= spec.QMax; q++ {
-		ctx, cancel := context.WithTimeout(context.Background(), budget)
-		res := an.MaxDistorted(ctx, q)
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
+		qctx, cancel := context.WithTimeout(ctx, budget)
+		res := an.MaxDistorted(qctx, q)
 		cancel()
 		rows = append(rows, TableRow{
 			Q:           q,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,7 +38,7 @@ func (r TimingRow) PerIteration() (compute, comm, agg time.Duration) {
 // median, ByzShield, DETOX-MoM) under the ALIE attack with q = 3,
 // K = 25. Communication is physically exercised via gob serialization
 // (MeasureComm).
-func Figure12(opts TrainOpts, rounds int) ([]TimingRow, error) {
+func Figure12(ctx context.Context, opts TrainOpts, rounds int) ([]TimingRow, error) {
 	if rounds < 1 {
 		rounds = 10
 	}
@@ -49,7 +50,7 @@ func Figure12(opts TrainOpts, rounds int) ([]TimingRow, error) {
 	names := []string{"Median", "ByzShield", "DETOX-MoM"}
 	var rows []TimingRow
 	for i, spec := range specs {
-		row, err := timeOne(names[i], spec, opts, rounds)
+		row, err := timeOne(ctx, names[i], spec, opts, rounds)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: timing %s: %w", names[i], err)
 		}
@@ -60,12 +61,12 @@ func Figure12(opts TrainOpts, rounds int) ([]TimingRow, error) {
 
 // timeOne runs `rounds` protocol rounds with communication measurement
 // enabled and reports the accumulated phase times.
-func timeOne(name string, spec RunSpec, opts TrainOpts, rounds int) (TimingRow, error) {
+func timeOne(ctx context.Context, name string, spec RunSpec, opts TrainOpts, rounds int) (TimingRow, error) {
 	asn, err := buildAssignment(&spec)
 	if err != nil {
 		return TimingRow{}, err
 	}
-	byz, _ := selectByzantines(asn, spec.Q, opts.SearchBudget)
+	byz, _ := selectByzantines(ctx, asn, spec.Q, opts.SearchBudget)
 	train, test, err := data.Synthetic(data.SyntheticConfig{
 		Train: opts.TrainN, Test: opts.TestN, Dim: opts.Dim,
 		Classes: opts.Classes, ClassSep: opts.ClassSep, Seed: opts.Seed,
@@ -104,7 +105,7 @@ func timeOne(name string, spec RunSpec, opts TrainOpts, rounds int) (TimingRow, 
 		return TimingRow{}, err
 	}
 	for t := 0; t < rounds; t++ {
-		if _, err := eng.RunRound(); err != nil {
+		if _, err := eng.StepOnce(ctx); err != nil {
 			return TimingRow{}, err
 		}
 	}

@@ -20,27 +20,39 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
 
+	"byzshield/internal/aggregate"
+	"byzshield/internal/assign"
 	"byzshield/internal/data"
 	"byzshield/internal/model"
+	"byzshield/internal/registry"
 	"byzshield/internal/trainer"
 )
 
 // Spec describes the experiment so every process builds identical
-// datasets, models, and assignments.
+// datasets, models, and assignments. Component names resolve through
+// internal/registry, so any scheme registered there ("mols",
+// "ramanujan1", "ramanujan2", "frc", "baseline", "random") is valid on
+// the wire.
 type Spec struct {
-	// Scheme is the assignment scheme name: "mols", "ramanujan2", "frc",
-	// or "baseline".
+	// Scheme is the registry name of the assignment scheme.
 	Scheme string
-	// L and R parameterize the scheme (load and replication; for
-	// ramanujan2 these are m and s; for frc/baseline only R/K matter).
+	// L and R parameterize the scheme (load and replication; see
+	// registry.SchemeParams for the per-scheme field conventions).
 	L, R int
-	// K is the worker count (derived for mols/ramanujan2; explicit for
-	// frc/baseline).
+	// K is the worker count (derived for mols/ramanujan1/2; explicit for
+	// frc/baseline/random).
 	K int
+	// F is the file count (random scheme only; derived elsewhere).
+	F int
+	// Aggregator is the registry name of the PS aggregation rule
+	// (default "median"); AggParams carries its knobs.
+	Aggregator string
+	AggParams  registry.AggregatorParams
 	// Dataset parameters.
 	TrainN, TestN, Dim, Classes int
 	DataSeed                    int64
@@ -53,6 +65,30 @@ type Spec struct {
 	Momentum  float64
 	Seed      int64
 	Rounds    int
+}
+
+// components is the shared catalog every Spec resolves names through;
+// custom components registered on it (byzshield.Registry is the same
+// object) are therefore valid on the wire.
+var components = registry.Default
+
+// BuildAssignment constructs the assignment described by the spec via
+// the component registry, guaranteeing that every process (and the
+// in-process engine) realizes the identical placement.
+func (s *Spec) BuildAssignment() (*assign.Assignment, error) {
+	return components.Scheme(s.Scheme, registry.SchemeParams{
+		L: s.L, R: s.R, K: s.K, F: s.F, Seed: s.Seed,
+	})
+}
+
+// BuildAggregator constructs the aggregation rule named by the spec
+// (coordinate-wise median when unset).
+func (s *Spec) BuildAggregator() (aggregate.Aggregator, error) {
+	name := s.Aggregator
+	if name == "" {
+		name = "median"
+	}
+	return components.Aggregator(name, s.AggParams)
 }
 
 // BuildModel constructs the model described by the spec.
@@ -115,6 +151,22 @@ func init() {
 	gob.Register(RoundStart{})
 	gob.Register(GradientReport{})
 	gob.Register(Shutdown{})
+}
+
+// closeOnCancel arranges for closer to be closed when ctx is canceled,
+// unblocking any in-flight network I/O. The returned stop function
+// releases the watcher (the usual defer).
+func closeOnCancel(ctx context.Context, closer interface{ Close() error }) (stop func() bool) {
+	return context.AfterFunc(ctx, func() { closer.Close() })
+}
+
+// ctxErr prefers the cancellation cause over the I/O error that the
+// cancel-teardown provoked.
+func ctxErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
 }
 
 // Conn is a gob message stream over a network connection.

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -14,27 +15,11 @@ import (
 	"byzshield/internal/vote"
 )
 
-// BuildAssignment constructs the assignment described by a spec.
-func BuildAssignment(s *Spec) (*assign.Assignment, error) {
-	switch s.Scheme {
-	case "mols":
-		return assign.MOLS(s.L, s.R)
-	case "ramanujan1":
-		return assign.Ramanujan1(s.L, s.R)
-	case "ramanujan2":
-		return assign.Ramanujan2(s.R, s.L) // (s, m) = (R, L)
-	case "frc":
-		return assign.FRC(s.K, s.R)
-	case "baseline":
-		return assign.Baseline(s.K)
-	default:
-		return nil, fmt.Errorf("transport: unknown scheme %q", s.Scheme)
-	}
-}
-
 // ServerConfig configures the TCP parameter server.
 type ServerConfig struct {
-	Spec       Spec
+	Spec Spec
+	// Aggregator overrides the rule named by Spec.Aggregator; leave nil
+	// to resolve it from the registry.
 	Aggregator aggregate.Aggregator
 	// Logf receives progress lines; nil disables logging.
 	Logf func(format string, args ...any)
@@ -57,18 +42,25 @@ type Server struct {
 	opt        *trainer.SGD
 	sampler    *data.BatchSampler
 	history    trainer.History
+
+	mu    sync.Mutex
+	conns []*Conn
 }
 
 // NewServer validates the config and binds the listener on addr
 // (e.g. "127.0.0.1:0" to pick a free port).
 func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.Aggregator == nil {
-		return nil, fmt.Errorf("transport: aggregator required")
+		agg, err := cfg.Spec.BuildAggregator()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Aggregator = agg
 	}
 	if cfg.Spec.Rounds < 1 {
 		return nil, fmt.Errorf("transport: rounds %d < 1", cfg.Spec.Rounds)
 	}
-	asn, err := BuildAssignment(&cfg.Spec)
+	asn, err := cfg.Spec.BuildAssignment()
 	if err != nil {
 		return nil, err
 	}
@@ -124,20 +116,47 @@ func (s *Server) Close() error { return s.listener.Close() }
 // History returns the recorded evaluation series.
 func (s *Server) History() *trainer.History { return &s.history }
 
+// track registers a worker connection for cancellation teardown.
+func (s *Server) track(c *Conn) {
+	s.mu.Lock()
+	s.conns = append(s.conns, c)
+	s.mu.Unlock()
+}
+
+// teardown closes the listener and every tracked connection, unblocking
+// any in-flight Accept/Send/Recv.
+func (s *Server) teardown() {
+	s.listener.Close()
+	s.mu.Lock()
+	conns := append([]*Conn(nil), s.conns...)
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
 // Serve accepts the K workers, runs the configured number of rounds, and
-// shuts the workers down. It returns the final test accuracy.
-func (s *Server) Serve() (float64, error) {
+// shuts the workers down, returning the final test accuracy. Canceling
+// ctx aborts the accept loop and any in-flight round promptly (by
+// closing the listener and worker connections) and returns ctx.Err();
+// the evaluation history recorded up to that point remains available via
+// History.
+func (s *Server) Serve(ctx context.Context) (float64, error) {
+	stop := context.AfterFunc(ctx, s.teardown)
+	defer stop()
+
 	k := s.assignment.K
 	conns := make([]*Conn, k)
 	for accepted := 0; accepted < k; accepted++ {
 		raw, err := s.listener.Accept()
 		if err != nil {
-			return 0, fmt.Errorf("transport: accept: %w", err)
+			return 0, fmt.Errorf("transport: accept: %w", ctxErr(ctx, err))
 		}
 		conn := NewConn(raw)
+		s.track(conn)
 		msg, err := conn.Recv()
 		if err != nil {
-			return 0, fmt.Errorf("transport: hello: %w", err)
+			return 0, fmt.Errorf("transport: hello: %w", ctxErr(ctx, err))
 		}
 		hello, ok := msg.(Hello)
 		if !ok {
@@ -150,7 +169,7 @@ func (s *Server) Serve() (float64, error) {
 			return 0, fmt.Errorf("transport: worker %d connected twice", hello.WorkerID)
 		}
 		if err := conn.Send(Welcome{Spec: s.cfg.Spec}); err != nil {
-			return 0, fmt.Errorf("transport: welcome: %w", err)
+			return 0, fmt.Errorf("transport: welcome: %w", ctxErr(ctx, err))
 		}
 		conns[hello.WorkerID] = conn
 		s.cfg.Logf("worker %d joined from %s (%d/%d)", hello.WorkerID, conn.RemoteAddr(), accepted+1, k)
@@ -164,8 +183,11 @@ func (s *Server) Serve() (float64, error) {
 	}()
 
 	for t := 0; t < s.cfg.Spec.Rounds; t++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		if err := s.runRound(t, conns); err != nil {
-			return 0, fmt.Errorf("transport: round %d: %w", t, err)
+			return 0, fmt.Errorf("transport: round %d: %w", t, ctxErr(ctx, err))
 		}
 		if (t+1)%s.cfg.EvalEvery == 0 || t == s.cfg.Spec.Rounds-1 {
 			acc := model.Accuracy(s.mdl, s.params, s.test)

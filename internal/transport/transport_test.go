@@ -1,9 +1,12 @@
 package transport
 
 import (
+	"context"
+	"errors"
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"byzshield/internal/aggregate"
 	"byzshield/internal/trainer"
@@ -23,13 +26,14 @@ func testSpec(rounds int) Spec {
 // returns the final accuracy.
 func runCluster(t *testing.T, spec Spec, byz map[int]WorkerBehavior, agg aggregate.Aggregator) float64 {
 	t.Helper()
+	ctx := context.Background()
 	srv, err := NewServer("127.0.0.1:0", ServerConfig{Spec: spec, Aggregator: agg})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
 
-	asn, err := BuildAssignment(&spec)
+	asn, err := spec.BuildAssignment()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,10 +47,10 @@ func runCluster(t *testing.T, spec Spec, byz map[int]WorkerBehavior, agg aggrega
 			if b, ok := byz[u]; ok {
 				behavior = b
 			}
-			_, errs[u] = RunWorker(srv.Addr(), WorkerConfig{ID: u, Behavior: behavior})
+			_, errs[u] = RunWorker(ctx, srv.Addr(), WorkerConfig{ID: u, Behavior: behavior})
 		}(u)
 	}
-	final, err := srv.Serve()
+	final, err := srv.Serve(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,9 +95,10 @@ func TestBuildAssignmentSchemes(t *testing.T) {
 		{Scheme: "ramanujan2", L: 5, R: 5},
 		{Scheme: "frc", K: 15, R: 3},
 		{Scheme: "baseline", K: 10},
+		{Scheme: "random", K: 15, F: 25, R: 3, Seed: 7},
 	}
 	for _, spec := range cases {
-		a, err := BuildAssignment(&spec)
+		a, err := spec.BuildAssignment()
 		if err != nil {
 			t.Errorf("%s: %v", spec.Scheme, err)
 			continue
@@ -103,16 +108,13 @@ func TestBuildAssignmentSchemes(t *testing.T) {
 		}
 	}
 	bad := Spec{Scheme: "nope"}
-	if _, err := BuildAssignment(&bad); err == nil {
+	if _, err := bad.BuildAssignment(); err == nil {
 		t.Error("unknown scheme accepted")
 	}
 }
 
 func TestServerRejectsBadConfig(t *testing.T) {
 	spec := testSpec(10)
-	if _, err := NewServer("127.0.0.1:0", ServerConfig{Spec: spec}); err == nil {
-		t.Error("nil aggregator accepted")
-	}
 	spec.Rounds = 0
 	if _, err := NewServer("127.0.0.1:0", ServerConfig{Spec: spec, Aggregator: aggregate.Median{}}); err == nil {
 		t.Error("0 rounds accepted")
@@ -121,6 +123,77 @@ func TestServerRejectsBadConfig(t *testing.T) {
 	spec.BatchSize = 10 // < f = 25
 	if _, err := NewServer("127.0.0.1:0", ServerConfig{Spec: spec, Aggregator: aggregate.Median{}}); err == nil {
 		t.Error("batch < files accepted")
+	}
+	spec = testSpec(5)
+	spec.Aggregator = "nope"
+	if _, err := NewServer("127.0.0.1:0", ServerConfig{Spec: spec}); err == nil {
+		t.Error("unknown aggregator name accepted")
+	}
+}
+
+// TestServerResolvesAggregatorFromSpec: a nil ServerConfig.Aggregator
+// resolves the registry name carried by the Spec.
+func TestServerResolvesAggregatorFromSpec(t *testing.T) {
+	spec := testSpec(5)
+	spec.Aggregator = "median-of-means"
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if got := srv.cfg.Aggregator.Name(); got != "median-of-means(3)" {
+		t.Errorf("aggregator = %q", got)
+	}
+}
+
+// TestServeCancellation: canceling the server context mid-training must
+// return promptly with context.Canceled, and workers unblock too.
+func TestServeCancellation(t *testing.T) {
+	spec := testSpec(100000) // far more rounds than can run in the test
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{Spec: spec, Aggregator: aggregate.Median{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	asn, err := spec.BuildAssignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	workerErrs := make([]error, asn.K)
+	for u := 0; u < asn.K; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			_, workerErrs[u] = RunWorker(ctx, srv.Addr(), WorkerConfig{ID: u})
+		}(u)
+	}
+
+	serveDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve(ctx)
+		serveDone <- err
+	}()
+
+	// Let a few rounds complete, then cancel.
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-serveDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Serve returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after cancellation")
+	}
+	wg.Wait()
+	for u, e := range workerErrs {
+		if e == nil {
+			t.Errorf("worker %d finished cleanly despite cancellation", u)
+		}
 	}
 }
 
@@ -155,7 +228,7 @@ func TestServerRejectsDuplicateWorkerID(t *testing.T) {
 	defer srv.Close()
 	serveErr := make(chan error, 1)
 	go func() {
-		_, err := srv.Serve()
+		_, err := srv.Serve(context.Background())
 		serveErr <- err
 	}()
 	dial := func(id int) *Conn {

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"net"
 
@@ -35,26 +36,31 @@ type WorkerConfig struct {
 
 // RunWorker connects to the PS at addr and participates in training
 // until Shutdown, returning the final accuracy reported by the PS.
-func RunWorker(addr string, cfg WorkerConfig) (float64, error) {
+// Canceling ctx aborts the dial or any blocked send/receive promptly
+// (by closing the connection) and returns ctx.Err().
+func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) (float64, error) {
 	if cfg.Behavior == "" {
 		cfg.Behavior = BehaviorHonest
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	raw, err := net.Dial("tcp", addr)
+	var dialer net.Dialer
+	raw, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return 0, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	conn := NewConn(raw)
 	defer conn.Close()
+	stop := closeOnCancel(ctx, conn)
+	defer stop()
 
 	if err := conn.Send(Hello{WorkerID: cfg.ID}); err != nil {
-		return 0, err
+		return 0, ctxErr(ctx, err)
 	}
 	msg, err := conn.Recv()
 	if err != nil {
-		return 0, err
+		return 0, ctxErr(ctx, err)
 	}
 	welcome, ok := msg.(Welcome)
 	if !ok {
@@ -74,7 +80,7 @@ func RunWorker(addr string, cfg WorkerConfig) (float64, error) {
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
-			return 0, fmt.Errorf("transport: worker %d recv: %w", cfg.ID, err)
+			return 0, fmt.Errorf("transport: worker %d recv: %w", cfg.ID, ctxErr(ctx, err))
 		}
 		switch m := msg.(type) {
 		case RoundStart:
@@ -83,7 +89,7 @@ func RunWorker(addr string, cfg WorkerConfig) (float64, error) {
 				return 0, err
 			}
 			if err := conn.Send(*rep); err != nil {
-				return 0, err
+				return 0, ctxErr(ctx, err)
 			}
 		case Shutdown:
 			cfg.Logf("worker %d: shutdown, final accuracy %.4f", cfg.ID, m.FinalAccuracy)

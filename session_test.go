@@ -1,0 +1,440 @@
+// Session API tests: incremental stepping, cancellation, metric
+// streaming, checkpoint/restore round-trips, and the equivalence of the
+// registry-constructed and direct-constructor component paths.
+package byzshield_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"byzshield"
+)
+
+// sessionConfig builds a small deterministic run with an explicit
+// Byzantine set (no search nondeterminism) on MOLS(5,3).
+func sessionConfig(t testing.TB, iters int) byzshield.TrainConfig {
+	t.Helper()
+	asn, err := byzshield.NewMOLS(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := byzshield.SyntheticDataset(600, 200, 12, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdl, err := byzshield.NewMLPModel(12, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return byzshield.TrainConfig{
+		Assignment: asn,
+		Model:      mdl,
+		Train:      train,
+		Test:       test,
+		BatchSize:  100,
+		Byzantines: []int{1, 6, 11},
+		Attack:     byzshield.ALIE(),
+		Aggregator: byzshield.Median(),
+		Iterations: iters,
+		EvalEvery:  5,
+		Seed:       9,
+	}
+}
+
+func TestSessionStepAndHistory(t *testing.T) {
+	ctx := context.Background()
+	s, err := byzshield.Open(ctx, sessionConfig(t, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for i := 1; i <= 10; i++ {
+		res, err := s.Step(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Round != i {
+			t.Fatalf("round = %d, want %d", res.Round, i)
+		}
+		if wantEval := i%5 == 0; res.Evaluated != wantEval {
+			t.Errorf("round %d: Evaluated = %v, want %v", i, res.Evaluated, wantEval)
+		}
+		if res.LR <= 0 {
+			t.Errorf("round %d: LR = %v", i, res.LR)
+		}
+	}
+	if s.Round() != 10 {
+		t.Errorf("Round() = %d, want 10", s.Round())
+	}
+	h := s.History()
+	if len(h.Points) != 2 { // evaluations at rounds 5 and 10
+		t.Fatalf("history has %d points, want 2", len(h.Points))
+	}
+	if h.Points[0].Iteration != 5 || h.Points[1].Iteration != 10 {
+		t.Errorf("history iterations %v", h.Points)
+	}
+	if s.Epsilon() <= 0 {
+		t.Errorf("ε̂ = %v, want > 0 for q=3 on MOLS(5,3)", s.Epsilon())
+	}
+	if got := len(s.Byzantines()); got != 3 {
+		t.Errorf("byzantines = %v", s.Byzantines())
+	}
+}
+
+// TestSessionCancellation: a mid-run context cancellation must return
+// promptly with the partial history intact — the headline Session
+// property.
+func TestSessionCancellation(t *testing.T) {
+	s, err := byzshield.Open(context.Background(), sessionConfig(t, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel after the 12th round from a metrics callback — guaranteed
+	// mid-run, no timing dependence.
+	s.OnRound(func(r byzshield.RoundResult) {
+		if r.Round == 12 {
+			cancel()
+		}
+	})
+	start := time.Now()
+	h, err := s.Run(ctx, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	if s.Round() != 12 {
+		t.Errorf("Round() = %d, want 12 (cancel observed at next step)", s.Round())
+	}
+	// Partial history: evaluations at rounds 5 and 10 happened.
+	if len(h.Points) != 2 {
+		t.Errorf("partial history has %d points, want 2: %v", len(h.Points), h.Points)
+	}
+	// The session survives cancellation: stepping with a live context
+	// continues from the boundary.
+	res, err := s.Step(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Round != 13 {
+		t.Errorf("post-cancel round = %d, want 13", res.Round)
+	}
+}
+
+// TestSessionCheckpointRestoreRoundTrip: Step k rounds, Checkpoint,
+// Restore into a *fresh* Session, continue — the combined history and
+// final parameters must match an uninterrupted run seed-for-seed.
+func TestSessionCheckpointRestoreRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	const total, k = 20, 8
+
+	// Uninterrupted reference run.
+	ref, err := byzshield.Open(ctx, sessionConfig(t, total))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	wantHist, err := ref.Run(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantParams := ref.Params()
+
+	// Interrupted run: k rounds, checkpoint to disk, restore into a
+	// fresh session, finish.
+	first, err := byzshield.Open(ctx, sessionConfig(t, total))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	if _, err := first.Run(ctx, k); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "mid.ckpt")
+	if err := first.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := byzshield.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iteration != k {
+		t.Fatalf("checkpoint iteration = %d, want %d", st.Iteration, k)
+	}
+	if st.Meta["scheme"] != "mols" || st.Meta["attack"] != "alie" {
+		t.Errorf("checkpoint meta = %v", st.Meta)
+	}
+
+	second, err := byzshield.Open(ctx, sessionConfig(t, total))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	if err := second.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if second.Round() != k {
+		t.Fatalf("restored Round() = %d, want %d", second.Round(), k)
+	}
+	gotHist, err := second.Run(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotParams := second.Params()
+
+	if len(gotHist.Points) != len(wantHist.Points) {
+		t.Fatalf("history lengths differ: %d vs %d", len(gotHist.Points), len(wantHist.Points))
+	}
+	for i := range wantHist.Points {
+		w, g := wantHist.Points[i], gotHist.Points[i]
+		if w.Iteration != g.Iteration ||
+			math.Float64bits(w.Loss) != math.Float64bits(g.Loss) ||
+			math.Float64bits(w.Accuracy) != math.Float64bits(g.Accuracy) {
+			t.Fatalf("history point %d differs: %+v vs %+v", i, g, w)
+		}
+	}
+	for i := range wantParams {
+		if math.Float64bits(wantParams[i]) != math.Float64bits(gotParams[i]) {
+			t.Fatalf("params diverged at %d: %v vs %v", i, gotParams[i], wantParams[i])
+		}
+	}
+}
+
+// TestRegistryRunMatchesDirectRun: a run assembled entirely from
+// registry names must produce bit-identical history to the
+// direct-constructor path — the acceptance property of the named
+// component catalog.
+func TestRegistryRunMatchesDirectRun(t *testing.T) {
+	ctx := context.Background()
+
+	direct := sessionConfig(t, 15)
+	direct.Attack = byzshield.ALIE()
+	direct.Aggregator = byzshield.Median()
+
+	viaRegistry := direct
+	asn, err := byzshield.Registry.Scheme("mols", byzshield.SchemeParams{L: 5, R: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRegistry.Assignment = asn
+	if viaRegistry.Attack, err = byzshield.Registry.Attack("alie"); err != nil {
+		t.Fatal(err)
+	}
+	if viaRegistry.Aggregator, err = byzshield.Registry.Aggregator("median"); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(cfg byzshield.TrainConfig) *byzshield.History {
+		s, err := byzshield.Open(ctx, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		h, err := s.Run(ctx, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	want, got := run(direct), run(viaRegistry)
+	if len(want.Points) != len(got.Points) || len(want.Points) == 0 {
+		t.Fatalf("history lengths: %d vs %d", len(got.Points), len(want.Points))
+	}
+	for i := range want.Points {
+		w, g := want.Points[i], got.Points[i]
+		if math.Float64bits(w.Loss) != math.Float64bits(g.Loss) ||
+			math.Float64bits(w.Accuracy) != math.Float64bits(g.Accuracy) {
+			t.Fatalf("point %d differs: %+v vs %+v", i, g, w)
+		}
+	}
+}
+
+// TestSessionEvents: the channel subscription streams every round and
+// unsubscribing closes the channel.
+func TestSessionEvents(t *testing.T) {
+	ctx := context.Background()
+	s, err := byzshield.Open(ctx, sessionConfig(t, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	events, cancelSub := s.Events(32)
+	var callbackRounds []int
+	s.OnRound(func(r byzshield.RoundResult) {
+		callbackRounds = append(callbackRounds, r.Round)
+	})
+	if _, err := s.Run(ctx, 6); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		select {
+		case r := <-events:
+			if r.Round != i {
+				t.Errorf("event %d has round %d", i, r.Round)
+			}
+		default:
+			t.Fatalf("missing event for round %d", i)
+		}
+	}
+	if len(callbackRounds) != 6 {
+		t.Errorf("callback saw %d rounds, want 6", len(callbackRounds))
+	}
+	cancelSub()
+	if _, open := <-events; open {
+		t.Error("events channel not closed after cancel")
+	}
+
+	// A full tiny buffer drops the oldest result instead of blocking.
+	small, cancelSmall := s.Events(1)
+	defer cancelSmall()
+	if _, err := s.Run(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	r := <-small
+	if r.Round != 9 {
+		t.Errorf("drop-oldest kept round %d, want 9 (the newest)", r.Round)
+	}
+}
+
+// TestSessionClosed: operations on a closed session fail with
+// ErrSessionClosed, and Train's wrapper semantics stay intact.
+func TestSessionClosed(t *testing.T) {
+	ctx := context.Background()
+	s, err := byzshield.Open(ctx, sessionConfig(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("Close not idempotent:", err)
+	}
+	if _, err := s.Step(ctx); !errors.Is(err, byzshield.ErrSessionClosed) {
+		t.Errorf("Step on closed session: %v", err)
+	}
+	if err := s.Restore(&byzshield.Checkpoint{Params: s.Params()}); !errors.Is(err, byzshield.ErrSessionClosed) {
+		t.Errorf("Restore on closed session: %v", err)
+	}
+	// Events on a closed session must not leak a never-closed channel.
+	ch, cancel := s.Events(4)
+	if _, open := <-ch; open {
+		t.Error("Events channel on closed session not closed")
+	}
+	cancel() // no-op, must not panic
+}
+
+// TestRestoreRejectsByzantineMismatch: a checkpoint recorded under one
+// adversary placement cannot silently resume under another.
+func TestRestoreRejectsByzantineMismatch(t *testing.T) {
+	ctx := context.Background()
+	s, err := byzshield.Open(ctx, sessionConfig(t, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Run(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Checkpoint()
+	if len(st.Byzantines) != 3 {
+		t.Fatalf("checkpoint byzantines = %v", st.Byzantines)
+	}
+
+	other := sessionConfig(t, 10)
+	other.Byzantines = []int{0, 5, 10} // different placement
+	s2, err := byzshield.Open(ctx, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.Restore(st); err == nil {
+		t.Error("mismatched Byzantine set accepted")
+	}
+}
+
+// TestTrainConfigValidation: the zero-value traps are now explicit
+// errors or documented defaults.
+func TestTrainConfigValidation(t *testing.T) {
+	ctx := context.Background()
+	base := sessionConfig(t, 5)
+
+	// Defaults land where documented.
+	cfg := base
+	cfg.Iterations = 0
+	cfg.EvalEvery = 0
+	s, err := byzshield.Open(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := s.Config()
+	s.Close()
+	if norm.Iterations != byzshield.DefaultIterations ||
+		norm.EvalEvery != byzshield.DefaultEvalEvery ||
+		norm.Momentum != byzshield.DefaultMomentum ||
+		norm.Schedule != byzshield.DefaultSchedule() ||
+		norm.SearchBudget != byzshield.DefaultSearchBudget {
+		t.Errorf("normalized defaults wrong: %+v", norm)
+	}
+
+	// NoMomentum yields momentum-free SGD without magic values.
+	cfg = base
+	cfg.NoMomentum = true
+	if s, err = byzshield.Open(ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Config().Momentum; got != 0 {
+		t.Errorf("NoMomentum → momentum %v", got)
+	}
+	s.Close()
+
+	bad := []struct {
+		name   string
+		mutate func(*byzshield.TrainConfig)
+	}{
+		{"missing assignment", func(c *byzshield.TrainConfig) { c.Assignment = nil }},
+		{"missing model", func(c *byzshield.TrainConfig) { c.Model = nil }},
+		{"missing datasets", func(c *byzshield.TrainConfig) { c.Train = nil }},
+		{"batch below files", func(c *byzshield.TrainConfig) { c.BatchSize = 3 }},
+		{"partial schedule", func(c *byzshield.TrainConfig) { c.Schedule = byzshield.Schedule{Decay: 0.9, Every: 10} }},
+		{"momentum out of range", func(c *byzshield.TrainConfig) { c.Momentum = 1.5 }},
+		{"negative momentum", func(c *byzshield.TrainConfig) { c.Momentum = -0.1 }},
+		{"momentum vs NoMomentum", func(c *byzshield.TrainConfig) { c.Momentum = 0.5; c.NoMomentum = true }},
+		{"negative iterations", func(c *byzshield.TrainConfig) { c.Iterations = -1 }},
+		{"negative eval cadence", func(c *byzshield.TrainConfig) { c.EvalEvery = -1 }},
+		{"q out of range", func(c *byzshield.TrainConfig) { c.Byzantines = nil; c.Q = 99 }},
+		{"q and byzantines", func(c *byzshield.TrainConfig) { c.Q = 2 }},
+		{"negative search budget", func(c *byzshield.TrainConfig) { c.SearchBudget = -time.Second }},
+	}
+	for _, tc := range bad {
+		cfg := base
+		tc.mutate(&cfg)
+		if _, err := byzshield.Open(ctx, cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestOpenCancellation: a canceled context aborts Open during the
+// worst-case Byzantine search.
+func TestOpenCancellation(t *testing.T) {
+	cfg := sessionConfig(t, 5)
+	cfg.Byzantines = nil
+	cfg.Q = 3
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := byzshield.Open(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("Open with canceled ctx: %v", err)
+	}
+}
