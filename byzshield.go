@@ -266,6 +266,12 @@ type TrainConfig struct {
 	// SearchBudget bounds the worst-case Byzantine search (default
 	// DefaultSearchBudget).
 	SearchBudget time.Duration
+	// Parallelism is the width of the engine's persistent worker pool:
+	// 0 selects GOMAXPROCS, 1 runs every protocol phase serially on the
+	// stepping goroutine. Any width yields bit-identical parameter
+	// trajectories for a fixed seed; the knob only trades wall-clock
+	// against cores.
+	Parallelism int
 }
 
 // normalized validates the config and returns a copy with every
@@ -321,6 +327,9 @@ func (cfg TrainConfig) normalized() (TrainConfig, error) {
 	}
 	if cfg.SearchBudget == 0 {
 		cfg.SearchBudget = DefaultSearchBudget
+	}
+	if cfg.Parallelism < 0 {
+		return cfg, fmt.Errorf("byzshield: Parallelism %d < 0", cfg.Parallelism)
 	}
 	if cfg.Attack == nil {
 		cfg.Attack = NoAttack()

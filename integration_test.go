@@ -75,6 +75,7 @@ func TestAttackDefenseGrid(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
+				defer eng.Close()
 				h, err := eng.Run(context.Background(), 40, 40)
 				if err != nil {
 					t.Fatal(err)
@@ -126,6 +127,7 @@ func TestAllModelsTrainUnderAttack(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			defer eng.Close()
 			h, err := eng.Run(context.Background(), 60, 60)
 			if err != nil {
 				t.Fatal(err)
@@ -208,6 +210,7 @@ func TestEndToEndCheckpointedTraining(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(func() { eng.Close() })
 		return eng
 	}
 	eng := newEngine()

@@ -15,7 +15,6 @@ package aggregate
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"byzshield/internal/linalg"
 )
@@ -45,11 +44,11 @@ type Mean struct{}
 func (Mean) Name() string { return "mean" }
 
 // Aggregate implements Aggregator.
-func (Mean) Aggregate(grads [][]float64) ([]float64, error) {
+func (m Mean) Aggregate(grads [][]float64) ([]float64, error) {
 	if len(grads) == 0 {
 		return nil, fmt.Errorf("aggregate: mean of zero gradients")
 	}
-	return linalg.MeanVec(grads), nil
+	return newOut(m, grads)
 }
 
 // Median is the coordinate-wise median — ByzShield's default second
@@ -60,11 +59,11 @@ type Median struct{}
 func (Median) Name() string { return "median" }
 
 // Aggregate implements Aggregator.
-func (Median) Aggregate(grads [][]float64) ([]float64, error) {
+func (m Median) Aggregate(grads [][]float64) ([]float64, error) {
 	if len(grads) == 0 {
 		return nil, fmt.Errorf("aggregate: median of zero gradients")
 	}
-	return linalg.MedianVec(grads), nil
+	return newOut(m, grads)
 }
 
 // TrimmedMean removes the Trim largest and Trim smallest values per
@@ -97,16 +96,7 @@ func (t TrimmedMean) Aggregate(grads [][]float64) ([]float64, error) {
 	if n <= 2*t.Trim {
 		return nil, fmt.Errorf("aggregate: trimmed mean needs n > 2·trim, got n=%d trim=%d", n, t.Trim)
 	}
-	d := len(grads[0])
-	out := make([]float64, d)
-	col := make([]float64, n)
-	for i := 0; i < d; i++ {
-		for j, g := range grads {
-			col[j] = g[i]
-		}
-		out[i] = linalg.TrimmedMeanOf(col, t.Trim)
-	}
-	return out, nil
+	return newOut(t, grads)
 }
 
 // MedianOfMeans splits the inputs into Groups contiguous groups,
@@ -129,14 +119,7 @@ func (m MedianOfMeans) Aggregate(grads [][]float64) ([]float64, error) {
 	if g <= 0 || g > n {
 		return nil, fmt.Errorf("aggregate: median-of-means needs 1 <= groups <= n, got groups=%d n=%d", g, n)
 	}
-	means := make([][]float64, 0, g)
-	for start := 0; start < n; {
-		// Distribute remainders evenly: ceil-sized prefix groups.
-		size := (n - start + (g - len(means) - 1)) / (g - len(means))
-		means = append(means, linalg.MeanVec(grads[start:start+size]))
-		start += size
-	}
-	return linalg.MedianVec(means), nil
+	return newOut(m, grads)
 }
 
 // SignSGD reduces each input to its coordinate-wise sign and outputs the
@@ -149,31 +132,11 @@ type SignSGD struct{}
 func (SignSGD) Name() string { return "signsgd" }
 
 // Aggregate implements Aggregator.
-func (SignSGD) Aggregate(grads [][]float64) ([]float64, error) {
-	n := len(grads)
-	if n == 0 {
+func (s SignSGD) Aggregate(grads [][]float64) ([]float64, error) {
+	if len(grads) == 0 {
 		return nil, fmt.Errorf("aggregate: signSGD of zero gradients")
 	}
-	d := len(grads[0])
-	out := make([]float64, d)
-	for i := 0; i < d; i++ {
-		pos, neg := 0, 0
-		for _, g := range grads {
-			switch {
-			case g[i] > 0:
-				pos++
-			case g[i] < 0:
-				neg++
-			}
-		}
-		switch {
-		case pos > neg:
-			out[i] = 1
-		case neg > pos:
-			out[i] = -1
-		}
-	}
-	return out, nil
+	return newOut(s, grads)
 }
 
 // GeometricMedian computes the vector minimizing the sum of Euclidean
@@ -249,42 +212,10 @@ func (m MeanAroundMedian) Name() string { return fmt.Sprintf("mean-around-median
 
 // Aggregate implements Aggregator.
 func (m MeanAroundMedian) Aggregate(grads [][]float64) ([]float64, error) {
-	n := len(grads)
-	if n == 0 {
+	if len(grads) == 0 {
 		return nil, fmt.Errorf("aggregate: mean-around-median of zero gradients")
 	}
-	near := m.Near
-	if near <= 0 {
-		near = (n + 1) / 2
-	}
-	if near > n {
-		near = n
-	}
-	d := len(grads[0])
-	out := make([]float64, d)
-	col := make([]float64, n)
-	type valDist struct{ v, dist float64 }
-	vd := make([]valDist, n)
-	for i := 0; i < d; i++ {
-		for j, g := range grads {
-			col[j] = g[i]
-		}
-		med := linalg.MedianOf(col)
-		for j, v := range col {
-			diff := v - med
-			if diff < 0 {
-				diff = -diff
-			}
-			vd[j] = valDist{v: v, dist: diff}
-		}
-		sort.Slice(vd, func(a, b int) bool { return vd[a].dist < vd[b].dist })
-		var s float64
-		for _, e := range vd[:near] {
-			s += e.v
-		}
-		out[i] = s / float64(near)
-	}
-	return out, nil
+	return newOut(m, grads)
 }
 
 // Auror partitions each coordinate's values into two clusters with 1-D
@@ -302,36 +233,24 @@ func (Auror) Name() string { return "auror" }
 
 // Aggregate implements Aggregator.
 func (a Auror) Aggregate(grads [][]float64) ([]float64, error) {
-	n := len(grads)
-	if n == 0 {
+	if len(grads) == 0 {
 		return nil, fmt.Errorf("aggregate: auror of zero gradients")
 	}
-	d := len(grads[0])
-	out := make([]float64, d)
-	col := make([]float64, n)
-	for i := 0; i < d; i++ {
-		for j, g := range grads {
-			col[j] = g[i]
-		}
-		out[i] = aurorCoordinate(col, a.Threshold)
-	}
-	return out, nil
+	return newOut(a, grads)
 }
 
-// aurorCoordinate runs 1-D 2-means on xs and returns the average of the
-// majority cluster when centers are separated by more than threshold,
-// else the average of everything.
-func aurorCoordinate(xs []float64, threshold float64) float64 {
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
+// aurorSorted runs 1-D 2-means on the pre-sorted values and returns the
+// average of the majority cluster when centers are separated by more
+// than threshold, else the average of everything. prefix and prefixSq
+// are caller-provided scratch of length n+1.
+func aurorSorted(sorted []float64, threshold float64, prefix, prefixSq []float64) float64 {
 	n := len(sorted)
 	if n == 1 {
 		return sorted[0]
 	}
 	// Optimal 1-D 2-means is a split point in sorted order: choose the
 	// split minimizing within-cluster sum of squares via prefix sums.
-	prefix := make([]float64, n+1)
-	prefixSq := make([]float64, n+1)
+	prefix[0], prefixSq[0] = 0, 0
 	for i, v := range sorted {
 		prefix[i+1] = prefix[i] + v
 		prefixSq[i+1] = prefixSq[i] + v*v

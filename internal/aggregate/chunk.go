@@ -1,0 +1,284 @@
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"byzshield/internal/linalg"
+)
+
+// ChunkAggregator is implemented by the coordinate-wise rules, which can
+// reduce an arbitrary coordinate range into a caller-provided buffer.
+// The cluster engine uses it to run the post-vote reduction in parallel
+// across a worker pool: because every coordinate is reduced
+// independently and identically, sharding [0, d) across goroutines is
+// bit-identical to a single serial pass.
+//
+// AggregateChunk writes the aggregate of coordinates [lo, hi) into
+// out[lo:hi], leaving the rest of out untouched. Implementations must be
+// safe for concurrent calls on disjoint ranges, must not modify the
+// inputs, and must produce bit-identical values to Aggregate over the
+// same range.
+type ChunkAggregator interface {
+	Aggregator
+	AggregateChunk(grads [][]float64, out []float64, lo, hi int) error
+}
+
+// chunkScratch is the pooled per-call working memory of the chunked
+// rules, so steady-state aggregation performs no per-round allocation.
+type chunkScratch struct {
+	col    []float64
+	means  []float64
+	bounds []int
+	vd     []valDist
+	prefix []float64
+	sq     []float64
+}
+
+// valDist pairs a coordinate value with its distance to the coordinate
+// median (MeanAroundMedian's sort key).
+type valDist struct{ v, dist float64 }
+
+var scratchPool = sync.Pool{New: func() any { return new(chunkScratch) }}
+
+// getScratch returns a scratch with col capacity at least n.
+func getScratch(n int) *chunkScratch {
+	s := scratchPool.Get().(*chunkScratch)
+	if cap(s.col) < n {
+		s.col = make([]float64, n)
+	}
+	return s
+}
+
+func putScratch(s *chunkScratch) { scratchPool.Put(s) }
+
+// checkChunk validates the shared AggregateChunk preconditions.
+func checkChunk(grads [][]float64, out []float64, lo, hi int) error {
+	if len(grads) == 0 {
+		return fmt.Errorf("aggregate: chunk of zero gradients")
+	}
+	d := len(grads[0])
+	if len(out) != d {
+		return fmt.Errorf("aggregate: chunk output length %d, want %d", len(out), d)
+	}
+	if lo < 0 || hi > d || lo > hi {
+		return fmt.Errorf("aggregate: chunk range [%d,%d) outside [0,%d)", lo, hi, d)
+	}
+	for i, g := range grads {
+		if len(g) != d {
+			return fmt.Errorf("aggregate: gradient %d has dim %d, want %d", i, len(g), d)
+		}
+	}
+	return nil
+}
+
+// newOut runs a full-range chunked reduction into a fresh vector — the
+// shared body of the coordinate-wise Aggregate implementations.
+func newOut(ca ChunkAggregator, grads [][]float64) ([]float64, error) {
+	out := make([]float64, len(grads[0]))
+	if err := ca.AggregateChunk(grads, out, 0, len(out)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// gatherCol copies coordinate i of every gradient into s.col in input
+// order and returns the column.
+func (s *chunkScratch) gatherCol(grads [][]float64, i int) []float64 {
+	col := s.col[:len(grads)]
+	for j, g := range grads {
+		col[j] = g[i]
+	}
+	return col
+}
+
+// medianSorted sorts xs in place and returns its median (the same order
+// statistic linalg.MedianOf computes on a copy).
+func medianSorted(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// AggregateChunk implements ChunkAggregator: the coordinate mean, summed
+// in input order exactly as linalg.MeanVec does.
+func (Mean) AggregateChunk(grads [][]float64, out []float64, lo, hi int) error {
+	if err := checkChunk(grads, out, lo, hi); err != nil {
+		return err
+	}
+	inv := 1 / float64(len(grads))
+	for i := lo; i < hi; i++ {
+		var s float64
+		for _, g := range grads {
+			s += g[i]
+		}
+		out[i] = s * inv
+	}
+	return nil
+}
+
+// AggregateChunk implements ChunkAggregator.
+func (Median) AggregateChunk(grads [][]float64, out []float64, lo, hi int) error {
+	if err := checkChunk(grads, out, lo, hi); err != nil {
+		return err
+	}
+	s := getScratch(len(grads))
+	defer putScratch(s)
+	for i := lo; i < hi; i++ {
+		out[i] = medianSorted(s.gatherCol(grads, i))
+	}
+	return nil
+}
+
+// AggregateChunk implements ChunkAggregator.
+func (t TrimmedMean) AggregateChunk(grads [][]float64, out []float64, lo, hi int) error {
+	if err := checkChunk(grads, out, lo, hi); err != nil {
+		return err
+	}
+	n := len(grads)
+	if t.Trim < 0 || n <= 2*t.Trim {
+		return fmt.Errorf("aggregate: trimmed mean needs n > 2·trim >= 0, got n=%d trim=%d", n, t.Trim)
+	}
+	s := getScratch(n)
+	defer putScratch(s)
+	for i := lo; i < hi; i++ {
+		col := s.gatherCol(grads, i)
+		sort.Float64s(col)
+		var sum float64
+		for _, v := range col[t.Trim : n-t.Trim] {
+			sum += v
+		}
+		out[i] = sum / float64(n-2*t.Trim)
+	}
+	return nil
+}
+
+// AggregateChunk implements ChunkAggregator. Group boundaries follow the
+// same ceil-sized-prefix distribution as Aggregate, and each group mean
+// is accumulated in input order, matching linalg.MeanVec bit for bit.
+func (m MedianOfMeans) AggregateChunk(grads [][]float64, out []float64, lo, hi int) error {
+	if err := checkChunk(grads, out, lo, hi); err != nil {
+		return err
+	}
+	n := len(grads)
+	g := m.Groups
+	if g <= 0 || g > n {
+		return fmt.Errorf("aggregate: median-of-means needs 1 <= groups <= n, got groups=%d n=%d", g, n)
+	}
+	s := getScratch(n)
+	defer putScratch(s)
+	if cap(s.bounds) < g+1 {
+		s.bounds = make([]int, g+1)
+	}
+	bounds := s.bounds[:g+1]
+	bounds[0] = 0
+	for k := 0; k < g; k++ {
+		size := (n - bounds[k] + (g - k - 1)) / (g - k)
+		bounds[k+1] = bounds[k] + size
+	}
+	if cap(s.means) < g {
+		s.means = make([]float64, g)
+	}
+	means := s.means[:g]
+	for i := lo; i < hi; i++ {
+		for k := 0; k < g; k++ {
+			var sum float64
+			for _, gr := range grads[bounds[k]:bounds[k+1]] {
+				sum += gr[i]
+			}
+			means[k] = sum * (1 / float64(bounds[k+1]-bounds[k]))
+		}
+		out[i] = medianSorted(means)
+	}
+	return nil
+}
+
+// AggregateChunk implements ChunkAggregator.
+func (SignSGD) AggregateChunk(grads [][]float64, out []float64, lo, hi int) error {
+	if err := checkChunk(grads, out, lo, hi); err != nil {
+		return err
+	}
+	for i := lo; i < hi; i++ {
+		pos, neg := 0, 0
+		for _, g := range grads {
+			switch {
+			case g[i] > 0:
+				pos++
+			case g[i] < 0:
+				neg++
+			}
+		}
+		switch {
+		case pos > neg:
+			out[i] = 1
+		case neg > pos:
+			out[i] = -1
+		default:
+			out[i] = 0
+		}
+	}
+	return nil
+}
+
+// AggregateChunk implements ChunkAggregator.
+func (m MeanAroundMedian) AggregateChunk(grads [][]float64, out []float64, lo, hi int) error {
+	if err := checkChunk(grads, out, lo, hi); err != nil {
+		return err
+	}
+	n := len(grads)
+	near := m.Near
+	if near <= 0 {
+		near = (n + 1) / 2
+	}
+	if near > n {
+		near = n
+	}
+	s := getScratch(n)
+	defer putScratch(s)
+	if cap(s.vd) < n {
+		s.vd = make([]valDist, n)
+	}
+	vd := s.vd[:n]
+	for i := lo; i < hi; i++ {
+		col := s.gatherCol(grads, i)
+		med := linalg.MedianOf(col)
+		for j, v := range col {
+			diff := v - med
+			if diff < 0 {
+				diff = -diff
+			}
+			vd[j] = valDist{v: v, dist: diff}
+		}
+		sort.Slice(vd, func(a, b int) bool { return vd[a].dist < vd[b].dist })
+		var sum float64
+		for _, e := range vd[:near] {
+			sum += e.v
+		}
+		out[i] = sum / float64(near)
+	}
+	return nil
+}
+
+// AggregateChunk implements ChunkAggregator.
+func (a Auror) AggregateChunk(grads [][]float64, out []float64, lo, hi int) error {
+	if err := checkChunk(grads, out, lo, hi); err != nil {
+		return err
+	}
+	n := len(grads)
+	s := getScratch(n)
+	defer putScratch(s)
+	if cap(s.prefix) < n+1 {
+		s.prefix = make([]float64, n+1)
+		s.sq = make([]float64, n+1)
+	}
+	for i := lo; i < hi; i++ {
+		col := s.gatherCol(grads, i)
+		sort.Float64s(col)
+		out[i] = aurorSorted(col, a.Threshold, s.prefix[:n+1], s.sq[:n+1])
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"slices"
+
+	"byzshield/internal/assign"
+	"byzshield/internal/transport"
+)
+
+// slotRef addresses one (worker, slot) gradient buffer: worker u's
+// slot-th assigned file.
+type slotRef struct{ worker, slot int }
+
+// roundArena owns every buffer the round loop touches, preallocated once
+// at engine construction and reused across rounds so the steady-state
+// hot path performs no gradient-sized allocation. All gradient buffers
+// are views into flat backing arrays, which also keeps them cache-dense.
+type roundArena struct {
+	dim int
+	// workerFiles[u] caches assignment.WorkerFiles(u).
+	workerFiles [][]int
+	// grads[u][j] is worker u's compute buffer for its j-th assigned
+	// file (views into one flat backing array).
+	grads [][][]float64
+	// cur[u][j] is the gradient the PS sees for (u, j) this round:
+	// worker u's own compute buffer for honest workers, the crafted
+	// payload for Byzantine workers, or the decoded receive buffer when
+	// communication measurement is on.
+	cur [][][]float64
+	// rx[u][j] is the decode-side buffer of the measured communication
+	// round-trip (allocated only when MeasureComm is set).
+	rx [][][]float64
+	// fileReplicas[v] lists the (worker, slot) pairs holding file v, in
+	// assignment FileWorkers order.
+	fileReplicas [][]slotRef
+	// trueGrads[v] points at the true (honest) gradient of file v this
+	// round — the attack oracle's view.
+	trueGrads [][]float64
+	// oracle[v] is a compute buffer for the files all of whose replicas
+	// are Byzantine (nil elsewhere); static per run because the
+	// Byzantine set is.
+	oracle [][]float64
+	// byzWorkers is the sorted Byzantine worker list; byzFiles the
+	// sorted union of their files. Both fix the payload-crafting order,
+	// making rounds deterministic regardless of map iteration.
+	byzWorkers []int
+	byzFiles   []int
+	// crafted[v] is the Byzantine payload elected for file v this round
+	// (only indices in byzFiles are written).
+	crafted [][]float64
+	// winners[v] is file v's vote winner this round.
+	winners [][]float64
+	// update is the aggregated model update.
+	update []float64
+	// replicas[w] is pool-goroutine w's replica gather scratch (cap R).
+	replicas [][][]float64
+	// distorted[w] and voteErrs[w] accumulate pool-goroutine w's
+	// distorted-vote count and first vote error; summed/joined after the
+	// phase barrier.
+	distorted []int
+	voteErrs  []error
+	// probe caches the deterministic loss-evaluation indices.
+	probe []int
+	// encBuf and rxFrame are the communication round-trip scratch.
+	encBuf  []byte
+	rxFrame transport.GradFrame
+}
+
+// newRoundArena preallocates every per-round buffer for the given
+// assignment, model dimension, Byzantine set, and pool width.
+func newRoundArena(a *assign.Assignment, dim int, byzSet map[int]bool, measureComm bool, poolWidth int) *roundArena {
+	ar := &roundArena{dim: dim}
+	ar.workerFiles = make([][]int, a.K)
+	totalSlots := 0
+	for u := 0; u < a.K; u++ {
+		ar.workerFiles[u] = a.WorkerFiles(u)
+		totalSlots += len(ar.workerFiles[u])
+	}
+	backing := make([]float64, totalSlots*dim)
+	carve := func() []float64 {
+		b := backing[:dim:dim]
+		backing = backing[dim:]
+		return b
+	}
+	ar.grads = make([][][]float64, a.K)
+	ar.cur = make([][][]float64, a.K)
+	for u := 0; u < a.K; u++ {
+		n := len(ar.workerFiles[u])
+		ar.grads[u] = make([][]float64, n)
+		ar.cur[u] = make([][]float64, n)
+		for j := 0; j < n; j++ {
+			ar.grads[u][j] = carve()
+			if !byzSet[u] {
+				// Honest workers always report their own buffer; the
+				// pointer only changes under measured communication.
+				ar.cur[u][j] = ar.grads[u][j]
+			}
+		}
+	}
+	if measureComm {
+		rxBacking := make([]float64, totalSlots*dim)
+		ar.rx = make([][][]float64, a.K)
+		for u := 0; u < a.K; u++ {
+			n := len(ar.workerFiles[u])
+			ar.rx[u] = make([][]float64, n)
+			for j := 0; j < n; j++ {
+				ar.rx[u][j] = rxBacking[:dim:dim]
+				rxBacking = rxBacking[dim:]
+			}
+		}
+	}
+
+	ar.fileReplicas = make([][]slotRef, a.F)
+	slotOf := make([]map[int]int, a.K)
+	for u := 0; u < a.K; u++ {
+		slotOf[u] = make(map[int]int, len(ar.workerFiles[u]))
+		for j, v := range ar.workerFiles[u] {
+			slotOf[u][v] = j
+		}
+	}
+	maxR := 1
+	for v := 0; v < a.F; v++ {
+		holders := a.FileWorkers(v)
+		refs := make([]slotRef, len(holders))
+		for i, u := range holders {
+			refs[i] = slotRef{worker: u, slot: slotOf[u][v]}
+		}
+		ar.fileReplicas[v] = refs
+		if len(refs) > maxR {
+			maxR = len(refs)
+		}
+	}
+
+	byzFileSet := make(map[int]bool)
+	for u := range byzSet {
+		ar.byzWorkers = append(ar.byzWorkers, u)
+		for _, v := range ar.workerFiles[u] {
+			byzFileSet[v] = true
+		}
+	}
+	slices.Sort(ar.byzWorkers)
+	for v := range byzFileSet {
+		ar.byzFiles = append(ar.byzFiles, v)
+	}
+	slices.Sort(ar.byzFiles)
+
+	ar.oracle = make([][]float64, a.F)
+	oracleBacking := []float64(nil)
+	needOracle := 0
+	for v := 0; v < a.F; v++ {
+		if allByz(ar.fileReplicas[v], byzSet) {
+			needOracle++
+		}
+	}
+	if needOracle > 0 {
+		oracleBacking = make([]float64, needOracle*dim)
+		for v := 0; v < a.F; v++ {
+			if allByz(ar.fileReplicas[v], byzSet) {
+				ar.oracle[v] = oracleBacking[:dim:dim]
+				oracleBacking = oracleBacking[dim:]
+			}
+		}
+	}
+
+	ar.trueGrads = make([][]float64, a.F)
+	ar.crafted = make([][]float64, a.F)
+	ar.winners = make([][]float64, a.F)
+	ar.update = make([]float64, dim)
+	ar.replicas = make([][][]float64, poolWidth)
+	for w := range ar.replicas {
+		ar.replicas[w] = make([][]float64, 0, maxR)
+	}
+	ar.distorted = make([]int, poolWidth)
+	ar.voteErrs = make([]error, poolWidth)
+	return ar
+}
+
+// allByz reports whether every replica holder of the file is Byzantine.
+func allByz(refs []slotRef, byzSet map[int]bool) bool {
+	for _, ref := range refs {
+		if !byzSet[ref.worker] {
+			return false
+		}
+	}
+	return true
+}

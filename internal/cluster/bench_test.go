@@ -1,0 +1,134 @@
+// Round-engine benchmarks: latency, allocations, and communication
+// bytes per protocol round on the quickstart configuration (MOLS(5,3):
+// K = 15 workers, f = 25 files; softmax 32×10, dim = 330; batch 500;
+// ALIE with the worst-case q = 3 Byzantine set; coordinate-wise median).
+//
+// Run with:
+//
+//	go test ./internal/cluster -bench BenchmarkRound -benchmem -run '^$'
+//
+// Results seed BENCH_round.json at the repository root; see the README
+// for how to interpret the trajectory.
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"byzshield/internal/aggregate"
+	"byzshield/internal/assign"
+	"byzshield/internal/attack"
+	"byzshield/internal/data"
+	"byzshield/internal/distort"
+	"byzshield/internal/model"
+	"byzshield/internal/trainer"
+	"byzshield/internal/vote"
+)
+
+// quickstartConfig mirrors examples/quickstart at full scale.
+func quickstartConfig(b *testing.B) Config {
+	b.Helper()
+	a, err := assign.MOLS(5, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, test, err := data.Synthetic(data.SyntheticConfig{
+		Train: 3000, Test: 1000, Dim: 32, Classes: 10, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := model.NewSoftmax(32, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	byz := distort.NewAnalyzer(a).WorstCaseByzantines(context.Background(), 3)
+	return Config{
+		Assignment: a, Model: m, Train: train, Test: test,
+		BatchSize: 500, Attack: attack.ALIE{}, Byzantines: byz,
+		Aggregator: aggregate.Median{},
+		Schedule:   trainer.Schedule{Base: 0.05, Decay: 0.96, Every: 25},
+		Momentum:   0.9, Seed: 7,
+	}
+}
+
+// benchRounds drives b.N rounds through one engine.
+func benchRounds(b *testing.B, cfg Config) {
+	b.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	var commBytes int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := e.RunRound()
+		if err != nil {
+			b.Fatal(err)
+		}
+		commBytes = stats.Times.CommBytes
+	}
+	b.StopTimer()
+	if commBytes > 0 {
+		b.ReportMetric(float64(commBytes), "commB/round")
+	}
+}
+
+// BenchmarkRound measures one protocol round: the parallel engine
+// (persistent pool, GOMAXPROCS wide), the serial engine, and the
+// physically measured communication variant. allocs/op is the headline
+// number the arena design targets.
+func BenchmarkRound(b *testing.B) {
+	b.Run("parallel", func(b *testing.B) {
+		benchRounds(b, quickstartConfig(b))
+	})
+	b.Run("serial", func(b *testing.B) {
+		cfg := quickstartConfig(b)
+		cfg.Parallelism = 1
+		benchRounds(b, cfg)
+	})
+	b.Run("pool-4", func(b *testing.B) {
+		cfg := quickstartConfig(b)
+		cfg.Parallelism = 4
+		benchRounds(b, cfg)
+	})
+	b.Run("measure-comm", func(b *testing.B) {
+		cfg := quickstartConfig(b)
+		cfg.MeasureComm = true
+		benchRounds(b, cfg)
+	})
+}
+
+// BenchmarkRoundMLP swaps in an MLP so the pooled backprop scratch is on
+// the measured path (the per-sample allocation profile the model
+// workspaces eliminate).
+func BenchmarkRoundMLP(b *testing.B) {
+	cfg := quickstartConfig(b)
+	m, err := model.NewMLP(32, 24, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Model = m
+	benchRounds(b, cfg)
+}
+
+// BenchmarkVoteMajority isolates the allocation-free small-n vote on a
+// quickstart-shaped replica set: r = 3 replicas of dim 330, one of them
+// a disagreeing Byzantine payload.
+func BenchmarkVoteMajority(b *testing.B) {
+	honest := make([]float64, 330)
+	crafted := make([]float64, 330)
+	for i := range honest {
+		honest[i] = float64(i%13) - 6
+		crafted[i] = -honest[i]
+	}
+	replicas := [][]float64{honest, honest, crafted}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := vote.Majority(replicas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

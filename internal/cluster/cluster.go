@@ -6,21 +6,27 @@
 // a robust aggregation rule to the vote winners, and updates the model
 // with momentum SGD.
 //
-// The engine runs in-process with one goroutine per worker for the
-// compute phase (the redundant computation cost of replication is real,
-// not simulated) and optionally measures the communication phase by
-// actually gob-encoding and decoding every worker→PS message, so the
-// Figure 12 computation/communication/aggregation split is observed, not
-// modelled.
+// The engine is a steady-state machine: a persistent worker goroutine
+// pool executes the compute, vote, and (for coordinate-wise rules)
+// aggregation phases, and a preallocated gradient arena is reused across
+// rounds, so the hot path performs no gradient-sized allocation (see
+// DESIGN.md "Performance architecture"). The serial engine
+// (Parallelism = 1) and the pooled engine produce bit-identical
+// parameter trajectories for a fixed seed. The redundant computation
+// cost of replication is real, not simulated, and the communication
+// phase can be physically measured by encoding and decoding every
+// worker→PS message through the compact binary gradient-frame codec of
+// internal/transport, so the Figure 12
+// computation/communication/aggregation split is observed, not modelled.
 package cluster
 
 import (
-	"bytes"
 	"context"
-	"encoding/gob"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
@@ -30,8 +36,12 @@ import (
 	"byzshield/internal/data"
 	"byzshield/internal/model"
 	"byzshield/internal/trainer"
+	"byzshield/internal/transport"
 	"byzshield/internal/vote"
 )
+
+// ErrClosed is returned by StepOnce after Close.
+var ErrClosed = errors.New("cluster: engine closed")
 
 // Config assembles one training experiment.
 type Config struct {
@@ -57,9 +67,14 @@ type Config struct {
 	SignMessages bool
 	// VoteTolerance > 0 switches the vote to L∞ clustering mode.
 	VoteTolerance float64
-	// MeasureComm enables real gob serialization of worker messages so
-	// the communication phase is physically measured.
+	// MeasureComm enables real binary serialization of worker messages
+	// so the communication phase is physically measured.
 	MeasureComm bool
+	// Parallelism is the width of the engine's persistent goroutine
+	// pool: 0 selects GOMAXPROCS, 1 runs every phase serially on the
+	// calling goroutine. Any width produces bit-identical parameter
+	// trajectories for a fixed seed.
+	Parallelism int
 }
 
 // PhaseTimes accumulates wall-clock time per protocol phase, plus the
@@ -95,13 +110,20 @@ type Engine struct {
 	opt         *trainer.SGD
 	sampler     *data.BatchSampler
 	byzSet      map[int]bool
+	honest      []int // sorted non-Byzantine worker ids
 	corruptible []int // files with ≥ r' Byzantine replicas (static per run)
-	rng         *rand.Rand
 	iter        int
 	times       PhaseTimes
+	pool        *pool // nil when Parallelism == 1
+	width       int   // pool width (1 when serial)
+	arena       *roundArena
+	closeOnce   sync.Once
+	closed      bool
 }
 
-// New validates the configuration and initializes the engine.
+// New validates the configuration and initializes the engine, including
+// its gradient arena and worker pool. Callers that create many engines
+// should Close each one to release the pool goroutines.
 func New(cfg Config) (*Engine, error) {
 	if cfg.Assignment == nil || cfg.Model == nil || cfg.Train == nil || cfg.Test == nil {
 		return nil, fmt.Errorf("cluster: assignment, model, train and test are required")
@@ -124,6 +146,9 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.Test.Validate(); err != nil {
 		return nil, fmt.Errorf("cluster: test set: %w", err)
 	}
+	if cfg.Parallelism < 0 {
+		return nil, fmt.Errorf("cluster: parallelism %d < 0", cfg.Parallelism)
+	}
 	byzSet := make(map[int]bool, len(cfg.Byzantines))
 	for _, u := range cfg.Byzantines {
 		if u < 0 || u >= cfg.Assignment.K {
@@ -142,16 +167,56 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	width := cfg.Parallelism
+	if width == 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
 	e := &Engine{
 		cfg:     cfg,
 		params:  model.InitParams(cfg.Model, cfg.Seed),
 		opt:     opt,
 		sampler: sampler,
 		byzSet:  byzSet,
-		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
+		width:   width,
+	}
+	for u := 0; u < cfg.Assignment.K; u++ {
+		if !byzSet[u] {
+			e.honest = append(e.honest, u)
+		}
 	}
 	e.corruptible = e.computeCorruptible()
+	e.arena = newRoundArena(cfg.Assignment, cfg.Model.NumParams(), byzSet, cfg.MeasureComm, width)
+	if width > 1 {
+		e.pool = newPool(width)
+	}
 	return e, nil
+}
+
+// Close releases the engine's worker pool goroutines. The engine must
+// not be stepped concurrently with Close; StepOnce afterwards returns
+// ErrClosed. Close is idempotent.
+func (e *Engine) Close() error {
+	e.closeOnce.Do(func() {
+		e.closed = true
+		if e.pool != nil {
+			e.pool.close()
+		}
+	})
+	return nil
+}
+
+// runPhase executes fn(worker, task) for task in [0, n): inline on the
+// calling goroutine for the serial engine, across the persistent pool
+// otherwise. Tasks must be independent, which is also what makes the two
+// execution modes bit-identical.
+func (e *Engine) runPhase(n int, fn func(worker, task int)) {
+	if e.pool == nil {
+		for t := 0; t < n; t++ {
+			fn(0, t)
+		}
+		return
+	}
+	e.pool.run(n, fn)
 }
 
 // computeCorruptible returns the files with at least r' Byzantine
@@ -261,9 +326,12 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 	if err := ctx.Err(); err != nil {
 		return RoundStats{}, err
 	}
+	if e.closed {
+		return RoundStats{}, ErrClosed
+	}
 	a := e.cfg.Assignment
 	m := e.cfg.Model
-	dim := m.NumParams()
+	ar := e.arena
 
 	batch := e.sampler.Next()
 	files, err := data.PartitionFiles(batch, a.F)
@@ -271,144 +339,166 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 		return RoundStats{}, err
 	}
 
-	// --- Compute phase: workers compute file gradient sums in parallel.
-	// Redundancy is physically executed: every honest worker computes
-	// every file it is assigned.
+	// --- Compute phase: honest workers compute file gradient sums
+	// across the persistent pool. Redundancy is physically executed:
+	// every honest worker computes every file it is assigned, into its
+	// arena buffers.
 	computeStart := time.Now()
-	workerGrads := make([]map[int][]float64, a.K)
-	var wg sync.WaitGroup
-	for u := 0; u < a.K; u++ {
-		if e.byzSet[u] {
-			continue // Byzantine workers substitute payloads below
+	e.runPhase(len(e.honest), func(_, t int) {
+		u := e.honest[t]
+		for j, v := range ar.workerFiles[u] {
+			g := ar.grads[u][j]
+			clear(g)
+			m.SumGradient(e.params, e.cfg.Train, files[v], g)
+			// Repoint the PS's view at the fresh compute buffer (a
+			// measured-communication round leaves it on the rx side).
+			ar.cur[u][j] = g
 		}
-		wg.Add(1)
-		go func(u int) {
-			defer wg.Done()
-			out := make(map[int][]float64, a.L)
-			for _, v := range a.WorkerFiles(u) {
-				g := make([]float64, dim)
-				m.SumGradient(e.params, e.cfg.Train, files[v], g)
-				out[v] = g
-			}
-			workerGrads[u] = out
-		}(u)
-	}
-	wg.Wait()
+	})
 	computeTime := time.Since(computeStart)
 
 	// --- Attack oracle: true gradients for every file (reusing honest
 	// workers' results; computing any file held only by Byzantines).
-	trueGrads := make([][]float64, a.F)
 	for v := 0; v < a.F; v++ {
-		for _, u := range a.FileWorkers(v) {
-			if !e.byzSet[u] {
-				trueGrads[v] = workerGrads[u][v]
+		ar.trueGrads[v] = nil
+		for _, ref := range ar.fileReplicas[v] {
+			if !e.byzSet[ref.worker] {
+				ar.trueGrads[v] = ar.grads[ref.worker][ref.slot]
 				break
 			}
 		}
-		if trueGrads[v] == nil {
-			g := make([]float64, dim)
+		if ar.trueGrads[v] == nil {
+			g := ar.oracle[v]
+			clear(g)
 			m.SumGradient(e.params, e.cfg.Train, files[v], g)
-			trueGrads[v] = g
+			ar.trueGrads[v] = g
 		}
 	}
 
 	// Byzantine payloads. ALIE-style attacks are crafted from the
 	// worker-level view (n = K workers, m = q Byzantines), matching the
 	// paper's attack model: the adversary estimates moments across the
-	// worker population, not the post-vote operand population.
-	atkCtx := &attack.Context{
-		Round:             e.iter,
-		Dim:               dim,
-		FileGradients:     trueGrads,
-		CorruptibleFiles:  e.corruptible,
-		Participants:      a.K,
-		ExpectedCorrupted: len(e.byzSet),
-		FileSize:          float64(e.cfg.BatchSize) / float64(a.F),
-		Rng:               rand.New(rand.NewSource(e.cfg.Seed + int64(e.iter)*7919)),
-	}
-	craft := e.cfg.Attack.BeginRound(atkCtx)
-	crafted := make(map[int][]float64)
-	for u := range e.byzSet {
-		grads := make(map[int][]float64, a.L)
-		for _, v := range a.WorkerFiles(u) {
-			payload, ok := crafted[v]
-			if !ok {
-				payload = craft(v, trueGrads[v])
-				crafted[v] = payload
-			}
-			grads[v] = payload
+	// worker population, not the post-vote operand population. Files are
+	// crafted in ascending order so runs are deterministic even for
+	// attacks that draw from the round Rng per file.
+	if len(ar.byzWorkers) > 0 {
+		atkCtx := &attack.Context{
+			Round:             e.iter,
+			Dim:               ar.dim,
+			FileGradients:     ar.trueGrads,
+			CorruptibleFiles:  e.corruptible,
+			Participants:      a.K,
+			ExpectedCorrupted: len(e.byzSet),
+			FileSize:          float64(e.cfg.BatchSize) / float64(a.F),
+			Rng:               rand.New(rand.NewSource(e.cfg.Seed + int64(e.iter)*7919)),
 		}
-		workerGrads[u] = grads
+		craft := e.cfg.Attack.BeginRound(atkCtx)
+		for _, v := range ar.byzFiles {
+			ar.crafted[v] = craft(v, ar.trueGrads[v])
+		}
+		for _, u := range ar.byzWorkers {
+			for j, v := range ar.workerFiles[u] {
+				ar.cur[u][j] = ar.crafted[v]
+			}
+		}
 	}
 
-	// Optional sign compression (signSGD pipeline).
+	// Optional sign compression (signSGD pipeline), in place: honest
+	// buffers once per (worker, slot), crafted payloads once per file
+	// (signing is idempotent, so payload sharing across replicas is
+	// safe).
 	if e.cfg.SignMessages {
-		for u := range workerGrads {
-			for v, g := range workerGrads[u] {
-				workerGrads[u][v] = signVec(g)
+		for _, u := range e.honest {
+			for _, g := range ar.grads[u] {
+				signInPlace(g)
 			}
+		}
+		for _, v := range ar.byzFiles {
+			signInPlace(ar.crafted[v])
 		}
 	}
 
-	// --- Communication phase: move every worker's message to the PS.
+	// --- Communication phase: move every worker's message to the PS
+	// through the binary gradient-frame codec. Encoding and decoding are
+	// physically executed; the decoded receive buffers become the PS's
+	// working set, exactly as bytes off a wire would.
 	commStart := time.Now()
 	var commBytes int64
 	if e.cfg.MeasureComm {
 		for u := 0; u < a.K; u++ {
-			decoded, n, err := roundTripMessage(u, workerGrads[u])
+			buf, err := transport.AppendGradFrame(ar.encBuf[:0], u, ar.workerFiles[u], ar.cur[u])
 			if err != nil {
 				return RoundStats{}, fmt.Errorf("cluster: worker %d message: %w", u, err)
 			}
-			workerGrads[u] = decoded
-			commBytes += n
+			ar.encBuf = buf
+			ar.rxFrame.Grads = ar.rx[u]
+			if _, err := transport.DecodeGradFrame(buf, &ar.rxFrame); err != nil {
+				return RoundStats{}, fmt.Errorf("cluster: worker %d message: %w", u, err)
+			}
+			// DecodeGradFrame fills the rx buffers in place (capacities
+			// always suffice); repoint the PS's view at them.
+			copy(ar.cur[u], ar.rx[u])
+			commBytes += int64(len(buf))
 		}
 	}
 	commTime := time.Since(commStart)
 
-	// --- Aggregation phase: per-file majority votes, then the robust
-	// aggregation rule over the winners.
+	// --- Aggregation phase: per-file majority votes sharded across the
+	// pool, then the robust aggregation rule over the winners
+	// (coordinate-wise rules reduce in parallel chunks).
 	aggStart := time.Now()
-	winners := make([][]float64, a.F)
-	distorted := 0
-	for v := 0; v < a.F; v++ {
-		replicas := make([][]float64, 0, a.R)
-		for _, u := range a.FileWorkers(v) {
-			replicas = append(replicas, workerGrads[u][v])
+	for w := 0; w < e.width; w++ {
+		ar.distorted[w] = 0
+		ar.voteErrs[w] = nil
+	}
+	e.runPhase(a.F, func(w, v int) {
+		repl := ar.replicas[w][:0]
+		for _, ref := range ar.fileReplicas[v] {
+			repl = append(repl, ar.cur[ref.worker][ref.slot])
 		}
 		var res vote.Result
 		var vErr error
-		if a.R == 1 {
-			res = vote.Result{Winner: replicas[0], Count: 1, Unanimous: true}
-		} else if e.cfg.VoteTolerance > 0 {
-			res, vErr = vote.MajorityWithTolerance(replicas, e.cfg.VoteTolerance)
-		} else {
-			res, vErr = vote.Majority(replicas)
+		switch {
+		case a.R == 1:
+			res = vote.Result{Winner: repl[0], Count: 1, Unanimous: true}
+		case e.cfg.VoteTolerance > 0:
+			res, vErr = vote.MajorityWithTolerance(repl, e.cfg.VoteTolerance)
+		default:
+			res, vErr = vote.Majority(repl)
 		}
 		if vErr != nil {
-			return RoundStats{}, fmt.Errorf("cluster: vote on file %d: %w", v, vErr)
+			if ar.voteErrs[w] == nil {
+				ar.voteErrs[w] = fmt.Errorf("cluster: vote on file %d: %w", v, vErr)
+			}
+			return
 		}
-		winners[v] = res.Winner
-		if !e.cfg.SignMessages && !equalBits(res.Winner, trueGrads[v]) {
-			distorted++
+		ar.winners[v] = res.Winner
+		if !e.cfg.SignMessages && !equalBits(res.Winner, ar.trueGrads[v]) {
+			ar.distorted[w]++
 		}
+	})
+	distorted := 0
+	for w := 0; w < e.width; w++ {
+		if ar.voteErrs[w] != nil {
+			return RoundStats{}, ar.voteErrs[w]
+		}
+		distorted += ar.distorted[w]
 	}
-	update, err := e.cfg.Aggregator.Aggregate(winners)
-	if err != nil {
+	if err := e.aggregate(ar.winners); err != nil {
 		return RoundStats{}, fmt.Errorf("cluster: aggregation: %w", err)
 	}
 	if !e.cfg.SignMessages {
 		// Winners are gradient sums over ~batch/f samples; normalize to
 		// per-sample scale for the update (Algorithm 1, line 17).
 		scale := float64(a.F) / float64(e.cfg.BatchSize)
-		for i := range update {
-			update[i] *= scale
+		for i := range ar.update {
+			ar.update[i] *= scale
 		}
 	}
 	aggTime := time.Since(aggStart)
 
 	lr := e.cfg.Schedule.At(e.iter)
-	e.opt.Step(e.params, update, e.iter)
+	e.opt.Step(e.params, ar.update, e.iter)
 
 	stats := RoundStats{
 		Iteration:      e.iter,
@@ -424,6 +514,55 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 	e.times.Add(stats.Times)
 	e.iter++
 	return stats, nil
+}
+
+// aggregate reduces the vote winners into the arena's update vector.
+// Coordinate-wise rules (aggregate.ChunkAggregator) reduce in parallel
+// chunks across the pool — bit-identical to a serial pass because every
+// coordinate is reduced independently; other rules run their ordinary
+// Aggregate.
+func (e *Engine) aggregate(winners [][]float64) error {
+	ca, ok := e.cfg.Aggregator.(aggregate.ChunkAggregator)
+	if !ok || e.pool == nil {
+		if ok {
+			return ca.AggregateChunk(winners, e.arena.update, 0, e.arena.dim)
+		}
+		update, err := e.cfg.Aggregator.Aggregate(winners)
+		if err != nil {
+			return err
+		}
+		copy(e.arena.update, update)
+		return nil
+	}
+	dim := e.arena.dim
+	chunks := e.width
+	if chunks > dim {
+		chunks = dim
+	}
+	per := (dim + chunks - 1) / chunks
+	errs := e.arena.voteErrs
+	for w := 0; w < e.width; w++ {
+		errs[w] = nil
+	}
+	e.runPhase(chunks, func(w, c int) {
+		lo := c * per
+		hi := lo + per
+		if hi > dim {
+			hi = dim
+		}
+		if lo >= hi {
+			return
+		}
+		if err := ca.AggregateChunk(winners, e.arena.update, lo, hi); err != nil && errs[w] == nil {
+			errs[w] = err
+		}
+	})
+	for w := 0; w < e.width; w++ {
+		if errs[w] != nil {
+			return errs[w]
+		}
+	}
+	return nil
 }
 
 // Run executes iterations rounds under ctx, evaluating test accuracy
@@ -462,8 +601,11 @@ func (e *Engine) EvalLoss() float64 {
 }
 
 // probeIndices returns a fixed subset of the training set used for loss
-// reporting (cheap and deterministic).
+// reporting (cheap and deterministic), cached in the arena.
 func (e *Engine) probeIndices() []int {
+	if e.arena.probe != nil {
+		return e.arena.probe
+	}
 	n := e.cfg.Train.Len()
 	size := 256
 	if size > n {
@@ -477,57 +619,22 @@ func (e *Engine) probeIndices() []int {
 	for i := range idx {
 		idx[i] = (i * stride) % n
 	}
+	e.arena.probe = idx
 	return idx
 }
 
-// workerMessage is the wire format of one worker's per-round report.
-type workerMessage struct {
-	Worker    int
-	Files     []int
-	Gradients [][]float64
-}
-
-// roundTripMessage gob-encodes and decodes a worker's gradients,
-// physically exercising the serialization cost of the communication
-// phase, and returns the message size in bytes.
-func roundTripMessage(u int, grads map[int][]float64) (map[int][]float64, int64, error) {
-	msg := workerMessage{Worker: u}
-	for v := range grads {
-		msg.Files = append(msg.Files, v)
-	}
-	// Deterministic order.
-	sortInts(msg.Files)
-	for _, v := range msg.Files {
-		msg.Gradients = append(msg.Gradients, grads[v])
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(msg); err != nil {
-		return nil, 0, err
-	}
-	size := int64(buf.Len())
-	var decoded workerMessage
-	if err := gob.NewDecoder(&buf).Decode(&decoded); err != nil {
-		return nil, 0, err
-	}
-	out := make(map[int][]float64, len(decoded.Files))
-	for i, v := range decoded.Files {
-		out[v] = decoded.Gradients[i]
-	}
-	return out, size, nil
-}
-
-// signVec maps a vector to coordinate signs in {−1, 0, 1}.
-func signVec(g []float64) []float64 {
-	out := make([]float64, len(g))
+// signInPlace maps a vector to coordinate signs in {−1, 0, 1}.
+func signInPlace(g []float64) {
 	for i, v := range g {
 		switch {
 		case v > 0:
-			out[i] = 1
+			g[i] = 1
 		case v < 0:
-			out[i] = -1
+			g[i] = -1
+		default:
+			g[i] = 0
 		}
 	}
-	return out
 }
 
 // equalBits compares vectors by IEEE-754 bit patterns, matching the
@@ -542,14 +649,4 @@ func equalBits(a, b []float64) bool {
 		}
 	}
 	return true
-}
-
-// sortInts is a tiny insertion sort to avoid importing sort for hot
-// small slices.
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }

@@ -239,6 +239,7 @@ func RunOne(ctx context.Context, spec RunSpec, opts TrainOpts) Curve {
 		curve.Err = err.Error()
 		return curve
 	}
+	defer eng.Close()
 	if err := eng.CheckFeasible(); err != nil {
 		// Mirror the paper's "cannot be paired" findings rather than
 		// running an invalid configuration.

@@ -104,6 +104,7 @@ func timeOne(ctx context.Context, name string, spec RunSpec, opts TrainOpts, rou
 	if err != nil {
 		return TimingRow{}, err
 	}
+	defer eng.Close()
 	for t := 0; t < rounds; t++ {
 		if _, err := eng.StepOnce(ctx); err != nil {
 			return TimingRow{}, err

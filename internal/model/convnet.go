@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"sync"
 
 	"byzshield/internal/data"
 )
@@ -23,6 +24,31 @@ type ConvNet struct {
 	kernel     int
 	numFilters int
 	classes    int
+	scratch    sync.Pool
+}
+
+// convScratch is one call's forward/backward working set.
+type convScratch struct {
+	pre   []float64
+	act   []float64
+	probs []float64
+	delta []float64
+	dAct  []float64
+}
+
+// getScratch returns a pooled working set sized for the network.
+func (c *ConvNet) getScratch() *convScratch {
+	if s, _ := c.scratch.Get().(*convScratch); s != nil {
+		return s
+	}
+	actLen := c.numFilters * c.outLen()
+	return &convScratch{
+		pre:   make([]float64, actLen),
+		act:   make([]float64, actLen),
+		probs: make([]float64, c.classes),
+		delta: make([]float64, c.classes),
+		dAct:  make([]float64, actLen),
+	}
 }
 
 // NewConvNet builds the network. Requires kernel ≤ dim, numFilters ≥ 1
@@ -76,12 +102,11 @@ func (c *ConvNet) paramViews(params []float64) (filters, fBias, denseW, denseB [
 }
 
 // forward computes conv pre-activations, post-ReLU activations and the
-// softmax probabilities for a single sample.
-func (c *ConvNet) forward(params, x []float64) (pre, act, probs []float64) {
+// softmax probabilities for a single sample into the scratch buffers.
+func (c *ConvNet) forward(params, x []float64, s *convScratch) (pre, act, probs []float64) {
 	filters, fBias, denseW, denseB := c.paramViews(params)
 	ol := c.outLen()
-	pre = make([]float64, c.numFilters*ol)
-	act = make([]float64, c.numFilters*ol)
+	pre, act, probs = s.pre, s.act, s.probs
 	for f := 0; f < c.numFilters; f++ {
 		w := filters[f*c.kernel : (f+1)*c.kernel]
 		for o := 0; o < ol; o++ {
@@ -93,10 +118,11 @@ func (c *ConvNet) forward(params, x []float64) (pre, act, probs []float64) {
 			pre[f*ol+o] = v
 			if v > 0 {
 				act[f*ol+o] = v
+			} else {
+				act[f*ol+o] = 0
 			}
 		}
 	}
-	probs = make([]float64, c.classes)
 	for cls := 0; cls < c.classes; cls++ {
 		row := denseW[cls*len(act) : (cls+1)*len(act)]
 		var v float64
@@ -115,9 +141,11 @@ func (c *ConvNet) Loss(params []float64, ds *data.Dataset, idx []int) float64 {
 	if len(idx) == 0 {
 		return 0
 	}
+	s := c.getScratch()
+	defer c.scratch.Put(s)
 	var total float64
 	for _, i := range idx {
-		_, _, probs := c.forward(params, ds.X[i])
+		_, _, probs := c.forward(params, ds.X[i], s)
 		p := probs[ds.Y[i]]
 		if p < 1e-300 {
 			p = 1e-300
@@ -138,15 +166,18 @@ func (c *ConvNet) SumGradient(params []float64, ds *data.Dataset, idx []int, out
 	gFilters, gFBias, gDenseW, gDenseB := c.paramViews(out)
 	ol := c.outLen()
 	actLen := c.numFilters * ol
+	s := c.getScratch()
+	defer c.scratch.Put(s)
 	for _, i := range idx {
 		x := ds.X[i]
-		pre, act, probs := c.forward(params, x)
+		pre, act, probs := c.forward(params, x, s)
 		// Output delta: p − onehot(y).
-		delta := make([]float64, c.classes)
+		delta := s.delta
 		copy(delta, probs)
 		delta[ds.Y[i]] -= 1
 		// Dense layer gradients + backprop into activations.
-		dAct := make([]float64, actLen)
+		dAct := s.dAct
+		clear(dAct)
 		for cls := 0; cls < c.classes; cls++ {
 			dv := delta[cls]
 			if dv == 0 {
@@ -185,7 +216,9 @@ func (c *ConvNet) SumGradient(params []float64, ds *data.Dataset, idx []int, out
 
 // Predict implements Model.
 func (c *ConvNet) Predict(params []float64, x []float64) int {
-	_, _, probs := c.forward(params, x)
+	s := c.getScratch()
+	defer c.scratch.Put(s)
+	_, _, probs := c.forward(params, x, s)
 	best := 0
 	for cls := 1; cls < c.classes; cls++ {
 		if probs[cls] > probs[best] {

@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"byzshield/internal/data"
 )
@@ -13,8 +14,48 @@ func ln(x float64) float64 { return math.Log(x) }
 // MLP is a fully connected network with ReLU hidden layers and a softmax
 // output, trained with cross-entropy. The flat parameter layout
 // concatenates per-layer [W row-major (out × in) | b (out)] blocks.
+//
+// Forward/backward working buffers are pooled per call, so concurrent
+// SumGradient / Loss / Predict calls from the engine's worker pool
+// allocate nothing in steady state.
 type MLP struct {
-	dims []int // layer widths: input, hidden..., classes
+	dims    []int // layer widths: input, hidden..., classes
+	scratch sync.Pool
+}
+
+// mlpScratch is one call's forward/backward working set: per-layer
+// activation and pre-activation buffers plus two delta buffers of the
+// maximum layer width.
+type mlpScratch struct {
+	acts    [][]float64 // acts[0] aliases the input sample
+	preacts [][]float64
+	delta   []float64
+	delta2  []float64
+}
+
+// getScratch returns a pooled working set sized for the network.
+func (m *MLP) getScratch() *mlpScratch {
+	if s, _ := m.scratch.Get().(*mlpScratch); s != nil {
+		return s
+	}
+	nLayers := len(m.dims) - 1
+	maxW := 0
+	for _, d := range m.dims[1:] {
+		if d > maxW {
+			maxW = d
+		}
+	}
+	s := &mlpScratch{
+		acts:    make([][]float64, nLayers+1),
+		preacts: make([][]float64, nLayers),
+		delta:   make([]float64, maxW),
+		delta2:  make([]float64, maxW),
+	}
+	for l := 0; l < nLayers; l++ {
+		s.acts[l+1] = make([]float64, m.dims[l+1])
+		s.preacts[l] = make([]float64, m.dims[l+1])
+	}
+	return s
 }
 
 // NewMLP builds an MLP with the given layer widths. dims must have at
@@ -62,23 +103,22 @@ func (m *MLP) layerOffset(layer int) int {
 	return off
 }
 
-// forward computes all layer activations. acts[0] is the input; acts[i]
-// for i >= 1 is the post-ReLU activation of layer i (softmax
-// probabilities for the final layer). preacts[i] holds layer i+1's
-// pre-activation values (needed for the ReLU mask on backprop).
-func (m *MLP) forward(params, x []float64) (acts [][]float64, preacts [][]float64) {
+// forward computes all layer activations into the scratch buffers.
+// s.acts[0] is the input; s.acts[i] for i >= 1 is the post-ReLU
+// activation of layer i (softmax probabilities for the final layer).
+// s.preacts[i] holds layer i+1's pre-activation values (needed for the
+// ReLU mask on backprop).
+func (m *MLP) forward(params, x []float64, s *mlpScratch) {
 	nLayers := len(m.dims) - 1
-	acts = make([][]float64, nLayers+1)
-	preacts = make([][]float64, nLayers)
-	acts[0] = x
+	s.acts[0] = x
 	for layer := 0; layer < nLayers; layer++ {
-		in := acts[layer]
+		in := s.acts[layer]
 		inDim := m.dims[layer]
 		outDim := m.dims[layer+1]
 		off := m.layerOffset(layer)
 		w := params[off : off+inDim*outDim]
 		b := params[off+inDim*outDim : off+inDim*outDim+outDim]
-		pre := make([]float64, outDim)
+		pre := s.preacts[layer]
 		for o := 0; o < outDim; o++ {
 			row := w[o*inDim : (o+1)*inDim]
 			var v float64
@@ -87,8 +127,7 @@ func (m *MLP) forward(params, x []float64) (acts [][]float64, preacts [][]float6
 			}
 			pre[o] = v + b[o]
 		}
-		preacts[layer] = pre
-		act := make([]float64, outDim)
+		act := s.acts[layer+1]
 		copy(act, pre)
 		if layer == nLayers-1 {
 			softmaxInPlace(act)
@@ -99,9 +138,7 @@ func (m *MLP) forward(params, x []float64) (acts [][]float64, preacts [][]float6
 				}
 			}
 		}
-		acts[layer+1] = act
 	}
-	return acts, preacts
 }
 
 // Loss implements Model.
@@ -110,10 +147,12 @@ func (m *MLP) Loss(params []float64, ds *data.Dataset, idx []int) float64 {
 	if len(idx) == 0 {
 		return 0
 	}
+	s := m.getScratch()
+	defer m.scratch.Put(s)
 	var total float64
 	for _, i := range idx {
-		acts, _ := m.forward(params, ds.X[i])
-		p := acts[len(acts)-1][ds.Y[i]]
+		m.forward(params, ds.X[i], s)
+		p := s.acts[len(s.acts)-1][ds.Y[i]]
 		if p < 1e-300 {
 			p = 1e-300
 		}
@@ -129,13 +168,17 @@ func (m *MLP) SumGradient(params []float64, ds *data.Dataset, idx []int, out []f
 		panic(fmt.Sprintf("model: gradient buffer %d, want %d", len(out), m.NumParams()))
 	}
 	nLayers := len(m.dims) - 1
+	s := m.getScratch()
+	defer m.scratch.Put(s)
 	for _, i := range idx {
 		x := ds.X[i]
-		acts, preacts := m.forward(params, x)
-		// delta at output: p − onehot(y).
+		m.forward(params, x, s)
+		// delta at output: p − onehot(y). bufA holds the current delta,
+		// bufB the next layer down's; they swap as backprop descends.
 		outDim := m.dims[nLayers]
-		delta := make([]float64, outDim)
-		copy(delta, acts[nLayers])
+		bufA, bufB := s.delta, s.delta2
+		delta := bufA[:outDim]
+		copy(delta, s.acts[nLayers])
 		delta[ds.Y[i]] -= 1
 		for layer := nLayers - 1; layer >= 0; layer-- {
 			inDim := m.dims[layer]
@@ -143,7 +186,7 @@ func (m *MLP) SumGradient(params []float64, ds *data.Dataset, idx []int, out []f
 			off := m.layerOffset(layer)
 			wGrad := out[off : off+inDim*oDim]
 			bGrad := out[off+inDim*oDim : off+inDim*oDim+oDim]
-			in := acts[layer]
+			in := s.acts[layer]
 			for o := 0; o < oDim; o++ {
 				dv := delta[o]
 				if dv == 0 {
@@ -158,7 +201,8 @@ func (m *MLP) SumGradient(params []float64, ds *data.Dataset, idx []int, out []f
 			if layer > 0 {
 				// Propagate delta through W and the ReLU mask.
 				w := params[off : off+inDim*oDim]
-				newDelta := make([]float64, inDim)
+				newDelta := bufB[:inDim]
+				clear(newDelta)
 				for o := 0; o < oDim; o++ {
 					dv := delta[o]
 					if dv == 0 {
@@ -169,13 +213,14 @@ func (m *MLP) SumGradient(params []float64, ds *data.Dataset, idx []int, out []f
 						newDelta[j] += dv * row[j]
 					}
 				}
-				pre := preacts[layer-1]
+				pre := s.preacts[layer-1]
 				for j := range newDelta {
 					if pre[j] <= 0 {
 						newDelta[j] = 0
 					}
 				}
 				delta = newDelta
+				bufA, bufB = bufB, bufA
 			}
 		}
 	}
@@ -183,8 +228,10 @@ func (m *MLP) SumGradient(params []float64, ds *data.Dataset, idx []int, out []f
 
 // Predict implements Model.
 func (m *MLP) Predict(params []float64, x []float64) int {
-	acts, _ := m.forward(params, x)
-	probs := acts[len(acts)-1]
+	s := m.getScratch()
+	defer m.scratch.Put(s)
+	m.forward(params, x, s)
+	probs := s.acts[len(s.acts)-1]
 	best := 0
 	for c := 1; c < len(probs); c++ {
 		if probs[c] > probs[best] {

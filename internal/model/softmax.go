@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"sync"
 
 	"byzshield/internal/data"
 )
@@ -9,9 +10,23 @@ import (
 // Softmax is multinomial logistic regression: logits = W·x + b with
 // cross-entropy loss. The flat parameter layout is
 // [W row-major (classes × dim) | b (classes)].
+//
+// Per-call probability scratch is pooled, so concurrent SumGradient /
+// Loss / Predict calls from the engine's worker pool allocate nothing in
+// steady state.
 type Softmax struct {
 	dim     int
 	classes int
+	scratch sync.Pool // *[]float64 of length classes
+}
+
+// getProbs returns a pooled probability buffer.
+func (s *Softmax) getProbs() *[]float64 {
+	if p, _ := s.scratch.Get().(*[]float64); p != nil {
+		return p
+	}
+	buf := make([]float64, s.classes)
+	return &buf
 }
 
 // NewSoftmax constructs a softmax regression model.
@@ -52,7 +67,9 @@ func (s *Softmax) Loss(params []float64, ds *data.Dataset, idx []int) float64 {
 	if len(idx) == 0 {
 		return 0
 	}
-	probs := make([]float64, s.classes)
+	pp := s.getProbs()
+	defer s.scratch.Put(pp)
+	probs := *pp
 	var total float64
 	for _, i := range idx {
 		s.logits(params, ds.X[i], probs)
@@ -73,7 +90,9 @@ func (s *Softmax) SumGradient(params []float64, ds *data.Dataset, idx []int, out
 	if len(out) != s.NumParams() {
 		panic(fmt.Sprintf("model: gradient buffer %d, want %d", len(out), s.NumParams()))
 	}
-	probs := make([]float64, s.classes)
+	pp := s.getProbs()
+	defer s.scratch.Put(pp)
+	probs := *pp
 	for _, i := range idx {
 		x := ds.X[i]
 		s.logits(params, x, probs)
@@ -94,7 +113,9 @@ func (s *Softmax) SumGradient(params []float64, ds *data.Dataset, idx []int, out
 
 // Predict implements Model.
 func (s *Softmax) Predict(params []float64, x []float64) int {
-	logits := make([]float64, s.classes)
+	pp := s.getProbs()
+	defer s.scratch.Put(pp)
+	logits := *pp
 	s.logits(params, x, logits)
 	best := 0
 	for c := 1; c < s.classes; c++ {

@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Gradient frame codec: the compact binary wire format for a worker's
+// per-round gradient report, replacing the gob round-trip on the hot
+// path. The layout is canonical (one valid encoding per frame) and
+// allocation-free on both sides when buffers are reused, which is what
+// the cluster engine's MeasureComm mode and the TCP GradientReport
+// message use.
+//
+// Frame layout, all little-endian:
+//
+//	u32  payload length (bytes after this field)
+//	u32  worker id
+//	u32  file count n
+//	u32  gradient dimension d (0 when n == 0)
+//	n ×  u32 file id
+//	n ×  d × f64 gradient values (IEEE-754 bit patterns)
+//
+// Because floats are transported as raw bit patterns, a decode is
+// bit-exact: NaN payloads, signed zeros, and subnormals survive the
+// round-trip unchanged.
+
+// gradFrameHeader is the fixed part of the payload: worker, n, d.
+const gradFrameHeader = 12
+
+// GradFrameSize returns the encoded size in bytes of a frame with n
+// files of dimension d, including the length prefix.
+func GradFrameSize(n, d int) int {
+	return 4 + gradFrameHeader + n*4 + n*d*8
+}
+
+// AppendGradFrame appends one encoded frame to dst and returns the
+// extended slice. files and grads must have equal length and every
+// gradient the same dimension.
+func AppendGradFrame(dst []byte, worker int, files []int, grads [][]float64) ([]byte, error) {
+	if len(files) != len(grads) {
+		return nil, fmt.Errorf("transport: %d files but %d gradients", len(files), len(grads))
+	}
+	if worker < 0 || int64(worker) > math.MaxUint32 {
+		return nil, fmt.Errorf("transport: worker id %d outside u32 range", worker)
+	}
+	n := len(files)
+	d := 0
+	if n > 0 {
+		d = len(grads[0])
+	}
+	for i, g := range grads {
+		if len(g) != d {
+			return nil, fmt.Errorf("transport: gradient %d has dim %d, want %d", i, len(g), d)
+		}
+	}
+	payload := gradFrameHeader + n*4 + n*d*8
+	if uint64(payload) > math.MaxUint32 {
+		return nil, fmt.Errorf("transport: frame payload %d bytes exceeds u32 length prefix", payload)
+	}
+	dst = append32(dst, uint32(payload))
+	dst = append32(dst, uint32(worker))
+	dst = append32(dst, uint32(n))
+	dst = append32(dst, uint32(d))
+	for _, v := range files {
+		if v < 0 || int64(v) > math.MaxUint32 {
+			return nil, fmt.Errorf("transport: file id %d outside u32 range", v)
+		}
+		dst = append32(dst, uint32(v))
+	}
+	for _, g := range grads {
+		for _, x := range g {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+		}
+	}
+	return dst, nil
+}
+
+// GradFrame is a decoded gradient frame. Its slices are reused across
+// DecodeGradFrame calls when capacities allow, so a long-lived frame
+// decodes rounds without allocating.
+type GradFrame struct {
+	Worker int
+	Files  []int
+	Grads  [][]float64
+}
+
+// DecodeGradFrame parses one frame from the front of src into f,
+// returning the number of bytes consumed. The frame is validated
+// structurally: the payload length must match the declared file count
+// and dimension exactly, so arbitrary input can never trigger an
+// oversized allocation (the declared sizes are bounded by len(src)).
+func DecodeGradFrame(src []byte, f *GradFrame) (int, error) {
+	if len(src) < 4+gradFrameHeader {
+		return 0, fmt.Errorf("transport: frame truncated at %d bytes", len(src))
+	}
+	payload := int(binary.LittleEndian.Uint32(src))
+	if payload < gradFrameHeader || payload > len(src)-4 {
+		return 0, fmt.Errorf("transport: frame payload %d bytes, have %d", payload, len(src)-4)
+	}
+	body := src[4 : 4+payload]
+	f.Worker = int(binary.LittleEndian.Uint32(body))
+	// Sizes are validated with division in uint64 space, so a hostile
+	// header cannot overflow the expected-length arithmetic or trigger
+	// an oversized allocation (everything is bounded by len(src)).
+	n64 := uint64(binary.LittleEndian.Uint32(body[4:]))
+	d64 := uint64(binary.LittleEndian.Uint32(body[8:]))
+	rem := uint64(payload) - gradFrameHeader
+	if n64 == 0 {
+		if d64 != 0 || rem != 0 {
+			return 0, fmt.Errorf("transport: empty frame declares dim %d with %d payload bytes", d64, rem)
+		}
+	} else {
+		if n64 > rem/4 {
+			return 0, fmt.Errorf("transport: frame declares %d files for %d payload bytes", n64, rem)
+		}
+		valBytes := rem - n64*4
+		if valBytes%(n64*8) != 0 || valBytes/(n64*8) != d64 {
+			return 0, fmt.Errorf("transport: frame declares %d×%d values for %d value bytes", n64, d64, valBytes)
+		}
+	}
+	n, d := int(n64), int(d64)
+	if cap(f.Files) < n {
+		f.Files = make([]int, n)
+	}
+	f.Files = f.Files[:n]
+	for i := range f.Files {
+		f.Files[i] = int(binary.LittleEndian.Uint32(body[gradFrameHeader+i*4:]))
+	}
+	if cap(f.Grads) < n {
+		grads := make([][]float64, n)
+		copy(grads, f.Grads)
+		f.Grads = grads
+	}
+	f.Grads = f.Grads[:n]
+	vals := body[gradFrameHeader+n*4:]
+	for i := 0; i < n; i++ {
+		if cap(f.Grads[i]) < d {
+			f.Grads[i] = make([]float64, d)
+		}
+		g := f.Grads[i][:d]
+		for j := 0; j < d; j++ {
+			g[j] = math.Float64frombits(binary.LittleEndian.Uint64(vals[(i*d+j)*8:]))
+		}
+		f.Grads[i] = g
+	}
+	return 4 + payload, nil
+}
+
+// append32 appends v little-endian.
+func append32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}

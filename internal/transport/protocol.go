@@ -125,12 +125,18 @@ type RoundStart struct {
 	Files     map[int][]int
 }
 
-// GradientReport returns the worker's per-file gradient sums.
+// GradientReport returns the worker's per-file gradient sums. The
+// gradients travel as one compact binary gradient frame (see codec.go)
+// instead of gob-encoded nested slices: fixed 8-byte float encoding and
+// no per-message type reflection make the worker→PS hot path smaller
+// and substantially faster to serialize.
 type GradientReport struct {
 	WorkerID  int
 	Iteration int
-	Files     []int
-	Gradients [][]float64
+	// Frame is the codec-encoded (worker, files, gradients) frame;
+	// decode with DecodeGradFrame. Its embedded worker id must match
+	// WorkerID.
+	Frame []byte
 }
 
 // Shutdown terminates a worker at the end of training.

@@ -278,15 +278,26 @@ func (s *Server) runRound(t int, conns []*Conn) error {
 		return recvErr
 	}
 
-	// Index gradients by (worker, file).
+	// Decode the binary gradient frames and index by (worker, file).
 	grads := make([]map[int][]float64, asn.K)
 	for u, rep := range reports {
 		if rep.Iteration != t {
 			return fmt.Errorf("worker %d reported iteration %d, want %d", u, rep.Iteration, t)
 		}
-		m := make(map[int][]float64, len(rep.Files))
-		for i, v := range rep.Files {
-			m[v] = rep.Gradients[i]
+		var frame GradFrame
+		consumed, err := DecodeGradFrame(rep.Frame, &frame)
+		if err != nil {
+			return fmt.Errorf("worker %d frame: %w", u, err)
+		}
+		if consumed != len(rep.Frame) {
+			return fmt.Errorf("worker %d frame has %d trailing bytes", u, len(rep.Frame)-consumed)
+		}
+		if frame.Worker != rep.WorkerID {
+			return fmt.Errorf("worker %d frame claims worker %d", rep.WorkerID, frame.Worker)
+		}
+		m := make(map[int][]float64, len(frame.Files))
+		for i, v := range frame.Files {
+			m[v] = frame.Grads[i]
 		}
 		grads[u] = m
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"slices"
 
 	"byzshield/internal/data"
 	"byzshield/internal/model"
@@ -101,7 +102,7 @@ func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) (float64, err
 }
 
 // computeReport produces the worker's (honest or Byzantine) gradients
-// for one round.
+// for one round, encoded as a binary gradient frame.
 func computeReport(cfg WorkerConfig, mdl model.Model, train *data.Dataset, rs *RoundStart) (*GradientReport, error) {
 	rep := &GradientReport{WorkerID: cfg.ID, Iteration: rs.Iteration}
 	// Deterministic file order.
@@ -109,20 +110,15 @@ func computeReport(cfg WorkerConfig, mdl model.Model, train *data.Dataset, rs *R
 	for v := range rs.Files {
 		files = append(files, v)
 	}
-	for i := 1; i < len(files); i++ {
-		for j := i; j > 0 && files[j] < files[j-1]; j-- {
-			files[j], files[j-1] = files[j-1], files[j]
-		}
-	}
+	slices.Sort(files)
 	dim := mdl.NumParams()
+	grads := make([][]float64, 0, len(files))
 	for _, v := range files {
-		var g []float64
+		g := make([]float64, dim)
 		switch cfg.Behavior {
 		case BehaviorHonest:
-			g = make([]float64, dim)
 			mdl.SumGradient(rs.Params, train, rs.Files[v], g)
 		case BehaviorReversed:
-			g = make([]float64, dim)
 			mdl.SumGradient(rs.Params, train, rs.Files[v], g)
 			for i := range g {
 				g[i] = -g[i]
@@ -132,17 +128,20 @@ func computeReport(cfg WorkerConfig, mdl model.Model, train *data.Dataset, rs *R
 			if val == 0 {
 				val = -1
 			}
-			g = make([]float64, dim)
 			for i := range g {
 				g[i] = val
 			}
 		case BehaviorZero:
-			g = make([]float64, dim)
+			// zeros (crash-like)
 		default:
 			return nil, fmt.Errorf("transport: unknown behavior %q", cfg.Behavior)
 		}
-		rep.Files = append(rep.Files, v)
-		rep.Gradients = append(rep.Gradients, g)
+		grads = append(grads, g)
 	}
+	frame, err := AppendGradFrame(nil, cfg.ID, files, grads)
+	if err != nil {
+		return nil, err
+	}
+	rep.Frame = frame
 	return rep, nil
 }

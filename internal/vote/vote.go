@@ -35,9 +35,19 @@ type Result struct {
 	Tied bool
 }
 
+// smallN bounds the allocation-free direct-comparison vote path. Real
+// replication factors are tiny (r ≤ 5 in the paper), so virtually every
+// vote takes it.
+const smallN = 16
+
 // Majority elects the most frequent gradient among the replicas using
 // exact byte equality. It is the implementation of Eq. (3): m_i =
 // majority{ĝ_i^(j)}. Inputs must be non-empty and of equal dimension.
+//
+// For n ≤ 16 replicas the election runs allocation-free on direct
+// pairwise bit comparison; larger replica sets fall back to hashing.
+// Both paths elect identically: the candidate with the most votes,
+// breaking ties toward the lowest first-holder index.
 func Majority(replicas [][]float64) (Result, error) {
 	n := len(replicas)
 	if n == 0 {
@@ -49,8 +59,11 @@ func Majority(replicas [][]float64) (Result, error) {
 			return Result{}, fmt.Errorf("vote: replica %d has dim %d, want %d", i, len(r), d)
 		}
 	}
-	// MJRTY (Boyer–Moore) fast path: find the only possible strict
-	// majority candidate in one pass using hashes, verify by counting.
+	if n <= smallN {
+		return majoritySmall(replicas), nil
+	}
+	// Hash fallback: find the candidate in one pass using hashes,
+	// verify by counting.
 	hashes := make([]uint64, n)
 	for i, r := range replicas {
 		hashes[i] = hashVec(r)
@@ -96,6 +109,44 @@ func Majority(replicas [][]float64) (Result, error) {
 	}, nil
 }
 
+// majoritySmall elects by direct pairwise comparison with stack-only
+// state: each replica is mapped to the index of its first bit-identical
+// predecessor (its canonical candidate), and the canonical candidate
+// with the highest count — lowest first index on ties — wins.
+func majoritySmall(replicas [][]float64) Result {
+	n := len(replicas)
+	var canon, counts [smallN]int
+	for i := 0; i < n; i++ {
+		c := i
+		for j := 0; j < i; j++ {
+			if canon[j] == j && equalVec(replicas[j], replicas[i]) {
+				c = j
+				break
+			}
+		}
+		canon[i] = c
+		counts[c]++
+	}
+	best := 0
+	for i := 1; i < n; i++ {
+		if canon[i] == i && counts[i] > counts[best] {
+			best = i
+		}
+	}
+	tied := false
+	for i := 0; i < n; i++ {
+		if canon[i] == i && i != best && counts[i] == counts[best] {
+			tied = true
+		}
+	}
+	return Result{
+		Winner:    replicas[best],
+		Count:     counts[best],
+		Unanimous: counts[best] == n,
+		Tied:      tied,
+	}
+}
+
 // MajorityWithTolerance clusters replicas by L∞ proximity (two replicas
 // belong to one cluster when within tol of the cluster's representative)
 // and elects the largest cluster, returning its representative. This is
@@ -115,41 +166,50 @@ func MajorityWithTolerance(replicas [][]float64, tol float64) (Result, error) {
 			return Result{}, fmt.Errorf("vote: replica %d has dim %d, want %d", i, len(r), d)
 		}
 	}
-	type cluster struct {
-		rep   []float64
+	// Clusters are (representative index, count) pairs; the
+	// representative is the first replica that opened the cluster, so
+	// the lowest-first-index tie-break is an index comparison. The
+	// cluster table lives on the stack for realistic replica counts.
+	type tolCluster struct {
+		rep   int
 		count int
-		first int
 	}
-	var clusters []*cluster
+	var stack [smallN]tolCluster
+	clusters := stack[:0]
+	if n > smallN {
+		clusters = make([]tolCluster, 0, n)
+	}
 	for i, r := range replicas {
 		placed := false
-		for _, c := range clusters {
-			if maxAbsDiff(c.rep, r) <= tol {
-				c.count++
+		for k := range clusters {
+			if maxAbsDiff(replicas[clusters[k].rep], r) <= tol {
+				clusters[k].count++
 				placed = true
 				break
 			}
 		}
 		if !placed {
-			clusters = append(clusters, &cluster{rep: r, count: 1, first: i})
+			clusters = append(clusters, tolCluster{rep: i, count: 1})
 		}
 	}
-	best := clusters[0]
-	for _, c := range clusters[1:] {
-		if c.count > best.count || (c.count == best.count && c.first < best.first) {
-			best = c
+	best := 0
+	for k := 1; k < len(clusters); k++ {
+		// Representatives appear in first-index order, so a strictly
+		// greater count is the only way to displace an earlier cluster.
+		if clusters[k].count > clusters[best].count {
+			best = k
 		}
 	}
 	tied := false
-	for _, c := range clusters {
-		if c != best && c.count == best.count {
+	for k := range clusters {
+		if k != best && clusters[k].count == clusters[best].count {
 			tied = true
 		}
 	}
 	return Result{
-		Winner:    best.rep,
-		Count:     best.count,
-		Unanimous: best.count == n,
+		Winner:    replicas[clusters[best].rep],
+		Count:     clusters[best].count,
+		Unanimous: clusters[best].count == n,
 		Tied:      tied,
 	}, nil
 }

@@ -1,0 +1,89 @@
+package byzshield_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"byzshield"
+)
+
+// TestAttackAggregatorMatrix sweeps every registered attack against
+// every registered aggregator for a few rounds — the ByzFL-style
+// regression surface: no combination may error, produce non-finite
+// parameters, or distort more file votes than the Byzantine set
+// statically controls.
+func TestAttackAggregatorMatrix(t *testing.T) {
+	asn, err := byzshield.NewMOLS(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := byzshield.SyntheticDataset(300, 100, 8, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregator knobs valid for 25 operands with the worst-case q=2
+	// corruption (c_max = 1, Table 3).
+	params := map[string]byzshield.AggregatorParams{
+		"krum":         {C: 1},
+		"multikrum":    {C: 1},
+		"bulyan":       {C: 1},
+		"trimmed-mean": {Trim: 1},
+	}
+	attacks := byzshield.Registry.Attacks()
+	aggregators := byzshield.Registry.Aggregators()
+	if len(attacks) < 5 || len(aggregators) < 10 {
+		t.Fatalf("registry unexpectedly small: %d attacks, %d aggregators", len(attacks), len(aggregators))
+	}
+	for _, atkName := range attacks {
+		for _, aggName := range aggregators {
+			t.Run(atkName+"/"+aggName, func(t *testing.T) {
+				atk, err := byzshield.Registry.Attack(atkName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				agg, err := byzshield.Registry.Aggregator(aggName, params[aggName])
+				if err != nil {
+					t.Fatal(err)
+				}
+				mdl, err := byzshield.NewSoftmaxModel(8, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := byzshield.Open(context.Background(), byzshield.TrainConfig{
+					Assignment: asn,
+					Model:      mdl,
+					Train:      train,
+					Test:       test,
+					BatchSize:  50,
+					Q:          2,
+					Attack:     atk,
+					Aggregator: agg,
+					Iterations: 3,
+					EvalEvery:  3,
+					Seed:       11,
+				})
+				if err != nil {
+					t.Fatalf("open %s/%s: %v", atkName, aggName, err)
+				}
+				defer s.Close()
+				corruptible := len(s.CorruptibleFiles())
+				for round := 0; round < 3; round++ {
+					res, err := s.Step(context.Background())
+					if err != nil {
+						t.Fatalf("round %d: %v", round, err)
+					}
+					if res.DistortedFiles > corruptible {
+						t.Fatalf("round %d distorted %d votes, but only %d files are corruptible",
+							round, res.DistortedFiles, corruptible)
+					}
+				}
+				for i, p := range s.Params() {
+					if math.IsNaN(p) || math.IsInf(p, 0) {
+						t.Fatalf("param %d is %v after %s/%s", i, p, atkName, aggName)
+					}
+				}
+			})
+		}
+	}
+}

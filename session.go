@@ -55,9 +55,9 @@ type RoundResult struct {
 // Events channels, and persisted/resumed via Checkpoint and Restore.
 //
 // All methods are safe for concurrent use; rounds themselves execute
-// serially. A Session holds no OS resources — Close only marks it
-// closed and closes event channels — but closing is good hygiene so
-// event consumers terminate.
+// serially. A Session owns the engine's persistent worker-pool
+// goroutines — Close releases them, marks the session closed, and
+// closes event channels, so always Close a session when done with it.
 type Session struct {
 	mu         sync.Mutex
 	cfg        TrainConfig // normalized: all defaults applied
@@ -90,22 +90,24 @@ func Open(ctx context.Context, cfg TrainConfig) (*Session, error) {
 		}
 	}
 	eng, err := cluster.New(cluster.Config{
-		Assignment: norm.Assignment,
-		Model:      norm.Model,
-		Train:      norm.Train,
-		Test:       norm.Test,
-		BatchSize:  norm.BatchSize,
-		Attack:     norm.Attack,
-		Byzantines: byz,
-		Aggregator: norm.Aggregator,
-		Schedule:   norm.Schedule,
-		Momentum:   norm.Momentum,
-		Seed:       norm.Seed,
+		Assignment:  norm.Assignment,
+		Model:       norm.Model,
+		Train:       norm.Train,
+		Test:        norm.Test,
+		BatchSize:   norm.BatchSize,
+		Attack:      norm.Attack,
+		Byzantines:  byz,
+		Aggregator:  norm.Aggregator,
+		Schedule:    norm.Schedule,
+		Momentum:    norm.Momentum,
+		Seed:        norm.Seed,
+		Parallelism: norm.Parallelism,
 	})
 	if err != nil {
 		return nil, err
 	}
 	if err := eng.CheckFeasible(); err != nil {
+		eng.Close()
 		return nil, fmt.Errorf("byzshield: %w", err)
 	}
 	return &Session{
@@ -253,6 +255,13 @@ func (s *Session) Epsilon() float64 {
 	return s.eng.DistortionFraction()
 }
 
+// CorruptibleFiles returns the files whose majority votes the run's
+// Byzantine set controls — the static upper bound on the per-round
+// DistortedFiles count.
+func (s *Session) CorruptibleFiles() []int {
+	return s.eng.CorruptibleFiles()
+}
+
 // OnRound registers a callback invoked after every completed round,
 // outside the session lock. Callbacks from one round complete before
 // the next Step returns.
@@ -377,9 +386,10 @@ func equalInts(a, b []int) bool {
 	return true
 }
 
-// Close marks the session closed and closes all event channels.
-// Further Step/Restore calls fail with ErrSessionClosed; read-only
-// accessors keep working. Close is idempotent.
+// Close releases the engine's worker-pool goroutines, marks the session
+// closed, and closes all event channels. Further Step/Restore calls
+// fail with ErrSessionClosed; read-only accessors keep working. Close
+// is idempotent.
 func (s *Session) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -387,6 +397,7 @@ func (s *Session) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.eng.Close()
 	for id, ch := range s.subs {
 		delete(s.subs, id)
 		close(ch)
