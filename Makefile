@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench lint fmt clean
+.PHONY: all build test race bench lint fmt clean
 
 all: lint test
 
@@ -9,6 +9,9 @@ build:
 
 test: build
 	$(GO) test ./...
+
+race: build
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

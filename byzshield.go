@@ -38,6 +38,7 @@ import (
 	"byzshield/internal/attack"
 	"byzshield/internal/data"
 	"byzshield/internal/distort"
+	"byzshield/internal/fault"
 	"byzshield/internal/graph"
 	"byzshield/internal/model"
 	"byzshield/internal/trainer"
@@ -53,6 +54,14 @@ type Aggregator = aggregate.Aggregator
 
 // Attack generates Byzantine payloads.
 type Attack = attack.Attack
+
+// Fault is a worker participation fault model (crash, straggler, delay,
+// flaky). Faults are orthogonal to attacks: an Attack corrupts what a
+// worker sends, a Fault decides whether and when it sends at all, so
+// fault scenarios compose with the attack × aggregator matrix. See the
+// NoFault/CrashFault/StragglerFault/DelayFault/FlakyFault constructors
+// and internal/fault.
+type Fault = fault.Fault
 
 // History is the recorded metric series of a training run.
 type History = trainer.History
@@ -135,6 +144,39 @@ func Auror(threshold float64) Aggregator { return aggregate.Auror{Threshold: thr
 
 // NoAttack is the attack-free control.
 func NoAttack() Attack { return attack.Benign{} }
+
+// NoFault is the fault-free control: every worker participates in every
+// round.
+func NoFault() Fault { return fault.None{} }
+
+// CrashFault permanently stops the listed workers from round atRound on
+// (fail-stop). Files whose surviving replicas still meet the vote
+// quorum degrade gracefully; files below quorum drop out of
+// aggregation.
+func CrashFault(atRound int, workers ...int) Fault {
+	return fault.Crash{Workers: workers, AtRound: atRound}
+}
+
+// StragglerFault delays the listed workers' reports by delay every
+// round. Only the TCP transport realizes delays physically (against the
+// server's per-round deadline); the in-process engine treats stragglers
+// as full participants.
+func StragglerFault(delay time.Duration, workers ...int) Fault {
+	return fault.Straggler{Workers: workers, Delay: delay}
+}
+
+// DelayFault postpones the listed workers' reports by delay in round
+// atRound only — a transient hiccup a deadline-tolerant server absorbs.
+func DelayFault(atRound int, delay time.Duration, workers ...int) Fault {
+	return fault.Delay{Workers: workers, Round: atRound, Delay: delay}
+}
+
+// FlakyFault makes the listed workers skip each round independently
+// with probability p, deterministically derived from seed so every
+// process evaluating the same fault agrees on the schedule.
+func FlakyFault(p float64, seed int64, workers ...int) Fault {
+	return fault.Flaky{Workers: workers, P: p, Seed: seed}
+}
 
 // ALIE is the "A Little Is Enough" attack (Baruch et al. 2019).
 func ALIE() Attack { return attack.ALIE{} }
@@ -272,6 +314,16 @@ type TrainConfig struct {
 	// trajectories for a fixed seed; the knob only trades wall-clock
 	// against cores.
 	Parallelism int
+	// Fault injects worker participation faults — CrashFault,
+	// FlakyFault, etc. — into the run (default NoFault()). Rounds with
+	// missing workers vote each file over its surviving replicas when
+	// they meet Quorum and drop the file otherwise; RoundResult reports
+	// the per-round degradation.
+	Fault Fault
+	// Quorum is the minimum surviving replicas a file needs to be voted
+	// in a degraded round; 0 selects the majority of the nominal
+	// replication, r/2 + 1. Values outside [1, r] are rejected.
+	Quorum int
 }
 
 // normalized validates the config and returns a copy with every

@@ -9,6 +9,14 @@
 //	byzps -listen 127.0.0.1:7077 -scheme mols -l 5 -r 3 -rounds 200
 //	byzworker -connect 127.0.0.1:7077 -id 0 &
 //	... (one byzworker per worker id 0..K-1; some may be -behavior reversed)
+//
+// Fault injection (the Spec carries the fault model to every worker, so
+// workers crash/skip/delay themselves against the server's real
+// per-round deadline and quorum handling):
+//
+//	byzps ... -fault crash -fault-workers 2,9 -fault-round 50
+//	byzps ... -fault flaky -fault-workers 1,4 -fault-p 0.3
+//	byzps ... -fault straggler -fault-workers 3 -fault-delay 5s -round-timeout 2s
 package main
 
 import (
@@ -19,8 +27,10 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"byzshield"
 	"byzshield/internal/trainer"
@@ -49,8 +59,23 @@ func main() {
 		decay   = flag.Float64("decay", 0.96, "learning-rate decay factor")
 		every   = flag.Int("every", 25, "iterations between decays")
 		seed    = flag.Int64("seed", 42, "experiment seed")
+
+		roundTimeout = flag.Duration("round-timeout", transport.DefaultRoundTimeout,
+			"per-round worker report deadline (negative disables; stalled workers are evicted)")
+		quorum       = flag.Int("quorum", 0, "minimum surviving replicas per file vote (0 = r/2+1)")
+		faultName    = flag.String("fault", "", "worker fault model to inject: "+strings.Join(byzshield.Registry.Faults(), ", "))
+		faultWorkers = flag.String("fault-workers", "", "comma-separated worker ids the fault targets")
+		faultRound   = flag.Int("fault-round", 0, "crash/delay round parameter")
+		faultP       = flag.Float64("fault-p", 0.3, "flaky drop probability")
+		faultDelay   = flag.Duration("fault-delay", 2*time.Second, "straggler/delay duration")
 	)
 	flag.Parse()
+
+	workers, err := parseWorkerList(*faultWorkers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "byzps:", err)
+		os.Exit(2)
+	}
 
 	spec := transport.Spec{
 		Scheme: *scheme, L: *l, R: *r, K: *k, F: *f,
@@ -61,10 +86,16 @@ func main() {
 		BatchSize: *batch,
 		Schedule:  trainer.Schedule{Base: *lr, Decay: *decay, Every: *every},
 		Momentum:  0.9, Seed: *seed, Rounds: *rounds,
+		Fault: *faultName,
+		FaultParams: byzshield.FaultParams{
+			Workers: workers, Round: *faultRound, P: *faultP, Delay: *faultDelay, Seed: *seed,
+		},
 	}
 	srv, err := transport.NewServer(*listen, transport.ServerConfig{
-		Spec: spec,
-		Logf: log.Printf,
+		Spec:         spec,
+		Logf:         log.Printf,
+		RoundTimeout: *roundTimeout,
+		Quorum:       *quorum,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "byzps:", err)
@@ -87,4 +118,21 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("final top-1 test accuracy: %.4f\n", final)
+}
+
+// parseWorkerList parses a comma-separated id list ("" → nil).
+func parseWorkerList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad worker id %q in -fault-workers", p)
+		}
+		out = append(out, id)
+	}
+	return out, nil
 }

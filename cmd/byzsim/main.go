@@ -32,6 +32,8 @@ func main() {
 		table    = flag.String("table", "", "paper table to reproduce: 3, 4, 5 or 6")
 		scheme   = flag.String("scheme", "", "custom scheme: "+strings.Join(byzshield.Registry.Schemes(), ", "))
 		ablation = flag.Bool("ablation", false, "run the assignment-scheme ablation (MOLS vs Ramanujan vs FRC vs random)")
+		faults   = flag.Bool("faults", false, "run the fault-tolerance sweep (scheme × crash/flaky worker faults)")
+		iters    = flag.Int("iters", 100, "training rounds per cell for -faults")
 		show     = flag.Bool("show", false, "print the MOLS family and file allocation for -l/-r (paper Tables 1 & 2)")
 		l        = flag.Int("l", 5, "computational load (MOLS degree / Ramanujan parameter)")
 		r        = flag.Int("r", 3, "replication factor")
@@ -54,6 +56,16 @@ func main() {
 			fatal(err)
 		}
 		experiments.RenderAblation(os.Stdout, rows)
+		return
+	}
+	if *faults {
+		opts := experiments.DefaultTrainOpts()
+		opts.Iterations = *iters
+		rows, err := experiments.FaultSweep(ctx, opts)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderFaultSweep(os.Stdout, rows)
 		return
 	}
 	if *show {

@@ -1,18 +1,24 @@
 // TCP cluster: runs the distributed training protocol over real TCP
 // sockets — one parameter-server and K = 15 worker clients on loopback,
-// two of them Byzantine (reversed gradients). The scheme and aggregator
-// travel as registry names inside the wire Spec, and the whole cluster
-// is cancelable through a context. The same binaries-level protocol is
-// exposed by cmd/byzps and cmd/byzworker for multi-process or
-// multi-machine runs.
+// two of them Byzantine (reversed gradients) and one crashing mid-run.
+// The scheme, aggregator, and fault model travel as registry names
+// inside the wire Spec; the server executes every round through the
+// shared cluster round core, so the wire path votes, aggregates, and
+// steps exactly like the in-process engine, and the crash degrades the
+// affected file votes instead of aborting training. The same
+// binaries-level protocol is exposed by cmd/byzps and cmd/byzworker for
+// multi-process or multi-machine runs.
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"sync"
 
+	"byzshield"
+	"byzshield/internal/cluster"
 	"byzshield/internal/trainer"
 	"byzshield/internal/transport"
 )
@@ -27,11 +33,22 @@ func main() {
 		BatchSize: 250,
 		Schedule:  trainer.Schedule{Base: 0.05, Decay: 0.96, Every: 25},
 		Momentum:  0.9, Seed: 31, Rounds: 80,
+		// Worker 6 fail-stops at round 40; its five files keep 2 of 3
+		// replicas — enough for the default quorum, so they vote
+		// degraded and training continues.
+		Fault:       "crash",
+		FaultParams: byzshield.FaultParams{Workers: []int{6}, Round: 40},
 	}
 	srv, err := transport.NewServer("127.0.0.1:0", transport.ServerConfig{
 		Spec:      spec,
 		Logf:      log.Printf,
 		EvalEvery: 20,
+		OnRound: func(rs cluster.RoundStats) {
+			if rs.Iteration == 40 {
+				fmt.Printf("round %d: workers %v are gone, %d file votes degraded, %d dropped\n",
+					rs.Iteration, rs.MissingWorkers, rs.DegradedFiles, rs.DroppedFiles)
+			}
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -56,10 +73,14 @@ func main() {
 			if b, ok := byzantine[id]; ok {
 				behavior = b
 			}
-			if _, err := transport.RunWorker(ctx, srv.Addr(), transport.WorkerConfig{
+			_, err := transport.RunWorker(ctx, srv.Addr(), transport.WorkerConfig{
 				ID:       id,
 				Behavior: behavior,
-			}); err != nil {
+			})
+			switch {
+			case errors.Is(err, transport.ErrInjectedCrash):
+				log.Printf("worker %d: crashed as scheduled", id)
+			case err != nil:
 				log.Printf("worker %d: %v", id, err)
 			}
 		}(id)
@@ -70,5 +91,5 @@ func main() {
 		log.Fatal(err)
 	}
 	wg.Wait()
-	fmt.Printf("final top-1 accuracy with 2 Byzantine workers: %.4f\n", final)
+	fmt.Printf("final top-1 accuracy with 2 Byzantine workers and 1 mid-run crash: %.4f\n", final)
 }

@@ -4,7 +4,7 @@ import (
 	"slices"
 
 	"byzshield/internal/assign"
-	"byzshield/internal/transport"
+	"byzshield/internal/wire"
 )
 
 // slotRef addresses one (worker, slot) gradient buffer: worker u's
@@ -48,27 +48,40 @@ type roundArena struct {
 	// crafted[v] is the Byzantine payload elected for file v this round
 	// (only indices in byzFiles are written).
 	crafted [][]float64
-	// winners[v] is file v's vote winner this round.
+	// winners[v] is file v's vote winner this round (nil when the file
+	// was dropped for lack of quorum).
 	winners [][]float64
+	// live is the compacted winner list handed to the aggregator —
+	// identical to winners on full-participation rounds.
+	live [][]float64
+	// missing[u] marks worker u as not participating this round
+	// (crashed, skipped, or past deadline); reset at every round start.
+	missing []bool
 	// update is the aggregated model update.
 	update []float64
 	// replicas[w] is pool-goroutine w's replica gather scratch (cap R).
 	replicas [][][]float64
-	// distorted[w] and voteErrs[w] accumulate pool-goroutine w's
-	// distorted-vote count and first vote error; summed/joined after the
-	// phase barrier.
+	// distorted[w], degraded[w], dropped[w], and voteErrs[w] accumulate
+	// pool-goroutine w's distorted-vote / degraded-vote / dropped-file
+	// counts and first vote error; summed/joined after the phase barrier.
 	distorted []int
+	degraded  []int
+	dropped   []int
 	voteErrs  []error
 	// probe caches the deterministic loss-evaluation indices.
 	probe []int
 	// encBuf and rxFrame are the communication round-trip scratch.
 	encBuf  []byte
-	rxFrame transport.GradFrame
+	rxFrame wire.GradFrame
 }
 
 // newRoundArena preallocates every per-round buffer for the given
 // assignment, model dimension, Byzantine set, and pool width.
-func newRoundArena(a *assign.Assignment, dim int, byzSet map[int]bool, measureComm bool, poolWidth int) *roundArena {
+// fullOracle forces a true-gradient buffer for every file: required
+// when worker faults are injected, because any file's live honest
+// replicas can then vanish mid-run, leaving the attack oracle (and the
+// distorted-vote count) without a borrowed honest buffer to point at.
+func newRoundArena(a *assign.Assignment, dim int, byzSet map[int]bool, measureComm, fullOracle bool, poolWidth int) *roundArena {
 	ar := &roundArena{dim: dim}
 	ar.workerFiles = make([][]int, a.K)
 	totalSlots := 0
@@ -145,17 +158,19 @@ func newRoundArena(a *assign.Assignment, dim int, byzSet map[int]bool, measureCo
 	slices.Sort(ar.byzFiles)
 
 	ar.oracle = make([][]float64, a.F)
-	oracleBacking := []float64(nil)
+	needsOracle := func(v int) bool {
+		return fullOracle || allByz(ar.fileReplicas[v], byzSet)
+	}
 	needOracle := 0
 	for v := 0; v < a.F; v++ {
-		if allByz(ar.fileReplicas[v], byzSet) {
+		if needsOracle(v) {
 			needOracle++
 		}
 	}
 	if needOracle > 0 {
-		oracleBacking = make([]float64, needOracle*dim)
+		oracleBacking := make([]float64, needOracle*dim)
 		for v := 0; v < a.F; v++ {
-			if allByz(ar.fileReplicas[v], byzSet) {
+			if needsOracle(v) {
 				ar.oracle[v] = oracleBacking[:dim:dim]
 				oracleBacking = oracleBacking[dim:]
 			}
@@ -165,12 +180,16 @@ func newRoundArena(a *assign.Assignment, dim int, byzSet map[int]bool, measureCo
 	ar.trueGrads = make([][]float64, a.F)
 	ar.crafted = make([][]float64, a.F)
 	ar.winners = make([][]float64, a.F)
+	ar.live = make([][]float64, 0, a.F)
+	ar.missing = make([]bool, a.K)
 	ar.update = make([]float64, dim)
 	ar.replicas = make([][][]float64, poolWidth)
 	for w := range ar.replicas {
 		ar.replicas[w] = make([][]float64, 0, maxR)
 	}
 	ar.distorted = make([]int, poolWidth)
+	ar.degraded = make([]int, poolWidth)
+	ar.dropped = make([]int, poolWidth)
 	ar.voteErrs = make([]error, poolWidth)
 	return ar
 }

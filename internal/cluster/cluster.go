@@ -1,10 +1,14 @@
 // Package cluster implements the synchronous parameter-server training
-// protocol of Algorithm 1: per round, the PS samples a batch, partitions
-// it into files according to the assignment graph, workers compute file
-// gradient sums in parallel (Byzantine workers substitute crafted
-// vectors), the PS majority-votes each file's replicas (Eq. 3), applies
-// a robust aggregation rule to the vote winners, and updates the model
-// with momentum SGD.
+// protocol of Algorithm 1 as a shared round core: per round, the PS
+// samples a batch, partitions it into files according to the assignment
+// graph, a GradientSource supplies each worker's file gradient sums
+// (computed in process by the engine's own pool, or received over TCP
+// by internal/transport's parameter server), the PS majority-votes each
+// file's surviving replicas (Eq. 3) under a quorum rule, applies a
+// robust aggregation rule to the vote winners, and updates the model
+// with momentum SGD. Both execution paths — in-process and wire — run
+// the identical core, so they produce bit-identical parameter
+// trajectories for a fixed seed.
 //
 // The engine is a steady-state machine: a persistent worker goroutine
 // pool executes the compute, vote, and (for coordinate-wise rules)
@@ -16,8 +20,14 @@
 // cost of replication is real, not simulated, and the communication
 // phase can be physically measured by encoding and decoding every
 // worker→PS message through the compact binary gradient-frame codec of
-// internal/transport, so the Figure 12
+// internal/wire, so the Figure 12
 // computation/communication/aggregation split is observed, not modelled.
+//
+// Rounds tolerate partial participation: a fault model (internal/fault)
+// or a network source may remove workers mid-run; files whose surviving
+// replica count still meets the quorum are voted over the survivors,
+// files below quorum are dropped from aggregation, and RoundStats
+// reports the missing workers and degraded/dropped file counts.
 package cluster
 
 import (
@@ -25,7 +35,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"runtime"
 	"sync"
 	"time"
@@ -34,9 +43,9 @@ import (
 	"byzshield/internal/assign"
 	"byzshield/internal/attack"
 	"byzshield/internal/data"
+	"byzshield/internal/fault"
 	"byzshield/internal/model"
 	"byzshield/internal/trainer"
-	"byzshield/internal/transport"
 	"byzshield/internal/vote"
 )
 
@@ -75,6 +84,24 @@ type Config struct {
 	// calling goroutine. Any width produces bit-identical parameter
 	// trajectories for a fixed seed.
 	Parallelism int
+	// Fault injects worker participation faults (crash, flaky skips)
+	// into the in-process source; nil runs fault-free. Incompatible with
+	// Source, which owns participation itself.
+	Fault fault.Fault
+	// Quorum is the minimum surviving replicas a file needs to be voted
+	// this round: files with fewer live replicas than Quorum are dropped
+	// from aggregation, files with at least Quorum but fewer than R are
+	// voted over the survivors (a degraded vote). 0 selects the majority
+	// of the nominal replication, R/2 + 1.
+	Quorum int
+	// Source overrides how gradients enter the round: nil selects the
+	// in-process compute source (Algorithm 1's simulated cluster); the
+	// TCP parameter server installs its network collector here. When
+	// Source is set, the in-process-only knobs (Attack, Byzantines,
+	// SignMessages, VoteTolerance, MeasureComm, Fault) must be unset —
+	// in a real deployment those behaviors belong to the workers, not
+	// the PS.
+	Source GradientSource
 }
 
 // PhaseTimes accumulates wall-clock time per protocol phase, plus the
@@ -100,18 +127,31 @@ type RoundStats struct {
 	Iteration      int
 	LR             float64
 	DistortedFiles int // files whose vote the Byzantines won this round
-	Times          PhaseTimes
+	// MissingWorkers lists the workers that did not participate this
+	// round (crashed, skipped, or past the collection deadline), sorted
+	// ascending; nil on full-participation rounds.
+	MissingWorkers []int
+	// DegradedFiles counts files voted over fewer than R surviving
+	// replicas (quorum still met).
+	DegradedFiles int
+	// DroppedFiles counts files excluded from aggregation: surviving
+	// replicas below the quorum, or a degraded vote that ended in a tie
+	// (no strict plurality among the survivors).
+	DroppedFiles int
+	Times        PhaseTimes
 }
 
 // Engine executes the protocol.
 type Engine struct {
 	cfg         Config
+	src         GradientSource
 	params      []float64
 	opt         *trainer.SGD
 	sampler     *data.BatchSampler
 	byzSet      map[int]bool
 	honest      []int // sorted non-Byzantine worker ids
 	corruptible []int // files with ≥ r' Byzantine replicas (static per run)
+	quorum      int   // minimum surviving replicas for a file vote
 	iter        int
 	times       PhaseTimes
 	pool        *pool // nil when Parallelism == 1
@@ -134,8 +174,21 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Aggregator == nil {
 		return nil, fmt.Errorf("cluster: aggregator is required")
 	}
+	if cfg.Source != nil {
+		if cfg.Attack != nil || len(cfg.Byzantines) > 0 || cfg.SignMessages ||
+			cfg.VoteTolerance != 0 || cfg.MeasureComm || cfg.Fault != nil {
+			return nil, fmt.Errorf("cluster: Attack/Byzantines/SignMessages/VoteTolerance/MeasureComm/Fault " +
+				"are in-process source knobs; they must be unset when Source is provided")
+		}
+	}
 	if cfg.Attack == nil {
 		cfg.Attack = attack.Benign{}
+	}
+	if _, ok := cfg.Fault.(fault.None); ok {
+		// The explicit no-fault model is the same as no fault model at
+		// all; normalizing here keeps the full-oracle arena allocation
+		// reserved for runs that can actually lose replicas.
+		cfg.Fault = nil
 	}
 	if cfg.BatchSize < cfg.Assignment.F {
 		return nil, fmt.Errorf("cluster: batch size %d smaller than file count %d", cfg.BatchSize, cfg.Assignment.F)
@@ -148,6 +201,13 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Parallelism < 0 {
 		return nil, fmt.Errorf("cluster: parallelism %d < 0", cfg.Parallelism)
+	}
+	quorum := cfg.Quorum
+	if quorum == 0 {
+		quorum = cfg.Assignment.R/2 + 1
+	}
+	if quorum < 1 || quorum > cfg.Assignment.R {
+		return nil, fmt.Errorf("cluster: quorum %d outside [1,%d]", cfg.Quorum, cfg.Assignment.R)
 	}
 	byzSet := make(map[int]bool, len(cfg.Byzantines))
 	for _, u := range cfg.Byzantines {
@@ -177,6 +237,7 @@ func New(cfg Config) (*Engine, error) {
 		opt:     opt,
 		sampler: sampler,
 		byzSet:  byzSet,
+		quorum:  quorum,
 		width:   width,
 	}
 	for u := 0; u < cfg.Assignment.K; u++ {
@@ -185,9 +246,13 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	e.corruptible = e.computeCorruptible()
-	e.arena = newRoundArena(cfg.Assignment, cfg.Model.NumParams(), byzSet, cfg.MeasureComm, width)
+	e.arena = newRoundArena(cfg.Assignment, cfg.Model.NumParams(), byzSet, cfg.MeasureComm, cfg.Fault != nil, width)
 	if width > 1 {
 		e.pool = newPool(width)
+	}
+	e.src = cfg.Source
+	if e.src == nil {
+		e.src = localSource{e: e}
 	}
 	return e, nil
 }
@@ -321,7 +386,10 @@ func (e *Engine) RunRound() (RoundStats, error) {
 // Cancellation is checked at the round boundary — a canceled context
 // returns before any state (sampler, optimizer, iteration counter)
 // mutates, so the engine always sits exactly between rounds and can be
-// resumed or checkpointed after a cancellation.
+// resumed or checkpointed after a cancellation. (A network source may
+// additionally fail mid-collection, e.g. on cancellation while blocked
+// on sockets; such a round is aborted without an optimizer step and the
+// error is surfaced.)
 func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 	if err := ctx.Err(); err != nil {
 		return RoundStats{}, err
@@ -330,7 +398,6 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 		return RoundStats{}, ErrClosed
 	}
 	a := e.cfg.Assignment
-	m := e.cfg.Model
 	ar := e.arena
 
 	batch := e.sampler.Next()
@@ -339,127 +406,48 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 		return RoundStats{}, err
 	}
 
-	// --- Compute phase: honest workers compute file gradient sums
-	// across the persistent pool. Redundancy is physically executed:
-	// every honest worker computes every file it is assigned, into its
-	// arena buffers.
-	computeStart := time.Now()
-	e.runPhase(len(e.honest), func(_, t int) {
-		u := e.honest[t]
-		for j, v := range ar.workerFiles[u] {
-			g := ar.grads[u][j]
-			clear(g)
-			m.SumGradient(e.params, e.cfg.Train, files[v], g)
-			// Repoint the PS's view at the fresh compute buffer (a
-			// measured-communication round leaves it on the rx side).
-			ar.cur[u][j] = g
-		}
-	})
-	computeTime := time.Since(computeStart)
-
-	// --- Attack oracle: true gradients for every file (reusing honest
-	// workers' results; computing any file held only by Byzantines).
-	for v := 0; v < a.F; v++ {
-		ar.trueGrads[v] = nil
-		for _, ref := range ar.fileReplicas[v] {
-			if !e.byzSet[ref.worker] {
-				ar.trueGrads[v] = ar.grads[ref.worker][ref.slot]
-				break
-			}
-		}
-		if ar.trueGrads[v] == nil {
-			g := ar.oracle[v]
-			clear(g)
-			m.SumGradient(e.params, e.cfg.Train, files[v], g)
-			ar.trueGrads[v] = g
-		}
+	// --- Collection: the source computes (in process) or gathers (off
+	// the wire) every participating worker's per-file gradient sums into
+	// the arena and marks the workers that did not make it.
+	for u := range ar.missing {
+		ar.missing[u] = false
+	}
+	rd := Round{eng: e, files: files}
+	cs, err := e.src.Collect(ctx, &rd)
+	if err != nil {
+		return RoundStats{}, err
 	}
 
-	// Byzantine payloads. ALIE-style attacks are crafted from the
-	// worker-level view (n = K workers, m = q Byzantines), matching the
-	// paper's attack model: the adversary estimates moments across the
-	// worker population, not the post-vote operand population. Files are
-	// crafted in ascending order so runs are deterministic even for
-	// attacks that draw from the round Rng per file.
-	if len(ar.byzWorkers) > 0 {
-		atkCtx := &attack.Context{
-			Round:             e.iter,
-			Dim:               ar.dim,
-			FileGradients:     ar.trueGrads,
-			CorruptibleFiles:  e.corruptible,
-			Participants:      a.K,
-			ExpectedCorrupted: len(e.byzSet),
-			FileSize:          float64(e.cfg.BatchSize) / float64(a.F),
-			Rng:               rand.New(rand.NewSource(e.cfg.Seed + int64(e.iter)*7919)),
-		}
-		craft := e.cfg.Attack.BeginRound(atkCtx)
-		for _, v := range ar.byzFiles {
-			ar.crafted[v] = craft(v, ar.trueGrads[v])
-		}
-		for _, u := range ar.byzWorkers {
-			for j, v := range ar.workerFiles[u] {
-				ar.cur[u][j] = ar.crafted[v]
-			}
-		}
-	}
-
-	// Optional sign compression (signSGD pipeline), in place: honest
-	// buffers once per (worker, slot), crafted payloads once per file
-	// (signing is idempotent, so payload sharing across replicas is
-	// safe).
-	if e.cfg.SignMessages {
-		for _, u := range e.honest {
-			for _, g := range ar.grads[u] {
-				signInPlace(g)
-			}
-		}
-		for _, v := range ar.byzFiles {
-			signInPlace(ar.crafted[v])
-		}
-	}
-
-	// --- Communication phase: move every worker's message to the PS
-	// through the binary gradient-frame codec. Encoding and decoding are
-	// physically executed; the decoded receive buffers become the PS's
-	// working set, exactly as bytes off a wire would.
-	commStart := time.Now()
-	var commBytes int64
-	if e.cfg.MeasureComm {
-		for u := 0; u < a.K; u++ {
-			buf, err := transport.AppendGradFrame(ar.encBuf[:0], u, ar.workerFiles[u], ar.cur[u])
-			if err != nil {
-				return RoundStats{}, fmt.Errorf("cluster: worker %d message: %w", u, err)
-			}
-			ar.encBuf = buf
-			ar.rxFrame.Grads = ar.rx[u]
-			if _, err := transport.DecodeGradFrame(buf, &ar.rxFrame); err != nil {
-				return RoundStats{}, fmt.Errorf("cluster: worker %d message: %w", u, err)
-			}
-			// DecodeGradFrame fills the rx buffers in place (capacities
-			// always suffice); repoint the PS's view at them.
-			copy(ar.cur[u], ar.rx[u])
-			commBytes += int64(len(buf))
-		}
-	}
-	commTime := time.Since(commStart)
-
-	// --- Aggregation phase: per-file majority votes sharded across the
-	// pool, then the robust aggregation rule over the winners
-	// (coordinate-wise rules reduce in parallel chunks).
+	// --- Aggregation phase: per-file majority votes over the surviving
+	// replicas, sharded across the pool, then the robust aggregation
+	// rule over the winners (coordinate-wise rules reduce in parallel
+	// chunks). Files below the survivor quorum are dropped; files
+	// between quorum and R vote degraded over the survivors.
 	aggStart := time.Now()
 	for w := 0; w < e.width; w++ {
 		ar.distorted[w] = 0
+		ar.degraded[w] = 0
+		ar.dropped[w] = 0
 		ar.voteErrs[w] = nil
 	}
 	e.runPhase(a.F, func(w, v int) {
 		repl := ar.replicas[w][:0]
 		for _, ref := range ar.fileReplicas[v] {
+			if ar.missing[ref.worker] {
+				continue
+			}
 			repl = append(repl, ar.cur[ref.worker][ref.slot])
 		}
+		if len(repl) < e.quorum {
+			ar.winners[v] = nil
+			ar.dropped[w]++
+			return
+		}
+		degradedVote := len(repl) < len(ar.fileReplicas[v])
 		var res vote.Result
 		var vErr error
 		switch {
-		case a.R == 1:
+		case len(repl) == 1:
 			res = vote.Result{Winner: repl[0], Count: 1, Unanimous: true}
 		case e.cfg.VoteTolerance > 0:
 			res, vErr = vote.MajorityWithTolerance(repl, e.cfg.VoteTolerance)
@@ -472,25 +460,50 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 			}
 			return
 		}
+		if degradedVote {
+			if res.Tied {
+				// A degraded vote with no strict plurality is
+				// indistinguishable from an attacker-controlled one:
+				// losing one honest replica of a [byz, honest, honest]
+				// file leaves a 1–1 tie whose deterministic index
+				// tie-break could elect the crafted payload every round.
+				// Drop the file instead of guessing.
+				ar.winners[v] = nil
+				ar.dropped[w]++
+				return
+			}
+			ar.degraded[w]++
+		}
 		ar.winners[v] = res.Winner
-		if !e.cfg.SignMessages && !equalBits(res.Winner, ar.trueGrads[v]) {
+		if !e.cfg.SignMessages && ar.trueGrads[v] != nil && !equalBits(res.Winner, ar.trueGrads[v]) {
 			ar.distorted[w]++
 		}
 	})
-	distorted := 0
+	distorted, degraded, dropped := 0, 0, 0
 	for w := 0; w < e.width; w++ {
 		if ar.voteErrs[w] != nil {
 			return RoundStats{}, ar.voteErrs[w]
 		}
 		distorted += ar.distorted[w]
+		degraded += ar.degraded[w]
+		dropped += ar.dropped[w]
 	}
-	if err := e.aggregate(ar.winners); err != nil {
+	live := ar.live[:0]
+	for v := 0; v < a.F; v++ {
+		if ar.winners[v] != nil {
+			live = append(live, ar.winners[v])
+		}
+	}
+	if len(live) == 0 {
+		return RoundStats{}, fmt.Errorf("cluster: round %d: no file met the survivor quorum %d", e.iter, e.quorum)
+	}
+	if err := e.aggregate(live); err != nil {
 		return RoundStats{}, fmt.Errorf("cluster: aggregation: %w", err)
 	}
 	if !e.cfg.SignMessages {
 		// Winners are gradient sums over ~batch/f samples; normalize to
 		// per-sample scale for the update (Algorithm 1, line 17).
-		scale := float64(a.F) / float64(e.cfg.BatchSize)
+		scale := data.PerSampleScale(a.F, e.cfg.BatchSize)
 		for i := range ar.update {
 			ar.update[i] *= scale
 		}
@@ -500,15 +513,24 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 	lr := e.cfg.Schedule.At(e.iter)
 	e.opt.Step(e.params, ar.update, e.iter)
 
+	var missing []int
+	for u := 0; u < a.K; u++ {
+		if ar.missing[u] {
+			missing = append(missing, u)
+		}
+	}
 	stats := RoundStats{
 		Iteration:      e.iter,
 		LR:             lr,
 		DistortedFiles: distorted,
+		MissingWorkers: missing,
+		DegradedFiles:  degraded,
+		DroppedFiles:   dropped,
 		Times: PhaseTimes{
-			Compute:       computeTime,
-			Communication: commTime,
+			Compute:       cs.Compute,
+			Communication: cs.Communication,
 			Aggregation:   aggTime,
-			CommBytes:     commBytes,
+			CommBytes:     cs.CommBytes,
 		},
 	}
 	e.times.Add(stats.Times)
@@ -603,24 +625,10 @@ func (e *Engine) EvalLoss() float64 {
 // probeIndices returns a fixed subset of the training set used for loss
 // reporting (cheap and deterministic), cached in the arena.
 func (e *Engine) probeIndices() []int {
-	if e.arena.probe != nil {
-		return e.arena.probe
+	if e.arena.probe == nil {
+		e.arena.probe = data.ProbeIndices(e.cfg.Train.Len())
 	}
-	n := e.cfg.Train.Len()
-	size := 256
-	if size > n {
-		size = n
-	}
-	idx := make([]int, size)
-	stride := n / size
-	if stride < 1 {
-		stride = 1
-	}
-	for i := range idx {
-		idx[i] = (i * stride) % n
-	}
-	e.arena.probe = idx
-	return idx
+	return e.arena.probe
 }
 
 // signInPlace maps a vector to coordinate signs in {−1, 0, 1}.

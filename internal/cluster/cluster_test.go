@@ -9,6 +9,7 @@ import (
 	"byzshield/internal/attack"
 	"byzshield/internal/data"
 	"byzshield/internal/distort"
+	"byzshield/internal/fault"
 	"byzshield/internal/model"
 	"byzshield/internal/trainer"
 )
@@ -367,5 +368,159 @@ func BenchmarkRoundByzShield(b *testing.B) {
 		if _, err := e.RunRound(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestCrashFaultDegradesWithoutAborting: crashing one worker mid-run
+// must not abort training — files it held vote degraded over the two
+// surviving replicas (quorum 2 of r=3), and RoundStats reports the
+// missing worker.
+func TestCrashFaultDegradesWithoutAborting(t *testing.T) {
+	cfg := testSetup(t, nil, nil, aggregate.Median{})
+	cfg.Fault = fault.Crash{Workers: []int{4}, AtRound: 3}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for round := 0; round < 8; round++ {
+		stats, err := eng.RunRound()
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if round < 3 {
+			if len(stats.MissingWorkers) != 0 || stats.DegradedFiles != 0 || stats.DroppedFiles != 0 {
+				t.Fatalf("round %d: unexpected degradation before crash: %+v", round, stats)
+			}
+			continue
+		}
+		if len(stats.MissingWorkers) != 1 || stats.MissingWorkers[0] != 4 {
+			t.Fatalf("round %d: missing workers %v, want [4]", round, stats.MissingWorkers)
+		}
+		// Worker 4 holds l = 5 files; each keeps 2 of 3 replicas, which
+		// meets the default quorum, so they degrade rather than drop.
+		if stats.DegradedFiles != 5 || stats.DroppedFiles != 0 {
+			t.Fatalf("round %d: degraded %d dropped %d, want 5/0", round, stats.DegradedFiles, stats.DroppedFiles)
+		}
+	}
+	if acc := eng.Evaluate(); acc < 0.5 {
+		t.Errorf("degraded training accuracy %.3f < 0.5", acc)
+	}
+}
+
+// TestFlakyFaultSkipsAreTransient: a flaky worker drops some rounds but
+// participates in others; no round errors out.
+func TestFlakyFaultSkipsAreTransient(t *testing.T) {
+	cfg := testSetup(t, nil, nil, aggregate.Median{})
+	cfg.Fault = fault.Flaky{Workers: []int{0, 7}, P: 0.5, Seed: 11}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	missingRounds, fullRounds := 0, 0
+	for round := 0; round < 12; round++ {
+		stats, err := eng.RunRound()
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(stats.MissingWorkers) > 0 {
+			missingRounds++
+		} else {
+			fullRounds++
+		}
+	}
+	if missingRounds == 0 || fullRounds == 0 {
+		t.Errorf("flaky fault: %d missing rounds, %d full rounds; want both > 0", missingRounds, fullRounds)
+	}
+}
+
+// TestQuorumDropsFilesBelowSurvivors: crashing all three replica
+// holders of a file drops it from aggregation; training continues on
+// the remaining files.
+func TestQuorumDropsFilesBelowSurvivors(t *testing.T) {
+	cfg := testSetup(t, nil, nil, aggregate.Median{})
+	holders := cfg.Assignment.FileWorkers(0)
+	cfg.Fault = fault.Crash{Workers: holders, AtRound: 0}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	stats, err := eng.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.MissingWorkers) != len(holders) {
+		t.Fatalf("missing %v, want the %d holders of file 0", stats.MissingWorkers, len(holders))
+	}
+	if stats.DroppedFiles < 1 {
+		t.Errorf("dropped %d files, want ≥ 1 (file 0 lost all replicas)", stats.DroppedFiles)
+	}
+}
+
+// TestFaultFreeTrajectoryUnchanged: installing a no-op fault model must
+// not perturb the parameter trajectory.
+func TestFaultFreeTrajectoryUnchanged(t *testing.T) {
+	base := testSetup(t, nil, nil, aggregate.Median{})
+	e1, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Close()
+	withFault := testSetup(t, nil, nil, aggregate.Median{})
+	withFault.Fault = fault.None{}
+	e2, err := New(withFault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	for round := 0; round < 5; round++ {
+		if _, err := e1.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e2.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p1, p2 := e1.Params(), e2.Params()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("param %d diverged: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+}
+
+// TestDegradedTieDropsFileInsteadOfElectingByzantine: a file held by
+// [byz, honest, honest] that loses one honest replica becomes a 1–1
+// tie between the crafted payload and the honest gradient; the index
+// tie-break must NOT hand the Byzantine replica the vote — the file is
+// dropped for the round.
+func TestDegradedTieDropsFileInsteadOfElectingByzantine(t *testing.T) {
+	cfg := testSetup(t, nil, nil, aggregate.Median{})
+	holders := cfg.Assignment.FileWorkers(0) // ascending worker ids
+	cfg.Byzantines = []int{holders[0]}       // lowest id → wins index tie-breaks
+	cfg.Attack = attack.Reversed{C: 1}
+	cfg.Fault = fault.Crash{Workers: []int{holders[1]}, AtRound: 0}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	stats, err := eng.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// File 0: survivors [crafted, honest] tie → dropped, never counted
+	// as a Byzantine-won (distorted) vote. The crashed worker's other
+	// l−1 files keep 2 honest survivors and degrade normally.
+	if stats.DroppedFiles != 1 {
+		t.Errorf("dropped %d files, want exactly the tied file 0", stats.DroppedFiles)
+	}
+	if stats.DistortedFiles != 0 {
+		t.Errorf("distorted %d files; the tied crafted payload must not win", stats.DistortedFiles)
+	}
+	if want := cfg.Assignment.L - 1; stats.DegradedFiles != want {
+		t.Errorf("degraded %d files, want %d", stats.DegradedFiles, want)
 	}
 }

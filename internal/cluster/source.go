@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"byzshield/internal/attack"
+	"byzshield/internal/wire"
+)
+
+// CollectStats reports the measurable cost of one gradient collection:
+// the compute and communication wall-clock split plus the exact number
+// of serialized worker→PS bytes (when the source physically moves
+// bytes).
+type CollectStats struct {
+	Compute       time.Duration
+	Communication time.Duration
+	CommBytes     int64
+}
+
+// GradientSource supplies one round's per-worker gradient replicas to
+// the engine — the single seam between the shared round core (vote,
+// quorum, robust aggregation, momentum step) and the two ways gradients
+// come into existence: computed in process by the engine's own worker
+// pool (the default source) or received over the network by the TCP
+// parameter server (internal/transport).
+//
+// Collect must, for every worker u, either fill all of u's slot buffers
+// for this round (Round.Deliver for each assigned file slot, or by
+// writing into Round.Buffer) or declare the worker absent with
+// Round.MarkMissing. Partially delivered workers would vote stale
+// buffers from an earlier round. Collect owns the round's compute and
+// communication phases; the engine times everything after it (vote +
+// aggregation) itself.
+type GradientSource interface {
+	Collect(ctx context.Context, rd *Round) (CollectStats, error)
+}
+
+// Round is the engine's view of one in-flight protocol round, handed to
+// the GradientSource: the iteration number, the current parameters, the
+// file→sample partition, and the preallocated arena buffers gradients
+// land in. Methods that address per-worker state (Buffer, Deliver,
+// MarkMissing) are safe to call concurrently for distinct workers,
+// which is how network sources collect from all workers in parallel.
+type Round struct {
+	eng   *Engine
+	files [][]int
+}
+
+// Iteration returns the 0-based round index.
+func (rd *Round) Iteration() int { return rd.eng.iter }
+
+// Params returns the current model parameters. The slice is the
+// engine's live parameter vector: read (or serialize) it, never write.
+func (rd *Round) Params() []float64 { return rd.eng.params }
+
+// Workers returns the cluster size K.
+func (rd *Round) Workers() int { return rd.eng.cfg.Assignment.K }
+
+// WorkerFiles returns worker u's assigned file ids in slot order
+// (ascending). The slice is shared: do not modify.
+func (rd *Round) WorkerFiles(u int) []int { return rd.eng.arena.workerFiles[u] }
+
+// FileSamples returns the training-sample indices of file v this round.
+func (rd *Round) FileSamples(v int) []int { return rd.files[v] }
+
+// Buffer returns the engine-owned gradient buffer for worker u's slot-th
+// assigned file. Sources may decode or compute directly into it; doing
+// so counts as delivering the slot.
+func (rd *Round) Buffer(u, slot int) []float64 { return rd.eng.arena.grads[u][slot] }
+
+// Deliver points the engine at g as worker u's gradient for its slot-th
+// assigned file this round. g must have the model dimension and stay
+// untouched until the round completes; sources that reuse receive
+// buffers per (worker, slot) satisfy this automatically.
+func (rd *Round) Deliver(u, slot int, g []float64) error {
+	ar := rd.eng.arena
+	if len(g) != ar.dim {
+		return fmt.Errorf("cluster: deliver worker %d slot %d: dim %d, want %d", u, slot, len(g), ar.dim)
+	}
+	ar.cur[u][slot] = g
+	return nil
+}
+
+// MarkMissing declares worker u absent this round: its replicas are
+// excluded from every file vote, and the quorum rule decides whether
+// affected files degrade or drop.
+func (rd *Round) MarkMissing(u int) { rd.eng.arena.missing[u] = true }
+
+// localSource is the default GradientSource: the in-process cluster of
+// Algorithm 1. Honest workers compute their file gradient sums across
+// the engine's persistent pool, Byzantine workers substitute crafted
+// payloads from the attack oracle, the optional fault model removes
+// workers from the round, and measured-communication mode pushes every
+// surviving message through the binary gradient-frame codec.
+type localSource struct {
+	e *Engine
+}
+
+// Collect implements GradientSource.
+func (s localSource) Collect(_ context.Context, rd *Round) (CollectStats, error) {
+	e := s.e
+	a := e.cfg.Assignment
+	m := e.cfg.Model
+	ar := e.arena
+	files := rd.files
+
+	// Fault plan: remove skipped and crashed workers before any compute
+	// happens. Pure delays are a wire-transport phenomenon; in process
+	// they are full participation.
+	if e.cfg.Fault != nil {
+		for u := 0; u < a.K; u++ {
+			d := e.cfg.Fault.Plan(e.iter, u)
+			if d.Skip || d.Crash {
+				ar.missing[u] = true
+			}
+		}
+	}
+
+	// --- Compute phase: surviving honest workers compute file gradient
+	// sums across the persistent pool. Redundancy is physically
+	// executed: every worker computes every file it is assigned, into
+	// its arena buffers.
+	computeStart := time.Now()
+	e.runPhase(len(e.honest), func(_, t int) {
+		u := e.honest[t]
+		if ar.missing[u] {
+			return
+		}
+		for j, v := range ar.workerFiles[u] {
+			g := ar.grads[u][j]
+			clear(g)
+			m.SumGradient(e.params, e.cfg.Train, files[v], g)
+			// Repoint the PS's view at the fresh compute buffer (a
+			// measured-communication round leaves it on the rx side).
+			ar.cur[u][j] = g
+		}
+	})
+	computeTime := time.Since(computeStart)
+
+	// --- Attack oracle: true gradients for every file (reusing live
+	// honest workers' results; computing any file whose live replicas
+	// are all Byzantine or missing).
+	for v := 0; v < a.F; v++ {
+		ar.trueGrads[v] = nil
+		for _, ref := range ar.fileReplicas[v] {
+			if e.byzSet[ref.worker] || ar.missing[ref.worker] {
+				continue
+			}
+			ar.trueGrads[v] = ar.grads[ref.worker][ref.slot]
+			break
+		}
+		if ar.trueGrads[v] == nil {
+			g := ar.oracle[v]
+			clear(g)
+			m.SumGradient(e.params, e.cfg.Train, files[v], g)
+			ar.trueGrads[v] = g
+		}
+	}
+
+	// Byzantine payloads. ALIE-style attacks are crafted from the
+	// worker-level view (n = K workers, m = q Byzantines), matching the
+	// paper's attack model: the adversary estimates moments across the
+	// worker population, not the post-vote operand population. Files are
+	// crafted in ascending order so runs are deterministic even for
+	// attacks that draw from the round Rng per file — and regardless of
+	// which workers a fault removed.
+	if len(ar.byzWorkers) > 0 {
+		atkCtx := &attack.Context{
+			Round:             e.iter,
+			Dim:               ar.dim,
+			FileGradients:     ar.trueGrads,
+			CorruptibleFiles:  e.corruptible,
+			Participants:      a.K,
+			ExpectedCorrupted: len(e.byzSet),
+			FileSize:          float64(e.cfg.BatchSize) / float64(a.F),
+			Rng:               rand.New(rand.NewSource(e.cfg.Seed + int64(e.iter)*7919)),
+		}
+		craft := e.cfg.Attack.BeginRound(atkCtx)
+		for _, v := range ar.byzFiles {
+			ar.crafted[v] = craft(v, ar.trueGrads[v])
+		}
+		for _, u := range ar.byzWorkers {
+			if ar.missing[u] {
+				continue
+			}
+			for j, v := range ar.workerFiles[u] {
+				ar.cur[u][j] = ar.crafted[v]
+			}
+		}
+	}
+
+	// Optional sign compression (signSGD pipeline), in place: honest
+	// buffers once per (worker, slot), crafted payloads once per file
+	// (signing is idempotent, so payload sharing across replicas is
+	// safe).
+	if e.cfg.SignMessages {
+		for _, u := range e.honest {
+			if ar.missing[u] {
+				continue
+			}
+			for _, g := range ar.grads[u] {
+				signInPlace(g)
+			}
+		}
+		for _, v := range ar.byzFiles {
+			signInPlace(ar.crafted[v])
+		}
+	}
+
+	// --- Communication phase: move every surviving worker's message to
+	// the PS through the binary gradient-frame codec. Encoding and
+	// decoding are physically executed; the decoded receive buffers
+	// become the PS's working set, exactly as bytes off a wire would.
+	commStart := time.Now()
+	var commBytes int64
+	if e.cfg.MeasureComm {
+		for u := 0; u < a.K; u++ {
+			if ar.missing[u] {
+				continue
+			}
+			buf, err := wire.AppendGradFrame(ar.encBuf[:0], u, ar.workerFiles[u], ar.cur[u])
+			if err != nil {
+				return CollectStats{}, fmt.Errorf("cluster: worker %d message: %w", u, err)
+			}
+			ar.encBuf = buf
+			ar.rxFrame.Grads = ar.rx[u]
+			if _, err := wire.DecodeGradFrame(buf, &ar.rxFrame); err != nil {
+				return CollectStats{}, fmt.Errorf("cluster: worker %d message: %w", u, err)
+			}
+			// DecodeGradFrame fills the rx buffers in place (capacities
+			// always suffice); repoint the PS's view at them.
+			copy(ar.cur[u], ar.rx[u])
+			commBytes += int64(len(buf))
+		}
+	}
+	commTime := time.Since(commStart)
+
+	return CollectStats{
+		Compute:       computeTime,
+		Communication: commTime,
+		CommBytes:     commBytes,
+	}, nil
+}

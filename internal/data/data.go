@@ -203,3 +203,32 @@ func PartitionFiles(batch []int, f int) ([][]int, error) {
 	}
 	return files, nil
 }
+
+// ProbeIndices returns a fixed, deterministic subset of up to 256
+// sample indices from a dataset of n samples, strided across the whole
+// set. It is the shared loss-probe used for cheap history reporting by
+// both the in-process engine and the TCP parameter server, so the two
+// paths evaluate identical losses.
+func ProbeIndices(n int) []int {
+	size := 256
+	if size > n {
+		size = n
+	}
+	idx := make([]int, size)
+	stride := n / size
+	if stride < 1 {
+		stride = 1
+	}
+	for i := range idx {
+		idx[i] = (i * stride) % n
+	}
+	return idx
+}
+
+// PerSampleScale is the factor that normalizes a per-file gradient sum
+// (over ~batch/f samples) to per-sample scale for the model update —
+// Algorithm 1, line 17. Both round paths apply the same factor so their
+// parameter trajectories match bit-for-bit.
+func PerSampleScale(files, batch int) float64 {
+	return float64(files) / float64(batch)
+}

@@ -240,3 +240,32 @@ func TestQuickPartitionDisjointCover(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestProbeIndicesDeterministicAndBounded(t *testing.T) {
+	for _, n := range []int{1, 10, 256, 1000} {
+		idx := ProbeIndices(n)
+		if len(idx) != min(256, n) {
+			t.Errorf("n=%d: %d probe indices", n, len(idx))
+		}
+		for _, i := range idx {
+			if i < 0 || i >= n {
+				t.Fatalf("n=%d: probe index %d out of range", n, i)
+			}
+		}
+		again := ProbeIndices(n)
+		for k := range idx {
+			if idx[k] != again[k] {
+				t.Fatalf("n=%d: probe indices not deterministic", n)
+			}
+		}
+	}
+}
+
+func TestPerSampleScale(t *testing.T) {
+	if got := PerSampleScale(25, 250); got != 0.1 {
+		t.Errorf("PerSampleScale(25, 250) = %v", got)
+	}
+	if got := PerSampleScale(1, 4); got != 0.25 {
+		t.Errorf("PerSampleScale(1, 4) = %v", got)
+	}
+}

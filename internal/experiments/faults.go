@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"byzshield/internal/aggregate"
+	"byzshield/internal/cluster"
+	"byzshield/internal/data"
+	"byzshield/internal/fault"
+	"byzshield/internal/model"
+	"byzshield/internal/registry"
+)
+
+// FaultRow is one cell of the fault-tolerance sweep: an assignment
+// scheme trained under an injected worker-fault scenario, with the
+// realized degradation totals and the final accuracy.
+type FaultRow struct {
+	Scheme string
+	Fault  string
+	// Final is the final test accuracy (0 when Err is set).
+	Final float64
+	// MissingRounds counts rounds with at least one missing worker.
+	MissingRounds int
+	// DegradedVotes and DroppedFiles total the degraded file votes and
+	// quorum-dropped files across the run.
+	DegradedVotes int
+	DroppedFiles  int
+	// Err is non-empty when the configuration failed (e.g. a
+	// redundancy-free scheme losing every replica of a file).
+	Err string
+}
+
+// faultScenario names one injected fault pattern of the sweep.
+type faultScenario struct {
+	label string
+	build func(k int) fault.Fault
+}
+
+// faultSweepScenarios returns the scenario column of the sweep, scaled
+// to the cluster size: fault-free control, a two-worker mid-run crash,
+// and three flaky workers dropping 30% of their rounds.
+func faultSweepScenarios(iterations int) []faultScenario {
+	return []faultScenario{
+		{label: "none", build: func(int) fault.Fault { return fault.None{} }},
+		{label: "crash-2", build: func(k int) fault.Fault {
+			return fault.Crash{Workers: []int{0, k / 2}, AtRound: iterations / 3}
+		}},
+		{label: "flaky-3", build: func(k int) fault.Fault {
+			return fault.Flaky{Workers: []int{1, k / 3, k - 1}, P: 0.3, Seed: 77}
+		}},
+	}
+}
+
+// FaultSweep trains the scheme × fault matrix in process — ByzShield's
+// MOLS expander, DETOX's FRC grouping, and the redundancy-free baseline
+// under crash and flaky faults — and reports how each scheme's
+// replication absorbs lost workers: degraded votes for the replicated
+// schemes, dropped files (and eventually failure) for the baseline.
+// Every cell is deterministic given opts.
+func FaultSweep(ctx context.Context, opts TrainOpts) ([]FaultRow, error) {
+	schemes := []struct {
+		label string
+		build func() (*cluster.Config, error)
+	}{
+		{"mols(5,3)", func() (*cluster.Config, error) {
+			return faultSweepConfig(opts, "mols", registry.SchemeParams{L: 5, R: 3})
+		}},
+		{"frc(15,3)", func() (*cluster.Config, error) {
+			return faultSweepConfig(opts, "frc", registry.SchemeParams{K: 15, R: 3})
+		}},
+		{"baseline(15)", func() (*cluster.Config, error) {
+			return faultSweepConfig(opts, "baseline", registry.SchemeParams{K: 15})
+		}},
+	}
+	var rows []FaultRow
+	for _, sc := range schemes {
+		for _, fs := range faultSweepScenarios(opts.Iterations) {
+			if err := ctx.Err(); err != nil {
+				return rows, err
+			}
+			cfg, err := sc.build()
+			if err != nil {
+				return rows, err
+			}
+			cfg.Fault = fs.build(cfg.Assignment.K)
+			rows = append(rows, runFaultCell(ctx, sc.label, fs.label, cfg, opts.Iterations))
+		}
+	}
+	return rows, nil
+}
+
+// faultSweepConfig assembles the shared training configuration for one
+// scheme cell.
+func faultSweepConfig(opts TrainOpts, scheme string, params registry.SchemeParams) (*cluster.Config, error) {
+	asn, err := components.Scheme(scheme, params)
+	if err != nil {
+		return nil, err
+	}
+	train, test, err := data.Synthetic(data.SyntheticConfig{
+		Train: opts.TrainN, Test: opts.TestN, Dim: opts.Dim,
+		Classes: opts.Classes, ClassSep: opts.ClassSep, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var mdl model.Model
+	if opts.Hidden > 0 {
+		mdl, err = model.NewMLP(opts.Dim, opts.Hidden, opts.Classes)
+	} else {
+		mdl, err = model.NewSoftmax(opts.Dim, opts.Classes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &cluster.Config{
+		Assignment: asn,
+		Model:      mdl,
+		Train:      train,
+		Test:       test,
+		BatchSize:  opts.BatchSize,
+		Aggregator: aggregate.Median{},
+		Schedule:   defaultSchedule,
+		Momentum:   0.9,
+		Seed:       opts.Seed,
+	}, nil
+}
+
+// runFaultCell executes one (scheme, fault) cell for the given horizon,
+// accumulating the per-round participation stats.
+func runFaultCell(ctx context.Context, scheme, fltLabel string, cfg *cluster.Config, iterations int) FaultRow {
+	row := FaultRow{Scheme: scheme, Fault: fltLabel}
+	eng, err := cluster.New(*cfg)
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	defer eng.Close()
+	for t := 0; t < iterations; t++ {
+		stats, err := eng.StepOnce(ctx)
+		if err != nil {
+			row.Err = err.Error()
+			return row
+		}
+		if len(stats.MissingWorkers) > 0 {
+			row.MissingRounds++
+		}
+		row.DegradedVotes += stats.DegradedFiles
+		row.DroppedFiles += stats.DroppedFiles
+	}
+	row.Final = eng.Evaluate()
+	return row
+}
+
+// RenderFaultSweep writes the sweep as an aligned text table.
+func RenderFaultSweep(w io.Writer, rows []FaultRow) {
+	fmt.Fprintf(w, "%-14s %-10s %8s %8s %9s %8s  %s\n",
+		"scheme", "fault", "final", "missing", "degraded", "dropped", "error")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-10s %8.4f %8d %9d %8d  %s\n",
+			r.Scheme, r.Fault, r.Final, r.MissingRounds, r.DegradedVotes, r.DroppedFiles, r.Err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package fault implements registry-named worker fault models for
+// partial-participation rounds: crash (permanent stop), straggler
+// (every-round delay), delay (one-shot delay), and flaky (random
+// per-round report drops). Faults are orthogonal to Byzantine attacks —
+// an attack corrupts what a worker sends, a fault decides whether and
+// when it sends at all — so scenarios compose with the existing
+// attack × aggregator matrix.
+//
+// A Fault is a pure, deterministic function of (round, worker): the
+// in-process engine and a fleet of TCP worker processes evaluating the
+// same fault from the same Spec reach identical participation decisions
+// without coordination. The flaky model derives its drops from a
+// counter-based hash of (seed, round, worker), not from shared RNG
+// state, for the same reason.
+package fault
+
+import (
+	"fmt"
+	"slices"
+	"time"
+)
+
+// Decision is a fault model's verdict for one (round, worker) pair.
+type Decision struct {
+	// Skip reports no gradients this round; the worker stays alive and
+	// participates again in later rounds.
+	Skip bool
+	// Crash ends the worker's participation permanently: this round and
+	// every later one. On the wire the worker process terminates; in
+	// process the worker is excluded from the compute phase.
+	Crash bool
+	// Delay postpones the worker's report by this duration before it is
+	// sent. Only the wire transport realizes delays physically (they
+	// interact with the server's per-round deadline); the in-process
+	// engine treats a pure delay as normal participation.
+	Delay time.Duration
+}
+
+// Fault decides each worker's participation per round.
+type Fault interface {
+	// Name identifies the fault model in reports and logs.
+	Name() string
+	// Plan returns worker's behavior in round (both 0-based). Plan must
+	// be deterministic and safe for concurrent use.
+	Plan(round, worker int) Decision
+}
+
+// None is the fault-free control: every worker participates fully.
+type None struct{}
+
+// Name implements Fault.
+func (None) Name() string { return "none" }
+
+// Plan implements Fault.
+func (None) Plan(int, int) Decision { return Decision{} }
+
+// Crash permanently stops the listed workers from round AtRound on —
+// the fail-stop model of the crash-fault literature.
+type Crash struct {
+	Workers []int
+	// AtRound is the first round the workers are dead (0 = from the
+	// start).
+	AtRound int
+}
+
+// Name implements Fault.
+func (c Crash) Name() string {
+	return fmt.Sprintf("crash@%d%v", c.AtRound, sorted(c.Workers))
+}
+
+// Plan implements Fault.
+func (c Crash) Plan(round, worker int) Decision {
+	if round >= c.AtRound && slices.Contains(c.Workers, worker) {
+		return Decision{Crash: true}
+	}
+	return Decision{}
+}
+
+// Straggler delays the listed workers' reports by Delay every round.
+// Against a server deadline shorter than Delay this degenerates to a
+// crash; against a longer one it just slows the synchronous rounds.
+type Straggler struct {
+	Workers []int
+	Delay   time.Duration
+}
+
+// Name implements Fault.
+func (s Straggler) Name() string {
+	return fmt.Sprintf("straggler/%v%v", s.Delay, sorted(s.Workers))
+}
+
+// Plan implements Fault.
+func (s Straggler) Plan(round, worker int) Decision {
+	if slices.Contains(s.Workers, worker) {
+		return Decision{Delay: s.Delay}
+	}
+	return Decision{}
+}
+
+// Delay postpones the listed workers' reports by Delay in round Round
+// only — a transient hiccup that a deadline-tolerant server should
+// absorb without evicting anyone.
+type Delay struct {
+	Workers []int
+	Round   int
+	Delay   time.Duration
+}
+
+// Name implements Fault.
+func (d Delay) Name() string {
+	return fmt.Sprintf("delay@%d/%v%v", d.Round, d.Delay, sorted(d.Workers))
+}
+
+// Plan implements Fault.
+func (d Delay) Plan(round, worker int) Decision {
+	if round == d.Round && slices.Contains(d.Workers, worker) {
+		return Decision{Delay: d.Delay}
+	}
+	return Decision{}
+}
+
+// Flaky makes the listed workers skip each round independently with
+// probability P. Drops are derived from a counter-based hash of
+// (Seed, round, worker), so every process evaluating the same Flaky
+// value agrees on exactly which rounds are dropped.
+type Flaky struct {
+	Workers []int
+	P       float64
+	Seed    int64
+}
+
+// Name implements Fault.
+func (f Flaky) Name() string {
+	return fmt.Sprintf("flaky/%.2f%v", f.P, sorted(f.Workers))
+}
+
+// Plan implements Fault.
+func (f Flaky) Plan(round, worker int) Decision {
+	if slices.Contains(f.Workers, worker) && hash01(f.Seed, round, worker) < f.P {
+		return Decision{Skip: true}
+	}
+	return Decision{}
+}
+
+// sorted returns a sorted copy for stable Name strings.
+func sorted(ws []int) []int {
+	out := slices.Clone(ws)
+	slices.Sort(out)
+	return out
+}
+
+// hash01 maps (seed, round, worker) to a uniform value in [0, 1) with a
+// SplitMix64-style finalizer over the combined counter.
+func hash01(seed int64, round, worker int) float64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(round)*0xBF58476D1CE4E5B9 + uint64(worker)*0x94D049BB133111EB
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

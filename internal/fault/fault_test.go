@@ -1,0 +1,100 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestNonePlansNothing(t *testing.T) {
+	var f None
+	for round := 0; round < 5; round++ {
+		for u := 0; u < 10; u++ {
+			if d := f.Plan(round, u); d != (Decision{}) {
+				t.Fatalf("None.Plan(%d,%d) = %+v", round, u, d)
+			}
+		}
+	}
+}
+
+func TestCrashIsPermanentFromAtRound(t *testing.T) {
+	f := Crash{Workers: []int{2, 5}, AtRound: 3}
+	for round := 0; round < 8; round++ {
+		for u := 0; u < 6; u++ {
+			d := f.Plan(round, u)
+			wantCrash := (u == 2 || u == 5) && round >= 3
+			if d.Crash != wantCrash {
+				t.Errorf("round %d worker %d: crash = %v, want %v", round, u, d.Crash, wantCrash)
+			}
+			if d.Skip || d.Delay != 0 {
+				t.Errorf("round %d worker %d: unexpected skip/delay %+v", round, u, d)
+			}
+		}
+	}
+}
+
+func TestStragglerDelaysEveryRound(t *testing.T) {
+	f := Straggler{Workers: []int{1}, Delay: 40 * time.Millisecond}
+	for round := 0; round < 4; round++ {
+		if d := f.Plan(round, 1); d.Delay != 40*time.Millisecond || d.Crash || d.Skip {
+			t.Errorf("round %d: %+v", round, d)
+		}
+		if d := f.Plan(round, 0); d != (Decision{}) {
+			t.Errorf("round %d honest worker: %+v", round, d)
+		}
+	}
+}
+
+func TestDelayIsOneShot(t *testing.T) {
+	f := Delay{Workers: []int{4}, Round: 2, Delay: time.Second}
+	for round := 0; round < 5; round++ {
+		d := f.Plan(round, 4)
+		if (round == 2) != (d.Delay == time.Second) {
+			t.Errorf("round %d: delay %v", round, d.Delay)
+		}
+	}
+}
+
+func TestFlakyDeterministicAndCalibrated(t *testing.T) {
+	f := Flaky{Workers: []int{0}, P: 0.3, Seed: 7}
+	g := Flaky{Workers: []int{0}, P: 0.3, Seed: 7}
+	drops := 0
+	const rounds = 20000
+	for round := 0; round < rounds; round++ {
+		d1, d2 := f.Plan(round, 0), g.Plan(round, 0)
+		if d1 != d2 {
+			t.Fatalf("round %d: nondeterministic flaky decision", round)
+		}
+		if d1.Skip {
+			drops++
+		}
+	}
+	rate := float64(drops) / rounds
+	if math.Abs(rate-0.3) > 0.02 {
+		t.Errorf("flaky drop rate %.3f, want ≈0.30", rate)
+	}
+	// Untargeted workers never drop.
+	for round := 0; round < 100; round++ {
+		if d := f.Plan(round, 1); d != (Decision{}) {
+			t.Fatalf("untargeted worker dropped: %+v", d)
+		}
+	}
+}
+
+func TestNamesAreStable(t *testing.T) {
+	cases := []struct {
+		f    Fault
+		want string
+	}{
+		{None{}, "none"},
+		{Crash{Workers: []int{5, 2}, AtRound: 1}, "crash@1[2 5]"},
+		{Straggler{Workers: []int{3}, Delay: time.Second}, "straggler/1s[3]"},
+		{Delay{Workers: []int{0}, Round: 4, Delay: time.Millisecond}, "delay@4/1ms[0]"},
+		{Flaky{Workers: []int{1, 0}, P: 0.25}, "flaky/0.25[0 1]"},
+	}
+	for _, c := range cases {
+		if got := c.f.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,9 +1,10 @@
 // Package registry is the named-component catalog of the system: it
-// maps string names to constructors for the three pluggable component
-// kinds — assignment schemes, aggregation rules, and Byzantine attacks —
-// so that config files, wire specs (internal/transport.Spec), CLI flags,
-// and experiment definitions all resolve components through one table
-// instead of hand-rolled switch statements.
+// maps string names to constructors for the four pluggable component
+// kinds — assignment schemes, aggregation rules, Byzantine attacks, and
+// worker fault models — so that config files, wire specs
+// (internal/transport.Spec), CLI flags, and experiment definitions all
+// resolve components through one table instead of hand-rolled switch
+// statements.
 //
 // A Registry is safe for concurrent use. NewBuiltin returns a registry
 // pre-populated with every construction implemented in the repository;
@@ -20,10 +21,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"byzshield/internal/aggregate"
 	"byzshield/internal/assign"
 	"byzshield/internal/attack"
+	"byzshield/internal/fault"
 )
 
 // SchemeParams carries the numeric knobs of the assignment scheme
@@ -76,6 +79,21 @@ type AttackParams struct {
 	Scale float64
 }
 
+// FaultParams carries the knobs of the worker fault models. Fields
+// irrelevant to a model are ignored:
+//
+//	crash      Workers, Round (first dead round)
+//	straggler  Workers, Delay (per-round)
+//	delay      Workers, Round, Delay (one-shot)
+//	flaky      Workers, P (drop probability), Seed
+type FaultParams struct {
+	Workers []int
+	Round   int
+	P       float64
+	Delay   time.Duration
+	Seed    int64
+}
+
 // SchemeCtor builds an assignment from params.
 type SchemeCtor func(SchemeParams) (*assign.Assignment, error)
 
@@ -84,6 +102,9 @@ type AggregatorCtor func(AggregatorParams) (aggregate.Aggregator, error)
 
 // AttackCtor builds an attack from params.
 type AttackCtor func(AttackParams) (attack.Attack, error)
+
+// FaultCtor builds a fault model from params.
+type FaultCtor func(FaultParams) (fault.Fault, error)
 
 // entry is one registered constructor with its canonical name.
 type entry[C any] struct {
@@ -97,6 +118,7 @@ type Registry struct {
 	schemes     map[string]entry[SchemeCtor]
 	aggregators map[string]entry[AggregatorCtor]
 	attacks     map[string]entry[AttackCtor]
+	faults      map[string]entry[FaultCtor]
 }
 
 // New returns an empty registry.
@@ -105,6 +127,7 @@ func New() *Registry {
 		schemes:     make(map[string]entry[SchemeCtor]),
 		aggregators: make(map[string]entry[AggregatorCtor]),
 		attacks:     make(map[string]entry[AttackCtor]),
+		faults:      make(map[string]entry[FaultCtor]),
 	}
 }
 
@@ -172,6 +195,13 @@ func (r *Registry) RegisterAttack(ctor AttackCtor, canonical string, aliases ...
 	return register(r.attacks, ctor, canonical, aliases...)
 }
 
+// RegisterFault adds a fault-model constructor.
+func (r *Registry) RegisterFault(ctor FaultCtor, canonical string, aliases ...string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return register(r.faults, ctor, canonical, aliases...)
+}
+
 // Scheme builds the named assignment scheme. Params may be omitted for
 // schemes whose constructor needs none.
 func (r *Registry) Scheme(name string, params ...SchemeParams) (*assign.Assignment, error) {
@@ -206,6 +236,17 @@ func (r *Registry) Attack(name string, params ...AttackParams) (attack.Attack, e
 	return ctor(first(params))
 }
 
+// Fault builds the named fault model.
+func (r *Registry) Fault(name string, params ...FaultParams) (fault.Fault, error) {
+	r.mu.RLock()
+	ctor, err := lookup(r.faults, "fault", name)
+	r.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	return ctor(first(params))
+}
+
 // Schemes lists the canonical scheme names, sorted.
 func (r *Registry) Schemes() []string {
 	r.mu.RLock()
@@ -225,6 +266,13 @@ func (r *Registry) Attacks() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return canonicalNames(r.attacks)
+}
+
+// Faults lists the canonical fault-model names, sorted.
+func (r *Registry) Faults() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return canonicalNames(r.faults)
 }
 
 // first returns the only params value, or the zero value when omitted.
@@ -338,4 +386,30 @@ func mustRegisterBuiltins(r *Registry) {
 	must(r.RegisterAttack(func(AttackParams) (attack.Attack, error) {
 		return attack.SignFlip{}, nil
 	}, "sign-flip"))
+
+	// Fault models.
+	must(r.RegisterFault(func(FaultParams) (fault.Fault, error) {
+		return fault.None{}, nil
+	}, "none", "no-fault"))
+	must(r.RegisterFault(func(p FaultParams) (fault.Fault, error) {
+		return fault.Crash{Workers: p.Workers, AtRound: p.Round}, nil
+	}, "crash"))
+	must(r.RegisterFault(func(p FaultParams) (fault.Fault, error) {
+		if p.Delay <= 0 {
+			return nil, fmt.Errorf("registry: straggler fault needs Delay > 0 (got %v)", p.Delay)
+		}
+		return fault.Straggler{Workers: p.Workers, Delay: p.Delay}, nil
+	}, "straggler"))
+	must(r.RegisterFault(func(p FaultParams) (fault.Fault, error) {
+		if p.Delay <= 0 {
+			return nil, fmt.Errorf("registry: delay fault needs Delay > 0 (got %v)", p.Delay)
+		}
+		return fault.Delay{Workers: p.Workers, Round: p.Round, Delay: p.Delay}, nil
+	}, "delay"))
+	must(r.RegisterFault(func(p FaultParams) (fault.Fault, error) {
+		if p.P < 0 || p.P > 1 {
+			return nil, fmt.Errorf("registry: flaky fault probability %v outside [0,1]", p.P)
+		}
+		return fault.Flaky{Workers: p.Workers, P: p.P, Seed: p.Seed}, nil
+	}, "flaky"))
 }

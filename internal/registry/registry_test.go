@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
+	"time"
 
 	"byzshield/internal/aggregate"
 	"byzshield/internal/assign"
@@ -247,5 +248,43 @@ func TestDefaultCatalogVisibleOnTheWire(t *testing.T) {
 	}
 	if a.K != 7 {
 		t.Errorf("K = %d", a.K)
+	}
+}
+
+// TestFaultCatalog: every registered fault model constructs by name,
+// unknown names fail, and parameter validation is enforced.
+func TestFaultCatalog(t *testing.T) {
+	r := registry.NewBuiltin()
+	want := []string{"crash", "delay", "flaky", "none", "straggler"}
+	if got := r.Faults(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Faults() = %v, want %v", got, want)
+	}
+	params := registry.FaultParams{Workers: []int{1, 2}, Round: 5, P: 0.3, Delay: time.Second, Seed: 9}
+	for _, name := range want {
+		f, err := r.Fault(name, params)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		// Decisions must be deterministic.
+		if d1, d2 := f.Plan(3, 1), f.Plan(3, 1); d1 != d2 {
+			t.Errorf("%s: nondeterministic Plan", name)
+		}
+	}
+	if _, err := r.Fault("nope"); err == nil {
+		t.Error("unknown fault accepted")
+	}
+	if _, err := r.Fault("straggler"); err == nil {
+		t.Error("straggler without Delay accepted")
+	}
+	if _, err := r.Fault("flaky", registry.FaultParams{P: 1.5}); err == nil {
+		t.Error("flaky with P > 1 accepted")
+	}
+	if _, err := r.Fault("none", registry.FaultParams{}); err != nil {
+		t.Errorf("none: %v", err)
+	}
+	// The alias resolves to the same model.
+	if _, err := r.Fault("no-fault"); err != nil {
+		t.Errorf("no-fault alias: %v", err)
 	}
 }

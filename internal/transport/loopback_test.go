@@ -1,0 +1,295 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"byzshield/internal/cluster"
+	"byzshield/internal/registry"
+)
+
+// engineParams runs the in-process engine over the experiment described
+// by spec at the given pool width and returns the final parameters.
+func engineParams(t *testing.T, spec Spec, parallelism int) []float64 {
+	t.Helper()
+	asn, err := spec.BuildAssignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdl, err := spec.BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := spec.BuildData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := spec.BuildAggregator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := cluster.New(cluster.Config{
+		Assignment: asn, Model: mdl, Train: train, Test: test,
+		BatchSize: spec.BatchSize, Aggregator: agg,
+		Schedule: spec.Schedule, Momentum: spec.Momentum, Seed: spec.Seed,
+		Parallelism: parallelism,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for i := 0; i < spec.Rounds; i++ {
+		if _, err := eng.RunRound(); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	return eng.Params()
+}
+
+// wireParams runs the same experiment over loopback TCP and returns the
+// server's final parameters.
+func wireParams(t *testing.T, spec Spec) []float64 {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	asn, err := spec.BuildAssignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for u := 0; u < asn.K; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			if _, err := RunWorker(context.Background(), srv.Addr(), WorkerConfig{ID: u}); err != nil {
+				t.Errorf("worker %d: %v", u, err)
+			}
+		}(u)
+	}
+	if _, err := srv.Serve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	return srv.Params()
+}
+
+// TestLoopbackBitIdenticalToEngine: for a fixed seed with no faults,
+// the serial in-process engine, the pooled in-process engine, and the
+// TCP loopback cluster all execute the shared round core and must
+// produce bit-identical final parameters — the wire is a transparent
+// gradient source, not a second implementation of the protocol.
+func TestLoopbackBitIdenticalToEngine(t *testing.T) {
+	spec := testSpec(8)
+	serial := engineParams(t, spec, 1)
+	pooled := engineParams(t, spec, 4)
+	wired := wireParams(t, spec)
+	if len(serial) != len(pooled) || len(serial) != len(wired) {
+		t.Fatalf("param lengths diverge: %d / %d / %d", len(serial), len(pooled), len(wired))
+	}
+	for i := range serial {
+		sb := math.Float64bits(serial[i])
+		if pb := math.Float64bits(pooled[i]); pb != sb {
+			t.Fatalf("param %d: pooled engine diverged (%x vs %x)", i, pb, sb)
+		}
+		if wb := math.Float64bits(wired[i]); wb != sb {
+			t.Fatalf("param %d: wire path diverged (%x vs %x)", i, wb, sb)
+		}
+	}
+}
+
+// TestCrashedWorkerDoesNotAbortTCPTraining: a worker that crashes
+// mid-run (injected via the Spec's fault model) is evicted; the
+// remaining rounds vote degraded over the surviving replicas and
+// training completes with per-round participation stats instead of
+// erroring out.
+func TestCrashedWorkerDoesNotAbortTCPTraining(t *testing.T) {
+	spec := testSpec(12)
+	spec.Fault = "crash"
+	spec.FaultParams = registry.FaultParams{Workers: []int{2}, Round: 4}
+
+	var mu sync.Mutex
+	var stats []cluster.RoundStats
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{
+		Spec:         spec,
+		RoundTimeout: 10 * time.Second,
+		OnRound: func(rs cluster.RoundStats) {
+			mu.Lock()
+			stats = append(stats, rs)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	asn, err := spec.BuildAssignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, asn.K)
+	for u := 0; u < asn.K; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			_, errs[u] = RunWorker(context.Background(), srv.Addr(), WorkerConfig{ID: u})
+		}(u)
+	}
+	final, err := srv.Serve(context.Background())
+	if err != nil {
+		t.Fatalf("Serve aborted despite quorum being met: %v", err)
+	}
+	wg.Wait()
+
+	if !errors.Is(errs[2], ErrInjectedCrash) {
+		t.Errorf("worker 2 returned %v, want ErrInjectedCrash", errs[2])
+	}
+	for u, e := range errs {
+		if u != 2 && e != nil {
+			t.Errorf("worker %d: %v", u, e)
+		}
+	}
+	if len(stats) != spec.Rounds {
+		t.Fatalf("recorded %d round stats, want %d", len(stats), spec.Rounds)
+	}
+	for _, rs := range stats[:4] {
+		if len(rs.MissingWorkers) != 0 {
+			t.Errorf("round %d: missing %v before the crash", rs.Iteration, rs.MissingWorkers)
+		}
+	}
+	for _, rs := range stats[4:] {
+		if len(rs.MissingWorkers) != 1 || rs.MissingWorkers[0] != 2 {
+			t.Errorf("round %d: missing %v, want [2]", rs.Iteration, rs.MissingWorkers)
+		}
+		// Worker 2 holds l = 5 files; with r = 3 each keeps 2 survivors,
+		// which meets the default quorum of 2 → degraded, not dropped.
+		if rs.DegradedFiles != 5 || rs.DroppedFiles != 0 {
+			t.Errorf("round %d: degraded %d dropped %d, want 5/0", rs.Iteration, rs.DegradedFiles, rs.DroppedFiles)
+		}
+	}
+	if final < 0.5 {
+		t.Errorf("degraded training accuracy %.3f < 0.5", final)
+	}
+}
+
+// TestFlakySkipsDoNotEvict: a flaky worker that skips rounds with an
+// explicit empty report is counted missing for those rounds but keeps
+// its connection and participates again later.
+func TestFlakySkipsDoNotEvict(t *testing.T) {
+	spec := testSpec(12)
+	spec.Fault = "flaky"
+	spec.FaultParams = registry.FaultParams{Workers: []int{1}, P: 0.5, Seed: 9}
+
+	var mu sync.Mutex
+	var stats []cluster.RoundStats
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{
+		Spec: spec,
+		OnRound: func(rs cluster.RoundStats) {
+			mu.Lock()
+			stats = append(stats, rs)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	asn, err := spec.BuildAssignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, asn.K)
+	for u := 0; u < asn.K; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			_, errs[u] = RunWorker(context.Background(), srv.Addr(), WorkerConfig{ID: u})
+		}(u)
+	}
+	if _, err := srv.Serve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for u, e := range errs {
+		if e != nil {
+			t.Errorf("worker %d: %v (flaky skips must not kill workers)", u, e)
+		}
+	}
+	skipped, full := 0, 0
+	for _, rs := range stats {
+		if len(rs.MissingWorkers) > 0 {
+			skipped++
+		} else {
+			full++
+		}
+	}
+	if skipped == 0 || full == 0 {
+		t.Errorf("flaky worker: %d skipped rounds, %d full rounds; want both > 0", skipped, full)
+	}
+}
+
+// TestStragglerPastDeadlineIsEvicted: a worker whose every report is
+// slower than the round deadline is evicted on the first round; the
+// cluster trains on without it.
+func TestStragglerPastDeadlineIsEvicted(t *testing.T) {
+	spec := testSpec(6)
+	spec.Fault = "straggler"
+	spec.FaultParams = registry.FaultParams{Workers: []int{3}, Delay: 2 * time.Second}
+
+	var mu sync.Mutex
+	var stats []cluster.RoundStats
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{
+		Spec:         spec,
+		RoundTimeout: 250 * time.Millisecond,
+		OnRound: func(rs cluster.RoundStats) {
+			mu.Lock()
+			stats = append(stats, rs)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	asn, err := spec.BuildAssignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, asn.K)
+	for u := 0; u < asn.K; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			_, errs[u] = RunWorker(context.Background(), srv.Addr(), WorkerConfig{ID: u})
+		}(u)
+	}
+	if _, err := srv.Serve(context.Background()); err != nil {
+		t.Fatalf("Serve aborted: %v", err)
+	}
+	wg.Wait()
+	if errs[3] == nil {
+		t.Error("straggler worker 3 finished cleanly despite eviction")
+	}
+	for u, e := range errs {
+		if u != 3 && e != nil {
+			t.Errorf("worker %d: %v", u, e)
+		}
+	}
+	for _, rs := range stats {
+		if len(rs.MissingWorkers) != 1 || rs.MissingWorkers[0] != 3 {
+			t.Errorf("round %d: missing %v, want [3]", rs.Iteration, rs.MissingWorkers)
+		}
+	}
+}

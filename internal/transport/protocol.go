@@ -3,20 +3,33 @@
 // a gob-encoded message protocol over net.Conn. This is the repository's
 // substitute for the paper's MPICH deployment — cmd/byzps and
 // cmd/byzworker run the same synchronous rounds as the in-process engine
-// across OS processes (or machines).
+// across OS processes (or machines). The server executes every round
+// through the shared cluster round core (it installs a network
+// GradientSource into cluster.Engine), so the wire path votes,
+// aggregates, and steps exactly like the in-process engine and
+// reproduces its parameter trajectory bit-for-bit for the same Spec.
 //
 // Wire protocol (all messages gob-encoded on a persistent connection):
 //
 //	worker → PS:  Hello{WorkerID}
 //	PS → worker:  Welcome{Spec}            (experiment description)
 //	PS → worker:  RoundStart{Iteration, Params, Files}
-//	worker → PS:  GradientReport{WorkerID, Iteration, Files, Gradients}
+//	worker → PS:  GradientReport{WorkerID, Iteration, Frame}
 //	PS → worker:  Shutdown{FinalAccuracy}
 //
 // Workers reconstruct the dataset and model deterministically from the
 // Spec (seeded synthetic data stands in for the shared dataset storage
 // of a real cluster), so only indices — not samples — cross the wire,
 // exactly as in the paper's setup where every node holds the dataset.
+//
+// Rounds tolerate partial participation: each worker's report is
+// collected under a per-round deadline; workers that crash, stall past
+// it, or misbehave are evicted and the round core's quorum rule votes
+// the surviving replicas (see DESIGN.md §8). An empty GradientReport
+// frame is an explicit skip — alive, but no gradients this round. The
+// Spec can name a fault model (internal/fault) that every worker
+// injects on itself, so crash/straggler/flaky scenarios run against the
+// server's real deadline handling.
 package transport
 
 import (
@@ -24,10 +37,12 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"time"
 
 	"byzshield/internal/aggregate"
 	"byzshield/internal/assign"
 	"byzshield/internal/data"
+	"byzshield/internal/fault"
 	"byzshield/internal/model"
 	"byzshield/internal/registry"
 	"byzshield/internal/trainer"
@@ -65,6 +80,13 @@ type Spec struct {
 	Momentum  float64
 	Seed      int64
 	Rounds    int
+	// Fault names the registry fault model every worker applies to
+	// itself ("" or "none" = fault-free); FaultParams carries its knobs.
+	// Fault decisions are deterministic in (round, worker), so the
+	// worker processes and any observer evaluating the same Spec agree
+	// on the injected schedule without coordination.
+	Fault       string
+	FaultParams registry.FaultParams
 }
 
 // components is the shared catalog every Spec resolves names through;
@@ -107,6 +129,15 @@ func (s *Spec) BuildData() (train, test *data.Dataset, err error) {
 	})
 }
 
+// BuildFault constructs the worker fault model named by the spec
+// (fault-free when unset).
+func (s *Spec) BuildFault() (fault.Fault, error) {
+	if s.Fault == "" {
+		return fault.None{}, nil
+	}
+	return components.Fault(s.Fault, s.FaultParams)
+}
+
 // Hello is the worker's first message.
 type Hello struct {
 	WorkerID int
@@ -126,16 +157,18 @@ type RoundStart struct {
 }
 
 // GradientReport returns the worker's per-file gradient sums. The
-// gradients travel as one compact binary gradient frame (see codec.go)
-// instead of gob-encoded nested slices: fixed 8-byte float encoding and
-// no per-message type reflection make the worker→PS hot path smaller
-// and substantially faster to serialize.
+// gradients travel as one compact binary gradient frame (see
+// internal/wire) instead of gob-encoded nested slices: fixed 8-byte
+// float encoding and no per-message type reflection make the worker→PS
+// hot path smaller and substantially faster to serialize.
 type GradientReport struct {
 	WorkerID  int
 	Iteration int
-	// Frame is the codec-encoded (worker, files, gradients) frame;
-	// decode with DecodeGradFrame. Its embedded worker id must match
-	// WorkerID.
+	// Frame is the wire-encoded (worker, files, gradients) frame;
+	// decode with wire.DecodeGradFrame. Its embedded worker id must
+	// match WorkerID. An empty Frame is an explicit skip: the worker is
+	// alive but reports no gradients this round (flaky-fault injection),
+	// so the PS counts it missing for the round without evicting it.
 	Frame []byte
 }
 
@@ -203,6 +236,12 @@ func (c *Conn) Recv() (any, error) {
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.raw.Close() }
+
+// SetReadDeadline bounds the next Recv calls; the zero time clears the
+// deadline. A Recv that trips the deadline leaves the gob stream in an
+// undefined partial state, so callers must close the connection after a
+// timeout rather than retry.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline(t) }
 
 // RemoteAddr exposes the peer address for logging.
 func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }

@@ -5,15 +5,28 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"slices"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"byzshield/internal/aggregate"
 	"byzshield/internal/assign"
-	"byzshield/internal/data"
-	"byzshield/internal/model"
+	"byzshield/internal/cluster"
 	"byzshield/internal/trainer"
-	"byzshield/internal/vote"
+	"byzshield/internal/wire"
 )
+
+// DefaultRoundTimeout is the per-round worker report deadline applied
+// when ServerConfig.RoundTimeout is zero. A worker that has not
+// delivered its gradient report this long after the round broadcast is
+// evicted and the round proceeds over the survivors.
+const DefaultRoundTimeout = 30 * time.Second
+
+// helloTimeout bounds how long an accepted connection may take to send
+// its Hello before the accept loop rejects it and moves on; without it
+// a half-open connection could stall worker admission forever.
+const helloTimeout = 30 * time.Second
 
 // ServerConfig configures the TCP parameter server.
 type ServerConfig struct {
@@ -26,25 +39,45 @@ type ServerConfig struct {
 	// EvalEvery controls accuracy evaluation cadence (default: every
 	// 10 rounds).
 	EvalEvery int
+	// RoundTimeout is each worker's per-round report deadline: 0
+	// selects DefaultRoundTimeout, negative disables deadlines (the
+	// server then waits indefinitely, as the pre-fault-tolerant server
+	// did). A worker past its deadline is evicted from the run; the
+	// round continues over the surviving replicas under the quorum
+	// rule.
+	RoundTimeout time.Duration
+	// Quorum is the minimum surviving replicas a file needs to be voted
+	// (0 → majority of the nominal replication, R/2+1); see
+	// cluster.Config.Quorum.
+	Quorum int
+	// Parallelism is the width of the PS-side engine pool used for vote
+	// sharding and chunked aggregation (0 → GOMAXPROCS, 1 → serial).
+	Parallelism int
+	// OnRound, when non-nil, receives every completed round's
+	// statistics — including missing workers and degraded/dropped file
+	// counts on partial-participation rounds.
+	OnRound func(cluster.RoundStats)
 }
 
-// Server is the TCP parameter server: it accepts K workers, drives the
-// synchronous rounds of Algorithm 1 over the network, and maintains the
-// global model.
+// Server is the TCP parameter server: it accepts K workers and drives
+// the synchronous rounds of Algorithm 1 over the network. The per-round
+// protocol itself — majority vote with quorum, robust aggregation,
+// momentum step — executes in the shared cluster round core; the server
+// merely installs a network GradientSource, so the wire path inherits
+// the gradient arena, the parallel vote sharding, and the chunked
+// aggregation of the in-process engine and reproduces its parameter
+// trajectory bit-for-bit for the same Spec.
 type Server struct {
 	cfg        ServerConfig
 	listener   net.Listener
 	assignment *assign.Assignment
-	mdl        model.Model
-	train      *data.Dataset
-	test       *data.Dataset
-	params     []float64
-	opt        *trainer.SGD
-	sampler    *data.BatchSampler
+	eng        *cluster.Engine
+	src        *wireSource
 	history    trainer.History
 
-	mu    sync.Mutex
-	conns []*Conn
+	mu      sync.Mutex
+	conns   []*Conn
+	serving bool
 }
 
 // NewServer validates the config and binds the listener on addr
@@ -60,6 +93,9 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.Spec.Rounds < 1 {
 		return nil, fmt.Errorf("transport: rounds %d < 1", cfg.Spec.Rounds)
 	}
+	if _, err := cfg.Spec.BuildFault(); err != nil {
+		return nil, err
+	}
 	asn, err := cfg.Spec.BuildAssignment()
 	if err != nil {
 		return nil, err
@@ -73,48 +109,72 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Spec.BatchSize < asn.F {
-		return nil, fmt.Errorf("transport: batch %d < files %d", cfg.Spec.BatchSize, asn.F)
-	}
-	sampler, err := data.NewBatchSampler(train.Len(), cfg.Spec.BatchSize, cfg.Spec.Seed)
-	if err != nil {
-		return nil, err
-	}
-	opt, err := trainer.NewSGD(cfg.Spec.Schedule, cfg.Spec.Momentum, mdl.NumParams())
-	if err != nil {
-		return nil, err
-	}
 	if cfg.EvalEvery < 1 {
 		cfg.EvalEvery = 10
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.RoundTimeout == 0 {
+		cfg.RoundTimeout = DefaultRoundTimeout
+	}
+	src := newWireSource(asn, cfg.RoundTimeout, cfg.Logf)
+	eng, err := cluster.New(cluster.Config{
+		Assignment:  asn,
+		Model:       mdl,
+		Train:       train,
+		Test:        test,
+		BatchSize:   cfg.Spec.BatchSize,
+		Aggregator:  cfg.Aggregator,
+		Schedule:    cfg.Spec.Schedule,
+		Momentum:    cfg.Spec.Momentum,
+		Seed:        cfg.Spec.Seed,
+		Quorum:      cfg.Quorum,
+		Parallelism: cfg.Parallelism,
+		Source:      src,
+	})
+	if err != nil {
+		return nil, err
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		eng.Close()
 		return nil, err
 	}
 	return &Server{
 		cfg:        cfg,
 		listener:   ln,
 		assignment: asn,
-		mdl:        mdl,
-		train:      train,
-		test:       test,
-		params:     model.InitParams(mdl, cfg.Spec.Seed),
-		opt:        opt,
-		sampler:    sampler,
+		eng:        eng,
+		src:        src,
 	}, nil
 }
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
-// Close releases the listener.
-func (s *Server) Close() error { return s.listener.Close() }
+// Close releases the listener and, when no Serve is in flight, the
+// engine's worker-pool goroutines. Close is safe to call concurrently
+// with a running Serve (matching the pre-fault-tolerant contract): the
+// engine must not be torn down under a mid-flight round, so in that
+// case Serve's own exit path releases it.
+func (s *Server) Close() error {
+	err := s.listener.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.serving {
+		s.eng.Close()
+	}
+	return err
+}
 
 // History returns the recorded evaluation series.
 func (s *Server) History() *trainer.History { return &s.history }
+
+// Params returns a copy of the current model parameter vector — the
+// wire-path counterpart of cluster.Engine.Params, used to verify
+// trajectory identity between the two paths.
+func (s *Server) Params() []float64 { return s.eng.Params() }
 
 // track registers a worker connection for cancellation teardown.
 func (s *Server) track(c *Conn) {
@@ -135,47 +195,78 @@ func (s *Server) teardown() {
 	}
 }
 
-// Serve accepts the K workers, runs the configured number of rounds, and
-// shuts the workers down, returning the final test accuracy. Canceling
-// ctx aborts the accept loop and any in-flight round promptly (by
-// closing the listener and worker connections) and returns ctx.Err();
-// the evaluation history recorded up to that point remains available via
-// History.
+// Serve accepts the K workers, runs the configured number of rounds
+// through the shared round core, and shuts the workers down, returning
+// the final test accuracy. Workers that crash, stall past the round
+// deadline, or send malformed reports mid-run are evicted and the
+// remaining rounds execute over the survivors (files below the replica
+// quorum drop out of aggregation); training only fails when no file
+// meets quorum. Canceling ctx aborts the accept loop and any in-flight
+// round promptly (by closing the listener and worker connections) and
+// returns ctx.Err(); the evaluation history recorded up to that point
+// remains available via History.
 func (s *Server) Serve(ctx context.Context) (float64, error) {
+	s.mu.Lock()
+	s.serving = true
+	s.mu.Unlock()
+	defer func() {
+		// Rounds are done (or aborted): the engine pool is idle, so it
+		// is safe to release here; Engine.Close is idempotent and its
+		// read-only accessors (Params, Evaluate) keep working after.
+		s.mu.Lock()
+		s.serving = false
+		s.mu.Unlock()
+		s.eng.Close()
+	}()
 	stop := context.AfterFunc(ctx, s.teardown)
 	defer stop()
 
 	k := s.assignment.K
-	conns := make([]*Conn, k)
-	for accepted := 0; accepted < k; accepted++ {
+	for joined := 0; joined < k; {
 		raw, err := s.listener.Accept()
 		if err != nil {
 			return 0, fmt.Errorf("transport: accept: %w", ctxErr(ctx, err))
 		}
 		conn := NewConn(raw)
 		s.track(conn)
+		// A bad handshake rejects this connection only: the listener
+		// keeps accepting, so one malformed or duplicate Hello cannot
+		// tear down the whole cluster.
+		conn.SetReadDeadline(time.Now().Add(helloTimeout))
 		msg, err := conn.Recv()
+		conn.SetReadDeadline(time.Time{})
 		if err != nil {
-			return 0, fmt.Errorf("transport: hello: %w", ctxErr(ctx, err))
+			s.cfg.Logf("rejecting %s: hello: %v", conn.RemoteAddr(), ctxErr(ctx, err))
+			conn.Close()
+			continue
 		}
 		hello, ok := msg.(Hello)
 		if !ok {
-			return 0, fmt.Errorf("transport: expected Hello, got %T", msg)
+			s.cfg.Logf("rejecting %s: expected Hello, got %T", conn.RemoteAddr(), msg)
+			conn.Close()
+			continue
 		}
 		if hello.WorkerID < 0 || hello.WorkerID >= k {
-			return 0, fmt.Errorf("transport: worker id %d out of range [0,%d)", hello.WorkerID, k)
+			s.cfg.Logf("rejecting %s: worker id %d out of range [0,%d)", conn.RemoteAddr(), hello.WorkerID, k)
+			conn.Close()
+			continue
 		}
-		if conns[hello.WorkerID] != nil {
-			return 0, fmt.Errorf("transport: worker %d connected twice", hello.WorkerID)
+		if s.src.conns[hello.WorkerID] != nil {
+			s.cfg.Logf("rejecting %s: worker %d already connected", conn.RemoteAddr(), hello.WorkerID)
+			conn.Close()
+			continue
 		}
 		if err := conn.Send(Welcome{Spec: s.cfg.Spec}); err != nil {
-			return 0, fmt.Errorf("transport: welcome: %w", ctxErr(ctx, err))
+			s.cfg.Logf("rejecting %s: welcome: %v", conn.RemoteAddr(), ctxErr(ctx, err))
+			conn.Close()
+			continue
 		}
-		conns[hello.WorkerID] = conn
-		s.cfg.Logf("worker %d joined from %s (%d/%d)", hello.WorkerID, conn.RemoteAddr(), accepted+1, k)
+		s.src.conns[hello.WorkerID] = conn
+		joined++
+		s.cfg.Logf("worker %d joined from %s (%d/%d)", hello.WorkerID, conn.RemoteAddr(), joined, k)
 	}
 	defer func() {
-		for _, c := range conns {
+		for _, c := range s.src.conns {
 			if c != nil {
 				c.Close()
 			}
@@ -186,18 +277,29 @@ func (s *Server) Serve(ctx context.Context) (float64, error) {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		if err := s.runRound(t, conns); err != nil {
+		stats, err := s.eng.StepOnce(ctx)
+		if err != nil {
 			return 0, fmt.Errorf("transport: round %d: %w", t, ctxErr(ctx, err))
 		}
+		if len(stats.MissingWorkers) > 0 {
+			s.cfg.Logf("round %d: missing workers %v (%d degraded, %d dropped files)",
+				t, stats.MissingWorkers, stats.DegradedFiles, stats.DroppedFiles)
+		}
+		if s.cfg.OnRound != nil {
+			s.cfg.OnRound(stats)
+		}
 		if (t+1)%s.cfg.EvalEvery == 0 || t == s.cfg.Spec.Rounds-1 {
-			acc := model.Accuracy(s.mdl, s.params, s.test)
-			loss := s.mdl.Loss(s.params, s.train, probe(s.train.Len()))
+			acc := s.eng.Evaluate()
+			loss := s.eng.EvalLoss()
 			s.history.Add(t+1, loss, acc)
 			s.cfg.Logf("round %d: loss=%.4f acc=%.4f", t+1, loss, acc)
 		}
 	}
-	final := model.Accuracy(s.mdl, s.params, s.test)
-	for _, c := range conns {
+	final := s.eng.Evaluate()
+	for _, c := range s.src.conns {
+		if c == nil {
+			continue
+		}
 		if err := c.Send(Shutdown{FinalAccuracy: final}); err != nil {
 			log.Printf("transport: shutdown send: %v", err)
 		}
@@ -205,149 +307,166 @@ func (s *Server) Serve(ctx context.Context) (float64, error) {
 	return final, nil
 }
 
-// runRound drives one synchronous protocol round over the network.
-func (s *Server) runRound(t int, conns []*Conn) error {
-	asn := s.assignment
-	batch := s.sampler.Next()
-	files, err := data.PartitionFiles(batch, asn.F)
-	if err != nil {
-		return err
-	}
-
-	// Broadcast RoundStart with each worker's file contents.
-	var sendErr error
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	for u := 0; u < asn.K; u++ {
-		wg.Add(1)
-		go func(u int) {
-			defer wg.Done()
-			assigned := make(map[int][]int, asn.L)
-			for _, v := range asn.WorkerFiles(u) {
-				assigned[v] = files[v]
-			}
-			err := conns[u].Send(RoundStart{
-				Iteration: t,
-				Params:    s.params,
-				Files:     assigned,
-			})
-			if err != nil {
-				mu.Lock()
-				if sendErr == nil {
-					sendErr = err
-				}
-				mu.Unlock()
-			}
-		}(u)
-	}
-	wg.Wait()
-	if sendErr != nil {
-		return sendErr
-	}
-
-	// Collect reports.
-	reports := make([]*GradientReport, asn.K)
-	var recvErr error
-	for u := 0; u < asn.K; u++ {
-		wg.Add(1)
-		go func(u int) {
-			defer wg.Done()
-			msg, err := conns[u].Recv()
-			if err != nil {
-				mu.Lock()
-				if recvErr == nil {
-					recvErr = fmt.Errorf("worker %d: %w", u, err)
-				}
-				mu.Unlock()
-				return
-			}
-			rep, ok := msg.(GradientReport)
-			if !ok {
-				mu.Lock()
-				if recvErr == nil {
-					recvErr = fmt.Errorf("worker %d: expected GradientReport, got %T", u, msg)
-				}
-				mu.Unlock()
-				return
-			}
-			reports[u] = &rep
-		}(u)
-	}
-	wg.Wait()
-	if recvErr != nil {
-		return recvErr
-	}
-
-	// Decode the binary gradient frames and index by (worker, file).
-	grads := make([]map[int][]float64, asn.K)
-	for u, rep := range reports {
-		if rep.Iteration != t {
-			return fmt.Errorf("worker %d reported iteration %d, want %d", u, rep.Iteration, t)
-		}
-		var frame GradFrame
-		consumed, err := DecodeGradFrame(rep.Frame, &frame)
-		if err != nil {
-			return fmt.Errorf("worker %d frame: %w", u, err)
-		}
-		if consumed != len(rep.Frame) {
-			return fmt.Errorf("worker %d frame has %d trailing bytes", u, len(rep.Frame)-consumed)
-		}
-		if frame.Worker != rep.WorkerID {
-			return fmt.Errorf("worker %d frame claims worker %d", rep.WorkerID, frame.Worker)
-		}
-		m := make(map[int][]float64, len(frame.Files))
-		for i, v := range frame.Files {
-			m[v] = frame.Grads[i]
-		}
-		grads[u] = m
-	}
-
-	// Vote and aggregate exactly as the in-process engine does.
-	winners := make([][]float64, asn.F)
-	for v := 0; v < asn.F; v++ {
-		replicas := make([][]float64, 0, asn.R)
-		for _, u := range asn.FileWorkers(v) {
-			g, ok := grads[u][v]
-			if !ok {
-				return fmt.Errorf("worker %d omitted file %d", u, v)
-			}
-			replicas = append(replicas, g)
-		}
-		if asn.R == 1 {
-			winners[v] = replicas[0]
-			continue
-		}
-		res, err := vote.Majority(replicas)
-		if err != nil {
-			return err
-		}
-		winners[v] = res.Winner
-	}
-	update, err := s.cfg.Aggregator.Aggregate(winners)
-	if err != nil {
-		return err
-	}
-	scale := float64(asn.F) / float64(s.cfg.Spec.BatchSize)
-	for i := range update {
-		update[i] *= scale
-	}
-	s.opt.Step(s.params, update, t)
-	return nil
+// wireSource is the network GradientSource: it broadcasts RoundStart to
+// the surviving workers, collects their gradient reports in parallel
+// under the per-round deadline, decodes each binary gradient frame
+// directly into the engine's arena buffers, and marks crashed, stalled,
+// skipping, or misbehaving workers missing so the round core's quorum
+// rule decides the fate of their files.
+type wireSource struct {
+	timeout time.Duration
+	logf    func(format string, args ...any)
+	// conns[u] is worker u's connection; nil before it joins and after
+	// it is evicted. Eviction is permanent: the synchronous gob stream
+	// cannot be resynchronized after a timeout fires mid-message.
+	conns []*Conn
+	// files[u] is worker u's assigned file list in slot order.
+	files [][]int
+	// frames[u] is worker u's decode scratch; its Grads are repointed at
+	// the engine's slot buffers each round so decoding fills the arena
+	// in place.
+	frames []wire.GradFrame
 }
 
-// probe returns deterministic sample indices for loss evaluation.
-func probe(n int) []int {
-	size := 256
-	if size > n {
-		size = n
+// newWireSource prepares the per-worker connection and scratch tables.
+func newWireSource(asn *assign.Assignment, timeout time.Duration, logf func(string, ...any)) *wireSource {
+	ws := &wireSource{
+		timeout: timeout,
+		logf:    logf,
+		conns:   make([]*Conn, asn.K),
+		files:   make([][]int, asn.K),
+		frames:  make([]wire.GradFrame, asn.K),
 	}
-	idx := make([]int, size)
-	stride := n / size
-	if stride < 1 {
-		stride = 1
+	for u := 0; u < asn.K; u++ {
+		ws.files[u] = asn.WorkerFiles(u)
 	}
-	for i := range idx {
-		idx[i] = (i * stride) % n
+	return ws
+}
+
+// Collect implements cluster.GradientSource over TCP. Every surviving
+// worker is served by its own goroutine (Round methods are safe for
+// concurrent use across distinct workers), so one slow worker costs the
+// round at most the deadline, not a serial sum of stalls.
+func (ws *wireSource) Collect(ctx context.Context, rd *cluster.Round) (cluster.CollectStats, error) {
+	t := rd.Iteration()
+	start := time.Now()
+	var commBytes atomic.Int64
+	var wg sync.WaitGroup
+	for u := range ws.conns {
+		if ws.conns[u] == nil {
+			rd.MarkMissing(u)
+			continue
+		}
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			if !ws.collectWorker(t, u, rd, &commBytes) {
+				rd.MarkMissing(u)
+			}
+		}(u)
 	}
-	return idx
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return cluster.CollectStats{}, err
+	}
+	return cluster.CollectStats{
+		Communication: time.Since(start),
+		CommBytes:     commBytes.Load(),
+	}, nil
+}
+
+// collectWorker runs one worker's round trip: RoundStart out, gradient
+// report in, frame decoded into the arena. It reports whether the
+// worker delivered; false marks the worker missing for this round (and
+// evicts it permanently unless it skipped explicitly).
+func (ws *wireSource) collectWorker(t, u int, rd *cluster.Round, commBytes *atomic.Int64) bool {
+	conn := ws.conns[u]
+	assigned := make(map[int][]int, len(ws.files[u]))
+	for _, v := range ws.files[u] {
+		assigned[v] = rd.FileSamples(v)
+	}
+	if err := conn.Send(RoundStart{Iteration: t, Params: rd.Params(), Files: assigned}); err != nil {
+		ws.evict(t, u, fmt.Errorf("send: %w", err))
+		return false
+	}
+	if ws.timeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(ws.timeout))
+		defer conn.SetReadDeadline(time.Time{})
+	}
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			ws.evict(t, u, err)
+			return false
+		}
+		rep, ok := msg.(GradientReport)
+		if !ok {
+			ws.evict(t, u, fmt.Errorf("expected GradientReport, got %T", msg))
+			return false
+		}
+		if rep.Iteration < t {
+			// A stale report from a round whose deadline already passed;
+			// discard and keep reading for the current round.
+			continue
+		}
+		if rep.Iteration > t || rep.WorkerID != u {
+			ws.evict(t, u, fmt.Errorf("report (worker %d, round %d), want (%d, %d)", rep.WorkerID, rep.Iteration, u, t))
+			return false
+		}
+		if len(rep.Frame) == 0 {
+			// Explicit skip: alive, no gradients this round.
+			ws.logf("worker %d skipped round %d", u, t)
+			return false
+		}
+		return ws.deliver(t, u, rep.Frame, rd, commBytes)
+	}
+}
+
+// deliver decodes the report frame straight into the engine's slot
+// buffers and hands them to the round. Any structural mismatch —
+// truncated frame, wrong worker id, wrong file set — evicts the worker:
+// its buffers may now hold partial data, but marking it missing keeps
+// them out of every vote.
+func (ws *wireSource) deliver(t, u int, frameBytes []byte, rd *cluster.Round, commBytes *atomic.Int64) bool {
+	wf := ws.files[u]
+	f := &ws.frames[u]
+	if cap(f.Grads) < len(wf) {
+		f.Grads = make([][]float64, len(wf))
+	}
+	f.Grads = f.Grads[:len(wf)]
+	for j := range wf {
+		f.Grads[j] = rd.Buffer(u, j)
+	}
+	consumed, err := wire.DecodeGradFrame(frameBytes, f)
+	switch {
+	case err != nil:
+		ws.evict(t, u, err)
+		return false
+	case consumed != len(frameBytes):
+		ws.evict(t, u, fmt.Errorf("frame has %d trailing bytes", len(frameBytes)-consumed))
+		return false
+	case f.Worker != u:
+		ws.evict(t, u, fmt.Errorf("frame claims worker %d", f.Worker))
+		return false
+	case !slices.Equal(f.Files, wf):
+		ws.evict(t, u, fmt.Errorf("frame files %v, want %v", f.Files, wf))
+		return false
+	}
+	for j := range wf {
+		if err := rd.Deliver(u, j, f.Grads[j]); err != nil {
+			ws.evict(t, u, err)
+			return false
+		}
+	}
+	commBytes.Add(int64(len(frameBytes)))
+	return true
+}
+
+// evict permanently removes a worker from the run: its connection is
+// closed and its slot cleared, so every later round marks it missing
+// up front. Safe for concurrent calls on distinct workers.
+func (ws *wireSource) evict(t, u int, err error) {
+	ws.logf("round %d: evicting worker %d: %v", t, u, err)
+	ws.conns[u].Close()
+	ws.conns[u] = nil
 }

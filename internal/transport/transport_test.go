@@ -3,6 +3,7 @@ package transport
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -219,18 +220,23 @@ func TestConnSendRecvRoundTrip(t *testing.T) {
 	}
 }
 
-func TestServerRejectsDuplicateWorkerID(t *testing.T) {
-	spec := testSpec(5)
+// TestServerSurvivesBadHellos: duplicate, out-of-range, and malformed
+// Hello connections are rejected individually — the rejected connection
+// is closed, the server keeps accepting, and the full worker fleet
+// still joins and trains to completion afterwards.
+func TestServerSurvivesBadHellos(t *testing.T) {
+	spec := testSpec(3)
 	srv, err := NewServer("127.0.0.1:0", ServerConfig{Spec: spec, Aggregator: aggregate.Median{}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	serveErr := make(chan error, 1)
+	serveDone := make(chan error, 1)
 	go func() {
 		_, err := srv.Serve(context.Background())
-		serveErr <- err
+		serveDone <- err
 	}()
+
 	dial := func(id int) *Conn {
 		raw, err := net.Dial("tcp", srv.Addr())
 		if err != nil {
@@ -242,15 +248,103 @@ func TestServerRejectsDuplicateWorkerID(t *testing.T) {
 		}
 		return c
 	}
+
+	// Legit worker 0 joins.
 	c1 := dial(0)
 	defer c1.Close()
 	if _, err := c1.Recv(); err != nil { // Welcome
 		t.Fatal(err)
 	}
-	c2 := dial(0) // duplicate
-	defer c2.Close()
-	if err := <-serveErr; err == nil {
-		t.Error("duplicate worker id accepted")
+	// A duplicate of worker 0, an out-of-range id, and a non-Hello first
+	// message must each be rejected (their conn closed) without tearing
+	// the server down.
+	for name, mk := range map[string]func() *Conn{
+		"duplicate id": func() *Conn { return dial(0) },
+		"id oob":       func() *Conn { return dial(9999) },
+		"not a hello": func() *Conn {
+			raw, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := NewConn(raw)
+			if err := c.Send(Shutdown{}); err != nil {
+				t.Fatal(err)
+			}
+			return c
+		},
+	} {
+		c := mk()
+		if _, err := c.Recv(); err == nil {
+			t.Errorf("%s: connection was not rejected", name)
+		}
+		c.Close()
+	}
+
+	// The remaining workers join normally and training completes.
+	asn, err := spec.BuildAssignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for u := 1; u < asn.K; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			if _, err := RunWorker(context.Background(), srv.Addr(), WorkerConfig{ID: u}); err != nil {
+				t.Errorf("worker %d: %v", u, err)
+			}
+		}(u)
+	}
+	// Worker 0 participates over its already-established connection.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := driveWorker(t, c1, 0, spec); err != nil {
+			t.Errorf("worker 0: %v", err)
+		}
+	}()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("Serve did not complete")
+	}
+	wg.Wait()
+}
+
+// driveWorker participates in training over an already-handshaken
+// connection (used when the test dialed Hello manually).
+func driveWorker(t *testing.T, c *Conn, id int, spec Spec) error {
+	t.Helper()
+	mdl, err := spec.BuildModel()
+	if err != nil {
+		return err
+	}
+	train, _, err := spec.BuildData()
+	if err != nil {
+		return err
+	}
+	for {
+		msg, err := c.Recv()
+		if err != nil {
+			return err
+		}
+		switch m := msg.(type) {
+		case RoundStart:
+			rep, err := computeReport(WorkerConfig{ID: id, Behavior: BehaviorHonest}, mdl, train, &m)
+			if err != nil {
+				return err
+			}
+			if err := c.Send(*rep); err != nil {
+				return err
+			}
+		case Shutdown:
+			return nil
+		default:
+			return fmt.Errorf("unexpected message %T", msg)
+		}
 	}
 }
 

@@ -2,13 +2,21 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"slices"
+	"time"
 
 	"byzshield/internal/data"
 	"byzshield/internal/model"
+	"byzshield/internal/wire"
 )
+
+// ErrInjectedCrash is returned by RunWorker when the Spec's fault model
+// schedules this worker to crash: the process stops participating and
+// the parameter server continues over the survivors.
+var ErrInjectedCrash = errors.New("transport: worker crashed by fault injection")
 
 // WorkerBehavior selects how a worker process responds to gradient
 // requests. In distributed mode the attacks that require only local
@@ -76,6 +84,10 @@ func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) (float64, err
 	if err != nil {
 		return 0, err
 	}
+	flt, err := spec.BuildFault()
+	if err != nil {
+		return 0, err
+	}
 	cfg.Logf("worker %d: joined (%s, %d rounds)", cfg.ID, spec.Scheme, spec.Rounds)
 
 	for {
@@ -85,6 +97,29 @@ func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) (float64, err
 		}
 		switch m := msg.(type) {
 		case RoundStart:
+			// Self-injected faults: the Spec's fault model decides per
+			// round whether this worker crashes, delays, or skips —
+			// exercised against the server's real deadline and quorum
+			// handling, not simulated on the PS side.
+			d := flt.Plan(m.Iteration, cfg.ID)
+			if d.Crash {
+				cfg.Logf("worker %d: injected crash at round %d", cfg.ID, m.Iteration)
+				return 0, fmt.Errorf("worker %d round %d: %w", cfg.ID, m.Iteration, ErrInjectedCrash)
+			}
+			if d.Delay > 0 {
+				select {
+				case <-time.After(d.Delay):
+				case <-ctx.Done():
+					return 0, ctx.Err()
+				}
+			}
+			if d.Skip {
+				cfg.Logf("worker %d: injected skip at round %d", cfg.ID, m.Iteration)
+				if err := conn.Send(GradientReport{WorkerID: cfg.ID, Iteration: m.Iteration}); err != nil {
+					return 0, ctxErr(ctx, err)
+				}
+				continue
+			}
 			rep, err := computeReport(cfg, mdl, train, &m)
 			if err != nil {
 				return 0, err
@@ -138,7 +173,7 @@ func computeReport(cfg WorkerConfig, mdl model.Model, train *data.Dataset, rs *R
 		}
 		grads = append(grads, g)
 	}
-	frame, err := AppendGradFrame(nil, cfg.ID, files, grads)
+	frame, err := wire.AppendGradFrame(nil, cfg.ID, files, grads)
 	if err != nil {
 		return nil, err
 	}

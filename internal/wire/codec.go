@@ -1,17 +1,11 @@
-package transport
-
-import (
-	"encoding/binary"
-	"fmt"
-	"math"
-)
-
-// Gradient frame codec: the compact binary wire format for a worker's
-// per-round gradient report, replacing the gob round-trip on the hot
-// path. The layout is canonical (one valid encoding per frame) and
-// allocation-free on both sides when buffers are reused, which is what
-// the cluster engine's MeasureComm mode and the TCP GradientReport
-// message use.
+// Package wire implements the compact binary gradient-frame codec: the
+// wire format for a worker's per-round gradient report, replacing the
+// gob round-trip on the hot path. The layout is canonical (one valid
+// encoding per frame) and allocation-free on both sides when buffers
+// are reused, which is what the cluster engine's MeasureComm mode and
+// the TCP GradientReport message use. The codec lives below both
+// internal/cluster and internal/transport so that the transport server
+// can drive the cluster round core without an import cycle.
 //
 // Frame layout, all little-endian:
 //
@@ -25,6 +19,13 @@ import (
 // Because floats are transported as raw bit patterns, a decode is
 // bit-exact: NaN payloads, signed zeros, and subnormals survive the
 // round-trip unchanged.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
 
 // gradFrameHeader is the fixed part of the payload: worker, n, d.
 const gradFrameHeader = 12
@@ -40,10 +41,10 @@ func GradFrameSize(n, d int) int {
 // gradient the same dimension.
 func AppendGradFrame(dst []byte, worker int, files []int, grads [][]float64) ([]byte, error) {
 	if len(files) != len(grads) {
-		return nil, fmt.Errorf("transport: %d files but %d gradients", len(files), len(grads))
+		return nil, fmt.Errorf("wire: %d files but %d gradients", len(files), len(grads))
 	}
 	if worker < 0 || int64(worker) > math.MaxUint32 {
-		return nil, fmt.Errorf("transport: worker id %d outside u32 range", worker)
+		return nil, fmt.Errorf("wire: worker id %d outside u32 range", worker)
 	}
 	n := len(files)
 	d := 0
@@ -52,12 +53,12 @@ func AppendGradFrame(dst []byte, worker int, files []int, grads [][]float64) ([]
 	}
 	for i, g := range grads {
 		if len(g) != d {
-			return nil, fmt.Errorf("transport: gradient %d has dim %d, want %d", i, len(g), d)
+			return nil, fmt.Errorf("wire: gradient %d has dim %d, want %d", i, len(g), d)
 		}
 	}
 	payload := gradFrameHeader + n*4 + n*d*8
 	if uint64(payload) > math.MaxUint32 {
-		return nil, fmt.Errorf("transport: frame payload %d bytes exceeds u32 length prefix", payload)
+		return nil, fmt.Errorf("wire: frame payload %d bytes exceeds u32 length prefix", payload)
 	}
 	dst = append32(dst, uint32(payload))
 	dst = append32(dst, uint32(worker))
@@ -65,7 +66,7 @@ func AppendGradFrame(dst []byte, worker int, files []int, grads [][]float64) ([]
 	dst = append32(dst, uint32(d))
 	for _, v := range files {
 		if v < 0 || int64(v) > math.MaxUint32 {
-			return nil, fmt.Errorf("transport: file id %d outside u32 range", v)
+			return nil, fmt.Errorf("wire: file id %d outside u32 range", v)
 		}
 		dst = append32(dst, uint32(v))
 	}
@@ -93,11 +94,11 @@ type GradFrame struct {
 // oversized allocation (the declared sizes are bounded by len(src)).
 func DecodeGradFrame(src []byte, f *GradFrame) (int, error) {
 	if len(src) < 4+gradFrameHeader {
-		return 0, fmt.Errorf("transport: frame truncated at %d bytes", len(src))
+		return 0, fmt.Errorf("wire: frame truncated at %d bytes", len(src))
 	}
 	payload := int(binary.LittleEndian.Uint32(src))
 	if payload < gradFrameHeader || payload > len(src)-4 {
-		return 0, fmt.Errorf("transport: frame payload %d bytes, have %d", payload, len(src)-4)
+		return 0, fmt.Errorf("wire: frame payload %d bytes, have %d", payload, len(src)-4)
 	}
 	body := src[4 : 4+payload]
 	f.Worker = int(binary.LittleEndian.Uint32(body))
@@ -109,15 +110,15 @@ func DecodeGradFrame(src []byte, f *GradFrame) (int, error) {
 	rem := uint64(payload) - gradFrameHeader
 	if n64 == 0 {
 		if d64 != 0 || rem != 0 {
-			return 0, fmt.Errorf("transport: empty frame declares dim %d with %d payload bytes", d64, rem)
+			return 0, fmt.Errorf("wire: empty frame declares dim %d with %d payload bytes", d64, rem)
 		}
 	} else {
 		if n64 > rem/4 {
-			return 0, fmt.Errorf("transport: frame declares %d files for %d payload bytes", n64, rem)
+			return 0, fmt.Errorf("wire: frame declares %d files for %d payload bytes", n64, rem)
 		}
 		valBytes := rem - n64*4
 		if valBytes%(n64*8) != 0 || valBytes/(n64*8) != d64 {
-			return 0, fmt.Errorf("transport: frame declares %d×%d values for %d value bytes", n64, d64, valBytes)
+			return 0, fmt.Errorf("wire: frame declares %d×%d values for %d value bytes", n64, d64, valBytes)
 		}
 	}
 	n, d := int(n64), int(d64)

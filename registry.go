@@ -2,11 +2,11 @@ package byzshield
 
 import "byzshield/internal/registry"
 
-// ComponentRegistry maps string names to constructors for the three
-// pluggable component kinds: assignment schemes, aggregation rules, and
-// Byzantine attacks. It is safe for concurrent use and extensible via
-// the Register* methods; see internal/registry for the name catalog and
-// per-scheme parameter conventions.
+// ComponentRegistry maps string names to constructors for the four
+// pluggable component kinds: assignment schemes, aggregation rules,
+// Byzantine attacks, and worker fault models. It is safe for concurrent
+// use and extensible via the Register* methods; see internal/registry
+// for the name catalog and per-scheme parameter conventions.
 type ComponentRegistry = registry.Registry
 
 // SchemeParams parameterizes assignment-scheme construction: L (load),
@@ -20,17 +20,23 @@ type AggregatorParams = registry.AggregatorParams
 // AttackParams parameterizes attacks (Value, C, Z, Scale).
 type AttackParams = registry.AttackParams
 
+// FaultParams parameterizes worker fault models (Workers, Round, P,
+// Delay, Seed).
+type FaultParams = registry.FaultParams
+
 // Registry is the default component catalog, pre-populated with every
 // scheme ("mols", "ramanujan1", "ramanujan2", "frc", "baseline",
 // "random"), aggregator ("median", "mean", "trimmed-mean",
 // "median-of-means", "krum", "multikrum", "bulyan", "signsgd",
-// "geometric-median", "mean-around-median", "auror"), and attack
+// "geometric-median", "mean-around-median", "auror"), attack
 // ("benign", "alie", "constant", "reversed", "random-gaussian",
-// "sign-flip") implemented in the repository:
+// "sign-flip"), and fault model ("none", "crash", "straggler", "delay",
+// "flaky") implemented in the repository:
 //
 //	asn, err := byzshield.Registry.Scheme("mols", byzshield.SchemeParams{L: 5, R: 3})
 //	agg, err := byzshield.Registry.Aggregator("median")
 //	atk, err := byzshield.Registry.Attack("alie")
+//	flt, err := byzshield.Registry.Fault("crash", byzshield.FaultParams{Workers: []int{2}, Round: 50})
 //
 // Registry-built components are identical values to the ones returned
 // by the direct constructors (NewMOLS, Median, ALIE, ...), so the two

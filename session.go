@@ -39,6 +39,15 @@ type RoundResult struct {
 	// DistortedFiles counts the file votes the Byzantines won this
 	// round — the per-round realization of ε̂·f.
 	DistortedFiles int
+	// MissingWorkers lists the workers that did not participate this
+	// round (crashed or skipped under the configured Fault), sorted
+	// ascending; nil on full-participation rounds.
+	MissingWorkers []int
+	// DegradedFiles counts files voted over fewer than r surviving
+	// replicas (quorum still met); DroppedFiles counts files excluded
+	// from aggregation because their survivors fell below the quorum.
+	DegradedFiles int
+	DroppedFiles  int
 	// Times is the round's phase wall-clock split.
 	Times PhaseTimes
 	// Evaluated reports whether this round hit the evaluation cadence;
@@ -102,6 +111,8 @@ func Open(ctx context.Context, cfg TrainConfig) (*Session, error) {
 		Momentum:    norm.Momentum,
 		Seed:        norm.Seed,
 		Parallelism: norm.Parallelism,
+		Fault:       norm.Fault,
+		Quorum:      norm.Quorum,
 	})
 	if err != nil {
 		return nil, err
@@ -152,6 +163,9 @@ func (s *Session) step(ctx context.Context, horizon int) (res RoundResult, stepp
 		Round:          stats.Iteration + 1,
 		LR:             stats.LR,
 		DistortedFiles: stats.DistortedFiles,
+		MissingWorkers: stats.MissingWorkers,
+		DegradedFiles:  stats.DegradedFiles,
+		DroppedFiles:   stats.DroppedFiles,
 		Times:          stats.Times,
 	}
 	if res.Round%s.cfg.EvalEvery == 0 || res.Round == s.cfg.Iterations {
@@ -310,18 +324,22 @@ func (s *Session) Checkpoint() *Checkpoint {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	params, velocity, iter := s.eng.Snapshot()
+	meta := map[string]string{
+		"scheme":     string(s.cfg.Assignment.Scheme),
+		"attack":     s.cfg.Attack.Name(),
+		"aggregator": s.cfg.Aggregator.Name(),
+		"seed":       strconv.FormatInt(s.cfg.Seed, 10),
+	}
+	if s.cfg.Fault != nil {
+		meta["fault"] = s.cfg.Fault.Name()
+	}
 	return &Checkpoint{
 		Params:     params,
 		Velocity:   velocity,
 		Iteration:  iter,
 		History:    trainer.History{Points: append([]trainer.Point(nil), s.history.Points...)},
 		Byzantines: append([]int(nil), s.byzantines...),
-		Meta: map[string]string{
-			"scheme":     string(s.cfg.Assignment.Scheme),
-			"attack":     s.cfg.Attack.Name(),
-			"aggregator": s.cfg.Aggregator.Name(),
-			"seed":       strconv.FormatInt(s.cfg.Seed, 10),
-		},
+		Meta:       meta,
 	}
 }
 

@@ -438,3 +438,67 @@ func TestOpenCancellation(t *testing.T) {
 		t.Errorf("Open with canceled ctx: %v", err)
 	}
 }
+
+// TestSessionFaultScenario: a crash fault injected through the public
+// API degrades rounds without aborting the session, and the per-round
+// results report the missing worker and degraded file counts.
+func TestSessionFaultScenario(t *testing.T) {
+	cfg := sessionConfig(t, 8)
+	cfg.Byzantines = nil
+	cfg.Attack = nil
+	cfg.Fault = byzshield.CrashFault(3, 4)
+	s, err := byzshield.Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for round := 0; round < 8; round++ {
+		res, err := s.Step(context.Background())
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if round < 3 {
+			if len(res.MissingWorkers) != 0 || res.DegradedFiles != 0 || res.DroppedFiles != 0 {
+				t.Fatalf("round %d: degraded before the crash: %+v", round, res)
+			}
+			continue
+		}
+		if len(res.MissingWorkers) != 1 || res.MissingWorkers[0] != 4 {
+			t.Fatalf("round %d: missing %v, want [4]", round, res.MissingWorkers)
+		}
+		if res.DegradedFiles == 0 {
+			t.Fatalf("round %d: no degraded files after crash", round)
+		}
+	}
+	// The fault model lands in checkpoint metadata for reproducibility.
+	if got := s.Checkpoint().Meta["fault"]; got != cfg.Fault.Name() {
+		t.Errorf("checkpoint fault meta %q, want %q", got, cfg.Fault.Name())
+	}
+}
+
+// TestSessionQuorumValidation: quorum outside [1, r] is rejected.
+func TestSessionQuorumValidation(t *testing.T) {
+	cfg := sessionConfig(t, 4)
+	cfg.Quorum = 7 // r = 3
+	if _, err := byzshield.Open(context.Background(), cfg); err == nil {
+		t.Error("quorum 7 > r accepted")
+	}
+}
+
+// TestFaultComposesWithAttack: a crash fault and an ALIE attack run in
+// the same session — the scenario matrix composes.
+func TestFaultComposesWithAttack(t *testing.T) {
+	cfg := sessionConfig(t, 6)
+	cfg.Fault = byzshield.FlakyFault(0.4, 3, 0, 7)
+	s, err := byzshield.Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Run(context.Background(), 0); err != nil {
+		t.Fatalf("faulty+attacked run failed: %v", err)
+	}
+	if s.Round() != 6 {
+		t.Errorf("completed %d rounds, want 6", s.Round())
+	}
+}
