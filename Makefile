@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test race bench lint fmt clean
+.PHONY: all build test race bench fuzz lint fmt clean
 
 all: lint test
 
@@ -15,6 +16,14 @@ race: build
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Each wire-codec fuzz target runs for FUZZTIME (go test allows one
+# -fuzz pattern per invocation, hence the loop).
+fuzz: build
+	for t in FuzzParseFrameHeader FuzzReadFrame FuzzDecodeParams \
+	         FuzzParamsDeltaRoundTrip FuzzDecodeGradFrame FuzzGradFrameRoundTrip; do \
+		$(GO) test -run '^$$' -fuzz $$t -fuzztime $(FUZZTIME) ./internal/wire || exit 1; \
+	done
 
 lint:
 	@fmt_out=$$(gofmt -l .); \

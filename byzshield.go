@@ -178,6 +178,13 @@ func FlakyFault(p float64, seed int64, workers ...int) Fault {
 	return fault.Flaky{Workers: workers, P: p, Seed: seed}
 }
 
+// StackFault composes several fault models into one heterogeneous
+// fleet scenario — e.g. StackFault(FlakyFault(0.3, 1, 2),
+// StragglerFault(time.Second, 9)) makes worker 2 flaky while worker 9
+// straggles. Decisions merge per (round, worker): crashes and skips
+// OR, delays take the maximum.
+func StackFault(faults ...Fault) Fault { return fault.Stack(faults) }
+
 // ALIE is the "A Little Is Enough" attack (Baruch et al. 2019).
 func ALIE() Attack { return attack.ALIE{} }
 

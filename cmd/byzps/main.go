@@ -10,13 +10,22 @@
 //	byzworker -connect 127.0.0.1:7077 -id 0 &
 //	... (one byzworker per worker id 0..K-1; some may be -behavior reversed)
 //
-// Fault injection (the Spec carries the fault model to every worker, so
-// workers crash/skip/delay themselves against the server's real
+// Fault injection (the Spec carries the fault models to every worker,
+// so workers crash/skip/delay themselves against the server's real
 // per-round deadline and quorum handling):
 //
 //	byzps ... -fault crash -fault-workers 2,9 -fault-round 50
 //	byzps ... -fault flaky -fault-workers 1,4 -fault-p 0.3
 //	byzps ... -fault straggler -fault-workers 3 -fault-delay 5s -round-timeout 2s
+//
+// Heterogeneous per-worker faults compose with -faults (semicolon-
+// separated name@workers clauses, each with optional key=value knobs),
+// e.g. worker 2 flaky while worker 9 straggles:
+//
+//	byzps ... -faults "flaky@2:p=0.3;straggler@9:delay=2s"
+//
+// Parameter broadcasts ship as bit-exact deltas between periodic full
+// refreshes; -full-every controls the cadence (1 = full every round).
 package main
 
 import (
@@ -61,17 +70,26 @@ func main() {
 		seed    = flag.Int64("seed", 42, "experiment seed")
 
 		roundTimeout = flag.Duration("round-timeout", transport.DefaultRoundTimeout,
-			"per-round worker report deadline (negative disables; stalled workers are evicted)")
+			"per-round worker report deadline (negative disables; stalled workers miss the round)")
+		fullEvery = flag.Int("full-every", transport.DefaultFullBroadcastEvery,
+			"full parameter-broadcast cadence (1 = full vector every round, N = deltas between every N-th round)")
 		quorum       = flag.Int("quorum", 0, "minimum surviving replicas per file vote (0 = r/2+1)")
 		faultName    = flag.String("fault", "", "worker fault model to inject: "+strings.Join(byzshield.Registry.Faults(), ", "))
 		faultWorkers = flag.String("fault-workers", "", "comma-separated worker ids the fault targets")
 		faultRound   = flag.Int("fault-round", 0, "crash/delay round parameter")
 		faultP       = flag.Float64("fault-p", 0.3, "flaky drop probability")
 		faultDelay   = flag.Duration("fault-delay", 2*time.Second, "straggler/delay duration")
+		faultSpecs   = flag.String("faults", "",
+			`composed per-worker faults: "name@ids[:k=v,...]" clauses joined by ";" (e.g. "flaky@2:p=0.3;straggler@9:delay=2s")`)
 	)
 	flag.Parse()
 
 	workers, err := parseWorkerList(*faultWorkers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "byzps:", err)
+		os.Exit(2)
+	}
+	composed, err := parseFaultSpecs(*faultSpecs, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "byzps:", err)
 		os.Exit(2)
@@ -90,12 +108,14 @@ func main() {
 		FaultParams: byzshield.FaultParams{
 			Workers: workers, Round: *faultRound, P: *faultP, Delay: *faultDelay, Seed: *seed,
 		},
+		Faults: composed,
 	}
 	srv, err := transport.NewServer(*listen, transport.ServerConfig{
-		Spec:         spec,
-		Logf:         log.Printf,
-		RoundTimeout: *roundTimeout,
-		Quorum:       *quorum,
+		Spec:               spec,
+		Logf:               log.Printf,
+		RoundTimeout:       *roundTimeout,
+		FullBroadcastEvery: *fullEvery,
+		Quorum:             *quorum,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "byzps:", err)
@@ -133,6 +153,66 @@ func parseWorkerList(s string) ([]int, error) {
 			return nil, fmt.Errorf("bad worker id %q in -fault-workers", p)
 		}
 		out = append(out, id)
+	}
+	return out, nil
+}
+
+// parseFaultSpecs parses the -faults composition syntax: semicolon-
+// separated clauses of the form "name@ids" with optional ":key=value"
+// knobs (p, round, delay, seed), e.g.
+// "flaky@2:p=0.3;straggler@9:delay=2s;crash@5:round=40".
+func parseFaultSpecs(s string, defaultSeed int64) ([]transport.FaultSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []transport.FaultSpec
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		head, knobs, _ := strings.Cut(clause, ":")
+		name, ids, ok := strings.Cut(head, "@")
+		if !ok {
+			return nil, fmt.Errorf("fault clause %q: want name@workers", clause)
+		}
+		workers, err := parseWorkerList(ids)
+		if err != nil {
+			return nil, fmt.Errorf("fault clause %q: %w", clause, err)
+		}
+		fs := transport.FaultSpec{
+			Name:   strings.TrimSpace(name),
+			Params: byzshield.FaultParams{Workers: workers, Seed: defaultSeed},
+		}
+		if knobs != "" {
+			for _, kv := range strings.Split(knobs, ",") {
+				k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+				if !ok {
+					return nil, fmt.Errorf("fault clause %q: knob %q is not key=value", clause, kv)
+				}
+				switch k {
+				case "p":
+					if fs.Params.P, err = strconv.ParseFloat(v, 64); err != nil {
+						return nil, fmt.Errorf("fault clause %q: bad p: %w", clause, err)
+					}
+				case "round":
+					if fs.Params.Round, err = strconv.Atoi(v); err != nil {
+						return nil, fmt.Errorf("fault clause %q: bad round: %w", clause, err)
+					}
+				case "delay":
+					if fs.Params.Delay, err = time.ParseDuration(v); err != nil {
+						return nil, fmt.Errorf("fault clause %q: bad delay: %w", clause, err)
+					}
+				case "seed":
+					if fs.Params.Seed, err = strconv.ParseInt(v, 10, 64); err != nil {
+						return nil, fmt.Errorf("fault clause %q: bad seed: %w", clause, err)
+					}
+				default:
+					return nil, fmt.Errorf("fault clause %q: unknown knob %q", clause, k)
+				}
+			}
+		}
+		out = append(out, fs)
 	}
 	return out, nil
 }

@@ -3,10 +3,16 @@
 // assigned files every round, and optionally behaves Byzantine.
 // SIGINT/SIGTERM cancel the run cleanly.
 //
-// Usage:
+// If the connection to the PS breaks mid-run the worker reconnects
+// automatically with its session token (bounded by -reconnects) and is
+// re-admitted at the next round boundary with a full parameter
+// broadcast. A worker process that was restarted from scratch can
+// re-enter the run it was evicted from by passing the session token its
+// first join logged:
 //
 //	byzworker -connect 127.0.0.1:7077 -id 0
 //	byzworker -connect 127.0.0.1:7077 -id 3 -behavior reversed
+//	byzworker -connect 127.0.0.1:7077 -id 3 -resume-token 0x1f3a...
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 
 	"byzshield/internal/transport"
@@ -24,16 +31,29 @@ import (
 
 func main() {
 	var (
-		connect  = flag.String("connect", "127.0.0.1:7077", "parameter server address")
-		id       = flag.Int("id", -1, "worker id (0..K-1)")
-		behavior = flag.String("behavior", "honest", "honest, reversed, constant, zero")
-		value    = flag.Float64("value", -1, "payload value for -behavior constant")
-		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+		connect    = flag.String("connect", "127.0.0.1:7077", "parameter server address")
+		id         = flag.Int("id", -1, "worker id (0..K-1)")
+		behavior   = flag.String("behavior", "honest", "honest, reversed, constant, zero")
+		value      = flag.Float64("value", -1, "payload value for -behavior constant")
+		reconnects = flag.Int("reconnects", transport.DefaultReconnectAttempts,
+			"automatic rejoin attempts after a lost connection (negative disables)")
+		resumeToken = flag.String("resume-token", "",
+			"session token (hex, from the first join's log line) to rejoin a run after a process restart")
+		quiet = flag.Bool("quiet", false, "suppress progress logging")
 	)
 	flag.Parse()
 	if *id < 0 {
 		fmt.Fprintln(os.Stderr, "byzworker: -id is required")
 		os.Exit(2)
+	}
+	var token uint64
+	if *resumeToken != "" {
+		t, err := strconv.ParseUint(trimHexPrefix(*resumeToken), 16, 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "byzworker: bad -resume-token:", err)
+			os.Exit(2)
+		}
+		token = t
 	}
 	logf := log.Printf
 	if *quiet {
@@ -44,10 +64,12 @@ func main() {
 	defer stop()
 
 	final, err := transport.RunWorker(ctx, *connect, transport.WorkerConfig{
-		ID:            *id,
-		Behavior:      transport.WorkerBehavior(*behavior),
-		ConstantValue: *value,
-		Logf:          logf,
+		ID:                *id,
+		Behavior:          transport.WorkerBehavior(*behavior),
+		ConstantValue:     *value,
+		ReconnectAttempts: *reconnects,
+		ResumeToken:       token,
+		Logf:              logf,
 	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -58,4 +80,12 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("worker %d done; final accuracy %.4f\n", *id, final)
+}
+
+// trimHexPrefix strips an optional 0x/0X prefix.
+func trimHexPrefix(s string) string {
+	if len(s) > 2 && (s[:2] == "0x" || s[:2] == "0X") {
+		return s[2:]
+	}
+	return s
 }

@@ -73,6 +73,18 @@ type roundArena struct {
 	// encBuf and rxFrame are the communication round-trip scratch.
 	encBuf  []byte
 	rxFrame wire.GradFrame
+	// Broadcast-measurement state (allocated only under MeasureComm):
+	// prevParams is the parameter vector broadcast last round (the delta
+	// base), prevAck[u] whether worker u acknowledged it (participated
+	// or explicitly skipped — anything but a crash), crashed[u] whether
+	// the fault model removed u permanently this round, bcastBuf the
+	// frame encode scratch, and bcastScratch the decode-side vector that
+	// makes the broadcast round-trip physically executed.
+	prevParams   []float64
+	prevAck      []bool
+	crashed      []bool
+	bcastBuf     []byte
+	bcastScratch []float64
 }
 
 // newRoundArena preallocates every per-round buffer for the given
@@ -121,6 +133,10 @@ func newRoundArena(a *assign.Assignment, dim int, byzSet map[int]bool, measureCo
 				rxBacking = rxBacking[dim:]
 			}
 		}
+		ar.prevParams = make([]float64, dim)
+		ar.prevAck = make([]bool, a.K)
+		ar.crashed = make([]bool, a.K)
+		ar.bcastScratch = make([]float64, dim)
 	}
 
 	ar.fileReplicas = make([][]slotRef, a.F)

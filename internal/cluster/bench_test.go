@@ -60,7 +60,7 @@ func benchRounds(b *testing.B, cfg Config) {
 		b.Fatal(err)
 	}
 	defer e.Close()
-	var commBytes int64
+	var commBytes, bcastBytes int64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -69,10 +69,14 @@ func benchRounds(b *testing.B, cfg Config) {
 			b.Fatal(err)
 		}
 		commBytes = stats.Times.CommBytes
+		bcastBytes = stats.Times.BroadcastBytes
 	}
 	b.StopTimer()
 	if commBytes > 0 {
 		b.ReportMetric(float64(commBytes), "commB/round")
+	}
+	if bcastBytes > 0 {
+		b.ReportMetric(float64(bcastBytes), "bcastB/round")
 	}
 }
 
@@ -97,6 +101,15 @@ func BenchmarkRound(b *testing.B) {
 	b.Run("measure-comm", func(b *testing.B) {
 		cfg := quickstartConfig(b)
 		cfg.MeasureComm = true
+		benchRounds(b, cfg)
+	})
+	// Delta parameter broadcasts (full refresh every 16 rounds): the
+	// bcastB/round metric against measure-comm's full-vector broadcast
+	// is the steady-state PS→worker saving of the v2 wire protocol.
+	b.Run("measure-comm-delta", func(b *testing.B) {
+		cfg := quickstartConfig(b)
+		cfg.MeasureComm = true
+		cfg.BroadcastFullEvery = 16
 		benchRounds(b, cfg)
 	})
 }

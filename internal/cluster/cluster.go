@@ -79,6 +79,13 @@ type Config struct {
 	// MeasureComm enables real binary serialization of worker messages
 	// so the communication phase is physically measured.
 	MeasureComm bool
+	// BroadcastFullEvery controls the measured PS→worker parameter
+	// broadcast under MeasureComm: 0 ships the full vector every round
+	// (protocol v1 behavior), N > 0 ships the full vector on every N-th
+	// round (and to workers that missed the previous round) and a
+	// bit-exact XOR delta frame otherwise — the same policy the TCP
+	// server applies on the real wire. Ignored without MeasureComm.
+	BroadcastFullEvery int
 	// Parallelism is the width of the engine's persistent goroutine
 	// pool: 0 selects GOMAXPROCS, 1 runs every phase serially on the
 	// calling goroutine. Any width produces bit-identical parameter
@@ -112,6 +119,9 @@ type PhaseTimes struct {
 	Communication time.Duration
 	Aggregation   time.Duration
 	CommBytes     int64
+	// BroadcastBytes counts the serialized PS→worker parameter
+	// broadcast (full or delta frames) when the source measures it.
+	BroadcastBytes int64
 }
 
 // Add accumulates other into t.
@@ -120,6 +130,7 @@ func (t *PhaseTimes) Add(other PhaseTimes) {
 	t.Communication += other.Communication
 	t.Aggregation += other.Aggregation
 	t.CommBytes += other.CommBytes
+	t.BroadcastBytes += other.BroadcastBytes
 }
 
 // RoundStats reports one protocol round.
@@ -138,7 +149,12 @@ type RoundStats struct {
 	// replicas below the quorum, or a degraded vote that ended in a tie
 	// (no strict plurality among the survivors).
 	DroppedFiles int
-	Times        PhaseTimes
+	// AggregatorDegraded reports that dropped files pushed the
+	// configured Byzantine-aware rule (Krum family, trimmed mean, …)
+	// below its feasibility floor this round, so the round aggregated
+	// with coordinate-wise median instead of erroring out.
+	AggregatorDegraded bool
+	Times              PhaseTimes
 }
 
 // Engine executes the protocol.
@@ -202,6 +218,9 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Parallelism < 0 {
 		return nil, fmt.Errorf("cluster: parallelism %d < 0", cfg.Parallelism)
 	}
+	if cfg.BroadcastFullEvery < 0 {
+		return nil, fmt.Errorf("cluster: broadcast full-every %d < 0", cfg.BroadcastFullEvery)
+	}
 	quorum := cfg.Quorum
 	if quorum == 0 {
 		quorum = cfg.Assignment.R/2 + 1
@@ -247,6 +266,10 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.corruptible = e.computeCorruptible()
 	e.arena = newRoundArena(cfg.Assignment, cfg.Model.NumParams(), byzSet, cfg.MeasureComm, cfg.Fault != nil, width)
+	// Probe indices are initialized eagerly so snapshot evaluation
+	// (EvalLossParams) is safe from a background goroutine while the
+	// serve loop keeps stepping rounds.
+	e.arena.probe = data.ProbeIndices(cfg.Train.Len())
 	if width > 1 {
 		e.pool = newPool(width)
 	}
@@ -497,7 +520,22 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 	if len(live) == 0 {
 		return RoundStats{}, fmt.Errorf("cluster: round %d: no file met the survivor quorum %d", e.iter, e.quorum)
 	}
-	if err := e.aggregate(live); err != nil {
+	// Feasibility under shrinkage: when dropped files push a
+	// Byzantine-aware rule below its floor (Krum's n ≥ 2c+3 and kin) on
+	// a round that would have been feasible at full participation,
+	// degrade this round to coordinate-wise median instead of erroring —
+	// a long-degraded run keeps training. A configuration that is
+	// infeasible even at full strength still fails loudly.
+	agg := e.cfg.Aggregator
+	aggDegraded := false
+	if ba, ok := agg.(aggregate.ByzAware); ok && len(live) < a.F {
+		c := len(e.corruptible)
+		if ba.Feasible(len(live), c) != nil && ba.Feasible(a.F, c) == nil {
+			agg = aggregate.Median{}
+			aggDegraded = true
+		}
+	}
+	if err := e.aggregate(agg, live); err != nil {
 		return RoundStats{}, fmt.Errorf("cluster: aggregation: %w", err)
 	}
 	if !e.cfg.SignMessages {
@@ -520,17 +558,19 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 		}
 	}
 	stats := RoundStats{
-		Iteration:      e.iter,
-		LR:             lr,
-		DistortedFiles: distorted,
-		MissingWorkers: missing,
-		DegradedFiles:  degraded,
-		DroppedFiles:   dropped,
+		Iteration:          e.iter,
+		LR:                 lr,
+		DistortedFiles:     distorted,
+		MissingWorkers:     missing,
+		DegradedFiles:      degraded,
+		DroppedFiles:       dropped,
+		AggregatorDegraded: aggDegraded,
 		Times: PhaseTimes{
-			Compute:       cs.Compute,
-			Communication: cs.Communication,
-			Aggregation:   aggTime,
-			CommBytes:     cs.CommBytes,
+			Compute:        cs.Compute,
+			Communication:  cs.Communication,
+			Aggregation:    aggTime,
+			CommBytes:      cs.CommBytes,
+			BroadcastBytes: cs.BroadcastBytes,
 		},
 	}
 	e.times.Add(stats.Times)
@@ -538,18 +578,19 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 	return stats, nil
 }
 
-// aggregate reduces the vote winners into the arena's update vector.
-// Coordinate-wise rules (aggregate.ChunkAggregator) reduce in parallel
-// chunks across the pool — bit-identical to a serial pass because every
-// coordinate is reduced independently; other rules run their ordinary
-// Aggregate.
-func (e *Engine) aggregate(winners [][]float64) error {
-	ca, ok := e.cfg.Aggregator.(aggregate.ChunkAggregator)
+// aggregate reduces the vote winners into the arena's update vector
+// with the given rule (the configured aggregator, or the median
+// fallback on feasibility-degraded rounds). Coordinate-wise rules
+// (aggregate.ChunkAggregator) reduce in parallel chunks across the
+// pool — bit-identical to a serial pass because every coordinate is
+// reduced independently; other rules run their ordinary Aggregate.
+func (e *Engine) aggregate(agg aggregate.Aggregator, winners [][]float64) error {
+	ca, ok := agg.(aggregate.ChunkAggregator)
 	if !ok || e.pool == nil {
 		if ok {
 			return ca.AggregateChunk(winners, e.arena.update, 0, e.arena.dim)
 		}
-		update, err := e.cfg.Aggregator.Aggregate(winners)
+		update, err := agg.Aggregate(winners)
 		if err != nil {
 			return err
 		}
@@ -613,22 +654,27 @@ func (e *Engine) Run(ctx context.Context, iterations, evalEvery int) (*trainer.H
 
 // Evaluate returns the current test accuracy.
 func (e *Engine) Evaluate() float64 {
-	return model.Accuracy(e.cfg.Model, e.params, e.cfg.Test)
+	return e.EvaluateParams(e.params)
 }
 
 // EvalLoss returns the current training loss on the deterministic probe
 // subset used for history reporting.
 func (e *Engine) EvalLoss() float64 {
-	return e.cfg.Model.Loss(e.params, e.cfg.Train, e.probeIndices())
+	return e.EvalLossParams(e.params)
 }
 
-// probeIndices returns a fixed subset of the training set used for loss
-// reporting (cheap and deterministic), cached in the arena.
-func (e *Engine) probeIndices() []int {
-	if e.arena.probe == nil {
-		e.arena.probe = data.ProbeIndices(e.cfg.Train.Len())
-	}
-	return e.arena.probe
+// EvaluateParams returns the test accuracy of an arbitrary parameter
+// vector. Safe to call from a goroutine concurrent with StepOnce when
+// params is a caller-owned snapshot (the TCP server evaluates off the
+// serve loop this way so workers don't idle between rounds).
+func (e *Engine) EvaluateParams(params []float64) float64 {
+	return model.Accuracy(e.cfg.Model, params, e.cfg.Test)
+}
+
+// EvalLossParams returns the probe-subset training loss of an arbitrary
+// parameter vector; the same concurrency contract as EvaluateParams.
+func (e *Engine) EvalLossParams(params []float64) float64 {
+	return e.cfg.Model.Loss(params, e.cfg.Train, e.arena.probe)
 }
 
 // signInPlace maps a vector to coordinate signs in {−1, 0, 1}.

@@ -18,6 +18,9 @@ type CollectStats struct {
 	Compute       time.Duration
 	Communication time.Duration
 	CommBytes     int64
+	// BroadcastBytes counts serialized PS→worker parameter-broadcast
+	// bytes for sources that physically move (or measure) them.
+	BroadcastBytes int64
 }
 
 // GradientSource supplies one round's per-worker gradient replicas to
@@ -109,12 +112,17 @@ func (s localSource) Collect(_ context.Context, rd *Round) (CollectStats, error)
 
 	// Fault plan: remove skipped and crashed workers before any compute
 	// happens. Pure delays are a wire-transport phenomenon; in process
-	// they are full participation.
+	// they are full participation. Crashes are remembered separately
+	// under measured communication: a crashed worker receives no
+	// parameter broadcast, a merely skipping one still does.
 	if e.cfg.Fault != nil {
 		for u := 0; u < a.K; u++ {
 			d := e.cfg.Fault.Plan(e.iter, u)
 			if d.Skip || d.Crash {
 				ar.missing[u] = true
+			}
+			if ar.crashed != nil {
+				ar.crashed[u] = d.Crash
 			}
 		}
 	}
@@ -215,8 +223,12 @@ func (s localSource) Collect(_ context.Context, rd *Round) (CollectStats, error)
 	// decoding are physically executed; the decoded receive buffers
 	// become the PS's working set, exactly as bytes off a wire would.
 	commStart := time.Now()
-	var commBytes int64
+	var commBytes, bcastBytes int64
 	if e.cfg.MeasureComm {
+		var err error
+		if bcastBytes, err = s.measureBroadcast(); err != nil {
+			return CollectStats{}, err
+		}
 		for u := 0; u < a.K; u++ {
 			if ar.missing[u] {
 				continue
@@ -239,8 +251,69 @@ func (s localSource) Collect(_ context.Context, rd *Round) (CollectStats, error)
 	commTime := time.Since(commStart)
 
 	return CollectStats{
-		Compute:       computeTime,
-		Communication: commTime,
-		CommBytes:     commBytes,
+		Compute:        computeTime,
+		Communication:  commTime,
+		CommBytes:      commBytes,
+		BroadcastBytes: bcastBytes,
 	}, nil
+}
+
+// measureBroadcast physically serializes this round's PS→worker
+// parameter broadcast and returns its total byte count, applying the
+// same bandwidth policy as the TCP server: a full frame on round 0, on
+// every BroadcastFullEvery-th round, and to any worker that did not
+// acknowledge the previous broadcast; an XOR delta frame against the
+// previous round's vector otherwise. Each distinct frame is decoded
+// once into the arena's scratch vector, so the broadcast round-trip is
+// executed, not modelled. It also rolls the per-worker acknowledgement
+// state forward for the next round.
+func (s localSource) measureBroadcast() (int64, error) {
+	e := s.e
+	a := e.cfg.Assignment
+	ar := e.arena
+	every := e.cfg.BroadcastFullEvery
+	refresh := e.iter == 0 || every <= 0 || e.iter%every == 0
+
+	var fullFrame, deltaFrame []byte
+	var total int64
+	buf := ar.bcastBuf[:0]
+	for u := 0; u < a.K; u++ {
+		if ar.crashed[u] {
+			continue // evicted: the PS no longer sends to it
+		}
+		full := refresh || !ar.prevAck[u]
+		var err error
+		switch {
+		case full && fullFrame == nil:
+			mark := len(buf)
+			if buf, err = wire.AppendParamsFull(buf, e.params); err != nil {
+				return 0, fmt.Errorf("cluster: broadcast: %w", err)
+			}
+			fullFrame = buf[mark:]
+			if _, _, err := wire.DecodeParams(fullFrame, ar.bcastScratch); err != nil {
+				return 0, fmt.Errorf("cluster: broadcast decode: %w", err)
+			}
+		case !full && deltaFrame == nil:
+			mark := len(buf)
+			if buf, err = wire.AppendParamsDelta(buf, ar.prevParams, e.params); err != nil {
+				return 0, fmt.Errorf("cluster: broadcast: %w", err)
+			}
+			deltaFrame = buf[mark:]
+			copy(ar.bcastScratch, ar.prevParams)
+			if _, _, err := wire.DecodeParams(deltaFrame, ar.bcastScratch); err != nil {
+				return 0, fmt.Errorf("cluster: broadcast decode: %w", err)
+			}
+		}
+		if full {
+			total += int64(len(fullFrame))
+		} else {
+			total += int64(len(deltaFrame))
+		}
+	}
+	ar.bcastBuf = buf
+	copy(ar.prevParams, e.params)
+	for u := 0; u < a.K; u++ {
+		ar.prevAck[u] = !ar.crashed[u]
+	}
+	return total, nil
 }

@@ -108,16 +108,20 @@ func RenderFigureCSV(w io.Writer, fig Figure) {
 	}
 }
 
-// RenderTiming writes the Figure 12 per-iteration phase split.
+// RenderTiming writes the Figure 12 per-iteration phase split, plus the
+// measured wire volume in each direction (worker→PS gradient frames and
+// PS→worker parameter broadcast).
 func RenderTiming(w io.Writer, rows []TimingRow) {
-	fmt.Fprintf(w, "%-12s %14s %14s %14s %12s\n", "scheme", "compute/iter", "comm/iter", "agg/iter", "bytes/iter")
+	fmt.Fprintf(w, "%-12s %14s %14s %14s %12s %12s\n",
+		"scheme", "compute/iter", "comm/iter", "agg/iter", "upB/iter", "downB/iter")
 	for _, r := range rows {
 		c, m, a := r.PerIteration()
-		bytesPer := r.CommBytes
+		up, down := r.CommBytes, r.BroadcastBytes
 		if r.Rounds > 0 {
-			bytesPer = r.CommBytes / int64(r.Rounds)
+			up /= int64(r.Rounds)
+			down /= int64(r.Rounds)
 		}
-		fmt.Fprintf(w, "%-12s %14s %14s %14s %12d\n", r.Scheme, round(c), round(m), round(a), bytesPer)
+		fmt.Fprintf(w, "%-12s %14s %14s %14s %12d %12d\n", r.Scheme, round(c), round(m), round(a), up, down)
 	}
 }
 

@@ -21,7 +21,11 @@ type TimingRow struct {
 	Communication time.Duration
 	Aggregation   time.Duration
 	CommBytes     int64
-	Rounds        int
+	// BroadcastBytes is the measured PS→worker parameter broadcast
+	// volume (full frames every BroadcastFullEvery rounds, bit-exact
+	// XOR deltas otherwise).
+	BroadcastBytes int64
+	Rounds         int
 }
 
 // PerIteration returns the phase times divided by the round count.
@@ -100,6 +104,10 @@ func timeOne(ctx context.Context, name string, spec RunSpec, opts TrainOpts, rou
 		Momentum:    0.9,
 		Seed:        opts.Seed,
 		MeasureComm: true,
+		// Delta parameter broadcasts with a periodic full refresh — the
+		// steady-state policy of the TCP server, so the measured
+		// PS→worker volume reflects the bandwidth-aware wire protocol.
+		BroadcastFullEvery: 16,
 	})
 	if err != nil {
 		return TimingRow{}, err
@@ -112,11 +120,12 @@ func timeOne(ctx context.Context, name string, spec RunSpec, opts TrainOpts, rou
 	}
 	times := eng.Times()
 	return TimingRow{
-		Scheme:        name,
-		Compute:       times.Compute,
-		Communication: times.Communication,
-		Aggregation:   times.Aggregation,
-		CommBytes:     times.CommBytes,
-		Rounds:        rounds,
+		Scheme:         name,
+		Compute:        times.Compute,
+		Communication:  times.Communication,
+		Aggregation:    times.Aggregation,
+		CommBytes:      times.CommBytes,
+		BroadcastBytes: times.BroadcastBytes,
+		Rounds:         rounds,
 	}, nil
 }

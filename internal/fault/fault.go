@@ -1,7 +1,9 @@
 // Package fault implements registry-named worker fault models for
 // partial-participation rounds: crash (permanent stop), straggler
 // (every-round delay), delay (one-shot delay), and flaky (random
-// per-round report drops). Faults are orthogonal to Byzantine attacks —
+// per-round report drops), plus Stack, which composes several models
+// into one heterogeneous fleet scenario (different workers failing in
+// different ways). Faults are orthogonal to Byzantine attacks —
 // an attack corrupts what a worker sends, a fault decides whether and
 // when it sends at all — so scenarios compose with the existing
 // attack × aggregator matrix.
@@ -17,6 +19,7 @@ package fault
 import (
 	"fmt"
 	"slices"
+	"strings"
 	"time"
 )
 
@@ -140,6 +143,42 @@ func (f Flaky) Plan(round, worker int) Decision {
 		return Decision{Skip: true}
 	}
 	return Decision{}
+}
+
+// Stack composes several fault models into one heterogeneous fleet
+// scenario (e.g. worker 2 flaky AND worker 9 straggling): every model
+// is evaluated for each (round, worker) pair and the decisions merge —
+// Crash and Skip are OR-ed, Delay takes the maximum (concurrent causes
+// overlap rather than queue). Because each member is deterministic in
+// (round, worker), so is the stack, and every process evaluating the
+// same stack agrees on the schedule without coordination. An empty
+// stack is fault-free.
+type Stack []Fault
+
+// Name implements Fault.
+func (s Stack) Name() string {
+	if len(s) == 0 {
+		return "none"
+	}
+	names := make([]string, len(s))
+	for i, f := range s {
+		names[i] = f.Name()
+	}
+	return "stack(" + strings.Join(names, "+") + ")"
+}
+
+// Plan implements Fault.
+func (s Stack) Plan(round, worker int) Decision {
+	var out Decision
+	for _, f := range s {
+		d := f.Plan(round, worker)
+		out.Skip = out.Skip || d.Skip
+		out.Crash = out.Crash || d.Crash
+		if d.Delay > out.Delay {
+			out.Delay = d.Delay
+		}
+	}
+	return out
 }
 
 // sorted returns a sorted copy for stable Name strings.

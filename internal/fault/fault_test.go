@@ -81,6 +81,44 @@ func TestFlakyDeterministicAndCalibrated(t *testing.T) {
 	}
 }
 
+// TestStackComposesPerWorker: a stack of targeted models yields a
+// heterogeneous fleet — each worker fails only its own way, decisions
+// merge (Crash/Skip OR-ed, Delay max), and the composition stays
+// deterministic.
+func TestStackComposesPerWorker(t *testing.T) {
+	s := Stack{
+		Flaky{Workers: []int{2}, P: 1, Seed: 3},
+		Straggler{Workers: []int{9}, Delay: 50 * time.Millisecond},
+		Crash{Workers: []int{4}, AtRound: 1},
+	}
+	for round := 0; round < 4; round++ {
+		if d := s.Plan(round, 2); !d.Skip || d.Crash || d.Delay != 0 {
+			t.Errorf("round %d worker 2: %+v, want pure skip", round, d)
+		}
+		if d := s.Plan(round, 9); d.Delay != 50*time.Millisecond || d.Skip || d.Crash {
+			t.Errorf("round %d worker 9: %+v, want pure delay", round, d)
+		}
+		if d := s.Plan(round, 4); d.Crash != (round >= 1) {
+			t.Errorf("round %d worker 4: crash = %v", round, d.Crash)
+		}
+		if d := s.Plan(round, 0); d != (Decision{}) {
+			t.Errorf("round %d untargeted worker: %+v", round, d)
+		}
+	}
+	// Overlapping targets merge: both models hit worker 7.
+	m := Stack{
+		Straggler{Workers: []int{7}, Delay: 10 * time.Millisecond},
+		Straggler{Workers: []int{7}, Delay: 30 * time.Millisecond},
+		Flaky{Workers: []int{7}, P: 1, Seed: 1},
+	}
+	if d := m.Plan(0, 7); d.Delay != 30*time.Millisecond || !d.Skip {
+		t.Errorf("merged decision %+v, want max delay + skip", d)
+	}
+	if Stack(nil).Name() != "none" || (Stack{}).Plan(0, 0) != (Decision{}) {
+		t.Error("empty stack is not fault-free")
+	}
+}
+
 func TestNamesAreStable(t *testing.T) {
 	cases := []struct {
 		f    Fault
@@ -91,6 +129,8 @@ func TestNamesAreStable(t *testing.T) {
 		{Straggler{Workers: []int{3}, Delay: time.Second}, "straggler/1s[3]"},
 		{Delay{Workers: []int{0}, Round: 4, Delay: time.Millisecond}, "delay@4/1ms[0]"},
 		{Flaky{Workers: []int{1, 0}, P: 0.25}, "flaky/0.25[0 1]"},
+		{Stack{Flaky{Workers: []int{2}, P: 0.5}, Crash{Workers: []int{4}}},
+			"stack(flaky/0.50[2]+crash@0[4])"},
 	}
 	for _, c := range cases {
 		if got := c.f.Name(); got != c.want {

@@ -1,6 +1,6 @@
 // Package transport implements a real network transport for the
 // training protocol: a TCP parameter server and worker clients speaking
-// a gob-encoded message protocol over net.Conn. This is the repository's
+// the framed v2 control protocol over net.Conn. This is the repository's
 // substitute for the paper's MPICH deployment — cmd/byzps and
 // cmd/byzworker run the same synchronous rounds as the in-process engine
 // across OS processes (or machines). The server executes every round
@@ -9,13 +9,29 @@
 // aggregates, and steps exactly like the in-process engine and
 // reproduces its parameter trajectory bit-for-bit for the same Spec.
 //
-// Wire protocol (all messages gob-encoded on a persistent connection):
+// Wire protocol v2 (every message one self-delimiting frame, see
+// internal/wire: magic, version, type, length header + canonical
+// little-endian binary payload):
 //
-//	worker → PS:  Hello{WorkerID}
-//	PS → worker:  Welcome{Spec}            (experiment description)
-//	PS → worker:  RoundStart{Iteration, Params, Files}
+//	worker → PS:  Hello{WorkerID, Version, Token, Resume}
+//	PS → worker:  Welcome{Version, Token, FullEvery, Spec}
+//	PS → worker:  RoundStart{Iteration, BaseIteration, ParamsFrame, Files}
 //	worker → PS:  GradientReport{WorkerID, Iteration, Frame}
 //	PS → worker:  Shutdown{FinalAccuracy}
+//
+// Version negotiation happens in Hello/Welcome: both sides state the
+// protocol version they speak (additionally stamped on every frame
+// header) and a mismatch rejects the connection before any round state
+// is exchanged. The Welcome carries a per-worker session token; an
+// evicted or crashed worker reconnects by re-sending Hello with
+// Resume=true and that token, and the server re-admits it at the next
+// round boundary (see server.go).
+//
+// RoundStart is bandwidth-aware: ParamsFrame is a full parameter vector
+// only on join/rejoin and every FullEvery-th round, and a bit-exact XOR
+// delta against the previous round's acknowledged vector otherwise
+// (wire.AppendParamsDelta), so the steady-state PS→worker broadcast
+// shrinks to the bytes that actually changed.
 //
 // Workers reconstruct the dataset and model deterministically from the
 // Spec (seeded synthetic data stands in for the shared dataset storage
@@ -23,20 +39,24 @@
 // exactly as in the paper's setup where every node holds the dataset.
 //
 // Rounds tolerate partial participation: each worker's report is
-// collected under a per-round deadline; workers that crash, stall past
-// it, or misbehave are evicted and the round core's quorum rule votes
-// the surviving replicas (see DESIGN.md §8). An empty GradientReport
-// frame is an explicit skip — alive, but no gradients this round. The
-// Spec can name a fault model (internal/fault) that every worker
-// injects on itself, so crash/straggler/flaky scenarios run against the
-// server's real deadline handling.
+// collected under a per-round deadline. Because frames are
+// self-delimiting and the Conn resumes interrupted reads, a deadline
+// that fires mid-message no longer poisons the stream: a slow worker is
+// only marked missing for the round, its stale report is discarded at
+// the next round boundary, and it keeps participating. Workers whose
+// connection actually breaks are evicted and may rejoin. An empty
+// GradientReport frame is an explicit skip — alive, but no gradients
+// this round. The Spec can name fault models (internal/fault) that
+// every worker injects on itself, so crash/straggler/flaky scenarios —
+// including per-worker heterogeneous compositions via Faults — run
+// against the server's real deadline handling.
 package transport
 
 import (
 	"context"
-	"encoding/gob"
 	"fmt"
 	"net"
+	"slices"
 	"time"
 
 	"byzshield/internal/aggregate"
@@ -46,7 +66,25 @@ import (
 	"byzshield/internal/model"
 	"byzshield/internal/registry"
 	"byzshield/internal/trainer"
+	"byzshield/internal/wire"
 )
+
+// Message type bytes of the v2 framing.
+const (
+	msgHello byte = iota + 1
+	msgWelcome
+	msgRoundStart
+	msgGradientReport
+	msgShutdown
+)
+
+// FaultSpec names one registry fault model with its parameters, so a
+// Spec can compose heterogeneous per-worker faults on the wire (each
+// model targets its own workers; see fault.Stack).
+type FaultSpec struct {
+	Name   string
+	Params registry.FaultParams
+}
 
 // Spec describes the experiment so every process builds identical
 // datasets, models, and assignments. Component names resolve through
@@ -87,6 +125,11 @@ type Spec struct {
 	// on the injected schedule without coordination.
 	Fault       string
 	FaultParams registry.FaultParams
+	// Faults composes additional fault models on top of Fault, so
+	// different workers can fail in different ways at once (worker 2
+	// flaky AND worker 9 straggling). All named models resolve through
+	// the registry and stack via fault.Stack.
+	Faults []FaultSpec
 }
 
 // components is the shared catalog every Spec resolves names through;
@@ -129,38 +172,281 @@ func (s *Spec) BuildData() (train, test *data.Dataset, err error) {
 	})
 }
 
-// BuildFault constructs the worker fault model named by the spec
-// (fault-free when unset).
+// BuildFault constructs the worker fault model named by the spec:
+// fault-free when nothing is named, the single Fault model when only it
+// is set, and a fault.Stack composing Fault plus every Faults entry
+// otherwise.
 func (s *Spec) BuildFault() (fault.Fault, error) {
-	if s.Fault == "" {
-		return fault.None{}, nil
+	var stack fault.Stack
+	if s.Fault != "" {
+		f, err := components.Fault(s.Fault, s.FaultParams)
+		if err != nil {
+			return nil, err
+		}
+		stack = append(stack, f)
 	}
-	return components.Fault(s.Fault, s.FaultParams)
+	for _, fs := range s.Faults {
+		f, err := components.Fault(fs.Name, fs.Params)
+		if err != nil {
+			return nil, err
+		}
+		stack = append(stack, f)
+	}
+	switch len(stack) {
+	case 0:
+		return fault.None{}, nil
+	case 1:
+		return stack[0], nil
+	default:
+		return stack, nil
+	}
 }
 
-// Hello is the worker's first message.
+// --- Spec payload codec --------------------------------------------
+
+// appendSpec encodes the spec in canonical field order. The legacy
+// single Fault field is folded into the Faults list on the wire (first
+// entry), so the two representations are indistinguishable to workers —
+// both sides resolve participation through the same composed model.
+func appendSpec(dst []byte, s *Spec) ([]byte, error) {
+	dst = wire.AppendString(dst, s.Scheme)
+	for _, v := range []int{s.L, s.R, s.K, s.F} {
+		dst = wire.AppendU32(dst, uint32(v))
+	}
+	dst = wire.AppendString(dst, s.Aggregator)
+	for _, v := range []int{s.AggParams.C, s.AggParams.M, s.AggParams.Trim,
+		s.AggParams.Groups, s.AggParams.Near} {
+		dst = wire.AppendU32(dst, uint32(v))
+	}
+	dst = wire.AppendF64(dst, s.AggParams.Threshold)
+	for _, v := range []int{s.TrainN, s.TestN, s.Dim, s.Classes, s.Hidden, s.BatchSize} {
+		dst = wire.AppendU32(dst, uint32(v))
+	}
+	var err error
+	dst = wire.AppendI64(dst, s.DataSeed)
+	dst = wire.AppendF64(dst, s.ClassSep)
+	dst = wire.AppendF64(dst, s.Schedule.Base)
+	dst = wire.AppendF64(dst, s.Schedule.Decay)
+	dst = wire.AppendU32(dst, uint32(s.Schedule.Every))
+	dst = wire.AppendF64(dst, s.Momentum)
+	dst = wire.AppendI64(dst, s.Seed)
+	dst = wire.AppendU32(dst, uint32(s.Rounds))
+	faults := s.Faults
+	if s.Fault != "" {
+		faults = append([]FaultSpec{{Name: s.Fault, Params: s.FaultParams}}, faults...)
+	}
+	dst = wire.AppendU32(dst, uint32(len(faults)))
+	for _, fs := range faults {
+		if dst, err = appendFaultSpec(dst, &fs); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// appendFaultSpec encodes one named fault model.
+func appendFaultSpec(dst []byte, fs *FaultSpec) ([]byte, error) {
+	dst = wire.AppendString(dst, fs.Name)
+	dst, err := wire.AppendInts(dst, fs.Params.Workers)
+	if err != nil {
+		return nil, err
+	}
+	dst = wire.AppendU32(dst, uint32(fs.Params.Round))
+	dst = wire.AppendF64(dst, fs.Params.P)
+	dst = wire.AppendI64(dst, int64(fs.Params.Delay))
+	dst = wire.AppendI64(dst, fs.Params.Seed)
+	return dst, nil
+}
+
+// decodeSpec decodes the spec fields in appendSpec order.
+func decodeSpec(d *wire.Dec, s *Spec) {
+	s.Scheme = d.String()
+	s.L, s.R, s.K, s.F = d.Int(), d.Int(), d.Int(), d.Int()
+	s.Aggregator = d.String()
+	s.AggParams.C, s.AggParams.M, s.AggParams.Trim = d.Int(), d.Int(), d.Int()
+	s.AggParams.Groups, s.AggParams.Near = d.Int(), d.Int()
+	s.AggParams.Threshold = d.F64()
+	s.TrainN, s.TestN, s.Dim = d.Int(), d.Int(), d.Int()
+	s.Classes, s.Hidden, s.BatchSize = d.Int(), d.Int(), d.Int()
+	s.DataSeed = d.I64()
+	s.ClassSep = d.F64()
+	s.Schedule.Base = d.F64()
+	s.Schedule.Decay = d.F64()
+	s.Schedule.Every = d.Int()
+	s.Momentum = d.F64()
+	s.Seed = d.I64()
+	s.Rounds = d.Int()
+	n := d.Int()
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	if n > 1<<16 {
+		// Poison the decoder via an impossible read rather than trusting
+		// a hostile count.
+		d.Skip(1 << 30)
+		return
+	}
+	s.Faults = make([]FaultSpec, 0, n)
+	for i := 0; i < n; i++ {
+		var fs FaultSpec
+		fs.Name = d.String()
+		fs.Params.Workers = d.Ints()
+		fs.Params.Round = d.Int()
+		fs.Params.P = d.F64()
+		fs.Params.Delay = time.Duration(d.I64())
+		fs.Params.Seed = d.I64()
+		s.Faults = append(s.Faults, fs)
+	}
+}
+
+// --- Messages -------------------------------------------------------
+
+// Message is a framed protocol message.
+type Message interface {
+	wireType() byte
+	appendPayload(dst []byte) ([]byte, error)
+}
+
+// Hello is the worker's first message on every connection. A fresh
+// worker sends Resume=false with Token 0; a worker reconnecting after a
+// crash or eviction sends Resume=true with the session token its first
+// Welcome assigned, which the server validates before re-admitting it.
 type Hello struct {
 	WorkerID int
+	// Version is the protocol version the worker speaks (negotiation:
+	// the server rejects mismatches before any round state moves).
+	Version int
+	Token   uint64
+	Resume  bool
 }
 
-// Welcome is the PS's reply to Hello.
+func (Hello) wireType() byte { return msgHello }
+
+func (m Hello) appendPayload(dst []byte) ([]byte, error) {
+	if m.WorkerID < 0 {
+		return nil, fmt.Errorf("transport: negative worker id %d", m.WorkerID)
+	}
+	dst = wire.AppendU32(dst, uint32(m.WorkerID))
+	dst = wire.AppendU8(dst, uint8(m.Version))
+	dst = wire.AppendU64(dst, m.Token)
+	var resume uint8
+	if m.Resume {
+		resume = 1
+	}
+	return wire.AppendU8(dst, resume), nil
+}
+
+func (m *Hello) decodePayload(src []byte) error {
+	d := wire.NewDec(src)
+	m.WorkerID = d.Int()
+	m.Version = int(d.U8())
+	m.Token = d.U64()
+	m.Resume = d.U8() != 0
+	return d.Done()
+}
+
+// Welcome is the PS's reply to an accepted Hello.
 type Welcome struct {
-	Spec Spec
+	// Version echoes the negotiated protocol version.
+	Version int
+	// Token is the worker's session token for rejoin handshakes.
+	Token uint64
+	// FullEvery is the server's full-broadcast cadence (every N-th
+	// round ships the whole vector; deltas in between).
+	FullEvery int
+	Spec      Spec
 }
 
-// RoundStart carries the model and this worker's file assignments for
-// one iteration. Files maps file id → training-sample indices.
+func (Welcome) wireType() byte { return msgWelcome }
+
+func (m Welcome) appendPayload(dst []byte) ([]byte, error) {
+	dst = wire.AppendU8(dst, uint8(m.Version))
+	dst = wire.AppendU64(dst, m.Token)
+	dst = wire.AppendU32(dst, uint32(m.FullEvery))
+	return appendSpec(dst, &m.Spec)
+}
+
+func (m *Welcome) decodePayload(src []byte) error {
+	d := wire.NewDec(src)
+	m.Version = int(d.U8())
+	m.Token = d.U64()
+	m.FullEvery = d.Int()
+	decodeSpec(d, &m.Spec)
+	return d.Done()
+}
+
+// RoundStart carries the model parameters and this worker's file
+// assignments for one iteration. ParamsFrame is a wire params frame
+// (full or delta; wire.DecodeParams applies it); on a delta frame,
+// BaseIteration names the round whose parameters the delta patches, and
+// the worker must hold exactly that vector. Files maps file id →
+// training-sample indices.
 type RoundStart struct {
-	Iteration int
-	Params    []float64
-	Files     map[int][]int
+	Iteration     int
+	BaseIteration int
+	ParamsFrame   []byte
+	Files         map[int][]int
+}
+
+func (RoundStart) wireType() byte { return msgRoundStart }
+
+func (m RoundStart) appendPayload(dst []byte) ([]byte, error) {
+	dst = wire.AppendU32(dst, uint32(m.Iteration))
+	dst = wire.AppendU32(dst, uint32(m.BaseIteration))
+	dst = wire.AppendU32(dst, uint32(len(m.ParamsFrame)))
+	dst = append(dst, m.ParamsFrame...)
+	ids := make([]int, 0, len(m.Files))
+	for v := range m.Files {
+		ids = append(ids, v)
+	}
+	slices.Sort(ids) // canonical order
+	dst = wire.AppendU32(dst, uint32(len(ids)))
+	var err error
+	for _, v := range ids {
+		if v < 0 {
+			return nil, fmt.Errorf("transport: negative file id %d", v)
+		}
+		dst = wire.AppendU32(dst, uint32(v))
+		if dst, err = wire.AppendInts(dst, m.Files[v]); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func (m *RoundStart) decodePayload(src []byte) error {
+	d := wire.NewDec(src)
+	m.Iteration = d.Int()
+	m.BaseIteration = d.Int()
+	n := d.Int()
+	if d.Err() == nil && n > len(src)-d.Offset() {
+		return fmt.Errorf("transport: params frame declares %d bytes, have %d", n, len(src)-d.Offset())
+	}
+	if d.Err() == nil {
+		m.ParamsFrame = append(m.ParamsFrame[:0], src[d.Offset():d.Offset()+n]...)
+		d.Skip(n)
+	}
+	nf := d.Int()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	m.Files = make(map[int][]int, nf)
+	for i := 0; i < nf; i++ {
+		v := d.Int()
+		samples := d.Ints()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		m.Files[v] = samples
+	}
+	return d.Done()
 }
 
 // GradientReport returns the worker's per-file gradient sums. The
 // gradients travel as one compact binary gradient frame (see
-// internal/wire) instead of gob-encoded nested slices: fixed 8-byte
-// float encoding and no per-message type reflection make the worker→PS
-// hot path smaller and substantially faster to serialize.
+// internal/wire) instead of nested slices: fixed 8-byte float encoding
+// and no per-message reflection make the worker→PS hot path small and
+// fast to serialize.
 type GradientReport struct {
 	WorkerID  int
 	Iteration int
@@ -172,24 +458,37 @@ type GradientReport struct {
 	Frame []byte
 }
 
+func (GradientReport) wireType() byte { return msgGradientReport }
+
+func (m GradientReport) appendPayload(dst []byte) ([]byte, error) {
+	dst = wire.AppendU32(dst, uint32(m.WorkerID))
+	dst = wire.AppendU32(dst, uint32(m.Iteration))
+	return append(dst, m.Frame...), nil
+}
+
+func (m *GradientReport) decodePayload(src []byte) error {
+	d := wire.NewDec(src)
+	m.WorkerID = d.Int()
+	m.Iteration = d.Int()
+	m.Frame = append(m.Frame[:0], d.Rest()...)
+	return d.Err()
+}
+
 // Shutdown terminates a worker at the end of training.
 type Shutdown struct {
 	FinalAccuracy float64
 }
 
-// Envelope wraps every message with a type tag; gob needs concrete types
-// registered on both sides.
-type Envelope struct {
-	Kind string
-	Msg  any
+func (Shutdown) wireType() byte { return msgShutdown }
+
+func (m Shutdown) appendPayload(dst []byte) ([]byte, error) {
+	return wire.AppendF64(dst, m.FinalAccuracy), nil
 }
 
-func init() {
-	gob.Register(Hello{})
-	gob.Register(Welcome{})
-	gob.Register(RoundStart{})
-	gob.Register(GradientReport{})
-	gob.Register(Shutdown{})
+func (m *Shutdown) decodePayload(src []byte) error {
+	d := wire.NewDec(src)
+	m.FinalAccuracy = d.F64()
+	return d.Done()
 }
 
 // closeOnCancel arranges for closer to be closed when ctx is canceled,
@@ -208,40 +507,137 @@ func ctxErr(ctx context.Context, err error) error {
 	return err
 }
 
-// Conn is a gob message stream over a network connection.
+// Conn is a framed v2 message stream over a network connection.
+//
+// Reads are resumable: Recv tracks how much of the current frame header
+// and body has arrived, so a Recv aborted by a read deadline leaves the
+// stream position intact and a later Recv continues the same frame
+// where it stopped. This is what lets the server keep a slow worker's
+// connection across a missed round instead of evicting it — the v1 gob
+// stream had no frame boundaries to come back to.
 type Conn struct {
 	raw net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
+	// Write scratch (payload and frame), reused across Sends.
+	pbuf, wbuf []byte
+	// Resumable read state for the in-flight frame.
+	hdr    [wire.FrameHeaderSize]byte
+	hdrN   int
+	typ    byte
+	body   []byte
+	bodyN  int
+	inBody bool
 }
 
 // NewConn wraps a net.Conn.
-func NewConn(raw net.Conn) *Conn {
-	return &Conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
-}
+func NewConn(raw net.Conn) *Conn { return &Conn{raw: raw} }
 
-// Send transmits one message.
-func (c *Conn) Send(msg any) error {
-	return c.enc.Encode(Envelope{Kind: fmt.Sprintf("%T", msg), Msg: msg})
-}
-
-// Recv receives the next message.
-func (c *Conn) Recv() (any, error) {
-	var env Envelope
-	if err := c.dec.Decode(&env); err != nil {
-		return nil, err
+// Send transmits one message as a single frame and reports the frame's
+// size in bytes (the exact wire cost of the message).
+func (c *Conn) Send(msg Message) (int, error) {
+	payload, err := msg.appendPayload(c.pbuf[:0])
+	if err != nil {
+		return 0, err
 	}
-	return env.Msg, nil
+	c.pbuf = payload
+	frame, err := wire.AppendFrame(c.wbuf[:0], msg.wireType(), payload)
+	if err != nil {
+		return 0, err
+	}
+	c.wbuf = frame
+	if _, err := c.raw.Write(frame); err != nil {
+		return 0, err
+	}
+	return len(frame), nil
+}
+
+// Recv receives the next message. Decoded messages reuse no Conn
+// state, so callers own them. On a timeout error the partial frame
+// remains buffered and the next Recv resumes it; any other error (or a
+// malformed frame) is fatal for the stream.
+func (c *Conn) Recv() (any, error) {
+	if !c.inBody {
+		for c.hdrN < len(c.hdr) {
+			n, err := c.raw.Read(c.hdr[c.hdrN:])
+			c.hdrN += n
+			if err != nil {
+				return nil, err
+			}
+		}
+		typ, length, err := wire.ParseFrameHeader(c.hdr[:])
+		if err != nil {
+			return nil, err
+		}
+		c.typ = typ
+		if cap(c.body) < length {
+			c.body = make([]byte, length)
+		}
+		c.body = c.body[:length]
+		c.bodyN = 0
+		c.inBody = true
+	}
+	for c.bodyN < len(c.body) {
+		n, err := c.raw.Read(c.body[c.bodyN:])
+		c.bodyN += n
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.inBody = false
+	c.hdrN = 0
+	return decodeMessage(c.typ, c.body)
+}
+
+// decodeMessage decodes one frame body into its message value.
+func decodeMessage(typ byte, body []byte) (any, error) {
+	switch typ {
+	case msgHello:
+		var m Hello
+		if err := m.decodePayload(body); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case msgWelcome:
+		var m Welcome
+		if err := m.decodePayload(body); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case msgRoundStart:
+		var m RoundStart
+		if err := m.decodePayload(body); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case msgGradientReport:
+		var m GradientReport
+		if err := m.decodePayload(body); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case msgShutdown:
+		var m Shutdown
+		if err := m.decodePayload(body); err != nil {
+			return nil, err
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown message type %d", typ)
+	}
 }
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.raw.Close() }
 
 // SetReadDeadline bounds the next Recv calls; the zero time clears the
-// deadline. A Recv that trips the deadline leaves the gob stream in an
-// undefined partial state, so callers must close the connection after a
-// timeout rather than retry.
+// deadline. A Recv that trips the deadline keeps the partial frame
+// buffered, so the stream stays usable afterwards.
 func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline(t) }
+
+// SetWriteDeadline bounds the next Send calls; the zero time clears the
+// deadline. Unlike reads, a Send that trips the deadline may have
+// written a partial frame and poisons the outbound stream — callers
+// must close the connection.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadline(t) }
 
 // RemoteAddr exposes the peer address for logging.
 func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }

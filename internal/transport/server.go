@@ -2,8 +2,10 @@ package transport
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
 	"fmt"
-	"log"
 	"net"
 	"slices"
 	"sync"
@@ -20,13 +22,26 @@ import (
 // DefaultRoundTimeout is the per-round worker report deadline applied
 // when ServerConfig.RoundTimeout is zero. A worker that has not
 // delivered its gradient report this long after the round broadcast is
-// evicted and the round proceeds over the survivors.
+// marked missing and the round proceeds over the survivors.
 const DefaultRoundTimeout = 30 * time.Second
 
+// DefaultFullBroadcastEvery is the full-parameter-broadcast cadence
+// applied when ServerConfig.FullBroadcastEvery is zero: every 16th
+// round ships the whole vector, the rounds between ship bit-exact XOR
+// deltas.
+const DefaultFullBroadcastEvery = 16
+
 // helloTimeout bounds how long an accepted connection may take to send
-// its Hello before the accept loop rejects it and moves on; without it
-// a half-open connection could stall worker admission forever.
+// its Hello before the handshake rejects it and moves on; without it a
+// half-open connection could stall worker admission forever.
 const helloTimeout = 30 * time.Second
+
+// shutdownDrainTimeout bounds how long the server drains a worker's
+// stale reports after sending Shutdown. Closing a socket with unread
+// data resets it, which would destroy the buffered Shutdown before a
+// lagging worker reads it; draining until the worker closes its end
+// hands every straggler its final accuracy.
+const shutdownDrainTimeout = 10 * time.Second
 
 // ServerConfig configures the TCP parameter server.
 type ServerConfig struct {
@@ -37,15 +52,24 @@ type ServerConfig struct {
 	// Logf receives progress lines; nil disables logging.
 	Logf func(format string, args ...any)
 	// EvalEvery controls accuracy evaluation cadence (default: every
-	// 10 rounds).
+	// 10 rounds). Evaluation runs on a parameter snapshot in a
+	// background goroutine, so workers never idle behind it.
 	EvalEvery int
 	// RoundTimeout is each worker's per-round report deadline: 0
 	// selects DefaultRoundTimeout, negative disables deadlines (the
-	// server then waits indefinitely, as the pre-fault-tolerant server
-	// did). A worker past its deadline is evicted from the run; the
-	// round continues over the surviving replicas under the quorum
-	// rule.
+	// server then waits indefinitely). A worker past its deadline is
+	// marked missing for the round but keeps its connection — frames
+	// are self-delimiting, so its late report is discarded and it
+	// participates again next round. Only a broken connection or a
+	// malformed message evicts a worker, and an evicted worker may
+	// rejoin with its session token.
 	RoundTimeout time.Duration
+	// FullBroadcastEvery is the cadence of full parameter broadcasts: 1
+	// ships the whole vector every round (no deltas), N > 1 ships it on
+	// every N-th round plus to every joining/rejoining or unacknowledged
+	// worker, with bit-exact XOR deltas in between. 0 selects
+	// DefaultFullBroadcastEvery.
+	FullBroadcastEvery int
 	// Quorum is the minimum surviving replicas a file needs to be voted
 	// (0 → majority of the nominal replication, R/2+1); see
 	// cluster.Config.Quorum.
@@ -55,7 +79,8 @@ type ServerConfig struct {
 	Parallelism int
 	// OnRound, when non-nil, receives every completed round's
 	// statistics — including missing workers and degraded/dropped file
-	// counts on partial-participation rounds.
+	// counts on partial-participation rounds. It runs on the serve loop
+	// between rounds: the next round starts only after it returns.
 	OnRound func(cluster.RoundStats)
 }
 
@@ -67,13 +92,21 @@ type ServerConfig struct {
 // the gradient arena, the parallel vote sharding, and the chunked
 // aggregation of the in-process engine and reproduces its parameter
 // trajectory bit-for-bit for the same Spec.
+//
+// The accept loop runs for the whole Serve call: workers that crash or
+// are evicted mid-run can reconnect (Hello with Resume and their
+// session token) and are re-admitted at the next round boundary, where
+// they receive a full parameter broadcast and resume contributing their
+// file gradients.
 type Server struct {
 	cfg        ServerConfig
 	listener   net.Listener
 	assignment *assign.Assignment
 	eng        *cluster.Engine
 	src        *wireSource
-	history    trainer.History
+
+	histMu  sync.Mutex
+	history trainer.History
 
 	mu      sync.Mutex
 	conns   []*Conn
@@ -118,7 +151,13 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.RoundTimeout == 0 {
 		cfg.RoundTimeout = DefaultRoundTimeout
 	}
-	src := newWireSource(asn, cfg.RoundTimeout, cfg.Logf)
+	if cfg.FullBroadcastEvery == 0 {
+		cfg.FullBroadcastEvery = DefaultFullBroadcastEvery
+	}
+	if cfg.FullBroadcastEvery < 1 {
+		return nil, fmt.Errorf("transport: full-broadcast cadence %d < 1", cfg.FullBroadcastEvery)
+	}
+	src := newWireSource(asn, cfg.RoundTimeout, cfg.FullBroadcastEvery, cfg.Logf)
 	eng, err := cluster.New(cluster.Config{
 		Assignment:  asn,
 		Model:       mdl,
@@ -155,9 +194,8 @@ func (s *Server) Addr() string { return s.listener.Addr().String() }
 
 // Close releases the listener and, when no Serve is in flight, the
 // engine's worker-pool goroutines. Close is safe to call concurrently
-// with a running Serve (matching the pre-fault-tolerant contract): the
-// engine must not be torn down under a mid-flight round, so in that
-// case Serve's own exit path releases it.
+// with a running Serve: the engine must not be torn down under a
+// mid-flight round, so in that case Serve's own exit path releases it.
 func (s *Server) Close() error {
 	err := s.listener.Close()
 	s.mu.Lock()
@@ -168,15 +206,20 @@ func (s *Server) Close() error {
 	return err
 }
 
-// History returns the recorded evaluation series.
-func (s *Server) History() *trainer.History { return &s.history }
+// History returns the recorded evaluation series. Valid once Serve has
+// returned (evaluation runs on a background goroutine during a run).
+func (s *Server) History() *trainer.History {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	return &s.history
+}
 
 // Params returns a copy of the current model parameter vector — the
 // wire-path counterpart of cluster.Engine.Params, used to verify
 // trajectory identity between the two paths.
 func (s *Server) Params() []float64 { return s.eng.Params() }
 
-// track registers a worker connection for cancellation teardown.
+// track registers a connection for cancellation teardown.
 func (s *Server) track(c *Conn) {
 	s.mu.Lock()
 	s.conns = append(s.conns, c)
@@ -195,16 +238,163 @@ func (s *Server) teardown() {
 	}
 }
 
+// newToken draws a fresh random session token.
+func newToken() (uint64, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// acceptLoop accepts connections for the whole run, handshaking each on
+// its own goroutine: initial joins before round 1, rejoins any time
+// after. It exits when the listener closes (teardown or end of Serve).
+func (s *Server) acceptLoop(ctx context.Context, done chan<- error) {
+	for {
+		raw, err := s.listener.Accept()
+		if err != nil {
+			done <- ctxErr(ctx, err)
+			return
+		}
+		conn := NewConn(raw)
+		s.track(conn)
+		go s.handshake(ctx, conn)
+	}
+}
+
+// handshake runs one connection's Hello/Welcome exchange. A bad
+// handshake rejects this connection only: the listener keeps accepting,
+// so one malformed, duplicate, or stale-token Hello cannot tear down
+// the cluster.
+func (s *Server) handshake(ctx context.Context, conn *Conn) {
+	reject := func(format string, args ...any) {
+		s.cfg.Logf("rejecting %s: %s", conn.RemoteAddr(), fmt.Sprintf(format, args...))
+		conn.Close()
+	}
+	conn.SetReadDeadline(time.Now().Add(helloTimeout))
+	msg, err := conn.Recv()
+	conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		reject("hello: %v", ctxErr(ctx, err))
+		return
+	}
+	hello, ok := msg.(Hello)
+	if !ok {
+		reject("expected Hello, got %T", msg)
+		return
+	}
+	if hello.Version != wire.ProtocolVersion {
+		reject("protocol version %d, want %d", hello.Version, wire.ProtocolVersion)
+		return
+	}
+	k := s.assignment.K
+	if hello.WorkerID < 0 || hello.WorkerID >= k {
+		reject("worker id %d out of range [0,%d)", hello.WorkerID, k)
+		return
+	}
+	token, err := newToken()
+	if err != nil {
+		reject("token: %v", err)
+		return
+	}
+	ws := s.src
+	ws.mu.Lock()
+	w := &ws.workers[hello.WorkerID]
+	switch {
+	case !w.joined:
+		// First join: reserve the slot (blocks duplicate Hellos) but do
+		// NOT publish the connection yet — it becomes visible to the
+		// join barrier and the round loop only after the Welcome is
+		// fully on the wire, so a RoundStart can never race the
+		// handshake's own Send on this Conn.
+		w.joined = true
+		w.token = token
+		ws.mu.Unlock()
+	case hello.Resume && hello.Token == w.token:
+		ws.mu.Unlock()
+	case hello.Resume:
+		ws.mu.Unlock()
+		reject("worker %d rejoin with bad token", hello.WorkerID)
+		return
+	default:
+		ws.mu.Unlock()
+		reject("worker %d already connected", hello.WorkerID)
+		return
+	}
+	if _, err := conn.Send(Welcome{
+		Version:   wire.ProtocolVersion,
+		Token:     token,
+		FullEvery: s.cfg.FullBroadcastEvery,
+		Spec:      s.cfg.Spec,
+	}); err != nil {
+		if !hello.Resume {
+			// Release the reserved slot so the worker id can join again.
+			ws.mu.Lock()
+			w := &ws.workers[hello.WorkerID]
+			w.joined = false
+			w.token = 0
+			ws.mu.Unlock()
+		}
+		reject("welcome: %v", ctxErr(ctx, err))
+		return
+	}
+	// The Welcome is on the wire: publish the connection. A rejoin is
+	// parked for round-boundary admission (closing any stale live or
+	// previously parked connection — a valid token proves the old
+	// stream is dead or hijacked); a first join goes live immediately
+	// (rounds wait for the full fleet behind the join barrier).
+	ws.mu.Lock()
+	w = &ws.workers[hello.WorkerID]
+	w.token = token
+	var stale []*Conn
+	if hello.Resume {
+		stale = append(stale, w.conn, w.pending)
+		w.conn = nil
+		w.pending = conn
+	} else {
+		w.conn = conn
+		w.lastAck = -1
+		ws.joinedCount++
+	}
+	joined := ws.joinedCount
+	ws.mu.Unlock()
+	for _, c := range stale {
+		if c != nil {
+			c.Close()
+		}
+	}
+	if hello.Resume {
+		s.cfg.Logf("worker %d reconnected from %s (re-admission at next round)", hello.WorkerID, conn.RemoteAddr())
+	} else {
+		s.cfg.Logf("worker %d joined from %s (%d/%d)", hello.WorkerID, conn.RemoteAddr(), joined, k)
+		select {
+		case ws.joinedCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// evalJob is one background evaluation request: the round it belongs to
+// and a snapshot of the parameters after that round.
+type evalJob struct {
+	round  int
+	params []float64
+}
+
 // Serve accepts the K workers, runs the configured number of rounds
 // through the shared round core, and shuts the workers down, returning
-// the final test accuracy. Workers that crash, stall past the round
-// deadline, or send malformed reports mid-run are evicted and the
-// remaining rounds execute over the survivors (files below the replica
-// quorum drop out of aggregation); training only fails when no file
-// meets quorum. Canceling ctx aborts the accept loop and any in-flight
-// round promptly (by closing the listener and worker connections) and
-// returns ctx.Err(); the evaluation history recorded up to that point
-// remains available via History.
+// the final test accuracy. Workers that stall past the round deadline
+// are marked missing for the round but stay connected; workers whose
+// connection breaks are evicted and may rejoin at a later round
+// boundary with their session token. Files below the replica quorum
+// drop out of aggregation; training only fails when no file meets
+// quorum. Accuracy/loss evaluation runs on parameter snapshots in a
+// background goroutine, so workers never wait on it between rounds.
+// Canceling ctx aborts the accept loop and any in-flight round promptly
+// (by closing the listener and worker connections) and returns
+// ctx.Err(); the evaluation history recorded up to that point remains
+// available via History.
 func (s *Server) Serve(ctx context.Context) (float64, error) {
 	s.mu.Lock()
 	s.serving = true
@@ -221,121 +411,158 @@ func (s *Server) Serve(ctx context.Context) (float64, error) {
 	stop := context.AfterFunc(ctx, s.teardown)
 	defer stop()
 
+	acceptDone := make(chan error, 1)
+	go s.acceptLoop(ctx, acceptDone)
+	defer s.listener.Close() // stop accepting once Serve unwinds
+
+	// Join barrier: wait until all K workers have completed a first
+	// handshake. joinedCh is pulsed per join; re-check the count.
 	k := s.assignment.K
-	for joined := 0; joined < k; {
-		raw, err := s.listener.Accept()
-		if err != nil {
+	for {
+		if s.src.joinedWorkers() >= k {
+			break
+		}
+		select {
+		case <-s.src.joinedCh:
+		case err := <-acceptDone:
 			return 0, fmt.Errorf("transport: accept: %w", ctxErr(ctx, err))
+		case <-ctx.Done():
+			return 0, ctx.Err()
 		}
-		conn := NewConn(raw)
-		s.track(conn)
-		// A bad handshake rejects this connection only: the listener
-		// keeps accepting, so one malformed or duplicate Hello cannot
-		// tear down the whole cluster.
-		conn.SetReadDeadline(time.Now().Add(helloTimeout))
-		msg, err := conn.Recv()
-		conn.SetReadDeadline(time.Time{})
-		if err != nil {
-			s.cfg.Logf("rejecting %s: hello: %v", conn.RemoteAddr(), ctxErr(ctx, err))
-			conn.Close()
-			continue
-		}
-		hello, ok := msg.(Hello)
-		if !ok {
-			s.cfg.Logf("rejecting %s: expected Hello, got %T", conn.RemoteAddr(), msg)
-			conn.Close()
-			continue
-		}
-		if hello.WorkerID < 0 || hello.WorkerID >= k {
-			s.cfg.Logf("rejecting %s: worker id %d out of range [0,%d)", conn.RemoteAddr(), hello.WorkerID, k)
-			conn.Close()
-			continue
-		}
-		if s.src.conns[hello.WorkerID] != nil {
-			s.cfg.Logf("rejecting %s: worker %d already connected", conn.RemoteAddr(), hello.WorkerID)
-			conn.Close()
-			continue
-		}
-		if err := conn.Send(Welcome{Spec: s.cfg.Spec}); err != nil {
-			s.cfg.Logf("rejecting %s: welcome: %v", conn.RemoteAddr(), ctxErr(ctx, err))
-			conn.Close()
-			continue
-		}
-		s.src.conns[hello.WorkerID] = conn
-		joined++
-		s.cfg.Logf("worker %d joined from %s (%d/%d)", hello.WorkerID, conn.RemoteAddr(), joined, k)
 	}
-	defer func() {
-		for _, c := range s.src.conns {
-			if c != nil {
-				c.Close()
-			}
+	defer s.src.closeAll()
+
+	// Background evaluation: snapshots stream through evalCh in round
+	// order; the goroutine appends to the history, so the serve loop
+	// never blocks on model evaluation.
+	evalCh := make(chan evalJob, 4)
+	evalDone := make(chan struct{})
+	go func() {
+		defer close(evalDone)
+		for job := range evalCh {
+			loss := s.eng.EvalLossParams(job.params)
+			acc := s.eng.EvaluateParams(job.params)
+			s.histMu.Lock()
+			s.history.Add(job.round, loss, acc)
+			s.histMu.Unlock()
+			s.cfg.Logf("round %d: loss=%.4f acc=%.4f", job.round, loss, acc)
 		}
 	}()
+	drainEval := func() {
+		close(evalCh)
+		<-evalDone
+	}
 
 	for t := 0; t < s.cfg.Spec.Rounds; t++ {
 		if err := ctx.Err(); err != nil {
+			drainEval()
 			return 0, err
 		}
 		stats, err := s.eng.StepOnce(ctx)
 		if err != nil {
+			drainEval()
 			return 0, fmt.Errorf("transport: round %d: %w", t, ctxErr(ctx, err))
 		}
 		if len(stats.MissingWorkers) > 0 {
 			s.cfg.Logf("round %d: missing workers %v (%d degraded, %d dropped files)",
 				t, stats.MissingWorkers, stats.DegradedFiles, stats.DroppedFiles)
 		}
+		if stats.AggregatorDegraded {
+			s.cfg.Logf("round %d: aggregator below feasibility floor, degraded to median", t)
+		}
 		if s.cfg.OnRound != nil {
 			s.cfg.OnRound(stats)
 		}
 		if (t+1)%s.cfg.EvalEvery == 0 || t == s.cfg.Spec.Rounds-1 {
-			acc := s.eng.Evaluate()
-			loss := s.eng.EvalLoss()
-			s.history.Add(t+1, loss, acc)
-			s.cfg.Logf("round %d: loss=%.4f acc=%.4f", t+1, loss, acc)
+			evalCh <- evalJob{round: t + 1, params: s.eng.Params()}
 		}
 	}
+	drainEval()
 	final := s.eng.Evaluate()
-	for _, c := range s.src.conns {
-		if c == nil {
+	var drain sync.WaitGroup
+	for _, c := range s.src.liveConns() {
+		c.SetWriteDeadline(time.Now().Add(helloTimeout))
+		if _, err := c.Send(Shutdown{FinalAccuracy: final}); err != nil {
+			s.cfg.Logf("shutdown send: %v", err)
 			continue
 		}
-		if err := c.Send(Shutdown{FinalAccuracy: final}); err != nil {
-			log.Printf("transport: shutdown send: %v", err)
-		}
+		drain.Add(1)
+		go func(c *Conn) {
+			defer drain.Done()
+			c.SetReadDeadline(time.Now().Add(shutdownDrainTimeout))
+			for {
+				if _, err := c.Recv(); err != nil {
+					return // EOF: the worker read the Shutdown and hung up
+				}
+			}
+		}(c)
 	}
+	drain.Wait()
 	return final, nil
 }
 
-// wireSource is the network GradientSource: it broadcasts RoundStart to
-// the surviving workers, collects their gradient reports in parallel
-// under the per-round deadline, decodes each binary gradient frame
-// directly into the engine's arena buffers, and marks crashed, stalled,
-// skipping, or misbehaving workers missing so the round core's quorum
-// rule decides the fate of their files.
+// workerEntry is one worker's connection-lifecycle state, guarded by
+// wireSource.mu.
+type workerEntry struct {
+	// conn is the live connection (nil before the first join and while
+	// the worker is down).
+	conn *Conn
+	// pending is a validated rejoin connection awaiting admission at
+	// the next round boundary.
+	pending *Conn
+	// token is the session token rejoins must present.
+	token uint64
+	// joined records that the worker completed a first handshake.
+	joined bool
+	// lastAck is the last iteration for which the worker returned a
+	// valid report (implying it received and applied that round's
+	// parameter broadcast); -1 after (re)join forces a full broadcast.
+	lastAck int
+}
+
+// wireSource is the network GradientSource: it broadcasts RoundStart
+// (full parameters or XOR deltas, by acknowledgement state) to the
+// connected workers, collects their gradient reports in parallel under
+// the per-round deadline, decodes each binary gradient frame directly
+// into the engine's arena buffers, and marks absent or misbehaving
+// workers missing so the round core's quorum rule decides the fate of
+// their files.
 type wireSource struct {
-	timeout time.Duration
-	logf    func(format string, args ...any)
-	// conns[u] is worker u's connection; nil before it joins and after
-	// it is evicted. Eviction is permanent: the synchronous gob stream
-	// cannot be resynchronized after a timeout fires mid-message.
-	conns []*Conn
+	timeout   time.Duration
+	fullEvery int
+	logf      func(format string, args ...any)
+
+	mu          sync.Mutex
+	workers     []workerEntry
+	joinedCount int
+	joinedCh    chan struct{}
+
 	// files[u] is worker u's assigned file list in slot order.
 	files [][]int
 	// frames[u] is worker u's decode scratch; its Grads are repointed at
 	// the engine's slot buffers each round so decoding fills the arena
 	// in place.
 	frames []wire.GradFrame
+	// prevParams is the parameter vector broadcast last round (the
+	// delta base); prevIter the iteration it belongs to (-1 = none).
+	prevParams []float64
+	prevIter   int
+	// fullFrame/deltaFrame are the per-round broadcast encode buffers,
+	// shared read-only by every worker goroutine of the round.
+	fullFrame, deltaFrame []byte
 }
 
-// newWireSource prepares the per-worker connection and scratch tables.
-func newWireSource(asn *assign.Assignment, timeout time.Duration, logf func(string, ...any)) *wireSource {
+// newWireSource prepares the per-worker state tables.
+func newWireSource(asn *assign.Assignment, timeout time.Duration, fullEvery int, logf func(string, ...any)) *wireSource {
 	ws := &wireSource{
-		timeout: timeout,
-		logf:    logf,
-		conns:   make([]*Conn, asn.K),
-		files:   make([][]int, asn.K),
-		frames:  make([]wire.GradFrame, asn.K),
+		timeout:   timeout,
+		fullEvery: fullEvery,
+		logf:      logf,
+		workers:   make([]workerEntry, asn.K),
+		joinedCh:  make(chan struct{}, 1),
+		files:     make([][]int, asn.K),
+		frames:    make([]wire.GradFrame, asn.K),
+		prevIter:  -1,
 	}
 	for u := 0; u < asn.K; u++ {
 		ws.files[u] = asn.WorkerFiles(u)
@@ -343,52 +570,178 @@ func newWireSource(asn *assign.Assignment, timeout time.Duration, logf func(stri
 	return ws
 }
 
-// Collect implements cluster.GradientSource over TCP. Every surviving
+// joinedWorkers reports how many workers have completed a first join.
+func (ws *wireSource) joinedWorkers() int {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.joinedCount
+}
+
+// liveConns returns the currently connected workers' connections,
+// admitting any still-pending rejoins first so a worker that came back
+// after the last round still hears the shutdown.
+func (ws *wireSource) liveConns() []*Conn {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	var out []*Conn
+	for u := range ws.workers {
+		w := &ws.workers[u]
+		if w.pending != nil {
+			if w.conn != nil {
+				w.conn.Close()
+			}
+			w.conn, w.pending = w.pending, nil
+		}
+		if w.conn != nil {
+			out = append(out, w.conn)
+		}
+	}
+	return out
+}
+
+// closeAll closes every worker connection (live and pending).
+func (ws *wireSource) closeAll() {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	for u := range ws.workers {
+		w := &ws.workers[u]
+		if w.conn != nil {
+			w.conn.Close()
+			w.conn = nil
+		}
+		if w.pending != nil {
+			w.pending.Close()
+			w.pending = nil
+		}
+	}
+}
+
+// admitPending moves validated rejoin connections into the live slots —
+// the "next round boundary" of the rejoin handshake. Re-admitted
+// workers have lastAck reset so this round sends them the full vector.
+func (ws *wireSource) admitPending(t int) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	for u := range ws.workers {
+		w := &ws.workers[u]
+		if w.pending == nil {
+			continue
+		}
+		if w.conn != nil {
+			w.conn.Close()
+		}
+		w.conn, w.pending = w.pending, nil
+		w.lastAck = -1
+		ws.logf("round %d: worker %d re-admitted", t, u)
+	}
+}
+
+// Collect implements cluster.GradientSource over TCP. Every connected
 // worker is served by its own goroutine (Round methods are safe for
 // concurrent use across distinct workers), so one slow worker costs the
 // round at most the deadline, not a serial sum of stalls.
 func (ws *wireSource) Collect(ctx context.Context, rd *cluster.Round) (cluster.CollectStats, error) {
 	t := rd.Iteration()
+	ws.admitPending(t)
+	if err := ws.prepareBroadcast(t, rd.Params()); err != nil {
+		return cluster.CollectStats{}, err
+	}
 	start := time.Now()
-	var commBytes atomic.Int64
+	var commBytes, bcastBytes atomic.Int64
 	var wg sync.WaitGroup
-	for u := range ws.conns {
-		if ws.conns[u] == nil {
+	for u := range ws.workers {
+		ws.mu.Lock()
+		conn := ws.workers[u].conn
+		lastAck := ws.workers[u].lastAck
+		ws.mu.Unlock()
+		if conn == nil {
 			rd.MarkMissing(u)
 			continue
 		}
 		wg.Add(1)
-		go func(u int) {
+		go func(u int, conn *Conn, lastAck int) {
 			defer wg.Done()
-			if !ws.collectWorker(t, u, rd, &commBytes) {
+			if !ws.collectWorker(t, u, conn, lastAck, rd, &commBytes, &bcastBytes) {
 				rd.MarkMissing(u)
 			}
-		}(u)
+		}(u, conn, lastAck)
 	}
 	wg.Wait()
+	// Roll the delta base forward: next round's deltas patch this
+	// round's vector.
+	if ws.prevParams == nil {
+		ws.prevParams = make([]float64, len(rd.Params()))
+	}
+	copy(ws.prevParams, rd.Params())
+	ws.prevIter = t
 	if err := ctx.Err(); err != nil {
 		return cluster.CollectStats{}, err
 	}
 	return cluster.CollectStats{
-		Communication: time.Since(start),
-		CommBytes:     commBytes.Load(),
+		Communication:  time.Since(start),
+		CommBytes:      commBytes.Load(),
+		BroadcastBytes: bcastBytes.Load(),
 	}, nil
 }
 
-// collectWorker runs one worker's round trip: RoundStart out, gradient
-// report in, frame decoded into the arena. It reports whether the
-// worker delivered; false marks the worker missing for this round (and
-// evicts it permanently unless it skipped explicitly).
-func (ws *wireSource) collectWorker(t, u int, rd *cluster.Round, commBytes *atomic.Int64) bool {
-	conn := ws.conns[u]
+// prepareBroadcast encodes this round's shared params frames: the full
+// frame (always needed for unacknowledged or refresh rounds) and the
+// delta frame against the previous round's vector when any worker can
+// use it. Both buffers are read-only for the round.
+func (ws *wireSource) prepareBroadcast(t int, params []float64) error {
+	var err error
+	ws.fullFrame, err = wire.AppendParamsFull(ws.fullFrame[:0], params)
+	if err != nil {
+		return fmt.Errorf("transport: broadcast: %w", err)
+	}
+	ws.deltaFrame = ws.deltaFrame[:0]
+	if !ws.refreshRound(t) && ws.prevIter == t-1 {
+		ws.deltaFrame, err = wire.AppendParamsDelta(ws.deltaFrame[:0], ws.prevParams, params)
+		if err != nil {
+			return fmt.Errorf("transport: broadcast: %w", err)
+		}
+	}
+	return nil
+}
+
+// refreshRound reports whether round t is a full-broadcast refresh.
+func (ws *wireSource) refreshRound(t int) bool {
+	return t == 0 || ws.fullEvery <= 1 || t%ws.fullEvery == 0
+}
+
+// collectWorker runs one worker's round trip: RoundStart out (full or
+// delta parameters by acknowledgement state), gradient report in, frame
+// decoded into the arena. It reports whether the worker delivered;
+// false marks the worker missing for this round. A deadline timeout
+// leaves the connection open (the resumable framed stream discards the
+// late report next round); a send/receive failure or malformed message
+// evicts the worker.
+func (ws *wireSource) collectWorker(t, u int, conn *Conn, lastAck int, rd *cluster.Round, commBytes, bcastBytes *atomic.Int64) bool {
 	assigned := make(map[int][]int, len(ws.files[u]))
 	for _, v := range ws.files[u] {
 		assigned[v] = rd.FileSamples(v)
 	}
-	if err := conn.Send(RoundStart{Iteration: t, Params: rd.Params(), Files: assigned}); err != nil {
-		ws.evict(t, u, fmt.Errorf("send: %w", err))
+	rs := RoundStart{Iteration: t, Files: assigned}
+	if len(ws.deltaFrame) > 0 && lastAck == t-1 {
+		rs.ParamsFrame = ws.deltaFrame
+		rs.BaseIteration = t - 1
+	} else {
+		rs.ParamsFrame = ws.fullFrame
+	}
+	if ws.timeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(ws.timeout))
+	}
+	n, err := conn.Send(rs)
+	if ws.timeout > 0 {
+		conn.SetWriteDeadline(time.Time{})
+	}
+	if err != nil {
+		// A failed or partial send poisons the outbound stream — unlike
+		// reads it cannot be resumed, so the worker is evicted.
+		ws.evict(t, u, conn, fmt.Errorf("send: %w", err))
 		return false
 	}
+	bcastBytes.Add(int64(n))
 	if ws.timeout > 0 {
 		conn.SetReadDeadline(time.Now().Add(ws.timeout))
 		defer conn.SetReadDeadline(time.Time{})
@@ -396,12 +749,20 @@ func (ws *wireSource) collectWorker(t, u int, rd *cluster.Round, commBytes *atom
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
-			ws.evict(t, u, err)
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				// Missed the deadline: missing this round, but the framed
+				// stream survives — any partial report stays buffered and
+				// is discarded as stale next round.
+				ws.logf("round %d: worker %d missed the deadline", t, u)
+				return false
+			}
+			ws.evict(t, u, conn, err)
 			return false
 		}
 		rep, ok := msg.(GradientReport)
 		if !ok {
-			ws.evict(t, u, fmt.Errorf("expected GradientReport, got %T", msg))
+			ws.evict(t, u, conn, fmt.Errorf("expected GradientReport, got %T", msg))
 			return false
 		}
 		if rep.Iteration < t {
@@ -410,16 +771,26 @@ func (ws *wireSource) collectWorker(t, u int, rd *cluster.Round, commBytes *atom
 			continue
 		}
 		if rep.Iteration > t || rep.WorkerID != u {
-			ws.evict(t, u, fmt.Errorf("report (worker %d, round %d), want (%d, %d)", rep.WorkerID, rep.Iteration, u, t))
+			ws.evict(t, u, conn, fmt.Errorf("report (worker %d, round %d), want (%d, %d)", rep.WorkerID, rep.Iteration, u, t))
 			return false
 		}
 		if len(rep.Frame) == 0 {
-			// Explicit skip: alive, no gradients this round.
+			// Explicit skip: alive, no gradients this round — but the
+			// round's parameters were received and applied, so the skip
+			// still acknowledges the broadcast.
 			ws.logf("worker %d skipped round %d", u, t)
+			ws.ack(u, t)
 			return false
 		}
-		return ws.deliver(t, u, rep.Frame, rd, commBytes)
+		return ws.deliver(t, u, conn, rep.Frame, rd, commBytes)
 	}
+}
+
+// ack records that worker u applied round t's parameter broadcast.
+func (ws *wireSource) ack(u, t int) {
+	ws.mu.Lock()
+	ws.workers[u].lastAck = t
+	ws.mu.Unlock()
 }
 
 // deliver decodes the report frame straight into the engine's slot
@@ -427,7 +798,7 @@ func (ws *wireSource) collectWorker(t, u int, rd *cluster.Round, commBytes *atom
 // truncated frame, wrong worker id, wrong file set — evicts the worker:
 // its buffers may now hold partial data, but marking it missing keeps
 // them out of every vote.
-func (ws *wireSource) deliver(t, u int, frameBytes []byte, rd *cluster.Round, commBytes *atomic.Int64) bool {
+func (ws *wireSource) deliver(t, u int, conn *Conn, frameBytes []byte, rd *cluster.Round, commBytes *atomic.Int64) bool {
 	wf := ws.files[u]
 	f := &ws.frames[u]
 	if cap(f.Grads) < len(wf) {
@@ -440,33 +811,40 @@ func (ws *wireSource) deliver(t, u int, frameBytes []byte, rd *cluster.Round, co
 	consumed, err := wire.DecodeGradFrame(frameBytes, f)
 	switch {
 	case err != nil:
-		ws.evict(t, u, err)
+		ws.evict(t, u, conn, err)
 		return false
 	case consumed != len(frameBytes):
-		ws.evict(t, u, fmt.Errorf("frame has %d trailing bytes", len(frameBytes)-consumed))
+		ws.evict(t, u, conn, fmt.Errorf("frame has %d trailing bytes", len(frameBytes)-consumed))
 		return false
 	case f.Worker != u:
-		ws.evict(t, u, fmt.Errorf("frame claims worker %d", f.Worker))
+		ws.evict(t, u, conn, fmt.Errorf("frame claims worker %d", f.Worker))
 		return false
 	case !slices.Equal(f.Files, wf):
-		ws.evict(t, u, fmt.Errorf("frame files %v, want %v", f.Files, wf))
+		ws.evict(t, u, conn, fmt.Errorf("frame files %v, want %v", f.Files, wf))
 		return false
 	}
 	for j := range wf {
 		if err := rd.Deliver(u, j, f.Grads[j]); err != nil {
-			ws.evict(t, u, err)
+			ws.evict(t, u, conn, err)
 			return false
 		}
 	}
 	commBytes.Add(int64(len(frameBytes)))
+	ws.ack(u, t)
 	return true
 }
 
-// evict permanently removes a worker from the run: its connection is
-// closed and its slot cleared, so every later round marks it missing
-// up front. Safe for concurrent calls on distinct workers.
-func (ws *wireSource) evict(t, u int, err error) {
+// evict removes a worker whose stream broke or misbehaved: its
+// connection is closed and its slot cleared, so later rounds mark it
+// missing up front — until it rejoins with its session token, at which
+// point it is re-admitted at a round boundary. Safe for concurrent
+// calls on distinct workers.
+func (ws *wireSource) evict(t, u int, conn *Conn, err error) {
 	ws.logf("round %d: evicting worker %d: %v", t, u, err)
-	ws.conns[u].Close()
-	ws.conns[u] = nil
+	conn.Close()
+	ws.mu.Lock()
+	if ws.workers[u].conn == conn {
+		ws.workers[u].conn = nil
+	}
+	ws.mu.Unlock()
 }

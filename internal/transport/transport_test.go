@@ -5,12 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
 
 	"byzshield/internal/aggregate"
+	byzregistry "byzshield/internal/registry"
 	"byzshield/internal/trainer"
+	"byzshield/internal/wire"
 )
 
 func testSpec(rounds int) Spec {
@@ -205,7 +208,8 @@ func TestConnSendRecvRoundTrip(t *testing.T) {
 	defer cb.Close()
 	done := make(chan error, 1)
 	go func() {
-		done <- ca.Send(Hello{WorkerID: 7})
+		_, err := ca.Send(Hello{WorkerID: 7, Version: wire.ProtocolVersion, Token: 99, Resume: true})
+		done <- err
 	}()
 	msg, err := cb.Recv()
 	if err != nil {
@@ -215,8 +219,90 @@ func TestConnSendRecvRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	hello, ok := msg.(Hello)
-	if !ok || hello.WorkerID != 7 {
+	if !ok || hello.WorkerID != 7 || hello.Version != wire.ProtocolVersion || hello.Token != 99 || !hello.Resume {
 		t.Fatalf("got %#v", msg)
+	}
+}
+
+// TestConnRecvResumesAfterDeadline: a read deadline that fires while a
+// frame is partially delivered must not poison the stream — the next
+// Recv picks the frame up where the timeout left it. This is the
+// property that lets the server keep slow workers connected.
+func TestConnRecvResumesAfterDeadline(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	cb := NewConn(b)
+
+	full, err := Hello{WorkerID: 3, Version: wire.ProtocolVersion}.appendPayload(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := wire.AppendFrame(nil, msgHello, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliver the first half, then nothing until after the deadline.
+	firstHalf, secondHalf := frame[:len(frame)/2], frame[len(frame)/2:]
+	go a.Write(firstHalf)
+	cb.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, err := cb.Recv(); err == nil {
+		t.Fatal("Recv returned a message from half a frame")
+	}
+	// Second half arrives; the resumed Recv completes the same frame.
+	go a.Write(secondHalf)
+	cb.SetReadDeadline(time.Now().Add(2 * time.Second))
+	msg, err := cb.Recv()
+	if err != nil {
+		t.Fatalf("resumed Recv: %v", err)
+	}
+	hello, ok := msg.(Hello)
+	if !ok || hello.WorkerID != 3 {
+		t.Fatalf("resumed Recv got %#v", msg)
+	}
+}
+
+// TestSpecWireRoundTrip: the hand-rolled Spec payload codec preserves
+// every field workers depend on, including composed per-worker faults
+// (the legacy single Fault folds into the Faults list).
+func TestSpecWireRoundTrip(t *testing.T) {
+	spec := testSpec(7)
+	spec.Aggregator = "bulyan"
+	spec.AggParams = byzregistry.AggregatorParams{C: 2, Groups: 5, Threshold: 0.25}
+	spec.Hidden = 12
+	spec.Fault = "flaky"
+	spec.FaultParams = byzregistry.FaultParams{Workers: []int{1, 4}, P: 0.3, Seed: 8}
+	spec.Faults = []FaultSpec{
+		{Name: "straggler", Params: byzregistry.FaultParams{Workers: []int{9}, Delay: 2 * time.Second}},
+	}
+	enc, err := appendSpec(nil, &spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Spec
+	d := wire.NewDec(enc)
+	decodeSpec(d, &got)
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+	// The single Fault folds into Faults on the wire; compare the
+	// composed models and the remaining fields.
+	wantFault, err := spec.BuildFault()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFault, err := got.BuildFault()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantFault.Name() != gotFault.Name() {
+		t.Errorf("fault %q, want %q", gotFault.Name(), wantFault.Name())
+	}
+	got.Faults, spec.Faults = nil, nil
+	got.Fault, spec.Fault = "", ""
+	got.FaultParams, spec.FaultParams = byzregistry.FaultParams{}, byzregistry.FaultParams{}
+	if !reflect.DeepEqual(got, spec) {
+		t.Errorf("spec round-trip mismatch:\n got %+v\nwant %+v", got, spec)
 	}
 }
 
@@ -243,7 +329,7 @@ func TestServerSurvivesBadHellos(t *testing.T) {
 			t.Fatal(err)
 		}
 		c := NewConn(raw)
-		if err := c.Send(Hello{WorkerID: id}); err != nil {
+		if _, err := c.Send(Hello{WorkerID: id, Version: wire.ProtocolVersion}); err != nil {
 			t.Fatal(err)
 		}
 		return c
@@ -255,19 +341,42 @@ func TestServerSurvivesBadHellos(t *testing.T) {
 	if _, err := c1.Recv(); err != nil { // Welcome
 		t.Fatal(err)
 	}
-	// A duplicate of worker 0, an out-of-range id, and a non-Hello first
-	// message must each be rejected (their conn closed) without tearing
-	// the server down.
+	// A duplicate of worker 0, an out-of-range id, a wrong protocol
+	// version, a bogus rejoin token, and a non-Hello first message must
+	// each be rejected (their conn closed) without tearing the server
+	// down.
 	for name, mk := range map[string]func() *Conn{
 		"duplicate id": func() *Conn { return dial(0) },
 		"id oob":       func() *Conn { return dial(9999) },
+		"bad version": func() *Conn {
+			raw, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := NewConn(raw)
+			if _, err := c.Send(Hello{WorkerID: 1, Version: 99}); err != nil {
+				t.Fatal(err)
+			}
+			return c
+		},
+		"bad rejoin token": func() *Conn {
+			raw, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := NewConn(raw)
+			if _, err := c.Send(Hello{WorkerID: 0, Version: wire.ProtocolVersion, Token: 12345, Resume: true}); err != nil {
+				t.Fatal(err)
+			}
+			return c
+		},
 		"not a hello": func() *Conn {
 			raw, err := net.Dial("tcp", srv.Addr())
 			if err != nil {
 				t.Fatal(err)
 			}
 			c := NewConn(raw)
-			if err := c.Send(Shutdown{}); err != nil {
+			if _, err := c.Send(Shutdown{}); err != nil {
 				t.Fatal(err)
 			}
 			return c
@@ -315,17 +424,19 @@ func TestServerSurvivesBadHellos(t *testing.T) {
 }
 
 // driveWorker participates in training over an already-handshaken
-// connection (used when the test dialed Hello manually).
+// connection (used when the test dialed Hello manually), applying full
+// and delta parameter broadcasts exactly like RunWorker.
 func driveWorker(t *testing.T, c *Conn, id int, spec Spec) error {
 	t.Helper()
-	mdl, err := spec.BuildModel()
-	if err != nil {
+	st := &workerState{cfg: WorkerConfig{ID: id, Behavior: BehaviorHonest}, lastApplied: -1}
+	var err error
+	if st.mdl, err = spec.BuildModel(); err != nil {
 		return err
 	}
-	train, _, err := spec.BuildData()
-	if err != nil {
+	if st.train, _, err = spec.BuildData(); err != nil {
 		return err
 	}
+	st.params = make([]float64, st.mdl.NumParams())
 	for {
 		msg, err := c.Recv()
 		if err != nil {
@@ -333,11 +444,14 @@ func driveWorker(t *testing.T, c *Conn, id int, spec Spec) error {
 		}
 		switch m := msg.(type) {
 		case RoundStart:
-			rep, err := computeReport(WorkerConfig{ID: id, Behavior: BehaviorHonest}, mdl, train, &m)
+			if err := st.applyParams(&m); err != nil {
+				return err
+			}
+			rep, err := computeReport(st.cfg, st.mdl, st.train, st.params, &m)
 			if err != nil {
 				return err
 			}
-			if err := c.Send(*rep); err != nil {
+			if _, err := c.Send(*rep); err != nil {
 				return err
 			}
 		case Shutdown:

@@ -9,14 +9,25 @@ import (
 	"time"
 
 	"byzshield/internal/data"
+	"byzshield/internal/fault"
 	"byzshield/internal/model"
 	"byzshield/internal/wire"
 )
 
 // ErrInjectedCrash is returned by RunWorker when the Spec's fault model
 // schedules this worker to crash: the process stops participating and
-// the parameter server continues over the survivors.
+// the parameter server continues over the survivors (or re-admits the
+// worker if it is restarted with the session token).
 var ErrInjectedCrash = errors.New("transport: worker crashed by fault injection")
+
+// DefaultReconnectAttempts is the number of automatic reconnect
+// attempts a worker makes after losing its connection mid-run, when
+// WorkerConfig.ReconnectAttempts is zero.
+const DefaultReconnectAttempts = 5
+
+// defaultReconnectDelay is the base backoff between reconnect attempts
+// (doubled per consecutive failure).
+const defaultReconnectDelay = 100 * time.Millisecond
 
 // WorkerBehavior selects how a worker process responds to gradient
 // requests. In distributed mode the attacks that require only local
@@ -39,14 +50,45 @@ type WorkerConfig struct {
 	Behavior WorkerBehavior
 	// ConstantValue is the payload value for BehaviorConstant (default −1).
 	ConstantValue float64
+	// ReconnectAttempts bounds the automatic rejoin attempts after the
+	// connection to the PS breaks mid-run: 0 selects
+	// DefaultReconnectAttempts, negative disables reconnecting (any
+	// connection loss is fatal, matching protocol v1). Each successful
+	// rejoin resets the budget.
+	ReconnectAttempts int
+	// ResumeToken, when nonzero, makes the very first Hello a rejoin
+	// attempt with this session token — how a restarted worker process
+	// re-enters a run it was evicted from (byzworker -resume-token).
+	ResumeToken uint64
 	// Logf receives progress lines; nil disables logging.
 	Logf func(format string, args ...any)
 }
 
+// workerState is the durable cross-connection state of one worker
+// process: everything a rejoin must not lose.
+type workerState struct {
+	cfg   WorkerConfig
+	spec  Spec
+	mdl   model.Model
+	train *data.Dataset
+	flt   fault.Fault
+	// token is the session token the last Welcome assigned.
+	token uint64
+	// params is the worker's copy of the model vector, patched in place
+	// by delta broadcasts; lastApplied is the iteration whose broadcast
+	// it reflects (-1 before any).
+	params      []float64
+	lastApplied int
+}
+
 // RunWorker connects to the PS at addr and participates in training
-// until Shutdown, returning the final accuracy reported by the PS.
-// Canceling ctx aborts the dial or any blocked send/receive promptly
-// (by closing the connection) and returns ctx.Err().
+// until Shutdown, returning the final accuracy reported by the PS. If
+// the connection breaks mid-run the worker automatically reconnects
+// with its session token (bounded by ReconnectAttempts) and resumes at
+// the next round boundary; an injected crash fault is terminal and
+// returns ErrInjectedCrash. Canceling ctx aborts the dial or any
+// blocked send/receive promptly (by closing the connection) and returns
+// ctx.Err().
 func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) (float64, error) {
 	if cfg.Behavior == "" {
 		cfg.Behavior = BehaviorHonest
@@ -54,54 +96,132 @@ func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) (float64, err
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	attempts := cfg.ReconnectAttempts
+	if attempts == 0 {
+		attempts = DefaultReconnectAttempts
+	}
+	st := &workerState{cfg: cfg, token: cfg.ResumeToken, lastApplied: -1}
+	failures := 0
+	for {
+		final, err := runWorkerConn(ctx, addr, st)
+		var re retryableErr
+		switch {
+		case err == nil:
+			return final, nil
+		case !errors.As(err, &re):
+			return 0, err
+		case ctx.Err() != nil:
+			return 0, ctx.Err()
+		case attempts >= 0 && failures >= attempts:
+			return 0, fmt.Errorf("transport: worker %d: gave up after %d reconnect attempts: %w",
+				cfg.ID, failures, re.err)
+		}
+		failures++
+		delay := defaultReconnectDelay << min(failures-1, 5)
+		cfg.Logf("worker %d: connection lost (%v); reconnecting in %v (attempt %d)",
+			cfg.ID, re.err, delay, failures)
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+}
+
+// retryableErr wraps connection-level failures that a reconnect can
+// recover from (everything protocol-fatal — bad version, injected
+// crash, unexpected messages — is returned unwrapped).
+type retryableErr struct{ err error }
+
+func (e retryableErr) Error() string { return e.err.Error() }
+func (e retryableErr) Unwrap() error { return e.err }
+
+// retryable marks err as recoverable by reconnecting.
+func retryable(err error) error { return retryableErr{err: err} }
+
+// runWorkerConn runs one connection's lifetime: dial, Hello/Welcome
+// (resuming with the session token when st already has one), then
+// rounds until Shutdown or a connection failure. On a successful
+// session (Shutdown received) it returns the final accuracy.
+func runWorkerConn(ctx context.Context, addr string, st *workerState) (float64, error) {
+	cfg := st.cfg
 	var dialer net.Dialer
 	raw, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return 0, fmt.Errorf("transport: dial %s: %w", addr, err)
+		return 0, retryable(fmt.Errorf("transport: dial %s: %w", addr, ctxErr(ctx, err)))
 	}
 	conn := NewConn(raw)
 	defer conn.Close()
 	stop := closeOnCancel(ctx, conn)
 	defer stop()
 
-	if err := conn.Send(Hello{WorkerID: cfg.ID}); err != nil {
-		return 0, ctxErr(ctx, err)
+	resume := st.token != 0
+	if _, err := conn.Send(Hello{
+		WorkerID: cfg.ID,
+		Version:  wire.ProtocolVersion,
+		Token:    st.token,
+		Resume:   resume,
+	}); err != nil {
+		return 0, retryable(ctxErr(ctx, err))
 	}
 	msg, err := conn.Recv()
 	if err != nil {
-		return 0, ctxErr(ctx, err)
+		return 0, retryable(ctxErr(ctx, err))
 	}
 	welcome, ok := msg.(Welcome)
 	if !ok {
 		return 0, fmt.Errorf("transport: expected Welcome, got %T", msg)
 	}
-	spec := welcome.Spec
-	mdl, err := spec.BuildModel()
-	if err != nil {
-		return 0, err
+	if welcome.Version != wire.ProtocolVersion {
+		return 0, fmt.Errorf("transport: server speaks protocol %d, want %d", welcome.Version, wire.ProtocolVersion)
 	}
-	train, _, err := spec.BuildData()
-	if err != nil {
-		return 0, err
+	st.token = welcome.Token
+	if st.mdl == nil {
+		// First successful handshake: build the deterministic local
+		// state from the Spec. Rejoins keep it (same Spec, same run).
+		st.spec = welcome.Spec
+		if st.mdl, err = st.spec.BuildModel(); err != nil {
+			return 0, err
+		}
+		if st.train, _, err = st.spec.BuildData(); err != nil {
+			return 0, err
+		}
+		if st.flt, err = st.spec.BuildFault(); err != nil {
+			return 0, err
+		}
+		st.params = make([]float64, st.mdl.NumParams())
 	}
-	flt, err := spec.BuildFault()
-	if err != nil {
-		return 0, err
+	// A (re)connected worker holds no acknowledged vector: the server
+	// sends a full broadcast first, so stale params are never patched.
+	st.lastApplied = -1
+	// The session token is logged on every (re)join — the server
+	// rotates it per handshake, so a restarted process must present the
+	// latest one (byzworker -resume-token).
+	if resume {
+		cfg.Logf("worker %d: rejoined (%s; session token %#x)", cfg.ID, st.spec.Scheme, st.token)
+	} else {
+		cfg.Logf("worker %d: joined (%s, %d rounds; session token %#x)",
+			cfg.ID, st.spec.Scheme, st.spec.Rounds, st.token)
 	}
-	cfg.Logf("worker %d: joined (%s, %d rounds)", cfg.ID, spec.Scheme, spec.Rounds)
 
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
-			return 0, fmt.Errorf("transport: worker %d recv: %w", cfg.ID, ctxErr(ctx, err))
+			return 0, retryable(fmt.Errorf("transport: worker %d recv: %w", cfg.ID, ctxErr(ctx, err)))
 		}
 		switch m := msg.(type) {
 		case RoundStart:
+			if err := st.applyParams(&m); err != nil {
+				// A delta against a base this worker does not hold means
+				// the broadcast state diverged; reconnecting fetches a
+				// full vector.
+				return 0, retryable(err)
+			}
 			// Self-injected faults: the Spec's fault model decides per
 			// round whether this worker crashes, delays, or skips —
 			// exercised against the server's real deadline and quorum
 			// handling, not simulated on the PS side.
-			d := flt.Plan(m.Iteration, cfg.ID)
+			d := st.flt.Plan(m.Iteration, cfg.ID)
 			if d.Crash {
 				cfg.Logf("worker %d: injected crash at round %d", cfg.ID, m.Iteration)
 				return 0, fmt.Errorf("worker %d round %d: %w", cfg.ID, m.Iteration, ErrInjectedCrash)
@@ -115,17 +235,17 @@ func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) (float64, err
 			}
 			if d.Skip {
 				cfg.Logf("worker %d: injected skip at round %d", cfg.ID, m.Iteration)
-				if err := conn.Send(GradientReport{WorkerID: cfg.ID, Iteration: m.Iteration}); err != nil {
-					return 0, ctxErr(ctx, err)
+				if _, err := conn.Send(GradientReport{WorkerID: cfg.ID, Iteration: m.Iteration}); err != nil {
+					return 0, retryable(ctxErr(ctx, err))
 				}
 				continue
 			}
-			rep, err := computeReport(cfg, mdl, train, &m)
+			rep, err := computeReport(cfg, st.mdl, st.train, st.params, &m)
 			if err != nil {
 				return 0, err
 			}
-			if err := conn.Send(*rep); err != nil {
-				return 0, ctxErr(ctx, err)
+			if _, err := conn.Send(*rep); err != nil {
+				return 0, retryable(ctxErr(ctx, err))
 			}
 		case Shutdown:
 			cfg.Logf("worker %d: shutdown, final accuracy %.4f", cfg.ID, m.FinalAccuracy)
@@ -136,9 +256,35 @@ func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) (float64, err
 	}
 }
 
+// applyParams patches the worker's parameter vector with the round's
+// broadcast frame: a full frame overwrites it, a delta frame XORs onto
+// the base iteration it names — which must be exactly what this worker
+// holds.
+func (st *workerState) applyParams(m *RoundStart) error {
+	if len(m.ParamsFrame) == 0 {
+		return fmt.Errorf("transport: round %d carried no parameter frame", m.Iteration)
+	}
+	// Validate the delta base before any bits are patched: a delta
+	// against a vector this worker does not hold must not touch params.
+	if int(m.ParamsFrame[0]) == wire.ParamsDelta && m.BaseIteration != st.lastApplied {
+		return fmt.Errorf("transport: round %d delta against iteration %d, but worker holds %d",
+			m.Iteration, m.BaseIteration, st.lastApplied)
+	}
+	_, consumed, err := wire.DecodeParams(m.ParamsFrame, st.params)
+	if err != nil {
+		return fmt.Errorf("transport: round %d params: %w", m.Iteration, err)
+	}
+	if consumed != len(m.ParamsFrame) {
+		return fmt.Errorf("transport: round %d params frame has %d trailing bytes",
+			m.Iteration, len(m.ParamsFrame)-consumed)
+	}
+	st.lastApplied = m.Iteration
+	return nil
+}
+
 // computeReport produces the worker's (honest or Byzantine) gradients
 // for one round, encoded as a binary gradient frame.
-func computeReport(cfg WorkerConfig, mdl model.Model, train *data.Dataset, rs *RoundStart) (*GradientReport, error) {
+func computeReport(cfg WorkerConfig, mdl model.Model, train *data.Dataset, params []float64, rs *RoundStart) (*GradientReport, error) {
 	rep := &GradientReport{WorkerID: cfg.ID, Iteration: rs.Iteration}
 	// Deterministic file order.
 	files := make([]int, 0, len(rs.Files))
@@ -152,9 +298,9 @@ func computeReport(cfg WorkerConfig, mdl model.Model, train *data.Dataset, rs *R
 		g := make([]float64, dim)
 		switch cfg.Behavior {
 		case BehaviorHonest:
-			mdl.SumGradient(rs.Params, train, rs.Files[v], g)
+			mdl.SumGradient(params, train, rs.Files[v], g)
 		case BehaviorReversed:
-			mdl.SumGradient(rs.Params, train, rs.Files[v], g)
+			mdl.SumGradient(params, train, rs.Files[v], g)
 			for i := range g {
 				g[i] = -g[i]
 			}

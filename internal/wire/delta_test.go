@@ -1,0 +1,216 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// perturb returns base with SGD-step-sized noise on most coordinates
+// and a few left exactly unchanged.
+func perturb(rng *rand.Rand, base []float64) []float64 {
+	cur := make([]float64, len(base))
+	for i, v := range base {
+		if rng.Intn(5) == 0 {
+			cur[i] = v // unchanged coordinate
+		} else {
+			cur[i] = v + rng.NormFloat64()*1e-3
+		}
+	}
+	return cur
+}
+
+func TestParamsFullRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, d := range []int{0, 1, 7, 330} {
+		params := make([]float64, d)
+		for i := range params {
+			params[i] = rng.NormFloat64()
+		}
+		enc, err := AppendParamsFull(nil, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enc) != ParamsFullSize(d) {
+			t.Fatalf("d=%d: encoded %d bytes, ParamsFullSize says %d", d, len(enc), ParamsFullSize(d))
+		}
+		got := make([]float64, d)
+		mode, consumed, err := DecodeParams(enc, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode != ParamsFull || consumed != len(enc) {
+			t.Fatalf("d=%d: mode %d consumed %d/%d", d, mode, consumed, len(enc))
+		}
+		for i := range params {
+			if math.Float64bits(got[i]) != math.Float64bits(params[i]) {
+				t.Fatalf("d=%d: coordinate %d differs", d, i)
+			}
+		}
+	}
+}
+
+func TestParamsDeltaRoundTripAndSavings(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, d := range []int{1, 2, 33, 330} {
+		base := make([]float64, d)
+		for i := range base {
+			base[i] = rng.NormFloat64()
+		}
+		cur := perturb(rng, base)
+		enc, err := AppendParamsDelta(nil, base, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := append([]float64(nil), base...)
+		mode, consumed, err := DecodeParams(enc, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode != ParamsDelta || consumed != len(enc) {
+			t.Fatalf("d=%d: mode %d consumed %d/%d", d, mode, consumed, len(enc))
+		}
+		for i := range cur {
+			if math.Float64bits(got[i]) != math.Float64bits(cur[i]) {
+				t.Fatalf("d=%d: coordinate %d: got %v want %v", d, i, got[i], cur[i])
+			}
+		}
+		if d >= 33 && len(enc) >= ParamsFullSize(d) {
+			t.Errorf("d=%d: delta frame %d bytes not smaller than full %d", d, len(enc), ParamsFullSize(d))
+		}
+	}
+}
+
+func TestParamsDeltaBitExactSpecials(t *testing.T) {
+	base := []float64{0, math.Copysign(0, -1), 1, math.Inf(1), math.NaN(), 2}
+	cur := []float64{math.Copysign(0, -1), 0, math.NaN(), 1, math.Inf(-1), 2}
+	enc, err := AppendParamsDelta(nil, base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append([]float64(nil), base...)
+	if _, _, err := DecodeParams(enc, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range cur {
+		if math.Float64bits(got[i]) != math.Float64bits(cur[i]) {
+			t.Errorf("coordinate %d: bits %x, want %x", i, math.Float64bits(got[i]), math.Float64bits(cur[i]))
+		}
+	}
+}
+
+func TestDecodeParamsRejectsGarbage(t *testing.T) {
+	base := []float64{1, 2, 3}
+	cur := []float64{1.001, 2, 3.5}
+	delta, err := AppendParamsDelta(nil, base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := AppendParamsFull(nil, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]float64, 3)
+	cases := map[string][]byte{
+		"empty":           {},
+		"bad-mode":        append([]byte{9}, delta[1:]...),
+		"wrong-dim":       func() []byte { b := append([]byte(nil), full...); b[1] = 99; return b }(),
+		"truncated-full":  full[:len(full)-1],
+		"truncated-delta": delta[:len(delta)-1],
+	}
+	for name, b := range cases {
+		copy(scratch, base)
+		if _, _, err := DecodeParams(b, scratch); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Non-canonical delta: lengthen a coordinate so its top byte is 0.
+	bad, err := AppendParamsDelta(nil, []float64{1}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad[paramsHeader] = 2 // claim 2 bytes for a zero XOR
+	bad = append(bad, 0, 0)
+	copy(scratch, base)
+	if _, _, err := DecodeParams(bad, scratch[:1]); err == nil {
+		t.Error("non-canonical zero-padded delta accepted")
+	}
+}
+
+// FuzzDecodeParams checks that arbitrary bytes never panic the decoder
+// and that any accepted delta frame is canonical: re-encoding the
+// decoded state against the original base reproduces the consumed
+// bytes.
+func FuzzDecodeParams(f *testing.F) {
+	seedFull, _ := AppendParamsFull(nil, []float64{1, -2, 0.5})
+	seedDelta, _ := AppendParamsDelta(nil, []float64{1, -2, 0.5}, []float64{1.0001, -2, 0.75})
+	f.Add(seedFull)
+	f.Add(seedDelta)
+	f.Add([]byte{ParamsDelta, 3, 0, 0, 0, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		base := []float64{1, -2, 0.5}
+		params := append([]float64(nil), base...)
+		mode, consumed, err := DecodeParams(data, params)
+		if err != nil {
+			return
+		}
+		var re []byte
+		if mode == ParamsFull {
+			re, err = AppendParamsFull(nil, params)
+		} else {
+			re, err = AppendParamsDelta(nil, base, params)
+		}
+		if err != nil {
+			t.Fatalf("accepted frame fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data[:consumed]) {
+			t.Fatalf("re-encode differs from consumed bytes:\n got %x\nwant %x", re, data[:consumed])
+		}
+	})
+}
+
+// FuzzParamsDeltaRoundTrip builds structured base/cur pairs from fuzzed
+// bits and checks bit-exact delta application.
+func FuzzParamsDeltaRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, []byte{8, 7, 6, 5})
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, rawBase, rawCur []byte) {
+		d := len(rawBase) / 8
+		if d > 64 {
+			d = 64
+		}
+		base := make([]float64, d)
+		cur := make([]float64, d)
+		at := func(raw []byte, i int) uint64 {
+			var x uint64
+			for b := 0; b < 8; b++ {
+				if i*8+b < len(raw) {
+					x |= uint64(raw[i*8+b]) << (8 * b)
+				}
+			}
+			return x
+		}
+		for i := 0; i < d; i++ {
+			base[i] = math.Float64frombits(at(rawBase, i))
+			cur[i] = math.Float64frombits(at(rawCur, i))
+		}
+		enc, err := AppendParamsDelta(nil, base, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := append([]float64(nil), base...)
+		mode, consumed, err := DecodeParams(enc, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode != ParamsDelta || consumed != len(enc) {
+			t.Fatalf("mode %d, consumed %d/%d", mode, consumed, len(enc))
+		}
+		for i := 0; i < d; i++ {
+			if math.Float64bits(got[i]) != math.Float64bits(cur[i]) {
+				t.Fatalf("coordinate %d differs", i)
+			}
+		}
+	})
+}

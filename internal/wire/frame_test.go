@@ -1,0 +1,193 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xAB}, 1000)}
+	for _, p := range payloads {
+		enc, err := AppendFrame(nil, 7, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enc) != FrameHeaderSize+len(p) {
+			t.Fatalf("frame size %d, want %d", len(enc), FrameHeaderSize+len(p))
+		}
+		typ, n, err := ParseFrameHeader(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != 7 || n != len(p) {
+			t.Fatalf("parsed (type %d, len %d), want (7, %d)", typ, n, len(p))
+		}
+		gotTyp, payload, _, err := ReadFrame(bytes.NewReader(enc), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotTyp != 7 || !bytes.Equal(payload, p) {
+			t.Fatalf("ReadFrame got (type %d, %x), want (7, %x)", gotTyp, payload, p)
+		}
+	}
+}
+
+func TestFrameHeaderRejectsGarbage(t *testing.T) {
+	good, err := AppendFrame(nil, 1, []byte{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func([]byte){
+		"bad-magic":   func(b []byte) { b[0] = 0 },
+		"bad-version": func(b []byte) { b[2] = 99 },
+		"huge-length": func(b []byte) { binary.LittleEndian.PutUint32(b[4:], 1<<31-1) },
+	}
+	for name, corrupt := range cases {
+		b := append([]byte(nil), good...)
+		corrupt(b)
+		if _, _, err := ParseFrameHeader(b); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, _, err := ParseFrameHeader(good[:5]); err == nil {
+		t.Error("short header accepted")
+	}
+	long, err := AppendFrame(nil, 1, []byte{9, 9, 9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadFrame(bytes.NewReader(long[:len(long)-2]), nil); err == nil {
+		t.Error("truncated body accepted")
+	}
+	if _, err := AppendFrame(nil, 0, make([]byte, MaxFramePayload+1)); err == nil {
+		t.Error("oversized payload encoded")
+	}
+}
+
+func TestReadFrameReusesBuffer(t *testing.T) {
+	enc, err := AppendFrame(nil, 3, []byte{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, 64)
+	_, payload, newBuf, err := ReadFrame(bytes.NewReader(enc), buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &newBuf[0] != &buf[:1][0] {
+		t.Error("ReadFrame reallocated despite sufficient capacity")
+	}
+	if !bytes.Equal(payload, []byte{1, 2, 3, 4}) {
+		t.Errorf("payload %x", payload)
+	}
+}
+
+func TestDecPrimitives(t *testing.T) {
+	var buf []byte
+	buf = AppendU8(buf, 200)
+	buf = AppendU32(buf, 1<<30)
+	buf = AppendU64(buf, 1<<60)
+	buf = AppendI64(buf, -5)
+	buf = AppendF64(buf, -0.5)
+	buf = AppendString(buf, "mols")
+	buf, err := AppendInts(buf, []int{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDec(buf)
+	if v := d.U8(); v != 200 {
+		t.Errorf("U8 = %d", v)
+	}
+	if v := d.U32(); v != 1<<30 {
+		t.Errorf("U32 = %d", v)
+	}
+	if v := d.U64(); v != 1<<60 {
+		t.Errorf("U64 = %d", v)
+	}
+	if v := d.I64(); v != -5 {
+		t.Errorf("I64 = %d", v)
+	}
+	if v := d.F64(); v != -0.5 {
+		t.Errorf("F64 = %v", v)
+	}
+	if v := d.String(); v != "mols" {
+		t.Errorf("String = %q", v)
+	}
+	got := d.Ints()
+	if len(got) != 3 || got[0] != 3 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("Ints = %v", got)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sticky error: a truncated read poisons everything after.
+	d = NewDec([]byte{1, 2})
+	_ = d.U32()
+	if d.Err() == nil {
+		t.Fatal("truncated U32 accepted")
+	}
+	if v := d.U64(); v != 0 {
+		t.Errorf("poisoned U64 = %d, want 0", v)
+	}
+	// Hostile Ints count must not allocate unbounded memory.
+	d = NewDec(AppendU32(nil, 1<<31))
+	if got := d.Ints(); got != nil || d.Err() == nil {
+		t.Error("hostile int count accepted")
+	}
+	// Trailing bytes fail Done.
+	d = NewDec([]byte{1, 2, 3})
+	_ = d.U8()
+	if err := d.Done(); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("Done with trailing bytes: %v", err)
+	}
+}
+
+// FuzzParseFrameHeader checks that arbitrary header bytes never panic
+// and that any accepted header re-encodes to the same 8 bytes.
+func FuzzParseFrameHeader(f *testing.F) {
+	seed, _ := AppendFrame(nil, 4, []byte{1})
+	f.Add(seed[:FrameHeaderSize])
+	f.Add(make([]byte, FrameHeaderSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, n, err := ParseFrameHeader(data)
+		if err != nil {
+			return
+		}
+		re, err := AppendFrame(nil, typ, make([]byte, n))
+		if err != nil {
+			t.Fatalf("accepted header fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(re[:FrameHeaderSize], data[:FrameHeaderSize]) {
+			t.Fatalf("header re-encode differs: %x vs %x", re[:FrameHeaderSize], data[:FrameHeaderSize])
+		}
+	})
+}
+
+// FuzzReadFrame checks that framed streams assembled from arbitrary
+// bytes either fail cleanly or yield the exact payload.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(byte(1), []byte("payload"))
+	f.Add(byte(0), []byte{})
+	f.Fuzz(func(t *testing.T, typ byte, payload []byte) {
+		enc, err := AppendFrame(nil, typ, payload)
+		if err != nil {
+			t.Skip()
+		}
+		gotTyp, got, _, err := ReadFrame(bytes.NewReader(enc), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotTyp != typ || !bytes.Equal(got, payload) {
+			t.Fatalf("round-trip mismatch: type %d/%d, %x vs %x", gotTyp, typ, got, payload)
+		}
+		// A truncated stream must fail, never hang or panic.
+		if len(enc) > 1 {
+			if _, _, _, err := ReadFrame(bytes.NewReader(enc[:len(enc)-1]), nil); err == nil {
+				t.Fatal("truncated frame accepted")
+			}
+		}
+	})
+}

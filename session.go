@@ -48,6 +48,11 @@ type RoundResult struct {
 	// from aggregation because their survivors fell below the quorum.
 	DegradedFiles int
 	DroppedFiles  int
+	// AggregatorDegraded reports that dropped files pushed the
+	// configured Byzantine-aware aggregation rule below its feasibility
+	// floor this round, so the round fell back to coordinate-wise
+	// median instead of erroring.
+	AggregatorDegraded bool
 	// Times is the round's phase wall-clock split.
 	Times PhaseTimes
 	// Evaluated reports whether this round hit the evaluation cadence;
@@ -160,13 +165,14 @@ func (s *Session) step(ctx context.Context, horizon int) (res RoundResult, stepp
 		return RoundResult{}, false, err
 	}
 	res = RoundResult{
-		Round:          stats.Iteration + 1,
-		LR:             stats.LR,
-		DistortedFiles: stats.DistortedFiles,
-		MissingWorkers: stats.MissingWorkers,
-		DegradedFiles:  stats.DegradedFiles,
-		DroppedFiles:   stats.DroppedFiles,
-		Times:          stats.Times,
+		Round:              stats.Iteration + 1,
+		LR:                 stats.LR,
+		DistortedFiles:     stats.DistortedFiles,
+		MissingWorkers:     stats.MissingWorkers,
+		DegradedFiles:      stats.DegradedFiles,
+		DroppedFiles:       stats.DroppedFiles,
+		AggregatorDegraded: stats.AggregatorDegraded,
+		Times:              stats.Times,
 	}
 	if res.Round%s.cfg.EvalEvery == 0 || res.Round == s.cfg.Iterations {
 		res.Evaluated = true
