@@ -21,7 +21,8 @@ bench:
 # -fuzz pattern per invocation, hence the loop).
 fuzz: build
 	for t in FuzzParseFrameHeader FuzzReadFrame FuzzDecodeParams \
-	         FuzzParamsDeltaRoundTrip FuzzDecodeGradFrame FuzzGradFrameRoundTrip; do \
+	         FuzzParamsDeltaRoundTrip FuzzDecodeGradFrame FuzzGradFrameRoundTrip \
+	         FuzzUplinkRoundTrip FuzzDecodeUplink; do \
 		$(GO) test -run '^$$' -fuzz $$t -fuzztime $(FUZZTIME) ./internal/wire || exit 1; \
 	done
 

@@ -1,7 +1,11 @@
 // Command byzbench measures the per-iteration wall-clock split of the
-// training pipeline into computation, communication (real gob
-// serialization), and aggregation, regenerating Figure 12 of the paper
-// for baseline median, ByzShield, and DETOX-MoM under the ALIE attack.
+// training pipeline into computation, communication (real binary
+// serialization through the uplink gradient codec and the delta
+// parameter broadcast), and aggregation, regenerating Figure 12 of the
+// paper for baseline median, ByzShield, and DETOX-MoM under the ALIE
+// attack. The upB/upRawB columns report the worker→PS volume as moved
+// vs its raw-frame equivalent (the realized uplink compression ratio);
+// downB the PS→worker broadcast volume.
 //
 // Usage:
 //

@@ -26,6 +26,11 @@
 //
 // Parameter broadcasts ship as bit-exact deltas between periodic full
 // refreshes; -full-every controls the cadence (1 = full every round).
+// Worker→PS gradient reports are likewise compressed (XOR deltas
+// against each worker's previous report, raw fallback per frame);
+// -no-uplink-delta forces raw frames. -v logs per-round participation
+// and wire-volume stats, and the lifecycle counters (joins, rejoins,
+// evictions, stale frames retired) print at shutdown.
 package main
 
 import (
@@ -42,6 +47,7 @@ import (
 	"time"
 
 	"byzshield"
+	"byzshield/internal/cluster"
 	"byzshield/internal/trainer"
 	"byzshield/internal/transport"
 )
@@ -70,9 +76,13 @@ func main() {
 		seed    = flag.Int64("seed", 42, "experiment seed")
 
 		roundTimeout = flag.Duration("round-timeout", transport.DefaultRoundTimeout,
-			"per-round worker report deadline (negative disables; stalled workers miss the round)")
+			"per-round report-collection deadline (negative disables; stalled workers miss the round)")
 		fullEvery = flag.Int("full-every", transport.DefaultFullBroadcastEvery,
 			"full parameter-broadcast cadence (1 = full vector every round, N = deltas between every N-th round)")
+		noUplinkDelta = flag.Bool("no-uplink-delta", false,
+			"disable compressed worker→PS gradient frames (workers then send raw frames every round)")
+		verbose = flag.Bool("v", false,
+			"log every round: missing workers, rejoins/evictions/stale frames, up/down wire bytes")
 		quorum       = flag.Int("quorum", 0, "minimum surviving replicas per file vote (0 = r/2+1)")
 		faultName    = flag.String("fault", "", "worker fault model to inject: "+strings.Join(byzshield.Registry.Faults(), ", "))
 		faultWorkers = flag.String("fault-workers", "", "comma-separated worker ids the fault targets")
@@ -110,13 +120,22 @@ func main() {
 		},
 		Faults: composed,
 	}
-	srv, err := transport.NewServer(*listen, transport.ServerConfig{
-		Spec:               spec,
-		Logf:               log.Printf,
-		RoundTimeout:       *roundTimeout,
-		FullBroadcastEvery: *fullEvery,
-		Quorum:             *quorum,
-	})
+	srvCfg := transport.ServerConfig{
+		Spec:                spec,
+		Logf:                log.Printf,
+		RoundTimeout:        *roundTimeout,
+		FullBroadcastEvery:  *fullEvery,
+		DisableUplinkDeltas: *noUplinkDelta,
+		Quorum:              *quorum,
+	}
+	if *verbose {
+		srvCfg.OnRound = func(rs cluster.RoundStats) {
+			log.Printf("round %d: missing=%v rejoins=%d evictions=%d stale=%d upB=%d (raw %d) downB=%d",
+				rs.Iteration, rs.MissingWorkers, rs.Rejoins, rs.Evictions, rs.StaleFrames,
+				rs.Times.ReportBytes, rs.Times.ReportRawBytes, rs.Times.BroadcastBytes)
+		}
+	}
+	srv, err := transport.NewServer(*listen, srvCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "byzps:", err)
 		os.Exit(1)
@@ -129,14 +148,22 @@ func main() {
 	log.Printf("parameter server listening on %s (scheme=%s, aggregator=%s, waiting for workers)",
 		srv.Addr(), *scheme, *agg)
 	final, err := srv.Serve(ctx)
+	logCounters := func() {
+		c := srv.Counters()
+		log.Printf("lifecycle: joins=%d rejoins=%d evictions=%d stale-frames=%d",
+			c.Joins, c.Rejoins, c.Evictions, c.StaleFrames)
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			log.Printf("interrupted; %d evaluations recorded", len(srv.History().Points))
+			logCounters()
 			os.Exit(130)
 		}
+		logCounters()
 		fmt.Fprintln(os.Stderr, "byzps:", err)
 		os.Exit(1)
 	}
+	logCounters()
 	fmt.Printf("final top-1 test accuracy: %.4f\n", final)
 }
 

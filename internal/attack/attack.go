@@ -57,6 +57,61 @@ type Attack interface {
 	BeginRound(ctx *Context) Crafter
 }
 
+// Scratch holds caller-owned buffers a Stateful attack reuses across
+// rounds: moment-estimation vectors, a shared payload, and per-file
+// payload buffers. One Scratch serves one engine (sharing it across
+// engines would race); with it, the steady-state payload-crafting path
+// allocates nothing after the first round.
+type Scratch struct {
+	mu, sigma, payload []float64
+	fileBufs           map[int][]float64
+}
+
+// grow resizes *p to n, reusing capacity, and returns it.
+func grow(p *[]float64, n int) []float64 {
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return *p
+}
+
+// FileBuf returns a persistent per-file buffer of length n. The
+// Byzantine file set is static per run, so after the first round every
+// file hits its cached buffer.
+func (s *Scratch) FileBuf(file, n int) []float64 {
+	if s.fileBufs == nil {
+		s.fileBufs = make(map[int][]float64)
+	}
+	b := s.fileBufs[file]
+	if cap(b) < n {
+		b = make([]float64, n)
+	}
+	b = b[:n]
+	s.fileBufs[file] = b
+	return b
+}
+
+// Stateful is implemented by attacks whose per-round setup can reuse
+// caller-owned scratch instead of allocating. The crafted vectors a
+// scratch-backed Crafter returns are views into the Scratch (or the
+// honest input) and stay valid only until the next BeginRoundScratch
+// call; they must be bit-identical to what BeginRound would have
+// produced, which is what TestScratchMatchesBeginRound pins.
+type Stateful interface {
+	Attack
+	BeginRoundScratch(ctx *Context, s *Scratch) Crafter
+}
+
+// Begin dispatches to BeginRoundScratch when the attack supports it
+// (and s is non-nil), falling back to the allocating BeginRound.
+func Begin(a Attack, ctx *Context, s *Scratch) Crafter {
+	if sa, ok := a.(Stateful); ok && s != nil {
+		return sa.BeginRoundScratch(ctx, s)
+	}
+	return a.BeginRound(ctx)
+}
+
 // Benign is the no-attack control: Byzantine workers behave honestly.
 type Benign struct{}
 
@@ -92,6 +147,21 @@ func (r Reversed) BeginRound(*Context) Crafter {
 	}
 }
 
+// BeginRoundScratch implements Stateful: −C·g into a per-file buffer.
+func (r Reversed) BeginRoundScratch(_ *Context, s *Scratch) Crafter {
+	c := r.C
+	if c == 0 {
+		c = 1
+	}
+	return func(file int, honest []float64) []float64 {
+		out := s.FileBuf(file, len(honest))
+		for i, v := range honest {
+			out[i] = -c * v
+		}
+		return out
+	}
+}
+
 // Constant sends a constant matrix with all elements equal to Value
 // (scaled by the file size so the payload has gradient-sum magnitude).
 type Constant struct {
@@ -121,6 +191,26 @@ func (c Constant) BeginRound(ctx *Context) Crafter {
 	}
 	return func(int, []float64) []float64 {
 		return linalg.CloneVec(payload)
+	}
+}
+
+// BeginRoundScratch implements Stateful: all colluders share one
+// scratch payload (bit-identical replicas are exactly the attack's
+// optimum under majority voting, so sharing the buffer is safe).
+func (c Constant) BeginRoundScratch(ctx *Context, s *Scratch) Crafter {
+	v := c.Value
+	if v == 0 {
+		v = -1
+	}
+	if c.ScaleByFileSize && ctx.FileSize > 0 {
+		v *= ctx.FileSize
+	}
+	payload := grow(&s.payload, ctx.Dim)
+	for i := range payload {
+		payload[i] = v
+	}
+	return func(int, []float64) []float64 {
+		return payload
 	}
 }
 
@@ -184,6 +274,25 @@ func (a ALIE) BeginRound(ctx *Context) Crafter {
 	}
 }
 
+// BeginRoundScratch implements Stateful: the µ − z·σ moment estimation
+// runs into the scratch's mean/deviation vectors and the shared
+// payload, so the omniscient attack costs no allocation per round.
+func (a ALIE) BeginRoundScratch(ctx *Context, s *Scratch) Crafter {
+	mu := linalg.MeanVecInto(grow(&s.mu, ctx.Dim), ctx.FileGradients)
+	sigma := linalg.StdVecInto(grow(&s.sigma, ctx.Dim), mu, ctx.FileGradients)
+	z := a.ZOverride
+	if z == 0 {
+		z = ZMax(ctx.Participants, ctx.ExpectedCorrupted)
+	}
+	payload := grow(&s.payload, ctx.Dim)
+	for i := range payload {
+		payload[i] = mu[i] - z*sigma[i]
+	}
+	return func(int, []float64) []float64 {
+		return payload
+	}
+}
+
 // RandomGaussian sends N(0, Scale²) noise, refreshed per round but
 // deterministic given the context rng. Used in ablations.
 type RandomGaussian struct {
@@ -212,6 +321,24 @@ func (g RandomGaussian) BeginRound(ctx *Context) Crafter {
 	}
 }
 
+// BeginRoundScratch implements Stateful.
+func (g RandomGaussian) BeginRoundScratch(ctx *Context, s *Scratch) Crafter {
+	scale := g.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	if ctx.Rng == nil {
+		panic("attack: RandomGaussian requires Context.Rng")
+	}
+	payload := grow(&s.payload, ctx.Dim)
+	for i := range payload {
+		payload[i] = ctx.Rng.NormFloat64() * scale
+	}
+	return func(int, []float64) []float64 {
+		return payload
+	}
+}
+
 // SignFlip negates each coordinate's sign while preserving magnitude
 // ordering: crafted = −|g| per coordinate... i.e. it returns −g like
 // Reversed but clamps magnitude to the honest vector's norm; kept as a
@@ -225,6 +352,17 @@ func (SignFlip) Name() string { return "sign-flip" }
 func (SignFlip) BeginRound(*Context) Crafter {
 	return func(_ int, honest []float64) []float64 {
 		out := make([]float64, len(honest))
+		for i, v := range honest {
+			out[i] = -v
+		}
+		return out
+	}
+}
+
+// BeginRoundScratch implements Stateful.
+func (SignFlip) BeginRoundScratch(_ *Context, s *Scratch) Crafter {
+	return func(file int, honest []float64) []float64 {
+		out := s.FileBuf(file, len(honest))
 		for i, v := range honest {
 			out[i] = -v
 		}

@@ -176,3 +176,68 @@ func TestAttackNamesStable(t *testing.T) {
 		}
 	}
 }
+
+// TestScratchMatchesBeginRound: for every Stateful attack, the
+// scratch-backed crafter must produce payloads bit-identical to the
+// allocating BeginRound path across rounds — reusing buffers must
+// never change a trajectory.
+func TestScratchMatchesBeginRound(t *testing.T) {
+	attacks := []Attack{
+		Reversed{C: 2},
+		Constant{Value: -3, ScaleByFileSize: true},
+		ALIE{},
+		RandomGaussian{Scale: 0.5},
+		SignFlip{},
+	}
+	for _, a := range attacks {
+		sa, ok := a.(Stateful)
+		if !ok {
+			t.Errorf("%s does not implement Stateful", a.Name())
+			continue
+		}
+		var s Scratch
+		for round := 0; round < 3; round++ {
+			ctxA := testContext()
+			ctxB := testContext()
+			ctxA.Round, ctxB.Round = round, round
+			// Context rngs are fresh per round with identical seeds, so
+			// both paths draw the same stream.
+			craftA := a.BeginRound(ctxA)
+			craftB := sa.BeginRoundScratch(ctxB, &s)
+			for _, file := range ctxA.CorruptibleFiles {
+				honest := ctxA.FileGradients[file]
+				pa := craftA(file, honest)
+				pb := craftB(file, honest)
+				if len(pa) != len(pb) {
+					t.Fatalf("%s round %d file %d: lengths %d vs %d", a.Name(), round, file, len(pa), len(pb))
+				}
+				for i := range pa {
+					if math.Float64bits(pa[i]) != math.Float64bits(pb[i]) {
+						t.Fatalf("%s round %d file %d coord %d: %x vs %x",
+							a.Name(), round, file, i, math.Float64bits(pa[i]), math.Float64bits(pb[i]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScratchAllocationFree: after a warm-up round, the scratch-backed
+// ALIE round setup and payload crafting allocate nothing.
+func TestScratchAllocationFree(t *testing.T) {
+	var s Scratch
+	ctx := testContext()
+	craft := ALIE{}.BeginRoundScratch(ctx, &s)
+	craft(1, ctx.FileGradients[1])
+	allocs := testing.AllocsPerRun(50, func() {
+		craft := ALIE{}.BeginRoundScratch(ctx, &s)
+		for _, file := range ctx.CorruptibleFiles {
+			craft(file, ctx.FileGradients[file])
+		}
+	})
+	// The closure itself may cost an allocation; the moment estimation
+	// and payloads must not.
+	if allocs > 1 {
+		t.Errorf("scratch-backed ALIE round allocates %.1f times", allocs)
+	}
+}

@@ -70,9 +70,18 @@ type roundArena struct {
 	voteErrs  []error
 	// probe caches the deterministic loss-evaluation indices.
 	probe []int
-	// encBuf and rxFrame are the communication round-trip scratch.
+	// files is the reusable batch→file partition table (the per-file
+	// slices are views into the sampler's batch buffer).
+	files [][]int
+	// encBuf and rxFrame are the communication round-trip scratch;
+	// upEnc[u]/upDec[u] are worker u's uplink codec stream state —
+	// exactly the state each TCP connection pair holds, so measured
+	// communication exercises the same raw-vs-delta self-selection
+	// (allocated only when MeasureComm is set).
 	encBuf  []byte
 	rxFrame wire.GradFrame
+	upEnc   []wire.UplinkEncoder
+	upDec   []wire.UplinkDecoder
 	// Broadcast-measurement state (allocated only under MeasureComm):
 	// prevParams is the parameter vector broadcast last round (the delta
 	// base), prevAck[u] whether worker u acknowledged it (participated
@@ -137,7 +146,10 @@ func newRoundArena(a *assign.Assignment, dim int, byzSet map[int]bool, measureCo
 		ar.prevAck = make([]bool, a.K)
 		ar.crashed = make([]bool, a.K)
 		ar.bcastScratch = make([]float64, dim)
+		ar.upEnc = make([]wire.UplinkEncoder, a.K)
+		ar.upDec = make([]wire.UplinkDecoder, a.K)
 	}
+	ar.files = make([][]int, a.F)
 
 	ar.fileReplicas = make([][]slotRef, a.F)
 	slotOf := make([]map[int]int, a.K)

@@ -26,21 +26,21 @@ import (
 )
 
 // quickstartConfig mirrors examples/quickstart at full scale.
-func quickstartConfig(b *testing.B) Config {
-	b.Helper()
+func quickstartConfig(tb testing.TB) Config {
+	tb.Helper()
 	a, err := assign.MOLS(5, 3)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	train, test, err := data.Synthetic(data.SyntheticConfig{
 		Train: 3000, Test: 1000, Dim: 32, Classes: 10, Seed: 7,
 	})
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	m, err := model.NewSoftmax(32, 10)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	byz := distort.NewAnalyzer(a).WorstCaseByzantines(context.Background(), 3)
 	return Config{
@@ -60,7 +60,7 @@ func benchRounds(b *testing.B, cfg Config) {
 		b.Fatal(err)
 	}
 	defer e.Close()
-	var commBytes, bcastBytes int64
+	var upBytes, upRawBytes, bcastBytes int64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -68,12 +68,16 @@ func benchRounds(b *testing.B, cfg Config) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		commBytes = stats.Times.CommBytes
+		upBytes = stats.Times.ReportBytes
+		upRawBytes = stats.Times.ReportRawBytes
 		bcastBytes = stats.Times.BroadcastBytes
 	}
 	b.StopTimer()
-	if commBytes > 0 {
-		b.ReportMetric(float64(commBytes), "commB/round")
+	if upBytes > 0 {
+		b.ReportMetric(float64(upBytes), "upB/round")
+	}
+	if upRawBytes > 0 {
+		b.ReportMetric(float64(upRawBytes), "upRawB/round")
 	}
 	if bcastBytes > 0 {
 		b.ReportMetric(float64(bcastBytes), "bcastB/round")
@@ -125,6 +129,41 @@ func BenchmarkRoundMLP(b *testing.B) {
 	}
 	cfg.Model = m
 	benchRounds(b, cfg)
+}
+
+// TestSteadyStateAllocsPerRound pins the allocation budget of the hot
+// path: after warm-up (first-epoch reshuffle, attacker scratch growth),
+// a protocol round on the quickstart configuration — ALIE moment
+// estimation and payload crafting included — must stay in low single
+// digits, far under the 24 the arena design left behind. Measured on
+// the serial engine so pool scheduling noise cannot flake the count.
+func TestSteadyStateAllocsPerRound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; alloc budget is pinned in the non-race run")
+	}
+	cfgT := quickstartConfig(t)
+	cfgT.Parallelism = 1
+	e, err := New(cfgT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for i := 0; i < 8; i++ {
+		if _, err := e.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(12, func() {
+		if _, err := e.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs >= 24 {
+		t.Fatalf("steady-state round allocates %.1f times, budget < 24", allocs)
+	}
+	if allocs > 4 {
+		t.Errorf("steady-state round allocates %.1f times, want ≤ 4 (attacker scratch + sampler prealloc regressed)", allocs)
+	}
 }
 
 // BenchmarkVoteMajority isolates the allocation-free small-n vote on a

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"runtime"
 	"sync"
 	"time"
@@ -118,7 +119,14 @@ type PhaseTimes struct {
 	Compute       time.Duration
 	Communication time.Duration
 	Aggregation   time.Duration
-	CommBytes     int64
+	// ReportBytes counts the serialized worker→PS gradient-report bytes
+	// as they move (or are measured) on the wire — compressed uplink
+	// frames where the codec chose a delta, raw frames otherwise.
+	ReportBytes int64
+	// ReportRawBytes is what the same reports would have cost as raw
+	// frames; ReportBytes/ReportRawBytes is the realized uplink
+	// compression ratio (1.0 when every frame fell back to raw).
+	ReportRawBytes int64
 	// BroadcastBytes counts the serialized PS→worker parameter
 	// broadcast (full or delta frames) when the source measures it.
 	BroadcastBytes int64
@@ -129,7 +137,8 @@ func (t *PhaseTimes) Add(other PhaseTimes) {
 	t.Compute += other.Compute
 	t.Communication += other.Communication
 	t.Aggregation += other.Aggregation
-	t.CommBytes += other.CommBytes
+	t.ReportBytes += other.ReportBytes
+	t.ReportRawBytes += other.ReportRawBytes
 	t.BroadcastBytes += other.BroadcastBytes
 }
 
@@ -154,7 +163,17 @@ type RoundStats struct {
 	// below its feasibility floor this round, so the round aggregated
 	// with coordinate-wise median instead of erroring out.
 	AggregatorDegraded bool
-	Times              PhaseTimes
+	// Rejoins counts workers re-admitted at this round's boundary
+	// (network sources only).
+	Rejoins int
+	// Evictions counts worker connections torn down during this round
+	// (broken streams, protocol violations; network sources only).
+	Evictions int
+	// StaleFrames counts gradient reports that arrived too late for
+	// their round and were retired without entering any vote (network
+	// sources only; the reader pumps retire them the moment they land).
+	StaleFrames int
+	Times       PhaseTimes
 }
 
 // Engine executes the protocol.
@@ -173,8 +192,18 @@ type Engine struct {
 	pool        *pool // nil when Parallelism == 1
 	width       int   // pool width (1 when serial)
 	arena       *roundArena
-	closeOnce   sync.Once
-	closed      bool
+	// rd is the persistent Round view handed to the source each
+	// iteration (only its files table changes per round).
+	rd Round
+	// atkRng and atkCtx are the reusable attack-oracle state: the rng
+	// is reseeded per round (identical stream to a freshly constructed
+	// one) and the context struct is updated in place, so the Byzantine
+	// path allocates nothing in steady state.
+	atkRng    *rand.Rand
+	atkCtx    attack.Context
+	atkScr    attack.Scratch
+	closeOnce sync.Once
+	closed    bool
 }
 
 // New validates the configuration and initializes the engine, including
@@ -266,6 +295,10 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.corruptible = e.computeCorruptible()
 	e.arena = newRoundArena(cfg.Assignment, cfg.Model.NumParams(), byzSet, cfg.MeasureComm, cfg.Fault != nil, width)
+	e.rd = Round{eng: e}
+	if len(byzSet) > 0 {
+		e.atkRng = rand.New(rand.NewSource(cfg.Seed))
+	}
 	// Probe indices are initialized eagerly so snapshot evaluation
 	// (EvalLossParams) is safe from a background goroutine while the
 	// serve loop keeps stepping rounds.
@@ -424,10 +457,11 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 	ar := e.arena
 
 	batch := e.sampler.Next()
-	files, err := data.PartitionFiles(batch, a.F)
+	files, err := data.PartitionFilesInto(batch, a.F, ar.files)
 	if err != nil {
 		return RoundStats{}, err
 	}
+	ar.files = files
 
 	// --- Collection: the source computes (in process) or gathers (off
 	// the wire) every participating worker's per-file gradient sums into
@@ -435,8 +469,8 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 	for u := range ar.missing {
 		ar.missing[u] = false
 	}
-	rd := Round{eng: e, files: files}
-	cs, err := e.src.Collect(ctx, &rd)
+	e.rd.files = files
+	cs, err := e.src.Collect(ctx, &e.rd)
 	if err != nil {
 		return RoundStats{}, err
 	}
@@ -565,11 +599,15 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 		DegradedFiles:      degraded,
 		DroppedFiles:       dropped,
 		AggregatorDegraded: aggDegraded,
+		Rejoins:            cs.Rejoins,
+		Evictions:          cs.Evictions,
+		StaleFrames:        cs.StaleFrames,
 		Times: PhaseTimes{
 			Compute:        cs.Compute,
 			Communication:  cs.Communication,
 			Aggregation:    aggTime,
-			CommBytes:      cs.CommBytes,
+			ReportBytes:    cs.ReportBytes,
+			ReportRawBytes: cs.ReportRawBytes,
 			BroadcastBytes: cs.BroadcastBytes,
 		},
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports that the race detector is active; its runtime
+// instrumentation allocates, so allocation-count assertions are
+// skipped under -race.
+const raceEnabled = true

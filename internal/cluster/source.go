@@ -3,7 +3,6 @@ package cluster
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"time"
 
 	"byzshield/internal/attack"
@@ -17,10 +16,19 @@ import (
 type CollectStats struct {
 	Compute       time.Duration
 	Communication time.Duration
-	CommBytes     int64
+	// ReportBytes counts serialized worker→PS report bytes as they
+	// moved (compressed uplink frames); ReportRawBytes what the same
+	// reports would have cost raw. See PhaseTimes.
+	ReportBytes    int64
+	ReportRawBytes int64
 	// BroadcastBytes counts serialized PS→worker parameter-broadcast
 	// bytes for sources that physically move (or measure) them.
 	BroadcastBytes int64
+	// Rejoins/Evictions/StaleFrames report connection-lifecycle events
+	// of network sources (see RoundStats).
+	Rejoins     int
+	Evictions   int
+	StaleFrames int
 }
 
 // GradientSource supplies one round's per-worker gradient replicas to
@@ -73,6 +81,13 @@ func (rd *Round) FileSamples(v int) []int { return rd.files[v] }
 // assigned file. Sources may decode or compute directly into it; doing
 // so counts as delivering the slot.
 func (rd *Round) Buffer(u, slot int) []float64 { return rd.eng.arena.grads[u][slot] }
+
+// GradBuffer is Round.Buffer addressed from the engine: the buffers
+// are stable for the engine's lifetime, so a network source's
+// long-lived reader goroutines may cache and decode into them between
+// Collect calls — under the same contract as Buffer (only the worker's
+// current-round deliverer may write a buffer the round might read).
+func (e *Engine) GradBuffer(u, slot int) []float64 { return e.arena.grads[u][slot] }
 
 // Deliver points the engine at g as worker u's gradient for its slot-th
 // assigned file this round. g must have the model dimension and stay
@@ -176,7 +191,11 @@ func (s localSource) Collect(_ context.Context, rd *Round) (CollectStats, error)
 	// attacks that draw from the round Rng per file — and regardless of
 	// which workers a fault removed.
 	if len(ar.byzWorkers) > 0 {
-		atkCtx := &attack.Context{
+		// The rng is reseeded rather than reallocated: Seed resets the
+		// source and the normal-draw cache, so the stream is identical
+		// to a freshly constructed rand.New per round.
+		e.atkRng.Seed(e.cfg.Seed + int64(e.iter)*7919)
+		e.atkCtx = attack.Context{
 			Round:             e.iter,
 			Dim:               ar.dim,
 			FileGradients:     ar.trueGrads,
@@ -184,9 +203,9 @@ func (s localSource) Collect(_ context.Context, rd *Round) (CollectStats, error)
 			Participants:      a.K,
 			ExpectedCorrupted: len(e.byzSet),
 			FileSize:          float64(e.cfg.BatchSize) / float64(a.F),
-			Rng:               rand.New(rand.NewSource(e.cfg.Seed + int64(e.iter)*7919)),
+			Rng:               e.atkRng,
 		}
-		craft := e.cfg.Attack.BeginRound(atkCtx)
+		craft := attack.Begin(e.cfg.Attack, &e.atkCtx, &e.atkScr)
 		for _, v := range ar.byzFiles {
 			ar.crafted[v] = craft(v, ar.trueGrads[v])
 		}
@@ -219,11 +238,14 @@ func (s localSource) Collect(_ context.Context, rd *Round) (CollectStats, error)
 	}
 
 	// --- Communication phase: move every surviving worker's message to
-	// the PS through the binary gradient-frame codec. Encoding and
-	// decoding are physically executed; the decoded receive buffers
-	// become the PS's working set, exactly as bytes off a wire would.
+	// the PS through the uplink gradient codec — per-worker encoder and
+	// decoder state, exactly as each TCP connection pair holds it, so
+	// the codec's raw-vs-delta self-selection is physically exercised
+	// and the realized ratio is measured, not modelled. The decoded
+	// receive buffers become the PS's working set, as bytes off a wire
+	// would.
 	commStart := time.Now()
-	var commBytes, bcastBytes int64
+	var commBytes, rawBytes, bcastBytes int64
 	if e.cfg.MeasureComm {
 		var err error
 		if bcastBytes, err = s.measureBroadcast(); err != nil {
@@ -231,21 +253,24 @@ func (s localSource) Collect(_ context.Context, rd *Round) (CollectStats, error)
 		}
 		for u := 0; u < a.K; u++ {
 			if ar.missing[u] {
+				// No report: encoder and decoder bases both stay put, so
+				// the pair stays in lockstep across the gap.
 				continue
 			}
-			buf, err := wire.AppendGradFrame(ar.encBuf[:0], u, ar.workerFiles[u], ar.cur[u])
+			buf, _, rawSize, err := ar.upEnc[u].Encode(ar.encBuf[:0], u, ar.workerFiles[u], ar.cur[u])
 			if err != nil {
 				return CollectStats{}, fmt.Errorf("cluster: worker %d message: %w", u, err)
 			}
 			ar.encBuf = buf
 			ar.rxFrame.Grads = ar.rx[u]
-			if _, err := wire.DecodeGradFrame(buf, &ar.rxFrame); err != nil {
+			if _, _, err := ar.upDec[u].Decode(buf, &ar.rxFrame); err != nil {
 				return CollectStats{}, fmt.Errorf("cluster: worker %d message: %w", u, err)
 			}
-			// DecodeGradFrame fills the rx buffers in place (capacities
-			// always suffice); repoint the PS's view at them.
+			// Decode fills the rx buffers in place (capacities always
+			// suffice); repoint the PS's view at them.
 			copy(ar.cur[u], ar.rx[u])
 			commBytes += int64(len(buf))
+			rawBytes += int64(rawSize)
 		}
 	}
 	commTime := time.Since(commStart)
@@ -253,7 +278,8 @@ func (s localSource) Collect(_ context.Context, rd *Round) (CollectStats, error)
 	return CollectStats{
 		Compute:        computeTime,
 		Communication:  commTime,
-		CommBytes:      commBytes,
+		ReportBytes:    commBytes,
+		ReportRawBytes: rawBytes,
 		BroadcastBytes: bcastBytes,
 	}, nil
 }

@@ -138,13 +138,16 @@ func rampClass(i, classes int) int {
 
 // BatchSampler draws random mini-batches of indices without replacement
 // within a batch (samples may repeat across batches, as in standard
-// mini-batch SGD with reshuffling).
+// mini-batch SGD with reshuffling). The permutation and batch buffers
+// are preallocated and reused, so steady-state sampling allocates
+// nothing: each Next overwrites the previously returned slice.
 type BatchSampler struct {
 	n     int
 	batch int
 	rng   *rand.Rand
 	perm  []int
 	pos   int
+	out   []int
 }
 
 // NewBatchSampler creates a sampler over n samples with the given batch
@@ -157,16 +160,30 @@ func NewBatchSampler(n, batch int, seed int64) (*BatchSampler, error) {
 		n:     n,
 		batch: batch,
 		rng:   rand.New(rand.NewSource(seed)),
+		perm:  make([]int, n),
+		out:   make([]int, 0, batch),
 	}, nil
 }
 
-// Next returns the indices of the next batch B_t. A fresh shuffled
-// permutation is generated whenever the previous epoch is exhausted.
+// reshuffle refills the permutation buffer in place, consuming the rng
+// exactly like rand.Perm so preallocating changes no sample stream.
+func (s *BatchSampler) reshuffle() {
+	for i := 0; i < s.n; i++ {
+		j := s.rng.Intn(i + 1)
+		s.perm[i] = s.perm[j]
+		s.perm[j] = i
+	}
+}
+
+// Next returns the indices of the next batch B_t, reshuffling in place
+// whenever the previous epoch is exhausted. The returned slice is
+// owned by the sampler and overwritten by the following Next; callers
+// that need it longer than one round must copy.
 func (s *BatchSampler) Next() []int {
-	out := make([]int, 0, s.batch)
+	out := s.out[:0]
 	for len(out) < s.batch {
 		if s.pos == 0 || s.pos >= s.n {
-			s.perm = s.rng.Perm(s.n)
+			s.reshuffle()
 			s.pos = 0
 		}
 		take := s.batch - len(out)
@@ -176,6 +193,7 @@ func (s *BatchSampler) Next() []int {
 		out = append(out, s.perm[s.pos:s.pos+take]...)
 		s.pos += take
 	}
+	s.out = out
 	return out
 }
 
@@ -183,13 +201,23 @@ func (s *BatchSampler) Next() []int {
 // near-equal size in order, implementing B_t = {B_t,0 ... B_t,f−1}.
 // When f does not divide |batch|, leading files get one extra sample.
 func PartitionFiles(batch []int, f int) ([][]int, error) {
+	return PartitionFilesInto(batch, f, nil)
+}
+
+// PartitionFilesInto is PartitionFiles reusing dst's capacity for the
+// file table (the per-file slices are always views into batch), so a
+// caller that keeps dst across rounds partitions without allocating.
+func PartitionFilesInto(batch []int, f int, dst [][]int) ([][]int, error) {
 	if f < 1 {
 		return nil, fmt.Errorf("data: partition into %d files", f)
 	}
 	if f > len(batch) {
 		return nil, fmt.Errorf("data: %d files for %d samples", f, len(batch))
 	}
-	files := make([][]int, f)
+	if cap(dst) < f {
+		dst = make([][]int, f)
+	}
+	files := dst[:f]
 	base := len(batch) / f
 	extra := len(batch) % f
 	pos := 0

@@ -109,19 +109,26 @@ func RenderFigureCSV(w io.Writer, fig Figure) {
 }
 
 // RenderTiming writes the Figure 12 per-iteration phase split, plus the
-// measured wire volume in each direction (worker→PS gradient frames and
-// PS→worker parameter broadcast).
+// measured wire volume in each direction (worker→PS gradient frames,
+// both as moved by the uplink codec and raw-equivalent, and PS→worker
+// parameter broadcast).
 func RenderTiming(w io.Writer, rows []TimingRow) {
-	fmt.Fprintf(w, "%-12s %14s %14s %14s %12s %12s\n",
-		"scheme", "compute/iter", "comm/iter", "agg/iter", "upB/iter", "downB/iter")
+	fmt.Fprintf(w, "%-12s %14s %14s %14s %12s %12s %8s %12s\n",
+		"scheme", "compute/iter", "comm/iter", "agg/iter", "upB/iter", "upRawB/iter", "upRatio", "downB/iter")
 	for _, r := range rows {
 		c, m, a := r.PerIteration()
-		up, down := r.CommBytes, r.BroadcastBytes
+		up, raw, down := r.ReportBytes, r.ReportRawBytes, r.BroadcastBytes
 		if r.Rounds > 0 {
 			up /= int64(r.Rounds)
+			raw /= int64(r.Rounds)
 			down /= int64(r.Rounds)
 		}
-		fmt.Fprintf(w, "%-12s %14s %14s %14s %12d %12d\n", r.Scheme, round(c), round(m), round(a), up, down)
+		ratio := 1.0
+		if raw > 0 {
+			ratio = float64(up) / float64(raw)
+		}
+		fmt.Fprintf(w, "%-12s %14s %14s %14s %12d %12d %8.2f %12d\n",
+			r.Scheme, round(c), round(m), round(a), up, raw, ratio, down)
 	}
 }
 

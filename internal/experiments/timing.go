@@ -20,7 +20,12 @@ type TimingRow struct {
 	Compute       time.Duration
 	Communication time.Duration
 	Aggregation   time.Duration
-	CommBytes     int64
+	// ReportBytes is the measured worker→PS gradient-report volume as
+	// the uplink codec moved it (delta frames where they paid, raw
+	// otherwise); ReportRawBytes what raw frames would have cost — the
+	// two together give the realized uplink compression ratio.
+	ReportBytes    int64
+	ReportRawBytes int64
 	// BroadcastBytes is the measured PS→worker parameter broadcast
 	// volume (full frames every BroadcastFullEvery rounds, bit-exact
 	// XOR deltas otherwise).
@@ -124,7 +129,8 @@ func timeOne(ctx context.Context, name string, spec RunSpec, opts TrainOpts, rou
 		Compute:        times.Compute,
 		Communication:  times.Communication,
 		Aggregation:    times.Aggregation,
-		CommBytes:      times.CommBytes,
+		ReportBytes:    times.ReportBytes,
+		ReportRawBytes: times.ReportRawBytes,
 		BroadcastBytes: times.BroadcastBytes,
 		Rounds:         rounds,
 	}, nil

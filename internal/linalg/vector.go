@@ -129,8 +129,15 @@ func SqDist2(a, b []float64) float64 {
 
 // MeanVec returns the coordinate-wise mean of the vectors.
 func MeanVec(vs [][]float64) []float64 {
-	d := checkSameLen(vs)
-	out := make([]float64, d)
+	return MeanVecInto(make([]float64, checkSameLen(vs)), vs)
+}
+
+// MeanVecInto computes the coordinate-wise mean into out (which must
+// have the vectors' dimension) and returns it. The accumulation order
+// matches MeanVec exactly, so the two are bit-identical.
+func MeanVecInto(out []float64, vs [][]float64) []float64 {
+	checkSameLen(vs)
+	clear(out)
 	for _, v := range vs {
 		for i := range v {
 			out[i] += v[i]
@@ -146,8 +153,15 @@ func MeanVec(vs [][]float64) []float64 {
 // StdVec returns the coordinate-wise (population) standard deviation.
 func StdVec(vs [][]float64) []float64 {
 	d := checkSameLen(vs)
-	mean := MeanVec(vs)
-	out := make([]float64, d)
+	return StdVecInto(make([]float64, d), MeanVec(vs), vs)
+}
+
+// StdVecInto computes the coordinate-wise population standard
+// deviation around mean into out and returns it; bit-identical to
+// StdVec when mean is the vectors' MeanVec.
+func StdVecInto(out, mean []float64, vs [][]float64) []float64 {
+	checkSameLen(vs)
+	clear(out)
 	for _, v := range vs {
 		for i := range v {
 			diff := v[i] - mean[i]

@@ -1,0 +1,102 @@
+// Loopback wire-path benchmarks: steady-state round latency and wire
+// volume of the pipelined TCP rounds (reader pumps + compressed uplink
+// frames), and a straggler-injected variant showing round latency
+// tracking the collection deadline rather than the slow worker's drain.
+//
+// Run with:
+//
+//	go test ./internal/transport -bench BenchmarkLoopback -run '^$'
+//
+// round_ns is the mean wall-clock per protocol round (measured from
+// serve start to the last completed round, excluding the shutdown
+// drain); upB/upRawB are the measured worker→PS bytes as moved vs the
+// raw-frame equivalent, downB the PS→worker broadcast bytes.
+package transport
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"byzshield/internal/cluster"
+	"byzshield/internal/registry"
+)
+
+// benchLoopback runs b.N protocol rounds over loopback TCP and reports
+// round latency and per-round wire volume.
+func benchLoopback(b *testing.B, spec Spec, cfg ServerConfig) {
+	b.Helper()
+	spec.Rounds = b.N
+	cfg.Spec = spec
+	var mu sync.Mutex
+	var up, upRaw, down int64
+	var roundsDone time.Duration
+	var start time.Time
+	cfg.OnRound = func(rs cluster.RoundStats) {
+		mu.Lock()
+		up += rs.Times.ReportBytes
+		upRaw += rs.Times.ReportRawBytes
+		down += rs.Times.BroadcastBytes
+		roundsDone = time.Since(start)
+		mu.Unlock()
+	}
+	srv, err := NewServer("127.0.0.1:0", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	asn, err := spec.BuildAssignment()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for u := 0; u < asn.K; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			if _, err := RunWorker(context.Background(), srv.Addr(), WorkerConfig{ID: u}); err != nil {
+				b.Errorf("worker %d: %v", u, err)
+			}
+		}(u)
+	}
+	b.ResetTimer()
+	start = time.Now()
+	if _, err := srv.Serve(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	wg.Wait()
+	n := int64(b.N)
+	b.ReportMetric(float64(roundsDone.Nanoseconds())/float64(n), "round_ns")
+	b.ReportMetric(float64(up/n), "upB/round")
+	b.ReportMetric(float64(upRaw/n), "upRawB/round")
+	b.ReportMetric(float64(down/n), "downB/round")
+}
+
+// BenchmarkLoopbackRound is the steady-state pipelined wire round on
+// the shared test spec: all workers honest, compressed uplink enabled
+// (self-selecting), delta broadcasts at the default cadence.
+func BenchmarkLoopbackRound(b *testing.B) {
+	benchLoopback(b, testSpec(1), ServerConfig{})
+}
+
+// BenchmarkLoopbackRoundRawUplink is the same round with uplink
+// compression disabled — the upB gap against BenchmarkLoopbackRound is
+// the realized uplink saving on the real wire.
+func BenchmarkLoopbackRoundRawUplink(b *testing.B) {
+	benchLoopback(b, testSpec(1), ServerConfig{DisableUplinkDeltas: true})
+}
+
+// BenchmarkLoopbackRoundStraggler injects a worker whose every report
+// is slower than the collection deadline. With per-connection reader
+// pumps the straggler's backlog drains off the hot path, so round_ns
+// must track the deadline (~25 ms here), not the straggler's 60 ms
+// report cadence — the round no longer serializes behind the slowest
+// worker's socket.
+func BenchmarkLoopbackRoundStraggler(b *testing.B) {
+	spec := testSpec(1)
+	spec.Fault = "straggler"
+	spec.FaultParams = registry.FaultParams{Workers: []int{3}, Delay: 60 * time.Millisecond}
+	benchLoopback(b, spec, ServerConfig{RoundTimeout: 25 * time.Millisecond})
+}

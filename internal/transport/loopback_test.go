@@ -351,7 +351,7 @@ func TestEvictedWorkerRejoinsAfterMissedRounds(t *testing.T) {
 				victimConn.Close() // crash mid-round, report never sent
 				return
 			}
-			rep, err := computeReport(st.cfg, st.mdl, st.train, st.params, &m)
+			rep, err := st.computeReport(&m)
 			if err != nil {
 				t.Error(err)
 				return

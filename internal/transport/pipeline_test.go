@@ -1,0 +1,508 @@
+// Tests for the pipelined wire rounds of protocol v3: per-connection
+// reader pumps, eager stale-frame retirement, compressed uplink
+// gradient frames, lifecycle counters, and deterministic pump teardown.
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"math"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"byzshield/internal/cluster"
+	"byzshield/internal/wire"
+)
+
+// runLoopback runs spec over loopback TCP with the given server config
+// and returns the final params plus the accumulated round stats.
+func runLoopback(t *testing.T, spec Spec, cfg ServerConfig) (*Server, []float64, []cluster.RoundStats) {
+	t.Helper()
+	var mu sync.Mutex
+	var stats []cluster.RoundStats
+	userOnRound := cfg.OnRound
+	cfg.Spec = spec
+	cfg.OnRound = func(rs cluster.RoundStats) {
+		mu.Lock()
+		stats = append(stats, rs)
+		mu.Unlock()
+		if userOnRound != nil {
+			userOnRound(rs)
+		}
+	}
+	srv, err := NewServer("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	asn, err := spec.BuildAssignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for u := 0; u < asn.K; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			if _, err := RunWorker(context.Background(), srv.Addr(), WorkerConfig{ID: u}); err != nil {
+				t.Errorf("worker %d: %v", u, err)
+			}
+		}(u)
+	}
+	if _, err := srv.Serve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	return srv, srv.Params(), stats
+}
+
+// TestUplinkDeltaTrajectoryIdentity: compressed uplink (the default)
+// must move strictly fewer worker→PS bytes than forced-raw frames on
+// the same spec, never more than the raw equivalent on any round, and
+// produce the bit-identical parameter trajectory — compression is a
+// wire concern, invisible to training.
+func TestUplinkDeltaTrajectoryIdentity(t *testing.T) {
+	spec := testSpec(12)
+	sum := func(stats []cluster.RoundStats) (up, raw int64) {
+		for _, rs := range stats {
+			if rs.Times.ReportBytes > rs.Times.ReportRawBytes {
+				t.Errorf("round %d: moved %d bytes, raw equivalent %d — self-selection must never lose",
+					rs.Iteration, rs.Times.ReportBytes, rs.Times.ReportRawBytes)
+			}
+			up += rs.Times.ReportBytes
+			raw += rs.Times.ReportRawBytes
+		}
+		return up, raw
+	}
+	_, deltaParams, deltaStats := runLoopback(t, spec, ServerConfig{})
+	_, rawParams, rawStats := runLoopback(t, spec, ServerConfig{DisableUplinkDeltas: true})
+
+	deltaUp, deltaRaw := sum(deltaStats)
+	rawUp, rawRaw := sum(rawStats)
+	if rawUp != rawRaw {
+		t.Errorf("forced-raw run moved %d bytes but raw equivalent is %d", rawUp, rawRaw)
+	}
+	if deltaUp >= rawUp {
+		t.Errorf("compressed uplink moved %d bytes, raw %d — no saving", deltaUp, rawUp)
+	}
+	if deltaRaw != rawUp {
+		t.Errorf("raw-equivalent accounting diverged: %d vs %d", deltaRaw, rawUp)
+	}
+	for i := range rawParams {
+		if math.Float64bits(deltaParams[i]) != math.Float64bits(rawParams[i]) {
+			t.Fatalf("param %d: uplink compression changed the trajectory", i)
+		}
+	}
+}
+
+// TestStaleReportRetiredEagerly: a report that arrives after its
+// round's deadline is retired by the worker's reader pump the moment it
+// lands — not lazily at the next round's collection. The test parks the
+// serve loop between rounds (OnRound blocks it), releases the late
+// report, and watches the stale counter tick while no collection is
+// running; the late frame must also keep the uplink delta base in
+// lockstep, so the worker's next (delta) report still decodes.
+func TestStaleReportRetiredEagerly(t *testing.T) {
+	const victim = 3
+	spec := testSpec(3)
+	sendStale := make(chan struct{})
+	staleSent := make(chan struct{})
+
+	srvCfg := ServerConfig{
+		RoundTimeout: 500 * time.Millisecond,
+	}
+	var srv *Server
+	srvCfg.OnRound = func(rs cluster.RoundStats) {
+		if rs.Iteration != 0 {
+			return
+		}
+		// Round 0 is aggregated and the serve loop is parked here: no
+		// collection is running. Release the victim's round-0 report
+		// and require the pump to retire it before round 1 starts.
+		close(sendStale)
+		<-staleSent
+		deadline := time.Now().Add(10 * time.Second)
+		for srv.Counters().StaleFrames == 0 {
+			if time.Now().After(deadline) {
+				t.Error("stale report was not retired while the serve loop was parked")
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	var mu sync.Mutex
+	var stats []cluster.RoundStats
+	userOnRound := srvCfg.OnRound
+	srvCfg.Spec = spec
+	srvCfg.OnRound = func(rs cluster.RoundStats) {
+		mu.Lock()
+		stats = append(stats, rs)
+		mu.Unlock()
+		userOnRound(rs)
+	}
+	var err error
+	srv, err = NewServer("127.0.0.1:0", srvCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	serveDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve(context.Background())
+		serveDone <- err
+	}()
+
+	asn, err := spec.BuildAssignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for u := 0; u < asn.K; u++ {
+		if u == victim {
+			continue
+		}
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			if _, err := RunWorker(context.Background(), srv.Addr(), WorkerConfig{ID: u}); err != nil {
+				t.Errorf("worker %d: %v", u, err)
+			}
+		}(u)
+	}
+
+	// The victim participates manually: it withholds its round-0 report
+	// until the serve loop is parked between rounds, then sends it
+	// (stale), and participates normally afterwards — its round-1
+	// report is an XOR delta against the stale round-0 one, proving the
+	// pump kept the decoder base moving.
+	raw, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := NewConn(raw)
+	if _, err := conn.Send(Hello{WorkerID: victim, Version: wire.ProtocolVersion}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	welcome, ok := msg.(Welcome)
+	if !ok {
+		t.Fatalf("expected Welcome, got %T", msg)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		st := &workerState{cfg: WorkerConfig{ID: victim, Behavior: BehaviorHonest}, lastApplied: -1}
+		st.enc.NoDelta = !welcome.UplinkDeltas
+		var err error
+		if st.mdl, err = welcome.Spec.BuildModel(); err != nil {
+			t.Error(err)
+			return
+		}
+		if st.train, _, err = welcome.Spec.BuildData(); err != nil {
+			t.Error(err)
+			return
+		}
+		st.params = make([]float64, st.mdl.NumParams())
+		for {
+			msg, err := conn.Recv()
+			if err != nil {
+				t.Errorf("victim recv: %v", err)
+				return
+			}
+			switch m := msg.(type) {
+			case RoundStart:
+				if err := st.applyParams(&m); err != nil {
+					t.Error(err)
+					return
+				}
+				rep, err := st.computeReport(&m)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if m.Iteration == 0 {
+					<-sendStale // wait for the serve loop to park
+				}
+				if _, err := conn.Send(*rep); err != nil {
+					t.Errorf("victim send: %v", err)
+					return
+				}
+				if m.Iteration == 0 {
+					close(staleSent)
+				}
+			case Shutdown:
+				conn.Close()
+				return
+			default:
+				t.Errorf("victim got %T", msg)
+				return
+			}
+		}
+	}()
+
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	wg.Wait()
+
+	if len(stats) != spec.Rounds {
+		t.Fatalf("recorded %d rounds, want %d", len(stats), spec.Rounds)
+	}
+	if len(stats[0].MissingWorkers) != 1 || stats[0].MissingWorkers[0] != victim {
+		t.Errorf("round 0 missing %v, want [%d]", stats[0].MissingWorkers, victim)
+	}
+	// The stale frame was retired between rounds 0 and 1, so round 1's
+	// delta accounting carries it; no later round discards anything.
+	if stats[1].StaleFrames != 1 {
+		t.Errorf("round 1 retired %d stale frames, want 1", stats[1].StaleFrames)
+	}
+	for _, rs := range stats[1:] {
+		if len(rs.MissingWorkers) != 0 {
+			t.Errorf("round %d: missing %v after the stale round", rs.Iteration, rs.MissingWorkers)
+		}
+	}
+	c := srv.Counters()
+	if c.Joins != int64(asn.K) || c.Rejoins != 0 || c.Evictions != 0 || c.StaleFrames != 1 {
+		t.Errorf("counters = %+v, want %d joins, 0 rejoins, 0 evictions, 1 stale", c, asn.K)
+	}
+}
+
+// TestLifecycleCountersOnEviction: a worker whose connection breaks
+// mid-run is counted as an eviction — in the cumulative counters and in
+// the per-round stats delta — and stays missing afterwards.
+func TestLifecycleCountersOnEviction(t *testing.T) {
+	const victim = 2
+	spec := testSpec(4)
+	srvCfg := ServerConfig{RoundTimeout: 10 * time.Second}
+	var mu sync.Mutex
+	var stats []cluster.RoundStats
+	srvCfg.Spec = spec
+	srvCfg.OnRound = func(rs cluster.RoundStats) {
+		mu.Lock()
+		stats = append(stats, rs)
+		mu.Unlock()
+	}
+	srv, err := NewServer("127.0.0.1:0", srvCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	serveDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve(context.Background())
+		serveDone <- err
+	}()
+
+	asn, err := spec.BuildAssignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for u := 0; u < asn.K; u++ {
+		if u == victim {
+			continue
+		}
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			if _, err := RunWorker(context.Background(), srv.Addr(), WorkerConfig{ID: u}); err != nil {
+				t.Errorf("worker %d: %v", u, err)
+			}
+		}(u)
+	}
+	// The victim participates in round 0, then drops its connection on
+	// round 1's broadcast without reporting — a crash as the server
+	// sees it.
+	raw, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := NewConn(raw)
+	if _, err := conn.Send(Hello{WorkerID: victim, Version: wire.ProtocolVersion}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	welcome, ok := msg.(Welcome)
+	if !ok {
+		t.Fatalf("expected Welcome, got %T", msg)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		st := &workerState{cfg: WorkerConfig{ID: victim, Behavior: BehaviorHonest}, lastApplied: -1}
+		var err error
+		if st.mdl, err = welcome.Spec.BuildModel(); err != nil {
+			t.Error(err)
+			return
+		}
+		if st.train, _, err = welcome.Spec.BuildData(); err != nil {
+			t.Error(err)
+			return
+		}
+		st.params = make([]float64, st.mdl.NumParams())
+		for {
+			msg, err := conn.Recv()
+			if err != nil {
+				t.Errorf("victim recv: %v", err)
+				return
+			}
+			m, ok := msg.(RoundStart)
+			if !ok {
+				t.Errorf("victim got %T", msg)
+				return
+			}
+			if err := st.applyParams(&m); err != nil {
+				t.Error(err)
+				return
+			}
+			if m.Iteration == 1 {
+				conn.Close()
+				return
+			}
+			rep, err := st.computeReport(&m)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := conn.Send(*rep); err != nil {
+				t.Errorf("victim send: %v", err)
+				return
+			}
+		}
+	}()
+
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	wg.Wait()
+
+	evictions := 0
+	for _, rs := range stats {
+		evictions += rs.Evictions
+	}
+	if evictions != 1 {
+		t.Errorf("per-round eviction deltas sum to %d, want 1", evictions)
+	}
+	c := srv.Counters()
+	if c.Evictions != 1 {
+		t.Errorf("counters report %d evictions, want 1", c.Evictions)
+	}
+	for _, rs := range stats {
+		if rs.Iteration >= 1 && (len(rs.MissingWorkers) != 1 || rs.MissingWorkers[0] != victim) {
+			t.Errorf("round %d: missing %v, want [%d]", rs.Iteration, rs.MissingWorkers, victim)
+		}
+	}
+}
+
+// TestServeJoinsAllPumpGoroutines: Serve's teardown must close every
+// reader pump deterministically — after a full training run plus Close,
+// the process is back to its pre-server goroutine count (no leaked
+// pumps, send goroutines, or eval workers).
+func TestServeJoinsAllPumpGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	spec := testSpec(5)
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn, err := spec.BuildAssignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for u := 0; u < asn.K; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			if _, err := RunWorker(context.Background(), srv.Addr(), WorkerConfig{ID: u}); err != nil {
+				t.Errorf("worker %d: %v", u, err)
+			}
+		}(u)
+	}
+	if _, err := srv.Serve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	srv.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("%d goroutines before run, %d after teardown; stacks:\n%s", before, now, buf[:n])
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestV2PeerRejected: protocol v3 rejects v2 peers at both negotiation
+// layers — a Hello declaring version 2 inside a valid frame, and any
+// frame whose header is stamped with version 2.
+func TestV2PeerRejected(t *testing.T) {
+	spec := testSpec(3)
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve(ctx)
+		serveDone <- err
+	}()
+
+	// A well-framed Hello declaring protocol version 2.
+	raw, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConn(raw)
+	if _, err := c.Send(Hello{WorkerID: 0, Version: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recv(); err == nil {
+		t.Error("v2 Hello was not rejected")
+	}
+	c.Close()
+
+	// A frame stamped with version 2 in its header, as a real v2 peer
+	// would send: rejected before the payload is even interpreted.
+	raw, err = net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	hdr := make([]byte, wire.FrameHeaderSize)
+	binary.LittleEndian.PutUint16(hdr, wire.FrameMagic)
+	hdr[2] = 2 // protocol v2
+	hdr[3] = 1 // Hello
+	binary.LittleEndian.PutUint32(hdr[4:], 0)
+	if _, err := raw.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	raw.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := raw.Read(make([]byte, 1)); err == nil {
+		t.Error("v2-stamped frame was not rejected")
+	}
+
+	cancel()
+	<-serveDone
+}

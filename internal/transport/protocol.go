@@ -1,6 +1,6 @@
 // Package transport implements a real network transport for the
 // training protocol: a TCP parameter server and worker clients speaking
-// the framed v2 control protocol over net.Conn. This is the repository's
+// the framed v3 control protocol over net.Conn. This is the repository's
 // substitute for the paper's MPICH deployment — cmd/byzps and
 // cmd/byzworker run the same synchronous rounds as the in-process engine
 // across OS processes (or machines). The server executes every round
@@ -9,12 +9,12 @@
 // aggregates, and steps exactly like the in-process engine and
 // reproduces its parameter trajectory bit-for-bit for the same Spec.
 //
-// Wire protocol v2 (every message one self-delimiting frame, see
+// Wire protocol v3 (every message one self-delimiting frame, see
 // internal/wire: magic, version, type, length header + canonical
 // little-endian binary payload):
 //
 //	worker → PS:  Hello{WorkerID, Version, Token, Resume}
-//	PS → worker:  Welcome{Version, Token, FullEvery, Spec}
+//	PS → worker:  Welcome{Version, Token, FullEvery, UplinkDeltas, Spec}
 //	PS → worker:  RoundStart{Iteration, BaseIteration, ParamsFrame, Files}
 //	worker → PS:  GradientReport{WorkerID, Iteration, Frame}
 //	PS → worker:  Shutdown{FinalAccuracy}
@@ -22,34 +22,37 @@
 // Version negotiation happens in Hello/Welcome: both sides state the
 // protocol version they speak (additionally stamped on every frame
 // header) and a mismatch rejects the connection before any round state
-// is exchanged. The Welcome carries a per-worker session token; an
-// evicted or crashed worker reconnects by re-sending Hello with
-// Resume=true and that token, and the server re-admits it at the next
-// round boundary (see server.go).
+// is exchanged — a v2 peer fails at its first frame. The Welcome
+// carries a per-worker session token; an evicted or crashed worker
+// reconnects by re-sending Hello with Resume=true and that token, and
+// the server re-admits it at the next round boundary (see server.go).
 //
-// RoundStart is bandwidth-aware: ParamsFrame is a full parameter vector
-// only on join/rejoin and every FullEvery-th round, and a bit-exact XOR
-// delta against the previous round's acknowledged vector otherwise
-// (wire.AppendParamsDelta), so the steady-state PS→worker broadcast
-// shrinks to the bytes that actually changed.
+// Both wire directions are bandwidth-aware. RoundStart.ParamsFrame is a
+// full parameter vector only on join/rejoin and every FullEvery-th
+// round, and a bit-exact XOR delta against the previous round's
+// acknowledged vector otherwise (wire.AppendParamsDelta).
+// GradientReport.Frame is an uplink frame (wire.UplinkEncoder): each
+// worker XORs its report against its own previous one and ships the
+// delta when it is smaller, falling back to a raw frame when gradients
+// decorrelated too much to pay — self-selected per frame, bit-exact
+// either way.
 //
 // Workers reconstruct the dataset and model deterministically from the
 // Spec (seeded synthetic data stands in for the shared dataset storage
 // of a real cluster), so only indices — not samples — cross the wire,
 // exactly as in the paper's setup where every node holds the dataset.
 //
-// Rounds tolerate partial participation: each worker's report is
-// collected under a per-round deadline. Because frames are
-// self-delimiting and the Conn resumes interrupted reads, a deadline
-// that fires mid-message no longer poisons the stream: a slow worker is
-// only marked missing for the round, its stale report is discarded at
-// the next round boundary, and it keeps participating. Workers whose
-// connection actually breaks are evicted and may rejoin. An empty
-// GradientReport frame is an explicit skip — alive, but no gradients
-// this round. The Spec can name fault models (internal/fault) that
-// every worker injects on itself, so crash/straggler/flaky scenarios —
-// including per-worker heterogeneous compositions via Faults — run
-// against the server's real deadline handling.
+// Rounds tolerate partial participation: the server gives every
+// accepted connection a dedicated reader pump, and the round collects
+// already-parsed reports from the pumps' inbox under a single deadline.
+// A slow worker is marked missing for the round and its late report is
+// retired by its pump the moment it arrives; the connection survives.
+// Workers whose connection actually breaks are evicted and may rejoin.
+// An empty GradientReport frame is an explicit skip — alive, but no
+// gradients this round. The Spec can name fault models (internal/fault)
+// that every worker injects on itself, so crash/straggler/flaky
+// scenarios — including per-worker heterogeneous compositions via
+// Faults — run against the server's real deadline handling.
 package transport
 
 import (
@@ -354,7 +357,11 @@ type Welcome struct {
 	// FullEvery is the server's full-broadcast cadence (every N-th
 	// round ships the whole vector; deltas in between).
 	FullEvery int
-	Spec      Spec
+	// UplinkDeltas tells the worker whether it may compress its
+	// gradient reports with XOR-delta uplink frames (false forces raw
+	// frames; the trajectory is bit-identical either way).
+	UplinkDeltas bool
+	Spec         Spec
 }
 
 func (Welcome) wireType() byte { return msgWelcome }
@@ -363,6 +370,11 @@ func (m Welcome) appendPayload(dst []byte) ([]byte, error) {
 	dst = wire.AppendU8(dst, uint8(m.Version))
 	dst = wire.AppendU64(dst, m.Token)
 	dst = wire.AppendU32(dst, uint32(m.FullEvery))
+	var deltas uint8
+	if m.UplinkDeltas {
+		deltas = 1
+	}
+	dst = wire.AppendU8(dst, deltas)
 	return appendSpec(dst, &m.Spec)
 }
 
@@ -371,6 +383,7 @@ func (m *Welcome) decodePayload(src []byte) error {
 	m.Version = int(d.U8())
 	m.Token = d.U64()
 	m.FullEvery = d.Int()
+	m.UplinkDeltas = d.U8() != 0
 	decodeSpec(d, &m.Spec)
 	return d.Done()
 }
@@ -443,18 +456,20 @@ func (m *RoundStart) decodePayload(src []byte) error {
 }
 
 // GradientReport returns the worker's per-file gradient sums. The
-// gradients travel as one compact binary gradient frame (see
-// internal/wire) instead of nested slices: fixed 8-byte float encoding
-// and no per-message reflection make the worker→PS hot path small and
-// fast to serialize.
+// gradients travel as one compact binary uplink frame (see
+// internal/wire): a raw gradient frame, or a bit-exact XOR delta
+// against the worker's previous report when that is smaller — the
+// worker's encoder self-selects per frame.
 type GradientReport struct {
 	WorkerID  int
 	Iteration int
-	// Frame is the wire-encoded (worker, files, gradients) frame;
-	// decode with wire.DecodeGradFrame. Its embedded worker id must
-	// match WorkerID. An empty Frame is an explicit skip: the worker is
-	// alive but reports no gradients this round (flaky-fault injection),
-	// so the PS counts it missing for the round without evicting it.
+	// Frame is the wire-encoded uplink frame (worker, files,
+	// gradients); decode with the connection's wire.UplinkDecoder. Its
+	// embedded worker id must match WorkerID. An empty Frame is an
+	// explicit skip: the worker is alive but reports no gradients this
+	// round (flaky-fault injection), so the PS counts it missing for
+	// the round without evicting it — and neither side's delta base
+	// moves.
 	Frame []byte
 }
 

@@ -4,7 +4,6 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"net"
 	"slices"
@@ -19,10 +18,10 @@ import (
 	"byzshield/internal/wire"
 )
 
-// DefaultRoundTimeout is the per-round worker report deadline applied
-// when ServerConfig.RoundTimeout is zero. A worker that has not
-// delivered its gradient report this long after the round broadcast is
-// marked missing and the round proceeds over the survivors.
+// DefaultRoundTimeout is the per-round collection deadline applied
+// when ServerConfig.RoundTimeout is zero. A worker whose report has
+// not arrived this long after the round broadcast is marked missing
+// and the round proceeds over the survivors.
 const DefaultRoundTimeout = 30 * time.Second
 
 // DefaultFullBroadcastEvery is the full-parameter-broadcast cadence
@@ -36,11 +35,12 @@ const DefaultFullBroadcastEvery = 16
 // half-open connection could stall worker admission forever.
 const helloTimeout = 30 * time.Second
 
-// shutdownDrainTimeout bounds how long the server drains a worker's
-// stale reports after sending Shutdown. Closing a socket with unread
-// data resets it, which would destroy the buffered Shutdown before a
-// lagging worker reads it; draining until the worker closes its end
-// hands every straggler its final accuracy.
+// shutdownDrainTimeout bounds how long the reader pumps keep draining
+// a worker's connection after Shutdown is sent. Closing a socket with
+// unread data resets it, which would destroy the buffered Shutdown
+// before a lagging worker reads it; pumping until the worker closes
+// its end hands every straggler its final accuracy, and the deadline
+// guarantees the pump goroutines join even if a worker never hangs up.
 const shutdownDrainTimeout = 10 * time.Second
 
 // ServerConfig configures the TCP parameter server.
@@ -55,11 +55,11 @@ type ServerConfig struct {
 	// 10 rounds). Evaluation runs on a parameter snapshot in a
 	// background goroutine, so workers never idle behind it.
 	EvalEvery int
-	// RoundTimeout is each worker's per-round report deadline: 0
-	// selects DefaultRoundTimeout, negative disables deadlines (the
-	// server then waits indefinitely). A worker past its deadline is
-	// marked missing for the round but keeps its connection — frames
-	// are self-delimiting, so its late report is discarded and it
+	// RoundTimeout is the round's report-collection deadline: 0 selects
+	// DefaultRoundTimeout, negative disables the deadline (the server
+	// then waits indefinitely). A worker past the deadline is marked
+	// missing for the round but keeps its connection — its reader pump
+	// retires the late report the moment it arrives and the worker
 	// participates again next round. Only a broken connection or a
 	// malformed message evicts a worker, and an evicted worker may
 	// rejoin with its session token.
@@ -70,6 +70,11 @@ type ServerConfig struct {
 	// worker, with bit-exact XOR deltas in between. 0 selects
 	// DefaultFullBroadcastEvery.
 	FullBroadcastEvery int
+	// DisableUplinkDeltas turns off the compressed worker→PS gradient
+	// frames: the Welcome tells every worker to send raw frames only.
+	// The default (false) lets each worker's encoder self-select raw or
+	// XOR-delta per frame; either way the trajectory is bit-identical.
+	DisableUplinkDeltas bool
 	// Quorum is the minimum surviving replicas a file needs to be voted
 	// (0 → majority of the nominal replication, R/2+1); see
 	// cluster.Config.Quorum.
@@ -78,10 +83,27 @@ type ServerConfig struct {
 	// sharding and chunked aggregation (0 → GOMAXPROCS, 1 → serial).
 	Parallelism int
 	// OnRound, when non-nil, receives every completed round's
-	// statistics — including missing workers and degraded/dropped file
-	// counts on partial-participation rounds. It runs on the serve loop
-	// between rounds: the next round starts only after it returns.
+	// statistics — including missing workers, degraded/dropped file
+	// counts, and connection-lifecycle counters. It runs on the serve
+	// loop between rounds: the next round starts only after it returns.
 	OnRound func(cluster.RoundStats)
+}
+
+// Counters are the server's cumulative connection-lifecycle totals,
+// exported for fleet monitoring (byzps prints them at shutdown).
+type Counters struct {
+	// Joins counts first-time worker admissions.
+	Joins int64
+	// Rejoins counts re-admissions of returning workers at round
+	// boundaries.
+	Rejoins int64
+	// Evictions counts live connections torn down mid-run (broken
+	// streams, protocol violations) — shutdown teardown excluded.
+	Evictions int64
+	// StaleFrames counts gradient reports that arrived too late for
+	// their round and were retired by the reader pumps without entering
+	// any vote.
+	StaleFrames int64
 }
 
 // Server is the TCP parameter server: it accepts K workers and drives
@@ -92,6 +114,12 @@ type ServerConfig struct {
 // the gradient arena, the parallel vote sharding, and the chunked
 // aggregation of the in-process engine and reproduces its parameter
 // trajectory bit-for-bit for the same Spec.
+//
+// Every accepted worker connection is served by a dedicated reader
+// pump: a goroutine that decodes frames as they arrive and feeds
+// already-parsed reports into the collection inbox, so the round loop
+// never blocks on a socket and a late report is retired the moment it
+// lands instead of clogging the next round's collection window.
 //
 // The accept loop runs for the whole Serve call: workers that crash or
 // are evicted mid-run can reconnect (Hello with Resume and their
@@ -175,6 +203,9 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Bind the engine's stable gradient buffers to the source: the
+	// reader pumps decode current-round reports straight into them.
+	src.bind(eng, mdl.NumParams())
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		eng.Close()
@@ -219,6 +250,16 @@ func (s *Server) History() *trainer.History {
 // trajectory identity between the two paths.
 func (s *Server) Params() []float64 { return s.eng.Params() }
 
+// Counters returns the cumulative connection-lifecycle totals.
+func (s *Server) Counters() Counters {
+	return Counters{
+		Joins:       s.src.joins.Load(),
+		Rejoins:     s.src.rejoins.Load(),
+		Evictions:   s.src.evictions.Load(),
+		StaleFrames: s.src.staleFrames.Load(),
+	}
+}
+
 // track registers a connection for cancellation teardown.
 func (s *Server) track(c *Conn) {
 	s.mu.Lock()
@@ -227,8 +268,11 @@ func (s *Server) track(c *Conn) {
 }
 
 // teardown closes the listener and every tracked connection, unblocking
-// any in-flight Accept/Send/Recv.
+// any in-flight Accept/Send/Recv. It marks the source closing first so
+// the pump exits the teardown provokes are not miscounted as
+// evictions — cancellation is a deliberate shutdown.
 func (s *Server) teardown() {
+	s.src.markClosing()
 	s.listener.Close()
 	s.mu.Lock()
 	conns := append([]*Conn(nil), s.conns...)
@@ -323,10 +367,11 @@ func (s *Server) handshake(ctx context.Context, conn *Conn) {
 		return
 	}
 	if _, err := conn.Send(Welcome{
-		Version:   wire.ProtocolVersion,
-		Token:     token,
-		FullEvery: s.cfg.FullBroadcastEvery,
-		Spec:      s.cfg.Spec,
+		Version:      wire.ProtocolVersion,
+		Token:        token,
+		FullEvery:    s.cfg.FullBroadcastEvery,
+		UplinkDeltas: !s.cfg.DisableUplinkDeltas,
+		Spec:         s.cfg.Spec,
 	}); err != nil {
 		if !hello.Resume {
 			// Release the reserved slot so the worker id can join again.
@@ -343,8 +388,14 @@ func (s *Server) handshake(ctx context.Context, conn *Conn) {
 	// parked for round-boundary admission (closing any stale live or
 	// previously parked connection — a valid token proves the old
 	// stream is dead or hijacked); a first join goes live immediately
-	// (rounds wait for the full fleet behind the join barrier).
+	// (rounds wait for the full fleet behind the join barrier) with its
+	// reader pump started.
 	ws.mu.Lock()
+	if ws.closing {
+		ws.mu.Unlock()
+		reject("server shutting down")
+		return
+	}
 	w = &ws.workers[hello.WorkerID]
 	w.token = token
 	var stale []*Conn
@@ -356,6 +407,8 @@ func (s *Server) handshake(ctx context.Context, conn *Conn) {
 		w.conn = conn
 		w.lastAck = -1
 		ws.joinedCount++
+		ws.joins.Add(1)
+		ws.startPump(hello.WorkerID, conn)
 	}
 	joined := ws.joinedCount
 	ws.mu.Unlock()
@@ -384,17 +437,19 @@ type evalJob struct {
 
 // Serve accepts the K workers, runs the configured number of rounds
 // through the shared round core, and shuts the workers down, returning
-// the final test accuracy. Workers that stall past the round deadline
-// are marked missing for the round but stay connected; workers whose
-// connection breaks are evicted and may rejoin at a later round
-// boundary with their session token. Files below the replica quorum
-// drop out of aggregation; training only fails when no file meets
-// quorum. Accuracy/loss evaluation runs on parameter snapshots in a
-// background goroutine, so workers never wait on it between rounds.
-// Canceling ctx aborts the accept loop and any in-flight round promptly
-// (by closing the listener and worker connections) and returns
-// ctx.Err(); the evaluation history recorded up to that point remains
-// available via History.
+// the final test accuracy. Workers whose report misses the round
+// deadline are marked missing for the round but stay connected (their
+// pump retires the late report on arrival); workers whose connection
+// breaks are evicted and may rejoin at a later round boundary with
+// their session token. Files below the replica quorum drop out of
+// aggregation; training only fails when no file meets quorum.
+// Accuracy/loss evaluation runs on parameter snapshots in a background
+// goroutine, so workers never wait on it between rounds. Canceling ctx
+// aborts the accept loop and any in-flight round promptly (by closing
+// the listener and worker connections) and returns ctx.Err(); the
+// evaluation history recorded up to that point remains available via
+// History. On every exit path the reader pumps are joined before Serve
+// returns — no goroutine outlives the call.
 func (s *Server) Serve(ctx context.Context) (float64, error) {
 	s.mu.Lock()
 	s.serving = true
@@ -415,6 +470,10 @@ func (s *Server) Serve(ctx context.Context) (float64, error) {
 	go s.acceptLoop(ctx, acceptDone)
 	defer s.listener.Close() // stop accepting once Serve unwinds
 
+	// Deterministic teardown: whatever path Serve exits on, close every
+	// worker connection and join every reader pump before returning.
+	defer s.src.shutdown()
+
 	// Join barrier: wait until all K workers have completed a first
 	// handshake. joinedCh is pulsed per join; re-check the count.
 	k := s.assignment.K
@@ -430,7 +489,6 @@ func (s *Server) Serve(ctx context.Context) (float64, error) {
 			return 0, ctx.Err()
 		}
 	}
-	defer s.src.closeAll()
 
 	// Background evaluation: snapshots stream through evalCh in round
 	// order; the goroutine appends to the history, so the serve loop
@@ -479,25 +537,24 @@ func (s *Server) Serve(ctx context.Context) (float64, error) {
 	}
 	drainEval()
 	final := s.eng.Evaluate()
-	var drain sync.WaitGroup
-	for _, c := range s.src.liveConns() {
+	for _, c := range s.src.shutdownConns() {
 		c.SetWriteDeadline(time.Now().Add(helloTimeout))
 		if _, err := c.Send(Shutdown{FinalAccuracy: final}); err != nil {
 			s.cfg.Logf("shutdown send: %v", err)
+			c.Close()
 			continue
 		}
-		drain.Add(1)
-		go func(c *Conn) {
-			defer drain.Done()
-			c.SetReadDeadline(time.Now().Add(shutdownDrainTimeout))
-			for {
-				if _, err := c.Recv(); err != nil {
-					return // EOF: the worker read the Shutdown and hung up
-				}
-			}
-		}(c)
+		// The pump keeps draining until the worker reads the Shutdown
+		// and hangs up (EOF); the deadline bounds the drain so the pump
+		// join below is deterministic.
+		c.SetReadDeadline(time.Now().Add(shutdownDrainTimeout))
 	}
-	drain.Wait()
+	// Join the pumps without force-closing connections: closing a socket
+	// with unread data resets it, which would destroy the buffered
+	// Shutdown before a lagging worker reads it. The deferred
+	// src.shutdown() then finds every pump gone and every connection
+	// already closed by its own pump exit.
+	s.src.drain()
 	return final, nil
 }
 
@@ -520,54 +577,332 @@ type workerEntry struct {
 	lastAck int
 }
 
+// pumpItemKind tags inbox entries.
+type pumpItemKind int
+
+const (
+	// pumpReport: a validated current-round gradient report, already
+	// decoded into the engine's arena buffers.
+	pumpReport pumpItemKind = iota
+	// pumpSkip: an explicit empty report — alive, no gradients.
+	pumpSkip
+	// pumpDeath: the pump exited (connection broke or misbehaved).
+	pumpDeath
+)
+
+// pumpItem is one parsed event flowing from a reader pump to the
+// collection loop.
+type pumpItem struct {
+	kind pumpItemKind
+	u    int
+	conn *Conn
+	iter int
+	// wireBytes/rawBytes are the report's actual frame size and its
+	// raw-equivalent size (pumpReport only).
+	wireBytes, rawBytes int
+	err                 error
+}
+
+// pump is one connection's dedicated reader: it blocks on the socket,
+// decodes every frame the moment it arrives, and forwards validated
+// current-round reports to the collection inbox. Stale reports —
+// duplicates, or reports that missed their round's deadline — are
+// retired here, eagerly, after being run through the uplink decoder so
+// the delta base stays in lockstep with the worker's encoder. The pump
+// is the only reader of its connection, so it owns the per-connection
+// uplink decoder state, and it never sets read deadlines: the round
+// loop's single collection timer is the only clock on the hot path.
+type pump struct {
+	ws   *wireSource
+	u    int
+	conn *Conn
+	dec  wire.UplinkDecoder
+	// frame is the decode target; its Grads are pointed at the engine's
+	// arena buffers for deliverable reports and at private scratch for
+	// stale ones (the arena slot may be under read by a vote).
+	frame      wire.GradFrame
+	staleGrads [][]float64
+	// delivered is the last iteration pushed to the inbox: at most one
+	// report or skip enters the inbox per (connection, round), which
+	// both bounds the inbox and keeps a duplicate frame from being
+	// decoded into an arena buffer the engine is reading.
+	delivered int
+}
+
+// run pumps frames until the connection dies or misbehaves.
+func (p *pump) run() {
+	defer p.ws.pumps.Done()
+	for {
+		msg, err := p.conn.Recv()
+		if err != nil {
+			p.ws.evict(p.u, p.conn, err)
+			p.notifyDeath(err)
+			return
+		}
+		rep, ok := msg.(GradientReport)
+		if !ok {
+			err := fmt.Errorf("expected GradientReport, got %T", msg)
+			p.ws.evict(p.u, p.conn, err)
+			p.notifyDeath(err)
+			return
+		}
+		if err := p.handle(rep); err != nil {
+			p.ws.evict(p.u, p.conn, err)
+			p.notifyDeath(err)
+			return
+		}
+	}
+}
+
+// handle processes one gradient report frame in stream order.
+func (p *pump) handle(rep GradientReport) error {
+	ws := p.ws
+	if rep.WorkerID != p.u {
+		return fmt.Errorf("report claims worker %d", rep.WorkerID)
+	}
+	it := rep.Iteration
+	cur := int(ws.curRound.Load())
+	if it > cur || it < 0 {
+		return fmt.Errorf("report for future round %d (current %d)", it, cur)
+	}
+	retire := int(ws.retireBelow.Load())
+	if it < retire || it <= p.delivered {
+		// Too late for its round (or a duplicate): retire it now — but
+		// still run it through the decoder into private scratch, so the
+		// uplink delta base advances exactly as the worker's encoder
+		// did when it sent the frame.
+		ws.staleFrames.Add(1)
+		if len(rep.Frame) == 0 {
+			return nil
+		}
+		return p.decode(rep.Frame, p.scratchBufs())
+	}
+	// Current round, first report on this connection: deliverable.
+	p.delivered = it
+	if len(rep.Frame) == 0 {
+		p.push(pumpItem{kind: pumpSkip, u: p.u, conn: p.conn, iter: it})
+		return nil
+	}
+	// Arena decodes for one worker are serialized, and liveness is
+	// re-checked under that lock: after a rejoin displaces this
+	// connection, the new pump owns the worker's arena slots, and a
+	// superseded pump that already passed the round checks must not
+	// race it — its report decodes into scratch (keeping its decoder
+	// consistent until the conn's teardown kills it) and is retired.
+	wf := ws.files[p.u]
+	ws.arenaMu[p.u].Lock()
+	live := ws.liveConn(p.u) == p.conn
+	bufs := p.scratchBufs()
+	if live {
+		bufs = p.arenaBufs()
+	}
+	err := p.decode(rep.Frame, bufs)
+	ws.arenaMu[p.u].Unlock()
+	if err != nil {
+		return err
+	}
+	if !live {
+		ws.staleFrames.Add(1)
+		return nil
+	}
+	p.push(pumpItem{
+		kind: pumpReport, u: p.u, conn: p.conn, iter: it,
+		wireBytes: len(rep.Frame),
+		rawBytes:  wire.UplinkRawSize(len(wf), ws.dim),
+	})
+	return nil
+}
+
+// decode runs one report frame through the connection's uplink decoder
+// into the given target buffers and validates its structure against
+// the worker's static file assignment.
+func (p *pump) decode(frameBytes []byte, bufs [][]float64) error {
+	ws := p.ws
+	wf := ws.files[p.u]
+	p.frame.Grads = bufs
+	_, consumed, err := p.dec.Decode(frameBytes, &p.frame)
+	switch {
+	case err != nil:
+		return err
+	case consumed != len(frameBytes):
+		return fmt.Errorf("frame has %d trailing bytes", len(frameBytes)-consumed)
+	case p.frame.Worker != p.u:
+		return fmt.Errorf("frame claims worker %d", p.frame.Worker)
+	case !slices.Equal(p.frame.Files, wf):
+		return fmt.Errorf("frame files %v, want %v", p.frame.Files, wf)
+	}
+	for j := range wf {
+		if len(p.frame.Grads[j]) != ws.dim {
+			return fmt.Errorf("frame gradient %d has dim %d, want %d", j, len(p.frame.Grads[j]), ws.dim)
+		}
+	}
+	return nil
+}
+
+// arenaBufs points the decode at the engine's stable slot buffers for
+// this worker — delivering a report is decoding it in place.
+func (p *pump) arenaBufs() [][]float64 {
+	wf := p.ws.files[p.u]
+	if cap(p.frame.Grads) < len(wf) {
+		p.frame.Grads = make([][]float64, len(wf))
+	}
+	bufs := p.frame.Grads[:len(wf)]
+	for j := range wf {
+		bufs[j] = p.ws.eng.GradBuffer(p.u, j)
+	}
+	return bufs
+}
+
+// scratchBufs are the pump-private decode targets for stale frames:
+// the arena slot may be under concurrent read by the round that just
+// missed this worker, so late frames must not touch it.
+func (p *pump) scratchBufs() [][]float64 {
+	wf := p.ws.files[p.u]
+	if p.staleGrads == nil {
+		p.staleGrads = make([][]float64, len(wf))
+		for j := range p.staleGrads {
+			p.staleGrads[j] = make([]float64, p.ws.dim)
+		}
+	}
+	return p.staleGrads
+}
+
+// push forwards an item to the collection inbox, giving up when the
+// source shuts down (the only state in which the inbox can stay full).
+func (p *pump) push(item pumpItem) {
+	select {
+	case p.ws.inbox <- item:
+	case <-p.ws.stopCh:
+	}
+}
+
+// notifyDeath posts a death notice so an in-flight collection stops
+// waiting for this worker immediately instead of running out the
+// deadline.
+func (p *pump) notifyDeath(err error) {
+	p.push(pumpItem{kind: pumpDeath, u: p.u, conn: p.conn, err: err})
+}
+
 // wireSource is the network GradientSource: it broadcasts RoundStart
 // (full parameters or XOR deltas, by acknowledgement state) to the
-// connected workers, collects their gradient reports in parallel under
-// the per-round deadline, decodes each binary gradient frame directly
-// into the engine's arena buffers, and marks absent or misbehaving
-// workers missing so the round core's quorum rule decides the fate of
-// their files.
+// connected workers, then collects their gradient reports from the
+// reader pumps' inbox under a single round deadline. Reports are
+// already parsed and decoded into the engine's arena buffers when they
+// reach the collection loop; absent or misbehaving workers are marked
+// missing so the round core's quorum rule decides the fate of their
+// files.
 type wireSource struct {
 	timeout   time.Duration
 	fullEvery int
 	logf      func(format string, args ...any)
 
+	eng *cluster.Engine
+	dim int
+
 	mu          sync.Mutex
 	workers     []workerEntry
 	joinedCount int
 	joinedCh    chan struct{}
+	// closing marks shutdown: no new pumps may start, and pump exits
+	// stop counting as evictions. Guarded by mu (set exactly once).
+	closing bool
+
+	// inbox is the bounded fan-in of every reader pump. Capacity covers
+	// the worst case of one report per worker per round (the pumps'
+	// delivered guard), leftovers of one previous round, and a death
+	// notice per worker, so pumps block only when the collector is
+	// about to drain.
+	inbox  chan pumpItem
+	stopCh chan struct{}
+	// pumps joins every reader goroutine at shutdown. Adds happen under
+	// mu with closing false; shutdown flips closing under mu before
+	// waiting, so Wait cannot race a late Add.
+	pumps sync.WaitGroup
+
+	// curRound is the iteration being collected; retireBelow the bound
+	// under which the pumps retire reports as stale. During collection
+	// retireBelow == curRound; the moment collection closes it advances
+	// to curRound+1, so a report landing mid-aggregation is retired on
+	// arrival rather than discovered next round.
+	curRound    atomic.Int64
+	retireBelow atomic.Int64
+
+	// Cumulative lifecycle counters (see Counters).
+	joins, rejoins, evictions, staleFrames atomic.Int64
+	// lastEvictions/lastStaleFrames are the totals at the end of the
+	// previous collection, so each round reports the delta — including
+	// events that landed between rounds.
+	lastEvictions, lastStaleFrames int64
 
 	// files[u] is worker u's assigned file list in slot order.
 	files [][]int
-	// frames[u] is worker u's decode scratch; its Grads are repointed at
-	// the engine's slot buffers each round so decoding fills the arena
-	// in place.
-	frames []wire.GradFrame
+	// arenaMu[u] serializes decodes into worker u's arena buffers: an
+	// old pump superseded by a rejoin must never write them
+	// concurrently with (or after) the replacement connection's pump.
+	arenaMu []sync.Mutex
+	// Per-round collection scratch: the connection each worker was
+	// served by this round, its broadcast-ack state, and whether it has
+	// been accounted for.
+	roundConns []*Conn
+	roundAcks  []int
+	done       []bool
 	// prevParams is the parameter vector broadcast last round (the
 	// delta base); prevIter the iteration it belongs to (-1 = none).
 	prevParams []float64
 	prevIter   int
 	// fullFrame/deltaFrame are the per-round broadcast encode buffers,
-	// shared read-only by every worker goroutine of the round.
+	// shared read-only by every send goroutine of the round.
 	fullFrame, deltaFrame []byte
 }
 
 // newWireSource prepares the per-worker state tables.
 func newWireSource(asn *assign.Assignment, timeout time.Duration, fullEvery int, logf func(string, ...any)) *wireSource {
 	ws := &wireSource{
-		timeout:   timeout,
-		fullEvery: fullEvery,
-		logf:      logf,
-		workers:   make([]workerEntry, asn.K),
-		joinedCh:  make(chan struct{}, 1),
-		files:     make([][]int, asn.K),
-		frames:    make([]wire.GradFrame, asn.K),
-		prevIter:  -1,
+		timeout:    timeout,
+		fullEvery:  fullEvery,
+		logf:       logf,
+		workers:    make([]workerEntry, asn.K),
+		joinedCh:   make(chan struct{}, 1),
+		inbox:      make(chan pumpItem, 4*asn.K+8),
+		stopCh:     make(chan struct{}),
+		files:      make([][]int, asn.K),
+		arenaMu:    make([]sync.Mutex, asn.K),
+		roundConns: make([]*Conn, asn.K),
+		roundAcks:  make([]int, asn.K),
+		done:       make([]bool, asn.K),
+		prevIter:   -1,
 	}
+	ws.curRound.Store(-1)
+	ws.retireBelow.Store(-1)
 	for u := 0; u < asn.K; u++ {
 		ws.files[u] = asn.WorkerFiles(u)
 	}
 	return ws
+}
+
+// bind attaches the engine whose arena the pumps decode into.
+func (ws *wireSource) bind(eng *cluster.Engine, dim int) {
+	ws.eng = eng
+	ws.dim = dim
+}
+
+// startPump launches worker u's reader goroutine for conn. Callers
+// must hold ws.mu (which is what orders the pumps.Add against
+// shutdown's closing check).
+func (ws *wireSource) startPump(u int, conn *Conn) {
+	if ws.closing {
+		return
+	}
+	ws.pumps.Add(1)
+	p := &pump{ws: ws, u: u, conn: conn, delivered: -1}
+	go p.run()
+}
+
+// liveConn returns worker u's current live connection (nil when down).
+func (ws *wireSource) liveConn(u int) *Conn {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.workers[u].conn
 }
 
 // joinedWorkers reports how many workers have completed a first join.
@@ -577,10 +912,14 @@ func (ws *wireSource) joinedWorkers() int {
 	return ws.joinedCount
 }
 
-// liveConns returns the currently connected workers' connections,
-// admitting any still-pending rejoins first so a worker that came back
-// after the last round still hears the shutdown.
-func (ws *wireSource) liveConns() []*Conn {
+// shutdownConns returns the currently connected workers' connections
+// for the final Shutdown message, admitting any still-pending rejoins
+// first (with pumps, so their streams drain) — a worker that came back
+// after the last round still hears the shutdown. It also flips the
+// source into closing mode before returning, so workers hanging up
+// after reading the Shutdown are not miscounted as evictions (the flip
+// must precede the Shutdown sends, or a fast worker's EOF races it).
+func (ws *wireSource) shutdownConns() []*Conn {
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
 	var out []*Conn
@@ -591,18 +930,47 @@ func (ws *wireSource) liveConns() []*Conn {
 				w.conn.Close()
 			}
 			w.conn, w.pending = w.pending, nil
+			ws.startPump(u, w.conn)
 		}
 		if w.conn != nil {
 			out = append(out, w.conn)
 		}
 	}
+	ws.markClosingLocked()
 	return out
 }
 
-// closeAll closes every worker connection (live and pending).
-func (ws *wireSource) closeAll() {
+// markClosing flips the source into closing mode exactly once: no new
+// pumps start, pump exits stop counting as evictions, and blocked
+// inbox pushes release.
+func (ws *wireSource) markClosing() {
 	ws.mu.Lock()
-	defer ws.mu.Unlock()
+	ws.markClosingLocked()
+	ws.mu.Unlock()
+}
+
+// markClosingLocked is markClosing with ws.mu already held.
+func (ws *wireSource) markClosingLocked() {
+	if !ws.closing {
+		ws.closing = true
+		close(ws.stopCh)
+	}
+}
+
+// drain marks shutdown and joins the pumps without force-closing
+// connections — each exits on its worker's EOF or its read deadline,
+// so workers get to read the final Shutdown.
+func (ws *wireSource) drain() {
+	ws.markClosing()
+	ws.pumps.Wait()
+}
+
+// shutdown closes every worker connection and joins every reader pump.
+// It runs on every Serve exit path, making teardown deterministic: no
+// pump goroutine outlives Serve.
+func (ws *wireSource) shutdown() {
+	ws.mu.Lock()
+	ws.markClosingLocked()
 	for u := range ws.workers {
 		w := &ws.workers[u]
 		if w.conn != nil {
@@ -614,14 +982,18 @@ func (ws *wireSource) closeAll() {
 			w.pending = nil
 		}
 	}
+	ws.mu.Unlock()
+	ws.pumps.Wait()
 }
 
 // admitPending moves validated rejoin connections into the live slots —
-// the "next round boundary" of the rejoin handshake. Re-admitted
-// workers have lastAck reset so this round sends them the full vector.
-func (ws *wireSource) admitPending(t int) {
+// the "next round boundary" of the rejoin handshake — and starts their
+// reader pumps. Re-admitted workers have lastAck reset so this round
+// sends them the full vector. Returns how many workers were admitted.
+func (ws *wireSource) admitPending(t int) int {
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
+	admitted := 0
 	for u := range ws.workers {
 		w := &ws.workers[u]
 		if w.pending == nil {
@@ -632,41 +1004,162 @@ func (ws *wireSource) admitPending(t int) {
 		}
 		w.conn, w.pending = w.pending, nil
 		w.lastAck = -1
+		ws.startPump(u, w.conn)
+		ws.rejoins.Add(1)
+		admitted++
 		ws.logf("round %d: worker %d re-admitted", t, u)
 	}
+	return admitted
 }
 
-// Collect implements cluster.GradientSource over TCP. Every connected
-// worker is served by its own goroutine (Round methods are safe for
-// concurrent use across distinct workers), so one slow worker costs the
-// round at most the deadline, not a serial sum of stalls.
+// Collect implements cluster.GradientSource over TCP: broadcast
+// RoundStart to every live worker (parallel sends), then drain the
+// pumps' inbox under one deadline timer until every live worker is
+// accounted for — delivered, explicitly skipping, or dead. The pumps
+// have already decoded deliverable reports into the engine's arena, so
+// this loop only attributes results; it never touches a socket.
 func (ws *wireSource) Collect(ctx context.Context, rd *cluster.Round) (cluster.CollectStats, error) {
 	t := rd.Iteration()
-	ws.admitPending(t)
+	rejoins := ws.admitPending(t)
+	// Open the round for the pumps: reports for t are deliverable,
+	// anything older is retired on arrival.
+	ws.curRound.Store(int64(t))
+	ws.retireBelow.Store(int64(t))
 	if err := ws.prepareBroadcast(t, rd.Params()); err != nil {
 		return cluster.CollectStats{}, err
 	}
 	start := time.Now()
-	var commBytes, bcastBytes atomic.Int64
-	var wg sync.WaitGroup
+
+	// Snapshot the fleet for the round.
+	ws.mu.Lock()
+	outstanding := 0
 	for u := range ws.workers {
-		ws.mu.Lock()
-		conn := ws.workers[u].conn
-		lastAck := ws.workers[u].lastAck
-		ws.mu.Unlock()
-		if conn == nil {
+		w := &ws.workers[u]
+		ws.roundConns[u] = w.conn
+		ws.roundAcks[u] = w.lastAck
+		ws.done[u] = false
+		if w.conn == nil {
 			rd.MarkMissing(u)
+		} else {
+			outstanding++
+		}
+	}
+	ws.mu.Unlock()
+
+	// Parallel broadcast: one send goroutine per live worker, so one
+	// slow socket costs the round a write deadline, not a serial sum.
+	var bcastBytes atomic.Int64
+	var sends sync.WaitGroup
+	for u := range ws.roundConns {
+		conn := ws.roundConns[u]
+		if conn == nil {
 			continue
 		}
-		wg.Add(1)
+		sends.Add(1)
 		go func(u int, conn *Conn, lastAck int) {
-			defer wg.Done()
-			if !ws.collectWorker(t, u, conn, lastAck, rd, &commBytes, &bcastBytes) {
-				rd.MarkMissing(u)
+			defer sends.Done()
+			n, err := ws.sendRoundStart(t, u, conn, lastAck, rd)
+			if err != nil {
+				// A failed or partial send poisons the outbound stream —
+				// unlike reads it cannot be resumed, so the worker is
+				// evicted (its pump notices the closed conn and posts
+				// the death notice).
+				ws.evict(u, conn, fmt.Errorf("send: %w", err))
+				return
 			}
-		}(u, conn, lastAck)
+			bcastBytes.Add(int64(n))
+		}(u, conn, ws.roundAcks[u])
 	}
-	wg.Wait()
+	sends.Wait()
+
+	// Collection: a single select over the inbox and one deadline
+	// timer. No per-worker socket reads, no per-worker deadlines.
+	var reportBytes, rawBytes int64
+	handleItem := func(item pumpItem) {
+		u := item.u
+		if ws.roundConns[u] != item.conn || ws.done[u] {
+			// A previous connection's leftovers, or events for a
+			// worker already accounted this round.
+			if item.kind != pumpDeath {
+				ws.staleFrames.Add(1)
+			}
+			return
+		}
+		switch item.kind {
+		case pumpReport:
+			if item.iter != t {
+				ws.staleFrames.Add(1)
+				return
+			}
+			for j := range ws.files[u] {
+				if err := rd.Deliver(u, j, ws.eng.GradBuffer(u, j)); err != nil {
+					ws.evict(u, item.conn, err)
+					rd.MarkMissing(u)
+					ws.done[u] = true
+					outstanding--
+					return
+				}
+			}
+			ws.ack(u, t)
+			reportBytes += int64(item.wireBytes)
+			rawBytes += int64(item.rawBytes)
+		case pumpSkip:
+			if item.iter != t {
+				ws.staleFrames.Add(1)
+				return
+			}
+			// Explicit skip: alive, no gradients this round — but the
+			// round's parameters were received and applied, so the
+			// skip still acknowledges the broadcast.
+			ws.logf("worker %d skipped round %d", u, t)
+			ws.ack(u, t)
+			rd.MarkMissing(u)
+		case pumpDeath:
+			rd.MarkMissing(u)
+		}
+		ws.done[u] = true
+		outstanding--
+	}
+	var timerC <-chan time.Time
+	if ws.timeout > 0 {
+		timer := time.NewTimer(ws.timeout)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	for outstanding > 0 {
+		select {
+		case item := <-ws.inbox:
+			handleItem(item)
+		case <-timerC:
+			// Deadline. A report that beat the deadline but lost the
+			// select race is already parsed and queued — drain the
+			// inbox non-blocking before marking anyone missing, so an
+			// on-time report is never discarded by scheduling jitter.
+			drained := false
+			for !drained && outstanding > 0 {
+				select {
+				case item := <-ws.inbox:
+					handleItem(item)
+				default:
+					drained = true
+				}
+			}
+			for u := range ws.roundConns {
+				if ws.roundConns[u] != nil && !ws.done[u] {
+					ws.logf("round %d: worker %d missed the deadline", t, u)
+					rd.MarkMissing(u)
+				}
+			}
+			outstanding = 0
+		case <-ctx.Done():
+			return cluster.CollectStats{}, ctx.Err()
+		}
+	}
+	// Close the round: from here every report for t is stale and the
+	// pumps retire it the moment it arrives — draining overlaps with
+	// aggregation instead of eating the next collection window.
+	ws.retireBelow.Store(int64(t + 1))
+
 	// Roll the delta base forward: next round's deltas patch this
 	// round's vector.
 	if ws.prevParams == nil {
@@ -677,11 +1170,18 @@ func (ws *wireSource) Collect(ctx context.Context, rd *cluster.Round) (cluster.C
 	if err := ctx.Err(); err != nil {
 		return cluster.CollectStats{}, err
 	}
-	return cluster.CollectStats{
+	ev, st := ws.evictions.Load(), ws.staleFrames.Load()
+	stats := cluster.CollectStats{
 		Communication:  time.Since(start),
-		CommBytes:      commBytes.Load(),
+		ReportBytes:    reportBytes,
+		ReportRawBytes: rawBytes,
 		BroadcastBytes: bcastBytes.Load(),
-	}, nil
+		Rejoins:        rejoins,
+		Evictions:      int(ev - ws.lastEvictions),
+		StaleFrames:    int(st - ws.lastStaleFrames),
+	}
+	ws.lastEvictions, ws.lastStaleFrames = ev, st
+	return stats, nil
 }
 
 // prepareBroadcast encodes this round's shared params frames: the full
@@ -709,14 +1209,9 @@ func (ws *wireSource) refreshRound(t int) bool {
 	return t == 0 || ws.fullEvery <= 1 || t%ws.fullEvery == 0
 }
 
-// collectWorker runs one worker's round trip: RoundStart out (full or
-// delta parameters by acknowledgement state), gradient report in, frame
-// decoded into the arena. It reports whether the worker delivered;
-// false marks the worker missing for this round. A deadline timeout
-// leaves the connection open (the resumable framed stream discards the
-// late report next round); a send/receive failure or malformed message
-// evicts the worker.
-func (ws *wireSource) collectWorker(t, u int, conn *Conn, lastAck int, rd *cluster.Round, commBytes, bcastBytes *atomic.Int64) bool {
+// sendRoundStart sends one worker's RoundStart (full or delta
+// parameters by acknowledgement state) and returns the frame size.
+func (ws *wireSource) sendRoundStart(t, u int, conn *Conn, lastAck int, rd *cluster.Round) (int, error) {
 	assigned := make(map[int][]int, len(ws.files[u]))
 	for _, v := range ws.files[u] {
 		assigned[v] = rd.FileSamples(v)
@@ -730,60 +1225,9 @@ func (ws *wireSource) collectWorker(t, u int, conn *Conn, lastAck int, rd *clust
 	}
 	if ws.timeout > 0 {
 		conn.SetWriteDeadline(time.Now().Add(ws.timeout))
+		defer conn.SetWriteDeadline(time.Time{})
 	}
-	n, err := conn.Send(rs)
-	if ws.timeout > 0 {
-		conn.SetWriteDeadline(time.Time{})
-	}
-	if err != nil {
-		// A failed or partial send poisons the outbound stream — unlike
-		// reads it cannot be resumed, so the worker is evicted.
-		ws.evict(t, u, conn, fmt.Errorf("send: %w", err))
-		return false
-	}
-	bcastBytes.Add(int64(n))
-	if ws.timeout > 0 {
-		conn.SetReadDeadline(time.Now().Add(ws.timeout))
-		defer conn.SetReadDeadline(time.Time{})
-	}
-	for {
-		msg, err := conn.Recv()
-		if err != nil {
-			var nerr net.Error
-			if errors.As(err, &nerr) && nerr.Timeout() {
-				// Missed the deadline: missing this round, but the framed
-				// stream survives — any partial report stays buffered and
-				// is discarded as stale next round.
-				ws.logf("round %d: worker %d missed the deadline", t, u)
-				return false
-			}
-			ws.evict(t, u, conn, err)
-			return false
-		}
-		rep, ok := msg.(GradientReport)
-		if !ok {
-			ws.evict(t, u, conn, fmt.Errorf("expected GradientReport, got %T", msg))
-			return false
-		}
-		if rep.Iteration < t {
-			// A stale report from a round whose deadline already passed;
-			// discard and keep reading for the current round.
-			continue
-		}
-		if rep.Iteration > t || rep.WorkerID != u {
-			ws.evict(t, u, conn, fmt.Errorf("report (worker %d, round %d), want (%d, %d)", rep.WorkerID, rep.Iteration, u, t))
-			return false
-		}
-		if len(rep.Frame) == 0 {
-			// Explicit skip: alive, no gradients this round — but the
-			// round's parameters were received and applied, so the skip
-			// still acknowledges the broadcast.
-			ws.logf("worker %d skipped round %d", u, t)
-			ws.ack(u, t)
-			return false
-		}
-		return ws.deliver(t, u, conn, rep.Frame, rd, commBytes)
-	}
+	return conn.Send(rs)
 }
 
 // ack records that worker u applied round t's parameter broadcast.
@@ -793,58 +1237,23 @@ func (ws *wireSource) ack(u, t int) {
 	ws.mu.Unlock()
 }
 
-// deliver decodes the report frame straight into the engine's slot
-// buffers and hands them to the round. Any structural mismatch —
-// truncated frame, wrong worker id, wrong file set — evicts the worker:
-// its buffers may now hold partial data, but marking it missing keeps
-// them out of every vote.
-func (ws *wireSource) deliver(t, u int, conn *Conn, frameBytes []byte, rd *cluster.Round, commBytes *atomic.Int64) bool {
-	wf := ws.files[u]
-	f := &ws.frames[u]
-	if cap(f.Grads) < len(wf) {
-		f.Grads = make([][]float64, len(wf))
-	}
-	f.Grads = f.Grads[:len(wf)]
-	for j := range wf {
-		f.Grads[j] = rd.Buffer(u, j)
-	}
-	consumed, err := wire.DecodeGradFrame(frameBytes, f)
-	switch {
-	case err != nil:
-		ws.evict(t, u, conn, err)
-		return false
-	case consumed != len(frameBytes):
-		ws.evict(t, u, conn, fmt.Errorf("frame has %d trailing bytes", len(frameBytes)-consumed))
-		return false
-	case f.Worker != u:
-		ws.evict(t, u, conn, fmt.Errorf("frame claims worker %d", f.Worker))
-		return false
-	case !slices.Equal(f.Files, wf):
-		ws.evict(t, u, conn, fmt.Errorf("frame files %v, want %v", f.Files, wf))
-		return false
-	}
-	for j := range wf {
-		if err := rd.Deliver(u, j, f.Grads[j]); err != nil {
-			ws.evict(t, u, conn, err)
-			return false
-		}
-	}
-	commBytes.Add(int64(len(frameBytes)))
-	ws.ack(u, t)
-	return true
-}
-
-// evict removes a worker whose stream broke or misbehaved: its
-// connection is closed and its slot cleared, so later rounds mark it
-// missing up front — until it rejoins with its session token, at which
-// point it is re-admitted at a round boundary. Safe for concurrent
-// calls on distinct workers.
-func (ws *wireSource) evict(t, u int, conn *Conn, err error) {
-	ws.logf("round %d: evicting worker %d: %v", t, u, err)
+// evict tears down a connection whose stream broke or misbehaved: it
+// is closed, and if it was still the worker's live connection the slot
+// is cleared and the eviction counted, so later rounds mark the worker
+// missing up front — until it rejoins with its session token. During
+// shutdown the same path runs silently (pump exits are expected).
+// Safe for concurrent calls on distinct or identical workers.
+func (ws *wireSource) evict(u int, conn *Conn, err error) {
 	conn.Close()
 	ws.mu.Lock()
-	if ws.workers[u].conn == conn {
+	live := ws.workers[u].conn == conn
+	if live {
 		ws.workers[u].conn = nil
 	}
+	closing := ws.closing
 	ws.mu.Unlock()
+	if live && !closing {
+		ws.evictions.Add(1)
+		ws.logf("round %d: evicting worker %d: %v", ws.curRound.Load(), u, err)
+	}
 }

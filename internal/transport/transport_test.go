@@ -447,7 +447,7 @@ func driveWorker(t *testing.T, c *Conn, id int, spec Spec) error {
 			if err := st.applyParams(&m); err != nil {
 				return err
 			}
-			rep, err := computeReport(st.cfg, st.mdl, st.train, st.params, &m)
+			rep, err := st.computeReport(&m)
 			if err != nil {
 				return err
 			}

@@ -79,6 +79,16 @@ type workerState struct {
 	// it reflects (-1 before any).
 	params      []float64
 	lastApplied int
+	// enc is the uplink gradient encoder. Its delta base is
+	// per-connection stream state — the PS's decoder for a fresh
+	// connection holds no base — so every (re)connect Resets it and the
+	// first report of a connection ships raw.
+	enc wire.UplinkEncoder
+	// files/grads/frame are the per-round report scratch, reused across
+	// rounds.
+	files []int
+	grads [][]float64
+	frame []byte
 }
 
 // RunWorker connects to the PS at addr and participates in training
@@ -176,6 +186,10 @@ func runWorkerConn(ctx context.Context, addr string, st *workerState) (float64, 
 		return 0, fmt.Errorf("transport: server speaks protocol %d, want %d", welcome.Version, wire.ProtocolVersion)
 	}
 	st.token = welcome.Token
+	// A fresh connection means a fresh uplink stream: the server's
+	// decoder holds no delta base, so the encoder must not either.
+	st.enc.Reset()
+	st.enc.NoDelta = !welcome.UplinkDeltas
 	if st.mdl == nil {
 		// First successful handshake: build the deterministic local
 		// state from the Spec. Rejoins keep it (same Spec, same run).
@@ -240,7 +254,7 @@ func runWorkerConn(ctx context.Context, addr string, st *workerState) (float64, 
 				}
 				continue
 			}
-			rep, err := computeReport(cfg, st.mdl, st.train, st.params, &m)
+			rep, err := st.computeReport(&m)
 			if err != nil {
 				return 0, err
 			}
@@ -283,24 +297,38 @@ func (st *workerState) applyParams(m *RoundStart) error {
 }
 
 // computeReport produces the worker's (honest or Byzantine) gradients
-// for one round, encoded as a binary gradient frame.
-func computeReport(cfg WorkerConfig, mdl model.Model, train *data.Dataset, params []float64, rs *RoundStart) (*GradientReport, error) {
+// for one round, encoded through the uplink codec (raw or XOR-delta
+// against the previous report, whichever is smaller). The returned
+// report's Frame aliases the state's scratch and is valid until the
+// next computeReport call.
+func (st *workerState) computeReport(rs *RoundStart) (*GradientReport, error) {
+	cfg := st.cfg
 	rep := &GradientReport{WorkerID: cfg.ID, Iteration: rs.Iteration}
 	// Deterministic file order.
-	files := make([]int, 0, len(rs.Files))
+	files := st.files[:0]
 	for v := range rs.Files {
 		files = append(files, v)
 	}
 	slices.Sort(files)
-	dim := mdl.NumParams()
-	grads := make([][]float64, 0, len(files))
-	for _, v := range files {
-		g := make([]float64, dim)
+	st.files = files
+	dim := st.mdl.NumParams()
+	if cap(st.grads) < len(files) {
+		st.grads = make([][]float64, len(files))
+	}
+	grads := st.grads[:len(files)]
+	st.grads = grads
+	for i, v := range files {
+		if cap(grads[i]) < dim {
+			grads[i] = make([]float64, dim)
+		}
+		g := grads[i][:dim]
+		grads[i] = g
+		clear(g)
 		switch cfg.Behavior {
 		case BehaviorHonest:
-			mdl.SumGradient(params, train, rs.Files[v], g)
+			st.mdl.SumGradient(st.params, st.train, rs.Files[v], g)
 		case BehaviorReversed:
-			mdl.SumGradient(params, train, rs.Files[v], g)
+			st.mdl.SumGradient(st.params, st.train, rs.Files[v], g)
 			for i := range g {
 				g[i] = -g[i]
 			}
@@ -317,12 +345,12 @@ func computeReport(cfg WorkerConfig, mdl model.Model, train *data.Dataset, param
 		default:
 			return nil, fmt.Errorf("transport: unknown behavior %q", cfg.Behavior)
 		}
-		grads = append(grads, g)
 	}
-	frame, err := wire.AppendGradFrame(nil, cfg.ID, files, grads)
+	frame, _, _, err := st.enc.Encode(st.frame[:0], cfg.ID, files, grads)
 	if err != nil {
 		return nil, err
 	}
+	st.frame = frame
 	rep.Frame = frame
 	return rep, nil
 }

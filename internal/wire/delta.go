@@ -81,17 +81,20 @@ func AppendParamsDelta(dst []byte, base, cur []float64) ([]byte, error) {
 	for i := 0; i < d; i++ {
 		x := math.Float64bits(base[i]) ^ math.Float64bits(cur[i])
 		n := xorLen(x)
-		if i%2 == 0 {
-			dst[nibbleAt+i/2] |= byte(n)
-		} else {
-			dst[nibbleAt+i/2] |= byte(n) << 4
-		}
-		for b := 0; b < n; b++ {
-			dst = append(dst, byte(x>>(8*b)))
-		}
+		orNibbleLen(dst[nibbleAt:], i, n)
+		dst = appendXORBytes(dst, x, n)
 	}
 	return dst, nil
 }
+
+// --- Shared nibble-packed XOR primitives ----------------------------
+//
+// The params-broadcast codec (this file) and the uplink gradient codec
+// (uplink.go) use the identical value encoding: per value, the XOR of
+// new and base bit patterns with high-order zero bytes stripped, byte
+// lengths nibble-packed two-per-byte ahead of the payload. These
+// helpers are the single implementation of that bit layout — a
+// canonicality or bounds fix lands in both codecs at once.
 
 // xorLen returns the minimal number of low-order bytes needed to
 // represent x (0 for x == 0).
@@ -102,6 +105,44 @@ func xorLen(x uint64) int {
 		x >>= 8
 	}
 	return n
+}
+
+// orNibbleLen stores length n in the i-th nibble slot (low nibble =
+// even index); the slot must still be zero.
+func orNibbleLen(nibbles []byte, i, n int) {
+	if i%2 == 0 {
+		nibbles[i/2] |= byte(n)
+	} else {
+		nibbles[i/2] |= byte(n) << 4
+	}
+}
+
+// nibbleLen reads the i-th nibble-packed length.
+func nibbleLen(nibbles []byte, i int) int {
+	n := int(nibbles[i/2])
+	if i%2 == 0 {
+		return n & 0x0f
+	}
+	return n >> 4
+}
+
+// appendXORBytes appends x's n significant low-order bytes.
+func appendXORBytes(dst []byte, x uint64, n int) []byte {
+	for b := 0; b < n; b++ {
+		dst = append(dst, byte(x>>(8*b)))
+	}
+	return dst
+}
+
+// xorFromBytes reassembles a length-n little-endian XOR value from the
+// front of payload; bounds and canonicality (nonzero top byte) are the
+// caller's to check.
+func xorFromBytes(payload []byte, n int) uint64 {
+	var x uint64
+	for b := 0; b < n; b++ {
+		x |= uint64(payload[b]) << (8 * b)
+	}
+	return x
 }
 
 // DecodeParams parses one params frame from the front of src and
@@ -143,25 +184,17 @@ func DecodeParams(src []byte, params []float64) (mode, consumed int, err error) 
 		nibbles, payload := body[:nb], body[nb:]
 		off := 0
 		for i := 0; i < d; i++ {
-			n := int(nibbles[i/2])
-			if i%2 == 0 {
-				n &= 0x0f
-			} else {
-				n >>= 4
-			}
+			n := nibbleLen(nibbles, i)
 			if n > 8 {
 				return 0, 0, fmt.Errorf("wire: delta length %d > 8 at coordinate %d", n, i)
 			}
 			if len(payload)-off < n {
 				return 0, 0, fmt.Errorf("wire: delta payload truncated at coordinate %d", i)
 			}
-			var x uint64
-			for b := 0; b < n; b++ {
-				x |= uint64(payload[off+b]) << (8 * b)
-			}
 			if n > 0 && payload[off+n-1] == 0 {
 				return 0, 0, fmt.Errorf("wire: non-canonical delta length at coordinate %d", i)
 			}
+			x := xorFromBytes(payload[off:], n)
 			off += n
 			params[i] = math.Float64frombits(math.Float64bits(params[i]) ^ x)
 		}

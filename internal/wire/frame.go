@@ -1,8 +1,8 @@
-// Control-plane message framing (protocol v2). Every PS↔worker message
-// travels as one self-delimiting frame:
+// Control-plane message framing. Every PS↔worker message travels as
+// one self-delimiting frame:
 //
 //	u16  magic  (0xB52D, little-endian)
-//	u8   protocol version (currently 2)
+//	u8   protocol version (currently 3)
 //	u8   message type (transport-defined)
 //	u32  payload length in bytes
 //	…    payload
@@ -29,12 +29,15 @@ import (
 )
 
 const (
-	// FrameMagic marks the start of every v2 control frame.
+	// FrameMagic marks the start of every control frame.
 	FrameMagic = 0xB52D
 	// ProtocolVersion is the current control-plane protocol version.
 	// Hello/Welcome carry it explicitly for negotiation; every frame
 	// header repeats it so a version skew fails fast on any message.
-	ProtocolVersion = 2
+	// v3 added the compressed uplink gradient codec (uplink.go) and the
+	// Welcome's uplink-delta flag; v2 peers are rejected at the first
+	// frame (and at Hello/Welcome negotiation).
+	ProtocolVersion = 3
 	// FrameHeaderSize is the fixed byte size of the frame header.
 	FrameHeaderSize = 8
 	// MaxFramePayload bounds the declared payload length a receiver will

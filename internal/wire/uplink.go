@@ -1,0 +1,331 @@
+// Uplink gradient-report codec (protocol v3). The worker→PS direction
+// is the dominant byte mover of a training round: every worker ships
+// its per-file gradient sums every round. This codec makes that uplink
+// bandwidth-aware with the same bit-exact XOR trick the parameter
+// broadcast uses (delta.go), but against a different base: each
+// worker's delta base is its *own previous report* on the same
+// connection, since that is the only vector both ends of the stream
+// are guaranteed to share.
+//
+// Unlike consecutive parameter iterates, consecutive gradient reports
+// decorrelate quickly — each round draws a fresh mini-batch, so only
+// sign/exponent/top-mantissa agreement survives, and on some rounds a
+// delta frame would be *larger* than the raw one. The encoder therefore
+// self-selects per frame: it builds the delta, compares sizes, and
+// falls back to a raw frame whenever the delta does not pay. The mode
+// byte tells the decoder which arrived, and both modes roll the base
+// forward, so encoder and decoder stay in lockstep as long as the
+// frame stream is ordered and loss-free (a TCP connection); a new
+// connection starts from no base, i.e. a raw first frame.
+//
+// Frame layout, little-endian:
+//
+//	u8  mode (1 = raw, 2 = delta)
+//	raw:   one gradient frame (codec.go: u32 payload length, u32
+//	       worker, u32 n, u32 d, n×u32 file ids, n×d×f64 bit patterns)
+//	delta: u32 worker, u32 n, u32 d, n×u32 file ids,
+//	       ⌈n·d/2⌉ nibble-packed XOR byte lengths (low nibble = even
+//	       value index), then per value its significant low-order XOR
+//	       bytes against the base value at the same (file, coordinate)
+//
+// A delta frame is only valid against a base with the identical file
+// list and dimension; the decoder rejects anything else, and rejects
+// non-canonical lengths (highest included byte zero, set padding
+// nibble), so any accepted frame re-encodes to exactly the consumed
+// bytes.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"slices"
+)
+
+// Uplink frame modes.
+const (
+	// UplinkRaw wraps a self-contained gradient frame.
+	UplinkRaw = 1
+	// UplinkDelta is an XOR patch against the sender's previous report.
+	UplinkDelta = 2
+)
+
+// uplinkDeltaHeader is the mode byte plus worker, n, and d.
+const uplinkDeltaHeader = 13
+
+// UplinkRawSize returns the encoded size of a raw uplink frame with n
+// files of dimension d.
+func UplinkRawSize(n, d int) int { return 1 + GradFrameSize(n, d) }
+
+// UplinkEncoder is the worker-side streaming state of the uplink
+// codec: the previous report (the delta base) plus encode scratch. One
+// encoder serves one ordered frame stream; a reconnect must Reset it
+// (the new connection's receiver holds no base).
+type UplinkEncoder struct {
+	// NoDelta disables delta frames entirely: every Encode emits a raw
+	// frame (still rolling the base, so flipping the flag mid-stream is
+	// safe). The PS announces this in its Welcome when the operator
+	// disabled uplink compression.
+	NoDelta bool
+
+	prev      []float64 // previous report's values, flat n×d
+	prevFiles []int     // previous report's file ids
+	scratch   []byte    // delta build buffer
+}
+
+// Reset drops the delta base, as if no frame had been sent yet.
+func (e *UplinkEncoder) Reset() {
+	e.prev = e.prev[:0]
+	e.prevFiles = e.prevFiles[:0]
+}
+
+// Encode appends one uplink frame for the report (worker, files,
+// grads) to dst, choosing the smaller of the delta and raw encodings,
+// and rolls the base forward. It returns the extended buffer, the mode
+// chosen, and the size a raw frame would have had (the uncompressed
+// cost, for accounting the realized ratio). files and grads follow the
+// AppendGradFrame contract.
+func (e *UplinkEncoder) Encode(dst []byte, worker int, files []int, grads [][]float64) (out []byte, mode, rawSize int, err error) {
+	if len(files) != len(grads) {
+		return nil, 0, 0, fmt.Errorf("wire: %d files but %d gradients", len(files), len(grads))
+	}
+	n := len(files)
+	d := 0
+	if n > 0 {
+		d = len(grads[0])
+	}
+	for i, g := range grads {
+		if len(g) != d {
+			return nil, 0, 0, fmt.Errorf("wire: gradient %d has dim %d, want %d", i, len(g), d)
+		}
+	}
+	rawSize = UplinkRawSize(n, d)
+	useDelta := !e.NoDelta && n > 0 && len(e.prev) == n*d && slices.Equal(e.prevFiles, files)
+	if useDelta {
+		delta, derr := e.appendDelta(e.scratch[:0], worker, files, grads)
+		if derr != nil {
+			return nil, 0, 0, derr
+		}
+		e.scratch = delta
+		if len(delta) < rawSize {
+			out = append(dst, delta...)
+			e.rollBase(files, grads)
+			return out, UplinkDelta, rawSize, nil
+		}
+	}
+	out = append(dst, UplinkRaw)
+	out, err = AppendGradFrame(out, worker, files, grads)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	e.rollBase(files, grads)
+	return out, UplinkRaw, rawSize, nil
+}
+
+// appendDelta builds the delta frame for the report against e.prev.
+func (e *UplinkEncoder) appendDelta(dst []byte, worker int, files []int, grads [][]float64) ([]byte, error) {
+	if worker < 0 || int64(worker) > math.MaxUint32 {
+		return nil, fmt.Errorf("wire: worker id %d outside u32 range", worker)
+	}
+	n, d := len(files), len(grads[0])
+	dst = append(dst, UplinkDelta)
+	dst = append32(dst, uint32(worker))
+	dst = append32(dst, uint32(n))
+	dst = append32(dst, uint32(d))
+	for _, v := range files {
+		if v < 0 || int64(v) > math.MaxUint32 {
+			return nil, fmt.Errorf("wire: file id %d outside u32 range", v)
+		}
+		dst = append32(dst, uint32(v))
+	}
+	nibbleAt := len(dst)
+	dst = append(dst, make([]byte, (n*d+1)/2)...)
+	idx := 0
+	for i, g := range grads {
+		base := e.prev[i*d : (i+1)*d]
+		for j, v := range g {
+			x := math.Float64bits(base[j]) ^ math.Float64bits(v)
+			nb := xorLen(x)
+			orNibbleLen(dst[nibbleAt:], idx, nb)
+			dst = appendXORBytes(dst, x, nb)
+			idx++
+		}
+	}
+	return dst, nil
+}
+
+// rollBase records the report as the next frame's delta base.
+func (e *UplinkEncoder) rollBase(files []int, grads [][]float64) {
+	n := len(files)
+	d := 0
+	if n > 0 {
+		d = len(grads[0])
+	}
+	if cap(e.prev) < n*d {
+		e.prev = make([]float64, n*d)
+	}
+	e.prev = e.prev[:n*d]
+	for i, g := range grads {
+		copy(e.prev[i*d:(i+1)*d], g)
+	}
+	e.prevFiles = append(e.prevFiles[:0], files...)
+}
+
+// UplinkDecoder is the PS-side streaming state of the uplink codec for
+// one worker connection: the previous accepted report, against which
+// delta frames are applied. Decode must see every frame of the stream
+// in order — including reports that arrive too late to count for their
+// round — or the base diverges from the encoder's; that is exactly why
+// the transport's reader pumps decode stale frames before retiring
+// them.
+type UplinkDecoder struct {
+	prev       []float64
+	prevFiles  []int
+	prevWorker int
+}
+
+// Reset drops the delta base (a fresh connection's state).
+func (dec *UplinkDecoder) Reset() {
+	dec.prev = dec.prev[:0]
+	dec.prevFiles = dec.prevFiles[:0]
+	dec.prevWorker = 0
+}
+
+// Decode parses one uplink frame from the front of src into f (the
+// DecodeGradFrame buffer-reuse contract) and rolls the base forward,
+// returning the mode and bytes consumed. A delta frame is rejected
+// unless its worker/file-list/dimension exactly match the held base;
+// lengths must be canonical, so any accepted frame re-encodes to the
+// consumed bytes. On error the base is unchanged and the stream must
+// be considered poisoned (the caller evicts the connection).
+func (dec *UplinkDecoder) Decode(src []byte, f *GradFrame) (mode, consumed int, err error) {
+	if len(src) < 1 {
+		return 0, 0, fmt.Errorf("wire: empty uplink frame")
+	}
+	switch src[0] {
+	case UplinkRaw:
+		n, err := DecodeGradFrame(src[1:], f)
+		if err != nil {
+			return 0, 0, err
+		}
+		dec.rollBase(f)
+		return UplinkRaw, 1 + n, nil
+	case UplinkDelta:
+		consumed, err := dec.decodeDelta(src, f)
+		if err != nil {
+			return 0, 0, err
+		}
+		return UplinkDelta, consumed, nil
+	default:
+		return 0, 0, fmt.Errorf("wire: unknown uplink frame mode %d", src[0])
+	}
+}
+
+// decodeDelta parses a delta frame and applies it to the base,
+// leaving the reconstructed values in both f.Grads and the base.
+func (dec *UplinkDecoder) decodeDelta(src []byte, f *GradFrame) (int, error) {
+	if len(src) < uplinkDeltaHeader {
+		return 0, fmt.Errorf("wire: uplink delta frame truncated at %d bytes", len(src))
+	}
+	worker := int(binary.LittleEndian.Uint32(src[1:]))
+	n64 := uint64(binary.LittleEndian.Uint32(src[5:]))
+	d64 := uint64(binary.LittleEndian.Uint32(src[9:]))
+	// The base bounds every size: a delta is only valid against the
+	// exact previous report, so hostile counts cannot trigger oversized
+	// allocations — they fail the base match first.
+	n := len(dec.prevFiles)
+	if n == 0 {
+		return 0, fmt.Errorf("wire: uplink delta frame with no base report")
+	}
+	if worker != dec.prevWorker {
+		return 0, fmt.Errorf("wire: uplink delta claims worker %d, base is worker %d", worker, dec.prevWorker)
+	}
+	d := len(dec.prev) / n
+	if n64 != uint64(n) || d64 != uint64(d) {
+		return 0, fmt.Errorf("wire: uplink delta declares %d×%d values, base is %d×%d", n64, d64, n, d)
+	}
+	if len(src) < uplinkDeltaHeader+n*4 {
+		return 0, fmt.Errorf("wire: uplink delta frame truncated in file list")
+	}
+	for i := 0; i < n; i++ {
+		v := int(binary.LittleEndian.Uint32(src[uplinkDeltaHeader+i*4:]))
+		if v != dec.prevFiles[i] {
+			return 0, fmt.Errorf("wire: uplink delta file %d is %d, base has %d", i, v, dec.prevFiles[i])
+		}
+	}
+	nb := (n*d + 1) / 2
+	body := src[uplinkDeltaHeader+n*4:]
+	if len(body) < nb {
+		return 0, fmt.Errorf("wire: uplink delta needs %d length bytes, have %d", nb, len(body))
+	}
+	nibbles, payload := body[:nb], body[nb:]
+	// First pass: validate every length and the total payload size so
+	// the base is never partially updated by a malformed frame.
+	off := 0
+	for i := 0; i < n*d; i++ {
+		ln := nibbleLen(nibbles, i)
+		if ln > 8 {
+			return 0, fmt.Errorf("wire: uplink delta length %d > 8 at value %d", ln, i)
+		}
+		if len(payload)-off < ln {
+			return 0, fmt.Errorf("wire: uplink delta payload truncated at value %d", i)
+		}
+		if ln > 0 && payload[off+ln-1] == 0 {
+			return 0, fmt.Errorf("wire: non-canonical uplink delta length at value %d", i)
+		}
+		off += ln
+	}
+	if (n*d)%2 == 1 && nibbles[nb-1]>>4 != 0 {
+		return 0, fmt.Errorf("wire: uplink delta frame has a set padding nibble")
+	}
+	// Second pass: apply. Outputs follow the DecodeGradFrame reuse
+	// contract so callers can decode straight into arena buffers.
+	f.Worker = worker
+	if cap(f.Files) < n {
+		f.Files = make([]int, n)
+	}
+	f.Files = f.Files[:n]
+	copy(f.Files, dec.prevFiles)
+	if cap(f.Grads) < n {
+		grads := make([][]float64, n)
+		copy(grads, f.Grads)
+		f.Grads = grads
+	}
+	f.Grads = f.Grads[:n]
+	off = 0
+	for i := 0; i < n; i++ {
+		if cap(f.Grads[i]) < d {
+			f.Grads[i] = make([]float64, d)
+		}
+		g := f.Grads[i][:d]
+		base := dec.prev[i*d : (i+1)*d]
+		for j := 0; j < d; j++ {
+			ln := nibbleLen(nibbles, i*d+j)
+			x := xorFromBytes(payload[off:], ln)
+			off += ln
+			v := math.Float64frombits(math.Float64bits(base[j]) ^ x)
+			base[j] = v
+			g[j] = v
+		}
+		f.Grads[i] = g
+	}
+	return uplinkDeltaHeader + n*4 + nb + off, nil
+}
+
+// rollBase records a raw frame's contents as the next delta base.
+func (dec *UplinkDecoder) rollBase(f *GradFrame) {
+	dec.prevWorker = f.Worker
+	n := len(f.Files)
+	d := 0
+	if n > 0 {
+		d = len(f.Grads[0])
+	}
+	if cap(dec.prev) < n*d {
+		dec.prev = make([]float64, n*d)
+	}
+	dec.prev = dec.prev[:n*d]
+	for i, g := range f.Grads {
+		copy(dec.prev[i*d:(i+1)*d], g)
+	}
+	dec.prevFiles = append(dec.prevFiles[:0], f.Files...)
+}

@@ -1,0 +1,347 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// report builds a deterministic n×d gradient report.
+func report(rng *rand.Rand, n, d int) [][]float64 {
+	grads := make([][]float64, n)
+	for i := range grads {
+		g := make([]float64, d)
+		for j := range g {
+			g[j] = rng.NormFloat64()
+		}
+		grads[i] = g
+	}
+	return grads
+}
+
+// perturbReport adds SGD-noise-sized jitter, leaving some values
+// exactly unchanged (the correlated-consecutive-reports regime).
+func perturbReport(rng *rand.Rand, grads [][]float64) [][]float64 {
+	out := make([][]float64, len(grads))
+	for i, g := range grads {
+		out[i] = perturb(rng, g)
+	}
+	return out
+}
+
+// decodeOne decodes a single uplink frame, requiring full consumption.
+func decodeOne(t *testing.T, dec *UplinkDecoder, frame []byte, f *GradFrame) int {
+	t.Helper()
+	mode, consumed, err := dec.Decode(frame, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != len(frame) {
+		t.Fatalf("consumed %d of %d bytes", consumed, len(frame))
+	}
+	return mode
+}
+
+// checkReport compares a decoded frame against the expected report
+// bit-for-bit.
+func checkReport(t *testing.T, f *GradFrame, worker int, files []int, grads [][]float64) {
+	t.Helper()
+	if f.Worker != worker {
+		t.Fatalf("worker %d, want %d", f.Worker, worker)
+	}
+	if !slices.Equal(f.Files, files) {
+		t.Fatalf("files %v, want %v", f.Files, files)
+	}
+	for i, g := range grads {
+		for j, v := range g {
+			if math.Float64bits(f.Grads[i][j]) != math.Float64bits(v) {
+				t.Fatalf("value (%d,%d): bits %x, want %x", i, j,
+					math.Float64bits(f.Grads[i][j]), math.Float64bits(v))
+			}
+		}
+	}
+}
+
+// TestUplinkStreamRoundTrip drives several rounds of correlated
+// reports through an encoder/decoder pair: the first frame must be raw
+// (no base), later frames must pick delta in this regime and save
+// bytes, and every decode must be bit-exact.
+func TestUplinkStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	files := []int{2, 7, 19}
+	grads := report(rng, 3, 50)
+	var enc UplinkEncoder
+	var dec UplinkDecoder
+	var f GradFrame
+	sawDelta := false
+	for round := 0; round < 6; round++ {
+		frame, mode, rawSize, err := enc.Encode(nil, 4, files, grads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round == 0 && mode != UplinkRaw {
+			t.Fatalf("first frame mode %d, want raw", mode)
+		}
+		if mode == UplinkDelta {
+			sawDelta = true
+			if len(frame) >= rawSize {
+				t.Fatalf("round %d: delta frame %d bytes, raw would be %d", round, len(frame), rawSize)
+			}
+		}
+		if gotMode := decodeOne(t, &dec, frame, &f); gotMode != mode {
+			t.Fatalf("round %d: decoder saw mode %d, encoder sent %d", round, gotMode, mode)
+		}
+		checkReport(t, &f, 4, files, grads)
+		grads = perturbReport(rng, grads)
+	}
+	if !sawDelta {
+		t.Error("correlated stream never chose a delta frame")
+	}
+}
+
+// TestUplinkSelfSelectsRaw: when consecutive reports are fully
+// decorrelated (different signs and exponents everywhere), the delta
+// encoding is larger than raw and the encoder must fall back.
+func TestUplinkSelfSelectsRaw(t *testing.T) {
+	files := []int{0}
+	a := [][]float64{make([]float64, 16)}
+	b := [][]float64{make([]float64, 16)}
+	for j := range a[0] {
+		a[0][j] = 1e-300
+		b[0][j] = -1e300 * float64(j+1)
+	}
+	var enc UplinkEncoder
+	var dec UplinkDecoder
+	var f GradFrame
+	frame, _, _, err := enc.Encode(nil, 0, files, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeOne(t, &dec, frame, &f)
+	frame, mode, rawSize, err := enc.Encode(nil, 0, files, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != UplinkRaw {
+		t.Fatalf("decorrelated report chose mode %d, want raw fallback", mode)
+	}
+	if len(frame) != rawSize {
+		t.Fatalf("raw frame %d bytes, rawSize says %d", len(frame), rawSize)
+	}
+	decodeOne(t, &dec, frame, &f)
+	checkReport(t, &f, 0, files, b)
+}
+
+// TestUplinkNoDelta: the NoDelta switch forces raw frames while still
+// rolling the base, so flipping it mid-stream stays consistent.
+func TestUplinkNoDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	files := []int{1, 2}
+	grads := report(rng, 2, 40)
+	enc := UplinkEncoder{NoDelta: true}
+	var dec UplinkDecoder
+	var f GradFrame
+	for round := 0; round < 3; round++ {
+		frame, mode, _, err := enc.Encode(nil, 1, files, grads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode != UplinkRaw {
+			t.Fatalf("round %d: NoDelta encoder chose mode %d", round, mode)
+		}
+		decodeOne(t, &dec, frame, &f)
+		grads = perturbReport(rng, grads)
+	}
+	// Enable deltas: the base was maintained, so the next frame deltas.
+	enc.NoDelta = false
+	frame, mode, _, err := enc.Encode(nil, 1, files, grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != UplinkDelta {
+		t.Fatalf("post-flip frame mode %d, want delta", mode)
+	}
+	decodeOne(t, &dec, frame, &f)
+	checkReport(t, &f, 1, files, grads)
+}
+
+// TestUplinkSpecialValues: NaN payloads, infinities, and signed zeros
+// survive the delta round-trip bit-for-bit.
+func TestUplinkSpecialValues(t *testing.T) {
+	files := []int{3}
+	a := [][]float64{{0, math.Copysign(0, -1), 1, math.Inf(1), math.NaN(), 2}}
+	b := [][]float64{{math.Copysign(0, -1), 0, math.NaN(), 1, math.Inf(-1), 2}}
+	var enc UplinkEncoder
+	var dec UplinkDecoder
+	var f GradFrame
+	for _, grads := range [][][]float64{a, b} {
+		frame, _, _, err := enc.Encode(nil, 2, files, grads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeOne(t, &dec, frame, &f)
+		checkReport(t, &f, 2, files, grads)
+	}
+}
+
+// TestUplinkDecoderRejects: no-base deltas, base mismatches, unknown
+// modes, truncation, and non-canonical lengths are all errors, and a
+// failed decode leaves the base untouched.
+func TestUplinkDecoderRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	files := []int{1, 4}
+	grads := report(rng, 2, 6)
+	var enc UplinkEncoder
+	raw, _, _, err := enc.Encode(nil, 3, files, grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := perturbReport(rng, grads)
+	delta, mode, _, err := enc.Encode(nil, 3, files, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != UplinkDelta {
+		t.Fatalf("second frame mode %d, want delta", mode)
+	}
+
+	var f GradFrame
+	fresh := &UplinkDecoder{}
+	if _, _, err := fresh.Decode(delta, &f); err == nil {
+		t.Error("delta with no base accepted")
+	}
+
+	based := &UplinkDecoder{}
+	if _, _, err := based.Decode(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad mode":     {9, 0, 0},
+		"truncated":    delta[:len(delta)-1],
+		"wrong file":   func() []byte { b := slices.Clone(delta); b[uplinkDeltaHeader]++; return b }(),
+		"wrong counts": func() []byte { b := slices.Clone(delta); b[5] = 7; return b }(),
+	}
+	for name, frame := range cases {
+		if _, _, err := based.Decode(frame, &f); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// The failed decodes must not have moved the base: the true delta
+	// still applies and reproduces the second report exactly.
+	if _, _, err := based.Decode(delta, &f); err != nil {
+		t.Fatalf("base moved by a rejected frame: %v", err)
+	}
+	checkReport(t, &f, 3, files, next)
+}
+
+// FuzzUplinkRoundTrip builds two reports from fuzz bits, streams them
+// through an encoder/decoder pair, and requires bit-exact recovery
+// regardless of which mode the encoder selected.
+func FuzzUplinkRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, []byte{10, 9, 8, 7, 6})
+	f.Add([]byte{}, []byte{0xFF})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		d := len(rawA) / 8
+		if d > 32 {
+			d = 32
+		}
+		if d == 0 {
+			return
+		}
+		at := func(raw []byte, i int) uint64 {
+			var x uint64
+			for b := 0; b < 8; b++ {
+				if i*8+b < len(raw) {
+					x |= uint64(raw[i*8+b]) << (8 * b)
+				}
+			}
+			return x
+		}
+		files := []int{5}
+		a := [][]float64{make([]float64, d)}
+		b := [][]float64{make([]float64, d)}
+		for i := 0; i < d; i++ {
+			a[0][i] = math.Float64frombits(at(rawA, i))
+			b[0][i] = math.Float64frombits(at(rawB, i))
+		}
+		var enc UplinkEncoder
+		var dec UplinkDecoder
+		var fr GradFrame
+		for _, grads := range [][][]float64{a, b} {
+			frame, _, _, err := enc.Encode(nil, 1, files, grads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, consumed, err := dec.Decode(frame, &fr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if consumed != len(frame) {
+				t.Fatalf("consumed %d of %d", consumed, len(frame))
+			}
+			for i := 0; i < d; i++ {
+				if math.Float64bits(fr.Grads[0][i]) != math.Float64bits(grads[0][i]) {
+					t.Fatalf("value %d differs", i)
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeUplink feeds arbitrary bytes to a decoder holding a known
+// base: decoding must never panic, and any accepted frame must be
+// canonical — re-encoding the decoded report against the original base
+// reproduces exactly the consumed bytes.
+func FuzzDecodeUplink(f *testing.F) {
+	baseGrads := [][]float64{{1, -2, 0.5}, {3, 0, -0.25}}
+	baseFiles := []int{2, 9}
+	var seedEnc UplinkEncoder
+	seedRaw, _, _, _ := seedEnc.Encode(nil, 1, baseFiles, baseGrads)
+	seedDelta, _, _, _ := seedEnc.Encode(nil, 1, baseFiles,
+		[][]float64{{1.0001, -2, 0.5}, {3, 0.5, -0.25}})
+	f.Add(seedRaw)
+	f.Add(seedDelta)
+	f.Add([]byte{UplinkDelta, 1, 0, 0, 0, 2, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Install the known base in both directions.
+		var enc UplinkEncoder
+		var dec UplinkDecoder
+		frame, _, _, err := enc.Encode(nil, 1, baseFiles, baseGrads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fr GradFrame
+		if _, _, err := dec.Decode(frame, &fr); err != nil {
+			t.Fatal(err)
+		}
+		mode, consumed, err := dec.Decode(data, &fr)
+		if err != nil {
+			return
+		}
+		var re []byte
+		if mode == UplinkRaw {
+			re = append(re, UplinkRaw)
+			re, err = AppendGradFrame(re, fr.Worker, fr.Files, fr.Grads)
+			if err != nil {
+				t.Fatalf("accepted raw frame fails to re-encode: %v", err)
+			}
+		} else {
+			// Rebuild an encoder holding the original base: the accepted
+			// delta must re-encode from it byte-for-byte.
+			var reEnc UplinkEncoder
+			if _, _, _, err := reEnc.Encode(nil, fr.Worker, baseFiles, baseGrads); err != nil {
+				t.Fatal(err)
+			}
+			re, err = reEnc.appendDelta(nil, fr.Worker, fr.Files, fr.Grads)
+			if err != nil {
+				t.Fatalf("accepted delta frame fails to re-encode: %v", err)
+			}
+		}
+		if !bytes.Equal(re, data[:consumed]) {
+			t.Fatalf("re-encode differs from consumed bytes:\n got %x\nwant %x", re, data[:consumed])
+		}
+	})
+}
