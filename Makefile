@@ -22,7 +22,7 @@ bench:
 fuzz: build
 	for t in FuzzParseFrameHeader FuzzReadFrame FuzzDecodeParams \
 	         FuzzParamsDeltaRoundTrip FuzzDecodeGradFrame FuzzGradFrameRoundTrip \
-	         FuzzUplinkRoundTrip FuzzDecodeUplink; do \
+	         FuzzUplinkRoundTrip FuzzDecodeUplink FuzzDecodeMomentFrame; do \
 		$(GO) test -run '^$$' -fuzz $$t -fuzztime $(FUZZTIME) ./internal/wire || exit 1; \
 	done
 

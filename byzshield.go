@@ -13,6 +13,7 @@
 //	robustness analysis      →  AnalyzeDistortion, SpectralGap, GammaBound
 //	attacks                  →  ALIE, ConstantAttack, ReversedGradient, NoAttack
 //	aggregation              →  Median, MedianOfMeans, MultiKrum, Bulyan, SignSGD, ...
+//	detection                →  ZScoreDetector, ClusterDetector, NoDetector
 //	named components         →  Registry (string name → scheme/aggregator/attack)
 //	training                 →  Open/Session (incremental), Train (fire-and-forget),
 //	                            internal/transport (TCP)
@@ -37,6 +38,7 @@ import (
 	"byzshield/internal/assign"
 	"byzshield/internal/attack"
 	"byzshield/internal/data"
+	"byzshield/internal/detect"
 	"byzshield/internal/distort"
 	"byzshield/internal/fault"
 	"byzshield/internal/graph"
@@ -62,6 +64,18 @@ type Attack = attack.Attack
 // NoFault/CrashFault/StragglerFault/DelayFault/FlakyFault constructors
 // and internal/fault.
 type Fault = fault.Fault
+
+// Detector is a PS-side Byzantine detection rule, run between gradient
+// collection and aggregation over per-worker gradient-history features.
+// See the NoDetector/ZScoreDetector/ClusterDetector constructors and
+// internal/detect.
+type Detector = detect.Detector
+
+// DetectionPolicy is the reputation policy shared by every detector:
+// feature-window length, minimum observed rounds before blacklisting,
+// reputation EMA decay, detector threshold, and the blacklist floor.
+// Zero values take the defaults documented in internal/detect.
+type DetectionPolicy = detect.Params
 
 // History is the recorded metric series of a training run.
 type History = trainer.History
@@ -187,6 +201,21 @@ func StackFault(faults ...Fault) Fault { return fault.Stack(faults) }
 
 // ALIE is the "A Little Is Enough" attack (Baruch et al. 2019).
 func ALIE() Attack { return attack.ALIE{} }
+
+// NoDetector is the detection-free control (the default): nothing is
+// flagged, every reputation stays 1, nobody is blacklisted.
+func NoDetector() Detector { return detect.None{} }
+
+// ZScoreDetector flags workers whose window-mean robust z-score (of
+// report norm and cosine-to-median, median/MAD standardized across the
+// live fleet) exceeds threshold (0 selects 3.0).
+func ZScoreDetector(threshold float64) Detector { return detect.ZScore{Threshold: threshold} }
+
+// ClusterDetector partitions workers' history features with a
+// deterministic 2-means and flags a clearly separated, anomalous
+// minority cluster; threshold is the minimum center separation
+// (0 selects 2.0).
+func ClusterDetector(threshold float64) Detector { return detect.KMeans{Threshold: threshold} }
 
 // ConstantAttack sends a constant matrix scaled to gradient-sum
 // magnitude.
@@ -331,6 +360,15 @@ type TrainConfig struct {
 	// in a degraded round; 0 selects the majority of the nominal
 	// replication, r/2 + 1. Values outside [1, r] are rejected.
 	Quorum int
+	// Detector runs PS-side Byzantine detection between collection and
+	// aggregation (default NoDetector()): flagged workers lose
+	// reputation, persistent offenders are blacklisted and excluded from
+	// every later round, and RoundResult reports the per-round
+	// reputation state. Detection composes with any Attack/Aggregator.
+	Detector Detector
+	// Detection is the reputation policy the detector runs under; zero
+	// fields take the defaults documented in internal/detect.
+	Detection DetectionPolicy
 }
 
 // normalized validates the config and returns a copy with every
@@ -395,6 +433,9 @@ func (cfg TrainConfig) normalized() (TrainConfig, error) {
 	}
 	if cfg.Aggregator == nil {
 		cfg.Aggregator = Median()
+	}
+	if cfg.Detector == nil {
+		cfg.Detector = NoDetector()
 	}
 	return cfg, nil
 }

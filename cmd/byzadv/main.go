@@ -1,0 +1,48 @@
+// Command byzadv runs the coordinated-adversary sidecar hub: the
+// rendezvous a coalition of Byzantine byzworker processes uses to
+// exchange per-round gradient moments, so omniscient attacks (ALIE)
+// run cross-process. Start it before the coalition's workers, point
+// them at it with -adv-addr, and it exits when the coalition drains:
+//
+//	byzadv -listen :7501 -peers 3 &
+//	byzworker -connect :7500 -id 0 -behavior alie -adv-addr :7501
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"byzshield/internal/advnet"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7501", "hub listen address")
+	peers := flag.Int("peers", 1, "coalition size: Byzantine workers to admit before relaying")
+	quiet := flag.Bool("quiet", false, "suppress membership and relay logging")
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	hub, err := advnet.NewHub(*listen, *peers, logf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer hub.Close()
+	log.Printf("byzadv: hub listening on %s for %d member(s)", hub.Addr(), *peers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := hub.Serve(ctx); err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	log.Printf("byzadv: coalition drained, shutting down")
+}

@@ -5,7 +5,9 @@
 // paper for baseline median, ByzShield, and DETOX-MoM under the ALIE
 // attack. The upB/upRawB columns report the worker→PS volume as moved
 // vs its raw-frame equivalent (the realized uplink compression ratio);
-// downB the PS→worker broadcast volume.
+// downB the PS→worker broadcast volume. The rep/blk columns show the
+// detection layer's view (mean reputation, blacklist size) when a
+// -detector is timed.
 //
 // Usage:
 //
@@ -27,12 +29,13 @@ import (
 
 func main() {
 	var (
-		rounds = flag.Int("rounds", 20, "protocol rounds to time per scheme")
-		trainN = flag.Int("train", 3000, "training-set size")
-		dim    = flag.Int("dim", 64, "feature dimension")
-		batch  = flag.Int("batch", 500, "batch size")
-		seed   = flag.Int64("seed", 42, "experiment seed")
-		budget = flag.Duration("budget", 10*time.Second, "Byzantine-set search budget")
+		rounds   = flag.Int("rounds", 20, "protocol rounds to time per scheme")
+		trainN   = flag.Int("train", 3000, "training-set size")
+		dim      = flag.Int("dim", 64, "feature dimension")
+		batch    = flag.Int("batch", 500, "batch size")
+		seed     = flag.Int64("seed", 42, "experiment seed")
+		budget   = flag.Duration("budget", 10*time.Second, "Byzantine-set search budget")
+		detector = flag.String("detector", "", "PS-side Byzantine detector to time (none, zscore, cluster)")
 	)
 	flag.Parse()
 
@@ -43,6 +46,7 @@ func main() {
 	opts.BatchSize = *batch
 	opts.Seed = *seed
 	opts.SearchBudget = *budget
+	opts.Detector = *detector
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -24,6 +24,13 @@
 //
 //	byzps ... -faults "flaky@2:p=0.3;straggler@9:delay=2s"
 //
+// Byzantine detection (PS-side, between collection and aggregation;
+// blacklisted workers are evicted, their rejoin tokens refused with a
+// typed rejection, and their replicas excluded from every later vote):
+//
+//	byzps ... -detector zscore -detector-threshold 3
+//	byzps ... -detector cluster -detector-min-rounds 10
+//
 // Parameter broadcasts ship as bit-exact deltas between periodic full
 // refreshes; -full-every controls the cadence (1 = full every round).
 // Worker→PS gradient reports are likewise compressed (XOR deltas
@@ -91,6 +98,14 @@ func main() {
 		faultDelay   = flag.Duration("fault-delay", 2*time.Second, "straggler/delay duration")
 		faultSpecs   = flag.String("faults", "",
 			`composed per-worker faults: "name@ids[:k=v,...]" clauses joined by ";" (e.g. "flaky@2:p=0.3;straggler@9:delay=2s")`)
+		detector = flag.String("detector", "",
+			"PS-side Byzantine detector: "+strings.Join(byzshield.Registry.Detectors(), ", ")+" (empty = none)")
+		detThreshold = flag.Float64("detector-threshold", 0,
+			"detector outlier threshold (0 = detector default)")
+		detWindow    = flag.Int("detector-window", 0, "detector feature-window length (0 = default)")
+		detMinRounds = flag.Int("detector-min-rounds", 0, "rounds observed before blacklisting (0 = default)")
+		detDecay     = flag.Float64("detector-decay", 0, "reputation EMA decay (0 = default)")
+		detBlacklist = flag.Float64("detector-blacklist-below", 0, "reputation blacklist floor (0 = default)")
 	)
 	flag.Parse()
 
@@ -118,7 +133,12 @@ func main() {
 		FaultParams: byzshield.FaultParams{
 			Workers: workers, Round: *faultRound, P: *faultP, Delay: *faultDelay, Seed: *seed,
 		},
-		Faults: composed,
+		Faults:   composed,
+		Detector: *detector,
+		DetectorParams: byzshield.DetectorParams{
+			Window: *detWindow, MinRounds: *detMinRounds,
+			Decay: *detDecay, Threshold: *detThreshold, BlacklistBelow: *detBlacklist,
+		},
 	}
 	srvCfg := transport.ServerConfig{
 		Spec:                spec,
@@ -133,6 +153,19 @@ func main() {
 			log.Printf("round %d: missing=%v rejoins=%d evictions=%d stale=%d upB=%d (raw %d) downB=%d",
 				rs.Iteration, rs.MissingWorkers, rs.Rejoins, rs.Evictions, rs.StaleFrames,
 				rs.Times.ReportBytes, rs.Times.ReportRawBytes, rs.Times.BroadcastBytes)
+			if rs.FlaggedWorkers > 0 || rs.Blacklisted > 0 {
+				log.Printf("round %d: detection: flagged=%d mean-rep=%.3f blacklisted=%d (new %v)",
+					rs.Iteration, rs.FlaggedWorkers, rs.MeanReputation, rs.Blacklisted, rs.BlacklistedWorkers)
+			}
+		}
+	} else if *detector != "" && *detector != "none" {
+		// Blacklisting is worth a log line even without -v: the worker's
+		// session is permanently revoked.
+		srvCfg.OnRound = func(rs cluster.RoundStats) {
+			if len(rs.BlacklistedWorkers) > 0 {
+				log.Printf("round %d: blacklisted workers %v (mean reputation %.3f)",
+					rs.Iteration, rs.BlacklistedWorkers, rs.MeanReputation)
+			}
 		}
 	}
 	srv, err := transport.NewServer(*listen, srvCfg)
@@ -150,8 +183,8 @@ func main() {
 	final, err := srv.Serve(ctx)
 	logCounters := func() {
 		c := srv.Counters()
-		log.Printf("lifecycle: joins=%d rejoins=%d evictions=%d stale-frames=%d",
-			c.Joins, c.Rejoins, c.Evictions, c.StaleFrames)
+		log.Printf("lifecycle: joins=%d rejoins=%d evictions=%d stale-frames=%d blacklist-rejections=%d",
+			c.Joins, c.Rejoins, c.Evictions, c.StaleFrames, c.BlacklistRejections)
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {

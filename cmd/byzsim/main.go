@@ -33,7 +33,8 @@ func main() {
 		scheme   = flag.String("scheme", "", "custom scheme: "+strings.Join(byzshield.Registry.Schemes(), ", "))
 		ablation = flag.Bool("ablation", false, "run the assignment-scheme ablation (MOLS vs Ramanujan vs FRC vs random)")
 		faults   = flag.Bool("faults", false, "run the fault-tolerance sweep (scheme × crash/flaky worker faults)")
-		iters    = flag.Int("iters", 100, "training rounds per cell for -faults")
+		detect   = flag.Bool("detect", false, "run the detection arms-race sweep (attack × PS-side detector)")
+		iters    = flag.Int("iters", 100, "training rounds per cell for -faults / -detect")
 		show     = flag.Bool("show", false, "print the MOLS family and file allocation for -l/-r (paper Tables 1 & 2)")
 		l        = flag.Int("l", 5, "computational load (MOLS degree / Ramanujan parameter)")
 		r        = flag.Int("r", 3, "replication factor")
@@ -66,6 +67,16 @@ func main() {
 			fatal(err)
 		}
 		experiments.RenderFaultSweep(os.Stdout, rows)
+		return
+	}
+	if *detect {
+		opts := experiments.DefaultTrainOpts()
+		opts.Iterations = *iters
+		rows, err := experiments.DetectSweep(ctx, opts)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderDetectSweep(os.Stdout, rows)
 		return
 	}
 	if *show {

@@ -13,6 +13,15 @@
 //	byzworker -connect 127.0.0.1:7077 -id 0
 //	byzworker -connect 127.0.0.1:7077 -id 3 -behavior reversed
 //	byzworker -connect 127.0.0.1:7077 -id 3 -resume-token 0x1f3a...
+//
+// Coordinated attacks: the omniscient ALIE attack needs the global
+// gradient population, which a coalition of worker processes exchanges
+// through the byzadv sidecar hub. Start byzadv with the coalition size,
+// then point each Byzantine worker at it:
+//
+//	byzadv -listen 127.0.0.1:7501 -peers 2 &
+//	byzworker -connect 127.0.0.1:7077 -id 3 -behavior alie -adv-addr 127.0.0.1:7501
+//	byzworker -connect 127.0.0.1:7077 -id 7 -behavior alie -adv-addr 127.0.0.1:7501
 package main
 
 import (
@@ -33,8 +42,10 @@ func main() {
 	var (
 		connect    = flag.String("connect", "127.0.0.1:7077", "parameter server address")
 		id         = flag.Int("id", -1, "worker id (0..K-1)")
-		behavior   = flag.String("behavior", "honest", "honest, reversed, constant, zero")
+		behavior   = flag.String("behavior", "honest", "honest, reversed, constant, zero, sign-flip, alie (alie needs -adv-addr)")
 		value      = flag.Float64("value", -1, "payload value for -behavior constant")
+		advAddr    = flag.String("adv-addr", "", "adversary sidecar hub address (byzadv); required for -behavior alie")
+		alieZ      = flag.Float64("alie-z", 0, "ALIE z override (0 derives z from cluster and coalition sizes)")
 		reconnects = flag.Int("reconnects", transport.DefaultReconnectAttempts,
 			"automatic rejoin attempts after a lost connection (negative disables)")
 		resumeToken = flag.String("resume-token", "",
@@ -69,6 +80,8 @@ func main() {
 		ConstantValue:     *value,
 		ReconnectAttempts: *reconnects,
 		ResumeToken:       token,
+		AdvAddr:           *advAddr,
+		ALIEZ:             *alieZ,
 		Logf:              logf,
 	})
 	if err != nil {

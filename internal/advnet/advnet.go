@@ -1,0 +1,352 @@
+// Package advnet is the coordinated-adversary sidecar: a TCP hub that a
+// coalition of Byzantine worker processes connects to so omniscient
+// attacks (ALIE's µ − z·σ payload) can run cross-process. The hub is
+// deliberately outside the training protocol — it models the attackers'
+// private channel, which the parameter server never sees.
+//
+// Per round, the coalition leader (the member with the lowest worker
+// id, elected by the hub at admission) publishes one moment frame (the
+// per-coordinate mean and standard deviation of the full file-gradient
+// population, reconstructed deterministically from the training spec)
+// and the hub broadcasts it back to every member — including the
+// leader, so all members craft from the identical decoded bytes. The
+// frames use the bit-exact codec of internal/wire (MomentFrame inside
+// the standard control frame), which is what makes a cross-process
+// coalition's payload bit-identical to the in-process omniscient
+// attacker's.
+package advnet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"byzshield/internal/wire"
+)
+
+// Sidecar message types (frame type byte). The sidecar runs on its own
+// connections, so the namespace is independent of the PS transport's.
+const (
+	msgAdvHello   = 1 // member → hub: u32 worker id
+	msgAdvWelcome = 2 // hub → member: members []int, u32 leader id
+	msgAdvMoments = 3 // leader → hub: MomentFrame
+	msgAdvShare   = 4 // hub → members: MomentFrame (broadcast)
+)
+
+// handshakeTimeout bounds each admission-phase read/write; shareTimeout
+// bounds how long a member waits for a round's moment share.
+const (
+	handshakeTimeout = 30 * time.Second
+	shareTimeout     = 30 * time.Second
+)
+
+// Hub is the coalition rendezvous: it admits exactly the configured
+// number of members, elects the leader, and relays every published
+// moment frame to the full coalition.
+type Hub struct {
+	ln        net.Listener
+	peers     int
+	logf      func(format string, args ...any)
+	closeOnce sync.Once
+}
+
+// NewHub listens on addr for a coalition of peers members. logf may be
+// nil for silence.
+func NewHub(addr string, peers int, logf func(format string, args ...any)) (*Hub, error) {
+	if peers < 1 {
+		return nil, fmt.Errorf("advnet: coalition size %d < 1", peers)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("advnet: listen: %w", err)
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Hub{ln: ln, peers: peers, logf: logf}, nil
+}
+
+// Addr returns the hub's bound listen address.
+func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// Close unblocks Serve and tears the hub down. Idempotent.
+func (h *Hub) Close() error {
+	h.closeOnce.Do(func() { h.ln.Close() })
+	return nil
+}
+
+// member is one admitted coalition connection.
+type member struct {
+	id   int
+	conn net.Conn
+}
+
+// Serve admits the coalition, elects the leader, and relays moment
+// frames until every member disconnects (a clean end of training) or
+// ctx is canceled. It returns nil on a clean drain.
+func (h *Hub) Serve(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() { h.Close() })
+	defer stop()
+
+	members := make([]member, 0, h.peers)
+	defer func() {
+		for _, m := range members {
+			m.conn.Close()
+		}
+	}()
+	seen := make(map[int]bool, h.peers)
+	var buf []byte
+	for len(members) < h.peers {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("advnet: accept: %w", err)
+		}
+		conn.SetDeadline(time.Now().Add(handshakeTimeout))
+		var typ byte
+		var payload []byte
+		typ, payload, buf, err = wire.ReadFrame(conn, buf)
+		if err != nil || typ != msgAdvHello {
+			h.logf("advnet: rejecting connection %s: bad hello (type %d, err %v)", conn.RemoteAddr(), typ, err)
+			conn.Close()
+			continue
+		}
+		d := wire.NewDec(payload)
+		id := d.Int()
+		if err := d.Done(); err != nil || seen[id] {
+			h.logf("advnet: rejecting connection %s: worker id %d (err %v)", conn.RemoteAddr(), id, err)
+			conn.Close()
+			continue
+		}
+		conn.SetDeadline(time.Time{})
+		seen[id] = true
+		members = append(members, member{id: id, conn: conn})
+		h.logf("advnet: member %d joined (%d/%d)", id, len(members), h.peers)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].id < members[j].id })
+	leader := members[0].id
+	ids := make([]int, len(members))
+	for i, m := range members {
+		ids[i] = m.id
+	}
+
+	welcome, err := wire.AppendInts(nil, ids)
+	if err != nil {
+		return fmt.Errorf("advnet: welcome: %w", err)
+	}
+	welcome = wire.AppendU32(welcome, uint32(leader))
+	frame, err := wire.AppendFrame(nil, msgAdvWelcome, welcome)
+	if err != nil {
+		return fmt.Errorf("advnet: welcome: %w", err)
+	}
+	for _, m := range members {
+		m.conn.SetWriteDeadline(time.Now().Add(handshakeTimeout))
+		if _, err := m.conn.Write(frame); err != nil {
+			return fmt.Errorf("advnet: welcome to member %d: %w", m.id, err)
+		}
+		m.conn.SetWriteDeadline(time.Time{})
+	}
+	h.logf("advnet: coalition %v complete, leader %d", ids, leader)
+
+	// Relay: any member's published moments (in practice only the
+	// leader's) are rebroadcast to the whole coalition, leader included,
+	// so every member crafts from identical bytes. One reader per
+	// connection; the relay goroutine owns all writes.
+	type inbound struct {
+		from    int
+		payload []byte
+		err     error
+	}
+	frames := make(chan inbound)
+	var wg sync.WaitGroup
+	for _, m := range members {
+		wg.Add(1)
+		go func(m member) {
+			defer wg.Done()
+			var rbuf []byte
+			for {
+				typ, payload, nbuf, err := wire.ReadFrame(m.conn, rbuf)
+				rbuf = nbuf
+				if err != nil {
+					frames <- inbound{from: m.id, err: err}
+					return
+				}
+				if typ != msgAdvMoments {
+					frames <- inbound{from: m.id, err: fmt.Errorf("advnet: member %d sent frame type %d", m.id, typ)}
+					return
+				}
+				cp := append([]byte(nil), payload...)
+				frames <- inbound{from: m.id, payload: cp}
+			}
+		}(m)
+	}
+	go func() { wg.Wait(); close(frames) }()
+	// On any return, the deferred conn closes error the readers out;
+	// this drain keeps them from blocking on the channel until then.
+	defer func() {
+		go func() {
+			for range frames {
+			}
+		}()
+	}()
+
+	alive := len(members)
+	var out []byte
+	for in := range frames {
+		if in.err != nil {
+			alive--
+			h.logf("advnet: member %d left: %v (%d remaining)", in.from, in.err, alive)
+			if alive == 0 {
+				break
+			}
+			continue
+		}
+		out = out[:0]
+		out, err = wire.AppendFrame(out, msgAdvShare, in.payload)
+		if err != nil {
+			return fmt.Errorf("advnet: share: %w", err)
+		}
+		for _, m := range members {
+			m.conn.SetWriteDeadline(time.Now().Add(shareTimeout))
+			if _, err := m.conn.Write(out); err != nil {
+				h.logf("advnet: share to member %d: %v", m.id, err)
+			}
+			m.conn.SetWriteDeadline(time.Time{})
+		}
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// Client is one coalition member's hub connection.
+type Client struct {
+	conn     net.Conn
+	id       int
+	members  []int
+	leader   int
+	buf      []byte
+	enc      []byte
+	frameBuf []byte
+}
+
+// Dial connects to the hub, announces the worker id, and blocks until
+// the hub has admitted the full coalition and elected the leader.
+func Dial(ctx context.Context, addr string, workerID int) (*Client, error) {
+	if workerID < 0 {
+		return nil, fmt.Errorf("advnet: worker id %d < 0", workerID)
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("advnet: dial %s: %w", addr, err)
+	}
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	hello, err := wire.AppendFrame(nil, msgAdvHello, wire.AppendU32(nil, uint32(workerID)))
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetWriteDeadline(time.Now().Add(handshakeTimeout))
+	if _, err := conn.Write(hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("advnet: hello: %w", err)
+	}
+	conn.SetDeadline(time.Time{})
+	// The welcome arrives only once the whole coalition has joined;
+	// waiting for slow peers is the point, so no read deadline here
+	// (ctx cancellation still unblocks via the AfterFunc above).
+	typ, payload, buf, err := wire.ReadFrame(conn, nil)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("advnet: welcome: %w", err)
+	}
+	if typ != msgAdvWelcome {
+		conn.Close()
+		return nil, fmt.Errorf("advnet: expected welcome, got frame type %d", typ)
+	}
+	dec := wire.NewDec(payload)
+	ids := dec.Ints()
+	leader := dec.Int()
+	if err := dec.Done(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("advnet: welcome: %w", err)
+	}
+	return &Client{conn: conn, id: workerID, members: ids, leader: leader, buf: buf}, nil
+}
+
+// WorkerID returns this member's worker id.
+func (c *Client) WorkerID() int { return c.id }
+
+// Leader returns the coalition leader's worker id.
+func (c *Client) Leader() int { return c.leader }
+
+// IsLeader reports whether this member reconstructs and publishes the
+// round moments.
+func (c *Client) IsLeader() bool { return c.id == c.leader }
+
+// Members returns the coalition size.
+func (c *Client) Members() int { return len(c.members) }
+
+// MemberIDs returns the coalition's worker ids, ascending. The slice is
+// shared: do not modify.
+func (c *Client) MemberIDs() []int { return c.members }
+
+// Publish sends a round's moment frame to the hub for broadcast.
+func (c *Client) Publish(f *wire.MomentFrame) error {
+	payload, err := wire.AppendMomentFrame(c.enc[:0], f)
+	if err != nil {
+		return err
+	}
+	c.enc = payload
+	frame, err := wire.AppendFrame(c.frameBuf[:0], msgAdvMoments, payload)
+	if err != nil {
+		return err
+	}
+	c.frameBuf = frame
+	c.conn.SetWriteDeadline(time.Now().Add(shareTimeout))
+	defer c.conn.SetWriteDeadline(time.Time{})
+	if _, err := c.conn.Write(frame); err != nil {
+		return fmt.Errorf("advnet: publish: %w", err)
+	}
+	return nil
+}
+
+// AwaitShare blocks until the hub broadcasts the moment share for
+// round, decoding it into f (reusing f's buffers). Shares for earlier
+// rounds are discarded; a share for a later round means this member
+// missed its round and is an error, as is the share timeout.
+func (c *Client) AwaitShare(round int, f *wire.MomentFrame) error {
+	for {
+		c.conn.SetReadDeadline(time.Now().Add(shareTimeout))
+		typ, payload, buf, err := wire.ReadFrame(c.conn, c.buf)
+		c.buf = buf
+		if err != nil {
+			return fmt.Errorf("advnet: await share for round %d: %w", round, err)
+		}
+		if typ != msgAdvShare {
+			return fmt.Errorf("advnet: expected share, got frame type %d", typ)
+		}
+		if err := wire.DecodeMomentFrame(payload, f); err != nil {
+			return fmt.Errorf("advnet: share: %w", err)
+		}
+		switch {
+		case f.Round < round:
+			continue // stale share from a round this member sat out
+		case f.Round > round:
+			return fmt.Errorf("advnet: share for round %d arrived while waiting for round %d", f.Round, round)
+		}
+		c.conn.SetReadDeadline(time.Time{})
+		return nil
+	}
+}
+
+// Close tears the member's hub connection down.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,94 @@
+// Coordinator seam for omniscient attacks. ALIE needs the gradient
+// population's moments, which a single in-process attacker reads off
+// the oracle (Context.FileGradients) but a fleet of Byzantine worker
+// processes must exchange out of band. A Coordinator abstracts where
+// those moments come from: Loopback computes them locally from the
+// omniscient context (the in-process path), while the transport layer
+// backs the same interface with the advnet sidecar hub so cross-process
+// coalitions craft the identical payload. Both sources feed the same
+// µ − z·σ arithmetic, so for equal inputs the crafted vectors are
+// bit-identical — the property the sidecar loopback test pins.
+package attack
+
+import (
+	"fmt"
+
+	"byzshield/internal/linalg"
+)
+
+// Moments is one round's coalition share: the per-coordinate mean and
+// standard deviation of the full file-gradient population, plus the
+// coalition size the z-derivation uses.
+type Moments struct {
+	Round   int
+	Members int
+	Mu      []float64
+	Sigma   []float64
+}
+
+// Coordinator supplies the gradient-population moments of a round. The
+// returned slices stay valid only until the next call.
+type Coordinator interface {
+	RoundMoments(ctx *Context) (Moments, error)
+}
+
+// Coordinated is implemented by attacks that can run from coordinator-
+// supplied moments instead of the omniscient context. The crafted
+// vectors must be bit-identical to the uncoordinated path when the
+// coordinator reproduces the omniscient moments.
+type Coordinated interface {
+	Attack
+	BeginRoundCoordinated(ctx *Context, s *Scratch, coord Coordinator) (Crafter, error)
+}
+
+// Loopback is the in-process Coordinator: it computes the moments
+// directly from Context.FileGradients with the same accumulation order
+// as ALIE's scratch path, into buffers it owns (one Loopback serves one
+// engine; steady state allocates nothing).
+type Loopback struct {
+	mu, sigma []float64
+}
+
+// RoundMoments implements Coordinator.
+func (l *Loopback) RoundMoments(ctx *Context) (Moments, error) {
+	if len(ctx.FileGradients) == 0 {
+		return Moments{}, fmt.Errorf("attack: loopback coordinator needs the omniscient file gradients")
+	}
+	mu := linalg.MeanVecInto(grow(&l.mu, ctx.Dim), ctx.FileGradients)
+	sigma := linalg.StdVecInto(grow(&l.sigma, ctx.Dim), mu, ctx.FileGradients)
+	return Moments{Round: ctx.Round, Members: ctx.ExpectedCorrupted, Mu: mu, Sigma: sigma}, nil
+}
+
+// BeginWith dispatches like Begin but routes Coordinated attacks
+// through the coordinator when one is supplied.
+func BeginWith(a Attack, ctx *Context, s *Scratch, coord Coordinator) (Crafter, error) {
+	if ca, ok := a.(Coordinated); ok && coord != nil {
+		return ca.BeginRoundCoordinated(ctx, s, coord)
+	}
+	return Begin(a, ctx, s), nil
+}
+
+// BeginRoundCoordinated implements Coordinated: µ − z·σ from the
+// coordinator's share, with z derived from the coalition size the share
+// reports (so a cross-process coalition and the in-process omniscient
+// attacker agree on z without further negotiation).
+func (a ALIE) BeginRoundCoordinated(ctx *Context, s *Scratch, coord Coordinator) (Crafter, error) {
+	m, err := coord.RoundMoments(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Mu) != len(m.Sigma) {
+		return nil, fmt.Errorf("attack: coordinator share has %d mean but %d sigma values", len(m.Mu), len(m.Sigma))
+	}
+	z := a.ZOverride
+	if z == 0 {
+		z = ZMax(ctx.Participants, m.Members)
+	}
+	payload := grow(&s.payload, len(m.Mu))
+	for i := range payload {
+		payload[i] = m.Mu[i] - z*m.Sigma[i]
+	}
+	return func(int, []float64) []float64 {
+		return payload
+	}, nil
+}

@@ -59,8 +59,11 @@ type roundArena struct {
 	missing []bool
 	// update is the aggregated model update.
 	update []float64
-	// replicas[w] is pool-goroutine w's replica gather scratch (cap R).
-	replicas [][][]float64
+	// replicas[w] is pool-goroutine w's replica gather scratch (cap R);
+	// replWorkers[w] the matching replica-owner worker ids (consumed by
+	// the reputation-weighted tie-break).
+	replicas    [][][]float64
+	replWorkers [][]int
 	// distorted[w], degraded[w], dropped[w], and voteErrs[w] accumulate
 	// pool-goroutine w's distorted-vote / degraded-vote / dropped-file
 	// counts and first vote error; summed/joined after the phase barrier.
@@ -212,8 +215,10 @@ func newRoundArena(a *assign.Assignment, dim int, byzSet map[int]bool, measureCo
 	ar.missing = make([]bool, a.K)
 	ar.update = make([]float64, dim)
 	ar.replicas = make([][][]float64, poolWidth)
+	ar.replWorkers = make([][]int, poolWidth)
 	for w := range ar.replicas {
 		ar.replicas[w] = make([][]float64, 0, maxR)
+		ar.replWorkers[w] = make([]int, 0, maxR)
 	}
 	ar.distorted = make([]int, poolWidth)
 	ar.degraded = make([]int, poolWidth)

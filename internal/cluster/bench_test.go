@@ -19,6 +19,7 @@ import (
 	"byzshield/internal/assign"
 	"byzshield/internal/attack"
 	"byzshield/internal/data"
+	"byzshield/internal/detect"
 	"byzshield/internal/distort"
 	"byzshield/internal/model"
 	"byzshield/internal/trainer"
@@ -114,6 +115,19 @@ func BenchmarkRound(b *testing.B) {
 		cfg := quickstartConfig(b)
 		cfg.MeasureComm = true
 		cfg.BroadcastFullEvery = 16
+		benchRounds(b, cfg)
+	})
+	// PS-side detection on the hot path: per-worker feature extraction
+	// (report norm, cosine to the fleet median, robust z-scores into the
+	// ring buffers) plus the detector verdict every round. MinRounds is
+	// pushed past any b.N so no worker is ever blacklisted — a shrinking
+	// fleet computes fewer gradients and would flatter the number — so
+	// the delta against serial is the detection layer's whole cost.
+	b.Run("detect-zscore", func(b *testing.B) {
+		cfg := quickstartConfig(b)
+		cfg.Parallelism = 1
+		cfg.Detector = detect.ZScore{}
+		cfg.Detection = detect.Params{MinRounds: 1 << 30}
 		benchRounds(b, cfg)
 	})
 }

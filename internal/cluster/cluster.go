@@ -44,6 +44,7 @@ import (
 	"byzshield/internal/assign"
 	"byzshield/internal/attack"
 	"byzshield/internal/data"
+	"byzshield/internal/detect"
 	"byzshield/internal/fault"
 	"byzshield/internal/model"
 	"byzshield/internal/trainer"
@@ -102,6 +103,18 @@ type Config struct {
 	// voted over the survivors (a degraded vote). 0 selects the majority
 	// of the nominal replication, R/2 + 1.
 	Quorum int
+	// Detector enables the PS-side Byzantine detection and reputation
+	// layer (internal/detect): after every collection the engine sums
+	// each live worker's replicas into a report, derives robust history
+	// features, and lets the detector flag outliers; persistently
+	// flagged workers are blacklisted out of all later rounds. nil (or
+	// detect.None) disables the pipeline entirely. Unlike the in-process
+	// attack knobs, detection is a PS-side behavior and composes with
+	// Source.
+	Detector detect.Detector
+	// Detection tunes the reputation policy (window, decay, blacklist
+	// floor); zero fields select the documented detect defaults.
+	Detection detect.Params
 	// Source overrides how gradients enter the round: nil selects the
 	// in-process compute source (Algorithm 1's simulated cluster); the
 	// TCP parameter server installs its network collector here. When
@@ -173,6 +186,16 @@ type RoundStats struct {
 	// their round and were retired without entering any vote (network
 	// sources only; the reader pumps retire them the moment they land).
 	StaleFrames int
+	// MeanReputation is the fleet-wide mean reputation after this
+	// round's detection pass; 1 when detection is off.
+	MeanReputation float64
+	// FlaggedWorkers counts workers the detector flagged this round.
+	FlaggedWorkers int
+	// BlacklistedWorkers lists workers newly blacklisted this round,
+	// ascending; nil on rounds without a fresh blacklisting.
+	BlacklistedWorkers []int
+	// Blacklisted is the cumulative blacklist size after this round.
+	Blacklisted int
 	Times       PhaseTimes
 }
 
@@ -199,9 +222,16 @@ type Engine struct {
 	// is reseeded per round (identical stream to a freshly constructed
 	// one) and the context struct is updated in place, so the Byzantine
 	// path allocates nothing in steady state.
-	atkRng    *rand.Rand
-	atkCtx    attack.Context
-	atkScr    attack.Scratch
+	atkRng *rand.Rand
+	atkCtx attack.Context
+	atkScr attack.Scratch
+	// atkCoord is the in-process moment coordinator backing omniscient
+	// attacks; the same seam the cross-process sidecar fills over TCP.
+	atkCoord attack.Loopback
+	// det and detSt are the detection/reputation layer; both nil when
+	// detection is off (detect.None or unset).
+	det       detect.Detector
+	detSt     *detect.State
 	closeOnce sync.Once
 	closed    bool
 }
@@ -294,7 +324,14 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	e.corruptible = e.computeCorruptible()
-	e.arena = newRoundArena(cfg.Assignment, cfg.Model.NumParams(), byzSet, cfg.MeasureComm, cfg.Fault != nil, width)
+	if !detect.IsNone(cfg.Detector) {
+		e.det = cfg.Detector
+		e.detSt = detect.NewState(cfg.Assignment.K, cfg.Model.NumParams(), cfg.Detection)
+	}
+	// A fault model or a live detector can both remove workers mid-run
+	// (faults by plan, detection by blacklist), so either forces the
+	// full-oracle arena: any file's live honest replicas may vanish.
+	e.arena = newRoundArena(cfg.Assignment, cfg.Model.NumParams(), byzSet, cfg.MeasureComm, cfg.Fault != nil || e.det != nil, width)
 	e.rd = Round{eng: e}
 	if len(byzSet) > 0 {
 		e.atkRng = rand.New(rand.NewSource(cfg.Seed))
@@ -469,10 +506,43 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 	for u := range ar.missing {
 		ar.missing[u] = false
 	}
+	// Blacklisted workers are out of the protocol for good: marked
+	// missing before collection so no source computes for (or waits on)
+	// them.
+	if e.detSt != nil {
+		for _, u := range e.detSt.Blacklist() {
+			ar.missing[u] = true
+		}
+	}
 	e.rd.files = files
 	cs, err := e.src.Collect(ctx, &e.rd)
 	if err != nil {
 		return RoundStats{}, err
+	}
+
+	// --- Detection: between collection and aggregation, sum each live
+	// worker's replicas into its report row (sharded across the pool;
+	// each task owns one row, so any width observes identical features),
+	// derive the round's robust features, and let the detector update
+	// reputations. Workers blacklisted this round are removed before
+	// their replicas can enter any vote.
+	if e.detSt != nil {
+		e.detSt.BeginRound()
+		e.runPhase(a.K, func(_, u int) {
+			if ar.missing[u] {
+				return
+			}
+			r := e.detSt.Report(u)
+			for _, g := range ar.cur[u] {
+				for i, x := range g {
+					r[i] += x
+				}
+			}
+		})
+		e.detSt.Observe(e.det)
+		for _, u := range e.detSt.NewlyBlacklisted() {
+			ar.missing[u] = true
+		}
 	}
 
 	// --- Aggregation phase: per-file majority votes over the surviving
@@ -489,11 +559,13 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 	}
 	e.runPhase(a.F, func(w, v int) {
 		repl := ar.replicas[w][:0]
+		workers := ar.replWorkers[w][:0]
 		for _, ref := range ar.fileReplicas[v] {
 			if ar.missing[ref.worker] {
 				continue
 			}
 			repl = append(repl, ar.cur[ref.worker][ref.slot])
+			workers = append(workers, ref.worker)
 		}
 		if len(repl) < e.quorum {
 			ar.winners[v] = nil
@@ -518,6 +590,18 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 			return
 		}
 		if degradedVote {
+			if res.Tied && e.detSt != nil {
+				// Reputation-weighted runoff: with a detection layer the
+				// PS knows how much it trusts each supporter, so a tied
+				// degraded vote elects the candidate whose supporters
+				// carry strictly more total reputation — recovering files
+				// that would otherwise drop once the attackers' scores
+				// have collapsed.
+				if win, ok := e.resolveDegradedTie(repl, workers); ok {
+					res.Winner = win
+					res.Tied = false
+				}
+			}
 			if res.Tied {
 				// A degraded vote with no strict plurality is
 				// indistinguishable from an attacker-controlled one:
@@ -602,6 +686,7 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 		Rejoins:            cs.Rejoins,
 		Evictions:          cs.Evictions,
 		StaleFrames:        cs.StaleFrames,
+		MeanReputation:     1,
 		Times: PhaseTimes{
 			Compute:        cs.Compute,
 			Communication:  cs.Communication,
@@ -611,9 +696,73 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 			BroadcastBytes: cs.BroadcastBytes,
 		},
 	}
+	if e.detSt != nil {
+		stats.MeanReputation = e.detSt.MeanReputation()
+		stats.FlaggedWorkers = len(e.detSt.Flagged())
+		if nb := e.detSt.NewlyBlacklisted(); len(nb) > 0 {
+			stats.BlacklistedWorkers = append([]int(nil), nb...)
+		}
+		stats.Blacklisted = e.detSt.BlacklistCount()
+	}
 	e.times.Add(stats.Times)
 	e.iter++
 	return stats, nil
+}
+
+// resolveDegradedTie elects among a tied degraded vote's replicas by
+// supporter reputation: candidates are grouped by bit-exact equality,
+// each group scored with the summed reputation of its supporters, and
+// the strictly best group wins. A reputation tie keeps the vote tied
+// (the caller drops the file). Replica counts are at most R, so the
+// quadratic grouping is trivial.
+func (e *Engine) resolveDegradedTie(repl [][]float64, workers []int) ([]float64, bool) {
+	best := -1
+	bestRep := 0.0
+	unique := false
+	for i := range repl {
+		dup := false
+		for j := 0; j < i; j++ {
+			if equalBits(repl[j], repl[i]) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		sum := 0.0
+		for j := i; j < len(repl); j++ {
+			if equalBits(repl[i], repl[j]) {
+				sum += e.detSt.Reputation(workers[j])
+			}
+		}
+		switch {
+		case best < 0 || sum > bestRep:
+			best, bestRep, unique = i, sum, true
+		case sum == bestRep:
+			unique = false
+		}
+	}
+	if best >= 0 && unique {
+		return repl[best], true
+	}
+	return nil, false
+}
+
+// BlacklistedWorker reports whether the detection layer has blacklisted
+// worker u; always false when detection is off. The TCP server consults
+// this to refuse rejoin tokens of evicted outliers.
+func (e *Engine) BlacklistedWorker(u int) bool {
+	return e.detSt != nil && e.detSt.Blacklisted(u)
+}
+
+// MeanReputation returns the fleet-wide mean reputation (1 when
+// detection is off).
+func (e *Engine) MeanReputation() float64 {
+	if e.detSt == nil {
+		return 1
+	}
+	return e.detSt.MeanReputation()
 }
 
 // aggregate reduces the vote winners into the arena's update vector

@@ -205,7 +205,10 @@ func (s localSource) Collect(_ context.Context, rd *Round) (CollectStats, error)
 			FileSize:          float64(e.cfg.BatchSize) / float64(a.F),
 			Rng:               e.atkRng,
 		}
-		craft := attack.Begin(e.cfg.Attack, &e.atkCtx, &e.atkScr)
+		craft, err := attack.BeginWith(e.cfg.Attack, &e.atkCtx, &e.atkScr, &e.atkCoord)
+		if err != nil {
+			return CollectStats{}, fmt.Errorf("cluster: attack coordinator: %w", err)
+		}
 		for _, v := range ar.byzFiles {
 			ar.crafted[v] = craft(v, ar.trueGrads[v])
 		}

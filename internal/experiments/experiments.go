@@ -44,6 +44,10 @@ type TrainOpts struct {
 	Seed       int64
 	// SearchBudget bounds the worst-case Byzantine search per run.
 	SearchBudget time.Duration
+	// Detector names the registry detector the PS runs during timed
+	// experiments ("" or "none" = detection off) — how the timing suite
+	// measures the detection layer's overhead.
+	Detector string
 }
 
 // DefaultTrainOpts returns laptop-scale defaults: a 10-class synthetic

@@ -9,6 +9,7 @@ import (
 	"byzshield/internal/attack"
 	"byzshield/internal/cluster"
 	"byzshield/internal/data"
+	"byzshield/internal/detect"
 	"byzshield/internal/model"
 )
 
@@ -31,6 +32,11 @@ type TimingRow struct {
 	// XOR deltas otherwise).
 	BroadcastBytes int64
 	Rounds         int
+	// MeanReputation is the fleet's mean reputation after the last
+	// round (1 when detection is off); Blacklisted the final blacklist
+	// size.
+	MeanReputation float64
+	Blacklisted    int
 }
 
 // PerIteration returns the phase times divided by the round count.
@@ -96,6 +102,12 @@ func timeOne(ctx context.Context, name string, spec RunSpec, opts TrainOpts, rou
 	if agg == nil {
 		agg = aggregate.Median{}
 	}
+	var det detect.Detector
+	if opts.Detector != "" {
+		if det, err = components.Detector(opts.Detector); err != nil {
+			return TimingRow{}, err
+		}
+	}
 	eng, err := cluster.New(cluster.Config{
 		Assignment:  asn,
 		Model:       mdl,
@@ -108,6 +120,7 @@ func timeOne(ctx context.Context, name string, spec RunSpec, opts TrainOpts, rou
 		Schedule:    defaultSchedule,
 		Momentum:    0.9,
 		Seed:        opts.Seed,
+		Detector:    det,
 		MeasureComm: true,
 		// Delta parameter broadcasts with a periodic full refresh — the
 		// steady-state policy of the TCP server, so the measured
@@ -118,10 +131,14 @@ func timeOne(ctx context.Context, name string, spec RunSpec, opts TrainOpts, rou
 		return TimingRow{}, err
 	}
 	defer eng.Close()
+	meanRep, blacklisted := 1.0, 0
 	for t := 0; t < rounds; t++ {
-		if _, err := eng.StepOnce(ctx); err != nil {
+		stats, err := eng.StepOnce(ctx)
+		if err != nil {
 			return TimingRow{}, err
 		}
+		meanRep = stats.MeanReputation
+		blacklisted = stats.Blacklisted
 	}
 	times := eng.Times()
 	return TimingRow{
@@ -133,5 +150,7 @@ func timeOne(ctx context.Context, name string, spec RunSpec, opts TrainOpts, rou
 		ReportRawBytes: times.ReportRawBytes,
 		BroadcastBytes: times.BroadcastBytes,
 		Rounds:         rounds,
+		MeanReputation: meanRep,
+		Blacklisted:    blacklisted,
 	}, nil
 }

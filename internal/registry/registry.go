@@ -1,10 +1,10 @@
 // Package registry is the named-component catalog of the system: it
-// maps string names to constructors for the four pluggable component
-// kinds — assignment schemes, aggregation rules, Byzantine attacks, and
-// worker fault models — so that config files, wire specs
-// (internal/transport.Spec), CLI flags, and experiment definitions all
-// resolve components through one table instead of hand-rolled switch
-// statements.
+// maps string names to constructors for the five pluggable component
+// kinds — assignment schemes, aggregation rules, Byzantine attacks,
+// worker fault models, and PS-side Byzantine detectors — so that config
+// files, wire specs (internal/transport.Spec), CLI flags, and
+// experiment definitions all resolve components through one table
+// instead of hand-rolled switch statements.
 //
 // A Registry is safe for concurrent use. NewBuiltin returns a registry
 // pre-populated with every construction implemented in the repository;
@@ -26,6 +26,7 @@ import (
 	"byzshield/internal/aggregate"
 	"byzshield/internal/assign"
 	"byzshield/internal/attack"
+	"byzshield/internal/detect"
 	"byzshield/internal/fault"
 )
 
@@ -94,6 +95,29 @@ type FaultParams struct {
 	Seed    int64
 }
 
+// DetectorParams carries the knobs of the PS-side Byzantine detectors
+// and the reputation policy they share. Zero values take the defaults
+// documented in internal/detect:
+//
+//	zscore   Threshold (window-score cutoff, 0 → 3.0)
+//	cluster  Threshold (2-means center separation, 0 → 2.0)
+//	(all)    Window, MinRounds, Decay, BlacklistBelow (policy knobs)
+type DetectorParams struct {
+	Window         int
+	MinRounds      int
+	Decay          float64
+	Threshold      float64
+	BlacklistBelow float64
+}
+
+// Policy converts the wire/CLI params to the detect-layer policy.
+func (p DetectorParams) Policy() detect.Params {
+	return detect.Params{
+		Window: p.Window, MinRounds: p.MinRounds,
+		Decay: p.Decay, Threshold: p.Threshold, BlacklistBelow: p.BlacklistBelow,
+	}
+}
+
 // SchemeCtor builds an assignment from params.
 type SchemeCtor func(SchemeParams) (*assign.Assignment, error)
 
@@ -105,6 +129,9 @@ type AttackCtor func(AttackParams) (attack.Attack, error)
 
 // FaultCtor builds a fault model from params.
 type FaultCtor func(FaultParams) (fault.Fault, error)
+
+// DetectorCtor builds a Byzantine detector from params.
+type DetectorCtor func(DetectorParams) (detect.Detector, error)
 
 // entry is one registered constructor with its canonical name.
 type entry[C any] struct {
@@ -119,6 +146,7 @@ type Registry struct {
 	aggregators map[string]entry[AggregatorCtor]
 	attacks     map[string]entry[AttackCtor]
 	faults      map[string]entry[FaultCtor]
+	detectors   map[string]entry[DetectorCtor]
 }
 
 // New returns an empty registry.
@@ -128,6 +156,7 @@ func New() *Registry {
 		aggregators: make(map[string]entry[AggregatorCtor]),
 		attacks:     make(map[string]entry[AttackCtor]),
 		faults:      make(map[string]entry[FaultCtor]),
+		detectors:   make(map[string]entry[DetectorCtor]),
 	}
 }
 
@@ -202,6 +231,13 @@ func (r *Registry) RegisterFault(ctor FaultCtor, canonical string, aliases ...st
 	return register(r.faults, ctor, canonical, aliases...)
 }
 
+// RegisterDetector adds a Byzantine-detector constructor.
+func (r *Registry) RegisterDetector(ctor DetectorCtor, canonical string, aliases ...string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return register(r.detectors, ctor, canonical, aliases...)
+}
+
 // Scheme builds the named assignment scheme. Params may be omitted for
 // schemes whose constructor needs none.
 func (r *Registry) Scheme(name string, params ...SchemeParams) (*assign.Assignment, error) {
@@ -247,6 +283,17 @@ func (r *Registry) Fault(name string, params ...FaultParams) (fault.Fault, error
 	return ctor(first(params))
 }
 
+// Detector builds the named Byzantine detector.
+func (r *Registry) Detector(name string, params ...DetectorParams) (detect.Detector, error) {
+	r.mu.RLock()
+	ctor, err := lookup(r.detectors, "detector", name)
+	r.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	return ctor(first(params))
+}
+
 // Schemes lists the canonical scheme names, sorted.
 func (r *Registry) Schemes() []string {
 	r.mu.RLock()
@@ -275,6 +322,13 @@ func (r *Registry) Faults() []string {
 	return canonicalNames(r.faults)
 }
 
+// Detectors lists the canonical detector names, sorted.
+func (r *Registry) Detectors() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return canonicalNames(r.detectors)
+}
+
 // first returns the only params value, or the zero value when omitted.
 func first[P any](ps []P) P {
 	if len(ps) > 0 {
@@ -285,7 +339,8 @@ func first[P any](ps []P) P {
 }
 
 // NewBuiltin returns a registry pre-populated with every scheme,
-// aggregator, and attack implemented in the repository.
+// aggregator, attack, fault model, and detector implemented in the
+// repository.
 func NewBuiltin() *Registry {
 	r := New()
 	mustRegisterBuiltins(r)
@@ -412,4 +467,15 @@ func mustRegisterBuiltins(r *Registry) {
 		}
 		return fault.Flaky{Workers: p.Workers, P: p.P, Seed: p.Seed}, nil
 	}, "flaky"))
+
+	// Byzantine detectors.
+	must(r.RegisterDetector(func(DetectorParams) (detect.Detector, error) {
+		return detect.None{}, nil
+	}, "none", "no-detector"))
+	must(r.RegisterDetector(func(p DetectorParams) (detect.Detector, error) {
+		return detect.ZScore{Threshold: p.Threshold}, nil
+	}, "zscore", "z-score"))
+	must(r.RegisterDetector(func(p DetectorParams) (detect.Detector, error) {
+		return detect.KMeans{Threshold: p.Threshold}, nil
+	}, "cluster", "kmeans"))
 }

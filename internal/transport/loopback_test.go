@@ -35,11 +35,16 @@ func engineParams(t *testing.T, spec Spec, parallelism int) []float64 {
 	if err != nil {
 		t.Fatal(err)
 	}
+	det, err := spec.BuildDetector()
+	if err != nil {
+		t.Fatal(err)
+	}
 	eng, err := cluster.New(cluster.Config{
 		Assignment: asn, Model: mdl, Train: train, Test: test,
 		BatchSize: spec.BatchSize, Aggregator: agg,
 		Schedule: spec.Schedule, Momentum: spec.Momentum, Seed: spec.Seed,
 		Parallelism: parallelism,
+		Detector:    det, Detection: spec.DetectorParams.Policy(),
 	})
 	if err != nil {
 		t.Fatal(err)

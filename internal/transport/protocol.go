@@ -1,6 +1,6 @@
 // Package transport implements a real network transport for the
 // training protocol: a TCP parameter server and worker clients speaking
-// the framed v3 control protocol over net.Conn. This is the repository's
+// the framed v4 control protocol over net.Conn. This is the repository's
 // substitute for the paper's MPICH deployment — cmd/byzps and
 // cmd/byzworker run the same synchronous rounds as the in-process engine
 // across OS processes (or machines). The server executes every round
@@ -9,15 +9,24 @@
 // aggregates, and steps exactly like the in-process engine and
 // reproduces its parameter trajectory bit-for-bit for the same Spec.
 //
-// Wire protocol v3 (every message one self-delimiting frame, see
+// Wire protocol v4 (every message one self-delimiting frame, see
 // internal/wire: magic, version, type, length header + canonical
 // little-endian binary payload):
 //
 //	worker → PS:  Hello{WorkerID, Version, Token, Resume}
 //	PS → worker:  Welcome{Version, Token, FullEvery, UplinkDeltas, Spec}
+//	PS → worker:  Reject{Code, Reason}
 //	PS → worker:  RoundStart{Iteration, BaseIteration, ParamsFrame, Files}
 //	worker → PS:  GradientReport{WorkerID, Iteration, Frame}
 //	PS → worker:  Shutdown{FinalAccuracy}
+//
+// v4 adds the detector configuration to the Spec payload (the PS-side
+// detection/reputation layer of internal/detect is part of the
+// experiment description, so observers evaluating the same Spec agree
+// on it) and the typed Reject frame: a blacklisted worker presenting a
+// valid session token is refused with Reject{RejectBlacklisted} instead
+// of a silent close, so the worker process knows the eviction is
+// permanent and stops reconnecting.
 //
 // Version negotiation happens in Hello/Welcome: both sides state the
 // protocol version they speak (additionally stamped on every frame
@@ -65,6 +74,7 @@ import (
 	"byzshield/internal/aggregate"
 	"byzshield/internal/assign"
 	"byzshield/internal/data"
+	"byzshield/internal/detect"
 	"byzshield/internal/fault"
 	"byzshield/internal/model"
 	"byzshield/internal/registry"
@@ -79,6 +89,7 @@ const (
 	msgRoundStart
 	msgGradientReport
 	msgShutdown
+	msgReject
 )
 
 // FaultSpec names one registry fault model with its parameters, so a
@@ -133,6 +144,13 @@ type Spec struct {
 	// flaky AND worker 9 straggling). All named models resolve through
 	// the registry and stack via fault.Stack.
 	Faults []FaultSpec
+	// Detector names the registry detector the PS runs between
+	// collection and aggregation ("" or "none" = detection off);
+	// DetectorParams carries the reputation policy knobs. Part of the
+	// Spec so every observer of the run agrees on the detection
+	// configuration.
+	Detector       string
+	DetectorParams registry.DetectorParams
 }
 
 // components is the shared catalog every Spec resolves names through;
@@ -173,6 +191,16 @@ func (s *Spec) BuildData() (train, test *data.Dataset, err error) {
 		Train: s.TrainN, Test: s.TestN, Dim: s.Dim, Classes: s.Classes,
 		Seed: s.DataSeed, ClassSep: s.ClassSep,
 	})
+}
+
+// BuildDetector constructs the detection rule named by the spec
+// (detect.None when unset).
+func (s *Spec) BuildDetector() (detect.Detector, error) {
+	name := s.Detector
+	if name == "" {
+		name = "none"
+	}
+	return components.Detector(name, s.DetectorParams)
 }
 
 // BuildFault constructs the worker fault model named by the spec:
@@ -244,6 +272,12 @@ func appendSpec(dst []byte, s *Spec) ([]byte, error) {
 			return nil, err
 		}
 	}
+	dst = wire.AppendString(dst, s.Detector)
+	dst = wire.AppendU32(dst, uint32(s.DetectorParams.Window))
+	dst = wire.AppendU32(dst, uint32(s.DetectorParams.MinRounds))
+	dst = wire.AppendF64(dst, s.DetectorParams.Decay)
+	dst = wire.AppendF64(dst, s.DetectorParams.Threshold)
+	dst = wire.AppendF64(dst, s.DetectorParams.BlacklistBelow)
 	return dst, nil
 }
 
@@ -280,7 +314,7 @@ func decodeSpec(d *wire.Dec, s *Spec) {
 	s.Seed = d.I64()
 	s.Rounds = d.Int()
 	n := d.Int()
-	if d.Err() != nil || n == 0 {
+	if d.Err() != nil {
 		return
 	}
 	if n > 1<<16 {
@@ -289,17 +323,25 @@ func decodeSpec(d *wire.Dec, s *Spec) {
 		d.Skip(1 << 30)
 		return
 	}
-	s.Faults = make([]FaultSpec, 0, n)
-	for i := 0; i < n; i++ {
-		var fs FaultSpec
-		fs.Name = d.String()
-		fs.Params.Workers = d.Ints()
-		fs.Params.Round = d.Int()
-		fs.Params.P = d.F64()
-		fs.Params.Delay = time.Duration(d.I64())
-		fs.Params.Seed = d.I64()
-		s.Faults = append(s.Faults, fs)
+	if n > 0 {
+		s.Faults = make([]FaultSpec, 0, n)
+		for i := 0; i < n; i++ {
+			var fs FaultSpec
+			fs.Name = d.String()
+			fs.Params.Workers = d.Ints()
+			fs.Params.Round = d.Int()
+			fs.Params.P = d.F64()
+			fs.Params.Delay = time.Duration(d.I64())
+			fs.Params.Seed = d.I64()
+			s.Faults = append(s.Faults, fs)
+		}
 	}
+	s.Detector = d.String()
+	s.DetectorParams.Window = d.Int()
+	s.DetectorParams.MinRounds = d.Int()
+	s.DetectorParams.Decay = d.F64()
+	s.DetectorParams.Threshold = d.F64()
+	s.DetectorParams.BlacklistBelow = d.F64()
 }
 
 // --- Messages -------------------------------------------------------
@@ -489,6 +531,36 @@ func (m *GradientReport) decodePayload(src []byte) error {
 	return d.Err()
 }
 
+// Reject codes.
+const (
+	// RejectBlacklisted refuses a rejoin because the detection layer
+	// blacklisted the worker: the session token is valid but permanently
+	// revoked, so the worker must stop reconnecting.
+	RejectBlacklisted uint8 = 1
+)
+
+// Reject is the PS's typed refusal of a handshake: unlike a silent
+// close, it tells the worker process why it cannot enter the run (and
+// whether retrying can ever help).
+type Reject struct {
+	Code   uint8
+	Reason string
+}
+
+func (Reject) wireType() byte { return msgReject }
+
+func (m Reject) appendPayload(dst []byte) ([]byte, error) {
+	dst = wire.AppendU8(dst, m.Code)
+	return wire.AppendString(dst, m.Reason), nil
+}
+
+func (m *Reject) decodePayload(src []byte) error {
+	d := wire.NewDec(src)
+	m.Code = d.U8()
+	m.Reason = d.String()
+	return d.Done()
+}
+
 // Shutdown terminates a worker at the end of training.
 type Shutdown struct {
 	FinalAccuracy float64
@@ -631,6 +703,12 @@ func decodeMessage(typ byte, body []byte) (any, error) {
 		return m, nil
 	case msgShutdown:
 		var m Shutdown
+		if err := m.decodePayload(body); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case msgReject:
+		var m Reject
 		if err := m.decodePayload(body); err != nil {
 			return nil, err
 		}

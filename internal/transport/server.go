@@ -104,6 +104,9 @@ type Counters struct {
 	// their round and were retired by the reader pumps without entering
 	// any vote.
 	StaleFrames int64
+	// BlacklistRejections counts rejoin attempts refused with a typed
+	// Reject because the detection layer blacklisted the worker.
+	BlacklistRejections int64
 }
 
 // Server is the TCP parameter server: it accepts K workers and drives
@@ -185,6 +188,10 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.FullBroadcastEvery < 1 {
 		return nil, fmt.Errorf("transport: full-broadcast cadence %d < 1", cfg.FullBroadcastEvery)
 	}
+	det, err := cfg.Spec.BuildDetector()
+	if err != nil {
+		return nil, err
+	}
 	src := newWireSource(asn, cfg.RoundTimeout, cfg.FullBroadcastEvery, cfg.Logf)
 	eng, err := cluster.New(cluster.Config{
 		Assignment:  asn,
@@ -198,6 +205,8 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		Seed:        cfg.Spec.Seed,
 		Quorum:      cfg.Quorum,
 		Parallelism: cfg.Parallelism,
+		Detector:    det,
+		Detection:   cfg.Spec.DetectorParams.Policy(),
 		Source:      src,
 	})
 	if err != nil {
@@ -253,10 +262,11 @@ func (s *Server) Params() []float64 { return s.eng.Params() }
 // Counters returns the cumulative connection-lifecycle totals.
 func (s *Server) Counters() Counters {
 	return Counters{
-		Joins:       s.src.joins.Load(),
-		Rejoins:     s.src.rejoins.Load(),
-		Evictions:   s.src.evictions.Load(),
-		StaleFrames: s.src.staleFrames.Load(),
+		Joins:               s.src.joins.Load(),
+		Rejoins:             s.src.rejoins.Load(),
+		Evictions:           s.src.evictions.Load(),
+		StaleFrames:         s.src.staleFrames.Load(),
+		BlacklistRejections: s.src.blacklistRejections.Load(),
 	}
 }
 
@@ -346,6 +356,13 @@ func (s *Server) handshake(ctx context.Context, conn *Conn) {
 	ws.mu.Lock()
 	w := &ws.workers[hello.WorkerID]
 	switch {
+	case w.blacklisted:
+		// Blacklist beats token validation: even a valid session token is
+		// permanently revoked, and the worker is told so with a typed
+		// Reject instead of a silent close.
+		ws.mu.Unlock()
+		s.rejectBlacklisted(conn, hello.WorkerID)
+		return
 	case !w.joined:
 		// First join: reserve the slot (blocks duplicate Hellos) but do
 		// NOT publish the connection yet — it becomes visible to the
@@ -397,6 +414,12 @@ func (s *Server) handshake(ctx context.Context, conn *Conn) {
 		return
 	}
 	w = &ws.workers[hello.WorkerID]
+	if w.blacklisted {
+		// Blacklisted while the Welcome was in flight.
+		ws.mu.Unlock()
+		s.rejectBlacklisted(conn, hello.WorkerID)
+		return
+	}
 	w.token = token
 	var stale []*Conn
 	if hello.Resume {
@@ -426,6 +449,21 @@ func (s *Server) handshake(ctx context.Context, conn *Conn) {
 		default:
 		}
 	}
+}
+
+// rejectBlacklisted refuses a blacklisted worker's handshake with a
+// typed Reject frame and counts the refusal.
+func (s *Server) rejectBlacklisted(conn *Conn, u int) {
+	s.src.blacklistRejections.Add(1)
+	s.cfg.Logf("rejecting %s: worker %d is blacklisted", conn.RemoteAddr(), u)
+	conn.SetWriteDeadline(time.Now().Add(helloTimeout))
+	if _, err := conn.Send(Reject{
+		Code:   RejectBlacklisted,
+		Reason: fmt.Sprintf("worker %d blacklisted by the detection layer", u),
+	}); err != nil {
+		s.cfg.Logf("reject send to %s: %v", conn.RemoteAddr(), err)
+	}
+	conn.Close()
 }
 
 // evalJob is one background evaluation request: the round it belongs to
@@ -528,6 +566,12 @@ func (s *Server) Serve(ctx context.Context) (float64, error) {
 		if stats.AggregatorDegraded {
 			s.cfg.Logf("round %d: aggregator below feasibility floor, degraded to median", t)
 		}
+		// Detection verdicts: tear down newly blacklisted workers'
+		// connections and revoke their rejoin tokens before the next
+		// round broadcasts.
+		for _, u := range stats.BlacklistedWorkers {
+			s.src.blacklist(u)
+		}
 		if s.cfg.OnRound != nil {
 			s.cfg.OnRound(stats)
 		}
@@ -571,6 +615,10 @@ type workerEntry struct {
 	token uint64
 	// joined records that the worker completed a first handshake.
 	joined bool
+	// blacklisted records that the detection layer evicted the worker
+	// permanently: its token stays on file but every handshake is
+	// refused with Reject{RejectBlacklisted}.
+	blacklisted bool
 	// lastAck is the last iteration for which the worker returned a
 	// valid report (implying it received and applied that round's
 	// parameter broadcast); -1 after (re)join forces a full broadcast.
@@ -829,6 +877,7 @@ type wireSource struct {
 
 	// Cumulative lifecycle counters (see Counters).
 	joins, rejoins, evictions, staleFrames atomic.Int64
+	blacklistRejections                    atomic.Int64
 	// lastEvictions/lastStaleFrames are the totals at the end of the
 	// previous collection, so each round reports the delta — including
 	// events that landed between rounds.
@@ -997,6 +1046,11 @@ func (ws *wireSource) admitPending(t int) int {
 	for u := range ws.workers {
 		w := &ws.workers[u]
 		if w.pending == nil {
+			continue
+		}
+		if w.blacklisted {
+			w.pending.Close()
+			w.pending = nil
 			continue
 		}
 		if w.conn != nil {
@@ -1235,6 +1289,27 @@ func (ws *wireSource) ack(u, t int) {
 	ws.mu.Lock()
 	ws.workers[u].lastAck = t
 	ws.mu.Unlock()
+}
+
+// blacklist evicts worker u permanently on the detection layer's
+// verdict: any live or pending connection is closed and every later
+// handshake — even with the valid session token — is refused with a
+// typed Reject. The closed connection's pump exit is not double-counted
+// as an eviction (the slot is already cleared).
+func (ws *wireSource) blacklist(u int) {
+	ws.mu.Lock()
+	w := &ws.workers[u]
+	w.blacklisted = true
+	conn, pending := w.conn, w.pending
+	w.conn, w.pending = nil, nil
+	ws.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	if pending != nil {
+		pending.Close()
+	}
+	ws.logf("worker %d blacklisted: connection closed, rejoin token revoked", u)
 }
 
 // evict tears down a connection whose stream broke or misbehaved: it

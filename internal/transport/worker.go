@@ -8,8 +8,12 @@ import (
 	"slices"
 	"time"
 
+	"byzshield/internal/advnet"
+	"byzshield/internal/assign"
+	"byzshield/internal/attack"
 	"byzshield/internal/data"
 	"byzshield/internal/fault"
+	"byzshield/internal/linalg"
 	"byzshield/internal/model"
 	"byzshield/internal/wire"
 )
@@ -19,6 +23,12 @@ import (
 // the parameter server continues over the survivors (or re-admits the
 // worker if it is restarted with the session token).
 var ErrInjectedCrash = errors.New("transport: worker crashed by fault injection")
+
+// ErrBlacklisted is returned by RunWorker when the parameter server
+// refuses the handshake with Reject{RejectBlacklisted}: the detection
+// layer revoked this worker's session permanently, so reconnecting can
+// never help.
+var ErrBlacklisted = errors.New("transport: worker blacklisted by the parameter server")
 
 // DefaultReconnectAttempts is the number of automatic reconnect
 // attempts a worker makes after losing its connection mid-run, when
@@ -30,18 +40,22 @@ const DefaultReconnectAttempts = 5
 const defaultReconnectDelay = 100 * time.Millisecond
 
 // WorkerBehavior selects how a worker process responds to gradient
-// requests. In distributed mode the attacks that require only local
-// knowledge are available (the omniscient ALIE attack needs the global
-// gradient population and therefore only runs in the in-process engine;
-// see DESIGN.md).
+// requests. Attacks that require only local knowledge run standalone;
+// the omniscient ALIE attack needs the global gradient population and
+// therefore requires the adversary sidecar (WorkerConfig.AdvAddr): the
+// coalition leader reconstructs the population moments deterministically
+// from the Spec and shares them through the hub, reproducing the
+// in-process omniscient attacker bit-for-bit (see DESIGN.md).
 type WorkerBehavior string
 
 // Worker behaviors.
 const (
 	BehaviorHonest   WorkerBehavior = "honest"
-	BehaviorReversed WorkerBehavior = "reversed" // send −g
-	BehaviorConstant WorkerBehavior = "constant" // send a constant vector
-	BehaviorZero     WorkerBehavior = "zero"     // send zeros (crash-like)
+	BehaviorReversed WorkerBehavior = "reversed"  // send −g
+	BehaviorConstant WorkerBehavior = "constant"  // send a constant vector
+	BehaviorZero     WorkerBehavior = "zero"      // send zeros (crash-like)
+	BehaviorSignFlip WorkerBehavior = "sign-flip" // send −g (the registry sign-flip attack)
+	BehaviorALIE     WorkerBehavior = "alie"      // coordinated µ − z·σ via the sidecar
 )
 
 // WorkerConfig configures a worker process.
@@ -60,6 +74,13 @@ type WorkerConfig struct {
 	// attempt with this session token — how a restarted worker process
 	// re-enters a run it was evicted from (byzworker -resume-token).
 	ResumeToken uint64
+	// AdvAddr is the adversary sidecar hub (cmd/byzadv) this Byzantine
+	// worker coordinates through; required for BehaviorALIE. The worker
+	// joins the coalition before its first PS handshake.
+	AdvAddr string
+	// ALIEZ overrides ALIE's z factor (0 derives z from the cluster and
+	// coalition sizes via attack.ZMax, matching the in-process attack).
+	ALIEZ float64
 	// Logf receives progress lines; nil disables logging.
 	Logf func(format string, args ...any)
 }
@@ -89,6 +110,21 @@ type workerState struct {
 	files []int
 	grads [][]float64
 	frame []byte
+	// adv is the sidecar coalition connection (nil outside coalitions);
+	// the fields below are the leader's deterministic reconstruction of
+	// the batch stream — its own sampler fast-forwarded to the current
+	// round — plus the moment and payload scratch every member shares.
+	adv         *advnet.Client
+	asn         *assign.Assignment
+	sampler     *data.BatchSampler
+	sampledIter int
+	fileParts   [][]int
+	trueGrads   [][]float64
+	muBuf       []float64
+	sigmaBuf    []float64
+	moments     wire.MomentFrame
+	atkCtx      attack.Context
+	atkScr      attack.Scratch
 }
 
 // RunWorker connects to the PS at addr and participates in training
@@ -110,7 +146,19 @@ func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) (float64, err
 	if attempts == 0 {
 		attempts = DefaultReconnectAttempts
 	}
-	st := &workerState{cfg: cfg, token: cfg.ResumeToken, lastApplied: -1}
+	st := &workerState{cfg: cfg, token: cfg.ResumeToken, lastApplied: -1, sampledIter: -1}
+	if cfg.Behavior == BehaviorALIE && cfg.AdvAddr == "" {
+		return 0, fmt.Errorf("transport: worker %d: behavior %q requires the adversary sidecar (AdvAddr)", cfg.ID, cfg.Behavior)
+	}
+	if cfg.AdvAddr != "" {
+		adv, err := advnet.Dial(ctx, cfg.AdvAddr, cfg.ID)
+		if err != nil {
+			return 0, err
+		}
+		defer adv.Close()
+		st.adv = adv
+		cfg.Logf("worker %d: adversary coalition %v, leader %d", cfg.ID, adv.MemberIDs(), adv.Leader())
+	}
 	failures := 0
 	for {
 		final, err := runWorkerConn(ctx, addr, st)
@@ -177,6 +225,12 @@ func runWorkerConn(ctx context.Context, addr string, st *workerState) (float64, 
 	msg, err := conn.Recv()
 	if err != nil {
 		return 0, retryable(ctxErr(ctx, err))
+	}
+	if rej, ok := msg.(Reject); ok {
+		if rej.Code == RejectBlacklisted {
+			return 0, fmt.Errorf("transport: worker %d: %s: %w", cfg.ID, rej.Reason, ErrBlacklisted)
+		}
+		return 0, fmt.Errorf("transport: worker %d rejected: %s", cfg.ID, rej.Reason)
 	}
 	welcome, ok := msg.(Welcome)
 	if !ok {
@@ -264,6 +318,11 @@ func runWorkerConn(ctx context.Context, addr string, st *workerState) (float64, 
 		case Shutdown:
 			cfg.Logf("worker %d: shutdown, final accuracy %.4f", cfg.ID, m.FinalAccuracy)
 			return m.FinalAccuracy, nil
+		case Reject:
+			if m.Code == RejectBlacklisted {
+				return 0, fmt.Errorf("transport: worker %d: %s: %w", cfg.ID, m.Reason, ErrBlacklisted)
+			}
+			return 0, fmt.Errorf("transport: worker %d rejected: %s", cfg.ID, m.Reason)
 		default:
 			return 0, fmt.Errorf("transport: worker %d: unexpected message %T", cfg.ID, msg)
 		}
@@ -317,6 +376,16 @@ func (st *workerState) computeReport(rs *RoundStart) (*GradientReport, error) {
 	}
 	grads := st.grads[:len(files)]
 	st.grads = grads
+	// The ALIE payload is one vector per round shared by every file, so
+	// it is crafted once — through the sidecar coalition — before the
+	// per-file loop.
+	var alie []float64
+	if cfg.Behavior == BehaviorALIE {
+		var err error
+		if alie, err = st.aliePayload(rs); err != nil {
+			return nil, err
+		}
+	}
 	for i, v := range files {
 		if cap(grads[i]) < dim {
 			grads[i] = make([]float64, dim)
@@ -327,7 +396,7 @@ func (st *workerState) computeReport(rs *RoundStart) (*GradientReport, error) {
 		switch cfg.Behavior {
 		case BehaviorHonest:
 			st.mdl.SumGradient(st.params, st.train, rs.Files[v], g)
-		case BehaviorReversed:
+		case BehaviorReversed, BehaviorSignFlip:
 			st.mdl.SumGradient(st.params, st.train, rs.Files[v], g)
 			for i := range g {
 				g[i] = -g[i]
@@ -342,6 +411,8 @@ func (st *workerState) computeReport(rs *RoundStart) (*GradientReport, error) {
 			}
 		case BehaviorZero:
 			// zeros (crash-like)
+		case BehaviorALIE:
+			copy(g, alie)
 		default:
 			return nil, fmt.Errorf("transport: unknown behavior %q", cfg.Behavior)
 		}
@@ -353,4 +424,106 @@ func (st *workerState) computeReport(rs *RoundStart) (*GradientReport, error) {
 	st.frame = frame
 	rep.Frame = frame
 	return rep, nil
+}
+
+// aliePayload crafts the round's ALIE vector through the sidecar
+// coalition. The z factor matches the in-process attack: ZMax over the
+// cluster size (Spec.K, which the server pins to the assignment's K
+// before Welcome) and the coalition size the share reports.
+func (st *workerState) aliePayload(rs *RoundStart) ([]float64, error) {
+	st.atkCtx = attack.Context{
+		Round:             rs.Iteration,
+		Dim:               st.mdl.NumParams(),
+		Participants:      st.spec.K,
+		ExpectedCorrupted: st.adv.Members(),
+	}
+	craft, err := attack.BeginWith(attack.ALIE{ZOverride: st.cfg.ALIEZ}, &st.atkCtx, &st.atkScr, advCoordinator{st})
+	if err != nil {
+		return nil, fmt.Errorf("transport: worker %d round %d: %w", st.cfg.ID, rs.Iteration, err)
+	}
+	return craft(0, nil), nil
+}
+
+// advCoordinator backs attack.Coordinator with the coalition hub: the
+// leader reconstructs the round's gradient-population moments and
+// publishes them; every member — leader included — then crafts from the
+// hub's broadcast, so the whole coalition (and, by the bit-exact codec,
+// the in-process omniscient attacker) agrees on the payload
+// bit-for-bit.
+type advCoordinator struct{ st *workerState }
+
+// RoundMoments implements attack.Coordinator.
+func (c advCoordinator) RoundMoments(ctx *attack.Context) (attack.Moments, error) {
+	st := c.st
+	if st.adv.IsLeader() {
+		mu, sigma, err := st.reconstructMoments(ctx.Round)
+		if err != nil {
+			return attack.Moments{}, err
+		}
+		st.moments = wire.MomentFrame{Round: ctx.Round, Members: st.adv.Members(), Mu: mu, Sigma: sigma}
+		if err := st.adv.Publish(&st.moments); err != nil {
+			return attack.Moments{}, err
+		}
+	}
+	// Decoding the share back into st.moments reuses its buffers; for
+	// the leader those hold the just-published values, which the decoded
+	// bits reproduce exactly.
+	if err := st.adv.AwaitShare(ctx.Round, &st.moments); err != nil {
+		return attack.Moments{}, err
+	}
+	return attack.Moments{
+		Round:   st.moments.Round,
+		Members: st.moments.Members,
+		Mu:      st.moments.Mu,
+		Sigma:   st.moments.Sigma,
+	}, nil
+}
+
+// reconstructMoments is the coalition leader's omniscient
+// reconstruction: everything the in-process attack oracle reads off the
+// engine — the round's batch, its file partition, and every file's true
+// gradient — is a deterministic function of the Spec, so the leader
+// replays it locally (its own batch sampler fast-forwarded to round)
+// and takes the population moments with the same accumulation order as
+// attack.Loopback. st.params must already reflect the round's
+// broadcast, which the computeReport call order guarantees.
+func (st *workerState) reconstructMoments(round int) (mu, sigma []float64, err error) {
+	if st.sampler == nil {
+		if st.asn, err = st.spec.BuildAssignment(); err != nil {
+			return nil, nil, err
+		}
+		if st.sampler, err = data.NewBatchSampler(st.train.Len(), st.spec.BatchSize, st.spec.Seed); err != nil {
+			return nil, nil, err
+		}
+		dim := st.mdl.NumParams()
+		flat := make([]float64, st.asn.F*dim)
+		st.trueGrads = make([][]float64, st.asn.F)
+		for v := range st.trueGrads {
+			st.trueGrads[v] = flat[v*dim : (v+1)*dim]
+		}
+		st.muBuf = make([]float64, dim)
+		st.sigmaBuf = make([]float64, dim)
+	}
+	if round <= st.sampledIter {
+		return nil, nil, fmt.Errorf("transport: worker %d: moments for round %d requested after round %d",
+			st.cfg.ID, round, st.sampledIter)
+	}
+	// The sampler's stream is positional: skipped rounds (missed while
+	// disconnected) still consume their batches so round r always sees
+	// the engine's batch r.
+	var batch []int
+	for st.sampledIter < round {
+		batch = st.sampler.Next()
+		st.sampledIter++
+	}
+	if st.fileParts, err = data.PartitionFilesInto(batch, st.asn.F, st.fileParts); err != nil {
+		return nil, nil, err
+	}
+	for v, g := range st.trueGrads {
+		clear(g)
+		st.mdl.SumGradient(st.params, st.train, st.fileParts[v], g)
+	}
+	mu = linalg.MeanVecInto(st.muBuf, st.trueGrads)
+	sigma = linalg.StdVecInto(st.sigmaBuf, mu, st.trueGrads)
+	return mu, sigma, nil
 }

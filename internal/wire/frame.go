@@ -2,7 +2,7 @@
 // one self-delimiting frame:
 //
 //	u16  magic  (0xB52D, little-endian)
-//	u8   protocol version (currently 3)
+//	u8   protocol version (currently 4)
 //	u8   message type (transport-defined)
 //	u32  payload length in bytes
 //	…    payload
@@ -34,10 +34,13 @@ const (
 	// ProtocolVersion is the current control-plane protocol version.
 	// Hello/Welcome carry it explicitly for negotiation; every frame
 	// header repeats it so a version skew fails fast on any message.
-	// v3 added the compressed uplink gradient codec (uplink.go) and the
-	// Welcome's uplink-delta flag; v2 peers are rejected at the first
-	// frame (and at Hello/Welcome negotiation).
-	ProtocolVersion = 3
+	// v4 extended the Spec payload with the detector configuration,
+	// added the typed Reject frame (blacklisted-rejoin refusal), and
+	// introduced the sidecar moment frame (moments.go); v3 added the
+	// compressed uplink gradient codec (uplink.go) and the Welcome's
+	// uplink-delta flag. Older peers are rejected at the first frame
+	// (and at Hello/Welcome negotiation).
+	ProtocolVersion = 4
 	// FrameHeaderSize is the fixed byte size of the frame header.
 	FrameHeaderSize = 8
 	// MaxFramePayload bounds the declared payload length a receiver will

@@ -1,0 +1,81 @@
+// Moment-frame codec for the adversary coordination sidecar: the
+// payload a Byzantine coalition leader publishes each round (the
+// gradient population's mean and standard deviation over all f file
+// gradients) and the hub rebroadcasts to every member. The layout
+// follows the gradient-frame conventions of this package — canonical
+// little-endian, IEEE-754 bit patterns, one valid encoding per frame —
+// so a decoded share reproduces the leader's moments bit-exactly and a
+// coalition member crafts the same ALIE payload the in-process
+// omniscient attacker would.
+//
+// Payload layout (wrapped in a control frame by internal/advnet):
+//
+//	u32  round
+//	u32  coalition member count
+//	u32  gradient dimension d
+//	d ×  f64 mean
+//	d ×  f64 standard deviation
+package wire
+
+import "fmt"
+
+// MomentFrame is a decoded coalition moment share. Mu and Sigma are
+// reused across DecodeMomentFrame calls when capacities allow.
+type MomentFrame struct {
+	Round   int
+	Members int
+	Mu      []float64
+	Sigma   []float64
+}
+
+// AppendMomentFrame appends the encoded frame payload to dst. Mu and
+// Sigma must have equal length.
+func AppendMomentFrame(dst []byte, f *MomentFrame) ([]byte, error) {
+	if len(f.Mu) != len(f.Sigma) {
+		return nil, fmt.Errorf("wire: moment frame with %d mean but %d sigma values", len(f.Mu), len(f.Sigma))
+	}
+	if f.Round < 0 || f.Members < 0 {
+		return nil, fmt.Errorf("wire: moment frame round %d / members %d negative", f.Round, f.Members)
+	}
+	dst = AppendU32(dst, uint32(f.Round))
+	dst = AppendU32(dst, uint32(f.Members))
+	dst = AppendU32(dst, uint32(len(f.Mu)))
+	for _, v := range f.Mu {
+		dst = AppendF64(dst, v)
+	}
+	for _, v := range f.Sigma {
+		dst = AppendF64(dst, v)
+	}
+	return dst, nil
+}
+
+// DecodeMomentFrame parses one moment payload into f. The declared
+// dimension is validated against the payload length before any
+// allocation, so arbitrary input cannot trigger an oversized make.
+func DecodeMomentFrame(src []byte, f *MomentFrame) error {
+	d := NewDec(src)
+	f.Round = d.Int()
+	f.Members = d.Int()
+	dim := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if rem := len(src) - d.Offset(); dim < 0 || rem != dim*16 {
+		return fmt.Errorf("wire: moment frame declares dim %d with %d value bytes", dim, len(src)-d.Offset())
+	}
+	if cap(f.Mu) < dim {
+		f.Mu = make([]float64, dim)
+	}
+	if cap(f.Sigma) < dim {
+		f.Sigma = make([]float64, dim)
+	}
+	f.Mu = f.Mu[:dim]
+	f.Sigma = f.Sigma[:dim]
+	for i := range f.Mu {
+		f.Mu[i] = d.F64()
+	}
+	for i := range f.Sigma {
+		f.Sigma[i] = d.F64()
+	}
+	return d.Done()
+}

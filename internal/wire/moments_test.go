@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestMomentFrameRoundTrip(t *testing.T) {
+	in := MomentFrame{
+		Round:   7,
+		Members: 3,
+		Mu:      []float64{1.5, -2.25, 0, math.Inf(1)},
+		Sigma:   []float64{0.5, 3, math.NaN(), -0.0},
+	}
+	enc, err := AppendMomentFrame(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out MomentFrame
+	if err := DecodeMomentFrame(enc, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Round != in.Round || out.Members != in.Members {
+		t.Fatalf("header %d/%d, want %d/%d", out.Round, out.Members, in.Round, in.Members)
+	}
+	for i := range in.Mu {
+		if math.Float64bits(out.Mu[i]) != math.Float64bits(in.Mu[i]) {
+			t.Fatalf("mu[%d] bits differ", i)
+		}
+		if math.Float64bits(out.Sigma[i]) != math.Float64bits(in.Sigma[i]) {
+			t.Fatalf("sigma[%d] bits differ", i)
+		}
+	}
+	// Buffer reuse must not allocate on a second decode into the same
+	// frame value.
+	if err := DecodeMomentFrame(enc, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMomentFrameRejectsMalformed(t *testing.T) {
+	good, err := AppendMomentFrame(nil, &MomentFrame{Round: 1, Members: 2, Mu: []float64{1, 2}, Sigma: []float64{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": good[:len(good)-1],
+		"trailing":  append(append([]byte{}, good...), 0),
+		"huge-dim":  {1, 0, 0, 0, 1, 0, 0, 0, 0xff, 0xff, 0xff, 0xff},
+	}
+	for name, b := range cases {
+		var f MomentFrame
+		if err := DecodeMomentFrame(b, &f); err == nil {
+			t.Errorf("%s: malformed moment frame decoded without error", name)
+		}
+	}
+	if _, err := AppendMomentFrame(nil, &MomentFrame{Mu: []float64{1}, Sigma: nil}); err == nil {
+		t.Error("mismatched mu/sigma lengths encoded without error")
+	}
+}
+
+// FuzzDecodeMomentFrame checks that arbitrary bytes never panic the
+// sidecar moment decoder, and that any payload it accepts is canonical:
+// re-encoding the decoded frame reproduces the input bytes exactly.
+func FuzzDecodeMomentFrame(f *testing.F) {
+	seed, _ := AppendMomentFrame(nil, &MomentFrame{Round: 3, Members: 2, Mu: []float64{1, -2}, Sigma: []float64{0.5, 4}})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fr MomentFrame
+		if err := DecodeMomentFrame(data, &fr); err != nil {
+			return
+		}
+		re, err := AppendMomentFrame(nil, &fr)
+		if err != nil {
+			t.Fatalf("decoded frame fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encode differs from input:\n got %x\nwant %x", re, data)
+		}
+	})
+}

@@ -2,9 +2,10 @@ package byzshield
 
 import "byzshield/internal/registry"
 
-// ComponentRegistry maps string names to constructors for the four
+// ComponentRegistry maps string names to constructors for the five
 // pluggable component kinds: assignment schemes, aggregation rules,
-// Byzantine attacks, and worker fault models. It is safe for concurrent
+// Byzantine attacks, worker fault models, and PS-side Byzantine
+// detectors. It is safe for concurrent
 // use and extensible via the Register* methods; see internal/registry
 // for the name catalog and per-scheme parameter conventions.
 type ComponentRegistry = registry.Registry
@@ -24,14 +25,20 @@ type AttackParams = registry.AttackParams
 // Delay, Seed).
 type FaultParams = registry.FaultParams
 
+// DetectorParams parameterizes the PS-side Byzantine detectors
+// (Threshold) and their shared reputation policy (Window, MinRounds,
+// Decay, BlacklistBelow).
+type DetectorParams = registry.DetectorParams
+
 // Registry is the default component catalog, pre-populated with every
 // scheme ("mols", "ramanujan1", "ramanujan2", "frc", "baseline",
 // "random"), aggregator ("median", "mean", "trimmed-mean",
 // "median-of-means", "krum", "multikrum", "bulyan", "signsgd",
 // "geometric-median", "mean-around-median", "auror"), attack
 // ("benign", "alie", "constant", "reversed", "random-gaussian",
-// "sign-flip"), and fault model ("none", "crash", "straggler", "delay",
-// "flaky") implemented in the repository:
+// "sign-flip"), fault model ("none", "crash", "straggler", "delay",
+// "flaky"), and Byzantine detector ("none", "zscore", "cluster")
+// implemented in the repository:
 //
 //	asn, err := byzshield.Registry.Scheme("mols", byzshield.SchemeParams{L: 5, R: 3})
 //	agg, err := byzshield.Registry.Aggregator("median")

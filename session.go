@@ -53,6 +53,15 @@ type RoundResult struct {
 	// floor this round, so the round fell back to coordinate-wise
 	// median instead of erroring.
 	AggregatorDegraded bool
+	// MeanReputation is the fleet-wide mean reputation after this round
+	// (1 when detection is off); FlaggedWorkers counts the workers the
+	// detector flagged this round. BlacklistedWorkers lists the workers
+	// newly blacklisted this round (nil otherwise); Blacklisted is the
+	// cumulative blacklist size.
+	MeanReputation     float64
+	FlaggedWorkers     int
+	BlacklistedWorkers []int
+	Blacklisted        int
 	// Times is the round's phase wall-clock split.
 	Times PhaseTimes
 	// Evaluated reports whether this round hit the evaluation cadence;
@@ -118,6 +127,8 @@ func Open(ctx context.Context, cfg TrainConfig) (*Session, error) {
 		Parallelism: norm.Parallelism,
 		Fault:       norm.Fault,
 		Quorum:      norm.Quorum,
+		Detector:    norm.Detector,
+		Detection:   norm.Detection,
 	})
 	if err != nil {
 		return nil, err
@@ -172,6 +183,10 @@ func (s *Session) step(ctx context.Context, horizon int) (res RoundResult, stepp
 		DegradedFiles:      stats.DegradedFiles,
 		DroppedFiles:       stats.DroppedFiles,
 		AggregatorDegraded: stats.AggregatorDegraded,
+		MeanReputation:     stats.MeanReputation,
+		FlaggedWorkers:     stats.FlaggedWorkers,
+		BlacklistedWorkers: stats.BlacklistedWorkers,
+		Blacklisted:        stats.Blacklisted,
 		Times:              stats.Times,
 	}
 	if res.Round%s.cfg.EvalEvery == 0 || res.Round == s.cfg.Iterations {
