@@ -1,0 +1,90 @@
+// Command byzfleet runs the fleet-scaling sweep of the aggregation
+// plane: for each worker count it drives a loopback fleet through the
+// single-loop (pre-shard config), serial, sharded, and
+// sharded+pipelined planes over the identical spec, checks every
+// mode's final parameters bit-for-bit against the in-process engine,
+// and reports rounds/sec with the speedup over the single-loop
+// baseline. -json emits the points as a JSON array (the shape appended
+// to BENCH_round.json); -modes isolates one plane for profiling with
+// -cpuprofile.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+
+	"byzshield/internal/experiments"
+)
+
+func main() {
+	var (
+		workers = flag.String("workers", "15,60,240", "comma-separated fleet sizes")
+		rounds  = flag.Int("rounds", 20, "measured rounds per point")
+		warmup  = flag.Int("warmup", 2, "warmup rounds excluded from timing")
+		reps    = flag.Int("reps", 3, "repetitions per point (best kept)")
+		dim     = flag.Int("input-dim", 256, "input feature dimension")
+		classes = flag.Int("classes", 8, "classes")
+		shards  = flag.Int("shards", 2, "shard count")
+		modes   = flag.String("modes", "", "comma-separated mode filter (default all)")
+		jsonOut = flag.Bool("json", false, "emit the points as JSON on stdout")
+		prof    = flag.String("cpuprofile", "", "write cpu profile")
+	)
+	flag.Parse()
+	var counts []int
+	for _, s := range strings.Split(*workers, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		counts = append(counts, k)
+	}
+	var modeList []string
+	if *modes != "" {
+		for _, m := range strings.Split(*modes, ",") {
+			modeList = append(modeList, strings.TrimSpace(m))
+		}
+	}
+	if *prof != "" {
+		f, err := os.Create(*prof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
+	logf := func(f string, a ...any) { fmt.Printf(f+"\n", a...) }
+	if *jsonOut {
+		logf = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
+	}
+	points, err := experiments.FleetScaling(context.Background(), experiments.FleetConfig{
+		WorkerCounts: counts,
+		Rounds:       *rounds,
+		Warmup:       *warmup,
+		Reps:         *reps,
+		InputDim:     *dim,
+		Classes:      *classes,
+		Shards:       *shards,
+		Modes:        modeList,
+		Logf:         logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(points); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -35,9 +35,20 @@
 // refreshes; -full-every controls the cadence (1 = full every round).
 // Worker→PS gradient reports are likewise compressed (XOR deltas
 // against each worker's previous report, raw fallback per frame);
-// -no-uplink-delta forces raw frames. -v logs per-round participation
+// -no-uplink-delta forces raw frames (recommended for CPU-bound
+// loopback fleets, where the codec's two extra passes per gradient
+// cost more than the bytes they save). -v logs per-round participation
 // and wire-volume stats, and the lifecycle counters (joins, rejoins,
 // evictions, stale frames retired) print at shutdown.
+//
+// The aggregation plane itself is configurable: -shards N splits the
+// parameter vector into N contiguous coordinate ranges that vote and
+// aggregate independently as their report frames land, and -pipeline
+// piggybacks round t+1's sample assignments on round t's parameter
+// broadcast so steady-state rounds reuse one pre-encoded RoundStart
+// frame. Both are bit-identical to the single-loop plane:
+//
+//	byzps ... -shards 4 -pipeline
 package main
 
 import (
@@ -88,6 +99,10 @@ func main() {
 			"full parameter-broadcast cadence (1 = full vector every round, N = deltas between every N-th round)")
 		noUplinkDelta = flag.Bool("no-uplink-delta", false,
 			"disable compressed worker→PS gradient frames (workers then send raw frames every round)")
+		shardCount = flag.Int("shards", 0,
+			"aggregation shards: split the parameter vector into N coordinate ranges that vote/aggregate independently (0 or 1 = single loop; bit-identical either way)")
+		pipeline = flag.Bool("pipeline", false,
+			"pipeline round prep: ship round t+1's sample assignments with round t's broadcast (bit-identical; RoundStart becomes one shared pre-encoded frame)")
 		verbose = flag.Bool("v", false,
 			"log every round: missing workers, rejoins/evictions/stale frames, up/down wire bytes")
 		quorum       = flag.Int("quorum", 0, "minimum surviving replicas per file vote (0 = r/2+1)")
@@ -146,6 +161,8 @@ func main() {
 		RoundTimeout:        *roundTimeout,
 		FullBroadcastEvery:  *fullEvery,
 		DisableUplinkDeltas: *noUplinkDelta,
+		Shards:              *shardCount,
+		Pipeline:            *pipeline,
 		Quorum:              *quorum,
 	}
 	if *verbose {

@@ -49,6 +49,7 @@ import (
 	"byzshield/internal/model"
 	"byzshield/internal/trainer"
 	"byzshield/internal/vote"
+	"byzshield/internal/wire"
 )
 
 // ErrClosed is returned by StepOnce after Close.
@@ -93,6 +94,23 @@ type Config struct {
 	// calling goroutine. Any width produces bit-identical parameter
 	// trajectories for a fixed seed.
 	Parallelism int
+	// Shards splits the parameter vector into N contiguous coordinate
+	// ranges (wire.ShardRange) and gives each range its own vote and
+	// aggregate state, so a network source can stream per-shard report
+	// frames and vote a shard early while other shards still collect.
+	// Any shard count produces bit-identical trajectories to the serial
+	// engine (see shard.go for why); 0 or 1 disables the plane. Requires
+	// exact bit-equality votes (VoteTolerance must be 0 — L∞ clustering
+	// does not decompose across coordinate ranges).
+	Shards int
+	// PrepareAhead draws and partitions round t+1's batch before round
+	// t's collection opens and hands the prepared file table to the
+	// source if it implements RoundPreparer (the TCP server piggybacks
+	// round t+1's sample lists on round t's own broadcast frames, which
+	// is what pipelines the wire rounds). The sample stream order is
+	// unchanged — the seeded sampler is still consumed in strict round
+	// order — so trajectories stay bit-identical.
+	PrepareAhead bool
 	// Fault injects worker participation faults (crash, flaky skips)
 	// into the in-process source; nil runs fault-free. Incompatible with
 	// Source, which owns participation itself.
@@ -230,10 +248,29 @@ type Engine struct {
 	atkCoord attack.Loopback
 	// det and detSt are the detection/reputation layer; both nil when
 	// detection is off (detect.None or unset).
-	det       detect.Detector
-	detSt     *detect.State
-	closeOnce sync.Once
-	closed    bool
+	det   detect.Detector
+	detSt *detect.State
+	// plane is the sharded aggregation plane (nil when Shards <= 1).
+	plane *shardPlane
+	// pendingFiles/spareFiles/preparedIter/prepErr are the prepare-ahead
+	// state: pendingFiles holds the next round's partitioned file table
+	// (always the next batch in sampler stream order), spareFiles is the
+	// retired table recycled by the next prepare, and prepErr defers a
+	// preparation failure to the next StepOnce boundary. prepBatch is a
+	// pair of alternating batch copies: the sampler owns its Next buffer
+	// and overwrites it on the following draw, and a file table aliases
+	// the batch it was partitioned from — so when a round draws ahead
+	// (prepare-ahead runs before the current round's collection), each
+	// live table must sit on its own copy. Two buffers suffice: table t
+	// is dead before the prepare in round t+1 reuses its buffer.
+	pendingFiles [][]int
+	spareFiles   [][]int
+	prepBatch    [2][]int
+	prepFlip     int
+	preparedIter int
+	prepErr      error
+	closeOnce    sync.Once
+	closed       bool
 }
 
 // New validates the configuration and initializes the engine, including
@@ -277,6 +314,12 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Parallelism < 0 {
 		return nil, fmt.Errorf("cluster: parallelism %d < 0", cfg.Parallelism)
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("cluster: shards %d < 0", cfg.Shards)
+	}
+	if cfg.Shards > 1 && cfg.VoteTolerance != 0 {
+		return nil, fmt.Errorf("cluster: sharded voting requires exact bit-equality votes; VoteTolerance must be 0")
+	}
 	if cfg.BroadcastFullEvery < 0 {
 		return nil, fmt.Errorf("cluster: broadcast full-every %d < 0", cfg.BroadcastFullEvery)
 	}
@@ -310,13 +353,14 @@ func New(cfg Config) (*Engine, error) {
 		width = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		cfg:     cfg,
-		params:  model.InitParams(cfg.Model, cfg.Seed),
-		opt:     opt,
-		sampler: sampler,
-		byzSet:  byzSet,
-		quorum:  quorum,
-		width:   width,
+		cfg:          cfg,
+		params:       model.InitParams(cfg.Model, cfg.Seed),
+		opt:          opt,
+		sampler:      sampler,
+		byzSet:       byzSet,
+		quorum:       quorum,
+		width:        width,
+		preparedIter: -1,
 	}
 	for u := 0; u < cfg.Assignment.K; u++ {
 		if !byzSet[u] {
@@ -332,6 +376,9 @@ func New(cfg Config) (*Engine, error) {
 	// (faults by plan, detection by blacklist), so either forces the
 	// full-oracle arena: any file's live honest replicas may vanish.
 	e.arena = newRoundArena(cfg.Assignment, cfg.Model.NumParams(), byzSet, cfg.MeasureComm, cfg.Fault != nil || e.det != nil, width)
+	if n := wire.ShardCount(cfg.Shards, cfg.Model.NumParams()); n > 1 {
+		e.plane = newShardPlane(n, cfg.Model.NumParams(), cfg.Assignment.F, cfg.Assignment.K)
+	}
 	e.rd = Round{eng: e}
 	if len(byzSet) > 0 {
 		e.atkRng = rand.New(rand.NewSource(cfg.Seed))
@@ -453,6 +500,14 @@ func (e *Engine) Restore(params, velocity []float64, iteration int) error {
 	e.sampler = sampler
 	copy(e.params, params)
 	e.iter = iteration
+	// Any prepared-ahead batch belongs to the abandoned sample stream;
+	// the rebuilt sampler re-draws it, so the pending table is recycled.
+	if e.pendingFiles != nil {
+		e.spareFiles = e.pendingFiles
+		e.pendingFiles = nil
+	}
+	e.preparedIter = -1
+	e.prepErr = nil
 	return nil
 }
 
@@ -490,13 +545,34 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 	if e.closed {
 		return RoundStats{}, ErrClosed
 	}
+	if err := e.prepErr; err != nil {
+		e.prepErr = nil
+		return RoundStats{}, err
+	}
 	a := e.cfg.Assignment
 	ar := e.arena
 
-	batch := e.sampler.Next()
-	files, err := data.PartitionFilesInto(batch, a.F, ar.files)
-	if err != nil {
-		return RoundStats{}, err
+	// A prepared file table is always the next batch in sampler stream
+	// order, so consuming it here is exactly what drawing it now would
+	// produce — prepare-ahead never reorders the sample stream.
+	var files [][]int
+	if e.pendingFiles != nil {
+		files = e.pendingFiles
+		e.pendingFiles = nil
+		e.spareFiles, ar.files = ar.files, files
+	} else {
+		batch := e.sampler.Next()
+		if e.cfg.PrepareAhead {
+			// This round prepares ahead below, and that draw overwrites
+			// the sampler's batch buffer — which this round's file table
+			// would otherwise alias.
+			batch = e.copyBatch(batch)
+		}
+		f, err := data.PartitionFilesInto(batch, a.F, ar.files)
+		if err != nil {
+			return RoundStats{}, err
+		}
+		files = f
 	}
 	ar.files = files
 
@@ -514,7 +590,20 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 			ar.missing[u] = true
 		}
 	}
+	if e.plane != nil {
+		e.plane.beginRound()
+	}
 	e.rd.files = files
+
+	// --- Prepare-ahead: draw and partition round t+1's batch before this
+	// round's collection opens. The sample stream is data-independent
+	// (a seeded sampler drawn in strict round order), so the draw can
+	// move ahead of the collect without reordering anything — and a
+	// RoundPreparer source can then piggyback round t+1's sample lists
+	// on round t's own broadcast frames instead of paying a separate
+	// write per worker during the tail.
+	e.prepareNext()
+
 	cs, err := e.src.Collect(ctx, &e.rd)
 	if err != nil {
 		return RoundStats{}, err
@@ -557,69 +646,11 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 		ar.dropped[w] = 0
 		ar.voteErrs[w] = nil
 	}
-	e.runPhase(a.F, func(w, v int) {
-		repl := ar.replicas[w][:0]
-		workers := ar.replWorkers[w][:0]
-		for _, ref := range ar.fileReplicas[v] {
-			if ar.missing[ref.worker] {
-				continue
-			}
-			repl = append(repl, ar.cur[ref.worker][ref.slot])
-			workers = append(workers, ref.worker)
-		}
-		if len(repl) < e.quorum {
-			ar.winners[v] = nil
-			ar.dropped[w]++
-			return
-		}
-		degradedVote := len(repl) < len(ar.fileReplicas[v])
-		var res vote.Result
-		var vErr error
-		switch {
-		case len(repl) == 1:
-			res = vote.Result{Winner: repl[0], Count: 1, Unanimous: true}
-		case e.cfg.VoteTolerance > 0:
-			res, vErr = vote.MajorityWithTolerance(repl, e.cfg.VoteTolerance)
-		default:
-			res, vErr = vote.Majority(repl)
-		}
-		if vErr != nil {
-			if ar.voteErrs[w] == nil {
-				ar.voteErrs[w] = fmt.Errorf("cluster: vote on file %d: %w", v, vErr)
-			}
-			return
-		}
-		if degradedVote {
-			if res.Tied && e.detSt != nil {
-				// Reputation-weighted runoff: with a detection layer the
-				// PS knows how much it trusts each supporter, so a tied
-				// degraded vote elects the candidate whose supporters
-				// carry strictly more total reputation — recovering files
-				// that would otherwise drop once the attackers' scores
-				// have collapsed.
-				if win, ok := e.resolveDegradedTie(repl, workers); ok {
-					res.Winner = win
-					res.Tied = false
-				}
-			}
-			if res.Tied {
-				// A degraded vote with no strict plurality is
-				// indistinguishable from an attacker-controlled one:
-				// losing one honest replica of a [byz, honest, honest]
-				// file leaves a 1–1 tie whose deterministic index
-				// tie-break could elect the crafted payload every round.
-				// Drop the file instead of guessing.
-				ar.winners[v] = nil
-				ar.dropped[w]++
-				return
-			}
-			ar.degraded[w]++
-		}
-		ar.winners[v] = res.Winner
-		if !e.cfg.SignMessages && ar.trueGrads[v] != nil && !equalBits(res.Winner, ar.trueGrads[v]) {
-			ar.distorted[w]++
-		}
-	})
+	if e.plane != nil {
+		e.shardedVotePhase()
+	} else {
+		e.runPhase(a.F, e.voteFile)
+	}
 	distorted, degraded, dropped := 0, 0, 0
 	for w := 0; w < e.width; w++ {
 		if ar.voteErrs[w] != nil {
@@ -660,14 +691,31 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 		// Winners are gradient sums over ~batch/f samples; normalize to
 		// per-sample scale for the update (Algorithm 1, line 17).
 		scale := data.PerSampleScale(a.F, e.cfg.BatchSize)
-		for i := range ar.update {
-			ar.update[i] *= scale
+		if pl := e.plane; pl != nil {
+			e.runPhase(pl.n, func(_, s int) {
+				for i := pl.ranges[s][0]; i < pl.ranges[s][1]; i++ {
+					ar.update[i] *= scale
+				}
+			})
+		} else {
+			for i := range ar.update {
+				ar.update[i] *= scale
+			}
 		}
 	}
 	aggTime := time.Since(aggStart)
 
 	lr := e.cfg.Schedule.At(e.iter)
-	e.opt.Step(e.params, ar.update, e.iter)
+	if pl := e.plane; pl != nil {
+		// Each shard steps its own coordinate range; momentum SGD is
+		// coordinate-wise, so any shard partition performs the identical
+		// per-coordinate floating-point operations as the serial step.
+		e.runPhase(pl.n, func(_, s int) {
+			e.opt.StepChunk(e.params, ar.update, e.iter, pl.ranges[s][0], pl.ranges[s][1])
+		})
+	} else {
+		e.opt.Step(e.params, ar.update, e.iter)
+	}
 
 	var missing []int
 	for u := 0; u < a.K; u++ {
@@ -707,6 +755,111 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 	e.times.Add(stats.Times)
 	e.iter++
 	return stats, nil
+}
+
+// voteFile runs the exact serial majority vote for file v using the
+// width-w scratch rows, writing the winner and the per-slot
+// degraded/dropped/distorted counters. It is both the pooled vote-phase
+// task body and the sharded plane's per-file fallback (slot 0).
+func (e *Engine) voteFile(w, v int) {
+	ar := e.arena
+	repl := ar.replicas[w][:0]
+	workers := ar.replWorkers[w][:0]
+	for _, ref := range ar.fileReplicas[v] {
+		if ar.missing[ref.worker] {
+			continue
+		}
+		repl = append(repl, ar.cur[ref.worker][ref.slot])
+		workers = append(workers, ref.worker)
+	}
+	if len(repl) < e.quorum {
+		ar.winners[v] = nil
+		ar.dropped[w]++
+		return
+	}
+	degradedVote := len(repl) < len(ar.fileReplicas[v])
+	var res vote.Result
+	var vErr error
+	switch {
+	case len(repl) == 1:
+		res = vote.Result{Winner: repl[0], Count: 1, Unanimous: true}
+	case e.cfg.VoteTolerance > 0:
+		res, vErr = vote.MajorityWithTolerance(repl, e.cfg.VoteTolerance)
+	default:
+		res, vErr = vote.Majority(repl)
+	}
+	if vErr != nil {
+		if ar.voteErrs[w] == nil {
+			ar.voteErrs[w] = fmt.Errorf("cluster: vote on file %d: %w", v, vErr)
+		}
+		return
+	}
+	if degradedVote {
+		if res.Tied && e.detSt != nil {
+			// Reputation-weighted runoff: with a detection layer the
+			// PS knows how much it trusts each supporter, so a tied
+			// degraded vote elects the candidate whose supporters
+			// carry strictly more total reputation — recovering files
+			// that would otherwise drop once the attackers' scores
+			// have collapsed.
+			if win, ok := e.resolveDegradedTie(repl, workers); ok {
+				res.Winner = win
+				res.Tied = false
+			}
+		}
+		if res.Tied {
+			// A degraded vote with no strict plurality is
+			// indistinguishable from an attacker-controlled one:
+			// losing one honest replica of a [byz, honest, honest]
+			// file leaves a 1–1 tie whose deterministic index
+			// tie-break could elect the crafted payload every round.
+			// Drop the file instead of guessing.
+			ar.winners[v] = nil
+			ar.dropped[w]++
+			return
+		}
+		ar.degraded[w]++
+	}
+	ar.winners[v] = res.Winner
+	if !e.cfg.SignMessages && ar.trueGrads[v] != nil && !equalBits(res.Winner, ar.trueGrads[v]) {
+		ar.distorted[w]++
+	}
+}
+
+// prepareNext draws and partitions the next round's batch into the
+// spare file table and, when the source consumes prepared rounds,
+// hands it over for an early broadcast. A preparation failure is
+// deferred to the next StepOnce boundary (the current round is already
+// collected and completes normally). No-op unless PrepareAhead is set.
+func (e *Engine) prepareNext() {
+	if !e.cfg.PrepareAhead || e.prepErr != nil || e.pendingFiles != nil {
+		return
+	}
+	// The ahead table must outlive the sampler's buffer: the current
+	// round is still collecting on the previous draw, and the draw after
+	// this one happens while this table is still the live round.
+	batch := e.copyBatch(e.sampler.Next())
+	files, err := data.PartitionFilesInto(batch, e.cfg.Assignment.F, e.spareFiles)
+	if err != nil {
+		e.prepErr = err
+		return
+	}
+	e.spareFiles = nil
+	e.pendingFiles = files
+	e.preparedIter = e.iter + 1
+	if p, ok := e.src.(RoundPreparer); ok {
+		p.PrepareNext(e.preparedIter, files)
+	}
+}
+
+// copyBatch copies a freshly drawn batch into one of two alternating
+// engine-owned buffers, so a file table partitioned from it survives
+// the sampler's next draw (see the prepBatch field).
+func (e *Engine) copyBatch(batch []int) []int {
+	b := &e.prepBatch[e.prepFlip]
+	e.prepFlip ^= 1
+	*b = append((*b)[:0], batch...)
+	return *b
 }
 
 // resolveDegradedTie elects among a tied degraded vote's replicas by
@@ -773,6 +926,24 @@ func (e *Engine) MeanReputation() float64 {
 // reduced independently; other rules run their ordinary Aggregate.
 func (e *Engine) aggregate(agg aggregate.Aggregator, winners [][]float64) error {
 	ca, ok := agg.(aggregate.ChunkAggregator)
+	// The sharded plane aggregates along its own coordinate ranges so a
+	// shard's reduce can later move out of process; errors are collected
+	// per shard and surfaced lowest-shard-first.
+	if ok && e.plane != nil {
+		pl := e.plane
+		for s := 0; s < pl.n; s++ {
+			pl.aggErr[s] = nil
+		}
+		e.runPhase(pl.n, func(_, s int) {
+			pl.aggErr[s] = ca.AggregateChunk(winners, e.arena.update, pl.ranges[s][0], pl.ranges[s][1])
+		})
+		for s := 0; s < pl.n; s++ {
+			if pl.aggErr[s] != nil {
+				return pl.aggErr[s]
+			}
+		}
+		return nil
+	}
 	if !ok || e.pool == nil {
 		if ok {
 			return ca.AggregateChunk(winners, e.arena.update, 0, e.arena.dim)
@@ -790,11 +961,17 @@ func (e *Engine) aggregate(agg aggregate.Aggregator, winners [][]float64) error 
 		chunks = dim
 	}
 	per := (dim + chunks - 1) / chunks
+	// Errors are recorded per chunk index, not per pool worker: the
+	// pool's worker→chunk mapping is scheduling-dependent, so keying by
+	// worker slot would surface a different error run to run. Keying by
+	// chunk and scanning ascending makes serial and pooled failing runs
+	// report the same (lowest-range) error. chunks <= width, so the
+	// voteErrs scratch is wide enough.
 	errs := e.arena.voteErrs
-	for w := 0; w < e.width; w++ {
-		errs[w] = nil
+	for c := 0; c < chunks; c++ {
+		errs[c] = nil
 	}
-	e.runPhase(chunks, func(w, c int) {
+	e.runPhase(chunks, func(_, c int) {
 		lo := c * per
 		hi := lo + per
 		if hi > dim {
@@ -803,13 +980,11 @@ func (e *Engine) aggregate(agg aggregate.Aggregator, winners [][]float64) error 
 		if lo >= hi {
 			return
 		}
-		if err := ca.AggregateChunk(winners, e.arena.update, lo, hi); err != nil && errs[w] == nil {
-			errs[w] = err
-		}
+		errs[c] = ca.AggregateChunk(winners, e.arena.update, lo, hi)
 	})
-	for w := 0; w < e.width; w++ {
-		if errs[w] != nil {
-			return errs[w]
+	for c := 0; c < chunks; c++ {
+		if errs[c] != nil {
+			return errs[c]
 		}
 	}
 	return nil

@@ -49,6 +49,19 @@ type GradientSource interface {
 	Collect(ctx context.Context, rd *Round) (CollectStats, error)
 }
 
+// RoundPreparer is the optional pipelining seam a GradientSource may
+// implement: when the engine runs with PrepareAhead, it calls
+// PrepareNext with round iteration's file→sample partition before
+// round iteration-1's collection opens, so a network source can encode
+// the next round's sample lists once and piggyback them on the current
+// round's own broadcast instead of paying a separate write per worker.
+// fileSamples is engine-owned and valid until the round with that
+// iteration completes; implementations must not retain it past their
+// own encode.
+type RoundPreparer interface {
+	PrepareNext(iteration int, fileSamples [][]int)
+}
+
 // Round is the engine's view of one in-flight protocol round, handed to
 // the GradientSource: the iteration number, the current parameters, the
 // file→sample partition, and the preallocated arena buffers gradients
@@ -106,6 +119,27 @@ func (rd *Round) Deliver(u, slot int, g []float64) error {
 // excluded from every file vote, and the quorum rule decides whether
 // affected files degrade or drop.
 func (rd *Round) MarkMissing(u int) { rd.eng.arena.missing[u] = true }
+
+// Shards returns the number of aggregation shards the engine's plane
+// splits the parameter vector into (1 when sharding is off). Sources
+// that stream per-shard report frames derive the coordinate split from
+// wire.ShardRange with this count.
+func (rd *Round) Shards() int {
+	if rd.eng.plane == nil {
+		return 1
+	}
+	return rd.eng.plane.n
+}
+
+// VoteShardEarly runs shard s's per-file range votes now, against the
+// current missing set — the early-aggregation seam: a source calls this
+// from its collecting goroutine the moment every live worker's shard-s
+// frame has been delivered, so the shard votes while other shards still
+// collect. The engine revalidates the participation snapshot when
+// collection closes and silently recomputes the shard if workers went
+// missing after the early vote, so a mistimed call costs only the
+// wasted early work. No-op without a sharded plane.
+func (rd *Round) VoteShardEarly(s int) { rd.eng.voteShardEarly(s) }
 
 // localSource is the default GradientSource: the in-process cluster of
 // Algorithm 1. Honest workers compute their file gradient sums across

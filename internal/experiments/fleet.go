@@ -1,0 +1,346 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"slices"
+	"sync"
+	"time"
+
+	"byzshield/internal/cluster"
+	"byzshield/internal/trainer"
+	"byzshield/internal/transport"
+)
+
+// FleetMode names one aggregation-plane configuration of the scaling
+// sweep.
+type FleetMode struct {
+	Name     string
+	Shards   int
+	Pipeline bool
+	// UplinkDeltas enables the XOR-compressed uplink codec for this
+	// mode (the pre-shard plane had no way to turn it off).
+	UplinkDeltas bool
+}
+
+// FleetModes are the planes every sweep point runs, in order:
+//
+//   - single-loop: the plane as it shipped before sharding — one
+//     aggregation pass over the whole vector after every report lands,
+//     no round prep, and the XOR-compressed uplink (which had no
+//     opt-out). This is the baseline the speedup column is relative
+//     to.
+//   - serial: the same single-loop plane with the raw uplink, so the
+//     curve separates what the uplink codec choice buys from what the
+//     sharded/pipelined plane buys.
+//   - sharded / pipelined: the new plane (per-shard report streams and
+//     early shard votes; plus prep pipelining), raw uplink — the
+//     configuration shipped for CPU-bound loopback fleets, where the
+//     delta codec's two extra passes per gradient cost more than the
+//     ~2% of bytes they save.
+func FleetModes(shards int) []FleetMode {
+	return []FleetMode{
+		{Name: "single-loop", UplinkDeltas: true},
+		{Name: "serial"},
+		{Name: "sharded", Shards: shards},
+		{Name: "pipelined", Shards: shards, Pipeline: true},
+	}
+}
+
+// FleetPoint is one (worker count, mode) measurement of the scaling
+// sweep.
+type FleetPoint struct {
+	Workers int
+	Files   int
+	Mode    string
+	Rounds  int
+	// Elapsed covers the measured rounds only (the warmup rounds —
+	// fleet join, first broadcasts — are excluded).
+	Elapsed      time.Duration
+	RoundsPerSec float64
+	// Speedup is RoundsPerSec over the single-loop baseline (the plane
+	// as configured before sharding) at the same worker count (1 for
+	// the baseline itself).
+	Speedup float64
+	// ParamsHash fingerprints the final parameter bits (FNV-1a over
+	// the IEEE-754 words); every mode at a worker count must agree,
+	// and all must agree with the in-process engine.
+	ParamsHash uint64
+	// BitIdentical reports that this point's final parameters matched
+	// the serial in-process engine bit-for-bit.
+	BitIdentical bool
+}
+
+// FleetConfig parameterizes the scaling sweep.
+type FleetConfig struct {
+	// WorkerCounts are the loopback fleet sizes, each a multiple of 3
+	// (the FRC replication). Typical: 15, 60, 240, 960.
+	WorkerCounts []int
+	// Rounds per point (after Warmup).
+	Rounds int
+	// Warmup rounds excluded from the timing window (default 2).
+	Warmup int
+	// Reps runs each (worker count, mode) point this many times and
+	// keeps the fastest (default 3). Loopback fleets on a shared box
+	// see multi-x run-to-run noise from scheduler and GC timing;
+	// best-of-N measures the plane, not the neighbors. Bit-identity is
+	// checked on every rep regardless.
+	Reps int
+	// InputDim and Classes size the softmax model: the parameter
+	// dimension is InputDim*Classes + Classes. Defaults 256 and 8
+	// (dim 2056).
+	InputDim, Classes int
+	// Shards is the shard count for the sharded/pipelined modes
+	// (default 2).
+	Shards int
+	// Modes restricts the sweep to the named planes (default all).
+	// Without "single-loop" in the set there is no baseline, so the
+	// speedup column stays zero — useful when profiling one plane in
+	// isolation.
+	Modes []string
+	// Seed fixes the data/batch stream.
+	Seed int64
+	// Logf receives progress lines; nil disables.
+	Logf func(format string, args ...any)
+}
+
+// fleetSpec builds the sweep's Spec for one worker count: FRC(K, 3) —
+// one file per worker, K/3 files — with a one-sample-per-file batch, so
+// the per-round cost is wire- and plane-dominated rather than
+// compute-dominated, which is the regime the sharded/pipelined plane
+// targets.
+func (c FleetConfig) fleetSpec(k int) transport.Spec {
+	f := k / 3
+	train := 4 * f
+	if train < 256 {
+		train = 256
+	}
+	return transport.Spec{
+		Scheme: "frc", R: 3, K: k,
+		Aggregator: "mean",
+		TrainN:     train, TestN: 64,
+		Dim: c.InputDim, Classes: c.Classes,
+		DataSeed: c.Seed, ClassSep: 2.0,
+		BatchSize: f,
+		Schedule:  trainer.Schedule{Base: 0.05, Decay: 0.98, Every: 50},
+		Momentum:  0.9, Seed: c.Seed, Rounds: c.Rounds + c.Warmup,
+	}
+}
+
+// engineFinalParams runs the in-process engine over spec and returns
+// its final parameters — the reference trajectory every wire mode must
+// reproduce bit-for-bit.
+func engineFinalParams(spec transport.Spec) ([]float64, error) {
+	asn, err := spec.BuildAssignment()
+	if err != nil {
+		return nil, err
+	}
+	mdl, err := spec.BuildModel()
+	if err != nil {
+		return nil, err
+	}
+	train, test, err := spec.BuildData()
+	if err != nil {
+		return nil, err
+	}
+	agg, err := spec.BuildAggregator()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := cluster.New(cluster.Config{
+		Assignment: asn, Model: mdl, Train: train, Test: test,
+		BatchSize: spec.BatchSize, Aggregator: agg,
+		Schedule: spec.Schedule, Momentum: spec.Momentum, Seed: spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	for i := 0; i < spec.Rounds; i++ {
+		if _, err := eng.RunRound(); err != nil {
+			return nil, fmt.Errorf("engine round %d: %v", i, err)
+		}
+	}
+	out := make([]float64, len(eng.Params()))
+	copy(out, eng.Params())
+	return out, nil
+}
+
+// hashParams fingerprints a parameter vector's exact bits.
+func hashParams(p []float64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range p {
+		bits := math.Float64bits(v)
+		for i := range b {
+			b[i] = byte(bits >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// runFleetPoint drives one loopback fleet — K RunWorker goroutines
+// sharing one SharedWorkerState against one server — and times the
+// post-warmup rounds.
+func (c FleetConfig) runFleetPoint(ctx context.Context, spec transport.Spec, mode FleetMode) (FleetPoint, []float64, error) {
+	pt := FleetPoint{Workers: spec.K, Files: spec.K / 3, Mode: mode.Name, Rounds: c.Rounds}
+	var windowStart, windowEnd time.Time
+	srvCfg := transport.ServerConfig{
+		Spec:         spec,
+		Shards:       mode.Shards,
+		Pipeline:     mode.Pipeline,
+		EvalEvery:    spec.Rounds + 1,
+		RoundTimeout: 5 * time.Minute,
+		// All modes but single-loop run the raw uplink: XOR-delta costs
+		// two full passes over every gradient per round to save ~2% of
+		// bytes on decorrelated gradient data — on a CPU-bound loopback
+		// fleet that codec tax dominates the profile. The single-loop
+		// baseline keeps it on because the pre-shard plane had no
+		// opt-out; the serial mode isolates that difference.
+		DisableUplinkDeltas: !mode.UplinkDeltas,
+		FullBroadcastEvery:  1,
+		OnRound: func(rs cluster.RoundStats) {
+			if rs.Iteration == c.Warmup-1 {
+				windowStart = time.Now()
+			}
+			if rs.Iteration == spec.Rounds-1 {
+				windowEnd = time.Now()
+			}
+		},
+	}
+	srv, err := transport.NewServer("127.0.0.1:0", srvCfg)
+	if err != nil {
+		return pt, nil, err
+	}
+	defer srv.Close()
+	shared, err := transport.NewSharedWorkerState(spec)
+	if err != nil {
+		return pt, nil, err
+	}
+	var wg sync.WaitGroup
+	workerErr := make(chan error, spec.K)
+	for u := 0; u < spec.K; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			_, err := transport.RunWorker(ctx, srv.Addr(), transport.WorkerConfig{
+				ID: u, Shared: shared, ReconnectAttempts: -1,
+			})
+			if err != nil {
+				workerErr <- fmt.Errorf("worker %d: %w", u, err)
+			}
+		}(u)
+	}
+	if _, err := srv.Serve(ctx); err != nil {
+		srv.Close()
+		wg.Wait()
+		return pt, nil, err
+	}
+	wg.Wait()
+	select {
+	case err := <-workerErr:
+		return pt, nil, err
+	default:
+	}
+	if windowStart.IsZero() || windowEnd.IsZero() {
+		return pt, nil, fmt.Errorf("fleet %s K=%d: timing window never closed", mode.Name, spec.K)
+	}
+	pt.Elapsed = windowEnd.Sub(windowStart)
+	if pt.Elapsed > 0 {
+		pt.RoundsPerSec = float64(c.Rounds) / pt.Elapsed.Seconds()
+	}
+	params := make([]float64, len(srv.Params()))
+	copy(params, srv.Params())
+	pt.ParamsHash = hashParams(params)
+	return pt, params, nil
+}
+
+// FleetScaling runs the rounds/sec-vs-worker-count scaling sweep: for
+// each worker count, the single-loop (pre-shard config), serial,
+// sharded, and sharded+pipelined planes drive the same loopback fleet
+// over the identical Spec, and every mode's final parameters are
+// checked bit-for-bit against the serial in-process engine (the uplink
+// delta codec is bit-exact, so all four modes must land on the same
+// bits). The returned points are grouped by worker count in mode order
+// (single-loop first).
+func FleetScaling(ctx context.Context, cfg FleetConfig) ([]FleetPoint, error) {
+	if cfg.Rounds < 1 {
+		cfg.Rounds = 20
+	}
+	if cfg.Warmup < 1 {
+		cfg.Warmup = 2
+	}
+	if cfg.Reps < 1 {
+		cfg.Reps = 3
+	}
+	if cfg.InputDim == 0 {
+		cfg.InputDim = 256
+	}
+	if cfg.Classes == 0 {
+		cfg.Classes = 8
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 2
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if len(cfg.WorkerCounts) == 0 {
+		cfg.WorkerCounts = []int{15, 60, 240}
+	}
+	var out []FleetPoint
+	for _, k := range cfg.WorkerCounts {
+		if k < 3 || k%3 != 0 {
+			return nil, fmt.Errorf("fleet: worker count %d is not a positive multiple of 3 (FRC r=3)", k)
+		}
+		spec := cfg.fleetSpec(k)
+		ref, err := engineFinalParams(spec)
+		if err != nil {
+			return nil, err
+		}
+		var baseline float64
+		for _, mode := range FleetModes(cfg.Shards) {
+			if len(cfg.Modes) > 0 && !slices.Contains(cfg.Modes, mode.Name) {
+				continue
+			}
+			var pt FleetPoint
+			allIdentical := true
+			for rep := 0; rep < cfg.Reps; rep++ {
+				// Settle the heap between reps so one point's garbage
+				// (thousands of conn buffers) is not collected inside the
+				// next point's timing window.
+				runtime.GC()
+				rp, params, err := cfg.runFleetPoint(ctx, spec, mode)
+				if err != nil {
+					return nil, fmt.Errorf("fleet %s K=%d: %w", mode.Name, k, err)
+				}
+				identical := len(params) == len(ref)
+				for i := range ref {
+					if math.Float64bits(params[i]) != math.Float64bits(ref[i]) {
+						identical = false
+						break
+					}
+				}
+				allIdentical = allIdentical && identical
+				if rep == 0 || rp.RoundsPerSec > pt.RoundsPerSec {
+					pt = rp
+				}
+			}
+			pt.BitIdentical = allIdentical
+			if mode.Name == "single-loop" {
+				baseline = pt.RoundsPerSec
+			}
+			if baseline > 0 {
+				pt.Speedup = pt.RoundsPerSec / baseline
+			}
+			cfg.Logf("fleet K=%d mode=%-9s %6.2f rounds/s (%.2fx) bit-identical=%v",
+				k, mode.Name, pt.RoundsPerSec, pt.Speedup, pt.BitIdentical)
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}

@@ -337,6 +337,7 @@ func TestEvictedWorkerRejoinsAfterMissedRounds(t *testing.T) {
 			return
 		}
 		st.params = make([]float64, st.mdl.NumParams())
+		initManualWorkerShards(st, welcome)
 		for {
 			msg, err := victimConn.Recv()
 			if err != nil {
@@ -356,12 +357,17 @@ func TestEvictedWorkerRejoinsAfterMissedRounds(t *testing.T) {
 				victimConn.Close() // crash mid-round, report never sent
 				return
 			}
-			rep, err := st.computeReport(&m)
+			files, samples, err := st.roundWork(&m)
 			if err != nil {
 				t.Error(err)
 				return
 			}
-			if _, err := victimConn.Send(*rep); err != nil {
+			msgs, err := st.computeReport(m.Iteration, files, samples)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := victimConn.SendMany(msgs...); err != nil {
 				t.Errorf("victim send: %v", err)
 				return
 			}

@@ -17,6 +17,28 @@ import (
 	"byzshield/internal/wire"
 )
 
+// initManualWorkerShards gives a hand-rolled test worker the shard
+// state RunWorker's handshake would build from the Welcome.
+func initManualWorkerShards(st *workerState, w Welcome) {
+	shards := w.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	st.shards = shards
+	st.ranges = make([][2]int, shards)
+	dim := st.mdl.NumParams()
+	for s := range st.ranges {
+		st.ranges[s][0], st.ranges[s][1] = wire.ShardRange(dim, shards, s)
+	}
+	st.encs = make([]wire.UplinkEncoder, shards)
+	for s := range st.encs {
+		st.encs[s].NoDelta = !w.UplinkDeltas
+	}
+	st.frames = make([][]byte, shards)
+	st.reps = make([]GradientReport, shards)
+	st.msgs = make([]Message, shards)
+}
+
 // runLoopback runs spec over loopback TCP with the given server config
 // and returns the final params plus the accumulated round stats.
 func runLoopback(t *testing.T, spec Spec, cfg ServerConfig) (*Server, []float64, []cluster.RoundStats) {
@@ -199,7 +221,6 @@ func TestStaleReportRetiredEagerly(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		st := &workerState{cfg: WorkerConfig{ID: victim, Behavior: BehaviorHonest}, lastApplied: -1}
-		st.enc.NoDelta = !welcome.UplinkDeltas
 		var err error
 		if st.mdl, err = welcome.Spec.BuildModel(); err != nil {
 			t.Error(err)
@@ -210,6 +231,7 @@ func TestStaleReportRetiredEagerly(t *testing.T) {
 			return
 		}
 		st.params = make([]float64, st.mdl.NumParams())
+		initManualWorkerShards(st, welcome)
 		for {
 			msg, err := conn.Recv()
 			if err != nil {
@@ -222,7 +244,12 @@ func TestStaleReportRetiredEagerly(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				rep, err := st.computeReport(&m)
+				files, samples, err := st.roundWork(&m)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				msgs, err := st.computeReport(m.Iteration, files, samples)
 				if err != nil {
 					t.Error(err)
 					return
@@ -230,7 +257,7 @@ func TestStaleReportRetiredEagerly(t *testing.T) {
 				if m.Iteration == 0 {
 					<-sendStale // wait for the serve loop to park
 				}
-				if _, err := conn.Send(*rep); err != nil {
+				if _, err := conn.SendMany(msgs...); err != nil {
 					t.Errorf("victim send: %v", err)
 					return
 				}
@@ -350,6 +377,7 @@ func TestLifecycleCountersOnEviction(t *testing.T) {
 			return
 		}
 		st.params = make([]float64, st.mdl.NumParams())
+		initManualWorkerShards(st, welcome)
 		for {
 			msg, err := conn.Recv()
 			if err != nil {
@@ -369,12 +397,17 @@ func TestLifecycleCountersOnEviction(t *testing.T) {
 				conn.Close()
 				return
 			}
-			rep, err := st.computeReport(&m)
+			files, samples, err := st.roundWork(&m)
 			if err != nil {
 				t.Error(err)
 				return
 			}
-			if _, err := conn.Send(*rep); err != nil {
+			msgs, err := st.computeReport(m.Iteration, files, samples)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := conn.SendMany(msgs...); err != nil {
 				t.Errorf("victim send: %v", err)
 				return
 			}

@@ -9,24 +9,32 @@
 // aggregates, and steps exactly like the in-process engine and
 // reproduces its parameter trajectory bit-for-bit for the same Spec.
 //
-// Wire protocol v4 (every message one self-delimiting frame, see
+// Wire protocol v5 (every message one self-delimiting frame, see
 // internal/wire: magic, version, type, length header + canonical
 // little-endian binary payload):
 //
 //	worker → PS:  Hello{WorkerID, Version, Token, Resume}
-//	PS → worker:  Welcome{Version, Token, FullEvery, UplinkDeltas, Spec}
+//	PS → worker:  Welcome{Version, Token, FullEvery, UplinkDeltas, Spec, Shards, Pipeline}
 //	PS → worker:  Reject{Code, Reason}
+//	PS → worker:  RoundPrep{Iteration, Samples}            (pipelined runs)
 //	PS → worker:  RoundStart{Iteration, BaseIteration, ParamsFrame, Files}
-//	worker → PS:  GradientReport{WorkerID, Iteration, Frame}
+//	worker → PS:  GradientReport{WorkerID, Iteration, Shard, Frame}
 //	PS → worker:  Shutdown{FinalAccuracy}
 //
-// v4 adds the detector configuration to the Spec payload (the PS-side
-// detection/reputation layer of internal/detect is part of the
-// experiment description, so observers evaluating the same Spec agree
-// on it) and the typed Reject frame: a blacklisted worker presenting a
-// valid session token is refused with Reject{RejectBlacklisted} instead
-// of a silent close, so the worker process knows the eviction is
-// permanent and stops reconnecting.
+// v5 adds the sharded, pipelined aggregation plane: GradientReport
+// carries a shard index so a worker's report travels as one frame per
+// contiguous coordinate range (wire.ShardRange) and the PS can vote a
+// shard as soon as its last frame lands; RoundPrep broadcasts round
+// t+1's sample lists while round t's tail still aggregates, after which
+// the RoundStart for a prepped round omits the Files map (workers
+// derive file ids from the static assignment). The Welcome announces
+// both knobs. v4 added the detector configuration to the Spec payload
+// (the PS-side detection/reputation layer of internal/detect is part of
+// the experiment description, so observers evaluating the same Spec
+// agree on it) and the typed Reject frame: a blacklisted worker
+// presenting a valid session token is refused with
+// Reject{RejectBlacklisted} instead of a silent close, so the worker
+// process knows the eviction is permanent and stops reconnecting.
 //
 // Version negotiation happens in Hello/Welcome: both sides state the
 // protocol version they speak (additionally stamped on every frame
@@ -90,6 +98,7 @@ const (
 	msgGradientReport
 	msgShutdown
 	msgReject
+	msgRoundPrep
 )
 
 // FaultSpec names one registry fault model with its parameters, so a
@@ -404,6 +413,18 @@ type Welcome struct {
 	// frames; the trajectory is bit-identical either way).
 	UplinkDeltas bool
 	Spec         Spec
+	// Shards is the server's aggregation-shard count: with Shards > 1
+	// the worker splits each report into one GradientReport frame per
+	// shard (coordinate ranges from wire.ShardRange) so the PS can vote
+	// a shard as soon as its last frame lands. 0 or 1 = whole-vector
+	// reports.
+	Shards int
+	// Pipeline tells the worker the server runs pipelined rounds: round
+	// t+1's RoundPrep (sample lists) arrives while round t's tail still
+	// aggregates, and the following RoundStart carries no Files map —
+	// the worker derives its file ids from the static assignment and the
+	// samples from the prep.
+	Pipeline bool
 }
 
 func (Welcome) wireType() byte { return msgWelcome }
@@ -417,7 +438,16 @@ func (m Welcome) appendPayload(dst []byte) ([]byte, error) {
 		deltas = 1
 	}
 	dst = wire.AppendU8(dst, deltas)
-	return appendSpec(dst, &m.Spec)
+	dst, err := appendSpec(dst, &m.Spec)
+	if err != nil {
+		return nil, err
+	}
+	dst = wire.AppendU32(dst, uint32(m.Shards))
+	var pipe uint8
+	if m.Pipeline {
+		pipe = 1
+	}
+	return wire.AppendU8(dst, pipe), nil
 }
 
 func (m *Welcome) decodePayload(src []byte) error {
@@ -427,6 +457,8 @@ func (m *Welcome) decodePayload(src []byte) error {
 	m.FullEvery = d.Int()
 	m.UplinkDeltas = d.U8() != 0
 	decodeSpec(d, &m.Spec)
+	m.Shards = d.Int()
+	m.Pipeline = d.U8() != 0
 	return d.Done()
 }
 
@@ -436,6 +468,11 @@ func (m *Welcome) decodePayload(src []byte) error {
 // BaseIteration names the round whose parameters the delta patches, and
 // the worker must hold exactly that vector. Files maps file id →
 // training-sample indices.
+//
+// A decoded ParamsFrame aliases the connection's receive buffer and is
+// valid only until the next Recv on that Conn — receivers apply it
+// before reading again (copying the whole vector per round just to own
+// it would double the broadcast's memory traffic).
 type RoundStart struct {
 	Iteration     int
 	BaseIteration int
@@ -478,7 +515,7 @@ func (m *RoundStart) decodePayload(src []byte) error {
 		return fmt.Errorf("transport: params frame declares %d bytes, have %d", n, len(src)-d.Offset())
 	}
 	if d.Err() == nil {
-		m.ParamsFrame = append(m.ParamsFrame[:0], src[d.Offset():d.Offset()+n]...)
+		m.ParamsFrame = src[d.Offset() : d.Offset()+n : d.Offset()+n]
 		d.Skip(n)
 	}
 	nf := d.Int()
@@ -505,13 +542,22 @@ func (m *RoundStart) decodePayload(src []byte) error {
 type GradientReport struct {
 	WorkerID  int
 	Iteration int
+	// Shard is the aggregation shard this frame's gradient coordinates
+	// belong to (the [lo, hi) range wire.ShardRange(dim, shards, Shard)
+	// names). Always 0 on unsharded runs, where the frame carries whole
+	// vectors. A sharded worker sends one frame per shard each round,
+	// and the PS counts a worker delivered once all of them landed.
+	Shard int
 	// Frame is the wire-encoded uplink frame (worker, files,
-	// gradients); decode with the connection's wire.UplinkDecoder. Its
-	// embedded worker id must match WorkerID. An empty Frame is an
-	// explicit skip: the worker is alive but reports no gradients this
-	// round (flaky-fault injection), so the PS counts it missing for
-	// the round without evicting it — and neither side's delta base
-	// moves.
+	// gradients); decode with the connection's per-shard
+	// wire.UplinkDecoder. Its embedded worker id must match WorkerID.
+	// A decoded Frame aliases the connection's receive buffer and is
+	// valid only until the next Recv on that Conn — the PS pump runs it
+	// through the uplink decoder before reading again.
+	// An empty Frame (sent with Shard 0 only) is an explicit skip: the
+	// worker is alive but reports no gradients this round (flaky-fault
+	// injection), so the PS counts it missing for the round without
+	// evicting it — and neither side's delta bases move.
 	Frame []byte
 }
 
@@ -520,6 +566,7 @@ func (GradientReport) wireType() byte { return msgGradientReport }
 func (m GradientReport) appendPayload(dst []byte) ([]byte, error) {
 	dst = wire.AppendU32(dst, uint32(m.WorkerID))
 	dst = wire.AppendU32(dst, uint32(m.Iteration))
+	dst = wire.AppendU32(dst, uint32(m.Shard))
 	return append(dst, m.Frame...), nil
 }
 
@@ -527,8 +574,53 @@ func (m *GradientReport) decodePayload(src []byte) error {
 	d := wire.NewDec(src)
 	m.WorkerID = d.Int()
 	m.Iteration = d.Int()
-	m.Frame = append(m.Frame[:0], d.Rest()...)
+	m.Shard = d.Int()
+	m.Frame = d.Rest()
 	return d.Err()
+}
+
+// RoundPrep pipelines round Iteration's sample assignment ahead of its
+// RoundStart: the server broadcasts it while the previous round's tail
+// (vote, aggregate, step) still runs. Samples[j] is the sample list of
+// the receiving worker's j-th assigned file — slot order is the static
+// assignment's ascending file order, so no file ids travel and workers
+// of the same replication group receive byte-identical frames. The
+// matching RoundStart then carries no Files map, only the parameter
+// frame the prep could not know yet.
+type RoundPrep struct {
+	Iteration int
+	Samples   [][]int
+}
+
+func (RoundPrep) wireType() byte { return msgRoundPrep }
+
+func (m RoundPrep) appendPayload(dst []byte) ([]byte, error) {
+	dst = wire.AppendU32(dst, uint32(m.Iteration))
+	dst = wire.AppendU32(dst, uint32(len(m.Samples)))
+	var err error
+	for _, s := range m.Samples {
+		if dst, err = wire.AppendInts(dst, s); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func (m *RoundPrep) decodePayload(src []byte) error {
+	d := wire.NewDec(src)
+	m.Iteration = d.Int()
+	n := d.Int()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if n > 1<<20 {
+		return fmt.Errorf("transport: round prep declares %d files", n)
+	}
+	m.Samples = m.Samples[:0]
+	for i := 0; i < n; i++ {
+		m.Samples = append(m.Samples, d.Ints())
+	}
+	return d.Done()
 }
 
 // Reject codes.
@@ -604,8 +696,8 @@ func ctxErr(ctx context.Context, err error) error {
 // stream had no frame boundaries to come back to.
 type Conn struct {
 	raw net.Conn
-	// Write scratch (payload and frame), reused across Sends.
-	pbuf, wbuf []byte
+	// Write scratch (header + in-place payload), reused across Sends.
+	wbuf []byte
 	// Resumable read state for the in-flight frame.
 	hdr    [wire.FrameHeaderSize]byte
 	hdrN   int
@@ -621,24 +713,96 @@ func NewConn(raw net.Conn) *Conn { return &Conn{raw: raw} }
 // Send transmits one message as a single frame and reports the frame's
 // size in bytes (the exact wire cost of the message).
 func (c *Conn) Send(msg Message) (int, error) {
-	payload, err := msg.appendPayload(c.pbuf[:0])
-	if err != nil {
-		return 0, err
-	}
-	c.pbuf = payload
-	frame, err := wire.AppendFrame(c.wbuf[:0], msg.wireType(), payload)
-	if err != nil {
-		return 0, err
-	}
+	frame, err := appendMessageFrame(c.wbuf[:0], msg)
 	c.wbuf = frame
+	if err != nil {
+		return 0, err
+	}
 	if _, err := c.raw.Write(frame); err != nil {
 		return 0, err
 	}
 	return len(frame), nil
 }
 
-// Recv receives the next message. Decoded messages reuse no Conn
-// state, so callers own them. On a timeout error the partial frame
+// SendMany transmits several messages in one Write call — one frame
+// each, coalesced into a single buffer — and reports the total byte
+// count. Sharded workers use this to ship a round's per-shard report
+// frames as one socket write, so sharding adds frame headers but no
+// extra syscalls or partial-write interleaving hazards.
+func (c *Conn) SendMany(msgs ...Message) (int, error) {
+	frames := c.wbuf[:0]
+	var err error
+	for _, msg := range msgs {
+		if frames, err = appendMessageFrame(frames, msg); err != nil {
+			c.wbuf = frames
+			return 0, err
+		}
+	}
+	c.wbuf = frames
+	if _, err := c.raw.Write(frames); err != nil {
+		return 0, err
+	}
+	return len(frames), nil
+}
+
+// WriteRaw writes a pre-encoded frame (appendMessageFrame) verbatim,
+// bypassing the Conn's encode buffers. The caller must own the outbound
+// stream at that moment, exactly as for Send; the payoff is that a
+// frame shared by many workers — a pipelined RoundStart with no Files
+// map, a replication group's RoundPrep — is encoded once and written N
+// times instead of encoded N times.
+func (c *Conn) WriteRaw(frame []byte) (int, error) {
+	if _, err := c.raw.Write(frame); err != nil {
+		return 0, err
+	}
+	return len(frame), nil
+}
+
+// WriteRaw2 writes two pre-encoded frames back-to-back in a single
+// vectored write (writev on TCP), so piggybacking one frame on another
+// costs no extra syscall. An empty second frame degrades to WriteRaw.
+func (c *Conn) WriteRaw2(a, b []byte) (int, error) {
+	if len(b) == 0 {
+		return c.WriteRaw(a)
+	}
+	bufs := net.Buffers{a, b}
+	if _, err := bufs.WriteTo(c.raw); err != nil {
+		return 0, err
+	}
+	return len(a) + len(b), nil
+}
+
+// SendWithRaw transmits msg as one frame immediately followed by a
+// pre-encoded raw frame, both in a single vectored write. A nil raw
+// frame degrades to Send.
+func (c *Conn) SendWithRaw(msg Message, raw []byte) (int, error) {
+	frame, err := appendMessageFrame(c.wbuf[:0], msg)
+	c.wbuf = frame
+	if err != nil {
+		return 0, err
+	}
+	return c.WriteRaw2(frame, raw)
+}
+
+// appendMessageFrame encodes msg as one complete frame appended to
+// dst: the payload is built in place right after the header and the
+// length patched afterwards (wire.BeginFrame/EndFrame), so assembling
+// a frame costs no payload copy. Also used to pre-encode a frame once
+// and write it to many connections with Conn.WriteRaw. The buffer is
+// returned even on error so callers keep reusing its capacity.
+func appendMessageFrame(dst []byte, msg Message) ([]byte, error) {
+	dst, at := wire.BeginFrame(dst, msg.wireType())
+	dst, err := msg.appendPayload(dst)
+	if err != nil {
+		return dst, err
+	}
+	return wire.EndFrame(dst, at)
+}
+
+// Recv receives the next message. Decoded messages own their fields,
+// with two documented exceptions — RoundStart.ParamsFrame and
+// GradientReport.Frame alias the Conn's receive buffer and must be
+// consumed before the next Recv. On a timeout error the partial frame
 // remains buffered and the next Recv resumes it; any other error (or a
 // malformed frame) is fatal for the stream.
 func (c *Conn) Recv() (any, error) {
@@ -709,6 +873,12 @@ func decodeMessage(typ byte, body []byte) (any, error) {
 		return m, nil
 	case msgReject:
 		var m Reject
+		if err := m.decodePayload(body); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case msgRoundPrep:
+		var m RoundPrep
 		if err := m.decodePayload(body); err != nil {
 			return nil, err
 		}

@@ -82,6 +82,22 @@ type ServerConfig struct {
 	// Parallelism is the width of the PS-side engine pool used for vote
 	// sharding and chunked aggregation (0 → GOMAXPROCS, 1 → serial).
 	Parallelism int
+	// Shards splits the aggregation plane into N contiguous coordinate
+	// ranges (wire.ShardRange): each worker ships one report frame per
+	// shard, and the PS votes a shard the moment the last live worker's
+	// frame for it lands — while other shards still collect. 0 or 1
+	// keeps whole-vector reports. Counts above the model dimension clamp
+	// to it; counts above 64 are rejected (the per-frame overhead
+	// dominates long before that). The parameter trajectory is
+	// bit-identical to the unsharded plane (see internal/cluster).
+	Shards int
+	// Pipeline overlaps consecutive rounds: while round t's tail (vote,
+	// aggregate, step) still runs, the server draws round t+1's batch
+	// and broadcasts its sample lists as RoundPrep frames, so round
+	// t+1's RoundStart carries no Files map and is one shared
+	// pre-encoded frame written to every prepped worker. Bit-identical
+	// to serial rounds (the batch stream is consumed in the same order).
+	Pipeline bool
 	// OnRound, when non-nil, receives every completed round's
 	// statistics — including missing workers, degraded/dropped file
 	// counts, and connection-lifecycle counters. It runs on the serve
@@ -192,22 +208,32 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	src := newWireSource(asn, cfg.RoundTimeout, cfg.FullBroadcastEvery, cfg.Logf)
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("transport: shard count %d < 0", cfg.Shards)
+	}
+	if cfg.Shards > 64 {
+		return nil, fmt.Errorf("transport: shard count %d > 64", cfg.Shards)
+	}
+	shards := wire.ShardCount(cfg.Shards, mdl.NumParams())
+	src := newWireSource(asn, cfg.RoundTimeout, cfg.FullBroadcastEvery, shards, cfg.Pipeline, cfg.Spec.Rounds, cfg.Logf)
+	src.noUplinkDeltas = cfg.DisableUplinkDeltas
 	eng, err := cluster.New(cluster.Config{
-		Assignment:  asn,
-		Model:       mdl,
-		Train:       train,
-		Test:        test,
-		BatchSize:   cfg.Spec.BatchSize,
-		Aggregator:  cfg.Aggregator,
-		Schedule:    cfg.Spec.Schedule,
-		Momentum:    cfg.Spec.Momentum,
-		Seed:        cfg.Spec.Seed,
-		Quorum:      cfg.Quorum,
-		Parallelism: cfg.Parallelism,
-		Detector:    det,
-		Detection:   cfg.Spec.DetectorParams.Policy(),
-		Source:      src,
+		Assignment:   asn,
+		Model:        mdl,
+		Train:        train,
+		Test:         test,
+		BatchSize:    cfg.Spec.BatchSize,
+		Aggregator:   cfg.Aggregator,
+		Schedule:     cfg.Spec.Schedule,
+		Momentum:     cfg.Spec.Momentum,
+		Seed:         cfg.Spec.Seed,
+		Quorum:       cfg.Quorum,
+		Parallelism:  cfg.Parallelism,
+		Shards:       shards,
+		PrepareAhead: cfg.Pipeline,
+		Detector:     det,
+		Detection:    cfg.Spec.DetectorParams.Policy(),
+		Source:       src,
 	})
 	if err != nil {
 		return nil, err
@@ -389,6 +415,8 @@ func (s *Server) handshake(ctx context.Context, conn *Conn) {
 		FullEvery:    s.cfg.FullBroadcastEvery,
 		UplinkDeltas: !s.cfg.DisableUplinkDeltas,
 		Spec:         s.cfg.Spec,
+		Shards:       ws.shards,
+		Pipeline:     ws.pipeline,
 	}); err != nil {
 		if !hello.Resume {
 			// Release the reserved slot so the worker id can join again.
@@ -645,6 +673,9 @@ type pumpItem struct {
 	u    int
 	conn *Conn
 	iter int
+	// shard is the aggregation shard the report frame covers
+	// (pumpReport only; always 0 on unsharded runs).
+	shard int
 	// wireBytes/rawBytes are the report's actual frame size and its
 	// raw-equivalent size (pumpReport only).
 	wireBytes, rawBytes int
@@ -664,17 +695,23 @@ type pump struct {
 	ws   *wireSource
 	u    int
 	conn *Conn
-	dec  wire.UplinkDecoder
+	// decs holds one uplink decoder per aggregation shard: a sharded
+	// worker runs one independent delta stream per shard (each with its
+	// own base), mirroring the per-shard encoders on the worker side.
+	decs []wire.UplinkDecoder
 	// frame is the decode target; its Grads are pointed at the engine's
 	// arena buffers for deliverable reports and at private scratch for
 	// stale ones (the arena slot may be under read by a vote).
 	frame      wire.GradFrame
 	staleGrads [][]float64
-	// delivered is the last iteration pushed to the inbox: at most one
-	// report or skip enters the inbox per (connection, round), which
-	// both bounds the inbox and keeps a duplicate frame from being
-	// decoded into an arena buffer the engine is reading.
-	delivered int
+	// deliveredIter/deliveredMask bound the inbox: at most one report
+	// frame enters it per (connection, round, shard), which keeps a
+	// duplicate frame from being decoded into an arena buffer the
+	// engine is reading. The mask bit s marks shard s delivered for
+	// deliveredIter (a skip sets every bit — one frame stands for the
+	// whole worker).
+	deliveredIter int
+	deliveredMask uint64
 }
 
 // run pumps frames until the connection dies or misbehaves.
@@ -708,26 +745,38 @@ func (p *pump) handle(rep GradientReport) error {
 	if rep.WorkerID != p.u {
 		return fmt.Errorf("report claims worker %d", rep.WorkerID)
 	}
+	if rep.Shard < 0 || rep.Shard >= ws.shards {
+		return fmt.Errorf("report shard %d outside [0,%d)", rep.Shard, ws.shards)
+	}
+	if len(rep.Frame) == 0 && rep.Shard != 0 {
+		return fmt.Errorf("skip frame carries shard %d", rep.Shard)
+	}
 	it := rep.Iteration
 	cur := int(ws.curRound.Load())
 	if it > cur || it < 0 {
 		return fmt.Errorf("report for future round %d (current %d)", it, cur)
 	}
+	if it > p.deliveredIter {
+		p.deliveredIter = it
+		p.deliveredMask = 0
+	}
 	retire := int(ws.retireBelow.Load())
-	if it < retire || it <= p.delivered {
-		// Too late for its round (or a duplicate): retire it now — but
-		// still run it through the decoder into private scratch, so the
-		// uplink delta base advances exactly as the worker's encoder
-		// did when it sent the frame.
+	if it < retire || it < p.deliveredIter || p.deliveredMask&(1<<rep.Shard) != 0 {
+		// Too late for its round (or a duplicate shard frame): retire
+		// it now — but still run it through the decoder into private
+		// scratch, so the uplink delta base advances exactly as the
+		// worker's encoder did when it sent the frame.
 		ws.staleFrames.Add(1)
 		if len(rep.Frame) == 0 {
 			return nil
 		}
-		return p.decode(rep.Frame, p.scratchBufs())
+		return p.decode(rep.Frame, p.scratchBufs(rep.Shard), rep.Shard)
 	}
-	// Current round, first report on this connection: deliverable.
-	p.delivered = it
+	p.deliveredMask |= 1 << rep.Shard
 	if len(rep.Frame) == 0 {
+		// Explicit whole-worker skip: the one empty frame stands for
+		// every shard of the round.
+		p.deliveredMask = ^uint64(0)
 		p.push(pumpItem{kind: pumpSkip, u: p.u, conn: p.conn, iter: it})
 		return nil
 	}
@@ -740,11 +789,11 @@ func (p *pump) handle(rep GradientReport) error {
 	wf := ws.files[p.u]
 	ws.arenaMu[p.u].Lock()
 	live := ws.liveConn(p.u) == p.conn
-	bufs := p.scratchBufs()
+	bufs := p.scratchBufs(rep.Shard)
 	if live {
-		bufs = p.arenaBufs()
+		bufs = p.arenaBufs(rep.Shard)
 	}
-	err := p.decode(rep.Frame, bufs)
+	err := p.decode(rep.Frame, bufs, rep.Shard)
 	ws.arenaMu[p.u].Unlock()
 	if err != nil {
 		return err
@@ -753,22 +802,25 @@ func (p *pump) handle(rep GradientReport) error {
 		ws.staleFrames.Add(1)
 		return nil
 	}
+	lo, hi := ws.shardRanges[rep.Shard][0], ws.shardRanges[rep.Shard][1]
 	p.push(pumpItem{
-		kind: pumpReport, u: p.u, conn: p.conn, iter: it,
+		kind: pumpReport, u: p.u, conn: p.conn, iter: it, shard: rep.Shard,
 		wireBytes: len(rep.Frame),
-		rawBytes:  wire.UplinkRawSize(len(wf), ws.dim),
+		rawBytes:  wire.UplinkRawSize(len(wf), hi-lo),
 	})
 	return nil
 }
 
-// decode runs one report frame through the connection's uplink decoder
-// into the given target buffers and validates its structure against
-// the worker's static file assignment.
-func (p *pump) decode(frameBytes []byte, bufs [][]float64) error {
+// decode runs one report frame through the connection's per-shard
+// uplink decoder into the given target buffers and validates its
+// structure against the worker's static file assignment and the
+// shard's coordinate width.
+func (p *pump) decode(frameBytes []byte, bufs [][]float64, shard int) error {
 	ws := p.ws
 	wf := ws.files[p.u]
+	want := ws.shardRanges[shard][1] - ws.shardRanges[shard][0]
 	p.frame.Grads = bufs
-	_, consumed, err := p.dec.Decode(frameBytes, &p.frame)
+	_, consumed, err := p.decs[shard].Decode(frameBytes, &p.frame)
 	switch {
 	case err != nil:
 		return err
@@ -780,23 +832,32 @@ func (p *pump) decode(frameBytes []byte, bufs [][]float64) error {
 		return fmt.Errorf("frame files %v, want %v", p.frame.Files, wf)
 	}
 	for j := range wf {
-		if len(p.frame.Grads[j]) != ws.dim {
-			return fmt.Errorf("frame gradient %d has dim %d, want %d", j, len(p.frame.Grads[j]), ws.dim)
+		if len(p.frame.Grads[j]) != want {
+			return fmt.Errorf("frame gradient %d has dim %d, want %d", j, len(p.frame.Grads[j]), want)
 		}
 	}
 	return nil
 }
 
-// arenaBufs points the decode at the engine's stable slot buffers for
-// this worker — delivering a report is decoding it in place.
-func (p *pump) arenaBufs() [][]float64 {
-	wf := p.ws.files[p.u]
+// arenaBufs points the decode at the shard's coordinate range of the
+// engine's stable slot buffers for this worker — delivering a report
+// frame is decoding it in place. Distinct shards write disjoint ranges
+// of the same rows, so a shard that already landed can be under read
+// by an early vote while later shards still decode.
+func (p *pump) arenaBufs(shard int) [][]float64 {
+	ws := p.ws
+	wf := ws.files[p.u]
+	lo, hi := ws.shardRanges[shard][0], ws.shardRanges[shard][1]
 	if cap(p.frame.Grads) < len(wf) {
 		p.frame.Grads = make([][]float64, len(wf))
 	}
 	bufs := p.frame.Grads[:len(wf)]
 	for j := range wf {
-		bufs[j] = p.ws.eng.GradBuffer(p.u, j)
+		// The full slice expression caps the target at the shard
+		// boundary: a hostile frame declaring a wider dimension makes
+		// the decoder allocate instead of scribbling into a neighboring
+		// shard's coordinates, and the width check above then evicts.
+		bufs[j] = ws.eng.GradBuffer(p.u, j)[lo:hi:hi]
 	}
 	return bufs
 }
@@ -804,15 +865,24 @@ func (p *pump) arenaBufs() [][]float64 {
 // scratchBufs are the pump-private decode targets for stale frames:
 // the arena slot may be under concurrent read by the round that just
 // missed this worker, so late frames must not touch it.
-func (p *pump) scratchBufs() [][]float64 {
-	wf := p.ws.files[p.u]
+func (p *pump) scratchBufs(shard int) [][]float64 {
+	ws := p.ws
+	wf := ws.files[p.u]
 	if p.staleGrads == nil {
 		p.staleGrads = make([][]float64, len(wf))
 		for j := range p.staleGrads {
-			p.staleGrads[j] = make([]float64, p.ws.dim)
+			p.staleGrads[j] = make([]float64, ws.dim)
 		}
 	}
-	return p.staleGrads
+	lo, hi := ws.shardRanges[shard][0], ws.shardRanges[shard][1]
+	if cap(p.frame.Grads) < len(wf) {
+		p.frame.Grads = make([][]float64, len(wf))
+	}
+	bufs := p.frame.Grads[:len(wf)]
+	for j := range wf {
+		bufs[j] = p.staleGrads[j][lo:hi:hi]
+	}
+	return bufs
 }
 
 // push forwards an item to the collection inbox, giving up when the
@@ -846,6 +916,19 @@ type wireSource struct {
 
 	eng *cluster.Engine
 	dim int
+
+	// shards is the aggregation-plane shard count (1 = whole-vector);
+	// shardRanges[s] the [lo, hi) coordinate range of shard s. pipeline
+	// enables the RoundPrep overlap; rounds bounds it (no prep past the
+	// final round).
+	shards      int
+	shardRanges [][2]int
+	pipeline    bool
+	rounds      int
+	// noUplinkDeltas mirrors ServerConfig.DisableUplinkDeltas into the
+	// pumps' frame decoders, so raw-only streams skip the per-report
+	// delta-base copy.
+	noUplinkDeltas bool
 
 	mu          sync.Mutex
 	workers     []workerEntry
@@ -895,6 +978,12 @@ type wireSource struct {
 	roundConns []*Conn
 	roundAcks  []int
 	done       []bool
+	// Sharded collection scratch: gotShards[u] is the round's delivered
+	// shard mask per worker, shardLeft[s] the number of live workers
+	// whose shard-s frame is still outstanding — reaching zero triggers
+	// the early shard vote while other shards still collect.
+	gotShards []uint64
+	shardLeft []int
 	// prevParams is the parameter vector broadcast last round (the
 	// delta base); prevIter the iteration it belongs to (-1 = none).
 	prevParams []float64
@@ -902,23 +991,63 @@ type wireSource struct {
 	// fullFrame/deltaFrame are the per-round broadcast encode buffers,
 	// shared read-only by every send goroutine of the round.
 	fullFrame, deltaFrame []byte
+	// rsFullFrame/rsDeltaFrame are the round's shared pre-encoded
+	// RoundStart frames for prepped workers (pipelined rounds carry no
+	// Files map, so the bytes are identical across workers and are
+	// written verbatim per connection).
+	rsFullFrame, rsDeltaFrame []byte
+
+	// Pipelined prep state. PrepareNext encodes round t+1's sample
+	// lists once per replication group (prepGroups clusters workers
+	// with identical file lists; groupOf maps a worker to its group)
+	// into prepFrames and records the round in prepReady; Collect then
+	// piggybacks each group's frame on the same vectored write as round
+	// t's RoundStart. prepIter[u]/prepConn[u] record the round worker u
+	// was last successfully prepped for and on which connection — the
+	// slim-RoundStart fast path fires only when both match the round
+	// being broadcast (written by the round's send goroutines, read by
+	// the next Collect after the sends.Wait barrier).
+	prepReady   int
+	prepIter    []int
+	prepConn    []*Conn
+	prepGroups  [][]int
+	groupOf     []int
+	prepFrames  [][]byte
+	prepSamples [][]int
+
+	// collectTimer is the reused collection deadline timer; it is
+	// stopped and drained before every Reset so a tick left over from
+	// an earlier round — fired after that round's deadline path stopped
+	// selecting, or still pending when the round completed early — can
+	// never end a later round's collection prematurely.
+	collectTimer *time.Timer
 }
 
-// newWireSource prepares the per-worker state tables.
-func newWireSource(asn *assign.Assignment, timeout time.Duration, fullEvery int, logf func(string, ...any)) *wireSource {
+// newWireSource prepares the per-worker state tables. shards must
+// already be clamped to [1, dim] (wire.ShardCount).
+func newWireSource(asn *assign.Assignment, timeout time.Duration, fullEvery, shards int, pipeline bool, rounds int, logf func(string, ...any)) *wireSource {
 	ws := &wireSource{
-		timeout:    timeout,
-		fullEvery:  fullEvery,
-		logf:       logf,
-		workers:    make([]workerEntry, asn.K),
-		joinedCh:   make(chan struct{}, 1),
-		inbox:      make(chan pumpItem, 4*asn.K+8),
+		timeout:   timeout,
+		fullEvery: fullEvery,
+		logf:      logf,
+		shards:    shards,
+		pipeline:  pipeline,
+		rounds:    rounds,
+		workers:   make([]workerEntry, asn.K),
+		joinedCh:  make(chan struct{}, 1),
+		// The inbox covers the worst case of one report frame per shard
+		// per worker per round, leftovers of one previous round, and a
+		// death notice per worker, so pumps block only when the
+		// collector is about to drain.
+		inbox:      make(chan pumpItem, (2+2*shards)*asn.K+8),
 		stopCh:     make(chan struct{}),
 		files:      make([][]int, asn.K),
 		arenaMu:    make([]sync.Mutex, asn.K),
 		roundConns: make([]*Conn, asn.K),
 		roundAcks:  make([]int, asn.K),
 		done:       make([]bool, asn.K),
+		gotShards:  make([]uint64, asn.K),
+		shardLeft:  make([]int, shards),
 		prevIter:   -1,
 	}
 	ws.curRound.Store(-1)
@@ -926,13 +1055,47 @@ func newWireSource(asn *assign.Assignment, timeout time.Duration, fullEvery int,
 	for u := 0; u < asn.K; u++ {
 		ws.files[u] = asn.WorkerFiles(u)
 	}
+	if pipeline {
+		ws.prepReady = -1
+		ws.prepIter = make([]int, asn.K)
+		ws.prepConn = make([]*Conn, asn.K)
+		ws.groupOf = make([]int, asn.K)
+		for u := range ws.prepIter {
+			ws.prepIter[u] = -1
+		}
+		// Workers with identical file lists (a replication group) share
+		// one encoded RoundPrep frame per round.
+		for u := 0; u < asn.K; u++ {
+			g := -1
+			for gi, members := range ws.prepGroups {
+				if slices.Equal(ws.files[members[0]], ws.files[u]) {
+					g = gi
+					break
+				}
+			}
+			if g < 0 {
+				g = len(ws.prepGroups)
+				ws.prepGroups = append(ws.prepGroups, []int{u})
+			} else {
+				ws.prepGroups[g] = append(ws.prepGroups[g], u)
+			}
+			ws.groupOf[u] = g
+		}
+		ws.prepFrames = make([][]byte, len(ws.prepGroups))
+	}
 	return ws
 }
 
-// bind attaches the engine whose arena the pumps decode into.
+// bind attaches the engine whose arena the pumps decode into and
+// derives the shard coordinate ranges from the model dimension.
 func (ws *wireSource) bind(eng *cluster.Engine, dim int) {
 	ws.eng = eng
 	ws.dim = dim
+	ws.shardRanges = make([][2]int, ws.shards)
+	for s := range ws.shardRanges {
+		lo, hi := wire.ShardRange(dim, ws.shards, s)
+		ws.shardRanges[s] = [2]int{lo, hi}
+	}
 }
 
 // startPump launches worker u's reader goroutine for conn. Callers
@@ -943,7 +1106,10 @@ func (ws *wireSource) startPump(u int, conn *Conn) {
 		return
 	}
 	ws.pumps.Add(1)
-	p := &pump{ws: ws, u: u, conn: conn, delivered: -1}
+	p := &pump{ws: ws, u: u, conn: conn, deliveredIter: -1, decs: make([]wire.UplinkDecoder, ws.shards)}
+	for s := range p.decs {
+		p.decs[s].NoDelta = ws.noUplinkDeltas
+	}
 	go p.run()
 }
 
@@ -1092,6 +1258,7 @@ func (ws *wireSource) Collect(ctx context.Context, rd *cluster.Round) (cluster.C
 		ws.roundConns[u] = w.conn
 		ws.roundAcks[u] = w.lastAck
 		ws.done[u] = false
+		ws.gotShards[u] = 0
 		if w.conn == nil {
 			rd.MarkMissing(u)
 		} else {
@@ -1099,9 +1266,17 @@ func (ws *wireSource) Collect(ctx context.Context, rd *cluster.Round) (cluster.C
 		}
 	}
 	ws.mu.Unlock()
+	for s := range ws.shardLeft {
+		ws.shardLeft[s] = outstanding
+	}
 
 	// Parallel broadcast: one send goroutine per live worker, so one
 	// slow socket costs the round a write deadline, not a serial sum.
+	// A prepped worker (round t's RoundPrep reached this connection on
+	// the previous broadcast) gets the shared pre-encoded frame with no
+	// Files map; when round t+1's prep is staged, its group frame rides
+	// the same vectored write as this round's RoundStart.
+	prepNext := ws.pipeline && ws.prepReady == t+1
 	var bcastBytes atomic.Int64
 	var sends sync.WaitGroup
 	for u := range ws.roundConns {
@@ -1109,10 +1284,15 @@ func (ws *wireSource) Collect(ctx context.Context, rd *cluster.Round) (cluster.C
 		if conn == nil {
 			continue
 		}
+		prepped := ws.pipeline && ws.prepIter[u] == t && ws.prepConn[u] == conn
+		var prepFrame []byte
+		if prepNext {
+			prepFrame = ws.prepFrames[ws.groupOf[u]]
+		}
 		sends.Add(1)
-		go func(u int, conn *Conn, lastAck int) {
+		go func(u int, conn *Conn, lastAck int, prepped bool, prepFrame []byte) {
 			defer sends.Done()
-			n, err := ws.sendRoundStart(t, u, conn, lastAck, rd)
+			n, err := ws.sendRoundStart(t, u, conn, lastAck, rd, prepped, prepFrame)
 			if err != nil {
 				// A failed or partial send poisons the outbound stream —
 				// unlike reads it cannot be resumed, so the worker is
@@ -1121,14 +1301,40 @@ func (ws *wireSource) Collect(ctx context.Context, rd *cluster.Round) (cluster.C
 				ws.evict(u, conn, fmt.Errorf("send: %w", err))
 				return
 			}
+			if prepFrame != nil {
+				// Written before sends.Done, read by the next Collect
+				// after sends.Wait — the barrier orders it.
+				ws.prepIter[u] = t + 1
+				ws.prepConn[u] = conn
+			}
 			bcastBytes.Add(int64(n))
-		}(u, conn, ws.roundAcks[u])
+		}(u, conn, ws.roundAcks[u], prepped, prepFrame)
 	}
 	sends.Wait()
 
 	// Collection: a single select over the inbox and one deadline
 	// timer. No per-worker socket reads, no per-worker deadlines.
+	// retireShards removes a worker's undelivered shard frames from the
+	// per-shard outstanding counts when it leaves the round (skip,
+	// death, eviction); a shard whose count reaches zero is voted right
+	// here, on the collecting goroutine, while the others still collect.
 	var reportBytes, rawBytes int64
+	// fullMask has one bit per shard (explicit all-ones at 64 shards
+	// rather than leaning on shift-wrap semantics).
+	fullMask := uint64(1)<<ws.shards - 1
+	if ws.shards == 64 {
+		fullMask = ^uint64(0)
+	}
+	retireShards := func(u int) {
+		for s := range ws.shardLeft {
+			if ws.gotShards[u]&(1<<s) == 0 {
+				ws.shardLeft[s]--
+				if ws.shardLeft[s] == 0 {
+					rd.VoteShardEarly(s)
+				}
+			}
+		}
+	}
 	handleItem := func(item pumpItem) {
 		u := item.u
 		if ws.roundConns[u] != item.conn || ws.done[u] {
@@ -1145,6 +1351,18 @@ func (ws *wireSource) Collect(ctx context.Context, rd *cluster.Round) (cluster.C
 				ws.staleFrames.Add(1)
 				return
 			}
+			ws.gotShards[u] |= 1 << item.shard
+			reportBytes += int64(item.wireBytes)
+			rawBytes += int64(item.rawBytes)
+			ws.shardLeft[item.shard]--
+			if ws.shardLeft[item.shard] == 0 {
+				rd.VoteShardEarly(item.shard)
+			}
+			if ws.gotShards[u] != fullMask {
+				// More shard frames outstanding: the worker is not yet
+				// accounted for this round.
+				return
+			}
 			for j := range ws.files[u] {
 				if err := rd.Deliver(u, j, ws.eng.GradBuffer(u, j)); err != nil {
 					ws.evict(u, item.conn, err)
@@ -1155,8 +1373,6 @@ func (ws *wireSource) Collect(ctx context.Context, rd *cluster.Round) (cluster.C
 				}
 			}
 			ws.ack(u, t)
-			reportBytes += int64(item.wireBytes)
-			rawBytes += int64(item.rawBytes)
 		case pumpSkip:
 			if item.iter != t {
 				ws.staleFrames.Add(1)
@@ -1168,17 +1384,33 @@ func (ws *wireSource) Collect(ctx context.Context, rd *cluster.Round) (cluster.C
 			ws.logf("worker %d skipped round %d", u, t)
 			ws.ack(u, t)
 			rd.MarkMissing(u)
+			retireShards(u)
 		case pumpDeath:
 			rd.MarkMissing(u)
+			retireShards(u)
 		}
 		ws.done[u] = true
 		outstanding--
 	}
 	var timerC <-chan time.Time
 	if ws.timeout > 0 {
-		timer := time.NewTimer(ws.timeout)
-		defer timer.Stop()
-		timerC = timer.C
+		if ws.collectTimer == nil {
+			ws.collectTimer = time.NewTimer(ws.timeout)
+		} else {
+			// Reuse hygiene: the previous round may have left the timer
+			// running (collection finished early) or its tick pending
+			// (it fired after the deadline path stopped selecting).
+			// Stop and drain before Reset so a stale tick cannot end
+			// this round's collection prematurely.
+			if !ws.collectTimer.Stop() {
+				select {
+				case <-ws.collectTimer.C:
+				default:
+				}
+			}
+			ws.collectTimer.Reset(ws.timeout)
+		}
+		timerC = ws.collectTimer.C
 	}
 	for outstanding > 0 {
 		select {
@@ -1255,6 +1487,23 @@ func (ws *wireSource) prepareBroadcast(t int, params []float64) error {
 			return fmt.Errorf("transport: broadcast: %w", err)
 		}
 	}
+	if ws.pipeline {
+		// Shared RoundStart frames for prepped workers: without a Files
+		// map the message is identical across the fleet, so each
+		// variant is encoded once and written verbatim per connection —
+		// two encodes per round instead of K.
+		if ws.rsFullFrame, err = appendMessageFrame(ws.rsFullFrame[:0],
+			RoundStart{Iteration: t, ParamsFrame: ws.fullFrame}); err != nil {
+			return fmt.Errorf("transport: broadcast: %w", err)
+		}
+		ws.rsDeltaFrame = ws.rsDeltaFrame[:0]
+		if len(ws.deltaFrame) > 0 {
+			if ws.rsDeltaFrame, err = appendMessageFrame(ws.rsDeltaFrame[:0],
+				RoundStart{Iteration: t, BaseIteration: t - 1, ParamsFrame: ws.deltaFrame}); err != nil {
+				return fmt.Errorf("transport: broadcast: %w", err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -1264,8 +1513,24 @@ func (ws *wireSource) refreshRound(t int) bool {
 }
 
 // sendRoundStart sends one worker's RoundStart (full or delta
-// parameters by acknowledgement state) and returns the frame size.
-func (ws *wireSource) sendRoundStart(t, u int, conn *Conn, lastAck int, rd *cluster.Round) (int, error) {
+// parameters by acknowledgement state) and returns the bytes written.
+// A prepped worker — round t's RoundPrep reached this connection — gets
+// the shared pre-encoded frame with no Files map; an unprepped one
+// (fresh join, rejoin, or a lost prep) falls back to the self-contained
+// per-worker encode. A non-nil prepFrame (round t+1's sample lists for
+// this worker's replication group) rides the same vectored write.
+func (ws *wireSource) sendRoundStart(t, u int, conn *Conn, lastAck int, rd *cluster.Round, prepped bool, prepFrame []byte) (int, error) {
+	if ws.timeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(ws.timeout))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	if prepped {
+		frame := ws.rsFullFrame
+		if len(ws.rsDeltaFrame) > 0 && lastAck == t-1 {
+			frame = ws.rsDeltaFrame
+		}
+		return conn.WriteRaw2(frame, prepFrame)
+	}
 	assigned := make(map[int][]int, len(ws.files[u]))
 	for _, v := range ws.files[u] {
 		assigned[v] = rd.FileSamples(v)
@@ -1277,11 +1542,39 @@ func (ws *wireSource) sendRoundStart(t, u int, conn *Conn, lastAck int, rd *clus
 	} else {
 		rs.ParamsFrame = ws.fullFrame
 	}
-	if ws.timeout > 0 {
-		conn.SetWriteDeadline(time.Now().Add(ws.timeout))
-		defer conn.SetWriteDeadline(time.Time{})
+	return conn.SendWithRaw(rs, prepFrame)
+}
+
+// PrepareNext implements cluster.RoundPreparer: the engine calls it
+// with round iter's freshly drawn file→sample partition just before
+// round iter-1's collection opens. Nothing is sent from here — the
+// sample lists are encoded once per replication group (identical file
+// lists, so every member receives byte-identical bytes; no file ids
+// travel, samples ride in static slot order) and stashed. Collect then
+// piggybacks each group's frame on the same vectored write as round
+// iter-1's RoundStart, so pipelining the prep costs no extra syscalls,
+// send goroutines, or barriers. A failed combined write evicts exactly
+// like a failed RoundStart send; the worker rejoins unprepped.
+func (ws *wireSource) PrepareNext(iter int, files [][]int) {
+	ws.prepReady = -1
+	if !ws.pipeline || iter >= ws.rounds {
+		return
 	}
-	return conn.Send(rs)
+	for g, members := range ws.prepGroups {
+		samples := ws.prepSamples[:0]
+		for _, v := range ws.files[members[0]] {
+			samples = append(samples, files[v])
+		}
+		ws.prepSamples = samples
+		frame, err := appendMessageFrame(ws.prepFrames[g][:0],
+			RoundPrep{Iteration: iter, Samples: samples})
+		ws.prepFrames[g] = frame
+		if err != nil {
+			ws.logf("round %d: prep encode: %v", iter, err)
+			return
+		}
+	}
+	ws.prepReady = iter
 }
 
 // ack records that worker u applied round t's parameter broadcast.

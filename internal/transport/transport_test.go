@@ -437,6 +437,9 @@ func driveWorker(t *testing.T, c *Conn, id int, spec Spec) error {
 		return err
 	}
 	st.params = make([]float64, st.mdl.NumParams())
+	// Unsharded raw-frame uplink: raw frames decode under any server
+	// delta policy.
+	initManualWorkerShards(st, Welcome{})
 	for {
 		msg, err := c.Recv()
 		if err != nil {
@@ -447,11 +450,15 @@ func driveWorker(t *testing.T, c *Conn, id int, spec Spec) error {
 			if err := st.applyParams(&m); err != nil {
 				return err
 			}
-			rep, err := st.computeReport(&m)
+			files, samples, err := st.roundWork(&m)
 			if err != nil {
 				return err
 			}
-			if _, err := c.Send(*rep); err != nil {
+			msgs, err := st.computeReport(m.Iteration, files, samples)
+			if err != nil {
+				return err
+			}
+			if _, err := c.SendMany(msgs...); err != nil {
 				return err
 			}
 		case Shutdown:

@@ -81,8 +81,44 @@ type WorkerConfig struct {
 	// ALIEZ overrides ALIE's z factor (0 derives z from the cluster and
 	// coalition sizes via attack.ZMax, matching the in-process attack).
 	ALIEZ float64
+	// Shared, when non-nil, supplies the heavyweight Spec-derived state
+	// (dataset, model, fault plan, assignment) from a pool shared by
+	// every worker in the process — what lets a loopback fleet run
+	// thousands of workers without K copies of the training set. It must
+	// be built (NewSharedWorkerState) from the same Spec the server
+	// serves; the models' gradient scratch is sync.Pool-backed, so
+	// concurrent SumGradient calls across workers are safe.
+	Shared *SharedWorkerState
 	// Logf receives progress lines; nil disables logging.
 	Logf func(format string, args ...any)
+}
+
+// SharedWorkerState is the read-only (or concurrency-safe) per-Spec
+// state many in-process workers can share; see WorkerConfig.Shared.
+type SharedWorkerState struct {
+	mdl   model.Model
+	train *data.Dataset
+	flt   fault.Fault
+	asn   *assign.Assignment
+}
+
+// NewSharedWorkerState builds the shareable worker state for spec.
+func NewSharedWorkerState(spec Spec) (*SharedWorkerState, error) {
+	s := &SharedWorkerState{}
+	var err error
+	if s.mdl, err = spec.BuildModel(); err != nil {
+		return nil, err
+	}
+	if s.train, _, err = spec.BuildData(); err != nil {
+		return nil, err
+	}
+	if s.flt, err = spec.BuildFault(); err != nil {
+		return nil, err
+	}
+	if s.asn, err = spec.BuildAssignment(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // workerState is the durable cross-connection state of one worker
@@ -100,16 +136,36 @@ type workerState struct {
 	// it reflects (-1 before any).
 	params      []float64
 	lastApplied int
-	// enc is the uplink gradient encoder. Its delta base is
-	// per-connection stream state — the PS's decoder for a fresh
-	// connection holds no base — so every (re)connect Resets it and the
-	// first report of a connection ships raw.
-	enc wire.UplinkEncoder
-	// files/grads/frame are the per-round report scratch, reused across
-	// rounds.
-	files []int
-	grads [][]float64
-	frame []byte
+	// shards/ranges mirror the Welcome's shard plane: the worker ships
+	// one report frame per shard, each covering its contiguous
+	// coordinate range of every assigned file's gradient. encs holds one
+	// uplink encoder per shard — each shard is its own delta stream —
+	// and frames/reps/msgs are the per-shard send scratch. Every
+	// (re)connect Resets the encoders: the PS's decoders for a fresh
+	// connection hold no delta base, so the first report of a connection
+	// ships raw.
+	shards int
+	ranges [][2]int
+	encs   []wire.UplinkEncoder
+	frames [][]byte
+	reps   []GradientReport
+	msgs   []Message
+	// pipeline mirrors Welcome.Pipeline. prepIter is the iteration of
+	// the last RoundPrep received on this connection (-1 before any);
+	// prepSamples are its per-slot sample lists, valid for the matching
+	// RoundStart. filesStatic is this worker's assignment in static slot
+	// order — prep rounds carry no file ids, only samples in this order.
+	pipeline    bool
+	prepIter    int
+	prepSamples [][]int
+	filesStatic []int
+	// files/grads/shardGrads/sampleLists are the per-round report
+	// scratch, reused across rounds; shardGrads holds per-shard subslice
+	// headers over grads' full-dimension rows.
+	files       []int
+	grads       [][]float64
+	shardGrads  [][]float64
+	sampleLists [][]int
 	// adv is the sidecar coalition connection (nil outside coalitions);
 	// the fields below are the leader's deterministic reconstruction of
 	// the batch stream — its own sampler fast-forwarded to the current
@@ -160,6 +216,15 @@ func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) (float64, err
 		cfg.Logf("worker %d: adversary coalition %v, leader %d", cfg.ID, adv.MemberIDs(), adv.Leader())
 	}
 	failures := 0
+	// One reused backoff timer for the whole reconnect loop: a bare
+	// time.After here would leak a live timer per attempt whenever ctx
+	// wins the select.
+	var backoff *time.Timer
+	defer func() {
+		if backoff != nil {
+			backoff.Stop()
+		}
+	}()
 	for {
 		final, err := runWorkerConn(ctx, addr, st)
 		var re retryableErr
@@ -178,8 +243,22 @@ func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) (float64, err
 		delay := defaultReconnectDelay << min(failures-1, 5)
 		cfg.Logf("worker %d: connection lost (%v); reconnecting in %v (attempt %d)",
 			cfg.ID, re.err, delay, failures)
+		if backoff == nil {
+			backoff = time.NewTimer(delay)
+		} else {
+			// Reset is only safe on a stopped or drained timer; the
+			// ctx-cancel path below returns without draining, so stop
+			// and drain defensively before rearming.
+			if !backoff.Stop() {
+				select {
+				case <-backoff.C:
+				default:
+				}
+			}
+			backoff.Reset(delay)
+		}
 		select {
-		case <-time.After(delay):
+		case <-backoff.C:
 		case <-ctx.Done():
 			return 0, ctx.Err()
 		}
@@ -240,24 +319,66 @@ func runWorkerConn(ctx context.Context, addr string, st *workerState) (float64, 
 		return 0, fmt.Errorf("transport: server speaks protocol %d, want %d", welcome.Version, wire.ProtocolVersion)
 	}
 	st.token = welcome.Token
-	// A fresh connection means a fresh uplink stream: the server's
-	// decoder holds no delta base, so the encoder must not either.
-	st.enc.Reset()
-	st.enc.NoDelta = !welcome.UplinkDeltas
+	shards := welcome.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	if shards < 1 || shards > 64 {
+		return 0, fmt.Errorf("transport: server announced %d shards, want 1..64", shards)
+	}
+	if st.shards != 0 && shards != st.shards {
+		return 0, fmt.Errorf("transport: server changed shard count %d → %d across rejoin", st.shards, shards)
+	}
 	if st.mdl == nil {
 		// First successful handshake: build the deterministic local
-		// state from the Spec. Rejoins keep it (same Spec, same run).
+		// state from the Spec — or adopt the process-shared copy.
+		// Rejoins keep it (same Spec, same run).
 		st.spec = welcome.Spec
-		if st.mdl, err = st.spec.BuildModel(); err != nil {
-			return 0, err
-		}
-		if st.train, _, err = st.spec.BuildData(); err != nil {
-			return 0, err
-		}
-		if st.flt, err = st.spec.BuildFault(); err != nil {
-			return 0, err
+		if sh := cfg.Shared; sh != nil {
+			st.mdl, st.train, st.flt, st.asn = sh.mdl, sh.train, sh.flt, sh.asn
+		} else {
+			if st.mdl, err = st.spec.BuildModel(); err != nil {
+				return 0, err
+			}
+			if st.train, _, err = st.spec.BuildData(); err != nil {
+				return 0, err
+			}
+			if st.flt, err = st.spec.BuildFault(); err != nil {
+				return 0, err
+			}
 		}
 		st.params = make([]float64, st.mdl.NumParams())
+	}
+	if st.shards == 0 {
+		st.shards = shards
+		st.ranges = make([][2]int, shards)
+		dim := st.mdl.NumParams()
+		for s := range st.ranges {
+			st.ranges[s][0], st.ranges[s][1] = wire.ShardRange(dim, shards, s)
+		}
+		st.encs = make([]wire.UplinkEncoder, shards)
+		st.frames = make([][]byte, shards)
+		st.reps = make([]GradientReport, shards)
+		st.msgs = make([]Message, shards)
+	}
+	// A fresh connection means fresh uplink streams: the server's
+	// decoders hold no delta base, so the encoders must not either.
+	for s := range st.encs {
+		st.encs[s].Reset()
+		st.encs[s].NoDelta = !welcome.UplinkDeltas
+	}
+	st.pipeline = welcome.Pipeline
+	// Any prep received on a previous connection died with it: the
+	// server forgets prep state on eviction and serves this connection
+	// the self-contained Files path until its next prep lands.
+	st.prepIter = -1
+	if st.pipeline && st.asn == nil {
+		if st.asn, err = st.spec.BuildAssignment(); err != nil {
+			return 0, err
+		}
+	}
+	if st.pipeline && st.filesStatic == nil {
+		st.filesStatic = st.asn.WorkerFiles(cfg.ID)
 	}
 	// A (re)connected worker holds no acknowledged vector: the server
 	// sends a full broadcast first, so stale params are never patched.
@@ -272,13 +393,32 @@ func runWorkerConn(ctx context.Context, addr string, st *workerState) (float64, 
 			cfg.ID, st.spec.Scheme, st.spec.Rounds, st.token)
 	}
 
+	// One reused fault-delay timer for the connection's lifetime: a bare
+	// time.After per delayed round would leak a live timer whenever ctx
+	// wins the select.
+	var delayTimer *time.Timer
+	defer func() {
+		if delayTimer != nil {
+			delayTimer.Stop()
+		}
+	}()
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
 			return 0, retryable(fmt.Errorf("transport: worker %d recv: %w", cfg.ID, ctxErr(ctx, err)))
 		}
 		switch m := msg.(type) {
+		case RoundPrep:
+			// The next round's sample lists, streamed while the current
+			// round's tail still runs on the PS. Decoded slices are
+			// fresh per Recv, so retaining them is safe.
+			st.prepIter = m.Iteration
+			st.prepSamples = m.Samples
 		case RoundStart:
+			files, samples, err := st.roundWork(&m)
+			if err != nil {
+				return 0, err
+			}
 			if err := st.applyParams(&m); err != nil {
 				// A delta against a base this worker does not hold means
 				// the broadcast state diverged; reconnecting fetches a
@@ -295,24 +435,37 @@ func runWorkerConn(ctx context.Context, addr string, st *workerState) (float64, 
 				return 0, fmt.Errorf("worker %d round %d: %w", cfg.ID, m.Iteration, ErrInjectedCrash)
 			}
 			if d.Delay > 0 {
+				if delayTimer == nil {
+					delayTimer = time.NewTimer(d.Delay)
+				} else {
+					if !delayTimer.Stop() {
+						select {
+						case <-delayTimer.C:
+						default:
+						}
+					}
+					delayTimer.Reset(d.Delay)
+				}
 				select {
-				case <-time.After(d.Delay):
+				case <-delayTimer.C:
 				case <-ctx.Done():
 					return 0, ctx.Err()
 				}
 			}
 			if d.Skip {
 				cfg.Logf("worker %d: injected skip at round %d", cfg.ID, m.Iteration)
+				// A single empty frame stands for every shard of the
+				// round; no encoder rolls its delta base, on either side.
 				if _, err := conn.Send(GradientReport{WorkerID: cfg.ID, Iteration: m.Iteration}); err != nil {
 					return 0, retryable(ctxErr(ctx, err))
 				}
 				continue
 			}
-			rep, err := st.computeReport(&m)
+			msgs, err := st.computeReport(m.Iteration, files, samples)
 			if err != nil {
 				return 0, err
 			}
-			if _, err := conn.Send(*rep); err != nil {
+			if _, err := conn.SendMany(msgs...); err != nil {
 				return 0, retryable(ctxErr(ctx, err))
 			}
 		case Shutdown:
@@ -355,21 +508,52 @@ func (st *workerState) applyParams(m *RoundStart) error {
 	return nil
 }
 
-// computeReport produces the worker's (honest or Byzantine) gradients
-// for one round, encoded through the uplink codec (raw or XOR-delta
-// against the previous report, whichever is smaller). The returned
-// report's Frame aliases the state's scratch and is valid until the
-// next computeReport call.
-func (st *workerState) computeReport(rs *RoundStart) (*GradientReport, error) {
-	cfg := st.cfg
-	rep := &GradientReport{WorkerID: cfg.ID, Iteration: rs.Iteration}
-	// Deterministic file order.
-	files := st.files[:0]
-	for v := range rs.Files {
-		files = append(files, v)
+// roundWork resolves a RoundStart into the worker's file list (static
+// slot order) and per-file sample lists. A self-contained round carries
+// the Files map; a prep round carries neither file ids nor samples and
+// must be preceded by its RoundPrep on this same connection — if that
+// prep was lost the error is retryable, because the server serves a
+// reconnected worker the self-contained path.
+func (st *workerState) roundWork(m *RoundStart) (files []int, samples [][]int, err error) {
+	if len(m.Files) > 0 {
+		files = st.files[:0]
+		for v := range m.Files {
+			files = append(files, v)
+		}
+		slices.Sort(files)
+		st.files = files
+		if cap(st.sampleLists) < len(files) {
+			st.sampleLists = make([][]int, len(files))
+		}
+		samples = st.sampleLists[:len(files)]
+		st.sampleLists = samples
+		for i, v := range files {
+			samples[i] = m.Files[v]
+		}
+		return files, samples, nil
 	}
-	slices.Sort(files)
-	st.files = files
+	if !st.pipeline {
+		return nil, nil, fmt.Errorf("transport: worker %d: round %d carried no files outside pipeline mode",
+			st.cfg.ID, m.Iteration)
+	}
+	if st.prepIter != m.Iteration {
+		return nil, nil, retryable(fmt.Errorf("transport: worker %d: round %d started without its prep (have %d)",
+			st.cfg.ID, m.Iteration, st.prepIter))
+	}
+	if len(st.prepSamples) != len(st.filesStatic) {
+		return nil, nil, fmt.Errorf("transport: worker %d: round %d prep carried %d sample lists, want %d",
+			st.cfg.ID, m.Iteration, len(st.prepSamples), len(st.filesStatic))
+	}
+	return st.filesStatic, st.prepSamples, nil
+}
+
+// computeReport produces the worker's (honest or Byzantine) gradients
+// for one round, sliced into one report per shard, each encoded through
+// its shard's uplink codec (raw or XOR-delta against the previous
+// report, whichever is smaller). The returned messages alias the
+// state's scratch and are valid until the next computeReport call.
+func (st *workerState) computeReport(iter int, files []int, samples [][]int) ([]Message, error) {
+	cfg := st.cfg
 	dim := st.mdl.NumParams()
 	if cap(st.grads) < len(files) {
 		st.grads = make([][]float64, len(files))
@@ -382,11 +566,11 @@ func (st *workerState) computeReport(rs *RoundStart) (*GradientReport, error) {
 	var alie []float64
 	if cfg.Behavior == BehaviorALIE {
 		var err error
-		if alie, err = st.aliePayload(rs); err != nil {
+		if alie, err = st.aliePayload(iter); err != nil {
 			return nil, err
 		}
 	}
-	for i, v := range files {
+	for i := range files {
 		if cap(grads[i]) < dim {
 			grads[i] = make([]float64, dim)
 		}
@@ -395,9 +579,9 @@ func (st *workerState) computeReport(rs *RoundStart) (*GradientReport, error) {
 		clear(g)
 		switch cfg.Behavior {
 		case BehaviorHonest:
-			st.mdl.SumGradient(st.params, st.train, rs.Files[v], g)
+			st.mdl.SumGradient(st.params, st.train, samples[i], g)
 		case BehaviorReversed, BehaviorSignFlip:
-			st.mdl.SumGradient(st.params, st.train, rs.Files[v], g)
+			st.mdl.SumGradient(st.params, st.train, samples[i], g)
 			for i := range g {
 				g[i] = -g[i]
 			}
@@ -417,29 +601,41 @@ func (st *workerState) computeReport(rs *RoundStart) (*GradientReport, error) {
 			return nil, fmt.Errorf("transport: unknown behavior %q", cfg.Behavior)
 		}
 	}
-	frame, _, _, err := st.enc.Encode(st.frame[:0], cfg.ID, files, grads)
-	if err != nil {
-		return nil, err
+	if cap(st.shardGrads) < len(files) {
+		st.shardGrads = make([][]float64, len(files))
 	}
-	st.frame = frame
-	rep.Frame = frame
-	return rep, nil
+	sg := st.shardGrads[:len(files)]
+	st.shardGrads = sg
+	for s := 0; s < st.shards; s++ {
+		lo, hi := st.ranges[s][0], st.ranges[s][1]
+		for i := range grads {
+			sg[i] = grads[i][lo:hi]
+		}
+		frame, _, _, err := st.encs[s].Encode(st.frames[s][:0], cfg.ID, files, sg)
+		if err != nil {
+			return nil, err
+		}
+		st.frames[s] = frame
+		st.reps[s] = GradientReport{WorkerID: cfg.ID, Iteration: iter, Shard: s, Frame: frame}
+		st.msgs[s] = st.reps[s]
+	}
+	return st.msgs, nil
 }
 
 // aliePayload crafts the round's ALIE vector through the sidecar
 // coalition. The z factor matches the in-process attack: ZMax over the
 // cluster size (Spec.K, which the server pins to the assignment's K
 // before Welcome) and the coalition size the share reports.
-func (st *workerState) aliePayload(rs *RoundStart) ([]float64, error) {
+func (st *workerState) aliePayload(round int) ([]float64, error) {
 	st.atkCtx = attack.Context{
-		Round:             rs.Iteration,
+		Round:             round,
 		Dim:               st.mdl.NumParams(),
 		Participants:      st.spec.K,
 		ExpectedCorrupted: st.adv.Members(),
 	}
 	craft, err := attack.BeginWith(attack.ALIE{ZOverride: st.cfg.ALIEZ}, &st.atkCtx, &st.atkScr, advCoordinator{st})
 	if err != nil {
-		return nil, fmt.Errorf("transport: worker %d round %d: %w", st.cfg.ID, rs.Iteration, err)
+		return nil, fmt.Errorf("transport: worker %d round %d: %w", st.cfg.ID, round, err)
 	}
 	return craft(0, nil), nil
 }
@@ -489,8 +685,12 @@ func (c advCoordinator) RoundMoments(ctx *attack.Context) (attack.Moments, error
 // broadcast, which the computeReport call order guarantees.
 func (st *workerState) reconstructMoments(round int) (mu, sigma []float64, err error) {
 	if st.sampler == nil {
-		if st.asn, err = st.spec.BuildAssignment(); err != nil {
-			return nil, nil, err
+		// st.asn may already exist — shared state or the pipeline path
+		// builds it at handshake time.
+		if st.asn == nil {
+			if st.asn, err = st.spec.BuildAssignment(); err != nil {
+				return nil, nil, err
+			}
 		}
 		if st.sampler, err = data.NewBatchSampler(st.train.Len(), st.spec.BatchSize, st.spec.Seed); err != nil {
 			return nil, nil, err

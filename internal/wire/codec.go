@@ -71,9 +71,7 @@ func AppendGradFrame(dst []byte, worker int, files []int, grads [][]float64) ([]
 		dst = append32(dst, uint32(v))
 	}
 	for _, g := range grads {
-		for _, x := range g {
-			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
-		}
+		dst = AppendF64s(dst, g)
 	}
 	return dst, nil
 }
@@ -141,9 +139,7 @@ func DecodeGradFrame(src []byte, f *GradFrame) (int, error) {
 			f.Grads[i] = make([]float64, d)
 		}
 		g := f.Grads[i][:d]
-		for j := 0; j < d; j++ {
-			g[j] = math.Float64frombits(binary.LittleEndian.Uint64(vals[(i*d+j)*8:]))
-		}
+		DecodeF64s(g, vals[i*d*8:])
 		f.Grads[i] = g
 	}
 	return 4 + payload, nil

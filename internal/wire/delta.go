@@ -58,10 +58,7 @@ func AppendParamsFull(dst []byte, params []float64) ([]byte, error) {
 	}
 	dst = append(dst, ParamsFull)
 	dst = AppendU32(dst, uint32(len(params)))
-	for _, v := range params {
-		dst = AppendF64(dst, v)
-	}
-	return dst, nil
+	return AppendF64s(dst, params), nil
 }
 
 // AppendParamsDelta appends a delta frame encoding cur against base.
@@ -171,10 +168,7 @@ func DecodeParams(src []byte, params []float64) (mode, consumed int, err error) 
 		if len(body) < 8*d {
 			return 0, 0, fmt.Errorf("wire: full params frame needs %d bytes, have %d", 8*d, len(body))
 		}
-		dec := NewDec(body[:8*d])
-		for i := range params {
-			params[i] = dec.F64()
-		}
+		DecodeF64s(params, body)
 		return ParamsFull, paramsHeader + 8*d, nil
 	case ParamsDelta:
 		nb := (d + 1) / 2

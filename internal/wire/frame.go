@@ -34,13 +34,18 @@ const (
 	// ProtocolVersion is the current control-plane protocol version.
 	// Hello/Welcome carry it explicitly for negotiation; every frame
 	// header repeats it so a version skew fails fast on any message.
+	// v5 added the sharded aggregation plane: per-shard gradient
+	// report frames (GradientReport.Shard over ShardRange coordinate
+	// ranges), the RoundPrep message that pipelines round t+1's file
+	// assignments during round t's aggregation, and the Welcome's
+	// shard-count/pipeline negotiation fields.
 	// v4 extended the Spec payload with the detector configuration,
 	// added the typed Reject frame (blacklisted-rejoin refusal), and
 	// introduced the sidecar moment frame (moments.go); v3 added the
 	// compressed uplink gradient codec (uplink.go) and the Welcome's
 	// uplink-delta flag. Older peers are rejected at the first frame
 	// (and at Hello/Welcome negotiation).
-	ProtocolVersion = 4
+	ProtocolVersion = 5
 	// FrameHeaderSize is the fixed byte size of the frame header.
 	FrameHeaderSize = 8
 	// MaxFramePayload bounds the declared payload length a receiver will
@@ -57,6 +62,32 @@ func AppendFrame(dst []byte, typ byte, payload []byte) ([]byte, error) {
 	dst = append(dst, ProtocolVersion, typ)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
 	return append(dst, payload...), nil
+}
+
+// BeginFrame appends a frame header with a zero payload length to dst
+// and returns the offset EndFrame patches. Together they build a frame
+// whose payload is appended in place after the header, instead of
+// encoding the payload in a separate buffer and copying it through
+// AppendFrame — the difference is one full-payload memmove per send.
+func BeginFrame(dst []byte, typ byte) ([]byte, int) {
+	dst = binary.LittleEndian.AppendUint16(dst, FrameMagic)
+	dst = append(dst, ProtocolVersion, typ)
+	at := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, 0)
+	return dst, at
+}
+
+// EndFrame patches the payload length of the frame begun at `at` (the
+// offset BeginFrame returned): the payload is everything appended to
+// dst since. The buffer is returned unchanged on error, so callers can
+// keep reusing it.
+func EndFrame(dst []byte, at int) ([]byte, error) {
+	n := len(dst) - at - 4
+	if n > MaxFramePayload {
+		return dst, fmt.Errorf("wire: frame payload %d bytes exceeds limit %d", n, MaxFramePayload)
+	}
+	binary.LittleEndian.PutUint32(dst[at:], uint32(n))
+	return dst, nil
 }
 
 // ParseFrameHeader validates a frame header and returns the message
@@ -121,6 +152,34 @@ func AppendI64(dst []byte, v int64) []byte { return AppendU64(dst, uint64(v)) }
 
 // AppendF64 appends v's IEEE-754 bit pattern (bit-exact round-trip).
 func AppendF64(dst []byte, v float64) []byte { return AppendU64(dst, math.Float64bits(v)) }
+
+// AppendF64s appends every value's bit pattern: the destination grows
+// once and a fixed-stride loop fills it, instead of paying append's
+// length/capacity bookkeeping per element. Parameter broadcasts and
+// gradient reports move whole vectors through this path every round,
+// so the per-element overhead is the dominant encode cost at scale.
+func AppendF64s(dst []byte, src []float64) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, 8*len(src))...)
+	buf := dst[off:]
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	return dst
+}
+
+// DecodeF64s fills dst from the first 8*len(dst) bytes of src, which
+// the caller must already have bounds-checked against the frame
+// header. The bulk counterpart of Dec.F64 for vector payloads.
+func DecodeF64s(dst []float64, src []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	src = src[: 8*len(dst) : 8*len(dst)]
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+	}
+}
 
 // AppendString appends a u32 length prefix followed by the raw bytes.
 func AppendString(dst []byte, s string) []byte {

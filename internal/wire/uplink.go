@@ -63,9 +63,13 @@ func UplinkRawSize(n, d int) int { return 1 + GradFrameSize(n, d) }
 // (the new connection's receiver holds no base).
 type UplinkEncoder struct {
 	// NoDelta disables delta frames entirely: every Encode emits a raw
-	// frame (still rolling the base, so flipping the flag mid-stream is
-	// safe). The PS announces this in its Welcome when the operator
-	// disabled uplink compression.
+	// frame and the delta base is dropped rather than rolled — a raw
+	// report is self-contained, so maintaining the base would copy n×d
+	// floats per frame for nothing. Flipping the flag mid-stream is
+	// still safe: with no base held, the next delta-eligible Encode
+	// falls back to raw exactly like a fresh connection. The PS
+	// announces this in its Welcome when the operator disabled uplink
+	// compression.
 	NoDelta bool
 
 	prev      []float64 // previous report's values, flat n×d
@@ -100,7 +104,16 @@ func (e *UplinkEncoder) Encode(dst []byte, worker int, files []int, grads [][]fl
 		}
 	}
 	rawSize = UplinkRawSize(n, d)
-	useDelta := !e.NoDelta && n > 0 && len(e.prev) == n*d && slices.Equal(e.prevFiles, files)
+	if e.NoDelta {
+		e.Reset()
+		out = append(dst, UplinkRaw)
+		out, err = AppendGradFrame(out, worker, files, grads)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return out, UplinkRaw, rawSize, nil
+	}
+	useDelta := n > 0 && len(e.prev) == n*d && slices.Equal(e.prevFiles, files)
 	if useDelta {
 		delta, derr := e.appendDelta(e.scratch[:0], worker, files, grads)
 		if derr != nil {
@@ -179,6 +192,13 @@ func (e *UplinkEncoder) rollBase(files []int, grads [][]float64) {
 // the transport's reader pumps decode stale frames before retiring
 // them.
 type UplinkDecoder struct {
+	// NoDelta mirrors the encoder flag on a PS that disabled uplink
+	// compression: raw frames do not roll the base (skipping an n×d
+	// float copy per report), so any delta frame that arrives anyway —
+	// a buggy or hostile worker — fails the no-base check instead of
+	// being applied against a stale vector.
+	NoDelta bool
+
 	prev       []float64
 	prevFiles  []int
 	prevWorker int
@@ -208,7 +228,11 @@ func (dec *UplinkDecoder) Decode(src []byte, f *GradFrame) (mode, consumed int, 
 		if err != nil {
 			return 0, 0, err
 		}
-		dec.rollBase(f)
+		if dec.NoDelta {
+			dec.Reset()
+		} else {
+			dec.rollBase(f)
+		}
 		return UplinkRaw, 1 + n, nil
 	case UplinkDelta:
 		consumed, err := dec.decodeDelta(src, f)

@@ -134,8 +134,9 @@ func TestUplinkSelfSelectsRaw(t *testing.T) {
 	checkReport(t, &f, 0, files, b)
 }
 
-// TestUplinkNoDelta: the NoDelta switch forces raw frames while still
-// rolling the base, so flipping it mid-stream stays consistent.
+// TestUplinkNoDelta: the NoDelta switch forces raw frames and drops
+// the delta base, so flipping it off mid-stream restarts like a fresh
+// connection — one raw frame rebuilds the base, then deltas resume.
 func TestUplinkNoDelta(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	files := []int{1, 2}
@@ -154,17 +155,53 @@ func TestUplinkNoDelta(t *testing.T) {
 		decodeOne(t, &dec, frame, &f)
 		grads = perturbReport(rng, grads)
 	}
-	// Enable deltas: the base was maintained, so the next frame deltas.
+	// Enable deltas: no base is held, so the first post-flip frame is
+	// raw (rebuilding the base) and the one after it deltas.
 	enc.NoDelta = false
-	frame, mode, _, err := enc.Encode(nil, 1, files, grads)
+	for i, want := range []int{UplinkRaw, UplinkDelta} {
+		frame, mode, _, err := enc.Encode(nil, 1, files, grads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode != want {
+			t.Fatalf("post-flip frame %d mode %d, want %d", i, mode, want)
+		}
+		decodeOne(t, &dec, frame, &f)
+		checkReport(t, &f, 1, files, grads)
+		grads = perturbReport(rng, grads)
+	}
+}
+
+// TestUplinkDecoderNoDelta: a NoDelta decoder holds no base — raw
+// frames decode without the per-report base copy, and a delta frame
+// arriving anyway (a buggy or hostile worker on a raw-only stream) is
+// rejected instead of being applied against a stale vector.
+func TestUplinkDecoderNoDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	files := []int{1, 2}
+	grads := report(rng, 2, 40)
+	var enc UplinkEncoder
+	dec := UplinkDecoder{NoDelta: true}
+	var f GradFrame
+	raw, mode, _, err := enc.Encode(nil, 1, files, grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != UplinkRaw {
+		t.Fatalf("first frame mode %d, want raw", mode)
+	}
+	decodeOne(t, &dec, raw, &f)
+	checkReport(t, &f, 1, files, grads)
+	delta, mode, _, err := enc.Encode(nil, 1, files, perturbReport(rng, grads))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if mode != UplinkDelta {
-		t.Fatalf("post-flip frame mode %d, want delta", mode)
+		t.Fatalf("second frame mode %d, want delta", mode)
 	}
-	decodeOne(t, &dec, frame, &f)
-	checkReport(t, &f, 1, files, grads)
+	if _, _, err := dec.Decode(delta, &f); err == nil {
+		t.Error("NoDelta decoder accepted a delta frame")
+	}
 }
 
 // TestUplinkSpecialValues: NaN payloads, infinities, and signed zeros
