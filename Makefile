@@ -22,7 +22,8 @@ bench:
 fuzz: build
 	for t in FuzzParseFrameHeader FuzzReadFrame FuzzDecodeParams \
 	         FuzzParamsDeltaRoundTrip FuzzDecodeGradFrame FuzzGradFrameRoundTrip \
-	         FuzzUplinkRoundTrip FuzzDecodeUplink FuzzDecodeMomentFrame; do \
+	         FuzzUplinkRoundTrip FuzzDecodeUplink FuzzUplinkQuantRoundTrip \
+	         FuzzDecodeUplinkSign FuzzDecodeUplinkInt8 FuzzDecodeMomentFrame; do \
 		$(GO) test -run '^$$' -fuzz $$t -fuzztime $(FUZZTIME) ./internal/wire || exit 1; \
 	done
 

@@ -7,12 +7,16 @@
 // vs its raw-frame equivalent (the realized uplink compression ratio);
 // downB the PS→worker broadcast volume. The rep/blk columns show the
 // detection layer's view (mean reputation, blacklist size) when a
-// -detector is timed.
+// -detector is timed. -uplink selects the report codec tier the
+// communication phase times: delta (the bit-exact default), raw, or the
+// lossy sign/int8 quantized tiers, whose upRatio shows the realized
+// lossy saving.
 //
 // Usage:
 //
 //	byzbench                 # default 20 rounds per scheme
 //	byzbench -rounds 100 -dim 128
+//	byzbench -uplink int8    # time the lossy 8-bit quantized uplink
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"time"
 
 	"byzshield/internal/experiments"
+	"byzshield/internal/wire"
 )
 
 func main() {
@@ -36,8 +41,15 @@ func main() {
 		seed     = flag.Int64("seed", 42, "experiment seed")
 		budget   = flag.Duration("budget", 10*time.Second, "Byzantine-set search budget")
 		detector = flag.String("detector", "", "PS-side Byzantine detector to time (none, zscore, cluster)")
+		uplink   = flag.String("uplink", "delta", "report codec tier to time: raw, delta, sign, int8")
 	)
 	flag.Parse()
+
+	tier, err := wire.ParseUplinkTier(*uplink)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "byzbench:", err)
+		os.Exit(2)
+	}
 
 	opts := experiments.DefaultTrainOpts()
 	opts.TrainN = *trainN
@@ -47,6 +59,7 @@ func main() {
 	opts.Seed = *seed
 	opts.SearchBudget = *budget
 	opts.Detector = *detector
+	opts.Uplink = tier
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -33,13 +33,28 @@
 //
 // Parameter broadcasts ship as bit-exact deltas between periodic full
 // refreshes; -full-every controls the cadence (1 = full every round).
-// Worker→PS gradient reports are likewise compressed (XOR deltas
-// against each worker's previous report, raw fallback per frame);
-// -no-uplink-delta forces raw frames (recommended for CPU-bound
-// loopback fleets, where the codec's two extra passes per gradient
-// cost more than the bytes they save). -v logs per-round participation
-// and wire-volume stats, and the lifecycle counters (joins, rejoins,
-// evictions, stale frames retired) print at shutdown.
+// Worker→PS gradient reports run the negotiated uplink codec tier:
+//
+//	-uplink delta   XOR deltas against each worker's previous report,
+//	                raw fallback per frame (bit-exact; the default)
+//	-uplink raw     uncompressed frames (recommended for CPU-bound
+//	                loopback fleets, where the delta codec's two extra
+//	                passes per gradient cost more than the bytes saved)
+//	-uplink sign    lossy 1-bit sign quantization, one scale per
+//	                (file, shard) row — ~64x fewer gradient bytes
+//	-uplink int8    lossy 8-bit linear quantization, min/scale per
+//	                (file, shard) row — ~8x fewer gradient bytes
+//
+// The lossy tiers trade exactness for bandwidth: the PS aggregates the
+// dequantized values, so the trajectory is deterministic (and matches
+// the in-process engine on the same tier bit for bit) but differs from
+// the lossless trajectory. Workers advertise the tiers they support at
+// Hello; the server downgrades to the best mutually supported lossless
+// tier rather than substituting a different lossy one.
+// -no-uplink-delta is a deprecated alias for -uplink raw. -v logs
+// per-round participation and wire-volume stats, and the lifecycle
+// counters (joins, rejoins, evictions, stale frames retired) print at
+// shutdown.
 //
 // The aggregation plane itself is configurable: -shards N splits the
 // parameter vector into N contiguous coordinate ranges that vote and
@@ -68,6 +83,7 @@ import (
 	"byzshield/internal/cluster"
 	"byzshield/internal/trainer"
 	"byzshield/internal/transport"
+	"byzshield/internal/wire"
 )
 
 func main() {
@@ -97,8 +113,10 @@ func main() {
 			"per-round report-collection deadline (negative disables; stalled workers miss the round)")
 		fullEvery = flag.Int("full-every", transport.DefaultFullBroadcastEvery,
 			"full parameter-broadcast cadence (1 = full vector every round, N = deltas between every N-th round)")
+		uplink = flag.String("uplink", "delta",
+			"worker→PS report codec tier: raw, delta (bit-exact XOR compression), sign or int8 (lossy quantization)")
 		noUplinkDelta = flag.Bool("no-uplink-delta", false,
-			"disable compressed worker→PS gradient frames (workers then send raw frames every round)")
+			"deprecated alias for -uplink raw")
 		shardCount = flag.Int("shards", 0,
 			"aggregation shards: split the parameter vector into N coordinate ranges that vote/aggregate independently (0 or 1 = single loop; bit-identical either way)")
 		pipeline = flag.Bool("pipeline", false,
@@ -123,6 +141,19 @@ func main() {
 		detBlacklist = flag.Float64("detector-blacklist-below", 0, "reputation blacklist floor (0 = default)")
 	)
 	flag.Parse()
+
+	tier, err := wire.ParseUplinkTier(*uplink)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "byzps:", err)
+		os.Exit(2)
+	}
+	if *noUplinkDelta {
+		if *uplink != "delta" {
+			fmt.Fprintln(os.Stderr, "byzps: -no-uplink-delta (deprecated) conflicts with -uplink; drop the deprecated flag")
+			os.Exit(2)
+		}
+		tier = wire.TierRaw
+	}
 
 	workers, err := parseWorkerList(*faultWorkers)
 	if err != nil {
@@ -156,14 +187,14 @@ func main() {
 		},
 	}
 	srvCfg := transport.ServerConfig{
-		Spec:                spec,
-		Logf:                log.Printf,
-		RoundTimeout:        *roundTimeout,
-		FullBroadcastEvery:  *fullEvery,
-		DisableUplinkDeltas: *noUplinkDelta,
-		Shards:              *shardCount,
-		Pipeline:            *pipeline,
-		Quorum:              *quorum,
+		Spec:               spec,
+		Logf:               log.Printf,
+		RoundTimeout:       *roundTimeout,
+		FullBroadcastEvery: *fullEvery,
+		Uplink:             tier,
+		Shards:             *shardCount,
+		Pipeline:           *pipeline,
+		Quorum:             *quorum,
 	}
 	if *verbose {
 		srvCfg.OnRound = func(rs cluster.RoundStats) {

@@ -33,9 +33,11 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 
 	"byzshield/internal/transport"
+	"byzshield/internal/wire"
 )
 
 func main() {
@@ -50,12 +52,25 @@ func main() {
 			"automatic rejoin attempts after a lost connection (negative disables)")
 		resumeToken = flag.String("resume-token", "",
 			"session token (hex, from the first join's log line) to rejoin a run after a process restart")
+		uplinkTiers = flag.String("uplink-tiers", "",
+			"comma-separated report codec tiers to offer the server (raw, delta, sign, int8; empty = all) — restricting the list forces the server to downgrade this connection to a mutually supported lossless tier")
 		quiet = flag.Bool("quiet", false, "suppress progress logging")
 	)
 	flag.Parse()
 	if *id < 0 {
 		fmt.Fprintln(os.Stderr, "byzworker: -id is required")
 		os.Exit(2)
+	}
+	var tiers uint8
+	if *uplinkTiers != "" {
+		for _, name := range strings.Split(*uplinkTiers, ",") {
+			t, err := wire.ParseUplinkTier(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "byzworker:", err)
+				os.Exit(2)
+			}
+			tiers |= t.Mask()
+		}
 	}
 	var token uint64
 	if *resumeToken != "" {
@@ -80,6 +95,7 @@ func main() {
 		ConstantValue:     *value,
 		ReconnectAttempts: *reconnects,
 		ResumeToken:       token,
+		Tiers:             tiers,
 		AdvAddr:           *advAddr,
 		ALIEZ:             *alieZ,
 		Logf:              logf,

@@ -85,6 +85,15 @@ type roundArena struct {
 	rxFrame wire.GradFrame
 	upEnc   []wire.UplinkEncoder
 	upDec   []wire.UplinkDecoder
+	// txRows/rxRows are the per-shard row-view scratch of the measured
+	// lossy-uplink round-trip (sized to the widest worker's slot count,
+	// allocated only when MeasureComm is set).
+	txRows [][]float64
+	rxRows [][]float64
+	// quantSeen dedupes shared Byzantine payload buffers inside the
+	// lossy quantize-in-place pass (quantization is not idempotent, so
+	// each distinct buffer must pass exactly once). Grows on first use.
+	quantSeen []*float64
 	// Broadcast-measurement state (allocated only under MeasureComm):
 	// prevParams is the parameter vector broadcast last round (the delta
 	// base), prevAck[u] whether worker u acknowledged it (participated
@@ -151,6 +160,14 @@ func newRoundArena(a *assign.Assignment, dim int, byzSet map[int]bool, measureCo
 		ar.bcastScratch = make([]float64, dim)
 		ar.upEnc = make([]wire.UplinkEncoder, a.K)
 		ar.upDec = make([]wire.UplinkDecoder, a.K)
+		maxSlots := 0
+		for u := 0; u < a.K; u++ {
+			if n := len(ar.workerFiles[u]); n > maxSlots {
+				maxSlots = n
+			}
+		}
+		ar.txRows = make([][]float64, maxSlots)
+		ar.rxRows = make([][]float64, maxSlots)
 	}
 	ar.files = make([][]int, a.F)
 

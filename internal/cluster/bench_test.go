@@ -24,6 +24,7 @@ import (
 	"byzshield/internal/model"
 	"byzshield/internal/trainer"
 	"byzshield/internal/vote"
+	"byzshield/internal/wire"
 )
 
 // quickstartConfig mirrors examples/quickstart at full scale.
@@ -115,6 +116,25 @@ func BenchmarkRound(b *testing.B) {
 		cfg := quickstartConfig(b)
 		cfg.MeasureComm = true
 		cfg.BroadcastFullEvery = 16
+		benchRounds(b, cfg)
+	})
+	// Lossy uplink tiers through the physically measured codec path:
+	// upB/round against the raw-equivalent upRawB/round is the realized
+	// lossy saving on the quickstart config — the acceptance gate for
+	// the quantized tiers is ≥4x under int8 or sign with round_ns no
+	// worse than the delta row above.
+	b.Run("measure-comm-int8", func(b *testing.B) {
+		cfg := quickstartConfig(b)
+		cfg.MeasureComm = true
+		cfg.BroadcastFullEvery = 16
+		cfg.UplinkTier = wire.TierInt8
+		benchRounds(b, cfg)
+	})
+	b.Run("measure-comm-sign", func(b *testing.B) {
+		cfg := quickstartConfig(b)
+		cfg.MeasureComm = true
+		cfg.BroadcastFullEvery = 16
+		cfg.UplinkTier = wire.TierSign
 		benchRounds(b, cfg)
 	})
 	// PS-side detection on the hot path: per-worker feature extraction

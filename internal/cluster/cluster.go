@@ -77,6 +77,18 @@ type Config struct {
 	// gradient values (the signSGD pipeline). The aggregated sign vector
 	// is applied directly (scaled only by the learning rate).
 	SignMessages bool
+	// UplinkTier pins the in-process engine to one worker→PS codec tier
+	// (wire.UplinkTier). The lossless tiers (TierDelta, the zero value,
+	// and TierRaw) are no-ops here — compression is a wire concern
+	// invisible to training — but a lossy tier (TierSign, TierInt8)
+	// makes every collected gradient pass through the exact
+	// quantize→dequantize float operations of the wire codec, per
+	// aggregation-shard coordinate range, so the engine reproduces a
+	// lossy-tier TCP run bit-for-bit (the loopback==engine pinning the
+	// transport tests rely on). Mutually exclusive with SignMessages
+	// (two different message semantics) and with Source (a network
+	// source's workers quantize on their own side of the wire).
+	UplinkTier wire.UplinkTier
 	// VoteTolerance > 0 switches the vote to L∞ clustering mode.
 	VoteTolerance float64
 	// MeasureComm enables real binary serialization of worker messages
@@ -288,10 +300,17 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Source != nil {
 		if cfg.Attack != nil || len(cfg.Byzantines) > 0 || cfg.SignMessages ||
-			cfg.VoteTolerance != 0 || cfg.MeasureComm || cfg.Fault != nil {
-			return nil, fmt.Errorf("cluster: Attack/Byzantines/SignMessages/VoteTolerance/MeasureComm/Fault " +
+			cfg.VoteTolerance != 0 || cfg.MeasureComm || cfg.Fault != nil ||
+			cfg.UplinkTier != wire.TierDelta {
+			return nil, fmt.Errorf("cluster: Attack/Byzantines/SignMessages/VoteTolerance/MeasureComm/Fault/UplinkTier " +
 				"are in-process source knobs; they must be unset when Source is provided")
 		}
+	}
+	if !cfg.UplinkTier.Valid() {
+		return nil, fmt.Errorf("cluster: unknown uplink tier %d", cfg.UplinkTier)
+	}
+	if cfg.UplinkTier.Lossy() && cfg.SignMessages {
+		return nil, fmt.Errorf("cluster: SignMessages and a lossy uplink tier are mutually exclusive message semantics")
 	}
 	if cfg.Attack == nil {
 		cfg.Attack = attack.Benign{}
@@ -376,6 +395,10 @@ func New(cfg Config) (*Engine, error) {
 	// (faults by plan, detection by blacklist), so either forces the
 	// full-oracle arena: any file's live honest replicas may vanish.
 	e.arena = newRoundArena(cfg.Assignment, cfg.Model.NumParams(), byzSet, cfg.MeasureComm, cfg.Fault != nil || e.det != nil, width)
+	for u := range e.arena.upEnc {
+		e.arena.upEnc[u].Tier = cfg.UplinkTier
+		e.arena.upDec[u].Tier = cfg.UplinkTier
+	}
 	if n := wire.ShardCount(cfg.Shards, cfg.Model.NumParams()); n > 1 {
 		e.plane = newShardPlane(n, cfg.Model.NumParams(), cfg.Assignment.F, cfg.Assignment.K)
 	}
@@ -821,7 +844,11 @@ func (e *Engine) voteFile(w, v int) {
 		ar.degraded[w]++
 	}
 	ar.winners[v] = res.Winner
-	if !e.cfg.SignMessages && ar.trueGrads[v] != nil && !equalBits(res.Winner, ar.trueGrads[v]) {
+	// Distorted-file accounting compares winners against the unquantized
+	// true gradients, so it is meaningless (every file would differ)
+	// when a lossy uplink tier quantized the collected replicas.
+	if !e.cfg.SignMessages && !e.cfg.UplinkTier.Lossy() &&
+		ar.trueGrads[v] != nil && !equalBits(res.Winner, ar.trueGrads[v]) {
 		ar.distorted[w]++
 	}
 }
@@ -1037,6 +1064,28 @@ func (e *Engine) EvaluateParams(params []float64) float64 {
 // parameter vector; the same concurrency contract as EvaluateParams.
 func (e *Engine) EvalLossParams(params []float64) float64 {
 	return e.cfg.Model.Loss(params, e.cfg.Train, e.arena.probe)
+}
+
+// quantizeUplink applies the configured lossy uplink tier's exact
+// quantize→dequantize float operations to one full-dimension gradient
+// row — per aggregation-shard coordinate range, because a sharded wire
+// worker frames each shard independently and every lossy row carries
+// its own scale parameters, so the quantization granularity must match
+// the wire's framing for the engine to reproduce a TCP run bit for
+// bit. Not idempotent in floating point: callers apply it exactly once
+// per distinct buffer.
+func (e *Engine) quantizeUplink(g []float64) {
+	quant := wire.SignQuantizeInPlace
+	if e.cfg.UplinkTier == wire.TierInt8 {
+		quant = wire.Int8QuantizeInPlace
+	}
+	if pl := e.plane; pl != nil {
+		for s := 0; s < pl.n; s++ {
+			quant(g[pl.ranges[s][0]:pl.ranges[s][1]])
+		}
+		return
+	}
+	quant(g)
 }
 
 // signInPlace maps a vector to coordinate signs in {−1, 0, 1}.

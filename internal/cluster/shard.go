@@ -246,7 +246,9 @@ func (e *Engine) shardedVotePhase() {
 		}
 		ref := refs[bits.TrailingZeros64(m)]
 		ar.winners[v] = ar.cur[ref.worker][ref.slot]
-		if !e.cfg.SignMessages && ar.trueGrads[v] != nil {
+		// Same lossy-tier exemption as voteFile: quantized replicas never
+		// bit-match the unquantized true gradient.
+		if !e.cfg.SignMessages && !e.cfg.UplinkTier.Lossy() && ar.trueGrads[v] != nil {
 			for s := 0; s < pl.n; s++ {
 				if pl.dist[s][v] {
 					ar.distorted[0]++

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"slices"
 	"time"
 
 	"byzshield/internal/attack"
@@ -274,6 +275,39 @@ func (s localSource) Collect(_ context.Context, rd *Round) (CollectStats, error)
 		}
 	}
 
+	// Lossy uplink tier, in place: apply the wire codec's exact
+	// quantize→dequantize float operations to every surviving message
+	// before any vote reads it, so the in-process trajectory is
+	// bit-identical to a TCP run on the same tier. Unlike signInPlace,
+	// quantization is NOT idempotent in floating point (re-encoding a
+	// quantized row lands on different bits), so every distinct buffer
+	// passes exactly once: honest buffers are per-(worker, slot), but
+	// coordinated attacks may share one payload buffer across files,
+	// hence the seen-pointer dedupe. Sharing stays consistent with the
+	// wire because replicas quantizing identical input bits produce
+	// identical output bits. Skipped under measured communication, where
+	// the physical codec round-trip performs the same operations.
+	if tier := e.cfg.UplinkTier; tier.Lossy() && !e.cfg.MeasureComm {
+		for _, u := range e.honest {
+			if ar.missing[u] {
+				continue
+			}
+			for _, g := range ar.grads[u] {
+				e.quantizeUplink(g)
+			}
+		}
+		seen := ar.quantSeen[:0]
+		for _, v := range ar.byzFiles {
+			g := ar.crafted[v]
+			if len(g) == 0 || slices.Contains(seen, &g[0]) {
+				continue
+			}
+			seen = append(seen, &g[0])
+			e.quantizeUplink(g)
+		}
+		ar.quantSeen = seen
+	}
+
 	// --- Communication phase: move every surviving worker's message to
 	// the PS through the uplink gradient codec — per-worker encoder and
 	// decoder state, exactly as each TCP connection pair holds it, so
@@ -292,6 +326,34 @@ func (s localSource) Collect(_ context.Context, rd *Round) (CollectStats, error)
 			if ar.missing[u] {
 				// No report: encoder and decoder bases both stay put, so
 				// the pair stays in lockstep across the gap.
+				continue
+			}
+			if pl := e.plane; pl != nil && e.cfg.UplinkTier.Lossy() {
+				// A sharded wire worker frames each shard range as its own
+				// report — lossy rows carry per-(file, shard) scale
+				// parameters — so the measured round-trip must quantize at
+				// the same granularity for the trajectory to stay
+				// bit-identical to the unmeasured engine and the wire.
+				rows := ar.cur[u]
+				for sh := 0; sh < pl.n; sh++ {
+					lo, hi := pl.ranges[sh][0], pl.ranges[sh][1]
+					for j := range rows {
+						ar.txRows[j] = rows[j][lo:hi]
+						ar.rxRows[j] = ar.rx[u][j][lo:hi:hi]
+					}
+					buf, _, rawSize, err := ar.upEnc[u].Encode(ar.encBuf[:0], u, ar.workerFiles[u], ar.txRows[:len(rows)])
+					if err != nil {
+						return CollectStats{}, fmt.Errorf("cluster: worker %d message: %w", u, err)
+					}
+					ar.encBuf = buf
+					ar.rxFrame.Grads = ar.rxRows[:len(rows)]
+					if _, _, err := ar.upDec[u].Decode(buf, &ar.rxFrame); err != nil {
+						return CollectStats{}, fmt.Errorf("cluster: worker %d message: %w", u, err)
+					}
+					commBytes += int64(len(buf))
+					rawBytes += int64(rawSize)
+				}
+				copy(ar.cur[u], ar.rx[u])
 				continue
 			}
 			buf, _, rawSize, err := ar.upEnc[u].Encode(ar.encBuf[:0], u, ar.workerFiles[u], ar.cur[u])

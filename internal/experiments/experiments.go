@@ -23,6 +23,7 @@ import (
 	"byzshield/internal/model"
 	"byzshield/internal/registry"
 	"byzshield/internal/trainer"
+	"byzshield/internal/wire"
 )
 
 // components is the shared process-wide catalog all experiment
@@ -48,6 +49,10 @@ type TrainOpts struct {
 	// experiments ("" or "none" = detection off) — how the timing suite
 	// measures the detection layer's overhead.
 	Detector string
+	// Uplink is the worker→PS report codec tier the timing suite
+	// measures (raw, delta, or the lossy sign/int8 quantized tiers);
+	// the zero value is the delta default.
+	Uplink wire.UplinkTier
 }
 
 // DefaultTrainOpts returns laptop-scale defaults: a 10-class synthetic

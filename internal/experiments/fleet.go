@@ -13,6 +13,7 @@ import (
 	"byzshield/internal/cluster"
 	"byzshield/internal/trainer"
 	"byzshield/internal/transport"
+	"byzshield/internal/wire"
 )
 
 // FleetMode names one aggregation-plane configuration of the scaling
@@ -21,9 +22,9 @@ type FleetMode struct {
 	Name     string
 	Shards   int
 	Pipeline bool
-	// UplinkDeltas enables the XOR-compressed uplink codec for this
-	// mode (the pre-shard plane had no way to turn it off).
-	UplinkDeltas bool
+	// Uplink is the report codec tier the server negotiates for this
+	// mode (the pre-shard plane hard-wired the XOR delta codec).
+	Uplink wire.UplinkTier
 }
 
 // FleetModes are the planes every sweep point runs, in order:
@@ -41,12 +42,18 @@ type FleetMode struct {
 //     configuration shipped for CPU-bound loopback fleets, where the
 //     delta codec's two extra passes per gradient cost more than the
 //     ~2% of bytes they save.
+//   - quantized: the pipelined plane on the lossy int8 uplink tier —
+//     every report row ships 8-bit linear-quantized with per-(file,
+//     shard) scale parameters. Its trajectory is checked bit-for-bit
+//     against an in-process engine running the same tier and shard
+//     count, not against the lossless reference.
 func FleetModes(shards int) []FleetMode {
 	return []FleetMode{
-		{Name: "single-loop", UplinkDeltas: true},
-		{Name: "serial"},
-		{Name: "sharded", Shards: shards},
-		{Name: "pipelined", Shards: shards, Pipeline: true},
+		{Name: "single-loop", Uplink: wire.TierDelta},
+		{Name: "serial", Uplink: wire.TierRaw},
+		{Name: "sharded", Shards: shards, Uplink: wire.TierRaw},
+		{Name: "pipelined", Shards: shards, Pipeline: true, Uplink: wire.TierRaw},
+		{Name: "quantized", Shards: shards, Pipeline: true, Uplink: wire.TierInt8},
 	}
 }
 
@@ -131,9 +138,12 @@ func (c FleetConfig) fleetSpec(k int) transport.Spec {
 }
 
 // engineFinalParams runs the in-process engine over spec and returns
-// its final parameters — the reference trajectory every wire mode must
-// reproduce bit-for-bit.
-func engineFinalParams(spec transport.Spec) ([]float64, error) {
+// its final parameters — the reference trajectory a wire mode must
+// reproduce bit-for-bit. Lossless modes all share one reference
+// (shards and codec choice cannot move a bit); a lossy mode needs the
+// engine pinned to its own tier AND shard count, because lossy
+// quantization happens per shard range.
+func engineFinalParams(spec transport.Spec, shards int, tier wire.UplinkTier) ([]float64, error) {
 	asn, err := spec.BuildAssignment()
 	if err != nil {
 		return nil, err
@@ -154,6 +164,7 @@ func engineFinalParams(spec transport.Spec) ([]float64, error) {
 		Assignment: asn, Model: mdl, Train: train, Test: test,
 		BatchSize: spec.BatchSize, Aggregator: agg,
 		Schedule: spec.Schedule, Momentum: spec.Momentum, Seed: spec.Seed,
+		Shards: shards, UplinkTier: tier,
 	})
 	if err != nil {
 		return nil, err
@@ -195,14 +206,15 @@ func (c FleetConfig) runFleetPoint(ctx context.Context, spec transport.Spec, mod
 		Pipeline:     mode.Pipeline,
 		EvalEvery:    spec.Rounds + 1,
 		RoundTimeout: 5 * time.Minute,
-		// All modes but single-loop run the raw uplink: XOR-delta costs
-		// two full passes over every gradient per round to save ~2% of
-		// bytes on decorrelated gradient data — on a CPU-bound loopback
-		// fleet that codec tax dominates the profile. The single-loop
-		// baseline keeps it on because the pre-shard plane had no
-		// opt-out; the serial mode isolates that difference.
-		DisableUplinkDeltas: !mode.UplinkDeltas,
-		FullBroadcastEvery:  1,
+		// Lossless modes other than single-loop run the raw uplink:
+		// XOR-delta costs two full passes over every gradient per round
+		// to save ~2% of bytes on decorrelated gradient data — on a
+		// CPU-bound loopback fleet that codec tax dominates the profile.
+		// The single-loop baseline keeps the delta codec because the
+		// pre-shard plane had no opt-out; the serial mode isolates that
+		// difference. The quantized mode runs the lossy int8 tier.
+		Uplink:             mode.Uplink,
+		FullBroadcastEvery: 1,
 		OnRound: func(rs cluster.RoundStats) {
 			if rs.Iteration == c.Warmup-1 {
 				windowStart = time.Now()
@@ -261,12 +273,14 @@ func (c FleetConfig) runFleetPoint(ctx context.Context, spec transport.Spec, mod
 
 // FleetScaling runs the rounds/sec-vs-worker-count scaling sweep: for
 // each worker count, the single-loop (pre-shard config), serial,
-// sharded, and sharded+pipelined planes drive the same loopback fleet
-// over the identical Spec, and every mode's final parameters are
-// checked bit-for-bit against the serial in-process engine (the uplink
-// delta codec is bit-exact, so all four modes must land on the same
-// bits). The returned points are grouped by worker count in mode order
-// (single-loop first).
+// sharded, sharded+pipelined, and quantized planes drive the same
+// loopback fleet over the identical Spec, and every mode's final
+// parameters are checked bit-for-bit against an in-process engine —
+// the lossless modes against one shared reference (raw and delta
+// codecs are bit-exact, so all four must land on the same bits), the
+// quantized mode against an engine pinned to its own uplink tier and
+// shard count. The returned points are grouped by worker count in mode
+// order (single-loop first).
 func FleetScaling(ctx context.Context, cfg FleetConfig) ([]FleetPoint, error) {
 	if cfg.Rounds < 1 {
 		cfg.Rounds = 20
@@ -298,7 +312,7 @@ func FleetScaling(ctx context.Context, cfg FleetConfig) ([]FleetPoint, error) {
 			return nil, fmt.Errorf("fleet: worker count %d is not a positive multiple of 3 (FRC r=3)", k)
 		}
 		spec := cfg.fleetSpec(k)
-		ref, err := engineFinalParams(spec)
+		losslessRef, err := engineFinalParams(spec, 0, wire.TierDelta)
 		if err != nil {
 			return nil, err
 		}
@@ -306,6 +320,14 @@ func FleetScaling(ctx context.Context, cfg FleetConfig) ([]FleetPoint, error) {
 		for _, mode := range FleetModes(cfg.Shards) {
 			if len(cfg.Modes) > 0 && !slices.Contains(cfg.Modes, mode.Name) {
 				continue
+			}
+			ref := losslessRef
+			if mode.Uplink.Lossy() {
+				// A lossy mode's reference engine must quantize at the
+				// same granularity the wire does: same tier, same shards.
+				if ref, err = engineFinalParams(spec, mode.Shards, mode.Uplink); err != nil {
+					return nil, fmt.Errorf("fleet %s K=%d reference: %w", mode.Name, k, err)
+				}
 			}
 			var pt FleetPoint
 			allIdentical := true

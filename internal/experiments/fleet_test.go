@@ -7,9 +7,11 @@ import (
 )
 
 // TestFleetScalingSmoke drives the scaling sweep end to end at the
-// smallest fleet: all four planes over one worker count, asserting
-// every mode reproduces the in-process engine bit-for-bit and the
-// speedup column is anchored to the single-loop baseline.
+// smallest fleet: all five planes over one worker count, asserting
+// every mode reproduces its in-process engine reference bit-for-bit
+// (the lossless modes sharing one trajectory, the quantized mode its
+// own tier-pinned one) and the speedup column is anchored to the
+// single-loop baseline.
 func TestFleetScalingSmoke(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
@@ -39,7 +41,13 @@ func TestFleetScalingSmoke(t *testing.T) {
 		if pt.RoundsPerSec <= 0 {
 			t.Errorf("mode %s K=%d: rounds/sec %v not positive", pt.Mode, pt.Workers, pt.RoundsPerSec)
 		}
-		if pt.ParamsHash != points[0].ParamsHash {
+		if modes[i].Uplink.Lossy() {
+			// A lossy tier must actually be lossy: landing on the
+			// lossless bits would mean the quantization never ran.
+			if pt.ParamsHash == points[0].ParamsHash {
+				t.Errorf("mode %s K=%d: params hash matches the lossless trajectory", pt.Mode, pt.Workers)
+			}
+		} else if pt.ParamsHash != points[0].ParamsHash {
 			t.Errorf("mode %s K=%d: params hash %x != single-loop %x",
 				pt.Mode, pt.Workers, pt.ParamsHash, points[0].ParamsHash)
 		}

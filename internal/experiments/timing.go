@@ -122,6 +122,7 @@ func timeOne(ctx context.Context, name string, spec RunSpec, opts TrainOpts, rou
 		Seed:        opts.Seed,
 		Detector:    det,
 		MeasureComm: true,
+		UplinkTier:  opts.Uplink,
 		// Delta parameter broadcasts with a periodic full refresh — the
 		// steady-state policy of the TCP server, so the measured
 		// PS→worker volume reflects the bandwidth-aware wire protocol.

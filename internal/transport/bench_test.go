@@ -21,6 +21,7 @@ import (
 
 	"byzshield/internal/cluster"
 	"byzshield/internal/registry"
+	"byzshield/internal/wire"
 )
 
 // benchLoopback runs b.N protocol rounds over loopback TCP and reports
@@ -85,7 +86,23 @@ func BenchmarkLoopbackRound(b *testing.B) {
 // compression disabled — the upB gap against BenchmarkLoopbackRound is
 // the realized uplink saving on the real wire.
 func BenchmarkLoopbackRoundRawUplink(b *testing.B) {
-	benchLoopback(b, testSpec(1), ServerConfig{DisableUplinkDeltas: true})
+	benchLoopback(b, testSpec(1), ServerConfig{Uplink: wire.TierRaw})
+}
+
+// BenchmarkLoopbackRoundQuantizedUplink is the same round on the lossy
+// int8 uplink tier: every report frame ships 8-bit linear-quantized
+// gradients (~1/8 the raw bytes plus per-row parameters), and the PS
+// dequantizes into the arena on decode. The upB gap against the raw
+// variant is the realized lossy saving; round_ns shows the quantize /
+// dequantize passes costing less than the bytes they remove.
+func BenchmarkLoopbackRoundQuantizedUplink(b *testing.B) {
+	benchLoopback(b, testSpec(1), ServerConfig{Uplink: wire.TierInt8})
+}
+
+// BenchmarkLoopbackRoundSignUplink is the 1-bit sign tier — ~1/64 the
+// raw gradient bytes plus one scale per (file, shard) row.
+func BenchmarkLoopbackRoundSignUplink(b *testing.B) {
+	benchLoopback(b, testSpec(1), ServerConfig{Uplink: wire.TierSign})
 }
 
 // BenchmarkLoopbackRoundStraggler injects a worker whose every report

@@ -6,6 +6,7 @@ package transport
 import (
 	"context"
 	"encoding/binary"
+	"io"
 	"math"
 	"net"
 	"runtime"
@@ -32,7 +33,7 @@ func initManualWorkerShards(st *workerState, w Welcome) {
 	}
 	st.encs = make([]wire.UplinkEncoder, shards)
 	for s := range st.encs {
-		st.encs[s].NoDelta = !w.UplinkDeltas
+		st.encs[s].Tier = w.Uplink
 	}
 	st.frames = make([][]byte, shards)
 	st.reps = make([]GradientReport, shards)
@@ -100,7 +101,7 @@ func TestUplinkDeltaTrajectoryIdentity(t *testing.T) {
 		return up, raw
 	}
 	_, deltaParams, deltaStats := runLoopback(t, spec, ServerConfig{})
-	_, rawParams, rawStats := runLoopback(t, spec, ServerConfig{DisableUplinkDeltas: true})
+	_, rawParams, rawStats := runLoopback(t, spec, ServerConfig{Uplink: wire.TierRaw})
 
 	deltaUp, deltaRaw := sum(deltaStats)
 	rawUp, rawRaw := sum(rawStats)
@@ -484,9 +485,12 @@ func TestServeJoinsAllPumpGoroutines(t *testing.T) {
 	}
 }
 
-// TestV2PeerRejected: protocol v3 rejects v2 peers at both negotiation
-// layers — a Hello declaring version 2 inside a valid frame, and any
-// frame whose header is stamped with version 2.
+// TestV2PeerRejected: an old-version peer is refused with a typed
+// Reject{RejectVersion} at both negotiation layers — a Hello declaring
+// an old version inside a valid frame, and any frame whose header is
+// stamped with an old version (how a real v5 peer looks on the wire:
+// its very first frame header fails the version check, before any
+// payload parses).
 func TestV2PeerRejected(t *testing.T) {
 	spec := testSpec(3)
 	srv, err := NewServer("127.0.0.1:0", ServerConfig{Spec: spec})
@@ -502,7 +506,8 @@ func TestV2PeerRejected(t *testing.T) {
 		serveDone <- err
 	}()
 
-	// A well-framed Hello declaring protocol version 2.
+	// A well-framed Hello declaring an old protocol version: the frame
+	// parses, so the refusal arrives as a decodable typed Reject.
 	raw, err := net.Dial("tcp", srv.Addr())
 	if err != nil {
 		t.Fatal(err)
@@ -511,13 +516,24 @@ func TestV2PeerRejected(t *testing.T) {
 	if _, err := c.Send(Hello{WorkerID: 0, Version: 2}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Recv(); err == nil {
-		t.Error("v2 Hello was not rejected")
+	msg, err := c.Recv()
+	if err != nil {
+		t.Fatalf("reading the typed reject: %v", err)
+	}
+	rej, ok := msg.(Reject)
+	if !ok {
+		t.Fatalf("expected Reject, got %T", msg)
+	}
+	if rej.Code != RejectVersion {
+		t.Errorf("reject code %d, want RejectVersion (%d)", rej.Code, RejectVersion)
 	}
 	c.Close()
 
-	// A frame stamped with version 2 in its header, as a real v2 peer
-	// would send: rejected before the payload is even interpreted.
+	// A frame stamped with an old version in its header, as a real old
+	// peer would send: rejected before the payload is even interpreted.
+	// The peer cannot parse the v6 Reject frame it gets back, but the
+	// bytes on its socket are deterministic — a framed Reject carrying
+	// RejectVersion, then EOF — so the refusal is diagnosable.
 	raw, err = net.Dial("tcp", srv.Addr())
 	if err != nil {
 		t.Fatal(err)
@@ -525,15 +541,31 @@ func TestV2PeerRejected(t *testing.T) {
 	defer raw.Close()
 	hdr := make([]byte, wire.FrameHeaderSize)
 	binary.LittleEndian.PutUint16(hdr, wire.FrameMagic)
-	hdr[2] = 2 // protocol v2
+	hdr[2] = 5 // protocol v5
 	hdr[3] = 1 // Hello
 	binary.LittleEndian.PutUint32(hdr[4:], 0)
 	if _, err := raw.Write(hdr); err != nil {
 		t.Fatal(err)
 	}
 	raw.SetReadDeadline(time.Now().Add(10 * time.Second))
-	if _, err := raw.Read(make([]byte, 1)); err == nil {
-		t.Error("v2-stamped frame was not rejected")
+	buf, err := io.ReadAll(raw)
+	if err != nil {
+		t.Fatalf("reading the reject bytes: %v", err)
+	}
+	if len(buf) < wire.FrameHeaderSize+1 {
+		t.Fatalf("server wrote %d bytes before closing, want a framed Reject", len(buf))
+	}
+	if got := binary.LittleEndian.Uint16(buf); got != wire.FrameMagic {
+		t.Errorf("reject frame magic %#x, want %#x", got, wire.FrameMagic)
+	}
+	if buf[2] != wire.ProtocolVersion {
+		t.Errorf("reject frame stamped version %d, want %d", buf[2], wire.ProtocolVersion)
+	}
+	if buf[3] != msgReject {
+		t.Errorf("reject frame type %d, want %d (Reject)", buf[3], msgReject)
+	}
+	if buf[wire.FrameHeaderSize] != RejectVersion {
+		t.Errorf("reject code %d, want RejectVersion (%d)", buf[wire.FrameHeaderSize], RejectVersion)
 	}
 
 	cancel()

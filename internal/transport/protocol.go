@@ -1,6 +1,6 @@
 // Package transport implements a real network transport for the
 // training protocol: a TCP parameter server and worker clients speaking
-// the framed v4 control protocol over net.Conn. This is the repository's
+// the framed v6 control protocol over net.Conn. This is the repository's
 // substitute for the paper's MPICH deployment — cmd/byzps and
 // cmd/byzworker run the same synchronous rounds as the in-process engine
 // across OS processes (or machines). The server executes every round
@@ -9,19 +9,32 @@
 // aggregates, and steps exactly like the in-process engine and
 // reproduces its parameter trajectory bit-for-bit for the same Spec.
 //
-// Wire protocol v5 (every message one self-delimiting frame, see
+// Wire protocol v6 (every message one self-delimiting frame, see
 // internal/wire: magic, version, type, length header + canonical
 // little-endian binary payload):
 //
-//	worker → PS:  Hello{WorkerID, Version, Token, Resume}
-//	PS → worker:  Welcome{Version, Token, FullEvery, UplinkDeltas, Spec, Shards, Pipeline}
+//	worker → PS:  Hello{WorkerID, Version, Token, Resume, Tiers}
+//	PS → worker:  Welcome{Version, Token, FullEvery, Uplink, Spec, Shards, Pipeline}
 //	PS → worker:  Reject{Code, Reason}
 //	PS → worker:  RoundPrep{Iteration, Samples}            (pipelined runs)
 //	PS → worker:  RoundStart{Iteration, BaseIteration, ParamsFrame, Files}
 //	worker → PS:  GradientReport{WorkerID, Iteration, Shard, Frame}
 //	PS → worker:  Shutdown{FinalAccuracy}
 //
-// v5 adds the sharded, pipelined aggregation plane: GradientReport
+// v6 makes the uplink codec a negotiated per-connection tier: the
+// Hello advertises the tiers the worker implements as a bitmask
+// (wire.UplinkTier.Mask), the Welcome's uplink flag byte became the
+// negotiated wire.UplinkTier, and two lossy quantized frame modes —
+// sign (1 bit + per-row scale) and int8 (byte + per-row min/scale) —
+// joined raw and XOR-delta. Negotiation picks the server's configured
+// tier when the worker supports it and degrades lossless otherwise
+// (delta, then raw); it never substitutes one lossy tier for another,
+// because the two quantizations dequantize differently and the vote
+// needs every replica bit-identical. A v5 peer fails the frame-header
+// version check on its Hello and is refused with a typed
+// Reject{RejectVersion} naming both versions.
+//
+// v5 added the sharded, pipelined aggregation plane: GradientReport
 // carries a shard index so a worker's report travels as one frame per
 // contiguous coordinate range (wire.ShardRange) and the PS can vote a
 // shard as soon as its last frame lands; RoundPrep broadcasts round
@@ -48,11 +61,13 @@
 // full parameter vector only on join/rejoin and every FullEvery-th
 // round, and a bit-exact XOR delta against the previous round's
 // acknowledged vector otherwise (wire.AppendParamsDelta).
-// GradientReport.Frame is an uplink frame (wire.UplinkEncoder): each
+// GradientReport.Frame is an uplink frame (wire.UplinkEncoder) in the
+// connection's negotiated tier: on the default lossless tier each
 // worker XORs its report against its own previous one and ships the
 // delta when it is smaller, falling back to a raw frame when gradients
 // decorrelated too much to pay — self-selected per frame, bit-exact
-// either way.
+// either way; the lossy tiers ship stateless quantized frames (sign,
+// int8) that dequantize deterministically on both sides.
 //
 // Workers reconstruct the dataset and model deterministically from the
 // Spec (seeded synthetic data stands in for the shared dataset storage
@@ -372,6 +387,11 @@ type Hello struct {
 	Version int
 	Token   uint64
 	Resume  bool
+	// Tiers is the bitmask of uplink codec tiers the worker implements
+	// (wire.UplinkTier.Mask per bit). The server intersects it with its
+	// own configuration to pick the connection's tier; a zero mask is
+	// treated as raw-only, the tier every peer must implement.
+	Tiers uint8
 }
 
 func (Hello) wireType() byte { return msgHello }
@@ -387,7 +407,8 @@ func (m Hello) appendPayload(dst []byte) ([]byte, error) {
 	if m.Resume {
 		resume = 1
 	}
-	return wire.AppendU8(dst, resume), nil
+	dst = wire.AppendU8(dst, resume)
+	return wire.AppendU8(dst, m.Tiers), nil
 }
 
 func (m *Hello) decodePayload(src []byte) error {
@@ -396,6 +417,7 @@ func (m *Hello) decodePayload(src []byte) error {
 	m.Version = int(d.U8())
 	m.Token = d.U64()
 	m.Resume = d.U8() != 0
+	m.Tiers = d.U8()
 	return d.Done()
 }
 
@@ -408,11 +430,13 @@ type Welcome struct {
 	// FullEvery is the server's full-broadcast cadence (every N-th
 	// round ships the whole vector; deltas in between).
 	FullEvery int
-	// UplinkDeltas tells the worker whether it may compress its
-	// gradient reports with XOR-delta uplink frames (false forces raw
-	// frames; the trajectory is bit-identical either way).
-	UplinkDeltas bool
-	Spec         Spec
+	// Uplink is the connection's negotiated uplink codec tier: the
+	// worker must encode every gradient report with it and the PS's
+	// pump decoders accept no other modes. The lossless tiers (raw,
+	// delta) are bit-identical to each other; the lossy tiers quantize
+	// deterministically, so every honest replica still votes equal.
+	Uplink wire.UplinkTier
+	Spec   Spec
 	// Shards is the server's aggregation-shard count: with Shards > 1
 	// the worker splits each report into one GradientReport frame per
 	// shard (coordinate ranges from wire.ShardRange) so the PS can vote
@@ -433,11 +457,7 @@ func (m Welcome) appendPayload(dst []byte) ([]byte, error) {
 	dst = wire.AppendU8(dst, uint8(m.Version))
 	dst = wire.AppendU64(dst, m.Token)
 	dst = wire.AppendU32(dst, uint32(m.FullEvery))
-	var deltas uint8
-	if m.UplinkDeltas {
-		deltas = 1
-	}
-	dst = wire.AppendU8(dst, deltas)
+	dst = wire.AppendU8(dst, uint8(m.Uplink))
 	dst, err := appendSpec(dst, &m.Spec)
 	if err != nil {
 		return nil, err
@@ -455,7 +475,7 @@ func (m *Welcome) decodePayload(src []byte) error {
 	m.Version = int(d.U8())
 	m.Token = d.U64()
 	m.FullEvery = d.Int()
-	m.UplinkDeltas = d.U8() != 0
+	m.Uplink = wire.UplinkTier(d.U8())
 	decodeSpec(d, &m.Spec)
 	m.Shards = d.Int()
 	m.Pipeline = d.U8() != 0
@@ -629,6 +649,11 @@ const (
 	// blacklisted the worker: the session token is valid but permanently
 	// revoked, so the worker must stop reconnecting.
 	RejectBlacklisted uint8 = 1
+	// RejectVersion refuses a peer speaking another protocol version —
+	// detected either on the Hello's frame header (an old peer stamps
+	// its own version on every frame) or on the Hello.Version field.
+	// Retrying cannot help until the peer is upgraded.
+	RejectVersion uint8 = 2
 )
 
 // Reject is the PS's typed refusal of a handshake: unlike a silent

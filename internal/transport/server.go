@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"slices"
@@ -70,11 +71,17 @@ type ServerConfig struct {
 	// worker, with bit-exact XOR deltas in between. 0 selects
 	// DefaultFullBroadcastEvery.
 	FullBroadcastEvery int
-	// DisableUplinkDeltas turns off the compressed worker→PS gradient
-	// frames: the Welcome tells every worker to send raw frames only.
-	// The default (false) lets each worker's encoder self-select raw or
-	// XOR-delta per frame; either way the trajectory is bit-identical.
-	DisableUplinkDeltas bool
+	// Uplink selects the worker→PS gradient codec tier the server asks
+	// its workers to use: TierDelta (the zero value) lets each worker's
+	// encoder self-select raw or XOR-delta per frame, TierRaw forces
+	// self-contained raw frames — both lossless and bit-identical to the
+	// in-process engine — and the lossy TierSign / TierInt8 ship 1-bit /
+	// 8-bit linear-quantized gradients (see internal/wire). The tier is
+	// negotiated per connection: a worker whose Hello does not offer the
+	// configured tier is downgraded to the best lossless tier it speaks
+	// (delta, then raw) — one lossy tier is never substituted for
+	// another.
+	Uplink wire.UplinkTier
 	// Quorum is the minimum surviving replicas a file needs to be voted
 	// (0 → majority of the nominal replication, R/2+1); see
 	// cluster.Config.Quorum.
@@ -214,9 +221,12 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.Shards > 64 {
 		return nil, fmt.Errorf("transport: shard count %d > 64", cfg.Shards)
 	}
+	if !cfg.Uplink.Valid() {
+		return nil, fmt.Errorf("transport: unknown uplink tier %d", cfg.Uplink)
+	}
 	shards := wire.ShardCount(cfg.Shards, mdl.NumParams())
 	src := newWireSource(asn, cfg.RoundTimeout, cfg.FullBroadcastEvery, shards, cfg.Pipeline, cfg.Spec.Rounds, cfg.Logf)
-	src.noUplinkDeltas = cfg.DisableUplinkDeltas
+	src.uplink = cfg.Uplink
 	eng, err := cluster.New(cluster.Config{
 		Assignment:   asn,
 		Model:        mdl,
@@ -356,6 +366,15 @@ func (s *Server) handshake(ctx context.Context, conn *Conn) {
 	msg, err := conn.Recv()
 	conn.SetReadDeadline(time.Time{})
 	if err != nil {
+		if errors.Is(err, wire.ErrVersionMismatch) {
+			// The peer speaks another protocol version — its very first
+			// frame header says so, before any payload parses. Tell it
+			// with a typed Reject instead of a silent close (an old peer
+			// may not parse the v6 Reject frame, but the bytes on its
+			// socket are deterministic and diagnosable either way).
+			s.rejectVersion(conn, fmt.Sprintf("%v", err))
+			return
+		}
 		reject("hello: %v", ctxErr(ctx, err))
 		return
 	}
@@ -365,9 +384,10 @@ func (s *Server) handshake(ctx context.Context, conn *Conn) {
 		return
 	}
 	if hello.Version != wire.ProtocolVersion {
-		reject("protocol version %d, want %d", hello.Version, wire.ProtocolVersion)
+		s.rejectVersion(conn, fmt.Sprintf("protocol version %d, want %d", hello.Version, wire.ProtocolVersion))
 		return
 	}
+	tier := negotiateTier(s.src.uplink, hello.Tiers)
 	k := s.assignment.K
 	if hello.WorkerID < 0 || hello.WorkerID >= k {
 		reject("worker id %d out of range [0,%d)", hello.WorkerID, k)
@@ -410,13 +430,13 @@ func (s *Server) handshake(ctx context.Context, conn *Conn) {
 		return
 	}
 	if _, err := conn.Send(Welcome{
-		Version:      wire.ProtocolVersion,
-		Token:        token,
-		FullEvery:    s.cfg.FullBroadcastEvery,
-		UplinkDeltas: !s.cfg.DisableUplinkDeltas,
-		Spec:         s.cfg.Spec,
-		Shards:       ws.shards,
-		Pipeline:     ws.pipeline,
+		Version:   wire.ProtocolVersion,
+		Token:     token,
+		FullEvery: s.cfg.FullBroadcastEvery,
+		Uplink:    tier,
+		Spec:      s.cfg.Spec,
+		Shards:    ws.shards,
+		Pipeline:  ws.pipeline,
 	}); err != nil {
 		if !hello.Resume {
 			// Release the reserved slot so the worker id can join again.
@@ -449,6 +469,7 @@ func (s *Server) handshake(ctx context.Context, conn *Conn) {
 		return
 	}
 	w.token = token
+	w.tier = tier
 	var stale []*Conn
 	if hello.Resume {
 		stale = append(stale, w.conn, w.pending)
@@ -468,6 +489,9 @@ func (s *Server) handshake(ctx context.Context, conn *Conn) {
 			c.Close()
 		}
 	}
+	if tier != s.src.uplink {
+		s.cfg.Logf("worker %d: uplink tier %s unsupported by peer, downgraded to %s", hello.WorkerID, s.src.uplink, tier)
+	}
 	if hello.Resume {
 		s.cfg.Logf("worker %d reconnected from %s (re-admission at next round)", hello.WorkerID, conn.RemoteAddr())
 	} else {
@@ -477,6 +501,40 @@ func (s *Server) handshake(ctx context.Context, conn *Conn) {
 		default:
 		}
 	}
+}
+
+// negotiateTier picks a connection's uplink codec tier: the server's
+// configured tier when the worker's Hello offers it, otherwise the best
+// lossless tier the worker speaks — delta, then raw. One lossy tier is
+// never substituted for another (a worker built for int8 frames must
+// not silently receive sign frames, whose loss profile it was not
+// validated against). An empty mask is read as the lossless pair: any
+// peer that reached negotiation speaks raw and delta — those predate
+// the tier handshake — while a lossy tier requires an explicit opt-in
+// bit.
+func negotiateTier(want wire.UplinkTier, mask uint8) wire.UplinkTier {
+	if mask == 0 {
+		mask = wire.TierRaw.Mask() | wire.TierDelta.Mask()
+	}
+	if mask&want.Mask() != 0 {
+		return want
+	}
+	if mask&wire.TierDelta.Mask() != 0 {
+		return wire.TierDelta
+	}
+	return wire.TierRaw
+}
+
+// rejectVersion refuses a handshake whose peer announced (or framed)
+// another protocol version, with a typed Reject so a diagnosable record
+// of the mismatch reaches the peer's socket before the close.
+func (s *Server) rejectVersion(conn *Conn, reason string) {
+	s.cfg.Logf("rejecting %s: %s", conn.RemoteAddr(), reason)
+	conn.SetWriteDeadline(time.Now().Add(helloTimeout))
+	if _, err := conn.Send(Reject{Code: RejectVersion, Reason: reason}); err != nil {
+		s.cfg.Logf("reject send to %s: %v", conn.RemoteAddr(), err)
+	}
+	conn.Close()
 }
 
 // rejectBlacklisted refuses a blacklisted worker's handshake with a
@@ -647,6 +705,12 @@ type workerEntry struct {
 	// permanently: its token stays on file but every handshake is
 	// refused with Reject{RejectBlacklisted}.
 	blacklisted bool
+	// tier is the uplink codec tier the worker's most recent accepted
+	// handshake negotiated; the connection's pump adopts it for its
+	// frame decoders at startPump time. Rejoins renegotiate — a
+	// restarted worker process may offer a different tier set — and the
+	// fresh encoder/decoder pair starts with no codec state either way.
+	tier wire.UplinkTier
 	// lastAck is the last iteration for which the worker returned a
 	// valid report (implying it received and applied that round's
 	// parameter broadcast); -1 after (re)join forces a full broadcast.
@@ -925,10 +989,11 @@ type wireSource struct {
 	shardRanges [][2]int
 	pipeline    bool
 	rounds      int
-	// noUplinkDeltas mirrors ServerConfig.DisableUplinkDeltas into the
-	// pumps' frame decoders, so raw-only streams skip the per-report
-	// delta-base copy.
-	noUplinkDeltas bool
+	// uplink is the server's configured codec tier
+	// (ServerConfig.Uplink); each connection negotiates its own against
+	// the worker's Hello mask, recorded in its workerEntry and copied
+	// into the pump's frame decoders at startPump time.
+	uplink wire.UplinkTier
 
 	mu          sync.Mutex
 	workers     []workerEntry
@@ -1108,7 +1173,7 @@ func (ws *wireSource) startPump(u int, conn *Conn) {
 	ws.pumps.Add(1)
 	p := &pump{ws: ws, u: u, conn: conn, deliveredIter: -1, decs: make([]wire.UplinkDecoder, ws.shards)}
 	for s := range p.decs {
-		p.decs[s].NoDelta = ws.noUplinkDeltas
+		p.decs[s].Tier = ws.workers[u].tier
 	}
 	go p.run()
 }

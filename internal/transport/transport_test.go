@@ -383,7 +383,17 @@ func TestServerSurvivesBadHellos(t *testing.T) {
 		},
 	} {
 		c := mk()
-		if _, err := c.Recv(); err == nil {
+		msg, err := c.Recv()
+		if name == "bad version" {
+			// Version mismatches get a typed Reject before the close, so
+			// old peers have diagnosable bytes on their socket.
+			if rej, ok := msg.(Reject); err != nil || !ok || rej.Code != RejectVersion {
+				t.Errorf("%s: got (%T, %v), want Reject{RejectVersion}", name, msg, err)
+			}
+			if _, err := c.Recv(); err == nil {
+				t.Errorf("%s: connection left open after the reject", name)
+			}
+		} else if err == nil {
 			t.Errorf("%s: connection was not rejected", name)
 		}
 		c.Close()

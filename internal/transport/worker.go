@@ -74,6 +74,13 @@ type WorkerConfig struct {
 	// attempt with this session token — how a restarted worker process
 	// re-enters a run it was evicted from (byzworker -resume-token).
 	ResumeToken uint64
+	// Tiers is the bitmask of uplink codec tiers this worker offers in
+	// its Hello (OR of wire.UplinkTier.Mask values); 0 offers every tier
+	// (wire.AllTiersMask). Restricting the mask makes the server
+	// downgrade this connection to the best lossless tier it offers —
+	// how a fleet keeps a lossy run interoperable with workers that
+	// cannot (or should not) quantize.
+	Tiers uint8
 	// AdvAddr is the adversary sidecar hub (cmd/byzadv) this Byzantine
 	// worker coordinates through; required for BehaviorALIE. The worker
 	// joins the coalition before its first PS handshake.
@@ -293,11 +300,16 @@ func runWorkerConn(ctx context.Context, addr string, st *workerState) (float64, 
 	defer stop()
 
 	resume := st.token != 0
+	tiers := cfg.Tiers
+	if tiers == 0 {
+		tiers = wire.AllTiersMask
+	}
 	if _, err := conn.Send(Hello{
 		WorkerID: cfg.ID,
 		Version:  wire.ProtocolVersion,
 		Token:    st.token,
 		Resume:   resume,
+		Tiers:    tiers,
 	}); err != nil {
 		return 0, retryable(ctxErr(ctx, err))
 	}
@@ -317,6 +329,13 @@ func runWorkerConn(ctx context.Context, addr string, st *workerState) (float64, 
 	}
 	if welcome.Version != wire.ProtocolVersion {
 		return 0, fmt.Errorf("transport: server speaks protocol %d, want %d", welcome.Version, wire.ProtocolVersion)
+	}
+	if !welcome.Uplink.Valid() {
+		return 0, fmt.Errorf("transport: server negotiated unknown uplink tier %d", welcome.Uplink)
+	}
+	if tiers&welcome.Uplink.Mask() == 0 {
+		return 0, fmt.Errorf("transport: server negotiated uplink tier %s outside the offered mask %#x",
+			welcome.Uplink, tiers)
 	}
 	st.token = welcome.Token
 	shards := welcome.Shards
@@ -362,10 +381,13 @@ func runWorkerConn(ctx context.Context, addr string, st *workerState) (float64, 
 		st.msgs = make([]Message, shards)
 	}
 	// A fresh connection means fresh uplink streams: the server's
-	// decoders hold no delta base, so the encoders must not either.
+	// decoders hold no codec state, so the encoders must not either. The
+	// tier is per connection — a rejoin may renegotiate (the lossy tiers
+	// are stateless, and the delta tier's first frame after a reset
+	// ships raw), so adopting the new Welcome's tier is always safe.
 	for s := range st.encs {
 		st.encs[s].Reset()
-		st.encs[s].NoDelta = !welcome.UplinkDeltas
+		st.encs[s].Tier = welcome.Uplink
 	}
 	st.pipeline = welcome.Pipeline
 	// Any prep received on a previous connection died with it: the

@@ -23,10 +23,18 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 )
+
+// ErrVersionMismatch marks a frame header carrying a protocol version
+// other than ProtocolVersion. It surfaces wrapped (errors.Is), so a
+// server that fails to parse a peer's first frame can tell an old-
+// version peer — which deserves a typed Reject naming the version —
+// from a corrupt stream.
+var ErrVersionMismatch = errors.New("wire: protocol version mismatch")
 
 const (
 	// FrameMagic marks the start of every control frame.
@@ -34,6 +42,10 @@ const (
 	// ProtocolVersion is the current control-plane protocol version.
 	// Hello/Welcome carry it explicitly for negotiation; every frame
 	// header repeats it so a version skew fails fast on any message.
+	// v6 made the uplink codec a negotiated tier: the Hello advertises
+	// a supported-tiers bitmask, the Welcome's uplink-delta flag byte
+	// became the negotiated UplinkTier, and two lossy quantized frame
+	// modes (sign, int8 — quant.go) joined raw and XOR-delta.
 	// v5 added the sharded aggregation plane: per-shard gradient
 	// report frames (GradientReport.Shard over ShardRange coordinate
 	// ranges), the RoundPrep message that pipelines round t+1's file
@@ -44,8 +56,8 @@ const (
 	// introduced the sidecar moment frame (moments.go); v3 added the
 	// compressed uplink gradient codec (uplink.go) and the Welcome's
 	// uplink-delta flag. Older peers are rejected at the first frame
-	// (and at Hello/Welcome negotiation).
-	ProtocolVersion = 5
+	// (and at Hello/Welcome negotiation) with a typed version Reject.
+	ProtocolVersion = 6
 	// FrameHeaderSize is the fixed byte size of the frame header.
 	FrameHeaderSize = 8
 	// MaxFramePayload bounds the declared payload length a receiver will
@@ -100,7 +112,7 @@ func ParseFrameHeader(hdr []byte) (typ byte, length int, err error) {
 		return 0, 0, fmt.Errorf("wire: bad frame magic %#04x", m)
 	}
 	if v := hdr[2]; v != ProtocolVersion {
-		return 0, 0, fmt.Errorf("wire: protocol version %d, want %d", v, ProtocolVersion)
+		return 0, 0, fmt.Errorf("wire: protocol version %d, want %d: %w", v, ProtocolVersion, ErrVersionMismatch)
 	}
 	length = int(binary.LittleEndian.Uint32(hdr[4:]))
 	if length > MaxFramePayload {

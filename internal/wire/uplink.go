@@ -18,9 +18,18 @@
 // frame stream is ordered and loss-free (a TCP connection); a new
 // connection starts from no base, i.e. a raw first frame.
 //
+// Since protocol v6 the codec is tiered (UplinkTier): this file owns
+// the two lossless tiers — raw and the self-selecting raw/XOR-delta
+// default — and quant.go owns the two lossy quantized tiers (sign,
+// int8). Encoder and decoder carry the negotiated tier and dispatch on
+// it; a decoder only accepts the frame modes its tier emits, so a peer
+// that sends outside the negotiated tier poisons its stream instead of
+// silently changing codecs.
+//
 // Frame layout, little-endian:
 //
-//	u8  mode (1 = raw, 2 = delta)
+//	u8  mode (1 = raw, 2 = delta, 3 = sign, 4 = int8; see quant.go
+//	    for the quantized layouts)
 //	raw:   one gradient frame (codec.go: u32 payload length, u32
 //	       worker, u32 n, u32 d, n×u32 file ids, n×d×f64 bit patterns)
 //	delta: u32 worker, u32 n, u32 d, n×u32 file ids,
@@ -48,6 +57,10 @@ const (
 	UplinkRaw = 1
 	// UplinkDelta is an XOR patch against the sender's previous report.
 	UplinkDelta = 2
+	// UplinkSign is a 1-bit quantized frame (quant.go).
+	UplinkSign = 3
+	// UplinkInt8 is a linear-quantized frame (quant.go).
+	UplinkInt8 = 4
 )
 
 // uplinkDeltaHeader is the mode byte plus worker, n, and d.
@@ -62,15 +75,16 @@ func UplinkRawSize(n, d int) int { return 1 + GradFrameSize(n, d) }
 // encoder serves one ordered frame stream; a reconnect must Reset it
 // (the new connection's receiver holds no base).
 type UplinkEncoder struct {
-	// NoDelta disables delta frames entirely: every Encode emits a raw
-	// frame and the delta base is dropped rather than rolled — a raw
-	// report is self-contained, so maintaining the base would copy n×d
-	// floats per frame for nothing. Flipping the flag mid-stream is
+	// Tier selects the codec this stream runs (the connection's
+	// negotiated tier, announced by the PS in its Welcome). TierRaw
+	// emits only self-contained raw frames and drops the delta base
+	// rather than rolling it — a raw report is self-contained, so
+	// maintaining the base would copy n×d floats per frame for
+	// nothing. The lossy tiers (sign, int8) are stateless too: each
+	// frame quantizes from scratch. Switching tiers mid-stream is
 	// still safe: with no base held, the next delta-eligible Encode
-	// falls back to raw exactly like a fresh connection. The PS
-	// announces this in its Welcome when the operator disabled uplink
-	// compression.
-	NoDelta bool
+	// falls back to raw exactly like a fresh connection.
+	Tier UplinkTier
 
 	prev      []float64 // previous report's values, flat n×d
 	prevFiles []int     // previous report's file ids
@@ -104,7 +118,8 @@ func (e *UplinkEncoder) Encode(dst []byte, worker int, files []int, grads [][]fl
 		}
 	}
 	rawSize = UplinkRawSize(n, d)
-	if e.NoDelta {
+	switch e.Tier {
+	case TierRaw:
 		e.Reset()
 		out = append(dst, UplinkRaw)
 		out, err = AppendGradFrame(out, worker, files, grads)
@@ -112,6 +127,18 @@ func (e *UplinkEncoder) Encode(dst []byte, worker int, files []int, grads [][]fl
 			return nil, 0, 0, err
 		}
 		return out, UplinkRaw, rawSize, nil
+	case TierSign:
+		e.Reset()
+		if out, err = appendUplinkSign(dst, worker, files, grads); err != nil {
+			return nil, 0, 0, err
+		}
+		return out, UplinkSign, rawSize, nil
+	case TierInt8:
+		e.Reset()
+		if out, err = appendUplinkInt8(dst, worker, files, grads); err != nil {
+			return nil, 0, 0, err
+		}
+		return out, UplinkInt8, rawSize, nil
 	}
 	useDelta := n > 0 && len(e.prev) == n*d && slices.Equal(e.prevFiles, files)
 	if useDelta {
@@ -192,12 +219,14 @@ func (e *UplinkEncoder) rollBase(files []int, grads [][]float64) {
 // the transport's reader pumps decode stale frames before retiring
 // them.
 type UplinkDecoder struct {
-	// NoDelta mirrors the encoder flag on a PS that disabled uplink
-	// compression: raw frames do not roll the base (skipping an n×d
-	// float copy per report), so any delta frame that arrives anyway —
-	// a buggy or hostile worker — fails the no-base check instead of
-	// being applied against a stale vector.
-	NoDelta bool
+	// Tier mirrors the connection's negotiated tier on the PS side and
+	// bounds what the decoder accepts: TierRaw takes raw frames only
+	// (and skips the n×d float base copy per report), TierDelta takes
+	// raw or delta, and each lossy tier takes exactly its own mode —
+	// a worker that sends outside its negotiated tier is a buggy or
+	// hostile peer and poisons its stream instead of silently changing
+	// codecs.
+	Tier UplinkTier
 
 	prev       []float64
 	prevFiles  []int
@@ -222,13 +251,17 @@ func (dec *UplinkDecoder) Decode(src []byte, f *GradFrame) (mode, consumed int, 
 	if len(src) < 1 {
 		return 0, 0, fmt.Errorf("wire: empty uplink frame")
 	}
-	switch src[0] {
+	mode = int(src[0])
+	if !dec.accepts(mode) {
+		return 0, 0, fmt.Errorf("wire: uplink frame mode %d outside negotiated tier %s", mode, dec.Tier)
+	}
+	switch mode {
 	case UplinkRaw:
 		n, err := DecodeGradFrame(src[1:], f)
 		if err != nil {
 			return 0, 0, err
 		}
-		if dec.NoDelta {
+		if dec.Tier == TierRaw {
 			dec.Reset()
 		} else {
 			dec.rollBase(f)
@@ -240,8 +273,36 @@ func (dec *UplinkDecoder) Decode(src []byte, f *GradFrame) (mode, consumed int, 
 			return 0, 0, err
 		}
 		return UplinkDelta, consumed, nil
+	case UplinkSign:
+		consumed, err := decodeUplinkSign(src, f)
+		if err != nil {
+			return 0, 0, err
+		}
+		return UplinkSign, consumed, nil
+	case UplinkInt8:
+		consumed, err := decodeUplinkInt8(src, f)
+		if err != nil {
+			return 0, 0, err
+		}
+		return UplinkInt8, consumed, nil
 	default:
-		return 0, 0, fmt.Errorf("wire: unknown uplink frame mode %d", src[0])
+		return 0, 0, fmt.Errorf("wire: unknown uplink frame mode %d", mode)
+	}
+}
+
+// accepts reports whether the decoder's tier takes frames of mode m.
+func (dec *UplinkDecoder) accepts(m int) bool {
+	switch dec.Tier {
+	case TierRaw:
+		return m == UplinkRaw
+	case TierDelta:
+		return m == UplinkRaw || m == UplinkDelta
+	case TierSign:
+		return m == UplinkSign
+	case TierInt8:
+		return m == UplinkInt8
+	default:
+		return false
 	}
 }
 

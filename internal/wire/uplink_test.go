@@ -134,14 +134,15 @@ func TestUplinkSelfSelectsRaw(t *testing.T) {
 	checkReport(t, &f, 0, files, b)
 }
 
-// TestUplinkNoDelta: the NoDelta switch forces raw frames and drops
-// the delta base, so flipping it off mid-stream restarts like a fresh
-// connection — one raw frame rebuilds the base, then deltas resume.
+// TestUplinkNoDelta: the raw tier forces raw frames and drops the
+// delta base, so switching to the delta tier mid-stream restarts like
+// a fresh connection — one raw frame rebuilds the base, then deltas
+// resume.
 func TestUplinkNoDelta(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	files := []int{1, 2}
 	grads := report(rng, 2, 40)
-	enc := UplinkEncoder{NoDelta: true}
+	enc := UplinkEncoder{Tier: TierRaw}
 	var dec UplinkDecoder
 	var f GradFrame
 	for round := 0; round < 3; round++ {
@@ -150,14 +151,15 @@ func TestUplinkNoDelta(t *testing.T) {
 			t.Fatal(err)
 		}
 		if mode != UplinkRaw {
-			t.Fatalf("round %d: NoDelta encoder chose mode %d", round, mode)
+			t.Fatalf("round %d: raw-tier encoder chose mode %d", round, mode)
 		}
 		decodeOne(t, &dec, frame, &f)
 		grads = perturbReport(rng, grads)
 	}
-	// Enable deltas: no base is held, so the first post-flip frame is
-	// raw (rebuilding the base) and the one after it deltas.
-	enc.NoDelta = false
+	// Switch to the delta tier: no base is held, so the first
+	// post-switch frame is raw (rebuilding the base) and the one after
+	// it deltas.
+	enc.Tier = TierDelta
 	for i, want := range []int{UplinkRaw, UplinkDelta} {
 		frame, mode, _, err := enc.Encode(nil, 1, files, grads)
 		if err != nil {
@@ -172,7 +174,7 @@ func TestUplinkNoDelta(t *testing.T) {
 	}
 }
 
-// TestUplinkDecoderNoDelta: a NoDelta decoder holds no base — raw
+// TestUplinkDecoderNoDelta: a raw-tier decoder holds no base — raw
 // frames decode without the per-report base copy, and a delta frame
 // arriving anyway (a buggy or hostile worker on a raw-only stream) is
 // rejected instead of being applied against a stale vector.
@@ -181,7 +183,7 @@ func TestUplinkDecoderNoDelta(t *testing.T) {
 	files := []int{1, 2}
 	grads := report(rng, 2, 40)
 	var enc UplinkEncoder
-	dec := UplinkDecoder{NoDelta: true}
+	dec := UplinkDecoder{Tier: TierRaw}
 	var f GradFrame
 	raw, mode, _, err := enc.Encode(nil, 1, files, grads)
 	if err != nil {
@@ -200,7 +202,7 @@ func TestUplinkDecoderNoDelta(t *testing.T) {
 		t.Fatalf("second frame mode %d, want delta", mode)
 	}
 	if _, _, err := dec.Decode(delta, &f); err == nil {
-		t.Error("NoDelta decoder accepted a delta frame")
+		t.Error("raw-tier decoder accepted a delta frame")
 	}
 }
 
