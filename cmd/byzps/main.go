@@ -64,9 +64,18 @@
 // frame. Both are bit-identical to the single-loop plane:
 //
 //	byzps ... -shards 4 -pipeline
+//
+// Live observability (see DESIGN.md "Observability"): -metrics-addr
+// serves /metrics (Prometheus text), /statusz (human-readable fleet
+// table and recent rounds), /healthz, and /debug/pprof/* on a separate
+// diagnostics listener; -trace-out streams one JSON object per round
+// (phase timings, wire volume, flagged/evicted worker sets) to a file:
+//
+//	byzps ... -metrics-addr 127.0.0.1:9090 -trace-out run.jsonl
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -81,10 +90,15 @@ import (
 
 	"byzshield"
 	"byzshield/internal/cluster"
+	"byzshield/internal/obs"
 	"byzshield/internal/trainer"
 	"byzshield/internal/transport"
 	"byzshield/internal/wire"
 )
+
+// traceRingRounds is how many completed rounds the PS tracer retains
+// for /statusz's recent-rounds table.
+const traceRingRounds = 256
 
 func main() {
 	var (
@@ -139,6 +153,10 @@ func main() {
 		detMinRounds = flag.Int("detector-min-rounds", 0, "rounds observed before blacklisting (0 = default)")
 		detDecay     = flag.Float64("detector-decay", 0, "reputation EMA decay (0 = default)")
 		detBlacklist = flag.Float64("detector-blacklist-below", 0, "reputation blacklist floor (0 = default)")
+		metricsAddr  = flag.String("metrics-addr", "",
+			"diagnostics listen address serving /metrics, /statusz, /healthz and /debug/pprof (empty = disabled)")
+		traceOut = flag.String("trace-out", "",
+			"stream per-round traces as JSONL to this file (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -196,6 +214,36 @@ func main() {
 		Pipeline:           *pipeline,
 		Quorum:             *quorum,
 	}
+	// Observability plane: the registry and tracer are created whenever
+	// either output (HTTP scrape or JSONL stream) wants them; every
+	// hot-path instrument is an atomic store, so enabling them does not
+	// perturb the trajectory or the round allocation budget.
+	var (
+		registry *obs.Registry
+		tracer   *obs.Tracer
+	)
+	if *metricsAddr != "" || *traceOut != "" {
+		registry = obs.NewRegistry()
+		tracer = obs.NewTracer(traceRingRounds)
+		srvCfg.Metrics = registry
+		srvCfg.Tracer = tracer
+	}
+	var traceFlush func() error
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "byzps:", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		tracer.SetSink(bw)
+		traceFlush = func() error {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
+	}
 	if *verbose {
 		srvCfg.OnRound = func(rs cluster.RoundStats) {
 			log.Printf("round %d: missing=%v rejoins=%d evictions=%d stale=%d upB=%d (raw %d) downB=%d",
@@ -223,28 +271,55 @@ func main() {
 	}
 	defer srv.Close()
 
+	if *metricsAddr != "" {
+		diag, err := obs.ListenAndServe(*metricsAddr, obs.ServerOptions{
+			Registry: registry,
+			Fleet:    srv.Fleet(),
+			Tracer:   tracer,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "byzps:", err)
+			os.Exit(1)
+		}
+		defer diag.Close()
+		log.Printf("diagnostics on http://%s (/metrics /statusz /healthz /debug/pprof)", diag.Addr())
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	log.Printf("parameter server listening on %s (scheme=%s, aggregator=%s, waiting for workers)",
 		srv.Addr(), *scheme, *agg)
 	final, err := srv.Serve(ctx)
+	// The shutdown summary is a formatted view of the same atomics the
+	// /metrics lifecycle counters read live — one source, two views.
 	logCounters := func() {
 		c := srv.Counters()
 		log.Printf("lifecycle: joins=%d rejoins=%d evictions=%d stale-frames=%d blacklist-rejections=%d",
 			c.Joins, c.Rejoins, c.Evictions, c.StaleFrames, c.BlacklistRejections)
 	}
+	closeTrace := func() {
+		if traceFlush == nil {
+			return
+		}
+		if err := traceFlush(); err != nil {
+			log.Printf("trace flush: %v", err)
+		}
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			log.Printf("interrupted; %d evaluations recorded", len(srv.History().Points))
 			logCounters()
+			closeTrace()
 			os.Exit(130)
 		}
 		logCounters()
+		closeTrace()
 		fmt.Fprintln(os.Stderr, "byzps:", err)
 		os.Exit(1)
 	}
 	logCounters()
+	closeTrace()
 	fmt.Printf("final top-1 test accuracy: %.4f\n", final)
 }
 

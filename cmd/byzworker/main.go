@@ -22,6 +22,11 @@
 //	byzadv -listen 127.0.0.1:7501 -peers 2 &
 //	byzworker -connect 127.0.0.1:7077 -id 3 -behavior alie -adv-addr 127.0.0.1:7501
 //	byzworker -connect 127.0.0.1:7077 -id 7 -behavior alie -adv-addr 127.0.0.1:7501
+//
+// -metrics-addr serves the worker-side mirror of the PS diagnostics:
+// byzworker_* counters (rounds, report bytes, skips, reconnects), the
+// current-round gauge, and /debug/pprof — so a fleet operator can tell
+// a computing worker from a wedged one without asking the PS.
 package main
 
 import (
@@ -36,6 +41,7 @@ import (
 	"strings"
 	"syscall"
 
+	"byzshield/internal/obs"
 	"byzshield/internal/transport"
 	"byzshield/internal/wire"
 )
@@ -54,7 +60,9 @@ func main() {
 			"session token (hex, from the first join's log line) to rejoin a run after a process restart")
 		uplinkTiers = flag.String("uplink-tiers", "",
 			"comma-separated report codec tiers to offer the server (raw, delta, sign, int8; empty = all) — restricting the list forces the server to downgrade this connection to a mutually supported lossless tier")
-		quiet = flag.Bool("quiet", false, "suppress progress logging")
+		quiet       = flag.Bool("quiet", false, "suppress progress logging")
+		metricsAddr = flag.String("metrics-addr", "",
+			"diagnostics listen address serving /metrics, /healthz and /debug/pprof (empty = disabled)")
 	)
 	flag.Parse()
 	if *id < 0 {
@@ -89,6 +97,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var registry *obs.Registry
+	if *metricsAddr != "" {
+		registry = obs.NewRegistry()
+		diag, err := obs.ListenAndServe(*metricsAddr, obs.ServerOptions{Registry: registry})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "byzworker:", err)
+			os.Exit(1)
+		}
+		defer diag.Close()
+		logf("worker %d: diagnostics on http://%s (/metrics /healthz /debug/pprof)", *id, diag.Addr())
+	}
+
 	final, err := transport.RunWorker(ctx, *connect, transport.WorkerConfig{
 		ID:                *id,
 		Behavior:          transport.WorkerBehavior(*behavior),
@@ -98,6 +118,7 @@ func main() {
 		Tiers:             tiers,
 		AdvAddr:           *advAddr,
 		ALIEZ:             *alieZ,
+		Metrics:           registry,
 		Logf:              logf,
 	})
 	if err != nil {

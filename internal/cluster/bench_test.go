@@ -22,6 +22,7 @@ import (
 	"byzshield/internal/detect"
 	"byzshield/internal/distort"
 	"byzshield/internal/model"
+	"byzshield/internal/obs"
 	"byzshield/internal/trainer"
 	"byzshield/internal/vote"
 	"byzshield/internal/wire"
@@ -171,33 +172,50 @@ func BenchmarkRoundMLP(b *testing.B) {
 // estimation and payload crafting included — must stay in low single
 // digits, far under the 24 the arena design left behind. Measured on
 // the serial engine so pool scheduling noise cannot flake the count.
+// The instrumented subtest re-pins the same budget with the metrics
+// registry and round tracer enabled: every hot-path instrument is an
+// atomic store into preallocated state, so observability must be free
+// of allocation too.
 func TestSteadyStateAllocsPerRound(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race-detector instrumentation allocates; alloc budget is pinned in the non-race run")
 	}
-	cfgT := quickstartConfig(t)
-	cfgT.Parallelism = 1
-	e, err := New(cfgT)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer e.Close()
-	for i := 0; i < 8; i++ {
-		if _, err := e.RunRound(); err != nil {
+	gate := func(t *testing.T, cfgT Config) {
+		t.Helper()
+		e, err := New(cfgT)
+		if err != nil {
 			t.Fatal(err)
 		}
-	}
-	allocs := testing.AllocsPerRun(12, func() {
-		if _, err := e.RunRound(); err != nil {
-			t.Fatal(err)
+		defer e.Close()
+		for i := 0; i < 8; i++ {
+			if _, err := e.RunRound(); err != nil {
+				t.Fatal(err)
+			}
 		}
+		allocs := testing.AllocsPerRun(12, func() {
+			if _, err := e.RunRound(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs >= 24 {
+			t.Fatalf("steady-state round allocates %.1f times, budget < 24", allocs)
+		}
+		if allocs > 4 {
+			t.Errorf("steady-state round allocates %.1f times, want ≤ 4 (attacker scratch + sampler prealloc regressed)", allocs)
+		}
+	}
+	t.Run("bare", func(t *testing.T) {
+		cfgT := quickstartConfig(t)
+		cfgT.Parallelism = 1
+		gate(t, cfgT)
 	})
-	if allocs >= 24 {
-		t.Fatalf("steady-state round allocates %.1f times, budget < 24", allocs)
-	}
-	if allocs > 4 {
-		t.Errorf("steady-state round allocates %.1f times, want ≤ 4 (attacker scratch + sampler prealloc regressed)", allocs)
-	}
+	t.Run("instrumented", func(t *testing.T) {
+		cfgT := quickstartConfig(t)
+		cfgT.Parallelism = 1
+		cfgT.Metrics = obs.NewRegistry()
+		cfgT.Tracer = obs.NewTracer(64)
+		gate(t, cfgT)
+	})
 }
 
 // BenchmarkVoteMajority isolates the allocation-free small-n vote on a

@@ -47,6 +47,7 @@ import (
 	"byzshield/internal/detect"
 	"byzshield/internal/fault"
 	"byzshield/internal/model"
+	"byzshield/internal/obs"
 	"byzshield/internal/trainer"
 	"byzshield/internal/vote"
 	"byzshield/internal/wire"
@@ -153,6 +154,20 @@ type Config struct {
 	// in a real deployment those behaviors belong to the workers, not
 	// the PS.
 	Source GradientSource
+	// Metrics, when non-nil, registers the engine's instruments (round
+	// counter, per-phase latency histograms, file-outcome counters,
+	// arena occupancy, a per-round heap-allocation guard) at
+	// construction. Every hot-path update is an atomic store into that
+	// preallocated state, so enabling metrics does not move the
+	// steady-state allocation budget (pinned by
+	// TestSteadyStateAllocsPerRound) and cannot perturb trajectories.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records one obs.RoundTrace per round —
+	// phase spans, byte counts, and the missing/flagged/blacklisted
+	// worker sets — into its bounded ring (and JSONL sink, when set).
+	// Recording reuses ring-owned storage, so it is alloc-free in
+	// steady state too.
+	Tracer *obs.Tracer
 }
 
 // PhaseTimes accumulates wall-clock time per protocol phase, plus the
@@ -162,6 +177,11 @@ type PhaseTimes struct {
 	Compute       time.Duration
 	Communication time.Duration
 	Aggregation   time.Duration
+	// Detect is the detection/reputation pass (report summing, feature
+	// extraction, the detector verdict) between collection and
+	// aggregation; zero when no detector is configured. Kept separate
+	// from Aggregation so the Figure-12 phase split stays honest.
+	Detect time.Duration
 	// ReportBytes counts the serialized worker→PS gradient-report bytes
 	// as they move (or are measured) on the wire — compressed uplink
 	// frames where the codec chose a delta, raw frames otherwise.
@@ -180,6 +200,7 @@ func (t *PhaseTimes) Add(other PhaseTimes) {
 	t.Compute += other.Compute
 	t.Communication += other.Communication
 	t.Aggregation += other.Aggregation
+	t.Detect += other.Detect
 	t.ReportBytes += other.ReportBytes
 	t.ReportRawBytes += other.ReportRawBytes
 	t.BroadcastBytes += other.BroadcastBytes
@@ -281,8 +302,15 @@ type Engine struct {
 	prepFlip     int
 	preparedIter int
 	prepErr      error
-	closeOnce    sync.Once
-	closed       bool
+	// ins holds the preallocated metric instruments (nil when
+	// Config.Metrics is unset); tracer and trace are the round tracer
+	// and its engine-owned scratch record (trace's worker-set slices are
+	// preallocated at cap K so filling them never allocates).
+	ins       *engineInstruments
+	tracer    *obs.Tracer
+	trace     obs.RoundTrace
+	closeOnce sync.Once
+	closed    bool
 }
 
 // New validates the configuration and initializes the engine, including
@@ -416,6 +444,18 @@ func New(cfg Config) (*Engine, error) {
 	e.src = cfg.Source
 	if e.src == nil {
 		e.src = localSource{e: e}
+	}
+	if cfg.Metrics != nil {
+		e.ins = newEngineInstruments(cfg.Metrics, e)
+		if e.detSt != nil {
+			e.detSt.SetInstruments(detect.NewInstruments(cfg.Metrics))
+		}
+	}
+	if cfg.Tracer != nil {
+		e.tracer = cfg.Tracer
+		e.trace.Missing = make([]int, 0, cfg.Assignment.K)
+		e.trace.Flagged = make([]int, 0, cfg.Assignment.K)
+		e.trace.Blacklisted = make([]int, 0, cfg.Assignment.K)
 	}
 	return e, nil
 }
@@ -625,11 +665,26 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 	// RoundPreparer source can then piggyback round t+1's sample lists
 	// on round t's own broadcast frames instead of paying a separate
 	// write per worker during the tail.
+	obsOn := e.ins != nil || e.tracer != nil
+	var prepStart time.Time
+	if obsOn {
+		prepStart = time.Now()
+	}
 	e.prepareNext()
+	var prepDur time.Duration
+	var collectStart time.Time
+	if obsOn {
+		collectStart = time.Now()
+		prepDur = collectStart.Sub(prepStart)
+	}
 
 	cs, err := e.src.Collect(ctx, &e.rd)
 	if err != nil {
 		return RoundStats{}, err
+	}
+	var collectDur time.Duration
+	if obsOn {
+		collectDur = time.Since(collectStart)
 	}
 
 	// --- Detection: between collection and aggregation, sum each live
@@ -638,7 +693,9 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 	// derive the round's robust features, and let the detector update
 	// reputations. Workers blacklisted this round are removed before
 	// their replicas can enter any vote.
+	var detTime time.Duration
 	if e.detSt != nil {
+		detStart := time.Now()
 		e.detSt.BeginRound()
 		e.runPhase(a.K, func(_, u int) {
 			if ar.missing[u] {
@@ -655,6 +712,7 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 		for _, u := range e.detSt.NewlyBlacklisted() {
 			ar.missing[u] = true
 		}
+		detTime = time.Since(detStart)
 	}
 
 	// --- Aggregation phase: per-file majority votes over the surviving
@@ -673,6 +731,13 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 		e.shardedVotePhase()
 	} else {
 		e.runPhase(a.F, e.voteFile)
+	}
+	// voteDur splits the aggregation span for the tracer/metrics; the
+	// accumulated Times.Aggregation keeps its historical meaning
+	// (vote + aggregate + scale).
+	var voteDur time.Duration
+	if obsOn {
+		voteDur = time.Since(aggStart)
 	}
 	distorted, degraded, dropped := 0, 0, 0
 	for w := 0; w < e.width; w++ {
@@ -762,6 +827,7 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 			Compute:        cs.Compute,
 			Communication:  cs.Communication,
 			Aggregation:    aggTime,
+			Detect:         detTime,
 			ReportBytes:    cs.ReportBytes,
 			ReportRawBytes: cs.ReportRawBytes,
 			BroadcastBytes: cs.BroadcastBytes,
@@ -776,8 +842,47 @@ func (e *Engine) StepOnce(ctx context.Context) (RoundStats, error) {
 		stats.Blacklisted = e.detSt.BlacklistCount()
 	}
 	e.times.Add(stats.Times)
+	if e.ins != nil {
+		e.ins.observeRound(e, &stats, prepDur, collectDur, voteDur, aggTime, cs.Broadcast)
+	}
+	if e.tracer != nil {
+		e.recordTrace(&stats, prepDur, collectDur, voteDur, aggTime, cs.Broadcast)
+	}
 	e.iter++
 	return stats, nil
+}
+
+// recordTrace fills the engine-owned trace scratch from the round's
+// stats and hands it to the tracer. The worker-set slices were
+// preallocated at cap K, so this is alloc-free in steady state.
+func (e *Engine) recordTrace(stats *RoundStats, prep, collect, vote, aggTotal time.Duration, broadcast time.Duration) {
+	rt := &e.trace
+	rt.Round = stats.Iteration
+	rt.Shards = e.rd.Shards()
+	rt.PhaseNS[obs.PhasePrep] = int64(prep)
+	rt.PhaseNS[obs.PhaseBroadcast] = int64(broadcast)
+	rt.PhaseNS[obs.PhaseCollect] = int64(collect)
+	rt.PhaseNS[obs.PhaseVote] = int64(vote)
+	rt.PhaseNS[obs.PhaseAggregate] = int64(aggTotal - vote)
+	rt.PhaseNS[obs.PhaseDetect] = int64(stats.Times.Detect)
+	rt.PhaseNS[obs.PhaseEval] = 0
+	rt.ReportBytes = stats.Times.ReportBytes
+	rt.ReportRawBytes = stats.Times.ReportRawBytes
+	rt.BroadcastBytes = stats.Times.BroadcastBytes
+	rt.DistortedFiles = stats.DistortedFiles
+	rt.DegradedFiles = stats.DegradedFiles
+	rt.DroppedFiles = stats.DroppedFiles
+	rt.Rejoins = stats.Rejoins
+	rt.Evictions = stats.Evictions
+	rt.StaleFrames = stats.StaleFrames
+	rt.MeanReputation = stats.MeanReputation
+	rt.Missing = append(rt.Missing[:0], stats.MissingWorkers...)
+	rt.Flagged = rt.Flagged[:0]
+	if e.detSt != nil {
+		rt.Flagged = append(rt.Flagged, e.detSt.Flagged()...)
+	}
+	rt.Blacklisted = append(rt.Blacklisted[:0], stats.BlacklistedWorkers...)
+	e.tracer.Record(rt)
 }
 
 // voteFile runs the exact serial majority vote for file v using the
@@ -943,6 +1048,26 @@ func (e *Engine) MeanReputation() float64 {
 		return 1
 	}
 	return e.detSt.MeanReputation()
+}
+
+// Reputation returns worker u's current reputation score (1 when
+// detection is off). The TCP server mirrors it into the fleet table
+// after every round.
+func (e *Engine) Reputation(u int) float64 {
+	if e.detSt == nil {
+		return 1
+	}
+	return e.detSt.Reputation(u)
+}
+
+// ObservePhase feeds a phase-latency observation into the engine's
+// metric instruments and is safe to call with metrics disabled (no-op).
+// The TCP server uses it for spans the engine cannot see itself — the
+// asynchronous held-out evaluation.
+func (e *Engine) ObservePhase(p obs.Phase, d time.Duration) {
+	if e.ins != nil {
+		e.ins.phase[p].Observe(d.Seconds())
+	}
 }
 
 // aggregate reduces the vote winners into the arena's update vector

@@ -25,6 +25,10 @@ type CollectStats struct {
 	// BroadcastBytes counts serialized PS→worker parameter-broadcast
 	// bytes for sources that physically move (or measure) them.
 	BroadcastBytes int64
+	// Broadcast is the wall-clock time of the PS→worker parameter
+	// broadcast sends (network sources only; a subset of
+	// Communication). The tracer records it as its own phase span.
+	Broadcast time.Duration
 	// Rejoins/Evictions/StaleFrames report connection-lifecycle events
 	// of network sources (see RoundStats).
 	Rejoins     int

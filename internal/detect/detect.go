@@ -135,6 +135,10 @@ type State struct {
 	// 2-means scratch for the cluster detector
 	kmPts    [][2]float64
 	kmAssign []int
+
+	// ins is the optional observability hook (see obs.go); nil when
+	// metrics are off.
+	ins *Instruments
 }
 
 // NewState allocates the reputation layer for k workers and gradient
@@ -267,6 +271,7 @@ func (s *State) Observe(det Detector) {
 			s.blackList = append(s.blackList, u)
 		}
 	}
+	s.observeInstruments()
 }
 
 // push appends a sample to worker u's ring.

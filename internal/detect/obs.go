@@ -1,0 +1,49 @@
+package detect
+
+import "byzshield/internal/obs"
+
+// scoreBuckets covers the window-score range: robust z-scores are
+// winsorized to ZCap = 10, so window means live in [0, 10]; honest
+// workers cluster under ~2, attackers pin near the cap.
+var scoreBuckets = []float64{0.25, 0.5, 1, 1.5, 2, 3, 4, 6, 8, 10}
+
+// Instruments is the detection layer's preallocated metric state: the
+// per-round distribution of window outlier scores across the live
+// fleet, and the flag/blacklist event counters. All updates happen
+// inside Observe via atomic stores — nothing on the detection hot path
+// allocates.
+type Instruments struct {
+	// Score observes every live worker's window outlier score each
+	// round (the scalar the zscore detector thresholds).
+	Score *obs.Histogram
+	// Flagged counts detector flag events (worker-rounds).
+	Flagged *obs.Counter
+	// Blacklisted counts permanent blacklist events.
+	Blacklisted *obs.Counter
+}
+
+// NewInstruments registers the detection families on r.
+func NewInstruments(r *obs.Registry) *Instruments {
+	return &Instruments{
+		Score:       r.Histogram("byzshield_detect_score", "", "per-worker window outlier score distribution per round", scoreBuckets),
+		Flagged:     r.Counter("byzshield_detect_flagged_total", "", "detector flag events (worker-rounds)"),
+		Blacklisted: r.Counter("byzshield_detect_blacklisted_total", "", "workers permanently blacklisted"),
+	}
+}
+
+// SetInstruments attaches ins to the state; nil detaches. Observe
+// feeds the instruments after each detection pass.
+func (s *State) SetInstruments(ins *Instruments) { s.ins = ins }
+
+// observeInstruments publishes one completed detection round.
+func (s *State) observeInstruments() {
+	ins := s.ins
+	if ins == nil {
+		return
+	}
+	for _, u := range s.live {
+		ins.Score.Observe(s.WindowScore(u))
+	}
+	ins.Flagged.Add(int64(len(s.flaggedList)))
+	ins.Blacklisted.Add(int64(len(s.newBlack)))
+}

@@ -213,6 +213,11 @@ func TestFigure12Timing(t *testing.T) {
 		if r.Compute <= 0 || r.Communication <= 0 || r.Aggregation <= 0 {
 			t.Errorf("%s: missing phase time %+v", r.Scheme, r)
 		}
+		// quickOpts runs without a detector: the detect column must be
+		// exactly zero, not leak vote/aggregate time.
+		if opts.Detector == "" && r.Detect != 0 {
+			t.Errorf("%s: detect time %v without a detector", r.Scheme, r.Detect)
+		}
 	}
 	// ByzShield transmits l = 5 gradients per worker vs 1 for the
 	// baseline: its raw-equivalent message volume must be close to 5×
@@ -239,6 +244,21 @@ func TestFigure12Timing(t *testing.T) {
 	RenderTiming(&buf, rows)
 	if !strings.Contains(buf.String(), "ByzShield") {
 		t.Error("timing rendering missing scheme")
+	}
+	if !strings.Contains(buf.String(), "detect/iter") {
+		t.Error("timing rendering missing detect column")
+	}
+	// With a detector the detect column is populated — and it is carried
+	// separately from Aggregation, so enabling detection must not inflate
+	// the aggregation phase by construction.
+	dopts := opts
+	dopts.Detector = "zscore"
+	drow, err := timeOne(context.Background(), "ByzShield+zscore", byzShieldSpec(25, 3, attack.ALIE{}), dopts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drow.Detect <= 0 {
+		t.Errorf("detector enabled but detect time is %v", drow.Detect)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"byzshield/internal/cluster"
+	"byzshield/internal/obs"
 	"byzshield/internal/trainer"
 	"byzshield/internal/transport"
 	"byzshield/internal/wire"
@@ -110,6 +111,10 @@ type FleetConfig struct {
 	Modes []string
 	// Seed fixes the data/batch stream.
 	Seed int64
+	// Tracer, when non-nil, receives one RoundTrace per round from every
+	// point's server; the sweep labels it "mode/K=<count>" per point so a
+	// JSONL sink (byzfleet -trace-out) separates the sweep's runs.
+	Tracer *obs.Tracer
 	// Logf receives progress lines; nil disables.
 	Logf func(format string, args ...any)
 }
@@ -215,6 +220,7 @@ func (c FleetConfig) runFleetPoint(ctx context.Context, spec transport.Spec, mod
 		// difference. The quantized mode runs the lossy int8 tier.
 		Uplink:             mode.Uplink,
 		FullBroadcastEvery: 1,
+		Tracer:             c.Tracer,
 		OnRound: func(rs cluster.RoundStats) {
 			if rs.Iteration == c.Warmup-1 {
 				windowStart = time.Now()
@@ -320,6 +326,9 @@ func FleetScaling(ctx context.Context, cfg FleetConfig) ([]FleetPoint, error) {
 		for _, mode := range FleetModes(cfg.Shards) {
 			if len(cfg.Modes) > 0 && !slices.Contains(cfg.Modes, mode.Name) {
 				continue
+			}
+			if cfg.Tracer != nil {
+				cfg.Tracer.SetLabel(fmt.Sprintf("%s/K=%d", mode.Name, k))
 			}
 			ref := losslessRef
 			if mode.Uplink.Lossy() {

@@ -14,13 +14,18 @@ import (
 )
 
 // TimingRow is one bar group of Figure 12: the per-iteration wall-clock
-// split of a scheme into computation, communication, and aggregation,
-// plus the exact serialized message volume.
+// split of a scheme into computation, communication, aggregation, and
+// detection, plus the exact serialized message volume.
 type TimingRow struct {
 	Scheme        string
 	Compute       time.Duration
 	Communication time.Duration
-	Aggregation   time.Duration
+	// Aggregation covers vote + robust aggregation + optimizer step;
+	// Detect is the detection/reputation pass, reported as its own
+	// column (zero when no detector runs) so the Figure-12 phase split
+	// shows what the Byzantine defense itself costs per iteration.
+	Aggregation time.Duration
+	Detect      time.Duration
 	// ReportBytes is the measured worker→PS gradient-report volume as
 	// the uplink codec moved it (delta frames where they paid, raw
 	// otherwise); ReportRawBytes what raw frames would have cost — the
@@ -40,12 +45,12 @@ type TimingRow struct {
 }
 
 // PerIteration returns the phase times divided by the round count.
-func (r TimingRow) PerIteration() (compute, comm, agg time.Duration) {
+func (r TimingRow) PerIteration() (compute, comm, agg, det time.Duration) {
 	n := time.Duration(r.Rounds)
 	if n == 0 {
 		n = 1
 	}
-	return r.Compute / n, r.Communication / n, r.Aggregation / n
+	return r.Compute / n, r.Communication / n, r.Aggregation / n, r.Detect / n
 }
 
 // Figure12 measures the per-iteration time split for the three
@@ -147,6 +152,7 @@ func timeOne(ctx context.Context, name string, spec RunSpec, opts TrainOpts, rou
 		Compute:        times.Compute,
 		Communication:  times.Communication,
 		Aggregation:    times.Aggregation,
+		Detect:         times.Detect,
 		ReportBytes:    times.ReportBytes,
 		ReportRawBytes: times.ReportRawBytes,
 		BroadcastBytes: times.BroadcastBytes,

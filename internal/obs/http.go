@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServerOptions configures the diagnostics endpoint. Every field is
+// optional: a nil Registry serves an empty /metrics, a nil Fleet omits
+// the per-worker series and the /statusz table.
+type ServerOptions struct {
+	Registry *Registry
+	Fleet    *FleetTable
+	Tracer   *Tracer
+	// Extra, when set, appends additional Prometheus text to /metrics
+	// (the transport uses it for values scoped to the live server).
+	Extra func(w http.ResponseWriter)
+}
+
+// NewMux builds the diagnostics routes on a fresh mux (never the
+// default mux, so importing obs does not pollute global HTTP state):
+// /metrics (Prometheus text), /healthz, /statusz (fleet table + recent
+// rounds), and /debug/pprof/*.
+func NewMux(opts ServerOptions) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if opts.Registry != nil {
+			opts.Registry.WritePrometheus(w)
+		}
+		if opts.Fleet != nil {
+			opts.Fleet.WritePrometheus(w)
+		}
+		if opts.Extra != nil {
+			opts.Extra(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		now := time.Now()
+		fmt.Fprintf(w, "byzshield status — %s\n\n", now.Format(time.RFC3339))
+		if opts.Fleet != nil {
+			fmt.Fprintln(w, "fleet:")
+			opts.Fleet.WriteStatusz(w, now)
+			fmt.Fprintln(w)
+		}
+		if opts.Tracer != nil {
+			writeRecentRounds(w, opts.Tracer)
+		}
+		if opts.Registry != nil {
+			fmt.Fprintln(w, "metrics:")
+			for _, s := range opts.Registry.Gather() {
+				fmt.Fprintf(w, "  %s%s %v\n", s.Name, wrapLabels(s.Labels), s.Value)
+			}
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// writeRecentRounds renders the tracer's retained ring as a table.
+func writeRecentRounds(w http.ResponseWriter, t *Tracer) {
+	traces := t.Snapshot(nil)
+	if len(traces) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "recent rounds (%d retained, %d total):\n", len(traces), t.Total())
+	fmt.Fprintf(w, "%6s %10s %10s %10s %10s %10s %8s %8s %8s\n",
+		"round", "collect", "vote", "agg", "detect", "eval", "upB", "downB", "missing")
+	for i := range traces {
+		rt := &traces[i]
+		fmt.Fprintf(w, "%6d %10s %10s %10s %10s %10s %8d %8d %8d\n",
+			rt.Round,
+			time.Duration(rt.PhaseNS[PhaseCollect]).Truncate(time.Microsecond),
+			time.Duration(rt.PhaseNS[PhaseVote]).Truncate(time.Microsecond),
+			time.Duration(rt.PhaseNS[PhaseAggregate]).Truncate(time.Microsecond),
+			time.Duration(rt.PhaseNS[PhaseDetect]).Truncate(time.Microsecond),
+			time.Duration(rt.PhaseNS[PhaseEval]).Truncate(time.Microsecond),
+			rt.ReportBytes, rt.BroadcastBytes, len(rt.Missing))
+	}
+	fmt.Fprintln(w)
+}
+
+// Diag is a running diagnostics HTTP server.
+type Diag struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ListenAndServe starts the diagnostics server on addr (":0" picks a
+// free port — tests use it) and serves until Close.
+func ListenAndServe(addr string, opts ServerOptions) (*Diag, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &Diag{ln: ln, srv: &http.Server{Handler: NewMux(opts)}}
+	go d.srv.Serve(ln)
+	return d, nil
+}
+
+// Addr returns the bound address (host:port).
+func (d *Diag) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server and its listener.
+func (d *Diag) Close() error { return d.srv.Close() }

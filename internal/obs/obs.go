@@ -1,0 +1,364 @@
+// Package obs is the repo's observability plane: a preallocated
+// metrics registry (atomic counters, gauges, fixed-bucket histograms),
+// a bounded ring-buffer round tracer, a per-worker fleet table, and an
+// HTTP diagnostics server exposing them as Prometheus text.
+//
+// The design constraint is the engine's steady-state allocation budget:
+// every instrument is registered once at construction time and handed
+// back as a pointer, so the hot path performs no map lookups, no
+// interface conversions, and no allocation — an Inc/Set/Observe is one
+// or two atomic operations on preallocated state. All formatting cost
+// (Prometheus exposition, JSONL traces, the /statusz table) is paid on
+// the scrape/sink side, off the round path.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. Inc/Add are single
+// atomic adds; the hot path holds the *Counter directly.
+type Counter struct {
+	v      atomic.Int64
+	labels string
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotone; this is not
+// checked on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down, stored as raw bits
+// so Set/Value are single atomic word operations.
+type Gauge struct {
+	bits   atomic.Uint64
+	labels string
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d with a CAS loop (rarely contended; gauges are typically
+// written by one goroutine).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		new_ := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, new_) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram. The bucket layout is decided
+// at registration (no dynamic resizing), so Observe is a linear scan
+// over a handful of upper bounds plus two atomic adds and a CAS on the
+// float sum — no allocation, no locks.
+type Histogram struct {
+	bounds  []float64      // strictly increasing upper bounds
+	counts  []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	labels  string
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new_ := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new_) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// ExpBuckets returns n upper bounds starting at start, each factor
+// times the previous — the standard layout for latency histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// funcGauge is a value read lazily at scrape time. Used where a live
+// atomic already exists elsewhere (the transport's lifecycle counters,
+// inbox depths): the scrape reads the same source the shutdown summary
+// formats, so the two can never disagree.
+type funcGauge struct {
+	fn     func() float64
+	labels string
+}
+
+// metricKind is the Prometheus TYPE of a family.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one metric name: its help text, TYPE, and every labeled
+// series registered under it.
+type family struct {
+	name     string
+	help     string
+	kind     metricKind
+	counters []*Counter
+	gauges   []*Gauge
+	funcs    []funcGauge
+	hists    []*Histogram
+}
+
+// Registry holds every registered instrument. Registration happens at
+// engine/server construction and takes a lock; the returned pointers
+// are then used lock-free. Scrapes (WritePrometheus) take the same
+// lock, which only ever contends with late registration, never with
+// the round hot path.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+	seen     map[string]struct{} // name+labels dedup
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byName: make(map[string]*family),
+		seen:   make(map[string]struct{}),
+	}
+}
+
+// lookup finds or creates the family, panicking on a TYPE conflict or
+// duplicate series — both are construction-time bugs, not runtime
+// conditions.
+func (r *Registry) lookup(name, labels, help string, kind metricKind) *family {
+	key := name + "{" + labels + "}"
+	if _, dup := r.seen[key]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %s", key))
+	}
+	r.seen[key] = struct{}{}
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as both %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// Counter registers a counter series. labels is a raw Prometheus label
+// fragment like `phase="vote"` (empty for an unlabeled series).
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, labels, help, kindCounter)
+	c := &Counter{labels: labels}
+	f.counters = append(f.counters, c)
+	return c
+}
+
+// Gauge registers a gauge series.
+func (r *Registry) Gauge(name, labels, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, labels, help, kindGauge)
+	g := &Gauge{labels: labels}
+	f.gauges = append(f.gauges, g)
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn only at
+// scrape time. fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, labels, help, kindGauge)
+	f.funcs = append(f.funcs, funcGauge{fn: fn, labels: labels})
+}
+
+// CounterFunc registers a counter whose value is read from fn only at
+// scrape time — the bridge for live atomics owned elsewhere (e.g. the
+// transport's join/eviction counters).
+func (r *Registry) CounterFunc(name, labels, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, labels, help, kindCounter)
+	f.funcs = append(f.funcs, funcGauge{fn: fn, labels: labels})
+}
+
+// Histogram registers a fixed-bucket histogram series. bounds must be
+// strictly increasing; they are copied.
+func (r *Registry) Histogram(name, labels, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s bounds not strictly increasing", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, labels, help, kindHistogram)
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+		labels: labels,
+	}
+	f.hists = append(f.hists, h)
+	return h
+}
+
+// wrapLabels renders a label fragment as {a="b"} or "".
+func wrapLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// joinLabels merges a series label fragment with an extra pair.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// WritePrometheus writes every registered series in the Prometheus
+// text exposition format. Allocation here is fine: scrapes run on the
+// diagnostics goroutine, not the round path.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, c := range f.counters {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, wrapLabels(c.labels), c.Value()); err != nil {
+				return err
+			}
+		}
+		for _, g := range f.gauges {
+			if _, err := fmt.Fprintf(w, "%s%s %v\n", f.name, wrapLabels(g.labels), g.Value()); err != nil {
+				return err
+			}
+		}
+		for _, fg := range f.funcs {
+			if _, err := fmt.Fprintf(w, "%s%s %v\n", f.name, wrapLabels(fg.labels), fg.fn()); err != nil {
+				return err
+			}
+		}
+		for _, h := range f.hists {
+			cum := int64(0)
+			for i, b := range h.bounds {
+				cum += h.counts[i].Load()
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					joinLabels(h.labels, fmt.Sprintf("le=%q", fmtBound(b))), cum); err != nil {
+					return err
+				}
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+				joinLabels(h.labels, `le="+Inf"`), cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %v\n", f.name, wrapLabels(h.labels), h.Sum()); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, wrapLabels(h.labels), h.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fmtBound renders a bucket bound compactly ("0.001", not "1e-03").
+func fmtBound(b float64) string { return fmt.Sprintf("%g", b) }
+
+// Series is one scraped value, for programmatic inspection in tests
+// and /statusz.
+type Series struct {
+	Name   string // family name (histograms expand to _sum/_count/_bucket)
+	Labels string
+	Value  float64
+}
+
+// Gather returns every scalar series (counters, gauges, funcs, and
+// histogram _sum/_count) sorted by name then labels.
+func (r *Registry) Gather() []Series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Series
+	for _, f := range r.families {
+		for _, c := range f.counters {
+			out = append(out, Series{f.name, c.labels, float64(c.Value())})
+		}
+		for _, g := range f.gauges {
+			out = append(out, Series{f.name, g.labels, g.Value()})
+		}
+		for _, fg := range f.funcs {
+			out = append(out, Series{f.name, fg.labels, fg.fn()})
+		}
+		for _, h := range f.hists {
+			out = append(out, Series{f.name + "_sum", h.labels, h.Sum()})
+			out = append(out, Series{f.name + "_count", h.labels, float64(h.Count())})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}

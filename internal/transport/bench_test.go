@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"byzshield/internal/cluster"
+	"byzshield/internal/obs"
 	"byzshield/internal/registry"
 	"byzshield/internal/wire"
 )
@@ -80,6 +81,19 @@ func benchLoopback(b *testing.B, spec Spec, cfg ServerConfig) {
 // (self-selecting), delta broadcasts at the default cadence.
 func BenchmarkLoopbackRound(b *testing.B) {
 	benchLoopback(b, testSpec(1), ServerConfig{})
+}
+
+// BenchmarkLoopbackRoundMetrics is BenchmarkLoopbackRound with the
+// full observability plane attached — metrics registry, round tracer,
+// fleet table updates. The round_ns gap against the bare variant is
+// the total cost of live observability; CI's bench-smoke job fails if
+// it exceeds 5%, pinning the "metrics are atomics on the hot path, not
+// allocations or locks" design.
+func BenchmarkLoopbackRoundMetrics(b *testing.B) {
+	benchLoopback(b, testSpec(1), ServerConfig{
+		Metrics: obs.NewRegistry(),
+		Tracer:  obs.NewTracer(256),
+	})
 }
 
 // BenchmarkLoopbackRoundRawUplink is the same round with uplink

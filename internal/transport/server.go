@@ -15,6 +15,7 @@ import (
 	"byzshield/internal/aggregate"
 	"byzshield/internal/assign"
 	"byzshield/internal/cluster"
+	"byzshield/internal/obs"
 	"byzshield/internal/trainer"
 	"byzshield/internal/wire"
 )
@@ -110,6 +111,18 @@ type ServerConfig struct {
 	// counts, and connection-lifecycle counters. It runs on the serve
 	// loop between rounds: the next round starts only after it returns.
 	OnRound func(cluster.RoundStats)
+	// Metrics, when non-nil, receives the server's metric families at
+	// construction: the engine and detection instruments (via
+	// cluster.Config.Metrics) plus the transport's own — live lifecycle
+	// counters bridged from the same atomics Counters reads, pump inbox
+	// depth, and the current round. Every hot-path update is an atomic
+	// store into preallocated state; the registry is only walked at
+	// scrape time.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records one RoundTrace per round (via
+	// cluster.Config.Tracer) and has the background evaluation span
+	// attached after the fact.
+	Tracer *obs.Tracer
 }
 
 // Counters are the server's cumulative connection-lifecycle totals,
@@ -158,6 +171,7 @@ type Server struct {
 	assignment *assign.Assignment
 	eng        *cluster.Engine
 	src        *wireSource
+	fleet      *obs.FleetTable
 
 	histMu  sync.Mutex
 	history trainer.History
@@ -244,6 +258,8 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		Detector:     det,
 		Detection:    cfg.Spec.DetectorParams.Policy(),
 		Source:       src,
+		Metrics:      cfg.Metrics,
+		Tracer:       cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -251,19 +267,34 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	// Bind the engine's stable gradient buffers to the source: the
 	// reader pumps decode current-round reports straight into them.
 	src.bind(eng, mdl.NumParams())
+	// The fleet table exists unconditionally (it backs /statusz and the
+	// per-worker /metrics series, and its updates are single atomic
+	// stores); the registry families are only added when metrics are on.
+	fleet := obs.NewFleetTable(asn.K)
+	fleet.TierName = func(code int32) string { return wire.UplinkTier(code).String() }
+	src.fleet = fleet
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		eng.Close()
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:        cfg,
 		listener:   ln,
 		assignment: asn,
 		eng:        eng,
 		src:        src,
-	}, nil
+		fleet:      fleet,
+	}
+	if cfg.Metrics != nil {
+		s.registerInstruments(cfg.Metrics)
+	}
+	return s, nil
 }
+
+// Fleet returns the server's per-worker status table — the backing
+// store of /statusz and the worker-labeled /metrics series.
+func (s *Server) Fleet() *obs.FleetTable { return s.fleet }
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
@@ -492,9 +523,14 @@ func (s *Server) handshake(ctx context.Context, conn *Conn) {
 	if tier != s.src.uplink {
 		s.cfg.Logf("worker %d: uplink tier %s unsupported by peer, downgraded to %s", hello.WorkerID, s.src.uplink, tier)
 	}
+	s.fleet.SetTier(hello.WorkerID, int32(tier))
+	s.fleet.Touch(hello.WorkerID, time.Now())
 	if hello.Resume {
+		// State flips to live at admitPending — the round boundary where
+		// the rejoin actually takes effect.
 		s.cfg.Logf("worker %d reconnected from %s (re-admission at next round)", hello.WorkerID, conn.RemoteAddr())
 	} else {
+		s.fleet.SetState(hello.WorkerID, obs.WorkerLive)
 		s.cfg.Logf("worker %d joined from %s (%d/%d)", hello.WorkerID, conn.RemoteAddr(), joined, k)
 		select {
 		case ws.joinedCh <- struct{}{}:
@@ -622,8 +658,16 @@ func (s *Server) Serve(ctx context.Context) (float64, error) {
 	go func() {
 		defer close(evalDone)
 		for job := range evalCh {
+			evalStart := time.Now()
 			loss := s.eng.EvalLossParams(job.params)
 			acc := s.eng.EvaluateParams(job.params)
+			evalDur := time.Since(evalStart)
+			s.eng.ObservePhase(obs.PhaseEval, evalDur)
+			if s.cfg.Tracer != nil {
+				// Traces carry the 0-based iteration; eval jobs the
+				// 1-based display round.
+				s.cfg.Tracer.AttachEval(job.round-1, evalDur, loss, acc)
+			}
 			s.histMu.Lock()
 			s.history.Add(job.round, loss, acc)
 			s.histMu.Unlock()
@@ -657,6 +701,11 @@ func (s *Server) Serve(ctx context.Context) (float64, error) {
 		// round broadcasts.
 		for _, u := range stats.BlacklistedWorkers {
 			s.src.blacklist(u)
+		}
+		// Publish the round's reputation scores to the fleet table (K
+		// atomic stores; the engine accessor is lock-free).
+		for u := 0; u < k; u++ {
+			s.fleet.SetReputation(u, s.eng.Reputation(u))
 		}
 		if s.cfg.OnRound != nil {
 			s.cfg.OnRound(stats)
@@ -981,6 +1030,12 @@ type wireSource struct {
 	eng *cluster.Engine
 	dim int
 
+	// fleet is the per-worker status table (set by NewServer, never
+	// nil): handshake/eviction/blacklist flip the state rows, the
+	// collection loop stamps report arrivals. All updates are single
+	// atomic stores.
+	fleet *obs.FleetTable
+
 	// shards is the aggregation-plane shard count (1 = whole-vector);
 	// shardRanges[s] the [lo, hi) coordinate range of shard s. pipeline
 	// enables the RoundPrep overlap; rounds bounds it (no prep past the
@@ -1291,6 +1346,9 @@ func (ws *wireSource) admitPending(t int) int {
 		w.lastAck = -1
 		ws.startPump(u, w.conn)
 		ws.rejoins.Add(1)
+		ws.fleet.SetState(u, obs.WorkerLive)
+		ws.fleet.IncRejoins(u)
+		ws.fleet.Touch(u, time.Now())
 		admitted++
 		ws.logf("round %d: worker %d re-admitted", t, u)
 	}
@@ -1342,6 +1400,7 @@ func (ws *wireSource) Collect(ctx context.Context, rd *cluster.Round) (cluster.C
 	// Files map; when round t+1's prep is staged, its group frame rides
 	// the same vectored write as this round's RoundStart.
 	prepNext := ws.pipeline && ws.prepReady == t+1
+	bcastStart := time.Now()
 	var bcastBytes atomic.Int64
 	var sends sync.WaitGroup
 	for u := range ws.roundConns {
@@ -1376,6 +1435,7 @@ func (ws *wireSource) Collect(ctx context.Context, rd *cluster.Round) (cluster.C
 		}(u, conn, ws.roundAcks[u], prepped, prepFrame)
 	}
 	sends.Wait()
+	bcastDur := time.Since(bcastStart)
 
 	// Collection: a single select over the inbox and one deadline
 	// timer. No per-worker socket reads, no per-worker deadlines.
@@ -1438,6 +1498,8 @@ func (ws *wireSource) Collect(ctx context.Context, rd *cluster.Round) (cluster.C
 				}
 			}
 			ws.ack(u, t)
+			ws.fleet.ObserveRound(u, t)
+			ws.fleet.Touch(u, time.Now())
 		case pumpSkip:
 			if item.iter != t {
 				ws.staleFrames.Add(1)
@@ -1448,6 +1510,7 @@ func (ws *wireSource) Collect(ctx context.Context, rd *cluster.Round) (cluster.C
 			// skip still acknowledges the broadcast.
 			ws.logf("worker %d skipped round %d", u, t)
 			ws.ack(u, t)
+			ws.fleet.Touch(u, time.Now())
 			rd.MarkMissing(u)
 			retireShards(u)
 		case pumpDeath:
@@ -1524,6 +1587,7 @@ func (ws *wireSource) Collect(ctx context.Context, rd *cluster.Round) (cluster.C
 	ev, st := ws.evictions.Load(), ws.staleFrames.Load()
 	stats := cluster.CollectStats{
 		Communication:  time.Since(start),
+		Broadcast:      bcastDur,
 		ReportBytes:    reportBytes,
 		ReportRawBytes: rawBytes,
 		BroadcastBytes: bcastBytes.Load(),
@@ -1667,6 +1731,7 @@ func (ws *wireSource) blacklist(u int) {
 	if pending != nil {
 		pending.Close()
 	}
+	ws.fleet.SetState(u, obs.WorkerBlacklisted)
 	ws.logf("worker %d blacklisted: connection closed, rejoin token revoked", u)
 }
 
@@ -1687,6 +1752,9 @@ func (ws *wireSource) evict(u int, conn *Conn, err error) {
 	ws.mu.Unlock()
 	if live && !closing {
 		ws.evictions.Add(1)
+		if ws.fleet.State(u) != obs.WorkerBlacklisted {
+			ws.fleet.SetState(u, obs.WorkerDown)
+		}
 		ws.logf("round %d: evicting worker %d: %v", ws.curRound.Load(), u, err)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"byzshield/internal/fault"
 	"byzshield/internal/linalg"
 	"byzshield/internal/model"
+	"byzshield/internal/obs"
 	"byzshield/internal/wire"
 )
 
@@ -88,6 +89,12 @@ type WorkerConfig struct {
 	// ALIEZ overrides ALIE's z factor (0 derives z from the cluster and
 	// coalition sizes via attack.ZMax, matching the in-process attack).
 	ALIEZ float64
+	// Metrics, when non-nil, receives the worker-side metric families
+	// (byzworker_* counters: rounds, report bytes, skips, reconnects,
+	// rejections, plus the current-round and tier gauges and the local
+	// compute-time histogram) — the mirror of the PS registry a fleet
+	// operator scrapes per worker process (byzworker -metrics-addr).
+	Metrics *obs.Registry
 	// Shared, when non-nil, supplies the heavyweight Spec-derived state
 	// (dataset, model, fault plan, assignment) from a pool shared by
 	// every worker in the process — what lets a loopback fleet run
@@ -188,6 +195,9 @@ type workerState struct {
 	moments     wire.MomentFrame
 	atkCtx      attack.Context
 	atkScr      attack.Scratch
+	// ins is the worker-side metric state (nil with metrics disabled;
+	// every method is nil-safe).
+	ins *workerInstruments
 }
 
 // RunWorker connects to the PS at addr and participates in training
@@ -210,6 +220,9 @@ func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) (float64, err
 		attempts = DefaultReconnectAttempts
 	}
 	st := &workerState{cfg: cfg, token: cfg.ResumeToken, lastApplied: -1, sampledIter: -1}
+	if cfg.Metrics != nil {
+		st.ins = newWorkerInstruments(cfg.Metrics)
+	}
 	if cfg.Behavior == BehaviorALIE && cfg.AdvAddr == "" {
 		return 0, fmt.Errorf("transport: worker %d: behavior %q requires the adversary sidecar (AdvAddr)", cfg.ID, cfg.Behavior)
 	}
@@ -247,6 +260,7 @@ func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) (float64, err
 				cfg.ID, failures, re.err)
 		}
 		failures++
+		st.ins.reconnecting()
 		delay := defaultReconnectDelay << min(failures-1, 5)
 		cfg.Logf("worker %d: connection lost (%v); reconnecting in %v (attempt %d)",
 			cfg.ID, re.err, delay, failures)
@@ -318,6 +332,7 @@ func runWorkerConn(ctx context.Context, addr string, st *workerState) (float64, 
 		return 0, retryable(ctxErr(ctx, err))
 	}
 	if rej, ok := msg.(Reject); ok {
+		st.ins.rejected()
 		if rej.Code == RejectBlacklisted {
 			return 0, fmt.Errorf("transport: worker %d: %s: %w", cfg.ID, rej.Reason, ErrBlacklisted)
 		}
@@ -338,6 +353,7 @@ func runWorkerConn(ctx context.Context, addr string, st *workerState) (float64, 
 			welcome.Uplink, tiers)
 	}
 	st.token = welcome.Token
+	st.ins.tierNegotiated(int32(welcome.Uplink))
 	shards := welcome.Shards
 	if shards == 0 {
 		shards = 1
@@ -437,6 +453,7 @@ func runWorkerConn(ctx context.Context, addr string, st *workerState) (float64, 
 			st.prepIter = m.Iteration
 			st.prepSamples = m.Samples
 		case RoundStart:
+			st.ins.roundStarted(m.Iteration)
 			files, samples, err := st.roundWork(&m)
 			if err != nil {
 				return 0, err
@@ -481,15 +498,19 @@ func runWorkerConn(ctx context.Context, addr string, st *workerState) (float64, 
 				if _, err := conn.Send(GradientReport{WorkerID: cfg.ID, Iteration: m.Iteration}); err != nil {
 					return 0, retryable(ctxErr(ctx, err))
 				}
+				st.ins.skipSent()
 				continue
 			}
+			computeStart := time.Now()
 			msgs, err := st.computeReport(m.Iteration, files, samples)
 			if err != nil {
 				return 0, err
 			}
+			st.ins.computeObserved(time.Since(computeStart).Seconds())
 			if _, err := conn.SendMany(msgs...); err != nil {
 				return 0, retryable(ctxErr(ctx, err))
 			}
+			st.ins.reportSent(msgs)
 		case Shutdown:
 			cfg.Logf("worker %d: shutdown, final accuracy %.4f", cfg.ID, m.FinalAccuracy)
 			return m.FinalAccuracy, nil
