@@ -18,13 +18,16 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # Each wire-codec fuzz target runs for FUZZTIME (go test allows one
-# -fuzz pattern per invocation, hence the loop).
+# -fuzz pattern per invocation, hence the loop; the pattern is anchored
+# because several f32 names extend an f64 name by suffix).
 fuzz: build
 	for t in FuzzParseFrameHeader FuzzReadFrame FuzzDecodeParams \
 	         FuzzParamsDeltaRoundTrip FuzzDecodeGradFrame FuzzGradFrameRoundTrip \
 	         FuzzUplinkRoundTrip FuzzDecodeUplink FuzzUplinkQuantRoundTrip \
-	         FuzzDecodeUplinkSign FuzzDecodeUplinkInt8 FuzzDecodeMomentFrame; do \
-		$(GO) test -run '^$$' -fuzz $$t -fuzztime $(FUZZTIME) ./internal/wire || exit 1; \
+	         FuzzDecodeUplinkSign FuzzDecodeUplinkInt8 FuzzDecodeMomentFrame \
+	         FuzzDecodeGradFrame32 FuzzParams32DeltaRoundTrip FuzzDecodeParams32 \
+	         FuzzDecodeUplink32 FuzzUplinkQuant32RoundTrip; do \
+		$(GO) test -run '^$$' -fuzz "^$$t$$$$" -fuzztime $(FUZZTIME) ./internal/wire || exit 1; \
 	done
 
 lint:

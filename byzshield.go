@@ -87,6 +87,12 @@ type Schedule = trainer.Schedule
 // Dataset is a dense classification dataset.
 type Dataset = data.Dataset
 
+// Distributor splits a dataset into per-file sample pools (the non-IID
+// data-distribution component); see the IIDDistribution /
+// DirichletDistribution / LabelSkewDistribution constructors and
+// internal/data.
+type Distributor = data.Distributor
+
 // Model is a differentiable classifier over flat parameter vectors.
 type Model = model.Model
 
@@ -369,6 +375,12 @@ type TrainConfig struct {
 	// Detection is the reputation policy the detector runs under; zero
 	// fields take the defaults documented in internal/detect.
 	Detection DetectionPolicy
+	// Distribution partitions the training set into per-file sample
+	// pools for non-IID runs (nil keeps IID batch reshuffling): each
+	// round, file v's samples are drawn from pool v, so the per-file
+	// gradients realize the configured label heterogeneity. Resolve
+	// named distributions through Registry.Distribution.
+	Distribution Distributor
 }
 
 // normalized validates the config and returns a copy with every
@@ -469,6 +481,25 @@ type DatasetConfig = data.SyntheticConfig
 // NewSyntheticDataset generates train/test splits from a full config.
 func NewSyntheticDataset(cfg DatasetConfig) (*Dataset, *Dataset, error) {
 	return data.Synthetic(cfg)
+}
+
+// IIDDistribution is the homogeneous shuffle-and-deal control
+// partition.
+func IIDDistribution(seed int64) Distributor { return data.IID{Seed: seed} }
+
+// DirichletDistribution draws each class's per-pool proportions from a
+// symmetric Dirichlet(alpha) — the standard non-IID federated
+// benchmark partition; alpha = 0 selects 0.5, smaller is more skewed.
+func DirichletDistribution(alpha float64, seed int64) Distributor {
+	return data.Dirichlet{Alpha: alpha, Seed: seed}
+}
+
+// LabelSkewDistribution orders samples by label, cuts them into
+// pools×shards contiguous shards, and deals shards shards to each pool
+// (shards = 0 selects 2): each pool sees at most shards distinct
+// labels.
+func LabelSkewDistribution(shards int, seed int64) Distributor {
+	return data.LabelSkew{Shards: shards, Seed: seed}
 }
 
 // NewSoftmaxModel constructs multinomial logistic regression.

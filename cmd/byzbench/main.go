@@ -17,14 +17,27 @@
 //	byzbench                 # default 20 rounds per scheme
 //	byzbench -rounds 100 -dim 128
 //	byzbench -uplink int8    # time the lossy 8-bit quantized uplink
+//
+// -precision f32 switches byzbench from the Figure 12 split to the
+// f64-vs-f32 precision-scaling curve: the identical fault-free round
+// timed through both precision engines across a parameter-dimension
+// sweep (-dims lists the softmax input dims; the defaults span param
+// dim ~330 to 100k+). -json emits the points in the shape appended to
+// BENCH_round.json:
+//
+//	byzbench -precision f32 -json
+//	byzbench -precision f32 -dims 41,12500 -sweep-rounds 12
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,14 +47,21 @@ import (
 
 func main() {
 	var (
-		rounds   = flag.Int("rounds", 20, "protocol rounds to time per scheme")
-		trainN   = flag.Int("train", 3000, "training-set size")
-		dim      = flag.Int("dim", 64, "feature dimension")
-		batch    = flag.Int("batch", 500, "batch size")
-		seed     = flag.Int64("seed", 42, "experiment seed")
-		budget   = flag.Duration("budget", 10*time.Second, "Byzantine-set search budget")
-		detector = flag.String("detector", "", "PS-side Byzantine detector to time (none, zscore, cluster)")
-		uplink   = flag.String("uplink", "delta", "report codec tier to time: raw, delta, sign, int8")
+		rounds    = flag.Int("rounds", 20, "protocol rounds to time per scheme")
+		trainN    = flag.Int("train", 3000, "training-set size")
+		dim       = flag.Int("dim", 64, "feature dimension")
+		batch     = flag.Int("batch", 500, "batch size")
+		seed      = flag.Int64("seed", 42, "experiment seed")
+		budget    = flag.Duration("budget", 10*time.Second, "Byzantine-set search budget")
+		detector  = flag.String("detector", "", "PS-side Byzantine detector to time (none, zscore, cluster)")
+		uplink    = flag.String("uplink", "delta", "report codec tier to time: raw, delta, sign, int8")
+		precision = flag.String("precision", "f64",
+			"f64 = the Figure 12 timing split; f32 = the f64-vs-f32 precision-scaling dim sweep")
+		dims = flag.String("dims", "",
+			"comma-separated softmax input dims for the -precision f32 sweep (empty = 41,256,2000,12500 → param dims 336..100008)")
+		sweepRounds = flag.Int("sweep-rounds", 8, "timed rounds per sweep point (-precision f32)")
+		sweepReps   = flag.Int("sweep-reps", 3, "repetitions per sweep point, best kept (-precision f32)")
+		jsonOut     = flag.Bool("json", false, "emit -precision f32 sweep points as JSON on stdout")
 	)
 	flag.Parse()
 
@@ -49,6 +69,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "byzbench:", err)
 		os.Exit(2)
+	}
+	prec, err := wire.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "byzbench:", err)
+		os.Exit(2)
+	}
+	if prec == wire.PrecisionF32 {
+		runPrecisionSweep(*dims, *sweepRounds, *sweepReps, *seed, *jsonOut)
+		return
 	}
 
 	opts := experiments.DefaultTrainOpts()
@@ -71,4 +100,45 @@ func main() {
 	}
 	fmt.Printf("Per-iteration time split, ALIE attack, q=3, K=25, %d rounds (Figure 12)\n\n", *rounds)
 	experiments.RenderTiming(os.Stdout, rows)
+}
+
+// runPrecisionSweep drives the f64-vs-f32 scaling curve (byzbench
+// -precision f32) and prints a table or JSON.
+func runPrecisionSweep(dimList string, rounds, reps int, seed int64, jsonOut bool) {
+	var inputDims []int
+	if dimList != "" {
+		for _, s := range strings.Split(dimList, ",") {
+			d, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "byzbench: bad -dims:", err)
+				os.Exit(2)
+			}
+			inputDims = append(inputDims, d)
+		}
+	}
+	logf := func(f string, a ...any) { fmt.Printf(f+"\n", a...) }
+	if jsonOut {
+		logf = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	points, err := experiments.PrecisionScaling(ctx, experiments.PrecisionConfig{
+		InputDims: inputDims,
+		Rounds:    rounds,
+		Reps:      reps,
+		Seed:      seed,
+		Logf:      logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "byzbench:", err)
+		os.Exit(1)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(points); err != nil {
+			fmt.Fprintln(os.Stderr, "byzbench:", err)
+			os.Exit(1)
+		}
+	}
 }

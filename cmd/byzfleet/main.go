@@ -32,6 +32,7 @@ import (
 
 	"byzshield/internal/experiments"
 	"byzshield/internal/obs"
+	"byzshield/internal/wire"
 )
 
 // traceRingRounds bounds the tracer ring; the JSONL sink sees every
@@ -40,20 +41,31 @@ const traceRingRounds = 256
 
 func main() {
 	var (
-		workers  = flag.String("workers", "15,60,240", "comma-separated fleet sizes")
-		rounds   = flag.Int("rounds", 20, "measured rounds per point")
-		warmup   = flag.Int("warmup", 2, "warmup rounds excluded from timing")
-		reps     = flag.Int("reps", 3, "repetitions per point (best kept)")
-		dim      = flag.Int("input-dim", 256, "input feature dimension")
-		classes  = flag.Int("classes", 8, "classes")
-		shards   = flag.Int("shards", 2, "shard count")
-		modes    = flag.String("modes", "", "comma-separated mode filter (default all)")
+		workers   = flag.String("workers", "15,60,240", "comma-separated fleet sizes")
+		rounds    = flag.Int("rounds", 20, "measured rounds per point")
+		warmup    = flag.Int("warmup", 2, "warmup rounds excluded from timing")
+		reps      = flag.Int("reps", 3, "repetitions per point (best kept)")
+		dim       = flag.Int("input-dim", 256, "input feature dimension")
+		classes   = flag.Int("classes", 8, "classes")
+		shards    = flag.Int("shards", 2, "shard count")
+		modes     = flag.String("modes", "", "comma-separated mode filter (default all)")
+		precision = flag.String("precision", "f64",
+			"numeric precision tier: f64 (single-loop/serial/sharded/pipelined/quantized planes) or f32 (serial-f32/sharded-f32/quantized-f32 over the reduced-precision server)")
 		jsonOut  = flag.Bool("json", false, "emit the points as JSON on stdout")
 		prof     = flag.String("cpuprofile", "", "write cpu profile")
 		memProf  = flag.String("memprofile", "", "write heap profile at sweep end (live servers: prefer byzps /debug/pprof/heap)")
 		traceOut = flag.String("trace-out", "", "append per-round JSONL traces for every sweep point to this file")
 	)
 	flag.Parse()
+	prec, err := wire.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if prec == wire.PrecisionF32 && *traceOut != "" {
+		fmt.Fprintln(os.Stderr, "byzfleet: -trace-out is f64-only")
+		os.Exit(2)
+	}
 	var counts []int
 	for _, s := range strings.Split(*workers, ",") {
 		k, err := strconv.Atoi(strings.TrimSpace(s))
@@ -110,6 +122,7 @@ func main() {
 		Classes:      *classes,
 		Shards:       *shards,
 		Modes:        modeList,
+		Precision:    prec,
 		Tracer:       tracer,
 		Logf:         logf,
 	})

@@ -129,6 +129,8 @@ func main() {
 			"full parameter-broadcast cadence (1 = full vector every round, N = deltas between every N-th round)")
 		uplink = flag.String("uplink", "delta",
 			"worker→PS report codec tier: raw, delta (bit-exact XOR compression), sign or int8 (lossy quantization)")
+		precision = flag.String("precision", "f64",
+			"numeric precision tier: f64 (full protocol) or f32 (reduced-precision kernels and frames; softmax only, no faults/detection/pipeline)")
 		noUplinkDelta = flag.Bool("no-uplink-delta", false,
 			"deprecated alias for -uplink raw")
 		shardCount = flag.Int("shards", 0,
@@ -203,6 +205,31 @@ func main() {
 			Window: *detWindow, MinRounds: *detMinRounds,
 			Decay: *detDecay, Threshold: *detThreshold, BlacklistBelow: *detBlacklist,
 		},
+	}
+	prec, err := wire.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "byzps:", err)
+		os.Exit(2)
+	}
+	if prec == wire.PrecisionF32 {
+		switch {
+		case *pipeline:
+			fmt.Fprintln(os.Stderr, "byzps: -pipeline is f64-only (the f32 tier is self-contained per round)")
+			os.Exit(2)
+		case *metricsAddr != "" || *traceOut != "":
+			fmt.Fprintln(os.Stderr, "byzps: -metrics-addr/-trace-out are f64-only")
+			os.Exit(2)
+		}
+		runF32(spec, transport.ServerConfig32{
+			Spec:               spec,
+			Logf:               log.Printf,
+			RoundTimeout:       *roundTimeout,
+			FullBroadcastEvery: *fullEvery,
+			Uplink:             tier,
+			Shards:             *shardCount,
+			Quorum:             *quorum,
+		}, *listen, *verbose)
+		return
 	}
 	srvCfg := transport.ServerConfig{
 		Spec:               spec,
@@ -320,6 +347,44 @@ func main() {
 	}
 	logCounters()
 	closeTrace()
+	fmt.Printf("final top-1 test accuracy: %.4f\n", final)
+}
+
+// runF32 drives the float32-precision server: the same listen/serve
+// lifecycle as the f64 path over the reduced-precision engine and
+// frames (this is where -precision f32 lands).
+func runF32(spec transport.Spec, cfg transport.ServerConfig32, listen string, verbose bool) {
+	if verbose {
+		cfg.OnRound = func(rs cluster.RoundStats) {
+			log.Printf("round %d: missing=%v rejoins=%d evictions=%d stale=%d upB=%d (raw %d) downB=%d",
+				rs.Iteration, rs.MissingWorkers, rs.Rejoins, rs.Evictions, rs.StaleFrames,
+				rs.Times.ReportBytes, rs.Times.ReportRawBytes, rs.Times.BroadcastBytes)
+		}
+	}
+	srv, err := transport.NewServer32(listen, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "byzps:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("f32 parameter server listening on %s (scheme=%s, aggregator=%s, waiting for workers)",
+		srv.Addr(), spec.Scheme, spec.Aggregator)
+	final, err := srv.Serve(ctx)
+	c := srv.Counters()
+	log.Printf("lifecycle: joins=%d rejoins=%d evictions=%d stale-frames=%d",
+		c.Joins, c.Rejoins, c.Evictions, c.StaleFrames)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Printf("interrupted; %d evaluations recorded", len(srv.History().Points))
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "byzps:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("final top-1 test accuracy: %.4f\n", final)
 }
 

@@ -35,6 +35,8 @@ func main() {
 		faults   = flag.Bool("faults", false, "run the fault-tolerance sweep (scheme × crash/flaky worker faults)")
 		detect   = flag.Bool("detect", false, "run the detection arms-race sweep (attack × PS-side detector)")
 		iters    = flag.Int("iters", 100, "training rounds per cell for -faults / -detect")
+		dist     = flag.String("dist", "", "data distribution for -faults / -detect: "+strings.Join(byzshield.Registry.Distributions(), ", ")+" (default iid)")
+		distP    = flag.Float64("distparam", 0, "distribution knob (dirichlet alpha / label-skew shards; 0 = component default)")
 		show     = flag.Bool("show", false, "print the MOLS family and file allocation for -l/-r (paper Tables 1 & 2)")
 		l        = flag.Int("l", 5, "computational load (MOLS degree / Ramanujan parameter)")
 		r        = flag.Int("r", 3, "replication factor")
@@ -62,6 +64,7 @@ func main() {
 	if *faults {
 		opts := experiments.DefaultTrainOpts()
 		opts.Iterations = *iters
+		opts.Distribution, opts.DistParam = *dist, *distP
 		rows, err := experiments.FaultSweep(ctx, opts)
 		if err != nil {
 			fatal(err)
@@ -72,6 +75,7 @@ func main() {
 	if *detect {
 		opts := experiments.DefaultTrainOpts()
 		opts.Iterations = *iters
+		opts.Distribution, opts.DistParam = *dist, *distP
 		rows, err := experiments.DetectSweep(ctx, opts)
 		if err != nil {
 			fatal(err)

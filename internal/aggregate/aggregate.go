@@ -242,8 +242,10 @@ func (a Auror) Aggregate(grads [][]float64) ([]float64, error) {
 // aurorSorted runs 1-D 2-means on the pre-sorted values and returns the
 // average of the majority cluster when centers are separated by more
 // than threshold, else the average of everything. prefix and prefixSq
-// are caller-provided scratch of length n+1.
-func aurorSorted(sorted []float64, threshold float64, prefix, prefixSq []float64) float64 {
+// are caller-provided scratch of length n+1. Generic over the element
+// width; split costs compare in float64 for both widths (an identity
+// conversion on the float64 tier).
+func aurorSorted[T linalg.Float](sorted []T, threshold float64, prefix, prefixSq []T) T {
 	n := len(sorted)
 	if n == 1 {
 		return sorted[0]
@@ -255,8 +257,8 @@ func aurorSorted(sorted []float64, threshold float64, prefix, prefixSq []float64
 		prefix[i+1] = prefix[i] + v
 		prefixSq[i+1] = prefixSq[i] + v*v
 	}
-	sse := func(lo, hi int) float64 { // [lo, hi)
-		cnt := float64(hi - lo)
+	sse := func(lo, hi int) T { // [lo, hi)
+		cnt := T(hi - lo)
 		if cnt == 0 {
 			return 0
 		}
@@ -266,19 +268,19 @@ func aurorSorted(sorted []float64, threshold float64, prefix, prefixSq []float64
 	}
 	bestSplit, bestCost := 1, math.Inf(1)
 	for s := 1; s < n; s++ {
-		if c := sse(0, s) + sse(s, n); c < bestCost {
+		if c := float64(sse(0, s) + sse(s, n)); c < bestCost {
 			bestCost = c
 			bestSplit = s
 		}
 	}
-	loMean := (prefix[bestSplit] - prefix[0]) / float64(bestSplit)
-	hiMean := (prefix[n] - prefix[bestSplit]) / float64(n-bestSplit)
-	if math.Abs(hiMean-loMean) > threshold {
+	loMean := (prefix[bestSplit] - prefix[0]) / T(bestSplit)
+	hiMean := (prefix[n] - prefix[bestSplit]) / T(n-bestSplit)
+	if math.Abs(float64(hiMean-loMean)) > threshold {
 		// Discard the smaller cluster.
 		if bestSplit >= n-bestSplit {
 			return loMean
 		}
 		return hiMean
 	}
-	return prefix[n] / float64(n)
+	return prefix[n] / T(n)
 }

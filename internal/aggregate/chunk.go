@@ -25,36 +25,66 @@ type ChunkAggregator interface {
 	AggregateChunk(grads [][]float64, out []float64, lo, hi int) error
 }
 
+// ChunkAggregator32 is the float32 precision tier's mirror of
+// ChunkAggregator: the identical coordinate-wise reduction over float32
+// rows. Every chunked rule implements both interfaces from one generic
+// kernel body, so the two tiers cannot drift. The same concurrency and
+// bit-identity contract applies: sharding [0, d) across calls is
+// bit-identical to one serial pass over the float32 values.
+type ChunkAggregator32 interface {
+	Aggregator
+	AggregateChunk32(grads [][]float32, out []float32, lo, hi int) error
+}
+
 // chunkScratch is the pooled per-call working memory of the chunked
 // rules, so steady-state aggregation performs no per-round allocation.
-type chunkScratch struct {
-	col    []float64
-	means  []float64
+// One pool exists per element width (see getScratch).
+type chunkScratch[T linalg.Float] struct {
+	col    []T
+	med    []T
+	means  []T
 	bounds []int
-	vd     []valDist
-	prefix []float64
-	sq     []float64
+	vd     []valDist[T]
+	prefix []T
+	sq     []T
 }
 
 // valDist pairs a coordinate value with its distance to the coordinate
 // median (MeanAroundMedian's sort key).
-type valDist struct{ v, dist float64 }
+type valDist[T linalg.Float] struct{ v, dist T }
 
-var scratchPool = sync.Pool{New: func() any { return new(chunkScratch) }}
+var (
+	scratchPool64 = sync.Pool{New: func() any { return new(chunkScratch[float64]) }}
+	scratchPool32 = sync.Pool{New: func() any { return new(chunkScratch[float32]) }}
+)
 
-// getScratch returns a scratch with col capacity at least n.
-func getScratch(n int) *chunkScratch {
-	s := scratchPool.Get().(*chunkScratch)
+// getScratch returns a scratch with col capacity at least n, drawn from
+// the element width's pool.
+func getScratch[T linalg.Float](n int) *chunkScratch[T] {
+	var s *chunkScratch[T]
+	switch p := any(&s).(type) {
+	case **chunkScratch[float64]:
+		*p = scratchPool64.Get().(*chunkScratch[float64])
+	case **chunkScratch[float32]:
+		*p = scratchPool32.Get().(*chunkScratch[float32])
+	}
 	if cap(s.col) < n {
-		s.col = make([]float64, n)
+		s.col = make([]T, n)
 	}
 	return s
 }
 
-func putScratch(s *chunkScratch) { scratchPool.Put(s) }
+func putScratch[T linalg.Float](s *chunkScratch[T]) {
+	switch p := any(s).(type) {
+	case *chunkScratch[float64]:
+		scratchPool64.Put(p)
+	case *chunkScratch[float32]:
+		scratchPool32.Put(p)
+	}
+}
 
 // checkChunk validates the shared AggregateChunk preconditions.
-func checkChunk(grads [][]float64, out []float64, lo, hi int) error {
+func checkChunk[T linalg.Float](grads [][]T, out []T, lo, hi int) error {
 	if len(grads) == 0 {
 		return fmt.Errorf("aggregate: chunk of zero gradients")
 	}
@@ -85,7 +115,7 @@ func newOut(ca ChunkAggregator, grads [][]float64) ([]float64, error) {
 
 // gatherCol copies coordinate i of every gradient into s.col in input
 // order and returns the column.
-func (s *chunkScratch) gatherCol(grads [][]float64, i int) []float64 {
+func (s *chunkScratch[T]) gatherCol(grads [][]T, i int) []T {
 	col := s.col[:len(grads)]
 	for j, g := range grads {
 		col[j] = g[i]
@@ -93,83 +123,50 @@ func (s *chunkScratch) gatherCol(grads [][]float64, i int) []float64 {
 	return col
 }
 
-// medianSorted sorts xs in place and returns its median (the same order
-// statistic linalg.MedianOf computes on a copy).
-func medianSorted(xs []float64) float64 {
-	sort.Float64s(xs)
-	n := len(xs)
-	if n%2 == 1 {
-		return xs[n/2]
-	}
-	return (xs[n/2-1] + xs[n/2]) / 2
-}
+// --- Generic kernel bodies ------------------------------------------
+//
+// Each rule's AggregateChunk and AggregateChunk32 call one generic body,
+// so the two precision tiers run the same reduction with only the
+// element width changed. The per-coordinate order statistics run on
+// scratch-reusing quickselect (linalg.SelectKth and friends) instead of
+// per-coordinate full sorts: selection is expected O(n) per coordinate
+// against O(n log n), and the selected values are exactly the sorted
+// order statistics, so results stay bit-identical to the sort-based
+// kernels (see BENCH_round.json for the before/after).
 
-// AggregateChunk implements ChunkAggregator: the coordinate mean, summed
-// in input order exactly as linalg.MeanVec does.
-func (Mean) AggregateChunk(grads [][]float64, out []float64, lo, hi int) error {
-	if err := checkChunk(grads, out, lo, hi); err != nil {
-		return err
-	}
-	inv := 1 / float64(len(grads))
+func meanChunk[T linalg.Float](grads [][]T, out []T, lo, hi int) {
+	inv := 1 / T(len(grads))
 	for i := lo; i < hi; i++ {
-		var s float64
+		var s T
 		for _, g := range grads {
 			s += g[i]
 		}
 		out[i] = s * inv
 	}
-	return nil
 }
 
-// AggregateChunk implements ChunkAggregator.
-func (Median) AggregateChunk(grads [][]float64, out []float64, lo, hi int) error {
-	if err := checkChunk(grads, out, lo, hi); err != nil {
-		return err
-	}
-	s := getScratch(len(grads))
+func medianChunk[T linalg.Float](grads [][]T, out []T, lo, hi int) {
+	s := getScratch[T](len(grads))
 	defer putScratch(s)
 	for i := lo; i < hi; i++ {
-		out[i] = medianSorted(s.gatherCol(grads, i))
+		out[i] = linalg.MedianSelect(s.gatherCol(grads, i))
 	}
-	return nil
 }
 
-// AggregateChunk implements ChunkAggregator.
-func (t TrimmedMean) AggregateChunk(grads [][]float64, out []float64, lo, hi int) error {
-	if err := checkChunk(grads, out, lo, hi); err != nil {
-		return err
-	}
-	n := len(grads)
-	if t.Trim < 0 || n <= 2*t.Trim {
-		return fmt.Errorf("aggregate: trimmed mean needs n > 2·trim >= 0, got n=%d trim=%d", n, t.Trim)
-	}
-	s := getScratch(n)
+func trimmedMeanChunk[T linalg.Float](grads [][]T, out []T, lo, hi, trim int) {
+	s := getScratch[T](len(grads))
 	defer putScratch(s)
 	for i := lo; i < hi; i++ {
-		col := s.gatherCol(grads, i)
-		sort.Float64s(col)
-		var sum float64
-		for _, v := range col[t.Trim : n-t.Trim] {
-			sum += v
-		}
-		out[i] = sum / float64(n-2*t.Trim)
+		out[i] = linalg.TrimmedMeanSelect(s.gatherCol(grads, i), trim)
 	}
-	return nil
 }
 
-// AggregateChunk implements ChunkAggregator. Group boundaries follow the
-// same ceil-sized-prefix distribution as Aggregate, and each group mean
-// is accumulated in input order, matching linalg.MeanVec bit for bit.
-func (m MedianOfMeans) AggregateChunk(grads [][]float64, out []float64, lo, hi int) error {
-	if err := checkChunk(grads, out, lo, hi); err != nil {
-		return err
-	}
+// medianOfMeansChunk reduces with the same ceil-sized-prefix group
+// distribution as MedianOfMeans.Aggregate; each group mean is
+// accumulated in input order, matching linalg.MeanVec bit for bit.
+func medianOfMeansChunk[T linalg.Float](grads [][]T, out []T, lo, hi, g int) {
 	n := len(grads)
-	g := m.Groups
-	if g <= 0 || g > n {
-		return fmt.Errorf("aggregate: median-of-means needs 1 <= groups <= n, got groups=%d n=%d", g, n)
-	}
-	s := getScratch(n)
+	s := getScratch[T](n)
 	defer putScratch(s)
 	if cap(s.bounds) < g+1 {
 		s.bounds = make([]int, g+1)
@@ -181,27 +178,22 @@ func (m MedianOfMeans) AggregateChunk(grads [][]float64, out []float64, lo, hi i
 		bounds[k+1] = bounds[k] + size
 	}
 	if cap(s.means) < g {
-		s.means = make([]float64, g)
+		s.means = make([]T, g)
 	}
 	means := s.means[:g]
 	for i := lo; i < hi; i++ {
 		for k := 0; k < g; k++ {
-			var sum float64
+			var sum T
 			for _, gr := range grads[bounds[k]:bounds[k+1]] {
 				sum += gr[i]
 			}
-			means[k] = sum * (1 / float64(bounds[k+1]-bounds[k]))
+			means[k] = sum * (1 / T(bounds[k+1]-bounds[k]))
 		}
-		out[i] = medianSorted(means)
+		out[i] = linalg.MedianSelect(means)
 	}
-	return nil
 }
 
-// AggregateChunk implements ChunkAggregator.
-func (SignSGD) AggregateChunk(grads [][]float64, out []float64, lo, hi int) error {
-	if err := checkChunk(grads, out, lo, hi); err != nil {
-		return err
-	}
+func signSGDChunk[T linalg.Float](grads [][]T, out []T, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		pos, neg := 0, 0
 		for _, g := range grads {
@@ -221,15 +213,182 @@ func (SignSGD) AggregateChunk(grads [][]float64, out []float64, lo, hi int) erro
 			out[i] = 0
 		}
 	}
+}
+
+// meanAroundMedianChunk computes the coordinate median on a scratch
+// copy (selection reorders its input, and the value/distance pairs must
+// keep their input order so the distance sort breaks ties exactly as
+// before) and averages the near values closest to it.
+func meanAroundMedianChunk[T linalg.Float](grads [][]T, out []T, lo, hi, near int) {
+	n := len(grads)
+	s := getScratch[T](n)
+	defer putScratch(s)
+	if cap(s.vd) < n {
+		s.vd = make([]valDist[T], n)
+	}
+	if cap(s.med) < n {
+		s.med = make([]T, n)
+	}
+	vd := s.vd[:n]
+	for i := lo; i < hi; i++ {
+		col := s.gatherCol(grads, i)
+		medBuf := s.med[:n]
+		copy(medBuf, col)
+		med := linalg.MedianSelect(medBuf)
+		for j, v := range col {
+			diff := v - med
+			if diff < 0 {
+				diff = -diff
+			}
+			vd[j] = valDist[T]{v: v, dist: diff}
+		}
+		sortValDist(vd)
+		var sum T
+		for _, e := range vd[:near] {
+			sum += e.v
+		}
+		out[i] = sum / T(near)
+	}
+}
+
+func aurorChunk[T linalg.Float](grads [][]T, out []T, lo, hi int, threshold float64) {
+	n := len(grads)
+	s := getScratch[T](n)
+	defer putScratch(s)
+	if cap(s.prefix) < n+1 {
+		s.prefix = make([]T, n+1)
+		s.sq = make([]T, n+1)
+	}
+	for i := lo; i < hi; i++ {
+		col := s.gatherCol(grads, i)
+		linalg.SortAscending(col)
+		out[i] = aurorSorted(col, threshold, s.prefix[:n+1], s.sq[:n+1])
+	}
+}
+
+// AggregateChunk implements ChunkAggregator: the coordinate mean, summed
+// in input order exactly as linalg.MeanVec does.
+func (Mean) AggregateChunk(grads [][]float64, out []float64, lo, hi int) error {
+	if err := checkChunk(grads, out, lo, hi); err != nil {
+		return err
+	}
+	meanChunk(grads, out, lo, hi)
+	return nil
+}
+
+// AggregateChunk32 implements ChunkAggregator32.
+func (Mean) AggregateChunk32(grads [][]float32, out []float32, lo, hi int) error {
+	if err := checkChunk(grads, out, lo, hi); err != nil {
+		return err
+	}
+	meanChunk(grads, out, lo, hi)
 	return nil
 }
 
 // AggregateChunk implements ChunkAggregator.
-func (m MeanAroundMedian) AggregateChunk(grads [][]float64, out []float64, lo, hi int) error {
+func (Median) AggregateChunk(grads [][]float64, out []float64, lo, hi int) error {
 	if err := checkChunk(grads, out, lo, hi); err != nil {
 		return err
 	}
-	n := len(grads)
+	medianChunk(grads, out, lo, hi)
+	return nil
+}
+
+// AggregateChunk32 implements ChunkAggregator32.
+func (Median) AggregateChunk32(grads [][]float32, out []float32, lo, hi int) error {
+	if err := checkChunk(grads, out, lo, hi); err != nil {
+		return err
+	}
+	medianChunk(grads, out, lo, hi)
+	return nil
+}
+
+// checkTrim validates the trimmed-mean feasibility for n inputs.
+func (t TrimmedMean) checkTrim(n int) error {
+	if t.Trim < 0 || n <= 2*t.Trim {
+		return fmt.Errorf("aggregate: trimmed mean needs n > 2·trim >= 0, got n=%d trim=%d", n, t.Trim)
+	}
+	return nil
+}
+
+// AggregateChunk implements ChunkAggregator.
+func (t TrimmedMean) AggregateChunk(grads [][]float64, out []float64, lo, hi int) error {
+	if err := checkChunk(grads, out, lo, hi); err != nil {
+		return err
+	}
+	if err := t.checkTrim(len(grads)); err != nil {
+		return err
+	}
+	trimmedMeanChunk(grads, out, lo, hi, t.Trim)
+	return nil
+}
+
+// AggregateChunk32 implements ChunkAggregator32.
+func (t TrimmedMean) AggregateChunk32(grads [][]float32, out []float32, lo, hi int) error {
+	if err := checkChunk(grads, out, lo, hi); err != nil {
+		return err
+	}
+	if err := t.checkTrim(len(grads)); err != nil {
+		return err
+	}
+	trimmedMeanChunk(grads, out, lo, hi, t.Trim)
+	return nil
+}
+
+// checkGroups validates the median-of-means group count for n inputs.
+func (m MedianOfMeans) checkGroups(n int) error {
+	if m.Groups <= 0 || m.Groups > n {
+		return fmt.Errorf("aggregate: median-of-means needs 1 <= groups <= n, got groups=%d n=%d", m.Groups, n)
+	}
+	return nil
+}
+
+// AggregateChunk implements ChunkAggregator. Group boundaries follow the
+// same ceil-sized-prefix distribution as Aggregate, and each group mean
+// is accumulated in input order, matching linalg.MeanVec bit for bit.
+func (m MedianOfMeans) AggregateChunk(grads [][]float64, out []float64, lo, hi int) error {
+	if err := checkChunk(grads, out, lo, hi); err != nil {
+		return err
+	}
+	if err := m.checkGroups(len(grads)); err != nil {
+		return err
+	}
+	medianOfMeansChunk(grads, out, lo, hi, m.Groups)
+	return nil
+}
+
+// AggregateChunk32 implements ChunkAggregator32.
+func (m MedianOfMeans) AggregateChunk32(grads [][]float32, out []float32, lo, hi int) error {
+	if err := checkChunk(grads, out, lo, hi); err != nil {
+		return err
+	}
+	if err := m.checkGroups(len(grads)); err != nil {
+		return err
+	}
+	medianOfMeansChunk(grads, out, lo, hi, m.Groups)
+	return nil
+}
+
+// AggregateChunk implements ChunkAggregator.
+func (SignSGD) AggregateChunk(grads [][]float64, out []float64, lo, hi int) error {
+	if err := checkChunk(grads, out, lo, hi); err != nil {
+		return err
+	}
+	signSGDChunk(grads, out, lo, hi)
+	return nil
+}
+
+// AggregateChunk32 implements ChunkAggregator32.
+func (SignSGD) AggregateChunk32(grads [][]float32, out []float32, lo, hi int) error {
+	if err := checkChunk(grads, out, lo, hi); err != nil {
+		return err
+	}
+	signSGDChunk(grads, out, lo, hi)
+	return nil
+}
+
+// nearCount resolves the Near parameter against n inputs.
+func (m MeanAroundMedian) nearCount(n int) int {
 	near := m.Near
 	if near <= 0 {
 		near = (n + 1) / 2
@@ -237,29 +396,24 @@ func (m MeanAroundMedian) AggregateChunk(grads [][]float64, out []float64, lo, h
 	if near > n {
 		near = n
 	}
-	s := getScratch(n)
-	defer putScratch(s)
-	if cap(s.vd) < n {
-		s.vd = make([]valDist, n)
+	return near
+}
+
+// AggregateChunk implements ChunkAggregator.
+func (m MeanAroundMedian) AggregateChunk(grads [][]float64, out []float64, lo, hi int) error {
+	if err := checkChunk(grads, out, lo, hi); err != nil {
+		return err
 	}
-	vd := s.vd[:n]
-	for i := lo; i < hi; i++ {
-		col := s.gatherCol(grads, i)
-		med := linalg.MedianOf(col)
-		for j, v := range col {
-			diff := v - med
-			if diff < 0 {
-				diff = -diff
-			}
-			vd[j] = valDist{v: v, dist: diff}
-		}
-		sort.Slice(vd, func(a, b int) bool { return vd[a].dist < vd[b].dist })
-		var sum float64
-		for _, e := range vd[:near] {
-			sum += e.v
-		}
-		out[i] = sum / float64(near)
+	meanAroundMedianChunk(grads, out, lo, hi, m.nearCount(len(grads)))
+	return nil
+}
+
+// AggregateChunk32 implements ChunkAggregator32.
+func (m MeanAroundMedian) AggregateChunk32(grads [][]float32, out []float32, lo, hi int) error {
+	if err := checkChunk(grads, out, lo, hi); err != nil {
+		return err
 	}
+	meanAroundMedianChunk(grads, out, lo, hi, m.nearCount(len(grads)))
 	return nil
 }
 
@@ -268,17 +422,23 @@ func (a Auror) AggregateChunk(grads [][]float64, out []float64, lo, hi int) erro
 	if err := checkChunk(grads, out, lo, hi); err != nil {
 		return err
 	}
-	n := len(grads)
-	s := getScratch(n)
-	defer putScratch(s)
-	if cap(s.prefix) < n+1 {
-		s.prefix = make([]float64, n+1)
-		s.sq = make([]float64, n+1)
-	}
-	for i := lo; i < hi; i++ {
-		col := s.gatherCol(grads, i)
-		sort.Float64s(col)
-		out[i] = aurorSorted(col, a.Threshold, s.prefix[:n+1], s.sq[:n+1])
-	}
+	aurorChunk(grads, out, lo, hi, a.Threshold)
 	return nil
+}
+
+// AggregateChunk32 implements ChunkAggregator32.
+func (a Auror) AggregateChunk32(grads [][]float32, out []float32, lo, hi int) error {
+	if err := checkChunk(grads, out, lo, hi); err != nil {
+		return err
+	}
+	aurorChunk(grads, out, lo, hi, a.Threshold)
+	return nil
+}
+
+// sortValDist sorts the value/distance pairs by distance ascending with
+// the exact comparator the pre-generic kernel used (sort.Slice on
+// dist <), so tie order — and therefore the summation order of equal
+// distances — is unchanged for float64.
+func sortValDist[T linalg.Float](vd []valDist[T]) {
+	sort.Slice(vd, func(a, b int) bool { return vd[a].dist < vd[b].dist })
 }

@@ -63,6 +63,14 @@ type Config struct {
 	Train      *data.Dataset
 	Test       *data.Dataset
 	BatchSize  int
+	// Distribution switches the batch stream to non-IID sampling: the
+	// distributor splits the training set into F per-file sample pools
+	// once at construction, and each round's batch draws file v's share
+	// from pool v (data.PoolSampler), so per-file gradients reflect the
+	// configured label heterogeneity. nil keeps the default IID
+	// reshuffling sampler, whose sample stream is unchanged by this
+	// knob's existence.
+	Distribution data.Distributor
 	// Attack crafts Byzantine payloads; Benign{} for attack-free runs.
 	Attack attack.Attack
 	// Byzantines lists the corrupted worker ids (chosen worst-case by
@@ -256,7 +264,7 @@ type Engine struct {
 	src         GradientSource
 	params      []float64
 	opt         *trainer.SGD
-	sampler     *data.BatchSampler
+	sampler     batchSource
 	byzSet      map[int]bool
 	honest      []int // sorted non-Byzantine worker ids
 	corruptible []int // files with ≥ r' Byzantine replicas (static per run)
@@ -387,7 +395,7 @@ func New(cfg Config) (*Engine, error) {
 		}
 		byzSet[u] = true
 	}
-	sampler, err := data.NewBatchSampler(cfg.Train.Len(), cfg.BatchSize, cfg.Seed)
+	sampler, err := newBatchSource(&cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -473,6 +481,29 @@ func (e *Engine) Close() error {
 	return nil
 }
 
+// batchSource is the per-round batch stream: the IID reshuffling
+// sampler by default, the per-pool non-IID sampler under a configured
+// Distribution. Both are deterministic in the seed and stepped in
+// strict round order, which is what checkpoint fast-forwarding and
+// prepare-ahead rely on.
+type batchSource interface {
+	Next() []int
+}
+
+// newBatchSource builds the config's batch stream; called identically
+// at construction and on every Restore so a restored engine replays the
+// exact stream of the interrupted run.
+func newBatchSource(cfg *Config) (batchSource, error) {
+	if cfg.Distribution == nil {
+		return data.NewBatchSampler(cfg.Train.Len(), cfg.BatchSize, cfg.Seed)
+	}
+	pools, err := cfg.Distribution.Split(cfg.Train, cfg.Assignment.F)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: distribution %s: %w", cfg.Distribution.Name(), err)
+	}
+	return data.NewPoolSampler(pools, cfg.BatchSize, cfg.Seed)
+}
+
 // runPhase executes fn(worker, task) for task in [0, n): inline on the
 // calling goroutine for the serial engine, across the persistent pool
 // otherwise. Tasks must be independent, which is also what makes the two
@@ -553,7 +584,7 @@ func (e *Engine) Restore(params, velocity []float64, iteration int) error {
 			return err
 		}
 	}
-	sampler, err := data.NewBatchSampler(e.cfg.Train.Len(), e.cfg.BatchSize, e.cfg.Seed)
+	sampler, err := newBatchSource(&e.cfg)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,44 @@
+package data
+
+// Dataset32 is the float32 mirror of Dataset used by the negotiated
+// reduced-precision tier: the same samples with features narrowed to
+// float32 once at conversion time, so the f32 round path never touches
+// float64 sample data. Labels and the class count are shared with the
+// source dataset (both are read-only after construction).
+type Dataset32 struct {
+	X       [][]float32 // n × d features
+	Y       []int       // n labels in [0, Classes)
+	Classes int
+}
+
+// Len returns the number of samples.
+func (d *Dataset32) Len() int { return len(d.X) }
+
+// Dim returns the feature dimension (0 for an empty dataset).
+func (d *Dataset32) Dim() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// To32 returns the float32 view of d. The conversion is deterministic
+// (IEEE 754 round-to-nearest-even per feature), so every process that
+// narrows the same dataset sees bit-identical float32 features — the
+// property the f32 majority vote relies on. The feature matrix is
+// freshly allocated; Y and Classes are shared with d.
+func (d *Dataset) To32() *Dataset32 {
+	if d == nil {
+		return nil
+	}
+	x := make([][]float32, len(d.X))
+	flat := make([]float32, len(d.X)*d.Dim())
+	for i, row := range d.X {
+		dst := flat[i*len(row) : (i+1)*len(row) : (i+1)*len(row)]
+		for j, v := range row {
+			dst[j] = float32(v)
+		}
+		x[i] = dst
+	}
+	return &Dataset32{X: x, Y: d.Y, Classes: d.Classes}
+}

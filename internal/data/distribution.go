@@ -1,0 +1,351 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Distributor splits a dataset's sample indices into a fixed number of
+// disjoint pools — the data-distribution component of the benchmark
+// harness (the byzfl DataDistributor shape): IID round-robin, Dirichlet
+// non-IID, or label-skew sharding. The engine assigns pool v to file v,
+// so each file's per-round samples are drawn from its own pool and the
+// per-file gradients reflect the configured heterogeneity.
+//
+// Splits are deterministic in the distributor's seed: the same dataset,
+// part count, and seed always produce the identical pools, on every
+// architecture, so distributed replicas agree on the partition without
+// exchanging it.
+type Distributor interface {
+	// Split partitions the dataset's indices into parts disjoint,
+	// non-empty pools covering every sample exactly once.
+	Split(ds *Dataset, parts int) ([][]int, error)
+	// Name returns a stable identifier used in experiment reports.
+	Name() string
+}
+
+// checkSplit validates the common Split preconditions.
+func checkSplit(ds *Dataset, parts int) error {
+	if ds == nil || ds.Len() == 0 {
+		return fmt.Errorf("data: split of empty dataset")
+	}
+	if parts < 1 {
+		return fmt.Errorf("data: split into %d parts", parts)
+	}
+	if parts > ds.Len() {
+		return fmt.Errorf("data: %d parts for %d samples", parts, ds.Len())
+	}
+	return nil
+}
+
+// IID shuffles the dataset and deals near-equal contiguous pools — the
+// homogeneous control every non-IID run is compared against.
+type IID struct {
+	Seed int64
+}
+
+// Name implements Distributor.
+func (IID) Name() string { return "iid" }
+
+// Split implements Distributor.
+func (d IID) Split(ds *Dataset, parts int) ([][]int, error) {
+	if err := checkSplit(ds, parts); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(d.Seed))
+	idx := rng.Perm(ds.Len())
+	pools := make([][]int, parts)
+	base, extra := len(idx)/parts, len(idx)%parts
+	pos := 0
+	for p := range pools {
+		size := base
+		if p < extra {
+			size++
+		}
+		pools[p] = append([]int(nil), idx[pos:pos+size]...)
+		pos += size
+	}
+	return pools, nil
+}
+
+// Dirichlet is the standard non-IID benchmark partition: for each
+// class, pool proportions are drawn from a symmetric Dirichlet(Alpha)
+// and the class's samples split accordingly. Small Alpha concentrates
+// each class in few pools (strong heterogeneity); large Alpha
+// approaches IID.
+type Dirichlet struct {
+	// Alpha is the Dirichlet concentration; 0 selects 0.5.
+	Alpha float64
+	Seed  int64
+}
+
+// Name implements Distributor.
+func (d Dirichlet) Name() string { return fmt.Sprintf("dirichlet(%g)", d.alpha()) }
+
+func (d Dirichlet) alpha() float64 {
+	if d.Alpha == 0 {
+		return 0.5
+	}
+	return d.Alpha
+}
+
+// Split implements Distributor.
+func (d Dirichlet) Split(ds *Dataset, parts int) ([][]int, error) {
+	if err := checkSplit(ds, parts); err != nil {
+		return nil, err
+	}
+	alpha := d.alpha()
+	if alpha < 0 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("data: dirichlet alpha %v < 0", alpha)
+	}
+	rng := rand.New(rand.NewSource(d.Seed))
+	byClass := classIndices(ds)
+	pools := make([][]int, parts)
+	w := make([]float64, parts)
+	for _, idx := range byClass {
+		if len(idx) == 0 {
+			continue
+		}
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		// Symmetric Dirichlet via normalized Gamma(alpha) draws.
+		sum := 0.0
+		for p := range w {
+			w[p] = gammaRand(rng, alpha)
+			sum += w[p]
+		}
+		if sum == 0 {
+			// All draws underflowed (tiny alpha): the class collapses
+			// into one pool, which is exactly the alpha→0 limit.
+			w[rng.Intn(parts)] = 1
+			sum = 1
+		}
+		pos, acc := 0, 0.0
+		for p := 0; p < parts; p++ {
+			acc += w[p] / sum
+			end := int(math.Round(acc * float64(len(idx))))
+			if p == parts-1 {
+				end = len(idx)
+			}
+			if end < pos {
+				end = pos
+			} else if end > len(idx) {
+				end = len(idx)
+			}
+			pools[p] = append(pools[p], idx[pos:end]...)
+			pos = end
+		}
+	}
+	fillEmptyPools(pools)
+	return pools, nil
+}
+
+// LabelSkew is the sharding partition of the FedAvg paper: samples are
+// ordered by label, cut into parts·Shards contiguous shards, and each
+// pool receives Shards shards at random — every pool sees at most
+// Shards distinct labels (for shards smaller than a class).
+type LabelSkew struct {
+	// Shards is the number of label-shards per pool; 0 selects 2.
+	Shards int
+	Seed   int64
+}
+
+// Name implements Distributor.
+func (s LabelSkew) Name() string { return fmt.Sprintf("label-skew(%d)", s.shards()) }
+
+func (s LabelSkew) shards() int {
+	if s.Shards == 0 {
+		return 2
+	}
+	return s.Shards
+}
+
+// Split implements Distributor.
+func (s LabelSkew) Split(ds *Dataset, parts int) ([][]int, error) {
+	if err := checkSplit(ds, parts); err != nil {
+		return nil, err
+	}
+	shards := s.shards()
+	if shards < 1 {
+		return nil, fmt.Errorf("data: label-skew shards %d < 1", shards)
+	}
+	total := parts * shards
+	if total > ds.Len() {
+		return nil, fmt.Errorf("data: %d shards (%d parts × %d) for %d samples", total, parts, shards, ds.Len())
+	}
+	// Label-major order, ascending sample index within a label.
+	order := make([]int, 0, ds.Len())
+	for _, idx := range classIndices(ds) {
+		order = append(order, idx...)
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	perm := rng.Perm(total)
+	base, extra := len(order)/total, len(order)%total
+	bounds := make([]int, total+1)
+	for i := 0; i < total; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		bounds[i+1] = bounds[i] + size
+	}
+	pools := make([][]int, parts)
+	for p := 0; p < parts; p++ {
+		for _, sh := range perm[p*shards : (p+1)*shards] {
+			pools[p] = append(pools[p], order[bounds[sh]:bounds[sh+1]]...)
+		}
+	}
+	fillEmptyPools(pools)
+	return pools, nil
+}
+
+// classIndices groups the sample indices by label, ascending within
+// each class.
+func classIndices(ds *Dataset) [][]int {
+	byClass := make([][]int, ds.Classes)
+	for i, y := range ds.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	return byClass
+}
+
+// fillEmptyPools guarantees the non-empty postcondition by moving one
+// sample from the currently largest pool into each empty one —
+// deterministic (first-largest wins ties) and vanishing perturbation.
+func fillEmptyPools(pools [][]int) {
+	for p := range pools {
+		if len(pools[p]) > 0 {
+			continue
+		}
+		big := 0
+		for q := range pools {
+			if len(pools[q]) > len(pools[big]) {
+				big = q
+			}
+		}
+		if len(pools[big]) < 2 {
+			continue // nothing spare to move
+		}
+		last := len(pools[big]) - 1
+		pools[p] = append(pools[p], pools[big][last])
+		pools[big] = pools[big][:last]
+	}
+}
+
+// gammaRand draws Gamma(alpha, 1) with the Marsaglia–Tsang squeeze
+// (boosted below alpha = 1), consuming only the given rng so draws are
+// deterministic in the seed.
+func gammaRand(rng *rand.Rand, alpha float64) float64 {
+	if alpha <= 0 {
+		return 0
+	}
+	if alpha < 1 {
+		// Gamma(a) = Gamma(a+1) · U^{1/a}.
+		return gammaRand(rng, alpha+1) * math.Pow(rng.Float64(), 1/alpha)
+	}
+	d := alpha - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// PoolSampler draws each round's batch per pool: pool p contributes the
+// p-th PartitionFiles share of the batch, so partitioning the returned
+// batch into len(pools) files hands file p exactly pool p's draws.
+// Within a pool, draws are without replacement until the pool is
+// exhausted, then it reshuffles (per-pool epochs) — the pool-local
+// analogue of BatchSampler. Like BatchSampler, the returned slice is
+// reused by the following Next.
+type PoolSampler struct {
+	pools [][]int
+	take  []int
+	rng   *rand.Rand
+	perm  [][]int
+	pos   []int
+	out   []int
+}
+
+// NewPoolSampler creates a sampler drawing batch indices across the
+// given pools with the given seed. Every pool must be non-empty, and
+// the batch must be at least one sample per pool.
+func NewPoolSampler(pools [][]int, batch int, seed int64) (*PoolSampler, error) {
+	if len(pools) == 0 {
+		return nil, fmt.Errorf("data: pool sampler with no pools")
+	}
+	if batch < len(pools) {
+		return nil, fmt.Errorf("data: batch %d smaller than pool count %d", batch, len(pools))
+	}
+	s := &PoolSampler{
+		pools: make([][]int, len(pools)),
+		take:  make([]int, len(pools)),
+		rng:   rand.New(rand.NewSource(seed)),
+		perm:  make([][]int, len(pools)),
+		pos:   make([]int, len(pools)),
+		out:   make([]int, 0, batch),
+	}
+	base, extra := batch/len(pools), batch%len(pools)
+	for p, pool := range pools {
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("data: pool %d is empty", p)
+		}
+		s.pools[p] = append([]int(nil), pool...)
+		s.perm[p] = make([]int, len(pool))
+		s.take[p] = base
+		if p < extra {
+			s.take[p]++
+		}
+	}
+	return s, nil
+}
+
+// Next returns the next batch: take[p] indices from each pool p,
+// concatenated in pool order. The slice is overwritten by the following
+// Next.
+func (s *PoolSampler) Next() []int {
+	out := s.out[:0]
+	for p := range s.pools {
+		need := s.take[p]
+		pool := s.pools[p]
+		for need > 0 {
+			if s.pos[p] == 0 || s.pos[p] >= len(pool) {
+				s.reshuffle(p)
+				s.pos[p] = 0
+			}
+			takeN := need
+			if rem := len(pool) - s.pos[p]; takeN > rem {
+				takeN = rem
+			}
+			for _, j := range s.perm[p][s.pos[p] : s.pos[p]+takeN] {
+				out = append(out, pool[j])
+			}
+			s.pos[p] += takeN
+			need -= takeN
+		}
+	}
+	s.out = out
+	return out
+}
+
+// reshuffle refills pool p's permutation in place, consuming the shared
+// rng exactly like rand.Perm.
+func (s *PoolSampler) reshuffle(p int) {
+	perm := s.perm[p]
+	for i := range perm {
+		j := s.rng.Intn(i + 1)
+		perm[i] = perm[j]
+		perm[j] = i
+	}
+}

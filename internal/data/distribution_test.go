@@ -1,0 +1,185 @@
+package data
+
+import (
+	"reflect"
+	"testing"
+)
+
+func distTestSet(t *testing.T, n int) *Dataset {
+	t.Helper()
+	ds, _, err := Synthetic(SyntheticConfig{Train: n, Test: 1, Dim: 4, Classes: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// checkPartition verifies the Split postcondition: the pools are
+// non-empty and cover every sample index exactly once.
+func checkPartition(t *testing.T, name string, pools [][]int, n int) {
+	t.Helper()
+	seen := make([]bool, n)
+	total := 0
+	for p, pool := range pools {
+		if len(pool) == 0 {
+			t.Fatalf("%s: pool %d empty", name, p)
+		}
+		for _, i := range pool {
+			if i < 0 || i >= n {
+				t.Fatalf("%s: index %d out of range", name, i)
+			}
+			if seen[i] {
+				t.Fatalf("%s: index %d assigned twice", name, i)
+			}
+			seen[i] = true
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("%s: %d of %d samples assigned", name, total, n)
+	}
+}
+
+// TestDistributorDeterminism pins every distributor to seed-determined
+// output: identical seeds reproduce the identical split, different
+// seeds move it.
+func TestDistributorDeterminism(t *testing.T) {
+	ds := distTestSet(t, 500)
+	dists := []Distributor{
+		IID{Seed: 9},
+		Dirichlet{Alpha: 0.3, Seed: 9},
+		LabelSkew{Shards: 2, Seed: 9},
+	}
+	reseeded := []Distributor{
+		IID{Seed: 10},
+		Dirichlet{Alpha: 0.3, Seed: 10},
+		LabelSkew{Shards: 2, Seed: 10},
+	}
+	for i, d := range dists {
+		a, err := d.Split(ds, 25)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		b, err := d.Split(ds, 25)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same seed split differs", d.Name())
+		}
+		checkPartition(t, d.Name(), a, ds.Len())
+		c, err := reseeded[i].Split(ds, 25)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		if reflect.DeepEqual(a, c) {
+			t.Fatalf("%s: different seeds produced identical split", d.Name())
+		}
+	}
+}
+
+// TestDirichletSkew checks that a small concentration parameter
+// actually produces label heterogeneity: per-pool label histograms must
+// be measurably more concentrated than the IID control.
+func TestDirichletSkew(t *testing.T) {
+	ds := distTestSet(t, 2000)
+	maxShare := func(pools [][]int) float64 {
+		// Mean over pools of the dominant label's share.
+		var sum float64
+		for _, pool := range pools {
+			hist := make([]int, ds.Classes)
+			for _, i := range pool {
+				hist[ds.Y[i]]++
+			}
+			best := 0
+			for _, c := range hist {
+				if c > best {
+					best = c
+				}
+			}
+			sum += float64(best) / float64(len(pool))
+		}
+		return sum / float64(len(pools))
+	}
+	iid, err := IID{Seed: 1}.Split(ds, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew, err := Dirichlet{Alpha: 0.1, Seed: 1}.Split(ds, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, i := maxShare(skew), maxShare(iid); s < i+0.15 {
+		t.Fatalf("dirichlet(0.1) dominant-label share %.3f not meaningfully above IID %.3f", s, i)
+	}
+}
+
+// TestLabelSkewLabelCount checks the sharding bound: with whole-class
+// shards each pool sees at most Shards distinct labels.
+func TestLabelSkewLabelCount(t *testing.T) {
+	// 10 classes × 100 samples, 5 pools × 2 shards = 10 shards of
+	// exactly one class each.
+	ds := distTestSet(t, 1000)
+	pools, err := LabelSkew{Shards: 2, Seed: 4}.Split(ds, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, "label-skew", pools, ds.Len())
+	for p, pool := range pools {
+		labels := make(map[int]bool)
+		for _, i := range pool {
+			labels[ds.Y[i]] = true
+		}
+		if len(labels) > 2 {
+			t.Fatalf("pool %d sees %d labels, want <= 2", p, len(labels))
+		}
+	}
+}
+
+// TestPoolSamplerDeterminism pins the pool sampler's stream to its seed
+// and checks each draw respects the per-pool share sizes.
+func TestPoolSamplerDeterminism(t *testing.T) {
+	ds := distTestSet(t, 300)
+	pools, err := Dirichlet{Alpha: 0.3, Seed: 2}.Split(ds, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inPool := make([]map[int]bool, len(pools))
+	for p, pool := range pools {
+		inPool[p] = make(map[int]bool, len(pool))
+		for _, i := range pool {
+			inPool[p][i] = true
+		}
+	}
+	s1, err := NewPoolSampler(pools, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewPoolSampler(pools, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make([][]int, 25)
+	for round := 0; round < 10; round++ {
+		b1 := s1.Next()
+		b2 := s2.Next()
+		if !reflect.DeepEqual(b1, b2) {
+			t.Fatalf("round %d: same-seed streams diverge", round)
+		}
+		if len(b1) != 100 {
+			t.Fatalf("round %d: batch size %d, want 100", round, len(b1))
+		}
+		// Partitioning the batch must hand file p pool p's draws.
+		files, err = PartitionFilesInto(b1, 25, files)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, f := range files {
+			for _, i := range f {
+				if !inPool[p][i] {
+					t.Fatalf("round %d: file %d drew sample %d from another pool", round, p, i)
+				}
+			}
+		}
+	}
+}

@@ -96,19 +96,25 @@ func runDetectCell(ctx context.Context, atkName, detName string, opts TrainOpts)
 		row.Err = err.Error()
 		return row
 	}
+	dist, err := opts.distribution()
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
 	eng, err := cluster.New(cluster.Config{
-		Assignment: asn,
-		Model:      mdl,
-		Train:      train,
-		Test:       test,
-		BatchSize:  opts.BatchSize,
-		Attack:     atk,
-		Byzantines: byz,
-		Aggregator: aggregate.Median{},
-		Schedule:   defaultSchedule,
-		Momentum:   0.9,
-		Seed:       opts.Seed,
-		Detector:   det,
+		Assignment:   asn,
+		Model:        mdl,
+		Train:        train,
+		Test:         test,
+		BatchSize:    opts.BatchSize,
+		Attack:       atk,
+		Byzantines:   byz,
+		Aggregator:   aggregate.Median{},
+		Schedule:     defaultSchedule,
+		Momentum:     0.9,
+		Seed:         opts.Seed,
+		Detector:     det,
+		Distribution: dist,
 	})
 	if err != nil {
 		row.Err = err.Error()

@@ -53,6 +53,22 @@ type TrainOpts struct {
 	// measures (raw, delta, or the lossy sign/int8 quantized tiers);
 	// the zero value is the delta default.
 	Uplink wire.UplinkTier
+	// Distribution names the registry data distribution the training
+	// cells sample batches under ("" or "iid" = homogeneous);
+	// DistParam is its knob (dirichlet alpha / label-skew shard count).
+	Distribution string
+	DistParam    float64
+}
+
+// distribution resolves the named data distribution ("", "iid" → nil:
+// the default reshuffling sampler).
+func (o TrainOpts) distribution() (data.Distributor, error) {
+	if o.Distribution == "" || o.Distribution == "iid" {
+		return nil, nil
+	}
+	return components.Distribution(o.Distribution, registry.DistributionParams{
+		Alpha: o.DistParam, Shards: int(o.DistParam), Seed: o.Seed,
+	})
 }
 
 // DefaultTrainOpts returns laptop-scale defaults: a 10-class synthetic

@@ -114,16 +114,21 @@ func faultSweepConfig(opts TrainOpts, scheme string, params registry.SchemeParam
 	if err != nil {
 		return nil, err
 	}
+	dist, err := opts.distribution()
+	if err != nil {
+		return nil, err
+	}
 	return &cluster.Config{
-		Assignment: asn,
-		Model:      mdl,
-		Train:      train,
-		Test:       test,
-		BatchSize:  opts.BatchSize,
-		Aggregator: aggregate.Median{},
-		Schedule:   defaultSchedule,
-		Momentum:   0.9,
-		Seed:       opts.Seed,
+		Assignment:   asn,
+		Model:        mdl,
+		Train:        train,
+		Test:         test,
+		BatchSize:    opts.BatchSize,
+		Aggregator:   aggregate.Median{},
+		Schedule:     defaultSchedule,
+		Momentum:     0.9,
+		Seed:         opts.Seed,
+		Distribution: dist,
 	}, nil
 }
 

@@ -58,6 +58,19 @@ func FleetModes(shards int) []FleetMode {
 	}
 }
 
+// FleetModes32 are the planes of the float32 sweep (FleetConfig's
+// Precision = f32): the f32 tier has no pipeline, so the curve runs the
+// serial plane (baseline), the engine-sharded plane, and the lossy int8
+// uplink — each a Server32 fleet checked bit-for-bit against the
+// in-process Engine32.
+func FleetModes32(shards int) []FleetMode {
+	return []FleetMode{
+		{Name: "serial-f32", Uplink: wire.TierRaw},
+		{Name: "sharded-f32", Shards: shards, Uplink: wire.TierRaw},
+		{Name: "quantized-f32", Shards: shards, Uplink: wire.TierInt8},
+	}
+}
+
 // FleetPoint is one (worker count, mode) measurement of the scaling
 // sweep.
 type FleetPoint struct {
@@ -109,6 +122,11 @@ type FleetConfig struct {
 	// speedup column stays zero — useful when profiling one plane in
 	// isolation.
 	Modes []string
+	// Precision selects the sweep's numeric tier: the default f64
+	// protocol planes (FleetModes) or, at wire.PrecisionF32, the f32
+	// planes (FleetModes32) driven over Server32/RunWorker32 and
+	// bit-checked against the in-process Engine32.
+	Precision wire.Precision
 	// Seed fixes the data/batch stream.
 	Seed int64
 	// Tracer, when non-nil, receives one RoundTrace per round from every
@@ -183,6 +201,44 @@ func engineFinalParams(spec transport.Spec, shards int, tier wire.UplinkTier) ([
 	out := make([]float64, len(eng.Params()))
 	copy(out, eng.Params())
 	return out, nil
+}
+
+// engineFinalParams32 is engineFinalParams at float32 width: the
+// reference trajectory an f32 wire mode must reproduce bit-for-bit.
+func engineFinalParams32(spec transport.Spec, shards int, tier wire.UplinkTier) ([]float32, error) {
+	asn, err := spec.BuildAssignment()
+	if err != nil {
+		return nil, err
+	}
+	mdl, err := spec.BuildModel32()
+	if err != nil {
+		return nil, err
+	}
+	train, test, err := spec.BuildData()
+	if err != nil {
+		return nil, err
+	}
+	agg, err := spec.BuildAggregator32()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := cluster.New32(cluster.Config32{
+		Assignment: asn, Model: mdl, Train: train, Test: test,
+		BatchSize: spec.BatchSize, Aggregator: agg,
+		Schedule: spec.Schedule, Momentum: spec.Momentum, Seed: spec.Seed,
+		Shards: shards, UplinkTier: tier,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	ctx := context.Background()
+	for i := 0; i < spec.Rounds; i++ {
+		if _, err := eng.StepOnce(ctx); err != nil {
+			return nil, fmt.Errorf("engine round %d: %v", i, err)
+		}
+	}
+	return eng.Params(), nil
 }
 
 // hashParams fingerprints a parameter vector's exact bits.
@@ -277,6 +333,137 @@ func (c FleetConfig) runFleetPoint(ctx context.Context, spec transport.Spec, mod
 	return pt, params, nil
 }
 
+// hashParams32 fingerprints an f32 parameter vector's exact bits.
+func hashParams32(p []float32) uint64 {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, v := range p {
+		bits := math.Float32bits(v)
+		for i := range b {
+			b[i] = byte(bits >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// runFleetPoint32 drives one f32 loopback fleet — K RunWorker32
+// goroutines against one Server32 — and times the post-warmup rounds.
+func (c FleetConfig) runFleetPoint32(ctx context.Context, spec transport.Spec, mode FleetMode) (FleetPoint, []float32, error) {
+	pt := FleetPoint{Workers: spec.K, Files: spec.K / 3, Mode: mode.Name, Rounds: c.Rounds}
+	var windowStart, windowEnd time.Time
+	srv, err := transport.NewServer32("127.0.0.1:0", transport.ServerConfig32{
+		Spec:               spec,
+		Shards:             mode.Shards,
+		EvalEvery:          spec.Rounds + 1,
+		RoundTimeout:       5 * time.Minute,
+		Uplink:             mode.Uplink,
+		FullBroadcastEvery: 1,
+		OnRound: func(rs cluster.RoundStats) {
+			if rs.Iteration == c.Warmup-1 {
+				windowStart = time.Now()
+			}
+			if rs.Iteration == spec.Rounds-1 {
+				windowEnd = time.Now()
+			}
+		},
+	})
+	if err != nil {
+		return pt, nil, err
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	workerErr := make(chan error, spec.K)
+	for u := 0; u < spec.K; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			_, err := transport.RunWorker32(ctx, srv.Addr(), transport.WorkerConfig32{
+				ID: u, ReconnectAttempts: -1,
+			})
+			if err != nil {
+				workerErr <- fmt.Errorf("worker %d: %w", u, err)
+			}
+		}(u)
+	}
+	if _, err := srv.Serve(ctx); err != nil {
+		srv.Close()
+		wg.Wait()
+		return pt, nil, err
+	}
+	wg.Wait()
+	select {
+	case err := <-workerErr:
+		return pt, nil, err
+	default:
+	}
+	if windowStart.IsZero() || windowEnd.IsZero() {
+		return pt, nil, fmt.Errorf("fleet %s K=%d: timing window never closed", mode.Name, spec.K)
+	}
+	pt.Elapsed = windowEnd.Sub(windowStart)
+	if pt.Elapsed > 0 {
+		pt.RoundsPerSec = float64(c.Rounds) / pt.Elapsed.Seconds()
+	}
+	params := srv.Params()
+	pt.ParamsHash = hashParams32(params)
+	return pt, params, nil
+}
+
+// fleetScaling32 is the f32 branch of FleetScaling: the FleetModes32
+// planes over Server32 fleets, each rep bit-checked against the
+// in-process Engine32 pinned to the mode's shard count and uplink tier
+// (f32 quantization, like f64's, happens per shard range).
+func fleetScaling32(ctx context.Context, cfg FleetConfig) ([]FleetPoint, error) {
+	var out []FleetPoint
+	for _, k := range cfg.WorkerCounts {
+		if k < 3 || k%3 != 0 {
+			return nil, fmt.Errorf("fleet: worker count %d is not a positive multiple of 3 (FRC r=3)", k)
+		}
+		spec := cfg.fleetSpec(k)
+		var baseline float64
+		for _, mode := range FleetModes32(cfg.Shards) {
+			if len(cfg.Modes) > 0 && !slices.Contains(cfg.Modes, mode.Name) {
+				continue
+			}
+			ref, err := engineFinalParams32(spec, mode.Shards, mode.Uplink)
+			if err != nil {
+				return nil, fmt.Errorf("fleet %s K=%d reference: %w", mode.Name, k, err)
+			}
+			var pt FleetPoint
+			allIdentical := true
+			for rep := 0; rep < cfg.Reps; rep++ {
+				runtime.GC()
+				rp, params, err := cfg.runFleetPoint32(ctx, spec, mode)
+				if err != nil {
+					return nil, fmt.Errorf("fleet %s K=%d: %w", mode.Name, k, err)
+				}
+				identical := len(params) == len(ref)
+				for i := range ref {
+					if math.Float32bits(params[i]) != math.Float32bits(ref[i]) {
+						identical = false
+						break
+					}
+				}
+				allIdentical = allIdentical && identical
+				if rep == 0 || rp.RoundsPerSec > pt.RoundsPerSec {
+					pt = rp
+				}
+			}
+			pt.BitIdentical = allIdentical
+			if mode.Name == "serial-f32" {
+				baseline = pt.RoundsPerSec
+			}
+			if baseline > 0 {
+				pt.Speedup = pt.RoundsPerSec / baseline
+			}
+			cfg.Logf("fleet K=%d mode=%-13s %6.2f rounds/s (%.2fx) bit-identical=%v",
+				k, mode.Name, pt.RoundsPerSec, pt.Speedup, pt.BitIdentical)
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
 // FleetScaling runs the rounds/sec-vs-worker-count scaling sweep: for
 // each worker count, the single-loop (pre-shard config), serial,
 // sharded, sharded+pipelined, and quantized planes drive the same
@@ -311,6 +498,9 @@ func FleetScaling(ctx context.Context, cfg FleetConfig) ([]FleetPoint, error) {
 	}
 	if len(cfg.WorkerCounts) == 0 {
 		cfg.WorkerCounts = []int{15, 60, 240}
+	}
+	if cfg.Precision == wire.PrecisionF32 {
+		return fleetScaling32(ctx, cfg)
 	}
 	var out []FleetPoint
 	for _, k := range cfg.WorkerCounts {

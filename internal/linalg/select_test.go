@@ -1,0 +1,139 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSelectKthMatchesSort checks that SelectKth returns exactly the
+// value sorting would place at the same index, over random inputs with
+// duplicates, and that it leaves the slice partitioned around k.
+func TestSelectKthMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		xs := make([]float64, n)
+		for i := range xs {
+			// Coarse grid forces duplicate values into most columns.
+			xs[i] = float64(rng.Intn(9) - 4)
+			if rng.Intn(4) == 0 {
+				xs[i] += rng.Float64()
+			}
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		k := rng.Intn(n)
+		work := append([]float64(nil), xs...)
+		got := SelectKth(work, k)
+		if got != sorted[k] {
+			t.Fatalf("trial %d: SelectKth(%v, %d) = %v, sorted[%d] = %v", trial, xs, k, got, k, sorted[k])
+		}
+		for i := 0; i < k; i++ {
+			if floatLess(work[k], work[i]) {
+				t.Fatalf("trial %d: work[%d]=%v orders after work[%d]=%v", trial, i, work[i], k, work[k])
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			if floatLess(work[i], work[k]) {
+				t.Fatalf("trial %d: work[%d]=%v orders before work[%d]=%v", trial, i, work[i], k, work[k])
+			}
+		}
+	}
+}
+
+// TestSelectKthNaN checks the sort.Float64s ordering contract: NaNs
+// order before every number, so selecting inside or past the NaN block
+// matches a full sort.
+func TestSelectKthNaN(t *testing.T) {
+	nan := math.NaN()
+	xs := []float64{3, nan, -1, nan, 2, 0, nan, -5}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for k := range xs {
+		work := append([]float64(nil), xs...)
+		got := SelectKth(work, k)
+		want := sorted[k]
+		if math.IsNaN(want) {
+			if !math.IsNaN(got) {
+				t.Fatalf("k=%d: got %v, want NaN", k, got)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("k=%d: got %v, want %v", k, got, want)
+		}
+	}
+}
+
+// TestMedianSelectMatchesSortedMedian pins MedianSelect to the
+// sort-based order statistics for odd and even counts, both widths.
+func TestMedianSelectMatchesSortedMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(33)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		var want float64
+		if n%2 == 1 {
+			want = sorted[n/2]
+		} else {
+			want = (sorted[n/2-1] + sorted[n/2]) / 2
+		}
+		got := MedianSelect(append([]float64(nil), xs...))
+		if got != want {
+			t.Fatalf("trial %d: MedianSelect = %v, sorted median = %v", trial, got, want)
+		}
+		// Same property at float32 width.
+		xs32 := make([]float32, n)
+		for i := range xs {
+			xs32[i] = float32(xs[i])
+		}
+		s32 := append([]float32(nil), xs32...)
+		SortAscending(s32)
+		var want32 float32
+		if n%2 == 1 {
+			want32 = s32[n/2]
+		} else {
+			want32 = (s32[n/2-1] + s32[n/2]) / 2
+		}
+		if got32 := MedianSelect(xs32); got32 != want32 {
+			t.Fatalf("trial %d: MedianSelect32 = %v, want %v", trial, got32, want32)
+		}
+	}
+}
+
+// TestTrimmedMeanSelectBitIdentical pins the quickselect trimmed mean
+// to the full-sort kernel bit for bit: both must sum the identical
+// ascending value sequence.
+func TestTrimmedMeanSelectBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + rng.Intn(30)
+		trim := rng.Intn((n - 1) / 2)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			if rng.Intn(3) == 0 {
+				xs[i] = float64(rng.Intn(3)) // duplicates across the trim boundary
+			}
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		var sum float64
+		for _, v := range sorted[trim : n-trim] {
+			sum += v
+		}
+		want := sum / float64(n-2*trim)
+		got := TrimmedMeanSelect(append([]float64(nil), xs...), trim)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d (n=%d trim=%d): TrimmedMeanSelect = %x, sorted = %x",
+				trial, n, trim, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}

@@ -3,16 +3,31 @@ package linalg
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
-// Vector helpers. Vectors are plain []float64; functions that combine a
-// set of vectors require equal lengths and panic otherwise, mirroring the
-// hard precondition that all gradient vectors in a round share the model
-// dimension.
+// Vector helpers. Vectors are slices of a Float element type — the
+// kernels are generic over float32 and float64 so the two precision
+// tiers of the training protocol share one implementation. Functions
+// that combine a set of vectors require equal lengths and panic
+// otherwise, mirroring the hard precondition that all gradient vectors
+// in a round share the model dimension.
+//
+// Bit-identity discipline: the float64 instantiations perform exactly
+// the floating-point operations (same order, same intermediates) the
+// pre-generic kernels performed, so every pinned f64 trajectory is
+// unchanged. The hot kernels iterate the coordinate axis 4-wide —
+// coordinates are independent, so unrolling changes no per-coordinate
+// operation sequence while giving the compiler straight-line bodies it
+// can vectorize.
+
+// Float is the element-type constraint of the vector kernels: the two
+// IEEE-754 widths the precision tiers train in.
+type Float interface {
+	~float32 | ~float64
+}
 
 // checkSameLen panics unless all vectors share one length, returning it.
-func checkSameLen(vs [][]float64) int {
+func checkSameLen[T Float](vs [][]T) int {
 	if len(vs) == 0 {
 		panic("linalg: empty vector set")
 	}
@@ -29,14 +44,14 @@ func checkSameLen(vs [][]float64) int {
 func Zeros(d int) []float64 { return make([]float64, d) }
 
 // CloneVec returns a copy of v.
-func CloneVec(v []float64) []float64 {
-	out := make([]float64, len(v))
+func CloneVec[T Float](v []T) []T {
+	out := make([]T, len(v))
 	copy(out, v)
 	return out
 }
 
 // AddInPlace adds b into a (a += b).
-func AddInPlace(a, b []float64) {
+func AddInPlace[T Float](a, b []T) {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("linalg: add dim mismatch %d vs %d", len(a), len(b)))
 	}
@@ -46,11 +61,11 @@ func AddInPlace(a, b []float64) {
 }
 
 // Sub returns a - b as a new vector.
-func Sub(a, b []float64) []float64 {
+func Sub[T Float](a, b []T) []T {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("linalg: sub dim mismatch %d vs %d", len(a), len(b)))
 	}
-	out := make([]float64, len(a))
+	out := make([]T, len(a))
 	for i := range a {
 		out[i] = a[i] - b[i]
 	}
@@ -58,8 +73,8 @@ func Sub(a, b []float64) []float64 {
 }
 
 // ScaleVec returns s*v as a new vector.
-func ScaleVec(v []float64, s float64) []float64 {
-	out := make([]float64, len(v))
+func ScaleVec[T Float](v []T, s T) []T {
+	out := make([]T, len(v))
 	for i := range v {
 		out[i] = s * v[i]
 	}
@@ -67,28 +82,44 @@ func ScaleVec(v []float64, s float64) []float64 {
 }
 
 // ScaleInPlace multiplies v by s in place.
-func ScaleInPlace(v []float64, s float64) {
-	for i := range v {
+func ScaleInPlace[T Float](v []T, s T) {
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		v[i] *= s
+		v[i+1] *= s
+		v[i+2] *= s
+		v[i+3] *= s
+	}
+	for ; i < len(v); i++ {
 		v[i] *= s
 	}
 }
 
 // AxpyInPlace performs a += s*b.
-func AxpyInPlace(a []float64, s float64, b []float64) {
+func AxpyInPlace[T Float](a []T, s T, b []T) {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("linalg: axpy dim mismatch %d vs %d", len(a), len(b)))
 	}
-	for i := range a {
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		a[i] += s * b[i]
+		a[i+1] += s * b[i+1]
+		a[i+2] += s * b[i+2]
+		a[i+3] += s * b[i+3]
+	}
+	for ; i < len(a); i++ {
 		a[i] += s * b[i]
 	}
 }
 
-// Dot returns the inner product of a and b.
-func Dot(a, b []float64) float64 {
+// Dot returns the inner product of a and b. The accumulation is a
+// single serial sum — unrolled accumulators would change the rounding
+// sequence, and downstream consumers pin the exact result.
+func Dot[T Float](a, b []T) T {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("linalg: dot dim mismatch %d vs %d", len(a), len(b)))
 	}
-	var s float64
+	var s T
 	for i := range a {
 		s += a[i] * b[i]
 	}
@@ -96,30 +127,22 @@ func Dot(a, b []float64) float64 {
 }
 
 // Norm2 returns the Euclidean norm of v.
-func Norm2(v []float64) float64 {
-	return math.Sqrt(Dot(v, v))
+func Norm2[T Float](v []T) T {
+	return T(math.Sqrt(float64(Dot(v, v))))
 }
 
 // Dist2 returns the Euclidean distance between a and b.
-func Dist2(a, b []float64) float64 {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("linalg: dist dim mismatch %d vs %d", len(a), len(b)))
-	}
-	var s float64
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return math.Sqrt(s)
+func Dist2[T Float](a, b []T) T {
+	return T(math.Sqrt(float64(SqDist2(a, b))))
 }
 
 // SqDist2 returns the squared Euclidean distance between a and b.
 // Krum-style scores use squared distances, so expose it directly.
-func SqDist2(a, b []float64) float64 {
+func SqDist2[T Float](a, b []T) T {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("linalg: dist dim mismatch %d vs %d", len(a), len(b)))
 	}
-	var s float64
+	var s T
 	for i := range a {
 		d := a[i] - b[i]
 		s += d * d
@@ -128,96 +151,106 @@ func SqDist2(a, b []float64) float64 {
 }
 
 // MeanVec returns the coordinate-wise mean of the vectors.
-func MeanVec(vs [][]float64) []float64 {
-	return MeanVecInto(make([]float64, checkSameLen(vs)), vs)
+func MeanVec[T Float](vs [][]T) []T {
+	return MeanVecInto(make([]T, checkSameLen(vs)), vs)
 }
 
 // MeanVecInto computes the coordinate-wise mean into out (which must
 // have the vectors' dimension) and returns it. The accumulation order
 // matches MeanVec exactly, so the two are bit-identical.
-func MeanVecInto(out []float64, vs [][]float64) []float64 {
-	checkSameLen(vs)
+func MeanVecInto[T Float](out []T, vs [][]T) []T {
+	d := checkSameLen(vs)
 	clear(out)
 	for _, v := range vs {
-		for i := range v {
+		v = v[:d]
+		i := 0
+		for ; i+4 <= d; i += 4 {
+			out[i] += v[i]
+			out[i+1] += v[i+1]
+			out[i+2] += v[i+2]
+			out[i+3] += v[i+3]
+		}
+		for ; i < d; i++ {
 			out[i] += v[i]
 		}
 	}
-	inv := 1 / float64(len(vs))
-	for i := range out {
-		out[i] *= inv
-	}
+	inv := 1 / T(len(vs))
+	ScaleInPlace(out[:d], inv)
 	return out
 }
 
 // StdVec returns the coordinate-wise (population) standard deviation.
-func StdVec(vs [][]float64) []float64 {
+func StdVec[T Float](vs [][]T) []T {
 	d := checkSameLen(vs)
-	return StdVecInto(make([]float64, d), MeanVec(vs), vs)
+	return StdVecInto(make([]T, d), MeanVec(vs), vs)
 }
 
 // StdVecInto computes the coordinate-wise population standard
 // deviation around mean into out and returns it; bit-identical to
-// StdVec when mean is the vectors' MeanVec.
-func StdVecInto(out, mean []float64, vs [][]float64) []float64 {
-	checkSameLen(vs)
+// StdVec when mean is the vectors' MeanVec. The square root runs in
+// float64 for both widths (Go has no float32 sqrt intrinsic in the
+// math package); the float32 instantiation rounds the result once.
+func StdVecInto[T Float](out, mean []T, vs [][]T) []T {
+	d := checkSameLen(vs)
 	clear(out)
 	for _, v := range vs {
-		for i := range v {
+		v = v[:d]
+		i := 0
+		for ; i+4 <= d; i += 4 {
+			d0 := v[i] - mean[i]
+			d1 := v[i+1] - mean[i+1]
+			d2 := v[i+2] - mean[i+2]
+			d3 := v[i+3] - mean[i+3]
+			out[i] += d0 * d0
+			out[i+1] += d1 * d1
+			out[i+2] += d2 * d2
+			out[i+3] += d3 * d3
+		}
+		for ; i < d; i++ {
 			diff := v[i] - mean[i]
 			out[i] += diff * diff
 		}
 	}
-	inv := 1 / float64(len(vs))
+	inv := 1 / T(len(vs))
 	for i := range out {
-		out[i] = math.Sqrt(out[i] * inv)
+		out[i] = T(math.Sqrt(float64(out[i] * inv)))
 	}
 	return out
 }
 
 // MedianVec returns the coordinate-wise median. For even counts the
 // average of the two central order statistics is used.
-func MedianVec(vs [][]float64) []float64 {
+func MedianVec[T Float](vs [][]T) []T {
 	d := checkSameLen(vs)
-	out := make([]float64, d)
-	col := make([]float64, len(vs))
+	out := make([]T, d)
+	col := make([]T, len(vs))
 	for i := 0; i < d; i++ {
 		for j, v := range vs {
 			col[j] = v[i]
 		}
-		out[i] = MedianOf(col)
+		out[i] = MedianSelect(col)
 	}
 	return out
 }
 
 // MedianOf returns the median of xs. xs is not modified.
-func MedianOf(xs []float64) float64 {
-	n := len(xs)
-	if n == 0 {
+func MedianOf[T Float](xs []T) T {
+	if len(xs) == 0 {
 		panic("linalg: median of empty slice")
 	}
-	tmp := append([]float64(nil), xs...)
-	sort.Float64s(tmp)
-	if n%2 == 1 {
-		return tmp[n/2]
-	}
-	return (tmp[n/2-1] + tmp[n/2]) / 2
+	tmp := append([]T(nil), xs...)
+	return MedianSelect(tmp)
 }
 
 // TrimmedMeanOf returns the mean of xs after removing the trim smallest
 // and trim largest values. It panics if 2*trim >= len(xs).
-func TrimmedMeanOf(xs []float64, trim int) float64 {
+func TrimmedMeanOf[T Float](xs []T, trim int) T {
 	n := len(xs)
 	if trim < 0 || 2*trim >= n {
 		panic(fmt.Sprintf("linalg: trimmed mean with trim=%d of %d values", trim, n))
 	}
-	tmp := append([]float64(nil), xs...)
-	sort.Float64s(tmp)
-	var s float64
-	for _, v := range tmp[trim : n-trim] {
-		s += v
-	}
-	return s / float64(n-2*trim)
+	tmp := append([]T(nil), xs...)
+	return TrimmedMeanSelect(tmp, trim)
 }
 
 // NormalQuantile returns the standard normal inverse CDF at probability
@@ -236,7 +269,7 @@ func NormalCDF(x float64) float64 {
 }
 
 // ArgMin returns the index of the smallest element (first on ties).
-func ArgMin(xs []float64) int {
+func ArgMin[T Float](xs []T) int {
 	if len(xs) == 0 {
 		panic("linalg: argmin of empty slice")
 	}
@@ -250,7 +283,7 @@ func ArgMin(xs []float64) int {
 }
 
 // ArgMax returns the index of the largest element (first on ties).
-func ArgMax(xs []float64) int {
+func ArgMax[T Float](xs []T) int {
 	if len(xs) == 0 {
 		panic("linalg: argmax of empty slice")
 	}

@@ -1,0 +1,140 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The float32 kernel instantiations must track their float64 twins to
+// within single-precision rounding: the f32 tier is a different
+// trajectory by design, but each individual kernel result may only
+// differ by accumulated unit-roundoff, not by algorithmic divergence.
+// The tolerance scales with the accumulation length (each of n
+// additions contributes up to half an ulp of the running magnitude).
+
+// relTol32 is the per-operation relative tolerance budget for an
+// n-term float32 accumulation over values of magnitude ~scale.
+func relTol32(n int) float64 { return float64(n) * 4 * 1.2e-7 }
+
+func randVecs(rng *rand.Rand, n, d int, scale float64) ([][]float64, [][]float32) {
+	v64 := make([][]float64, n)
+	v32 := make([][]float32, n)
+	for i := range v64 {
+		v64[i] = make([]float64, d)
+		v32[i] = make([]float32, d)
+		for j := range v64[i] {
+			x := rng.NormFloat64() * scale
+			v64[i][j] = x
+			v32[i][j] = float32(x)
+		}
+	}
+	return v64, v32
+}
+
+// checkClose verifies |got−want| within tol relative to the result
+// magnitude plus the accumulation's term scale — cancellation makes
+// the absolute error scale with the terms, not the result.
+func checkClose(t *testing.T, kernel string, i int, got float32, want, tol, scale float64) {
+	t.Helper()
+	diff := math.Abs(float64(got) - want)
+	bound := tol * (math.Abs(want) + scale)
+	if diff > bound {
+		t.Fatalf("%s[%d]: f32=%v f64=%v diff=%g > %g", kernel, i, got, want, diff, bound)
+	}
+}
+
+// TestKernelParity32 is the f32-vs-f64 parity property test: every
+// generic kernel's float32 instantiation must agree with the float64
+// one within a tolerance bounded by single-precision accumulation
+// error, across random vector sets of varying shape.
+func TestKernelParity32(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(12)
+		d := 1 + rng.Intn(200)
+		scale := math.Pow(10, float64(rng.Intn(5)-2))
+		v64, v32 := randVecs(rng, n, d, scale)
+		tol := relTol32(n)
+		// Gaussian terms reach a few standard deviations.
+		termScale := 5 * scale
+
+		m64 := MeanVecInto(make([]float64, d), v64)
+		m32 := MeanVecInto(make([]float32, d), v32)
+		for i := range m64 {
+			checkClose(t, "mean", i, m32[i], m64[i], tol, termScale)
+		}
+
+		s64 := StdVecInto(make([]float64, d), m64, v64)
+		s32 := StdVecInto(make([]float32, d), m32, v32)
+		for i := range s64 {
+			checkClose(t, "std", i, s32[i], s64[i], 2*tol, termScale)
+		}
+
+		col64 := make([]float64, n)
+		col32 := make([]float32, n)
+		for i := 0; i < d; i++ {
+			for j := 0; j < n; j++ {
+				col64[j] = v64[j][i]
+				col32[j] = v32[j][i]
+			}
+			checkClose(t, "median", i, MedianOf(col32), MedianOf(col64), tol, termScale)
+			if n >= 3 {
+				checkClose(t, "trimmed-mean", i,
+					TrimmedMeanOf(col32, 1), TrimmedMeanOf(col64, 1), tol, termScale)
+			}
+		}
+
+		a64, b64 := v64[0], v64[1]
+		a32, b32 := v32[0], v32[1]
+		checkClose(t, "dot", 0, Dot(a32, b32), Dot(a64, b64), relTol32(d), float64(d)*termScale*termScale)
+
+		ax64 := CloneVec(a64)
+		ax32 := CloneVec(a32)
+		AxpyInPlace(ax64, 0.25, b64)
+		AxpyInPlace(ax32, 0.25, b32)
+		for i := range ax64 {
+			checkClose(t, "axpy", i, ax32[i], ax64[i], tol, termScale)
+		}
+
+		ScaleInPlace(ax64, 3)
+		ScaleInPlace(ax32, 3)
+		for i := range ax64 {
+			checkClose(t, "scale", i, ax32[i], ax64[i], tol, 3*termScale)
+		}
+	}
+}
+
+// TestFloat64KernelsUnchanged pins the float64 instantiations to the
+// pre-generic reference computations operation for operation — the
+// refactor to generic kernels must not move a single f64 bit.
+func TestFloat64KernelsUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, d := 7, 129 // odd dim exercises the 4-wide tail
+	vs, _ := randVecs(rng, n, d, 1)
+
+	mean := MeanVecInto(make([]float64, d), vs)
+	for i := 0; i < d; i++ {
+		var s float64
+		for _, v := range vs {
+			s += v[i]
+		}
+		want := s * (1 / float64(n))
+		if math.Float64bits(mean[i]) != math.Float64bits(want) {
+			t.Fatalf("mean[%d]: got %x want %x", i, math.Float64bits(mean[i]), math.Float64bits(want))
+		}
+	}
+
+	std := StdVecInto(make([]float64, d), mean, vs)
+	for i := 0; i < d; i++ {
+		var s float64
+		for _, v := range vs {
+			diff := v[i] - mean[i]
+			s += diff * diff
+		}
+		want := math.Sqrt(s * (1 / float64(n)))
+		if math.Float64bits(std[i]) != math.Float64bits(want) {
+			t.Fatalf("std[%d]: got %x want %x", i, math.Float64bits(std[i]), math.Float64bits(want))
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"byzshield/internal/data"
+	"byzshield/internal/linalg"
 )
 
 // ConvNet is a small 1-D convolutional network: a valid-padding
@@ -19,36 +20,59 @@ import (
 //	 dense W (classes × numFilters·outLen) | dense b (classes)]
 //
 // with outLen = dim − kernel + 1.
+//
+// The forward/backward core is generic over the precision tier
+// (float64 and float32 instantiations share one code path), so the
+// network implements both Model and Model32 — it is the model the
+// reduced-precision benchmarks drive at large dimension.
 type ConvNet struct {
 	dim        int
 	kernel     int
 	numFilters int
 	classes    int
 	scratch    sync.Pool
+	scratch32  sync.Pool
 }
 
-// convScratch is one call's forward/backward working set.
-type convScratch struct {
-	pre   []float64
-	act   []float64
-	probs []float64
-	delta []float64
-	dAct  []float64
+// convScratchT is one call's forward/backward working set at either
+// precision width.
+type convScratchT[T linalg.Float] struct {
+	pre   []T
+	act   []T
+	probs []T
+	delta []T
+	dAct  []T
 }
 
-// getScratch returns a pooled working set sized for the network.
+// convScratch is the float64 working set (the historical name).
+type convScratch = convScratchT[float64]
+
+// newConvScratch allocates a working set sized for the network.
+func newConvScratch[T linalg.Float](c *ConvNet) *convScratchT[T] {
+	actLen := c.numFilters * c.outLen()
+	return &convScratchT[T]{
+		pre:   make([]T, actLen),
+		act:   make([]T, actLen),
+		probs: make([]T, c.classes),
+		delta: make([]T, c.classes),
+		dAct:  make([]T, actLen),
+	}
+}
+
+// getScratch returns a pooled float64 working set.
 func (c *ConvNet) getScratch() *convScratch {
 	if s, _ := c.scratch.Get().(*convScratch); s != nil {
 		return s
 	}
-	actLen := c.numFilters * c.outLen()
-	return &convScratch{
-		pre:   make([]float64, actLen),
-		act:   make([]float64, actLen),
-		probs: make([]float64, c.classes),
-		delta: make([]float64, c.classes),
-		dAct:  make([]float64, actLen),
+	return newConvScratch[float64](c)
+}
+
+// getScratch32 returns a pooled float32 working set.
+func (c *ConvNet) getScratch32() *convScratchT[float32] {
+	if s, _ := c.scratch32.Get().(*convScratchT[float32]); s != nil {
+		return s
 	}
+	return newConvScratch[float32](c)
 }
 
 // NewConvNet builds the network. Requires kernel ≤ dim, numFilters ≥ 1
@@ -87,8 +111,8 @@ func (c *ConvNet) InputDim() int { return c.dim }
 // Classes implements Model.
 func (c *ConvNet) Classes() int { return c.classes }
 
-// paramViews slices the flat vector into the four blocks.
-func (c *ConvNet) paramViews(params []float64) (filters, fBias, denseW, denseB []float64) {
+// convViewsT slices the flat vector into the four blocks.
+func convViewsT[T linalg.Float](c *ConvNet, params []T) (filters, fBias, denseW, denseB []T) {
 	ol := c.outLen()
 	p := 0
 	filters = params[p : p+c.numFilters*c.kernel]
@@ -101,16 +125,17 @@ func (c *ConvNet) paramViews(params []float64) (filters, fBias, denseW, denseB [
 	return
 }
 
-// forward computes conv pre-activations, post-ReLU activations and the
-// softmax probabilities for a single sample into the scratch buffers.
-func (c *ConvNet) forward(params, x []float64, s *convScratch) (pre, act, probs []float64) {
-	filters, fBias, denseW, denseB := c.paramViews(params)
+// convForwardT computes conv pre-activations, post-ReLU activations
+// and the softmax probabilities for a single sample into the scratch
+// buffers.
+func convForwardT[T linalg.Float](c *ConvNet, params, x []T, s *convScratchT[T]) (pre, act, probs []T) {
+	filters, fBias, denseW, denseB := convViewsT(c, params)
 	ol := c.outLen()
 	pre, act, probs = s.pre, s.act, s.probs
 	for f := 0; f < c.numFilters; f++ {
 		w := filters[f*c.kernel : (f+1)*c.kernel]
 		for o := 0; o < ol; o++ {
-			var v float64
+			var v T
 			for k := 0; k < c.kernel; k++ {
 				v += w[k] * x[o+k]
 			}
@@ -125,56 +150,40 @@ func (c *ConvNet) forward(params, x []float64, s *convScratch) (pre, act, probs 
 	}
 	for cls := 0; cls < c.classes; cls++ {
 		row := denseW[cls*len(act) : (cls+1)*len(act)]
-		var v float64
+		var v T
 		for i, a := range act {
 			v += row[i] * a
 		}
 		probs[cls] = v + denseB[cls]
 	}
-	softmaxInPlace(probs)
+	softmaxT(probs)
 	return pre, act, probs
 }
 
-// Loss implements Model.
-func (c *ConvNet) Loss(params []float64, ds *data.Dataset, idx []int) float64 {
-	checkShapes(c, params, ds)
-	if len(idx) == 0 {
-		return 0
-	}
-	s := c.getScratch()
-	defer c.scratch.Put(s)
+// convLossT is the width-generic mean cross-entropy loss.
+func convLossT[T linalg.Float](c *ConvNet, params []T, x [][]T, y, idx []int, s *convScratchT[T]) float64 {
 	var total float64
 	for _, i := range idx {
-		_, _, probs := c.forward(params, ds.X[i], s)
-		p := probs[ds.Y[i]]
-		if p < 1e-300 {
-			p = 1e-300
-		}
-		total += -ln(p)
+		_, _, probs := convForwardT(c, params, x[i], s)
+		total += nllClamp(probs[y[i]])
 	}
 	return total / float64(len(idx))
 }
 
-// SumGradient implements Model via backprop through the dense layer,
-// ReLU mask, and convolution.
-func (c *ConvNet) SumGradient(params []float64, ds *data.Dataset, idx []int, out []float64) {
-	checkShapes(c, params, ds)
-	if len(out) != c.NumParams() {
-		panic(fmt.Sprintf("model: gradient buffer %d, want %d", len(out), c.NumParams()))
-	}
-	_, _, denseW, _ := c.paramViews(params)
-	gFilters, gFBias, gDenseW, gDenseB := c.paramViews(out)
+// convGradT is the width-generic summed gradient via backprop through
+// the dense layer, ReLU mask, and convolution.
+func convGradT[T linalg.Float](c *ConvNet, params []T, x [][]T, y, idx []int, out []T, s *convScratchT[T]) {
+	_, _, denseW, _ := convViewsT(c, params)
+	gFilters, gFBias, gDenseW, gDenseB := convViewsT(c, out)
 	ol := c.outLen()
 	actLen := c.numFilters * ol
-	s := c.getScratch()
-	defer c.scratch.Put(s)
 	for _, i := range idx {
-		x := ds.X[i]
-		pre, act, probs := c.forward(params, x, s)
+		xi := x[i]
+		pre, act, probs := convForwardT(c, params, xi, s)
 		// Output delta: p − onehot(y).
 		delta := s.delta
 		copy(delta, probs)
-		delta[ds.Y[i]] -= 1
+		delta[y[i]] -= 1
 		// Dense layer gradients + backprop into activations.
 		dAct := s.dAct
 		clear(dAct)
@@ -206,7 +215,7 @@ func (c *ConvNet) SumGradient(params []float64, ds *data.Dataset, idx []int, out
 					continue
 				}
 				for k := 0; k < c.kernel; k++ {
-					gW[k] += dv * x[o+k]
+					gW[k] += dv * xi[o+k]
 				}
 				gFBias[f] += dv
 			}
@@ -214,16 +223,59 @@ func (c *ConvNet) SumGradient(params []float64, ds *data.Dataset, idx []int, out
 	}
 }
 
+// Loss implements Model.
+func (c *ConvNet) Loss(params []float64, ds *data.Dataset, idx []int) float64 {
+	checkShapes(c, params, ds)
+	if len(idx) == 0 {
+		return 0
+	}
+	s := c.getScratch()
+	defer c.scratch.Put(s)
+	return convLossT(c, params, ds.X, ds.Y, idx, s)
+}
+
+// SumGradient implements Model via backprop through the dense layer,
+// ReLU mask, and convolution.
+func (c *ConvNet) SumGradient(params []float64, ds *data.Dataset, idx []int, out []float64) {
+	checkShapes(c, params, ds)
+	checkGradLen(c, len(out))
+	s := c.getScratch()
+	defer c.scratch.Put(s)
+	convGradT(c, params, ds.X, ds.Y, idx, out, s)
+}
+
 // Predict implements Model.
 func (c *ConvNet) Predict(params []float64, x []float64) int {
 	s := c.getScratch()
 	defer c.scratch.Put(s)
-	_, _, probs := c.forward(params, x, s)
-	best := 0
-	for cls := 1; cls < c.classes; cls++ {
-		if probs[cls] > probs[best] {
-			best = cls
-		}
+	_, _, probs := convForwardT(c, params, x, s)
+	return argmaxT(probs)
+}
+
+// Loss32 implements Model32.
+func (c *ConvNet) Loss32(params []float32, ds *data.Dataset32, idx []int) float64 {
+	checkShapes32(c, params, ds)
+	if len(idx) == 0 {
+		return 0
 	}
-	return best
+	s := c.getScratch32()
+	defer c.scratch32.Put(s)
+	return convLossT(c, params, ds.X, ds.Y, idx, s)
+}
+
+// SumGradient32 implements Model32.
+func (c *ConvNet) SumGradient32(params []float32, ds *data.Dataset32, idx []int, out []float32) {
+	checkShapes32(c, params, ds)
+	checkGradLen(c, len(out))
+	s := c.getScratch32()
+	defer c.scratch32.Put(s)
+	convGradT(c, params, ds.X, ds.Y, idx, out, s)
+}
+
+// Predict32 implements Model32.
+func (c *ConvNet) Predict32(params []float32, x []float32) int {
+	s := c.getScratch32()
+	defer c.scratch32.Put(s)
+	_, _, probs := convForwardT(c, params, x, s)
+	return argmaxT(probs)
 }

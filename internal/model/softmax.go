@@ -5,27 +5,41 @@ import (
 	"sync"
 
 	"byzshield/internal/data"
+	"byzshield/internal/linalg"
 )
 
 // Softmax is multinomial logistic regression: logits = W·x + b with
 // cross-entropy loss. The flat parameter layout is
 // [W row-major (classes × dim) | b (classes)].
 //
-// Per-call probability scratch is pooled, so concurrent SumGradient /
-// Loss / Predict calls from the engine's worker pool allocate nothing in
+// The forward/backward core is generic over the precision tier
+// (float64 and float32 instantiations share one code path), so the
+// model implements both Model and Model32. Per-call probability
+// scratch is pooled per width, so concurrent SumGradient / Loss /
+// Predict calls from the engine's worker pool allocate nothing in
 // steady state.
 type Softmax struct {
-	dim     int
-	classes int
-	scratch sync.Pool // *[]float64 of length classes
+	dim       int
+	classes   int
+	scratch   sync.Pool // *[]float64 of length classes
+	scratch32 sync.Pool // *[]float32 of length classes
 }
 
-// getProbs returns a pooled probability buffer.
+// getProbs returns a pooled float64 probability buffer.
 func (s *Softmax) getProbs() *[]float64 {
 	if p, _ := s.scratch.Get().(*[]float64); p != nil {
 		return p
 	}
 	buf := make([]float64, s.classes)
+	return &buf
+}
+
+// getProbs32 returns a pooled float32 probability buffer.
+func (s *Softmax) getProbs32() *[]float32 {
+	if p, _ := s.scratch32.Get().(*[]float32); p != nil {
+		return p
+	}
+	buf := make([]float32, s.classes)
 	return &buf
 }
 
@@ -49,15 +63,47 @@ func (s *Softmax) InputDim() int { return s.dim }
 // Classes implements Model.
 func (s *Softmax) Classes() int { return s.classes }
 
-// logits computes W·x + b into out (length classes).
-func (s *Softmax) logits(params, x, out []float64) {
-	for c := 0; c < s.classes; c++ {
-		row := params[c*s.dim : (c+1)*s.dim]
-		var v float64
+// softmaxLogitsT computes W·x + b into out (length classes).
+func softmaxLogitsT[T linalg.Float](dim, classes int, params, x, out []T) {
+	for c := 0; c < classes; c++ {
+		row := params[c*dim : (c+1)*dim]
+		var v T
 		for j, xv := range x {
 			v += row[j] * xv
 		}
-		out[c] = v + params[s.classes*s.dim+c]
+		out[c] = v + params[classes*dim+c]
+	}
+}
+
+// softmaxLossT is the width-generic mean cross-entropy loss.
+func softmaxLossT[T linalg.Float](dim, classes int, params []T, x [][]T, y, idx []int, probs []T) float64 {
+	var total float64
+	for _, i := range idx {
+		softmaxLogitsT(dim, classes, params, x[i], probs)
+		softmaxT(probs)
+		total += nllClamp(probs[y[i]])
+	}
+	return total / float64(len(idx))
+}
+
+// softmaxGradT is the width-generic summed gradient:
+// ∂L/∂W[c] = (p_c − 1{c=y})·x, ∂L/∂b[c] = p_c − 1{c=y}, over samples.
+func softmaxGradT[T linalg.Float](dim, classes int, params []T, x [][]T, y, idx []int, out, probs []T) {
+	for _, i := range idx {
+		xi := x[i]
+		softmaxLogitsT(dim, classes, params, xi, probs)
+		softmaxT(probs)
+		for c := 0; c < classes; c++ {
+			diff := probs[c]
+			if c == y[i] {
+				diff -= 1
+			}
+			row := out[c*dim : (c+1)*dim]
+			for j, xv := range xi {
+				row[j] += diff * xv
+			}
+			out[classes*dim+c] += diff
+		}
 	}
 }
 
@@ -69,46 +115,17 @@ func (s *Softmax) Loss(params []float64, ds *data.Dataset, idx []int) float64 {
 	}
 	pp := s.getProbs()
 	defer s.scratch.Put(pp)
-	probs := *pp
-	var total float64
-	for _, i := range idx {
-		s.logits(params, ds.X[i], probs)
-		softmaxInPlace(probs)
-		p := probs[ds.Y[i]]
-		if p < 1e-300 {
-			p = 1e-300
-		}
-		total += -ln(p)
-	}
-	return total / float64(len(idx))
+	return softmaxLossT(s.dim, s.classes, params, ds.X, ds.Y, idx, *pp)
 }
 
 // SumGradient implements Model: ∂L/∂W[c] = (p_c − 1{c=y})·x,
 // ∂L/∂b[c] = p_c − 1{c=y}, summed over samples.
 func (s *Softmax) SumGradient(params []float64, ds *data.Dataset, idx []int, out []float64) {
 	checkShapes(s, params, ds)
-	if len(out) != s.NumParams() {
-		panic(fmt.Sprintf("model: gradient buffer %d, want %d", len(out), s.NumParams()))
-	}
+	checkGradLen(s, len(out))
 	pp := s.getProbs()
 	defer s.scratch.Put(pp)
-	probs := *pp
-	for _, i := range idx {
-		x := ds.X[i]
-		s.logits(params, x, probs)
-		softmaxInPlace(probs)
-		for c := 0; c < s.classes; c++ {
-			diff := probs[c]
-			if c == ds.Y[i] {
-				diff -= 1
-			}
-			row := out[c*s.dim : (c+1)*s.dim]
-			for j, xv := range x {
-				row[j] += diff * xv
-			}
-			out[s.classes*s.dim+c] += diff
-		}
-	}
+	softmaxGradT(s.dim, s.classes, params, ds.X, ds.Y, idx, out, *pp)
 }
 
 // Predict implements Model.
@@ -116,12 +133,35 @@ func (s *Softmax) Predict(params []float64, x []float64) int {
 	pp := s.getProbs()
 	defer s.scratch.Put(pp)
 	logits := *pp
-	s.logits(params, x, logits)
-	best := 0
-	for c := 1; c < s.classes; c++ {
-		if logits[c] > logits[best] {
-			best = c
-		}
+	softmaxLogitsT(s.dim, s.classes, params, x, logits)
+	return argmaxT(logits)
+}
+
+// Loss32 implements Model32.
+func (s *Softmax) Loss32(params []float32, ds *data.Dataset32, idx []int) float64 {
+	checkShapes32(s, params, ds)
+	if len(idx) == 0 {
+		return 0
 	}
-	return best
+	pp := s.getProbs32()
+	defer s.scratch32.Put(pp)
+	return softmaxLossT(s.dim, s.classes, params, ds.X, ds.Y, idx, *pp)
+}
+
+// SumGradient32 implements Model32.
+func (s *Softmax) SumGradient32(params []float32, ds *data.Dataset32, idx []int, out []float32) {
+	checkShapes32(s, params, ds)
+	checkGradLen(s, len(out))
+	pp := s.getProbs32()
+	defer s.scratch32.Put(pp)
+	softmaxGradT(s.dim, s.classes, params, ds.X, ds.Y, idx, out, *pp)
+}
+
+// Predict32 implements Model32.
+func (s *Softmax) Predict32(params []float32, x []float32) int {
+	pp := s.getProbs32()
+	defer s.scratch32.Put(pp)
+	logits := *pp
+	softmaxLogitsT(s.dim, s.classes, params, x, logits)
+	return argmaxT(logits)
 }

@@ -1,10 +1,11 @@
 // Package registry is the named-component catalog of the system: it
-// maps string names to constructors for the five pluggable component
+// maps string names to constructors for the six pluggable component
 // kinds — assignment schemes, aggregation rules, Byzantine attacks,
-// worker fault models, and PS-side Byzantine detectors — so that config
-// files, wire specs (internal/transport.Spec), CLI flags, and
-// experiment definitions all resolve components through one table
-// instead of hand-rolled switch statements.
+// worker fault models, PS-side Byzantine detectors, and data
+// distributions — so that config files, wire specs
+// (internal/transport.Spec), CLI flags, and experiment definitions all
+// resolve components through one table instead of hand-rolled switch
+// statements.
 //
 // A Registry is safe for concurrent use. NewBuiltin returns a registry
 // pre-populated with every construction implemented in the repository;
@@ -26,6 +27,7 @@ import (
 	"byzshield/internal/aggregate"
 	"byzshield/internal/assign"
 	"byzshield/internal/attack"
+	"byzshield/internal/data"
 	"byzshield/internal/detect"
 	"byzshield/internal/fault"
 )
@@ -110,6 +112,18 @@ type DetectorParams struct {
 	BlacklistBelow float64
 }
 
+// DistributionParams carries the knobs of the data-distribution
+// components. Fields irrelevant to a distribution are ignored:
+//
+//	dirichlet   Alpha (concentration, 0 → 0.5), Seed
+//	label-skew  Shards (label-shards per pool, 0 → 2), Seed
+//	iid         Seed
+type DistributionParams struct {
+	Alpha  float64
+	Shards int
+	Seed   int64
+}
+
 // Policy converts the wire/CLI params to the detect-layer policy.
 func (p DetectorParams) Policy() detect.Params {
 	return detect.Params{
@@ -133,6 +147,9 @@ type FaultCtor func(FaultParams) (fault.Fault, error)
 // DetectorCtor builds a Byzantine detector from params.
 type DetectorCtor func(DetectorParams) (detect.Detector, error)
 
+// DistributionCtor builds a data distribution from params.
+type DistributionCtor func(DistributionParams) (data.Distributor, error)
+
 // entry is one registered constructor with its canonical name.
 type entry[C any] struct {
 	canonical string
@@ -141,22 +158,24 @@ type entry[C any] struct {
 
 // Registry maps component names to constructors.
 type Registry struct {
-	mu          sync.RWMutex
-	schemes     map[string]entry[SchemeCtor]
-	aggregators map[string]entry[AggregatorCtor]
-	attacks     map[string]entry[AttackCtor]
-	faults      map[string]entry[FaultCtor]
-	detectors   map[string]entry[DetectorCtor]
+	mu            sync.RWMutex
+	schemes       map[string]entry[SchemeCtor]
+	aggregators   map[string]entry[AggregatorCtor]
+	attacks       map[string]entry[AttackCtor]
+	faults        map[string]entry[FaultCtor]
+	detectors     map[string]entry[DetectorCtor]
+	distributions map[string]entry[DistributionCtor]
 }
 
 // New returns an empty registry.
 func New() *Registry {
 	return &Registry{
-		schemes:     make(map[string]entry[SchemeCtor]),
-		aggregators: make(map[string]entry[AggregatorCtor]),
-		attacks:     make(map[string]entry[AttackCtor]),
-		faults:      make(map[string]entry[FaultCtor]),
-		detectors:   make(map[string]entry[DetectorCtor]),
+		schemes:       make(map[string]entry[SchemeCtor]),
+		aggregators:   make(map[string]entry[AggregatorCtor]),
+		attacks:       make(map[string]entry[AttackCtor]),
+		faults:        make(map[string]entry[FaultCtor]),
+		detectors:     make(map[string]entry[DetectorCtor]),
+		distributions: make(map[string]entry[DistributionCtor]),
 	}
 }
 
@@ -283,10 +302,28 @@ func (r *Registry) Fault(name string, params ...FaultParams) (fault.Fault, error
 	return ctor(first(params))
 }
 
+// RegisterDistribution adds a data-distribution constructor.
+func (r *Registry) RegisterDistribution(ctor DistributionCtor, canonical string, aliases ...string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return register(r.distributions, ctor, canonical, aliases...)
+}
+
 // Detector builds the named Byzantine detector.
 func (r *Registry) Detector(name string, params ...DetectorParams) (detect.Detector, error) {
 	r.mu.RLock()
 	ctor, err := lookup(r.detectors, "detector", name)
+	r.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	return ctor(first(params))
+}
+
+// Distribution builds the named data distribution.
+func (r *Registry) Distribution(name string, params ...DistributionParams) (data.Distributor, error) {
+	r.mu.RLock()
+	ctor, err := lookup(r.distributions, "distribution", name)
 	r.mu.RUnlock()
 	if err != nil {
 		return nil, err
@@ -327,6 +364,13 @@ func (r *Registry) Detectors() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return canonicalNames(r.detectors)
+}
+
+// Distributions lists the canonical data-distribution names, sorted.
+func (r *Registry) Distributions() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return canonicalNames(r.distributions)
 }
 
 // first returns the only params value, or the zero value when omitted.
@@ -467,6 +511,23 @@ func mustRegisterBuiltins(r *Registry) {
 		}
 		return fault.Flaky{Workers: p.Workers, P: p.P, Seed: p.Seed}, nil
 	}, "flaky"))
+
+	// Data distributions.
+	must(r.RegisterDistribution(func(p DistributionParams) (data.Distributor, error) {
+		return data.IID{Seed: p.Seed}, nil
+	}, "iid"))
+	must(r.RegisterDistribution(func(p DistributionParams) (data.Distributor, error) {
+		if p.Alpha < 0 {
+			return nil, fmt.Errorf("registry: dirichlet alpha %v < 0", p.Alpha)
+		}
+		return data.Dirichlet{Alpha: p.Alpha, Seed: p.Seed}, nil
+	}, "dirichlet", "dirichlet-niid"))
+	must(r.RegisterDistribution(func(p DistributionParams) (data.Distributor, error) {
+		if p.Shards < 0 {
+			return nil, fmt.Errorf("registry: label-skew shards %d < 0", p.Shards)
+		}
+		return data.LabelSkew{Shards: p.Shards, Seed: p.Seed}, nil
+	}, "label-skew", "labelskew", "shard"))
 
 	// Byzantine detectors.
 	must(r.RegisterDetector(func(DetectorParams) (detect.Detector, error) {

@@ -1,0 +1,78 @@
+package trainer
+
+import "fmt"
+
+// SGD32 is the float32 instantiation of SGD for the reduced-precision
+// tier: the velocity buffer is float32 and every arithmetic operation
+// runs at float32 width, with the learning rate narrowed once per
+// iteration from the shared Schedule. Like SGD, the update is
+// coordinate-wise, so any partition of [0, dim) into StepChunk calls is
+// bit-identical to a full Step.
+type SGD32 struct {
+	Schedule Schedule
+	Momentum float32
+	velocity []float32
+}
+
+// NewSGD32 constructs the float32 optimizer for a d-dimensional
+// parameter vector.
+func NewSGD32(schedule Schedule, momentum float64, dim int) (*SGD32, error) {
+	if err := schedule.Validate(); err != nil {
+		return nil, err
+	}
+	if momentum < 0 || momentum >= 1 {
+		return nil, fmt.Errorf("trainer: momentum %v outside [0,1)", momentum)
+	}
+	if dim < 1 {
+		return nil, fmt.Errorf("trainer: dim %d < 1", dim)
+	}
+	return &SGD32{Schedule: schedule, Momentum: float32(momentum), velocity: make([]float32, dim)}, nil
+}
+
+// Step applies one update in place using the gradient estimate grad at
+// iteration t.
+func (o *SGD32) Step(params, grad []float32, t int) {
+	if len(params) != len(o.velocity) || len(grad) != len(o.velocity) {
+		panic(fmt.Sprintf("trainer: dim mismatch params=%d grad=%d velocity=%d",
+			len(params), len(grad), len(o.velocity)))
+	}
+	o.StepChunk(params, grad, t, 0, len(params))
+}
+
+// StepChunk applies the iteration-t update to the coordinate range
+// [lo, hi) only, under the contract of SGD.StepChunk.
+func (o *SGD32) StepChunk(params, grad []float32, t, lo, hi int) {
+	if len(params) != len(o.velocity) || len(grad) != len(o.velocity) {
+		panic(fmt.Sprintf("trainer: dim mismatch params=%d grad=%d velocity=%d",
+			len(params), len(grad), len(o.velocity)))
+	}
+	if lo < 0 || hi > len(params) || lo > hi {
+		panic(fmt.Sprintf("trainer: chunk [%d,%d) outside [0,%d)", lo, hi, len(params)))
+	}
+	lr := float32(o.Schedule.At(t))
+	for i := lo; i < hi; i++ {
+		o.velocity[i] = o.Momentum*o.velocity[i] + grad[i]
+		params[i] -= lr * o.velocity[i]
+	}
+}
+
+// Reset zeroes the momentum buffer.
+func (o *SGD32) Reset() {
+	clear(o.velocity)
+}
+
+// Velocity returns a copy of the momentum buffer (for checkpointing).
+func (o *SGD32) Velocity() []float32 {
+	out := make([]float32, len(o.velocity))
+	copy(out, o.velocity)
+	return out
+}
+
+// SetVelocity restores the momentum buffer from a checkpoint.
+func (o *SGD32) SetVelocity(v []float32) error {
+	if len(v) != len(o.velocity) {
+		return fmt.Errorf("trainer: velocity length %d, want %d", len(v), len(o.velocity))
+	}
+	copy(o.velocity, v)
+	return nil
+}

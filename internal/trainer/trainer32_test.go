@@ -1,0 +1,76 @@
+package trainer
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSGD32StepChunkMatchesStep(t *testing.T) {
+	// Coordinate-wise update: any chunk partition must be bit-identical
+	// to a full step — the property the sharded f32 plane relies on.
+	sched := Schedule{Base: 0.1, Decay: 0.5, Every: 3}
+	a, err := NewSGD32(sched, 0.9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewSGD32(sched, 0.9, 10)
+	pa := make([]float32, 10)
+	pb := make([]float32, 10)
+	g := make([]float32, 10)
+	for i := range pa {
+		pa[i] = float32(i) * 0.25
+		pb[i] = pa[i]
+		g[i] = float32(10-i) * 0.125
+	}
+	for it := 0; it < 8; it++ {
+		a.Step(pa, g, it)
+		b.StepChunk(pb, g, it, 0, 4)
+		b.StepChunk(pb, g, it, 4, 9)
+		b.StepChunk(pb, g, it, 9, 10)
+		for i := range pa {
+			if math.Float32bits(pa[i]) != math.Float32bits(pb[i]) {
+				t.Fatalf("iter %d: chunked step diverged at %d", it, i)
+			}
+		}
+	}
+}
+
+func TestSGD32VelocityRoundTrip(t *testing.T) {
+	o, _ := NewSGD32(Schedule{Base: 0.1}, 0.5, 4)
+	p := []float32{1, 2, 3, 4}
+	o.Step(p, []float32{1, 1, 1, 1}, 0)
+	v := o.Velocity()
+	o2, _ := NewSGD32(Schedule{Base: 0.1}, 0.5, 4)
+	if err := o2.SetVelocity(v); err != nil {
+		t.Fatal(err)
+	}
+	p2 := append([]float32(nil), p...)
+	o.Step(p, []float32{2, 2, 2, 2}, 1)
+	o2.Step(p2, []float32{2, 2, 2, 2}, 1)
+	for i := range p {
+		if math.Float32bits(p[i]) != math.Float32bits(p2[i]) {
+			t.Fatal("restored velocity diverged")
+		}
+	}
+	if err := o2.SetVelocity(make([]float32, 3)); err == nil {
+		t.Fatal("want error for wrong velocity length")
+	}
+	o2.Reset()
+	for _, v := range o2.Velocity() {
+		if v != 0 {
+			t.Fatal("Reset left velocity nonzero")
+		}
+	}
+}
+
+func TestNewSGD32Validates(t *testing.T) {
+	if _, err := NewSGD32(Schedule{Base: -1}, 0.5, 4); err == nil {
+		t.Fatal("want error for bad schedule")
+	}
+	if _, err := NewSGD32(Schedule{Base: 0.1}, 1.0, 4); err == nil {
+		t.Fatal("want error for momentum 1")
+	}
+	if _, err := NewSGD32(Schedule{Base: 0.1}, 0.5, 0); err == nil {
+		t.Fatal("want error for dim 0")
+	}
+}

@@ -1,0 +1,265 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"byzshield/internal/cluster"
+	"byzshield/internal/wire"
+)
+
+// engineParams32 runs the in-process f32 engine over the experiment
+// described by spec and returns the final parameters.
+func engineParams32(t *testing.T, spec Spec, parallelism, shards int, tier wire.UplinkTier) []float32 {
+	t.Helper()
+	asn, err := spec.BuildAssignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdl, err := spec.BuildModel32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := spec.BuildData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := spec.BuildAggregator32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := cluster.New32(cluster.Config32{
+		Assignment: asn, Model: mdl, Train: train, Test: test,
+		BatchSize: spec.BatchSize, Aggregator: agg,
+		Schedule: spec.Schedule, Momentum: spec.Momentum, Seed: spec.Seed,
+		Parallelism: parallelism, Shards: shards, UplinkTier: tier,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+	for i := 0; i < spec.Rounds; i++ {
+		if _, err := eng.StepOnce(ctx); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	return eng.Params()
+}
+
+// wireParams32 runs the same experiment over loopback TCP at f32
+// precision and returns the server's final parameters.
+func wireParams32(t *testing.T, spec Spec, cfg ServerConfig32) []float32 {
+	t.Helper()
+	cfg.Spec = spec
+	srv, err := NewServer32("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	asn, err := spec.BuildAssignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for u := 0; u < asn.K; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			if _, err := RunWorker32(context.Background(), srv.Addr(), WorkerConfig32{ID: u}); err != nil {
+				t.Errorf("worker %d: %v", u, err)
+			}
+		}(u)
+	}
+	if _, err := srv.Serve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	return srv.Params()
+}
+
+// expectBits32 asserts two f32 parameter vectors are bit-identical.
+func expectBits32(t *testing.T, got, want []float32, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: param lengths diverge: %d vs %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if gb, wb := math.Float32bits(got[i]), math.Float32bits(want[i]); gb != wb {
+			t.Fatalf("%s: param %d diverged (%x vs %x)", label, i, gb, wb)
+		}
+	}
+}
+
+// TestLoopback32BitIdenticalToEngine32: for a fixed seed, the serial
+// in-process f32 engine, the pooled+sharded f32 engine, and the f32 TCP
+// loopback cluster must produce bit-identical final parameters — at
+// reduced precision exactly as at full, the wire is a transparent
+// gradient source, not a second implementation of the round. The lossy
+// sign tier must likewise match between the wire and the in-process
+// engine's quantize round-trip.
+func TestLoopback32BitIdenticalToEngine32(t *testing.T) {
+	spec := testSpec(8)
+	serial := engineParams32(t, spec, 1, 0, 0)
+	pooled := engineParams32(t, spec, 4, 3, 0)
+	wired := wireParams32(t, spec, ServerConfig32{Shards: 3})
+	expectBits32(t, pooled, serial, "pooled+sharded engine")
+	expectBits32(t, wired, serial, "wire path")
+
+	signEng := engineParams32(t, spec, 1, 0, wire.TierSign)
+	signWire := wireParams32(t, spec, ServerConfig32{Uplink: wire.TierSign})
+	expectBits32(t, signWire, signEng, "sign-tier wire path")
+}
+
+// TestServer32RejectsF64Worker: pairing a float64 worker with the f32
+// server is a configuration error and must fail with the typed
+// precision reject, not a codec error mid-run.
+func TestServer32RejectsF64Worker(t *testing.T) {
+	spec := testSpec(2)
+	srv, err := NewServer32("127.0.0.1:0", ServerConfig32{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		srv.Serve(ctx)
+	}()
+	_, err = RunWorker(ctx, srv.Addr(), WorkerConfig{ID: 0, ReconnectAttempts: -1})
+	if err == nil || !strings.Contains(err.Error(), "precision") {
+		t.Fatalf("f64 worker against f32 server returned %v, want a precision reject", err)
+	}
+	cancel()
+	<-serveDone
+}
+
+// waitRejoinPending32 polls until worker u has a validated rejoin
+// connection parked for round-boundary admission.
+func waitRejoinPending32(t *testing.T, srv *Server32, u int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		srv.src.mu.Lock()
+		pending := srv.src.workers[u].pending != nil
+		srv.src.mu.Unlock()
+		if pending {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("worker %d rejoin never became pending", u)
+}
+
+// TestWorker32RejoinRenegotiation kills a worker between rounds on an
+// int8-uplink f32 run and restarts it with its session token but a
+// lossless-only tier mask. The server must renegotiate the connection
+// down to the delta tier (never substituting another lossy tier),
+// re-admit the worker at the next round boundary, and finish the run
+// with no missing rounds after the rejoin.
+func TestWorker32RejoinRenegotiation(t *testing.T) {
+	const victim = 3
+	spec := testSpec(8)
+
+	var mu sync.Mutex
+	var stats []cluster.RoundStats
+	var srv *Server32
+	restarted := make(chan error, 1)
+	workerCtx, killWorker := context.WithCancel(context.Background())
+	defer killWorker()
+
+	cfg := ServerConfig32{
+		Spec:         spec,
+		Uplink:       wire.TierInt8,
+		RoundTimeout: 30 * time.Second,
+		OnRound: func(rs cluster.RoundStats) {
+			mu.Lock()
+			stats = append(stats, rs)
+			mu.Unlock()
+			if rs.Iteration != 3 {
+				return
+			}
+			// Between rounds 3 and 4: kill the worker process, then
+			// restart it with the session token but only the lossless
+			// tiers on offer. OnRound blocks the serve loop, so round 4
+			// starts only after the rejoin is parked for admission.
+			killWorker()
+			srv.src.mu.Lock()
+			token := srv.src.workers[victim].token
+			srv.src.mu.Unlock()
+			go func() {
+				_, err := RunWorker32(context.Background(), srv.Addr(), WorkerConfig32{
+					ID:          victim,
+					ResumeToken: token,
+					Tiers:       wire.TierRaw.Mask() | wire.TierDelta.Mask(),
+				})
+				restarted <- err
+			}()
+			waitRejoinPending32(t, srv, victim)
+		},
+	}
+	var err error
+	srv, err = NewServer32("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	asn, err := spec.BuildAssignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for u := 0; u < asn.K; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			ctx := context.Background()
+			wcfg := WorkerConfig32{ID: u}
+			if u == victim {
+				ctx = workerCtx
+				wcfg.ReconnectAttempts = -1 // the test restarts it explicitly
+			}
+			_, err := RunWorker32(ctx, srv.Addr(), wcfg)
+			if u == victim {
+				if !errors.Is(err, context.Canceled) {
+					t.Errorf("killed worker returned %v, want context.Canceled", err)
+				}
+			} else if err != nil {
+				t.Errorf("worker %d: %v", u, err)
+			}
+		}(u)
+	}
+	if _, err := srv.Serve(context.Background()); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	wg.Wait()
+	if err := <-restarted; err != nil {
+		t.Errorf("restarted worker: %v", err)
+	}
+
+	if len(stats) != spec.Rounds {
+		t.Fatalf("recorded %d rounds, want %d", len(stats), spec.Rounds)
+	}
+	for _, rs := range stats {
+		if rs.Iteration >= 5 && len(rs.MissingWorkers) != 0 {
+			t.Errorf("round %d: missing %v after the rejoin boundary", rs.Iteration, rs.MissingWorkers)
+		}
+	}
+	srv.src.mu.Lock()
+	tier := srv.src.workers[victim].tier
+	srv.src.mu.Unlock()
+	if tier != wire.TierDelta {
+		t.Errorf("rejoined worker renegotiated to tier %s, want %s (best lossless)", tier, wire.TierDelta)
+	}
+	if c := srv.Counters(); c.Rejoins < 1 {
+		t.Errorf("counters recorded %d rejoins, want >= 1", c.Rejoins)
+	}
+}

@@ -209,6 +209,37 @@ func (s *Spec) BuildModel() (model.Model, error) {
 	return model.NewSoftmax(s.Dim, s.Classes)
 }
 
+// BuildModel32 constructs the float32 model described by the spec. The
+// f32 precision tier supports the models that implement model.Model32;
+// an MLP spec (Hidden > 0) is rejected rather than silently widened.
+func (s *Spec) BuildModel32() (model.Model32, error) {
+	m, err := s.BuildModel()
+	if err != nil {
+		return nil, err
+	}
+	m32, ok := m.(model.Model32)
+	if !ok {
+		return nil, fmt.Errorf("transport: model %T has no float32 kernel set (the f32 tier supports softmax and convnet)", m)
+	}
+	return m32, nil
+}
+
+// BuildAggregator32 constructs the aggregation rule named by the spec
+// at float32 width. Every registry rule that implements
+// aggregate.ChunkAggregator32 qualifies; one that aggregates at f64
+// only is rejected by name.
+func (s *Spec) BuildAggregator32() (aggregate.ChunkAggregator32, error) {
+	agg, err := s.BuildAggregator()
+	if err != nil {
+		return nil, err
+	}
+	agg32, ok := agg.(aggregate.ChunkAggregator32)
+	if !ok {
+		return nil, fmt.Errorf("transport: aggregator %q has no float32 kernel set", s.Aggregator)
+	}
+	return agg32, nil
+}
+
 // BuildData constructs the train/test datasets described by the spec.
 func (s *Spec) BuildData() (train, test *data.Dataset, err error) {
 	return data.Synthetic(data.SyntheticConfig{
@@ -392,6 +423,13 @@ type Hello struct {
 	// own configuration to pick the connection's tier; a zero mask is
 	// treated as raw-only, the tier every peer must implement.
 	Tiers uint8
+	// Precisions is the bitmask of numeric precision tiers the worker
+	// implements (wire.Precision.Mask per bit). A zero mask is treated
+	// as f64-only, the pre-v7 behavior. The server picks the
+	// connection's precision from this mask — the f64 server selects
+	// f64 and refuses f32-only workers, the f32 server requires f32 —
+	// and pins it in Welcome.Precision.
+	Precisions uint8
 }
 
 func (Hello) wireType() byte { return msgHello }
@@ -408,7 +446,8 @@ func (m Hello) appendPayload(dst []byte) ([]byte, error) {
 		resume = 1
 	}
 	dst = wire.AppendU8(dst, resume)
-	return wire.AppendU8(dst, m.Tiers), nil
+	dst = wire.AppendU8(dst, m.Tiers)
+	return wire.AppendU8(dst, m.Precisions), nil
 }
 
 func (m *Hello) decodePayload(src []byte) error {
@@ -418,6 +457,7 @@ func (m *Hello) decodePayload(src []byte) error {
 	m.Token = d.U64()
 	m.Resume = d.U8() != 0
 	m.Tiers = d.U8()
+	m.Precisions = d.U8()
 	return d.Done()
 }
 
@@ -449,6 +489,12 @@ type Welcome struct {
 	// the worker derives its file ids from the static assignment and the
 	// samples from the prep.
 	Pipeline bool
+	// Precision is the connection's negotiated numeric width: every
+	// params and gradient frame on the connection from here on carries
+	// values of this precision (wire.PrecisionF64, the zero value, keeps
+	// the pre-v7 float64 frames; wire.PrecisionF32 switches both
+	// directions to the float32 codec set of wire/f32.go).
+	Precision wire.Precision
 }
 
 func (Welcome) wireType() byte { return msgWelcome }
@@ -467,7 +513,8 @@ func (m Welcome) appendPayload(dst []byte) ([]byte, error) {
 	if m.Pipeline {
 		pipe = 1
 	}
-	return wire.AppendU8(dst, pipe), nil
+	dst = wire.AppendU8(dst, pipe)
+	return wire.AppendU8(dst, uint8(m.Precision)), nil
 }
 
 func (m *Welcome) decodePayload(src []byte) error {
@@ -479,6 +526,7 @@ func (m *Welcome) decodePayload(src []byte) error {
 	decodeSpec(d, &m.Spec)
 	m.Shards = d.Int()
 	m.Pipeline = d.U8() != 0
+	m.Precision = wire.Precision(d.U8())
 	return d.Done()
 }
 
@@ -654,6 +702,11 @@ const (
 	// its own version on every frame) or on the Hello.Version field.
 	// Retrying cannot help until the peer is upgraded.
 	RejectVersion uint8 = 2
+	// RejectPrecision refuses a worker whose Hello precision mask does
+	// not include the precision this server runs at — an f32-only
+	// worker dialing an f64 run or vice versa. Retrying cannot help
+	// until the worker is reconfigured.
+	RejectPrecision uint8 = 3
 )
 
 // Reject is the PS's typed refusal of a handshake: unlike a silent

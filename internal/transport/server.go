@@ -418,6 +418,12 @@ func (s *Server) handshake(ctx context.Context, conn *Conn) {
 		s.rejectVersion(conn, fmt.Sprintf("protocol version %d, want %d", hello.Version, wire.ProtocolVersion))
 		return
 	}
+	if !precisionOffered(hello.Precisions, wire.PrecisionF64) {
+		// This server aggregates at float64; a worker that only speaks
+		// the f32 codec set cannot parse its frames.
+		s.rejectPrecision(conn, hello.WorkerID, wire.PrecisionF64, hello.Precisions)
+		return
+	}
 	tier := negotiateTier(s.src.uplink, hello.Tiers)
 	k := s.assignment.K
 	if hello.WorkerID < 0 || hello.WorkerID >= k {
@@ -468,6 +474,7 @@ func (s *Server) handshake(ctx context.Context, conn *Conn) {
 		Spec:      s.cfg.Spec,
 		Shards:    ws.shards,
 		Pipeline:  ws.pipeline,
+		Precision: wire.PrecisionF64,
 	}); err != nil {
 		if !hello.Resume {
 			// Release the reserved slot so the worker id can join again.
@@ -568,6 +575,29 @@ func (s *Server) rejectVersion(conn *Conn, reason string) {
 	s.cfg.Logf("rejecting %s: %s", conn.RemoteAddr(), reason)
 	conn.SetWriteDeadline(time.Now().Add(helloTimeout))
 	if _, err := conn.Send(Reject{Code: RejectVersion, Reason: reason}); err != nil {
+		s.cfg.Logf("reject send to %s: %v", conn.RemoteAddr(), err)
+	}
+	conn.Close()
+}
+
+// precisionOffered reports whether a Hello precision mask includes p. A
+// zero mask is read as f64-only — the pre-v7 default every peer speaks
+// unless its Hello explicitly narrows the set.
+func precisionOffered(mask uint8, p wire.Precision) bool {
+	if mask == 0 {
+		mask = wire.PrecisionF64.Mask()
+	}
+	return mask&p.Mask() != 0
+}
+
+// rejectPrecision refuses a worker whose precision mask excludes the
+// width this server runs at, with a typed Reject so the worker learns
+// the mismatch is a configuration error rather than a transient fault.
+func (s *Server) rejectPrecision(conn *Conn, u int, want wire.Precision, mask uint8) {
+	reason := fmt.Sprintf("worker %d offers precision mask %#x, server runs %s", u, mask, want)
+	s.cfg.Logf("rejecting %s: %s", conn.RemoteAddr(), reason)
+	conn.SetWriteDeadline(time.Now().Add(helloTimeout))
+	if _, err := conn.Send(Reject{Code: RejectPrecision, Reason: reason}); err != nil {
 		s.cfg.Logf("reject send to %s: %v", conn.RemoteAddr(), err)
 	}
 	conn.Close()

@@ -324,6 +324,9 @@ func runWorkerConn(ctx context.Context, addr string, st *workerState) (float64, 
 		Token:    st.token,
 		Resume:   resume,
 		Tiers:    tiers,
+		// This worker computes at float64 only; the f32 tier has its own
+		// worker type (Worker32).
+		Precisions: wire.PrecisionF64.Mask(),
 	}); err != nil {
 		return 0, retryable(ctxErr(ctx, err))
 	}
@@ -351,6 +354,10 @@ func runWorkerConn(ctx context.Context, addr string, st *workerState) (float64, 
 	if tiers&welcome.Uplink.Mask() == 0 {
 		return 0, fmt.Errorf("transport: server negotiated uplink tier %s outside the offered mask %#x",
 			welcome.Uplink, tiers)
+	}
+	if welcome.Precision != wire.PrecisionF64 {
+		return 0, fmt.Errorf("transport: server negotiated precision %s outside the offered f64-only mask",
+			welcome.Precision)
 	}
 	st.token = welcome.Token
 	st.ins.tierNegotiated(int32(welcome.Uplink))

@@ -1,0 +1,143 @@
+package vote
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Result32 reports the outcome of a single file's float32 vote, with
+// the exact semantics of Result at the narrower width.
+type Result32 struct {
+	// Winner is the elected gradient (a reference to one of the inputs;
+	// callers must copy before mutating).
+	Winner []float32
+	// Count is the number of votes the winner received.
+	Count int
+	// Unanimous is true when every replica agreed.
+	Unanimous bool
+	// Tied is true when no strict plurality existed; Winner is then the
+	// candidate with the lowest worker index among the tied maxima.
+	Tied bool
+}
+
+// Majority32 is the float32 instantiation of Majority: exact bit
+// equality over float32 patterns, the same small-n direct path, the
+// same hash fallback, and the same lowest-first-index tie-break. The
+// reduced-precision tier relies on it exactly as the f64 protocol
+// relies on Majority — honest replicas of one file are bit-identical
+// at either width.
+func Majority32(replicas [][]float32) (Result32, error) {
+	n := len(replicas)
+	if n == 0 {
+		return Result32{}, fmt.Errorf("vote: no replicas")
+	}
+	d := len(replicas[0])
+	for i, r := range replicas {
+		if len(r) != d {
+			return Result32{}, fmt.Errorf("vote: replica %d has dim %d, want %d", i, len(r), d)
+		}
+	}
+	if n <= smallN {
+		return majoritySmall32(replicas), nil
+	}
+	hashes := make([]uint64, n)
+	for i, r := range replicas {
+		hashes[i] = hashVec32(r)
+	}
+	counts := make(map[uint64]int, n)
+	first := make(map[uint64]int, n)
+	for i, h := range hashes {
+		counts[h]++
+		if _, seen := first[h]; !seen {
+			first[h] = i
+		}
+	}
+	bestHash := hashes[0]
+	bestCount := 0
+	for h, c := range counts {
+		if c > bestCount || (c == bestCount && first[h] < first[bestHash]) {
+			bestHash = h
+			bestCount = c
+		}
+	}
+	winner := replicas[first[bestHash]]
+	exact := 0
+	for _, r := range replicas {
+		if equalVec32(r, winner) {
+			exact++
+		}
+	}
+	tied := false
+	for h, c := range counts {
+		if h != bestHash && c == bestCount {
+			tied = true
+		}
+	}
+	return Result32{
+		Winner:    winner,
+		Count:     exact,
+		Unanimous: exact == n,
+		Tied:      tied,
+	}, nil
+}
+
+// majoritySmall32 mirrors majoritySmall on float32 bit patterns.
+func majoritySmall32(replicas [][]float32) Result32 {
+	n := len(replicas)
+	var canon, counts [smallN]int
+	for i := 0; i < n; i++ {
+		c := i
+		for j := 0; j < i; j++ {
+			if canon[j] == j && equalVec32(replicas[j], replicas[i]) {
+				c = j
+				break
+			}
+		}
+		canon[i] = c
+		counts[c]++
+	}
+	best := 0
+	for i := 1; i < n; i++ {
+		if canon[i] == i && counts[i] > counts[best] {
+			best = i
+		}
+	}
+	tied := false
+	for i := 0; i < n; i++ {
+		if canon[i] == i && i != best && counts[i] == counts[best] {
+			tied = true
+		}
+	}
+	return Result32{
+		Winner:    replicas[best],
+		Count:     counts[best],
+		Unanimous: counts[best] == n,
+		Tied:      tied,
+	}
+}
+
+// hashVec32 hashes the raw IEEE-754 float32 bytes of v with FNV-1a.
+func hashVec32(v []float32) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, x := range v {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(x))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// equalVec32 compares by float32 bit patterns (NaN == NaN, +0 ≠ −0).
+func equalVec32(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -2,10 +2,10 @@ package byzshield
 
 import "byzshield/internal/registry"
 
-// ComponentRegistry maps string names to constructors for the five
+// ComponentRegistry maps string names to constructors for the six
 // pluggable component kinds: assignment schemes, aggregation rules,
-// Byzantine attacks, worker fault models, and PS-side Byzantine
-// detectors. It is safe for concurrent
+// Byzantine attacks, worker fault models, PS-side Byzantine detectors,
+// and data distributions. It is safe for concurrent
 // use and extensible via the Register* methods; see internal/registry
 // for the name catalog and per-scheme parameter conventions.
 type ComponentRegistry = registry.Registry
@@ -30,6 +30,10 @@ type FaultParams = registry.FaultParams
 // Decay, BlacklistBelow).
 type DetectorParams = registry.DetectorParams
 
+// DistributionParams parameterizes the data-distribution components
+// (Alpha for "dirichlet", Shards for "label-skew", Seed).
+type DistributionParams = registry.DistributionParams
+
 // Registry is the default component catalog, pre-populated with every
 // scheme ("mols", "ramanujan1", "ramanujan2", "frc", "baseline",
 // "random"), aggregator ("median", "mean", "trimmed-mean",
@@ -37,8 +41,9 @@ type DetectorParams = registry.DetectorParams
 // "geometric-median", "mean-around-median", "auror"), attack
 // ("benign", "alie", "constant", "reversed", "random-gaussian",
 // "sign-flip"), fault model ("none", "crash", "straggler", "delay",
-// "flaky"), and Byzantine detector ("none", "zscore", "cluster")
-// implemented in the repository:
+// "flaky"), Byzantine detector ("none", "zscore", "cluster"), and data
+// distribution ("iid", "dirichlet", "label-skew") implemented in the
+// repository:
 //
 //	asn, err := byzshield.Registry.Scheme("mols", byzshield.SchemeParams{L: 5, R: 3})
 //	agg, err := byzshield.Registry.Aggregator("median")

@@ -113,22 +113,23 @@ func Open(ctx context.Context, cfg TrainConfig) (*Session, error) {
 		}
 	}
 	eng, err := cluster.New(cluster.Config{
-		Assignment:  norm.Assignment,
-		Model:       norm.Model,
-		Train:       norm.Train,
-		Test:        norm.Test,
-		BatchSize:   norm.BatchSize,
-		Attack:      norm.Attack,
-		Byzantines:  byz,
-		Aggregator:  norm.Aggregator,
-		Schedule:    norm.Schedule,
-		Momentum:    norm.Momentum,
-		Seed:        norm.Seed,
-		Parallelism: norm.Parallelism,
-		Fault:       norm.Fault,
-		Quorum:      norm.Quorum,
-		Detector:    norm.Detector,
-		Detection:   norm.Detection,
+		Assignment:   norm.Assignment,
+		Model:        norm.Model,
+		Train:        norm.Train,
+		Test:         norm.Test,
+		BatchSize:    norm.BatchSize,
+		Attack:       norm.Attack,
+		Byzantines:   byz,
+		Aggregator:   norm.Aggregator,
+		Schedule:     norm.Schedule,
+		Momentum:     norm.Momentum,
+		Seed:         norm.Seed,
+		Parallelism:  norm.Parallelism,
+		Fault:        norm.Fault,
+		Quorum:       norm.Quorum,
+		Detector:     norm.Detector,
+		Detection:    norm.Detection,
+		Distribution: norm.Distribution,
 	})
 	if err != nil {
 		return nil, err
